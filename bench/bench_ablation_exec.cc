@@ -1,0 +1,115 @@
+// Ablation for the rewrite gain: why do built-in aggregates beat hardcoded
+// UDAFs? Row-at-a-time boxed IUME execution versus vectorized kernels over
+// the same data, at several input sizes. The ratio here is the headroom
+// behind Figures 1, 2, 8 and 9.
+
+#include <benchmark/benchmark.h>
+
+#include "agg/builtin_kernels.h"
+#include "agg/interpreted_udaf.h"
+#include "agg/udaf.h"
+#include "common/rng.h"
+#include "engine/aggregation.h"
+#include "storage/column.h"
+
+namespace sudaf {
+namespace {
+
+struct Fixture {
+  Column column{DataType::kFloat64};
+  std::vector<double> values;
+  std::vector<int32_t> group_ids;
+  UdafRegistry registry;
+
+  explicit Fixture(int64_t n) {
+    Rng rng(4242);
+    values.reserve(n);
+    group_ids.reserve(n);
+    for (int64_t i = 0; i < n; ++i) {
+      double v = rng.NextDoubleIn(0.5, 9.5);
+      values.push_back(v);
+      column.AppendFloat64(v);
+      group_ids.push_back(static_cast<int32_t>(rng.NextBelow(16)));
+    }
+    RegisterHardcodedUdafs(&registry);
+    RegisterInterpretedUdafs(&interpreted);
+  }
+
+  UdafRegistry interpreted;
+};
+
+// qm through the IUME interface: boxed values, virtual dispatch per row —
+// the hardcoded-UDAF execution shape.
+void BM_HardcodedUdafRowAtATime(benchmark::State& state) {
+  Fixture fixture(state.range(0));
+  auto udaf = fixture.registry.Get("qm");
+  SUDAF_CHECK(udaf.ok());
+  ExecOptions opts;
+  for (auto _ : state) {
+    auto result = RunHardcodedUdaf(**udaf, {&fixture.column},
+                                   fixture.group_ids, 16, opts);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_HardcodedUdafRowAtATime)->Arg(10'000)->Arg(100'000)->Arg(1'000'000);
+
+// qm through the *interpreted* UDAF path (PL/pgSQL shape): per-row
+// expression interpretation over boxed values — the engine baseline of the
+// figure benchmarks.
+void BM_InterpretedUdafRowAtATime(benchmark::State& state) {
+  Fixture fixture(state.range(0));
+  auto udaf = fixture.interpreted.Get("qm");
+  SUDAF_CHECK(udaf.ok());
+  ExecOptions opts;
+  for (auto _ : state) {
+    auto result = RunHardcodedUdaf(**udaf, {&fixture.column},
+                                   fixture.group_ids, 16, opts);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_InterpretedUdafRowAtATime)->Arg(10'000)->Arg(100'000);
+
+// The same qm as SUDAF computes it: two vectorized grouped states (Σx²,
+// count) + a terminating sqrt per group.
+void BM_VectorizedStates(benchmark::State& state) {
+  Fixture fixture(state.range(0));
+  ExecOptions opts;
+  for (auto _ : state) {
+    std::vector<double> squared(fixture.values.size());
+    for (size_t i = 0; i < fixture.values.size(); ++i) {
+      squared[i] = fixture.values[i] * fixture.values[i];
+    }
+    std::vector<double> sum2 = ComputeGroupedState(
+        AggOp::kSum, squared, fixture.group_ids, 16, opts);
+    std::vector<double> count =
+        ComputeGroupedState(AggOp::kCount, {}, fixture.group_ids, 16, opts);
+    std::vector<double> qm(16);
+    for (int g = 0; g < 16; ++g) qm[g] = std::sqrt(sum2[g] / count[g]);
+    benchmark::DoNotOptimize(qm);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_VectorizedStates)->Arg(10'000)->Arg(100'000)->Arg(1'000'000);
+
+// Cache-hit execution: what remains when every state is served from the
+// cache — the two-orders-of-magnitude regime.
+void BM_CacheHitFinalization(benchmark::State& state) {
+  const int64_t groups = state.range(0);
+  std::vector<double> sum2(groups, 100.0);
+  std::vector<double> count(groups, 10.0);
+  for (auto _ : state) {
+    std::vector<double> qm(groups);
+    for (int64_t g = 0; g < groups; ++g) {
+      qm[g] = std::sqrt(sum2[g] / count[g]);
+    }
+    benchmark::DoNotOptimize(qm);
+  }
+}
+BENCHMARK(BM_CacheHitFinalization)->Arg(16)->Arg(1024)->Arg(16384);
+
+}  // namespace
+}  // namespace sudaf
+
+BENCHMARK_MAIN();

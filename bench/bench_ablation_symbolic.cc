@@ -1,0 +1,74 @@
+// Ablation for Section 5: deciding sharing by running the Theorem 4.1
+// machinery per pair (inverse + composition + pattern match) versus the
+// precomputed route (O(1) classification to a class key and representative).
+// This is the paper's argument for symbolic precomputation: at runtime only
+// a hash/compare remains.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "expr/parser.h"
+#include "sudaf/sharing.h"
+#include "sudaf/symbolic.h"
+
+namespace sudaf {
+namespace {
+
+std::vector<AggStateDef> MakeStatePool() {
+  // A realistic pool: the states produced by the experiment workload.
+  const char* kSumInputs[] = {"x",      "4*x",     "x^2",    "3*x^2",
+                              "x^3",    "x^4",     "x^-1",   "ln(x)",
+                              "2*ln(x)", "ln(x)^2", "exp(x)", "sqrt(x)"};
+  std::vector<AggStateDef> pool;
+  for (const char* input : kSumInputs) {
+    pool.push_back(MakeState(AggOp::kSum, std::move(*ParseExpression(input))));
+  }
+  pool.push_back(MakeState(AggOp::kProd, std::move(*ParseExpression("x"))));
+  pool.push_back(MakeState(AggOp::kProd, std::move(*ParseExpression("x^2"))));
+  pool.push_back(MakeState(AggOp::kCount, nullptr));
+  return pool;
+}
+
+// Per-pair Theorem 4.1 decision, from scratch.
+void BM_PairwiseTheoremDecision(benchmark::State& state) {
+  std::vector<AggStateDef> pool = MakeStatePool();
+  size_t i = 0;
+  for (auto _ : state) {
+    const AggStateDef& a = pool[i % pool.size()];
+    const AggStateDef& b = pool[(i / pool.size() + i) % pool.size()];
+    benchmark::DoNotOptimize(Share(a, b));
+    ++i;
+  }
+}
+BENCHMARK(BM_PairwiseTheoremDecision);
+
+// Precomputed route: class keys are compared (classification itself is done
+// once per query state; here we charge it to the loop to stay conservative).
+void BM_PrecomputedClassLookup(benchmark::State& state) {
+  std::vector<AggStateDef> pool = MakeStatePool();
+  std::vector<std::string> keys;
+  keys.reserve(pool.size());
+  for (const AggStateDef& s : pool) keys.push_back(ClassifyState(s).key);
+  size_t i = 0;
+  for (auto _ : state) {
+    const std::string& a = keys[i % keys.size()];
+    const std::string& b = keys[(i / keys.size() + i) % keys.size()];
+    benchmark::DoNotOptimize(a == b);
+    ++i;
+  }
+}
+BENCHMARK(BM_PrecomputedClassLookup);
+
+// One-off precomputation of the whole symbolic space (deployment cost).
+void BM_BuildSymbolicSpace(benchmark::State& state) {
+  for (auto _ : state) {
+    SymbolicSpace space = SymbolicSpace::Build(static_cast<int>(state.range(0)));
+    benchmark::DoNotOptimize(space.num_classes());
+  }
+}
+BENCHMARK(BM_BuildSymbolicSpace)->Arg(1)->Arg(2);
+
+}  // namespace
+}  // namespace sudaf
+
+BENCHMARK_MAIN();

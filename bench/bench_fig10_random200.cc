@@ -1,0 +1,86 @@
+// Reproduces Figure 10: a random sequence of 200 queries (instances of
+// query model 2 over 16 aggregate functions, including approximate
+// quantiles via the moments sketch), in the Spark-like context, across the
+// three execution regimes. Prints one line per query position plus summary
+// statistics.
+
+#include <cstdio>
+#include <numeric>
+
+#include "bench_support/workload.h"
+#include "datagen/milan_like.h"
+#include "common/rng.h"
+
+using sudaf::Catalog;
+using sudaf::ExecMode;
+using sudaf::ExecOptions;
+using sudaf::Rng;
+using sudaf::Status;
+using sudaf::SudafSession;
+
+int main() {
+  Catalog catalog;
+  sudaf::bench::WorkloadOptions options =
+      sudaf::bench::WorkloadOptions::FromEnv();
+  Status st = sudaf::bench::SetupWorkloadData(options, &catalog);
+  SUDAF_CHECK_MSG(st.ok(), st.ToString());
+  // A coarser grid than the sequence benches: the engine baseline must run
+  // the MomentSolver once per group for every approximate-quantile query,
+  // which dominates this 600-execution benchmark.
+  sudaf::MilanOptions milan;
+  milan.num_rows = options.milan_rows;
+  milan.num_squares = 1000;
+  catalog.PutTable("milan_data", sudaf::GenerateMilanData(milan));
+
+  // Seeded shuffle: the same 200-query order for every context.
+  std::vector<std::string> aggs = sudaf::bench::Figure10Aggregates();
+  Rng rng(0xf16'10);
+  std::vector<std::string> queries;
+  queries.reserve(200);
+  for (int i = 0; i < 200; ++i) {
+    queries.push_back(aggs[rng.NextBelow(aggs.size())]);
+  }
+
+  ExecOptions exec;
+  exec.partitioned = true;
+  exec.num_partitions = 8;
+
+  std::vector<std::vector<double>> times(3);
+  const ExecMode modes[] = {ExecMode::kEngine, ExecMode::kSudafNoShare,
+                            ExecMode::kSudafShare};
+  for (int context = 0; context < 3; ++context) {
+    SudafSession session(&catalog, exec);
+    Status rq = sudaf::bench::RegisterQuantileUdafs(&session, 10);
+    SUDAF_CHECK_MSG(rq.ok(), rq.ToString());
+    for (const std::string& agg : queries) {
+      auto result = session.Execute(sudaf::bench::QueryModel(2, agg),
+                                    modes[context]);
+      if (!result.ok()) {
+        std::fprintf(stderr, "query %s failed: %s\n", agg.c_str(),
+                     result.status().ToString().c_str());
+        times[context].push_back(-1.0);
+        continue;
+      }
+      times[context].push_back(session.last_stats().total_ms);
+    }
+  }
+
+  std::printf(
+      "Figure 10 — random sequence of 200 queries (query model 2, 16 "
+      "aggregates, Spark-like context)\n\n");
+  std::printf("%5s %-24s %14s %16s %14s\n", "#", "aggregate",
+              "engine (ms)", "no share (ms)", "share (ms)");
+  for (size_t q = 0; q < queries.size(); ++q) {
+    std::printf("%5zu %-24s %14.2f %16.2f %14.2f\n", q + 1,
+                queries[q].c_str(), times[0][q], times[1][q], times[2][q]);
+  }
+  const char* labels[] = {"engine", "SUDAF no-share", "SUDAF share"};
+  std::printf("\nTotals over 200 queries:\n");
+  for (int context = 0; context < 3; ++context) {
+    double total = std::accumulate(times[context].begin(),
+                                   times[context].end(), 0.0);
+    std::printf("  %-16s %10.1f ms (mean %7.2f ms)\n", labels[context],
+                total, total / 200.0);
+  }
+  return 0;
+}

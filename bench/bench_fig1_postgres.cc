@@ -1,0 +1,11 @@
+// Reproduces Figure 1: the motivating example in the single-node
+// ("PostgreSQL") context — Q1 rewrite gains, Q2 sharing gains, and the
+// Q3/RQ3' aggregate-view rewrite.
+
+#include "bench/fig1_fig2_common.h"
+
+int main() {
+  sudaf::ExecOptions exec;  // serial, single pass — the PostgreSQL shape
+  sudaf::bench::RunMotivatingExample("PostgreSQL-like (serial)", exec);
+  return 0;
+}

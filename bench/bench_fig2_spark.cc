@@ -1,0 +1,13 @@
+// Reproduces Figure 2: the motivating example in the distributed
+// ("Spark SQL") context — partitioned execution with (F, ⊕) partial
+// aggregation and ⊕ merges.
+
+#include "bench/fig1_fig2_common.h"
+
+int main() {
+  sudaf::ExecOptions exec;
+  exec.partitioned = true;
+  exec.num_partitions = 8;
+  sudaf::bench::RunMotivatingExample("Spark-SQL-like (8 partitions)", exec);
+  return 0;
+}

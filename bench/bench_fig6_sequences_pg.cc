@@ -1,0 +1,13 @@
+// Reproduces Figure 6: total execution time of each of the 6 query
+// sequences (3 query models × AS1/AS2) in the single-node ("PostgreSQL")
+// context, across the three execution regimes.
+
+#include "bench/sequences_common.h"
+
+int main() {
+  sudaf::ExecOptions exec;  // serial
+  std::printf("Figure 6 — PostgreSQL-like context (serial execution)\n");
+  auto runs = sudaf::bench::RunAllSequences(exec);
+  sudaf::bench::PrintTotals(runs);
+  return 0;
+}

@@ -1,0 +1,15 @@
+// Reproduces Figure 7: total execution time of each query sequence in the
+// distributed ("Spark SQL") context — partitioned partial aggregation with
+// ⊕ merges.
+
+#include "bench/sequences_common.h"
+
+int main() {
+  sudaf::ExecOptions exec;
+  exec.partitioned = true;
+  exec.num_partitions = 8;
+  std::printf("Figure 7 — Spark-SQL-like context (8 partitions)\n");
+  auto runs = sudaf::bench::RunAllSequences(exec);
+  sudaf::bench::PrintTotals(runs);
+  return 0;
+}

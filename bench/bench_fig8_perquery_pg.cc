@@ -1,0 +1,12 @@
+// Reproduces Figure 8: per-query execution time of every query in all six
+// sequences, PostgreSQL-like context (panels a–f).
+
+#include "bench/sequences_common.h"
+
+int main() {
+  sudaf::ExecOptions exec;
+  std::printf("Figure 8 — per-query times, PostgreSQL-like context\n");
+  auto runs = sudaf::bench::RunAllSequences(exec);
+  sudaf::bench::PrintPerQuery(runs);
+  return 0;
+}

@@ -1,0 +1,14 @@
+// Reproduces Figure 9: per-query execution time of every query in all six
+// sequences, Spark-SQL-like context (panels a–f).
+
+#include "bench/sequences_common.h"
+
+int main() {
+  sudaf::ExecOptions exec;
+  exec.partitioned = true;
+  exec.num_partitions = 8;
+  std::printf("Figure 9 — per-query times, Spark-SQL-like context\n");
+  auto runs = sudaf::bench::RunAllSequences(exec);
+  sudaf::bench::PrintPerQuery(runs);
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Scaling sweep: how the three execution regimes scale with input size.
+//
+// The paper's gaps (20× on 72.6M-row PostgreSQL data, 3× on Spark) are
+// scale-dependent: interpreted-UDAF time grows linearly with rows, the
+// rewrite grows much more slowly, and a warm cache is O(groups) only. This
+// sweep makes that visible at reproduction scale and explains why the
+// defaults in EXPERIMENTS.md show smaller ratios than the paper's testbed.
+
+#include <cstdio>
+
+#include "datagen/milan_like.h"
+#include "sudaf/session.h"
+
+using namespace sudaf;  // NOLINT — bench brevity
+
+int main() {
+  std::printf(
+      "qm(internet_traffic) GROUP BY square_id — time vs. rows\n\n");
+  std::printf("%12s %14s %16s %18s %14s\n", "rows", "engine (ms)",
+              "no share (ms)", "share cold (ms)", "share warm");
+
+  const std::string sql =
+      "SELECT square_id, qm(internet_traffic) FROM milan_data "
+      "GROUP BY square_id ORDER BY square_id LIMIT 20";
+
+  for (int64_t rows : {50'000, 100'000, 200'000, 400'000, 800'000,
+                       1'600'000}) {
+    Catalog catalog;
+    MilanOptions milan;
+    milan.num_rows = rows;
+    catalog.PutTable("milan_data", GenerateMilanData(milan));
+    SudafSession session(&catalog);
+
+    auto time_query = [&session, &sql](ExecMode mode) {
+      auto result = session.Execute(sql, mode);
+      SUDAF_CHECK_MSG(result.ok(), result.status().ToString());
+      return session.last_stats().total_ms;
+    };
+
+    double engine_ms = time_query(ExecMode::kEngine);
+    double noshare_ms = time_query(ExecMode::kSudafNoShare);
+    double cold_ms = time_query(ExecMode::kSudafShare);
+    double warm_ms = time_query(ExecMode::kSudafShare);
+    std::printf("%12lld %14.2f %16.2f %18.2f %11.3f ms\n",
+                static_cast<long long>(rows), engine_ms, noshare_ms,
+                cold_ms, warm_ms);
+  }
+  std::printf(
+      "\nengine and no-share grow linearly with rows (slopes differ by the\n"
+      "interpreted-vs-vectorized factor); warm-cache time depends only on\n"
+      "the group count.\n");
+  return 0;
+}

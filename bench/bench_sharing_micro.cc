@@ -1,0 +1,107 @@
+// Micro-benchmarks (google-benchmark) of SUDAF's decision machinery:
+// expression parsing, normalization, canonicalization, the Theorem 4.1
+// sharing decision, state classification, and cache probing. These are the
+// per-query overheads the paper reports as a few milliseconds per query.
+
+#include <benchmark/benchmark.h>
+
+#include "expr/parser.h"
+#include "sudaf/cache.h"
+#include "sudaf/rewriter.h"
+#include "sudaf/sharing.h"
+
+namespace sudaf {
+namespace {
+
+void BM_ParseExpression(benchmark::State& state) {
+  const std::string expr =
+      "(count()*sum(x*y) - sum(y)*sum(x)) / (count()*sum(x^2) - sum(x)^2)";
+  for (auto _ : state) {
+    auto parsed = ParseExpression(expr);
+    benchmark::DoNotOptimize(parsed);
+  }
+}
+BENCHMARK(BM_ParseExpression);
+
+void BM_NormalizeScalar(benchmark::State& state) {
+  ExprPtr expr = std::move(*ParseExpression("4*ln(x^2)^3"));
+  for (auto _ : state) {
+    auto norm = NormalizeScalar(*expr);
+    benchmark::DoNotOptimize(norm);
+  }
+}
+BENCHMARK(BM_NormalizeScalar);
+
+void BM_CanonicalizeTheta1(benchmark::State& state) {
+  ExprPtr expr = std::move(*ParseExpression(
+      "(count()*sum(x*y) - sum(y)*sum(x)) / (count()*sum(x^2) - sum(x)^2)"));
+  for (auto _ : state) {
+    auto form = Canonicalize(*expr);
+    benchmark::DoNotOptimize(form);
+  }
+}
+BENCHMARK(BM_CanonicalizeTheta1);
+
+void BM_ShareDecision(benchmark::State& state) {
+  AggStateDef s1 = MakeState(AggOp::kSum, std::move(*ParseExpression("4*x^2")));
+  AggStateDef s2 =
+      MakeState(AggOp::kSum, std::move(*ParseExpression("(3*x)^2")));
+  for (auto _ : state) {
+    auto r = Share(s1, s2);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_ShareDecision);
+
+void BM_ShareDecisionCrossOp(benchmark::State& state) {
+  AggStateDef s1 = MakeState(AggOp::kSum, std::move(*ParseExpression("ln(x)")));
+  AggStateDef s2 = MakeState(AggOp::kProd, std::move(*ParseExpression("x")));
+  for (auto _ : state) {
+    auto r = Share(s1, s2);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_ShareDecisionCrossOp);
+
+void BM_ClassifyState(benchmark::State& state) {
+  AggStateDef s = MakeState(AggOp::kSum, std::move(*ParseExpression("4*x^2")));
+  for (auto _ : state) {
+    StateClass cls = ClassifyState(s);
+    benchmark::DoNotOptimize(cls);
+  }
+}
+BENCHMARK(BM_ClassifyState);
+
+void BM_CacheProbe(benchmark::State& state) {
+  StateCache cache;
+  Schema schema;
+  SUDAF_CHECK(schema.AddField({"g", DataType::kInt64}).ok());
+  Table keys(std::move(schema));
+  for (int i = 0; i < 1000; ++i) keys.column(0).AppendInt64(i);
+  keys.FinishBulkAppend();
+  StateCache::GroupSet* set = cache.GetOrCreate("sig", keys, 1000);
+  set->entries["sum_pow|x|2"] =
+      StateCache::Entry{std::vector<double>(1000, 1.0), {}};
+  for (auto _ : state) {
+    StateCache::GroupSet* found = cache.Find("sig");
+    benchmark::DoNotOptimize(found->entries.count("sum_pow|x|2"));
+  }
+}
+BENCHMARK(BM_CacheProbe);
+
+void BM_RewriteQueryQ1(benchmark::State& state) {
+  UdafLibrary lib = UdafLibrary::Standard();
+  auto stmt = ParseSelect(
+      "SELECT g, avg(x), avg(y), theta1(x, y) FROM t GROUP BY g");
+  SUDAF_CHECK(stmt.ok());
+  for (auto _ : state) {
+    auto rewritten = RewriteQuery(**stmt, lib);
+    benchmark::DoNotOptimize(rewritten);
+  }
+}
+BENCHMARK(BM_RewriteQueryQ1);
+
+}  // namespace
+}  // namespace sudaf
+
+BENCHMARK_MAIN();

@@ -1,0 +1,182 @@
+// Interactive SUDAF shell over the synthetic benchmark datasets.
+//
+//   $ ./sudaf_shell
+//   sudaf> SELECT square_id, qm(internet_traffic) FROM milan_data
+//          GROUP BY square_id ORDER BY square_id LIMIT 5;
+//
+// Meta-commands:
+//   \mode engine|noshare|share   switch execution mode (default: share)
+//   \explain <select ...>        show the rewritten (RQ) form
+//   \define <name>(<params>) := <expression>
+//                                register a UDAF declaratively
+//   \tables                      list tables
+//   \cache                       cache statistics
+//   \import <path> <table>       load a CSV file (schema inferred)
+//   \export <table> <path>       write a table as CSV
+//   \quit                        exit
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "bench_support/workload.h"
+#include "storage/csv.h"
+
+using namespace sudaf;  // NOLINT — example brevity
+
+namespace {
+
+void RunStatement(SudafSession* session, const std::string& sql,
+                  ExecMode mode) {
+  auto result = session->Execute(sql, mode);
+  if (!result.ok()) {
+    std::printf("error: %s\n", result.status().ToString().c_str());
+    return;
+  }
+  const ExecStats& stats = session->last_stats();
+  std::printf("%s(%lld rows, %.2f ms", (*result)->ToString(20).c_str(),
+              static_cast<long long>((*result)->num_rows()), stats.total_ms);
+  if (mode != ExecMode::kEngine) {
+    std::printf("; states %d, cached %d, scanned base data: %s",
+                stats.num_states, stats.states_from_cache,
+                stats.scanned_base_data ? "yes" : "no");
+  }
+  std::printf(")\n");
+}
+
+// Parses "\define name(a, b) := expression".
+bool HandleDefine(SudafSession* session, const std::string& line) {
+  size_t open = line.find('(');
+  size_t close = line.find(')');
+  size_t assign = line.find(":=");
+  if (open == std::string::npos || close == std::string::npos ||
+      assign == std::string::npos || close < open || assign < close) {
+    std::printf("usage: \\define name(x[, y]) := expression\n");
+    return false;
+  }
+  std::string name = line.substr(8, open - 8);
+  name.erase(0, name.find_first_not_of(' '));
+  name.erase(name.find_last_not_of(' ') + 1);
+  std::vector<std::string> params;
+  std::stringstream param_stream(line.substr(open + 1, close - open - 1));
+  std::string param;
+  while (std::getline(param_stream, param, ',')) {
+    param.erase(0, param.find_first_not_of(' '));
+    param.erase(param.find_last_not_of(' ') + 1);
+    if (!param.empty()) params.push_back(param);
+  }
+  std::string body = line.substr(assign + 2);
+  Status st = session->library().Define(name, params, body);
+  if (!st.ok()) {
+    std::printf("error: %s\n", st.ToString().c_str());
+    return false;
+  }
+  std::printf("defined %s (%zu parameter%s)\n", name.c_str(), params.size(),
+              params.size() == 1 ? "" : "s");
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  Catalog catalog;
+  bench::WorkloadOptions options;
+  options.milan_rows = 200000;
+  options.sales_rows = 100000;
+  Status st = bench::SetupWorkloadData(options, &catalog);
+  SUDAF_CHECK_MSG(st.ok(), st.ToString());
+  SudafSession session(&catalog);
+  st = bench::RegisterQuantileUdafs(&session, 10);
+  SUDAF_CHECK_MSG(st.ok(), st.ToString());
+
+  std::printf("SUDAF shell — tables:");
+  for (const std::string& name : catalog.TableNames()) {
+    std::printf(" %s", name.c_str());
+  }
+  std::printf("\nmode: share (\\mode to change, \\quit to exit)\n");
+
+  ExecMode mode = ExecMode::kSudafShare;
+  std::string line;
+  std::string pending;
+  while (true) {
+    std::printf(pending.empty() ? "sudaf> " : "   ... ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    if (line.rfind('\\', 0) == 0) {
+      if (line == "\\quit" || line == "\\q") break;
+      if (line.rfind("\\mode", 0) == 0) {
+        if (line.find("engine") != std::string::npos) {
+          mode = ExecMode::kEngine;
+        } else if (line.find("noshare") != std::string::npos) {
+          mode = ExecMode::kSudafNoShare;
+        } else {
+          mode = ExecMode::kSudafShare;
+        }
+        std::printf("mode set\n");
+      } else if (line.rfind("\\explain", 0) == 0) {
+        auto explain = session.ExplainRewrite(line.substr(8));
+        std::printf("%s\n", explain.ok()
+                                ? explain->c_str()
+                                : explain.status().ToString().c_str());
+      } else if (line.rfind("\\define", 0) == 0) {
+        HandleDefine(&session, line);
+      } else if (line == "\\tables") {
+        for (const std::string& name : catalog.TableNames()) {
+          auto table = catalog.GetTable(name);
+          std::printf("  %s%s  (%lld rows)\n", name.c_str(),
+                      (*table)->schema().ToString().c_str(),
+                      static_cast<long long>((*table)->num_rows()));
+        }
+      } else if (line.rfind("\\import", 0) == 0) {
+        std::stringstream args(line.substr(7));
+        std::string path, name;
+        args >> path >> name;
+        if (path.empty() || name.empty()) {
+          std::printf("usage: \\import <path> <table>\n");
+        } else {
+          auto table = ReadCsvInferSchema(path);
+          if (!table.ok()) {
+            std::printf("error: %s\n", table.status().ToString().c_str());
+          } else {
+            std::printf("loaded %lld rows into %s%s\n",
+                        static_cast<long long>((*table)->num_rows()),
+                        name.c_str(), (*table)->schema().ToString().c_str());
+            catalog.PutTable(name, std::move(*table));
+          }
+        }
+      } else if (line.rfind("\\export", 0) == 0) {
+        std::stringstream args(line.substr(7));
+        std::string name, path;
+        args >> name >> path;
+        auto table = catalog.GetTable(name);
+        if (!table.ok()) {
+          std::printf("error: %s\n", table.status().ToString().c_str());
+        } else {
+          Status wst = WriteCsv(**table, path);
+          std::printf("%s\n", wst.ok() ? "written" : wst.ToString().c_str());
+        }
+      } else if (line == "\\cache") {
+        std::printf("  %lld group sets, %lld state entries, ~%lld bytes\n",
+                    static_cast<long long>(session.cache().num_group_sets()),
+                    static_cast<long long>(session.cache().num_entries()),
+                    static_cast<long long>(session.cache().ApproxBytes()));
+      } else {
+        std::printf("unknown command\n");
+      }
+      continue;
+    }
+    pending += line;
+    pending += ' ';
+    if (line.find(';') == std::string::npos &&
+        !pending.empty() && pending.find_first_not_of(' ') != std::string::npos) {
+      // Accumulate until a semicolon terminates the statement.
+      if (line.find(';') == std::string::npos) continue;
+    }
+    std::string sql = pending;
+    pending.clear();
+    if (sql.find_first_not_of("; \t") == std::string::npos) continue;
+    RunStatement(&session, sql, mode);
+  }
+  return 0;
+}

@@ -1,0 +1,96 @@
+#include "agg/builtin_kernels.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/status.h"
+
+namespace sudaf {
+
+double KernelSum(const std::vector<double>& input) {
+  double acc = 0.0;
+  for (double x : input) acc += x;
+  return acc;
+}
+
+double KernelProd(const std::vector<double>& input) {
+  double acc = 1.0;
+  for (double x : input) acc *= x;
+  return acc;
+}
+
+double KernelMin(const std::vector<double>& input) {
+  double acc = std::numeric_limits<double>::infinity();
+  for (double x : input) acc = std::min(acc, x);
+  return acc;
+}
+
+double KernelMax(const std::vector<double>& input) {
+  double acc = -std::numeric_limits<double>::infinity();
+  for (double x : input) acc = std::max(acc, x);
+  return acc;
+}
+
+double AggIdentity(AggOp op) {
+  switch (op) {
+    case AggOp::kSum:
+    case AggOp::kCount:
+      return 0.0;
+    case AggOp::kProd:
+      return 1.0;
+    case AggOp::kMin:
+      return std::numeric_limits<double>::infinity();
+    case AggOp::kMax:
+      return -std::numeric_limits<double>::infinity();
+  }
+  return 0.0;
+}
+
+double AggMerge(AggOp op, double a, double b) {
+  switch (op) {
+    case AggOp::kSum:
+    case AggOp::kCount:
+      return a + b;
+    case AggOp::kProd:
+      return a * b;
+    case AggOp::kMin:
+      return std::min(a, b);
+    case AggOp::kMax:
+      return std::max(a, b);
+  }
+  return 0.0;
+}
+
+void GroupedAccumulate(AggOp op, const std::vector<double>& input,
+                       const std::vector<int32_t>& group_ids,
+                       std::vector<double>* acc) {
+  const int64_t n = static_cast<int64_t>(group_ids.size());
+  std::vector<double>& a = *acc;
+  switch (op) {
+    case AggOp::kSum:
+      SUDAF_CHECK(input.size() == group_ids.size());
+      for (int64_t i = 0; i < n; ++i) a[group_ids[i]] += input[i];
+      break;
+    case AggOp::kProd:
+      SUDAF_CHECK(input.size() == group_ids.size());
+      for (int64_t i = 0; i < n; ++i) a[group_ids[i]] *= input[i];
+      break;
+    case AggOp::kCount:
+      for (int64_t i = 0; i < n; ++i) a[group_ids[i]] += 1.0;
+      break;
+    case AggOp::kMin:
+      SUDAF_CHECK(input.size() == group_ids.size());
+      for (int64_t i = 0; i < n; ++i) {
+        a[group_ids[i]] = std::min(a[group_ids[i]], input[i]);
+      }
+      break;
+    case AggOp::kMax:
+      SUDAF_CHECK(input.size() == group_ids.size());
+      for (int64_t i = 0; i < n; ++i) {
+        a[group_ids[i]] = std::max(a[group_ids[i]], input[i]);
+      }
+      break;
+  }
+}
+
+}  // namespace sudaf

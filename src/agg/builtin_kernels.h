@@ -1,0 +1,40 @@
+#ifndef SUDAF_AGG_BUILTIN_KERNELS_H_
+#define SUDAF_AGG_BUILTIN_KERNELS_H_
+
+// Vectorized aggregation kernels.
+//
+// These model a query engine's *built-in* aggregates: tight typed loops over
+// unboxed column data. SUDAF's rewrite derives its speedup from routing UDAF
+// computation through these kernels instead of per-row interpreted UDAFs.
+
+#include <cstdint>
+#include <vector>
+
+#include "expr/expr.h"
+
+namespace sudaf {
+
+// Ungrouped reductions over `input`.
+double KernelSum(const std::vector<double>& input);
+double KernelProd(const std::vector<double>& input);
+double KernelMin(const std::vector<double>& input);
+double KernelMax(const std::vector<double>& input);
+
+// Identity element of ⊕ for `op` (0 for sum/count, 1 for prod, ±inf for
+// min/max).
+double AggIdentity(AggOp op);
+
+// Merges two partial accumulator values under ⊕ (the commutative/associative
+// merge that makes an aggregation algebraic).
+double AggMerge(AggOp op, double a, double b);
+
+// Grouped accumulation: for each row i, acc[group_ids[i]] ⊕= input[i].
+// `acc` must be pre-sized to the group count and initialized with
+// AggIdentity(op). For kCount, `input` is ignored and may be empty.
+void GroupedAccumulate(AggOp op, const std::vector<double>& input,
+                       const std::vector<int32_t>& group_ids,
+                       std::vector<double>* acc);
+
+}  // namespace sudaf
+
+#endif  // SUDAF_AGG_BUILTIN_KERNELS_H_

@@ -1,0 +1,334 @@
+#include <cmath>
+#include <functional>
+
+#include "agg/udaf.h"
+
+// Hardcoded (IUME) implementations of the aggregate functions used in the
+// paper's experiments. Each keeps its state as boxed Values and is driven
+// one row at a time — deliberately mirroring how PL/pgSQL and Scala UDAFs
+// execute inside PostgreSQL and Spark SQL.
+
+namespace sudaf {
+namespace {
+
+double D(const Value& v) { return v.AsDouble(); }
+
+// Generic power-sum UDAF: state = (n, Σx, Σx², ..., Σx^k); `finish` maps the
+// state to the final value. Covers most one-column aggregates below.
+class PowerSumUdaf : public Udaf {
+ public:
+  PowerSumUdaf(std::string name, int max_power,
+               std::function<double(const std::vector<double>&)> finish)
+      : name_(std::move(name)),
+        max_power_(max_power),
+        finish_(std::move(finish)) {}
+
+  std::string name() const override { return name_; }
+  int num_args() const override { return 1; }
+
+  std::vector<Value> Initialize() const override {
+    return std::vector<Value>(max_power_ + 1, Value(0.0));
+  }
+
+  void Update(std::vector<Value>* state,
+              const std::vector<Value>& args) const override {
+    double x = D(args[0]);
+    (*state)[0] = Value(D((*state)[0]) + 1.0);
+    double p = 1.0;
+    for (int k = 1; k <= max_power_; ++k) {
+      p *= x;
+      (*state)[k] = Value(D((*state)[k]) + p);
+    }
+  }
+
+  void Merge(std::vector<Value>* state,
+             const std::vector<Value>& other) const override {
+    for (int k = 0; k <= max_power_; ++k) {
+      (*state)[k] = Value(D((*state)[k]) + D(other[k]));
+    }
+  }
+
+  Result<Value> Evaluate(const std::vector<Value>& state) const override {
+    std::vector<double> s(state.size());
+    for (size_t i = 0; i < state.size(); ++i) s[i] = D(state[i]);
+    return Value(finish_(s));
+  }
+
+ private:
+  std::string name_;
+  int max_power_;
+  std::function<double(const std::vector<double>&)> finish_;
+};
+
+// Power mean with arbitrary (possibly negative / fractional) exponent p:
+// state = (n, Σ x^p).
+class PowerMeanUdaf : public Udaf {
+ public:
+  PowerMeanUdaf(std::string name, double p) : name_(std::move(name)), p_(p) {}
+
+  std::string name() const override { return name_; }
+  int num_args() const override { return 1; }
+
+  std::vector<Value> Initialize() const override {
+    return {Value(0.0), Value(0.0)};
+  }
+
+  void Update(std::vector<Value>* state,
+              const std::vector<Value>& args) const override {
+    (*state)[0] = Value(D((*state)[0]) + 1.0);
+    (*state)[1] = Value(D((*state)[1]) + std::pow(D(args[0]), p_));
+  }
+
+  void Merge(std::vector<Value>* state,
+             const std::vector<Value>& other) const override {
+    (*state)[0] = Value(D((*state)[0]) + D(other[0]));
+    (*state)[1] = Value(D((*state)[1]) + D(other[1]));
+  }
+
+  Result<Value> Evaluate(const std::vector<Value>& state) const override {
+    double n = D(state[0]);
+    return Value(std::pow(D(state[1]) / n, 1.0 / p_));
+  }
+
+ private:
+  std::string name_;
+  double p_;
+};
+
+// Geometric mean via (Σ ln|x|, Π sgn(x), n).
+class GeometricMeanUdaf : public Udaf {
+ public:
+  std::string name() const override { return "gm"; }
+  int num_args() const override { return 1; }
+
+  std::vector<Value> Initialize() const override {
+    return {Value(0.0), Value(1.0), Value(0.0)};
+  }
+
+  void Update(std::vector<Value>* state,
+              const std::vector<Value>& args) const override {
+    double x = D(args[0]);
+    (*state)[0] = Value(D((*state)[0]) + std::log(std::fabs(x)));
+    (*state)[1] = Value(D((*state)[1]) * (x > 0 ? 1.0 : (x < 0 ? -1.0 : 0.0)));
+    (*state)[2] = Value(D((*state)[2]) + 1.0);
+  }
+
+  void Merge(std::vector<Value>* state,
+             const std::vector<Value>& other) const override {
+    (*state)[0] = Value(D((*state)[0]) + D(other[0]));
+    (*state)[1] = Value(D((*state)[1]) * D(other[1]));
+    (*state)[2] = Value(D((*state)[2]) + D(other[2]));
+  }
+
+  Result<Value> Evaluate(const std::vector<Value>& state) const override {
+    double n = D(state[2]);
+    return Value(D(state[1]) * std::exp(D(state[0]) / n));
+  }
+};
+
+// Simple linear-regression slope over (X, Y) — the motivating example.
+class Theta1Udaf : public Udaf {
+ public:
+  std::string name() const override { return "theta1"; }
+  int num_args() const override { return 2; }
+
+  std::vector<Value> Initialize() const override {
+    // (n, Σx, Σx², Σy, Σxy)
+    return std::vector<Value>(5, Value(0.0));
+  }
+
+  void Update(std::vector<Value>* state,
+              const std::vector<Value>& args) const override {
+    double x = D(args[0]);
+    double y = D(args[1]);
+    (*state)[0] = Value(D((*state)[0]) + 1.0);
+    (*state)[1] = Value(D((*state)[1]) + x);
+    (*state)[2] = Value(D((*state)[2]) + x * x);
+    (*state)[3] = Value(D((*state)[3]) + y);
+    (*state)[4] = Value(D((*state)[4]) + x * y);
+  }
+
+  void Merge(std::vector<Value>* state,
+             const std::vector<Value>& other) const override {
+    for (int i = 0; i < 5; ++i) {
+      (*state)[i] = Value(D((*state)[i]) + D(other[i]));
+    }
+  }
+
+  Result<Value> Evaluate(const std::vector<Value>& state) const override {
+    double n = D(state[0]), sx = D(state[1]), sxx = D(state[2]);
+    double sy = D(state[3]), sxy = D(state[4]);
+    return Value((n * sxy - sy * sx) / (n * sxx - sx * sx));
+  }
+};
+
+// Covariance / correlation over (X, Y).
+class BivariateUdaf : public Udaf {
+ public:
+  explicit BivariateUdaf(bool correlation) : correlation_(correlation) {}
+
+  std::string name() const override { return correlation_ ? "corr" : "covar"; }
+  int num_args() const override { return 2; }
+
+  std::vector<Value> Initialize() const override {
+    // (n, Σx, Σx², Σy, Σy², Σxy)
+    return std::vector<Value>(6, Value(0.0));
+  }
+
+  void Update(std::vector<Value>* state,
+              const std::vector<Value>& args) const override {
+    double x = D(args[0]);
+    double y = D(args[1]);
+    (*state)[0] = Value(D((*state)[0]) + 1.0);
+    (*state)[1] = Value(D((*state)[1]) + x);
+    (*state)[2] = Value(D((*state)[2]) + x * x);
+    (*state)[3] = Value(D((*state)[3]) + y);
+    (*state)[4] = Value(D((*state)[4]) + y * y);
+    (*state)[5] = Value(D((*state)[5]) + x * y);
+  }
+
+  void Merge(std::vector<Value>* state,
+             const std::vector<Value>& other) const override {
+    for (int i = 0; i < 6; ++i) {
+      (*state)[i] = Value(D((*state)[i]) + D(other[i]));
+    }
+  }
+
+  Result<Value> Evaluate(const std::vector<Value>& state) const override {
+    double n = D(state[0]), sx = D(state[1]), sxx = D(state[2]);
+    double sy = D(state[3]), syy = D(state[4]), sxy = D(state[5]);
+    double cov = sxy / n - (sx / n) * (sy / n);
+    if (!correlation_) return Value(cov);
+    double vx = sxx / n - (sx / n) * (sx / n);
+    double vy = syy / n - (sy / n) * (sy / n);
+    return Value(cov / std::sqrt(vx * vy));
+  }
+
+ private:
+  bool correlation_;
+};
+
+// min / max / logsumexp keep a single boxed accumulator.
+class ExtremeUdaf : public Udaf {
+ public:
+  explicit ExtremeUdaf(bool is_max) : is_max_(is_max) {}
+
+  std::string name() const override { return is_max_ ? "max" : "min"; }
+  int num_args() const override { return 1; }
+
+  std::vector<Value> Initialize() const override {
+    double init = is_max_ ? -HUGE_VAL : HUGE_VAL;
+    return {Value(init)};
+  }
+
+  void Update(std::vector<Value>* state,
+              const std::vector<Value>& args) const override {
+    double x = D(args[0]);
+    double cur = D((*state)[0]);
+    (*state)[0] = Value(is_max_ ? std::max(cur, x) : std::min(cur, x));
+  }
+
+  void Merge(std::vector<Value>* state,
+             const std::vector<Value>& other) const override {
+    double a = D((*state)[0]);
+    double b = D(other[0]);
+    (*state)[0] = Value(is_max_ ? std::max(a, b) : std::min(a, b));
+  }
+
+  Result<Value> Evaluate(const std::vector<Value>& state) const override {
+    return state[0];
+  }
+
+ private:
+  bool is_max_;
+};
+
+class LogSumExpUdaf : public Udaf {
+ public:
+  std::string name() const override { return "logsumexp"; }
+  int num_args() const override { return 1; }
+
+  std::vector<Value> Initialize() const override { return {Value(0.0)}; }
+
+  void Update(std::vector<Value>* state,
+              const std::vector<Value>& args) const override {
+    (*state)[0] = Value(D((*state)[0]) + std::exp(D(args[0])));
+  }
+
+  void Merge(std::vector<Value>* state,
+             const std::vector<Value>& other) const override {
+    (*state)[0] = Value(D((*state)[0]) + D(other[0]));
+  }
+
+  Result<Value> Evaluate(const std::vector<Value>& state) const override {
+    return Value(std::log(D(state[0])));
+  }
+};
+
+}  // namespace
+
+void RegisterHardcodedUdafs(UdafRegistry* registry) {
+  auto add = [registry](std::unique_ptr<Udaf> u) {
+    Status st = registry->Register(std::move(u));
+    SUDAF_CHECK_MSG(st.ok(), st.ToString());
+  };
+
+  // SQL-standard aggregates, IUME-style (used by the ablation bench; the
+  // engine normally runs these through vectorized kernels).
+  add(std::make_unique<PowerSumUdaf>(
+      "sum", 1, [](const std::vector<double>& s) { return s[1]; }));
+  add(std::make_unique<PowerSumUdaf>(
+      "count", 0, [](const std::vector<double>& s) { return s[0]; }));
+  add(std::make_unique<PowerSumUdaf>(
+      "avg", 1, [](const std::vector<double>& s) { return s[1] / s[0]; }));
+  add(std::make_unique<PowerSumUdaf>(
+      "var", 2, [](const std::vector<double>& s) {
+        double m = s[1] / s[0];
+        return s[2] / s[0] - m * m;
+      }));
+  add(std::make_unique<PowerSumUdaf>(
+      "stddev", 2, [](const std::vector<double>& s) {
+        double m = s[1] / s[0];
+        return std::sqrt(s[2] / s[0] - m * m);
+      }));
+  add(std::make_unique<ExtremeUdaf>(false));
+  add(std::make_unique<ExtremeUdaf>(true));
+
+  // The four means used throughout Section 6 (these are the ones created in
+  // PL/pgSQL / Scala in the paper) plus apm (power mean with p = 4).
+  add(std::make_unique<PowerSumUdaf>(
+      "qm", 2, [](const std::vector<double>& s) {
+        return std::sqrt(s[2] / s[0]);
+      }));
+  add(std::make_unique<PowerSumUdaf>(
+      "cm", 3, [](const std::vector<double>& s) {
+        return std::cbrt(s[3] / s[0]);
+      }));
+  add(std::make_unique<GeometricMeanUdaf>());
+  add(std::make_unique<PowerMeanUdaf>("hm", -1.0));
+  add(std::make_unique<PowerMeanUdaf>("apm", 4.0));
+
+  // Higher standardized moments (Figure 10 workload).
+  add(std::make_unique<PowerSumUdaf>(
+      "skewness", 3, [](const std::vector<double>& s) {
+        double n = s[0], m = s[1] / n;
+        double var = s[2] / n - m * m;
+        double m3 = s[3] / n - 3 * m * s[2] / n + 2 * m * m * m;
+        return m3 / std::pow(var, 1.5);
+      }));
+  add(std::make_unique<PowerSumUdaf>(
+      "kurtosis", 4, [](const std::vector<double>& s) {
+        double n = s[0], m = s[1] / n;
+        double var = s[2] / n - m * m;
+        double m4 = s[4] / n - 4 * m * s[3] / n + 6 * m * m * s[2] / n -
+                    3 * m * m * m * m;
+        return m4 / (var * var);
+      }));
+
+  add(std::make_unique<Theta1Udaf>());
+  add(std::make_unique<BivariateUdaf>(/*correlation=*/false));
+  add(std::make_unique<BivariateUdaf>(/*correlation=*/true));
+  add(std::make_unique<LogSumExpUdaf>());
+}
+
+}  // namespace sudaf

@@ -1,0 +1,193 @@
+#include "agg/interpreted_udaf.h"
+
+#include "expr/evaluator.h"
+#include "expr/parser.h"
+
+namespace sudaf {
+
+namespace {
+
+class InterpretedUdaf : public Udaf {
+ public:
+  InterpretedUdaf(InterpretedUdafSpec spec, std::vector<ExprPtr> updates,
+                  std::vector<ExprPtr> merges, ExprPtr evaluate)
+      : spec_(std::move(spec)),
+        updates_(std::move(updates)),
+        merges_(std::move(merges)),
+        evaluate_(std::move(evaluate)) {}
+
+  std::string name() const override { return spec_.name; }
+  int num_args() const override { return spec_.num_args; }
+
+  std::vector<Value> Initialize() const override {
+    std::vector<Value> state;
+    state.reserve(spec_.state_vars.size());
+    for (const StateVarSpec& var : spec_.state_vars) {
+      state.push_back(Value(var.init));
+    }
+    return state;
+  }
+
+  void Update(std::vector<Value>* state,
+              const std::vector<Value>& args) const override {
+    // Interpreted per-row evaluation over boxed values — the PL/pgSQL
+    // execution shape this class exists to model.
+    RowAccessor env = [this, state, &args](const std::string& name,
+                                           int64_t) -> Result<Value> {
+      if (name == "x") return args[0];
+      if (name == "y" && args.size() > 1) return args[1];
+      for (size_t i = 0; i < spec_.state_vars.size(); ++i) {
+        if (spec_.state_vars[i].name == name) return (*state)[i];
+      }
+      return Status::NotFound("unbound variable " + name);
+    };
+    std::vector<Value> next(state->size());
+    for (size_t i = 0; i < updates_.size(); ++i) {
+      auto v = EvalRow(*updates_[i], env, 0);
+      SUDAF_CHECK_MSG(v.ok(), v.status().ToString());
+      next[i] = std::move(*v);
+    }
+    *state = std::move(next);
+  }
+
+  void Merge(std::vector<Value>* state,
+             const std::vector<Value>& other) const override {
+    RowAccessor env = [this, state, &other](const std::string& name,
+                                            int64_t) -> Result<Value> {
+      constexpr const char* kOtherPrefix = "other_";
+      if (name.rfind(kOtherPrefix, 0) == 0) {
+        std::string base = name.substr(6);
+        for (size_t i = 0; i < spec_.state_vars.size(); ++i) {
+          if (spec_.state_vars[i].name == base) return other[i];
+        }
+      }
+      for (size_t i = 0; i < spec_.state_vars.size(); ++i) {
+        if (spec_.state_vars[i].name == name) return (*state)[i];
+      }
+      return Status::NotFound("unbound variable " + name);
+    };
+    std::vector<Value> next(state->size());
+    for (size_t i = 0; i < merges_.size(); ++i) {
+      auto v = EvalRow(*merges_[i], env, 0);
+      SUDAF_CHECK_MSG(v.ok(), v.status().ToString());
+      next[i] = std::move(*v);
+    }
+    *state = std::move(next);
+  }
+
+  Result<Value> Evaluate(const std::vector<Value>& state) const override {
+    RowAccessor env = [this, &state](const std::string& name,
+                                     int64_t) -> Result<Value> {
+      for (size_t i = 0; i < spec_.state_vars.size(); ++i) {
+        if (spec_.state_vars[i].name == name) return state[i];
+      }
+      return Status::NotFound("unbound variable " + name);
+    };
+    return EvalRow(*evaluate_, env, 0);
+  }
+
+ private:
+  InterpretedUdafSpec spec_;
+  std::vector<ExprPtr> updates_;
+  std::vector<ExprPtr> merges_;
+  ExprPtr evaluate_;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<Udaf>> CreateInterpretedUdaf(
+    const InterpretedUdafSpec& spec) {
+  if (spec.state_vars.empty()) {
+    return Status::InvalidArgument("UDAF " + spec.name +
+                                   " declares no state variables");
+  }
+  if (spec.num_args < 1 || spec.num_args > 2) {
+    return Status::InvalidArgument("UDAFs take 1 or 2 arguments");
+  }
+  std::vector<ExprPtr> updates;
+  std::vector<ExprPtr> merges;
+  for (const StateVarSpec& var : spec.state_vars) {
+    SUDAF_ASSIGN_OR_RETURN(ExprPtr update, ParseExpression(var.update));
+    if (update->ContainsAggregate()) {
+      return Status::InvalidArgument(
+          "update expressions are scalar, per-row: " + var.update);
+    }
+    updates.push_back(std::move(update));
+    std::string merge = var.merge.empty()
+                            ? var.name + " + other_" + var.name
+                            : var.merge;
+    SUDAF_ASSIGN_OR_RETURN(ExprPtr merged, ParseExpression(merge));
+    merges.push_back(std::move(merged));
+  }
+  SUDAF_ASSIGN_OR_RETURN(ExprPtr evaluate, ParseExpression(spec.evaluate));
+  return std::unique_ptr<Udaf>(
+      new InterpretedUdaf(spec, std::move(updates), std::move(merges),
+                          std::move(evaluate)));
+}
+
+void RegisterInterpretedUdafs(UdafRegistry* registry) {
+  auto add = [registry](InterpretedUdafSpec spec) {
+    auto udaf = CreateInterpretedUdaf(spec);
+    SUDAF_CHECK_MSG(udaf.ok(), udaf.status().ToString());
+    Status st = registry->Register(std::move(*udaf));
+    SUDAF_CHECK_MSG(st.ok(), st.ToString());
+  };
+
+  add({"qm", 1,
+       {{"n", 0.0, "n + 1", ""}, {"s", 0.0, "s + x^2", ""}},
+       "(s/n)^0.5"});
+  add({"cm", 1,
+       {{"n", 0.0, "n + 1", ""}, {"s", 0.0, "s + x^3", ""}},
+       "(s/n)^(1/3)"});
+  add({"apm", 1,
+       {{"n", 0.0, "n + 1", ""}, {"s", 0.0, "s + x^4", ""}},
+       "(s/n)^(1/4)"});
+  add({"hm", 1,
+       {{"n", 0.0, "n + 1", ""}, {"s", 0.0, "s + x^-1", ""}},
+       "(s/n)^(-1)"});
+  add({"gm", 1,
+       {{"n", 0.0, "n + 1", ""},
+        {"l", 0.0, "l + ln(abs(x))", ""},
+        {"sg", 1.0, "sg * sgn(x)", "sg * other_sg"}},
+       "sg * exp(l/n)"});
+  add({"skewness", 1,
+       {{"n", 0.0, "n + 1", ""},
+        {"s1", 0.0, "s1 + x", ""},
+        {"s2", 0.0, "s2 + x^2", ""},
+        {"s3", 0.0, "s3 + x^3", ""}},
+       "(s3/n - 3*(s1/n)*(s2/n) + 2*(s1/n)^3)"
+       " / (s2/n - (s1/n)^2)^1.5"});
+  add({"kurtosis", 1,
+       {{"n", 0.0, "n + 1", ""},
+        {"s1", 0.0, "s1 + x", ""},
+        {"s2", 0.0, "s2 + x^2", ""},
+        {"s3", 0.0, "s3 + x^3", ""},
+        {"s4", 0.0, "s4 + x^4", ""}},
+       "(s4/n - 4*(s1/n)*(s3/n) + 6*(s1/n)^2*(s2/n) - 3*(s1/n)^4)"
+       " / (s2/n - (s1/n)^2)^2"});
+  add({"theta1", 2,
+       {{"n", 0.0, "n + 1", ""},
+        {"sx", 0.0, "sx + x", ""},
+        {"sxx", 0.0, "sxx + x^2", ""},
+        {"sy", 0.0, "sy + y", ""},
+        {"sxy", 0.0, "sxy + x*y", ""}},
+       "(n*sxy - sy*sx) / (n*sxx - sx^2)"});
+  add({"covar", 2,
+       {{"n", 0.0, "n + 1", ""},
+        {"sx", 0.0, "sx + x", ""},
+        {"sy", 0.0, "sy + y", ""},
+        {"sxy", 0.0, "sxy + x*y", ""}},
+       "sxy/n - (sx/n)*(sy/n)"});
+  add({"corr", 2,
+       {{"n", 0.0, "n + 1", ""},
+        {"sx", 0.0, "sx + x", ""},
+        {"sxx", 0.0, "sxx + x^2", ""},
+        {"sy", 0.0, "sy + y", ""},
+        {"syy", 0.0, "syy + y^2", ""},
+        {"sxy", 0.0, "sxy + x*y", ""}},
+       "(n*sxy - sx*sy)"
+       " / (sqrt(n*sxx - sx^2) * sqrt(n*syy - sy^2))"});
+  add({"logsumexp", 1, {{"s", 0.0, "s + exp(x)", ""}}, "ln(s)"});
+}
+
+}  // namespace sudaf

@@ -1,0 +1,55 @@
+#ifndef SUDAF_AGG_INTERPRETED_UDAF_H_
+#define SUDAF_AGG_INTERPRETED_UDAF_H_
+
+// Interpreted UDAFs: the PL/pgSQL / scripting-language execution model.
+//
+// In PostgreSQL, a UDAF written in PL/pgSQL runs an *interpreted* statement
+// per input row; in Spark SQL, a Scala `UserDefinedAggregateFunction` boxes
+// every value into a GenericRow. `InterpretedUdaf` reproduces that shape: a
+// user supplies named state variables with initializers and one update
+// expression per state variable; each Update() evaluates those expressions
+// through the expression interpreter over boxed values. This is the
+// engine-native baseline for the paper's experiments (compiled IUME
+// implementations live in hardcoded_udafs.cc and are used by the ablation
+// benchmarks).
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "agg/udaf.h"
+#include "expr/expr.h"
+
+namespace sudaf {
+
+struct StateVarSpec {
+  std::string name;
+  double init = 0.0;
+  // Expression over the state variable names and the input columns
+  // ("x", and "y" for two-argument UDAFs), e.g. "s + x^2".
+  std::string update;
+  // Expression over the state variable names and "other_<name>" bindings,
+  // e.g. "s + other_s". Empty defaults to addition of self and other.
+  std::string merge;
+};
+
+struct InterpretedUdafSpec {
+  std::string name;
+  int num_args = 1;  // 1 or 2
+  std::vector<StateVarSpec> state_vars;
+  // Final expression over the state variable names, e.g. "(s/n)^0.5".
+  std::string evaluate;
+};
+
+// Parses and validates `spec` into a UDAF.
+Result<std::unique_ptr<Udaf>> CreateInterpretedUdaf(
+    const InterpretedUdafSpec& spec);
+
+// Registers interpreted implementations of the experiment aggregates — qm,
+// cm, apm, hm, gm, skewness, kurtosis, theta1, covar, corr, logsumexp —
+// mirroring the PL/pgSQL UDAFs of the paper's PostgreSQL setup.
+void RegisterInterpretedUdafs(UdafRegistry* registry);
+
+}  // namespace sudaf
+
+#endif  // SUDAF_AGG_INTERPRETED_UDAF_H_

@@ -1,0 +1,31 @@
+#include "agg/udaf.h"
+
+namespace sudaf {
+
+Status UdafRegistry::Register(std::unique_ptr<Udaf> udaf) {
+  std::string name = udaf->name();
+  if (udafs_.count(name) > 0) {
+    return Status::AlreadyExists("UDAF already registered: " + name);
+  }
+  udafs_.emplace(std::move(name), std::move(udaf));
+  return Status::OK();
+}
+
+bool UdafRegistry::Has(const std::string& name) const {
+  return udafs_.count(name) > 0;
+}
+
+Result<const Udaf*> UdafRegistry::Get(const std::string& name) const {
+  auto it = udafs_.find(name);
+  if (it == udafs_.end()) return Status::NotFound("no UDAF named " + name);
+  return it->second.get();
+}
+
+std::vector<std::string> UdafRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(udafs_.size());
+  for (const auto& [name, _] : udafs_) names.push_back(name);
+  return names;
+}
+
+}  // namespace sudaf

@@ -1,0 +1,56 @@
+#ifndef SUDAF_COMMON_RNG_H_
+#define SUDAF_COMMON_RNG_H_
+
+// Small deterministic PRNG (SplitMix64) used by the synthetic data
+// generators and property tests. Deterministic across platforms, unlike
+// <random> distributions.
+
+#include <cmath>
+#include <cstdint>
+
+namespace sudaf {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+
+  uint64_t NextUint64() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform in [0, n).
+  uint64_t NextBelow(uint64_t n) { return NextUint64() % n; }
+
+  // Uniform in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+  }
+
+  // Uniform in [lo, hi).
+  double NextDoubleIn(double lo, double hi) {
+    return lo + (hi - lo) * NextDouble();
+  }
+
+  // Approximately standard normal (sum of 12 uniforms, re-centered).
+  double NextGaussian() {
+    double s = 0.0;
+    for (int i = 0; i < 12; ++i) s += NextDouble();
+    return s - 6.0;
+  }
+
+  // Heavy-tailed positive value: exp(mu + sigma * N(0,1)).
+  double NextLogNormal(double mu, double sigma) {
+    double g = NextGaussian();
+    return std::exp(mu + sigma * g);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace sudaf
+
+#endif  // SUDAF_COMMON_RNG_H_

@@ -1,0 +1,148 @@
+#ifndef SUDAF_COMMON_STATUS_H_
+#define SUDAF_COMMON_STATUS_H_
+
+// Error-handling primitives for the SUDAF library.
+//
+// The public API of this library never throws; fallible operations return
+// `Status` (procedures) or `Result<T>` (functions). This follows the
+// Arrow/RocksDB idiom for database libraries.
+
+#include <cstdlib>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace sudaf {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kUnimplemented,
+  kInternal,
+  kParseError,
+  kTypeError,
+};
+
+// Returns a short human-readable name for `code` ("OK", "ParseError", ...).
+const char* StatusCodeName(StatusCode code);
+
+// A success-or-error value. Cheap to copy in the OK case.
+class Status {
+ public:
+  Status() = default;  // OK.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status TypeError(std::string msg) {
+    return Status(StatusCode::kTypeError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+// Holds either a value of type T or an error Status.
+template <typename T>
+class Result {
+ public:
+  // Implicit construction from values and from error statuses keeps call
+  // sites readable (`return 42;`, `return Status::NotFound(...)`).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  T& value() & { return *value_; }
+  const T& value() const& { return *value_; }
+  T&& value() && { return std::move(*value_); }
+
+  T& operator*() & { return *value_; }
+  const T& operator*() const& { return *value_; }
+  T&& operator*() && { return std::move(*value_); }
+  T* operator->() { return &*value_; }
+  const T* operator->() const { return &*value_; }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+namespace internal {
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr,
+                              const std::string& extra);
+}  // namespace internal
+
+}  // namespace sudaf
+
+// Aborts the process when `expr` is false. Used for programming-error
+// invariants, never for data-dependent failures (those return Status).
+#define SUDAF_CHECK(expr)                                            \
+  do {                                                               \
+    if (!(expr)) {                                                   \
+      ::sudaf::internal::CheckFailed(__FILE__, __LINE__, #expr, ""); \
+    }                                                                \
+  } while (false)
+
+#define SUDAF_CHECK_MSG(expr, msg)                                      \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      ::sudaf::internal::CheckFailed(__FILE__, __LINE__, #expr, (msg)); \
+    }                                                                   \
+  } while (false)
+
+// Propagates a non-OK Status to the caller.
+#define SUDAF_RETURN_IF_ERROR(expr)          \
+  do {                                       \
+    ::sudaf::Status _st = (expr);            \
+    if (!_st.ok()) return _st;               \
+  } while (false)
+
+#define SUDAF_CONCAT_IMPL(a, b) a##b
+#define SUDAF_CONCAT(a, b) SUDAF_CONCAT_IMPL(a, b)
+
+// Evaluates `rexpr` (a Result<T>); on error returns the Status, otherwise
+// moves the value into `lhs` (which may be a declaration).
+#define SUDAF_ASSIGN_OR_RETURN(lhs, rexpr)                        \
+  SUDAF_ASSIGN_OR_RETURN_IMPL(SUDAF_CONCAT(_res_, __LINE__), lhs, \
+                              rexpr)
+#define SUDAF_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).value();
+
+#endif  // SUDAF_COMMON_STATUS_H_

@@ -1,0 +1,33 @@
+#ifndef SUDAF_COMMON_TIMER_H_
+#define SUDAF_COMMON_TIMER_H_
+
+// Wall-clock helpers for benchmarks and execution statistics.
+
+#include <chrono>
+
+namespace sudaf {
+
+// Monotonic wall-clock time in milliseconds (arbitrary epoch).
+inline double NowMs() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Scoped stopwatch accumulating into a double (milliseconds).
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(double* acc) : acc_(acc), start_(NowMs()) {}
+  ~ScopedTimer() { *acc_ += NowMs() - start_; }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  double* acc_;
+  double start_;
+};
+
+}  // namespace sudaf
+
+#endif  // SUDAF_COMMON_TIMER_H_

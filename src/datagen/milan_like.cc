@@ -1,0 +1,35 @@
+#include "datagen/milan_like.h"
+
+#include "common/rng.h"
+
+namespace sudaf {
+
+std::unique_ptr<Table> GenerateMilanData(const MilanOptions& options) {
+  Schema schema;
+  SUDAF_CHECK(schema.AddField({"square_id", DataType::kInt64}).ok());
+  SUDAF_CHECK(schema.AddField({"time_interval", DataType::kInt64}).ok());
+  SUDAF_CHECK(schema.AddField({"internet_traffic", DataType::kFloat64}).ok());
+
+  auto table = std::make_unique<Table>(std::move(schema));
+  table->Reserve(options.num_rows);
+  Rng rng(options.seed);
+
+  Column& squares = table->column(0);
+  Column& intervals = table->column(1);
+  Column& traffic = table->column(2);
+  for (int64_t i = 0; i < options.num_rows; ++i) {
+    // Popular cells (city center) receive more rows: square-law skew.
+    double u = rng.NextDouble();
+    int64_t square =
+        static_cast<int64_t>(u * u * options.num_squares) % options.num_squares;
+    squares.AppendInt64(square + 1);
+    intervals.AppendInt64(
+        static_cast<int64_t>(rng.NextBelow(options.num_intervals)));
+    // Heavy-tailed, strictly positive traffic volume (MB per interval).
+    traffic.AppendFloat64(rng.NextLogNormal(/*mu=*/3.0, /*sigma=*/1.0));
+  }
+  table->FinishBulkAppend();
+  return table;
+}
+
+}  // namespace sudaf

@@ -1,0 +1,33 @@
+#ifndef SUDAF_DATAGEN_MILAN_LIKE_H_
+#define SUDAF_DATAGEN_MILAN_LIKE_H_
+
+// Synthetic stand-in for the Milan telecom dataset [Telecom Italia 2015]
+// used by query models 1 and 2 of the paper's evaluation.
+//
+// The real dataset (SMS/call/internet records over a 100x100 grid of Milan)
+// is not redistributable here; this generator reproduces the properties the
+// experiments rely on: a large fact table `milan_data` with a grid-cell key
+// `square_id`, a time key, and a strictly positive heavy-tailed
+// `internet_traffic` measure (log-normal), deterministic under a fixed seed.
+
+#include <cstdint>
+#include <memory>
+
+#include "storage/table.h"
+
+namespace sudaf {
+
+struct MilanOptions {
+  int64_t num_rows = 500'000;
+  int num_squares = 10'000;   // 100 x 100 grid
+  int num_intervals = 1'440;  // 10-minute slots over 10 days
+  uint64_t seed = 0x5eed0001;
+};
+
+// Builds milan_data(square_id INT64, time_interval INT64,
+//                   internet_traffic FLOAT64).
+std::unique_ptr<Table> GenerateMilanData(const MilanOptions& options);
+
+}  // namespace sudaf
+
+#endif  // SUDAF_DATAGEN_MILAN_LIKE_H_

@@ -1,0 +1,153 @@
+#include "datagen/tpcds_like.h"
+
+#include <algorithm>
+#include <string>
+
+#include "common/rng.h"
+
+namespace sudaf {
+
+namespace {
+
+Schema MakeSchema(std::vector<Field> fields) {
+  Schema schema;
+  for (Field& f : fields) {
+    SUDAF_CHECK(schema.AddField(std::move(f)).ok());
+  }
+  return schema;
+}
+
+const char* kStates[] = {"TN", "CA", "TX", "NY", "GA",
+                         "OH", "WA", "IL", "NC", "FL"};
+const char* kCategories[] = {"Sports", "Books",    "Music", "Home",
+                             "Shoes",  "Children", "Men",   "Women",
+                             "Jewelry", "Electronics"};
+const char* kGenders[] = {"M", "F"};
+const char* kMarital[] = {"S", "M", "D", "W", "U"};
+const char* kEducation[] = {"College",          "High School",
+                            "Primary",          "2 yr Degree",
+                            "4 yr Degree",      "Advanced Degree",
+                            "Unknown"};
+
+std::string ItemId(int i) {
+  // TPC-DS style 16-char business key, zero padded.
+  std::string digits = std::to_string(i);
+  std::string out = "AAAAAAAA";
+  out += std::string(8 - std::min<size_t>(8, digits.size()), '0');
+  out += digits.substr(0, 8);
+  return out;
+}
+
+}  // namespace
+
+Status GenerateTpcdsData(const TpcdsOptions& options, Catalog* catalog) {
+  Rng rng(options.seed);
+
+  // --- store ---------------------------------------------------------------
+  auto store = std::make_unique<Table>(
+      MakeSchema({{"s_store_sk", DataType::kInt64},
+                  {"s_state", DataType::kString}}));
+  for (int i = 0; i < options.num_stores; ++i) {
+    store->column(0).AppendInt64(i + 1);
+    store->column(1).AppendString(kStates[i % 10]);
+  }
+  store->FinishBulkAppend();
+
+  // --- date_dim ------------------------------------------------------------
+  auto date_dim = std::make_unique<Table>(
+      MakeSchema({{"d_date_sk", DataType::kInt64},
+                  {"d_year", DataType::kInt64}}));
+  for (int i = 0; i < options.num_dates; ++i) {
+    date_dim->column(0).AppendInt64(i + 1);
+    date_dim->column(1).AppendInt64(1998 + i / 366);
+  }
+  date_dim->FinishBulkAppend();
+
+  // --- item ----------------------------------------------------------------
+  auto item = std::make_unique<Table>(
+      MakeSchema({{"i_item_sk", DataType::kInt64},
+                  {"i_item_id", DataType::kString},
+                  {"i_category", DataType::kString}}));
+  for (int i = 0; i < options.num_items; ++i) {
+    item->column(0).AppendInt64(i + 1);
+    item->column(1).AppendString(ItemId(i + 1));
+    item->column(2).AppendString(kCategories[i % 10]);
+  }
+  item->FinishBulkAppend();
+
+  // --- customer_demographics ------------------------------------------------
+  auto demos = std::make_unique<Table>(
+      MakeSchema({{"cd_demo_sk", DataType::kInt64},
+                  {"cd_gender", DataType::kString},
+                  {"cd_marital_status", DataType::kString},
+                  {"cd_education_status", DataType::kString}}));
+  for (int i = 0; i < options.num_demos; ++i) {
+    demos->column(0).AppendInt64(i + 1);
+    demos->column(1).AppendString(kGenders[i % 2]);
+    demos->column(2).AppendString(kMarital[(i / 2) % 5]);
+    demos->column(3).AppendString(kEducation[(i / 10) % 7]);
+  }
+  demos->FinishBulkAppend();
+
+  // --- promotion -------------------------------------------------------------
+  auto promotion = std::make_unique<Table>(
+      MakeSchema({{"p_promo_sk", DataType::kInt64},
+                  {"p_channel_email", DataType::kString},
+                  {"p_channel_event", DataType::kString}}));
+  for (int i = 0; i < options.num_promos; ++i) {
+    promotion->column(0).AppendInt64(i + 1);
+    promotion->column(1).AppendString(i % 10 == 0 ? "Y" : "N");
+    promotion->column(2).AppendString(i % 7 == 0 ? "Y" : "N");
+  }
+  promotion->FinishBulkAppend();
+
+  // --- store_sales (fact) -----------------------------------------------------
+  auto sales = std::make_unique<Table>(
+      MakeSchema({{"ss_sold_date_sk", DataType::kInt64},
+                  {"ss_item_sk", DataType::kInt64},
+                  {"ss_store_sk", DataType::kInt64},
+                  {"ss_cdemo_sk", DataType::kInt64},
+                  {"ss_promo_sk", DataType::kInt64},
+                  {"ss_quantity", DataType::kFloat64},
+                  {"ss_list_price", DataType::kFloat64},
+                  {"ss_sales_price", DataType::kFloat64},
+                  {"ss_coupon_amt", DataType::kFloat64}}));
+  sales->Reserve(options.num_sales);
+  for (int64_t i = 0; i < options.num_sales; ++i) {
+    sales->column(0).AppendInt64(
+        1 + static_cast<int64_t>(rng.NextBelow(options.num_dates)));
+    // Popular items sell more (square-law skew, like dsdgen's comparability
+    // groups).
+    double u = rng.NextDouble();
+    int64_t item_sk =
+        1 + static_cast<int64_t>(u * u * options.num_items) % options.num_items;
+    sales->column(1).AppendInt64(item_sk);
+    sales->column(2).AppendInt64(
+        1 + static_cast<int64_t>(rng.NextBelow(options.num_stores)));
+    sales->column(3).AppendInt64(
+        1 + static_cast<int64_t>(rng.NextBelow(options.num_demos)));
+    sales->column(4).AppendInt64(
+        1 + static_cast<int64_t>(rng.NextBelow(options.num_promos)));
+    sales->column(5).AppendFloat64(
+        1.0 + static_cast<double>(rng.NextBelow(100)));
+    double list_price = 1.0 + 199.0 * rng.NextDouble();
+    // Per-item discount level plus noise: sales ≈ 0.8·list + ε.
+    double sales_price =
+        std::max(0.01, 0.8 * list_price + 4.0 * rng.NextGaussian());
+    sales->column(6).AppendFloat64(list_price);
+    sales->column(7).AppendFloat64(sales_price);
+    sales->column(8).AppendFloat64(
+        rng.NextDouble() < 0.3 ? 0.05 * list_price * rng.NextDouble() : 0.01);
+  }
+  sales->FinishBulkAppend();
+
+  catalog->PutTable("store", std::move(store));
+  catalog->PutTable("date_dim", std::move(date_dim));
+  catalog->PutTable("item", std::move(item));
+  catalog->PutTable("customer_demographics", std::move(demos));
+  catalog->PutTable("promotion", std::move(promotion));
+  catalog->PutTable("store_sales", std::move(sales));
+  return Status::OK();
+}
+
+}  // namespace sudaf

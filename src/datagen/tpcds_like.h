@@ -1,0 +1,37 @@
+#ifndef SUDAF_DATAGEN_TPCDS_LIKE_H_
+#define SUDAF_DATAGEN_TPCDS_LIKE_H_
+
+// Synthetic stand-in for the TPC-DS dataset (the paper uses scale factors
+// 20 and 100 via dsdgen, which is not available offline).
+//
+// Generates the six tables the paper's queries touch, with TPC-DS-like
+// schemas, referential key structure and value distributions:
+//   store_sales (fact), store, date_dim, item, customer_demographics,
+//   promotion.
+// `ss_sales_price` is linearly correlated with `ss_list_price` plus noise,
+// so the theta1/theta0 regression of the motivating example is meaningful.
+// Deterministic under a fixed seed.
+
+#include <cstdint>
+
+#include "storage/catalog.h"
+
+namespace sudaf {
+
+struct TpcdsOptions {
+  int64_t num_sales = 300'000;
+  int num_items = 2'000;
+  int num_stores = 60;      // spread over 10 states, ~10% in 'TN'
+  int num_dates = 1'826;    // d_year 1998..2002
+  int num_demos = 1'920;    // gender × marital × education combinations
+  int num_promos = 120;
+  uint64_t seed = 0x5eed0002;
+};
+
+// Creates and registers all six tables in `catalog` (replacing existing
+// tables of the same names).
+Status GenerateTpcdsData(const TpcdsOptions& options, Catalog* catalog);
+
+}  // namespace sudaf
+
+#endif  // SUDAF_DATAGEN_TPCDS_LIKE_H_

@@ -1,0 +1,61 @@
+#ifndef SUDAF_ENGINE_AGGREGATION_H_
+#define SUDAF_ENGINE_AGGREGATION_H_
+
+// Grouping and grouped aggregation over a materialized input frame.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "agg/udaf.h"
+#include "common/status.h"
+#include "engine/exec_options.h"
+#include "engine/hash_join.h"
+#include "engine/plan.h"
+#include "expr/expr.h"
+#include "storage/table.h"
+
+namespace sudaf {
+
+// The FROM/WHERE part of a query, materialized: a frame of the columns the
+// query needs, plus the grouping of its rows.
+struct PreparedInput {
+  std::unique_ptr<Table> frame;       // one row per joined tuple
+  int64_t num_input_rows = 0;         // tuple count (frame may be 0-column)
+  std::vector<int32_t> group_ids;     // size = num_input_rows
+  std::unique_ptr<Table> group_keys;  // group-by columns, one row per group
+  int32_t num_groups = 0;
+};
+
+// Gathers `columns` (resolved against `plan`) from the join result into a
+// fresh table with one row per tuple.
+Result<std::unique_ptr<Table>> GatherColumns(
+    const QueryPlan& plan, const JoinedRows& joined,
+    const std::vector<std::string>& columns);
+
+// Computes `out->group_ids`, `out->group_keys` and `out->num_groups` for the
+// frame already stored in `out`. With an empty `group_by` there is a single
+// group 0 (and `group_keys` has zero columns, one row).
+Status BuildGroups(const std::vector<std::string>& group_by,
+                   PreparedInput* out);
+
+// Grouped ⊕-aggregation of `input` (empty for kCount). Honors
+// opts.partitioned by aggregating per-partition and merging with ⊕ — the
+// algebraic-aggregation execution shape.
+std::vector<double> ComputeGroupedState(AggOp op,
+                                        const std::vector<double>& input,
+                                        const std::vector<int32_t>& group_ids,
+                                        int32_t num_groups,
+                                        const ExecOptions& opts);
+
+// Drives a hardcoded UDAF over the frame one boxed row at a time
+// (initialize/update per row; with opts.partitioned, per-partition states
+// merged via Udaf::Merge), returning the per-group final values.
+Result<std::vector<double>> RunHardcodedUdaf(
+    const Udaf& udaf, const std::vector<const Column*>& arg_columns,
+    const std::vector<int32_t>& group_ids, int32_t num_groups,
+    const ExecOptions& opts);
+
+}  // namespace sudaf
+
+#endif  // SUDAF_ENGINE_AGGREGATION_H_

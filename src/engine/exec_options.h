@@ -1,0 +1,24 @@
+#ifndef SUDAF_ENGINE_EXEC_OPTIONS_H_
+#define SUDAF_ENGINE_EXEC_OPTIONS_H_
+
+namespace sudaf {
+
+// Execution-context knobs.
+//
+// `partitioned = false` models a single-node engine (the paper's PostgreSQL
+// context): one pass over the data. `partitioned = true` models a
+// distributed engine (the Spark SQL context): the input is split into
+// partitions, each partition computes partial aggregates via (F, ⊕), and
+// partials are merged with ⊕ before the terminating function runs — the
+// execution shape that requires aggregates to be algebraic.
+struct ExecOptions {
+  bool partitioned = false;
+  int num_partitions = 4;
+  // Run partitions on worker threads (off by default: the benchmarks target
+  // single-core machines, where threading adds noise without speedup).
+  bool parallel = false;
+};
+
+}  // namespace sudaf
+
+#endif  // SUDAF_ENGINE_EXEC_OPTIONS_H_

@@ -1,0 +1,242 @@
+#include "engine/executor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "agg/builtin_kernels.h"
+#include "expr/evaluator.h"
+
+namespace sudaf {
+
+namespace {
+
+// Evaluates a purely scalar expression over the frame into a double vector.
+Result<std::vector<double>> FrameVector(const Table& frame,
+                                        const Expr& expr) {
+  ColumnResolver resolver =
+      [&frame](const std::string& name) -> Result<const Column*> {
+    return frame.GetColumn(name);
+  };
+  return EvalNumericVector(expr, resolver, frame.num_rows());
+}
+
+bool IsNativeFinalized(const std::string& name) {
+  return name == "avg" || name == "var" || name == "stddev";
+}
+
+}  // namespace
+
+std::string SelectItemName(const SelectItem& item) {
+  return item.alias.empty() ? item.expr->ToString() : item.alias;
+}
+
+Result<PreparedInput> Executor::Prepare(
+    const SelectStatement& stmt,
+    const std::vector<std::string>& extra_columns) const {
+  SUDAF_ASSIGN_OR_RETURN(QueryPlan plan, PlanQuery(stmt, *catalog_));
+  SUDAF_ASSIGN_OR_RETURN(JoinedRows joined, FilterAndJoin(plan));
+
+  // Columns the frame must carry: group-by keys, select-list references,
+  // caller extras. Deduplicated, insertion-ordered.
+  std::vector<std::string> needed;
+  std::set<std::string> seen;
+  auto add = [&](const std::string& name) {
+    if (name == "*" || seen.count(name) > 0) return;
+    seen.insert(name);
+    needed.push_back(name);
+  };
+  for (const std::string& g : stmt.group_by) add(g);
+  for (const SelectItem& item : stmt.items) {
+    std::vector<std::string> cols;
+    item.expr->CollectColumns(&cols);
+    for (const std::string& c : cols) add(c);
+  }
+  for (const std::string& c : extra_columns) add(c);
+
+  PreparedInput prepared;
+  SUDAF_ASSIGN_OR_RETURN(prepared.frame, GatherColumns(plan, joined, needed));
+  prepared.num_input_rows = joined.num_tuples;
+  SUDAF_RETURN_IF_ERROR(BuildGroups(stmt.group_by, &prepared));
+  return prepared;
+}
+
+Result<std::unique_ptr<Table>> Executor::Execute(
+    const SelectStatement& stmt, const ExecOptions& opts) const {
+  SUDAF_ASSIGN_OR_RETURN(PreparedInput input, Prepare(stmt));
+  const Table& frame = *input.frame;
+  const int32_t num_groups = input.num_groups;
+
+  Schema out_schema;
+  std::vector<std::vector<double>> agg_outputs(stmt.items.size());
+  std::vector<int> group_key_source(stmt.items.size(), -1);
+
+  for (size_t i = 0; i < stmt.items.size(); ++i) {
+    const SelectItem& item = stmt.items[i];
+    const Expr& expr = *item.expr;
+    const std::string out_name = SelectItemName(item);
+
+    if (expr.kind == ExprKind::kColumnRef) {
+      // Group key column.
+      int key_idx = input.group_keys->schema().FindField(expr.column);
+      if (key_idx < 0) {
+        return Status::InvalidArgument("select column " + expr.column +
+                                       " is not in GROUP BY");
+      }
+      SUDAF_RETURN_IF_ERROR(out_schema.AddField(
+          Field{out_name, input.group_keys->schema().field(key_idx).type}));
+      group_key_source[i] = key_idx;
+      continue;
+    }
+
+    SUDAF_RETURN_IF_ERROR(
+        out_schema.AddField(Field{out_name, DataType::kFloat64}));
+
+    if (expr.kind == ExprKind::kAggCall) {
+      // Primitive aggregate through vectorized kernels.
+      std::vector<double> in;
+      if (expr.agg_op != AggOp::kCount) {
+        SUDAF_ASSIGN_OR_RETURN(in, FrameVector(frame, *expr.args[0]));
+      }
+      agg_outputs[i] = ComputeGroupedState(expr.agg_op, in, input.group_ids,
+                                           num_groups, opts);
+      continue;
+    }
+
+    if (expr.kind != ExprKind::kFuncCall) {
+      return Status::Unimplemented(
+          "engine-native execution supports only aggregate calls and group "
+          "keys in the select list, got: " +
+          expr.ToString());
+    }
+
+    if (IsNativeFinalized(expr.func_name)) {
+      // avg / var / stddev: built-in, computed from kernel states.
+      if (expr.args.size() != 1) {
+        return Status::InvalidArgument(expr.func_name +
+                                       "() takes one argument");
+      }
+      SUDAF_ASSIGN_OR_RETURN(std::vector<double> in,
+                             FrameVector(frame, *expr.args[0]));
+      std::vector<double> cnt = ComputeGroupedState(AggOp::kCount, {},
+                                                    input.group_ids,
+                                                    num_groups, opts);
+      std::vector<double> sum = ComputeGroupedState(AggOp::kSum, in,
+                                                    input.group_ids,
+                                                    num_groups, opts);
+      std::vector<double> out(num_groups);
+      if (expr.func_name == "avg") {
+        for (int32_t g = 0; g < num_groups; ++g) out[g] = sum[g] / cnt[g];
+      } else {
+        std::vector<double> sq(in.size());
+        for (size_t r = 0; r < in.size(); ++r) sq[r] = in[r] * in[r];
+        std::vector<double> sum2 = ComputeGroupedState(
+            AggOp::kSum, sq, input.group_ids, num_groups, opts);
+        for (int32_t g = 0; g < num_groups; ++g) {
+          double m = sum[g] / cnt[g];
+          double v = sum2[g] / cnt[g] - m * m;
+          out[g] = expr.func_name == "var" ? v : std::sqrt(v);
+        }
+      }
+      agg_outputs[i] = std::move(out);
+      continue;
+    }
+
+    // Hardcoded UDAF through the IUME interface.
+    SUDAF_ASSIGN_OR_RETURN(const Udaf* udaf, registry_->Get(expr.func_name));
+    std::vector<const Column*> arg_columns;
+    for (const auto& arg : expr.args) {
+      if (arg->kind != ExprKind::kColumnRef) {
+        return Status::Unimplemented(
+            "hardcoded UDAF arguments must be plain columns: " +
+            expr.ToString());
+      }
+      SUDAF_ASSIGN_OR_RETURN(const Column* col, frame.GetColumn(arg->column));
+      arg_columns.push_back(col);
+    }
+    SUDAF_ASSIGN_OR_RETURN(
+        agg_outputs[i],
+        RunHardcodedUdaf(*udaf, arg_columns, input.group_ids, num_groups,
+                         opts));
+  }
+
+  // Assemble the result table: one row per group.
+  auto result = std::make_unique<Table>(std::move(out_schema));
+  result->Reserve(num_groups);
+  for (size_t i = 0; i < stmt.items.size(); ++i) {
+    Column& dst = result->column(static_cast<int>(i));
+    if (group_key_source[i] >= 0) {
+      const Column& src = input.group_keys->column(group_key_source[i]);
+      for (int32_t g = 0; g < num_groups; ++g) {
+        dst.AppendValue(src.GetValue(g));
+      }
+    } else {
+      for (int32_t g = 0; g < num_groups; ++g) {
+        dst.AppendFloat64(agg_outputs[i][g]);
+      }
+    }
+  }
+  result->FinishBulkAppend();
+
+  return SortAndLimit(std::move(result), stmt);
+}
+
+std::unique_ptr<Table> GatherRows(const Table& table,
+                                  const std::vector<int64_t>& rows) {
+  auto out = std::make_unique<Table>(table.schema());
+  out->Reserve(static_cast<int64_t>(rows.size()));
+  for (int c = 0; c < table.num_columns(); ++c) {
+    const Column& src = table.column(c);
+    Column& dst = out->column(c);
+    for (int64_t row : rows) dst.AppendValue(src.GetValue(row));
+  }
+  out->FinishBulkAppend();
+  return out;
+}
+
+Result<std::unique_ptr<Table>> SortAndLimit(std::unique_ptr<Table> result,
+                                            const SelectStatement& stmt) {
+  if (stmt.having != nullptr) {
+    // HAVING filters the finished rows; it references output column names.
+    const Table& t = *result;
+    RowAccessor accessor = [&t](const std::string& col,
+                                int64_t row) -> Result<Value> {
+      SUDAF_ASSIGN_OR_RETURN(const Column* c, t.GetColumn(col));
+      return c->GetValue(row);
+    };
+    std::vector<int64_t> kept;
+    for (int64_t r = 0; r < t.num_rows(); ++r) {
+      SUDAF_ASSIGN_OR_RETURN(Value v, EvalRow(*stmt.having, accessor, r));
+      if (v.is_numeric() && v.AsDouble() != 0.0) kept.push_back(r);
+    }
+    result = GatherRows(t, kept);
+  }
+  if (stmt.order_by.empty() && stmt.limit < 0) return result;
+
+  std::vector<int64_t> order(result->num_rows());
+  for (int64_t i = 0; i < result->num_rows(); ++i) order[i] = i;
+
+  if (!stmt.order_by.empty()) {
+    std::vector<std::pair<const Column*, bool>> keys;
+    for (const OrderByItem& item : stmt.order_by) {
+      SUDAF_ASSIGN_OR_RETURN(const Column* col,
+                             result->GetColumn(item.column));
+      keys.emplace_back(col, item.ascending);
+    }
+    std::stable_sort(order.begin(), order.end(),
+                     [&keys](int64_t a, int64_t b) {
+                       for (const auto& [col, asc] : keys) {
+                         int cmp = col->GetValue(a).Compare(col->GetValue(b));
+                         if (cmp != 0) return asc ? cmp < 0 : cmp > 0;
+                       }
+                       return false;
+                     });
+  }
+  if (stmt.limit >= 0 &&
+      stmt.limit < static_cast<int64_t>(order.size())) {
+    order.resize(stmt.limit);
+  }
+  return GatherRows(*result, order);
+}
+
+}  // namespace sudaf

@@ -1,0 +1,69 @@
+#ifndef SUDAF_ENGINE_EXECUTOR_H_
+#define SUDAF_ENGINE_EXECUTOR_H_
+
+// Engine-native query execution (the baseline the paper compares against).
+//
+// Built-in aggregates (sum/count/min/max/avg/var/stddev and the primitive
+// sum/prod/count/min/max calls) run through vectorized kernels; every other
+// aggregate name is looked up in the hardcoded-UDAF registry and driven
+// row-at-a-time through the IUME interface — mirroring how PostgreSQL and
+// Spark SQL treat user-defined aggregates.
+//
+// The SUDAF rewriter (src/sudaf) reuses Prepare() so that baseline and
+// rewritten executions share scans, filters, joins and grouping.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "agg/udaf.h"
+#include "common/status.h"
+#include "engine/aggregation.h"
+#include "engine/exec_options.h"
+#include "sql/statement.h"
+#include "storage/catalog.h"
+
+namespace sudaf {
+
+class Executor {
+ public:
+  Executor(const Catalog* catalog, const UdafRegistry* registry)
+      : catalog_(catalog), registry_(registry) {}
+
+  // Runs `stmt` with engine-native aggregation. Each select item must be a
+  // group-by column reference or a single aggregate/UDAF call over column
+  // arguments.
+  Result<std::unique_ptr<Table>> Execute(const SelectStatement& stmt,
+                                         const ExecOptions& opts = {}) const;
+
+  // Plans, filters, joins and groups the FROM/WHERE/GROUP BY part of `stmt`.
+  // The frame contains the group-by columns, every column referenced by the
+  // select list, and `extra_columns`.
+  Result<PreparedInput> Prepare(
+      const SelectStatement& stmt,
+      const std::vector<std::string>& extra_columns = {}) const;
+
+  const Catalog* catalog() const { return catalog_; }
+  const UdafRegistry* registry() const { return registry_; }
+
+ private:
+  const Catalog* catalog_;
+  const UdafRegistry* registry_;
+};
+
+// Applies ORDER BY and LIMIT of `stmt` to `result` (columns are looked up by
+// output name). Returns `result` unchanged when both clauses are absent.
+Result<std::unique_ptr<Table>> SortAndLimit(std::unique_ptr<Table> result,
+                                            const SelectStatement& stmt);
+
+// Copies the given rows of `table`, in order, into a new table.
+std::unique_ptr<Table> GatherRows(const Table& table,
+                                  const std::vector<int64_t>& rows);
+
+// Output column name for a select item: its alias if present, otherwise the
+// unparsed expression.
+std::string SelectItemName(const SelectItem& item);
+
+}  // namespace sudaf
+
+#endif  // SUDAF_ENGINE_EXECUTOR_H_

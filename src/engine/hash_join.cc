@@ -1,0 +1,201 @@
+#include "engine/hash_join.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "expr/evaluator.h"
+
+namespace sudaf {
+
+namespace {
+
+// Evaluates the per-table filters; returns the selected row ids of table `t`.
+// Numeric predicates evaluate vectorized; predicates touching strings fall
+// back to boxed row-at-a-time evaluation.
+Result<std::vector<int64_t>> FilterTable(const QueryPlan& plan, int t) {
+  Table* table = plan.tables[t];
+  std::vector<const Expr*> preds;
+  for (const TableFilter& f : plan.filters) {
+    if (f.table_index == t) preds.push_back(f.predicate);
+  }
+  const int64_t n = table->num_rows();
+  std::vector<int64_t> out;
+  if (preds.empty()) {
+    out.resize(n);
+    for (int64_t i = 0; i < n; ++i) out[i] = i;
+    return out;
+  }
+
+  // `keep[i]` accumulates the conjunction across predicates.
+  std::vector<uint8_t> keep(n, 1);
+  ColumnResolver resolver =
+      [table](const std::string& col) -> Result<const Column*> {
+    return table->GetColumn(col);
+  };
+  RowAccessor accessor = [table](const std::string& col,
+                                 int64_t row) -> Result<Value> {
+    SUDAF_ASSIGN_OR_RETURN(const Column* c, table->GetColumn(col));
+    return c->GetValue(row);
+  };
+  for (const Expr* pred : preds) {
+    Result<std::vector<double>> vectorized =
+        EvalNumericVector(*pred, resolver, n);
+    if (vectorized.ok()) {
+      const std::vector<double>& v = *vectorized;
+      for (int64_t i = 0; i < n; ++i) {
+        if (v[i] == 0.0) keep[i] = 0;
+      }
+      continue;
+    }
+    for (int64_t i = 0; i < n; ++i) {
+      if (!keep[i]) continue;
+      SUDAF_ASSIGN_OR_RETURN(Value v, EvalRow(*pred, accessor, i));
+      if (!v.is_numeric() || v.AsDouble() == 0.0) keep[i] = 0;
+    }
+  }
+  out.reserve(n / 4);
+  for (int64_t i = 0; i < n; ++i) {
+    if (keep[i]) out.push_back(i);
+  }
+  return out;
+}
+
+int64_t KeyAt(const Column& col, int64_t row) {
+  switch (col.type()) {
+    case DataType::kInt64:
+      return col.GetInt64(row);
+    case DataType::kString:
+      return col.GetStringCode(row);  // only valid within one table
+    case DataType::kFloat64:
+      break;
+  }
+  SUDAF_CHECK_MSG(false, "join key must be INT64");
+  return 0;
+}
+
+}  // namespace
+
+Result<JoinedRows> FilterAndJoin(const QueryPlan& plan) {
+  const int num_tables = static_cast<int>(plan.tables.size());
+
+  // 1. Filter every table.
+  std::vector<std::vector<int64_t>> selected(num_tables);
+  for (int t = 0; t < num_tables; ++t) {
+    SUDAF_ASSIGN_OR_RETURN(selected[t], FilterTable(plan, t));
+  }
+
+  // 2. Seed the tuple stream with the largest filtered table.
+  int start = 0;
+  for (int t = 1; t < num_tables; ++t) {
+    if (selected[t].size() > selected[start].size()) start = t;
+  }
+
+  JoinedRows result;
+  result.rows.resize(num_tables);
+  result.rows[start] = std::move(selected[start]);
+  result.num_tuples = static_cast<int64_t>(result.rows[start].size());
+
+  std::vector<bool> joined(num_tables, false);
+  joined[start] = true;
+  std::vector<bool> edge_used(plan.joins.size(), false);
+
+  // 3. Attach remaining tables via join edges; run to fixpoint.
+  int joined_count = 1;
+  while (joined_count < num_tables) {
+    bool progress = false;
+    for (size_t e = 0; e < plan.joins.size(); ++e) {
+      if (edge_used[e]) continue;
+      const JoinEdge& edge = plan.joins[e];
+      int probe_t, probe_c, build_t, build_c;
+      if (joined[edge.left_table] && !joined[edge.right_table]) {
+        probe_t = edge.left_table;
+        probe_c = edge.left_column;
+        build_t = edge.right_table;
+        build_c = edge.right_column;
+      } else if (joined[edge.right_table] && !joined[edge.left_table]) {
+        probe_t = edge.right_table;
+        probe_c = edge.right_column;
+        build_t = edge.left_table;
+        build_c = edge.left_column;
+      } else {
+        continue;
+      }
+      edge_used[e] = true;
+      progress = true;
+
+      const Column& build_col = plan.tables[build_t]->column(build_c);
+      if (build_col.type() != DataType::kInt64) {
+        return Status::Unimplemented("non-INT64 join keys are not supported");
+      }
+      const Column& probe_col = plan.tables[probe_t]->column(probe_c);
+      if (probe_col.type() != DataType::kInt64) {
+        return Status::Unimplemented("non-INT64 join keys are not supported");
+      }
+
+      // Build hash table over the new table's filtered rows.
+      std::unordered_map<int64_t, std::vector<int64_t>> hash;
+      hash.reserve(selected[build_t].size() * 2);
+      for (int64_t row : selected[build_t]) {
+        hash[build_col.GetInt64(row)].push_back(row);
+      }
+
+      // Probe with the current tuple stream.
+      std::vector<std::vector<int64_t>> new_rows(num_tables);
+      const std::vector<int64_t>& probe_rows = result.rows[probe_t];
+      for (int64_t i = 0; i < result.num_tuples; ++i) {
+        auto it = hash.find(probe_col.GetInt64(probe_rows[i]));
+        if (it == hash.end()) continue;
+        for (int64_t build_row : it->second) {
+          for (int t = 0; t < num_tables; ++t) {
+            if (!result.rows[t].empty()) {
+              new_rows[t].push_back(result.rows[t][i]);
+            }
+          }
+          new_rows[build_t].push_back(build_row);
+        }
+      }
+      result.rows = std::move(new_rows);
+      result.num_tuples =
+          static_cast<int64_t>(result.rows[build_t].size());
+      joined[build_t] = true;
+      ++joined_count;
+    }
+    if (!progress) {
+      return Status::InvalidArgument(
+          "FROM tables are not connected by join predicates (cross products "
+          "are not supported)");
+    }
+  }
+
+  // 4. Remaining unused edges connect already-joined tables: apply as
+  //    post-join filters.
+  for (size_t e = 0; e < plan.joins.size(); ++e) {
+    if (edge_used[e]) continue;
+    const JoinEdge& edge = plan.joins[e];
+    const Column& lcol = plan.tables[edge.left_table]->column(edge.left_column);
+    const Column& rcol =
+        plan.tables[edge.right_table]->column(edge.right_column);
+    std::vector<std::vector<int64_t>> kept(num_tables);
+    for (int64_t i = 0; i < result.num_tuples; ++i) {
+      int64_t lkey = KeyAt(lcol, result.rows[edge.left_table][i]);
+      int64_t rkey = KeyAt(rcol, result.rows[edge.right_table][i]);
+      if (lkey != rkey) continue;
+      for (int t = 0; t < num_tables; ++t) {
+        if (!result.rows[t].empty()) kept[t].push_back(result.rows[t][i]);
+      }
+    }
+    int64_t new_count = 0;
+    for (int t = 0; t < num_tables; ++t) {
+      if (!kept[t].empty()) {
+        new_count = static_cast<int64_t>(kept[t].size());
+        break;
+      }
+    }
+    result.rows = std::move(kept);
+    result.num_tuples = new_count;
+  }
+
+  return result;
+}
+
+}  // namespace sudaf

@@ -1,0 +1,34 @@
+#ifndef SUDAF_ENGINE_HASH_JOIN_H_
+#define SUDAF_ENGINE_HASH_JOIN_H_
+
+// Multi-table equi-join over row-id vectors.
+//
+// The join result is kept as parallel row-id arrays (one per joined table);
+// columns are gathered afterwards, so wide tables cost nothing during the
+// join itself.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/plan.h"
+
+namespace sudaf {
+
+// The result of filtering + joining the FROM clause: `rows[t][i]` is the row
+// of table t participating in output tuple i. Tables that are not (yet)
+// joined have an empty vector.
+struct JoinedRows {
+  std::vector<std::vector<int64_t>> rows;  // [table][tuple]
+  int64_t num_tuples = 0;
+};
+
+// Evaluates all single-table filters and joins all tables of `plan` into one
+// tuple stream, starting from the largest filtered table and repeatedly
+// attaching a table connected by a join edge (int64 keys only). Join edges
+// between already-joined tables become post-join filters.
+Result<JoinedRows> FilterAndJoin(const QueryPlan& plan);
+
+}  // namespace sudaf
+
+#endif  // SUDAF_ENGINE_HASH_JOIN_H_

@@ -1,0 +1,49 @@
+#ifndef SUDAF_ENGINE_PLAN_H_
+#define SUDAF_ENGINE_PLAN_H_
+
+// Query planning: resolves table/column names and classifies WHERE conjuncts
+// into equi-join edges and single-table filters.
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sql/statement.h"
+#include "storage/catalog.h"
+
+namespace sudaf {
+
+// A resolved `a.col = b.col` predicate between two distinct tables.
+struct JoinEdge {
+  int left_table;   // index into QueryPlan::tables
+  int left_column;  // column index within that table
+  int right_table;
+  int right_column;
+};
+
+// A conjunct whose columns all come from a single table; evaluated row-wise.
+struct TableFilter {
+  int table_index;
+  const Expr* predicate;  // borrowed from the statement's WHERE tree
+};
+
+struct QueryPlan {
+  const SelectStatement* stmt = nullptr;
+  std::vector<Table*> tables;        // parallel to stmt->tables
+  std::vector<JoinEdge> joins;
+  std::vector<TableFilter> filters;
+
+  // Resolves `column` to (table index, column index); errors if the name is
+  // missing or ambiguous across the FROM tables.
+  Result<std::pair<int, int>> ResolveColumn(const std::string& column) const;
+};
+
+// Builds a QueryPlan for `stmt` against `catalog`. The plan borrows `stmt`
+// (it must outlive the plan). WHERE is split on AND; each conjunct must be
+// either a two-table column equality or a single-table predicate.
+Result<QueryPlan> PlanQuery(const SelectStatement& stmt,
+                            const Catalog& catalog);
+
+}  // namespace sudaf
+
+#endif  // SUDAF_ENGINE_PLAN_H_

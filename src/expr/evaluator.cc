@@ -1,0 +1,340 @@
+#include "expr/evaluator.h"
+
+#include <cmath>
+#include <limits>
+
+namespace sudaf {
+
+namespace {
+
+double Sgn(double x) { return x > 0 ? 1.0 : (x < 0 ? -1.0 : 0.0); }
+
+Result<double> NumericBinary(BinaryOp op, double a, double b) {
+  switch (op) {
+    case BinaryOp::kAdd:
+      return a + b;
+    case BinaryOp::kSub:
+      return a - b;
+    case BinaryOp::kMul:
+      return a * b;
+    case BinaryOp::kDiv:
+      return a / b;  // IEEE semantics; NaN/inf propagate like SQL NULL here.
+    case BinaryOp::kPow:
+      return std::pow(a, b);
+    case BinaryOp::kEq:
+      return a == b ? 1.0 : 0.0;
+    case BinaryOp::kNe:
+      return a != b ? 1.0 : 0.0;
+    case BinaryOp::kLt:
+      return a < b ? 1.0 : 0.0;
+    case BinaryOp::kLe:
+      return a <= b ? 1.0 : 0.0;
+    case BinaryOp::kGt:
+      return a > b ? 1.0 : 0.0;
+    case BinaryOp::kGe:
+      return a >= b ? 1.0 : 0.0;
+    case BinaryOp::kAnd:
+      return (a != 0.0 && b != 0.0) ? 1.0 : 0.0;
+    case BinaryOp::kOr:
+      return (a != 0.0 || b != 0.0) ? 1.0 : 0.0;
+  }
+  return Status::Internal("bad binary op");
+}
+
+}  // namespace
+
+Result<double> ApplyScalarFunc(const std::string& name,
+                               const std::vector<double>& args) {
+  auto need = [&](size_t n) -> Status {
+    if (args.size() != n) {
+      return Status::TypeError(name + "() expects " + std::to_string(n) +
+                               " argument(s), got " +
+                               std::to_string(args.size()));
+    }
+    return Status::OK();
+  };
+  if (name == "sqrt") {
+    SUDAF_RETURN_IF_ERROR(need(1));
+    return std::sqrt(args[0]);
+  }
+  if (name == "ln") {
+    SUDAF_RETURN_IF_ERROR(need(1));
+    return std::log(args[0]);
+  }
+  if (name == "log") {
+    if (args.size() == 1) return std::log(args[0]);
+    SUDAF_RETURN_IF_ERROR(need(2));
+    return std::log(args[1]) / std::log(args[0]);
+  }
+  if (name == "exp") {
+    SUDAF_RETURN_IF_ERROR(need(1));
+    return std::exp(args[0]);
+  }
+  if (name == "abs") {
+    SUDAF_RETURN_IF_ERROR(need(1));
+    return std::fabs(args[0]);
+  }
+  if (name == "sgn") {
+    SUDAF_RETURN_IF_ERROR(need(1));
+    return Sgn(args[0]);
+  }
+  if (name == "pow" || name == "power") {
+    SUDAF_RETURN_IF_ERROR(need(2));
+    return std::pow(args[0], args[1]);
+  }
+  if (name == "nullif") {
+    SUDAF_RETURN_IF_ERROR(need(2));
+    if (args[0] == args[1]) return std::numeric_limits<double>::quiet_NaN();
+    return args[0];
+  }
+  if (name == "not") {
+    SUDAF_RETURN_IF_ERROR(need(1));
+    return args[0] == 0.0 ? 1.0 : 0.0;
+  }
+  return Status::TypeError("unknown scalar function: " + name);
+}
+
+bool IsKnownScalarFunc(const std::string& name) {
+  static const char* kNames[] = {"sqrt", "ln",  "log",   "exp",    "abs",
+                                 "sgn",  "pow", "power", "nullif", "not"};
+  for (const char* n : kNames) {
+    if (name == n) return true;
+  }
+  return false;
+}
+
+Result<Value> EvalRow(const Expr& expr, const RowAccessor& accessor,
+                      int64_t row) {
+  switch (expr.kind) {
+    case ExprKind::kLiteral:
+      return expr.literal;
+    case ExprKind::kColumnRef:
+      return accessor(expr.column, row);
+    case ExprKind::kUnaryMinus: {
+      SUDAF_ASSIGN_OR_RETURN(Value v, EvalRow(*expr.args[0], accessor, row));
+      if (!v.is_numeric()) return Status::TypeError("unary minus on string");
+      return Value(-v.AsDouble());
+    }
+    case ExprKind::kBinary: {
+      SUDAF_ASSIGN_OR_RETURN(Value a, EvalRow(*expr.args[0], accessor, row));
+      // Short-circuit logic operators.
+      if (expr.bin_op == BinaryOp::kAnd || expr.bin_op == BinaryOp::kOr) {
+        bool a_true = a.is_numeric() && a.AsDouble() != 0.0;
+        if (expr.bin_op == BinaryOp::kAnd && !a_true) {
+          return Value(int64_t{0});
+        }
+        if (expr.bin_op == BinaryOp::kOr && a_true) return Value(int64_t{1});
+        SUDAF_ASSIGN_OR_RETURN(Value b, EvalRow(*expr.args[1], accessor, row));
+        bool b_true = b.is_numeric() && b.AsDouble() != 0.0;
+        return Value(int64_t{b_true ? 1 : 0});
+      }
+      SUDAF_ASSIGN_OR_RETURN(Value b, EvalRow(*expr.args[1], accessor, row));
+      // String comparisons.
+      if (a.type() == DataType::kString || b.type() == DataType::kString) {
+        if (a.type() != DataType::kString || b.type() != DataType::kString) {
+          return Status::TypeError("cannot compare string with number");
+        }
+        int cmp = a.string().compare(b.string());
+        switch (expr.bin_op) {
+          case BinaryOp::kEq:
+            return Value(int64_t{cmp == 0});
+          case BinaryOp::kNe:
+            return Value(int64_t{cmp != 0});
+          case BinaryOp::kLt:
+            return Value(int64_t{cmp < 0});
+          case BinaryOp::kLe:
+            return Value(int64_t{cmp <= 0});
+          case BinaryOp::kGt:
+            return Value(int64_t{cmp > 0});
+          case BinaryOp::kGe:
+            return Value(int64_t{cmp >= 0});
+          default:
+            return Status::TypeError("arithmetic on strings");
+        }
+      }
+      SUDAF_ASSIGN_OR_RETURN(
+          double r, NumericBinary(expr.bin_op, a.AsDouble(), b.AsDouble()));
+      return Value(r);
+    }
+    case ExprKind::kFuncCall: {
+      std::vector<double> args;
+      args.reserve(expr.args.size());
+      for (const auto& a : expr.args) {
+        SUDAF_ASSIGN_OR_RETURN(Value v, EvalRow(*a, accessor, row));
+        if (!v.is_numeric()) {
+          return Status::TypeError("string argument to " + expr.func_name);
+        }
+        args.push_back(v.AsDouble());
+      }
+      SUDAF_ASSIGN_OR_RETURN(double r, ApplyScalarFunc(expr.func_name, args));
+      return Value(r);
+    }
+    case ExprKind::kAggCall:
+      return Status::TypeError("aggregate call in row context: " +
+                               expr.ToString());
+    case ExprKind::kStateRef:
+      return Status::TypeError("state reference in row context");
+  }
+  return Status::Internal("bad expr kind");
+}
+
+Result<std::vector<double>> EvalNumericVector(const Expr& expr,
+                                              const ColumnResolver& resolver,
+                                              int64_t num_rows) {
+  switch (expr.kind) {
+    case ExprKind::kLiteral: {
+      if (!expr.literal.is_numeric()) {
+        return Status::TypeError("string literal in numeric vector context");
+      }
+      return std::vector<double>(num_rows, expr.literal.AsDouble());
+    }
+    case ExprKind::kColumnRef: {
+      SUDAF_ASSIGN_OR_RETURN(const Column* col, resolver(expr.column));
+      if (col->type() == DataType::kString) {
+        return Status::TypeError("string column in numeric context: " +
+                                 expr.column);
+      }
+      std::vector<double> out(num_rows);
+      if (col->type() == DataType::kFloat64) {
+        const auto& v = col->doubles();
+        for (int64_t i = 0; i < num_rows; ++i) out[i] = v[i];
+      } else {
+        const auto& v = col->ints();
+        for (int64_t i = 0; i < num_rows; ++i) {
+          out[i] = static_cast<double>(v[i]);
+        }
+      }
+      return out;
+    }
+    case ExprKind::kUnaryMinus: {
+      SUDAF_ASSIGN_OR_RETURN(
+          std::vector<double> v,
+          EvalNumericVector(*expr.args[0], resolver, num_rows));
+      for (double& x : v) x = -x;
+      return v;
+    }
+    case ExprKind::kBinary: {
+      SUDAF_ASSIGN_OR_RETURN(
+          std::vector<double> a,
+          EvalNumericVector(*expr.args[0], resolver, num_rows));
+      SUDAF_ASSIGN_OR_RETURN(
+          std::vector<double> b,
+          EvalNumericVector(*expr.args[1], resolver, num_rows));
+      // Tight loops per operator for the hot cases.
+      switch (expr.bin_op) {
+        case BinaryOp::kAdd:
+          for (int64_t i = 0; i < num_rows; ++i) a[i] += b[i];
+          return a;
+        case BinaryOp::kSub:
+          for (int64_t i = 0; i < num_rows; ++i) a[i] -= b[i];
+          return a;
+        case BinaryOp::kMul:
+          for (int64_t i = 0; i < num_rows; ++i) a[i] *= b[i];
+          return a;
+        case BinaryOp::kDiv:
+          for (int64_t i = 0; i < num_rows; ++i) a[i] /= b[i];
+          return a;
+        case BinaryOp::kPow:
+          for (int64_t i = 0; i < num_rows; ++i) a[i] = std::pow(a[i], b[i]);
+          return a;
+        default: {
+          for (int64_t i = 0; i < num_rows; ++i) {
+            SUDAF_ASSIGN_OR_RETURN(a[i],
+                                   NumericBinary(expr.bin_op, a[i], b[i]));
+          }
+          return a;
+        }
+      }
+    }
+    case ExprKind::kFuncCall: {
+      std::vector<std::vector<double>> arg_vecs;
+      arg_vecs.reserve(expr.args.size());
+      for (const auto& a : expr.args) {
+        SUDAF_ASSIGN_OR_RETURN(std::vector<double> v,
+                               EvalNumericVector(*a, resolver, num_rows));
+        arg_vecs.push_back(std::move(v));
+      }
+      // Specialize common unary functions.
+      if (arg_vecs.size() == 1) {
+        std::vector<double>& v = arg_vecs[0];
+        if (expr.func_name == "sqrt") {
+          for (double& x : v) x = std::sqrt(x);
+          return std::move(v);
+        }
+        if (expr.func_name == "ln" || expr.func_name == "log") {
+          for (double& x : v) x = std::log(x);
+          return std::move(v);
+        }
+        if (expr.func_name == "exp") {
+          for (double& x : v) x = std::exp(x);
+          return std::move(v);
+        }
+        if (expr.func_name == "abs") {
+          for (double& x : v) x = std::fabs(x);
+          return std::move(v);
+        }
+        if (expr.func_name == "sgn") {
+          for (double& x : v) x = Sgn(x);
+          return std::move(v);
+        }
+      }
+      std::vector<double> out(num_rows);
+      std::vector<double> args(arg_vecs.size());
+      for (int64_t i = 0; i < num_rows; ++i) {
+        for (size_t j = 0; j < arg_vecs.size(); ++j) args[j] = arg_vecs[j][i];
+        SUDAF_ASSIGN_OR_RETURN(out[i], ApplyScalarFunc(expr.func_name, args));
+      }
+      return out;
+    }
+    case ExprKind::kAggCall:
+    case ExprKind::kStateRef:
+      return Status::TypeError("aggregate in vectorized scalar context: " +
+                               expr.ToString());
+  }
+  return Status::Internal("bad expr kind");
+}
+
+Result<double> EvalTerminating(const Expr& expr,
+                               const std::vector<double>& states) {
+  switch (expr.kind) {
+    case ExprKind::kLiteral:
+      if (!expr.literal.is_numeric()) {
+        return Status::TypeError("string literal in terminating function");
+      }
+      return expr.literal.AsDouble();
+    case ExprKind::kStateRef: {
+      if (expr.state_index < 0 ||
+          expr.state_index >= static_cast<int>(states.size())) {
+        return Status::Internal("state index out of range");
+      }
+      return states[expr.state_index];
+    }
+    case ExprKind::kUnaryMinus: {
+      SUDAF_ASSIGN_OR_RETURN(double v,
+                             EvalTerminating(*expr.args[0], states));
+      return -v;
+    }
+    case ExprKind::kBinary: {
+      SUDAF_ASSIGN_OR_RETURN(double a, EvalTerminating(*expr.args[0], states));
+      SUDAF_ASSIGN_OR_RETURN(double b, EvalTerminating(*expr.args[1], states));
+      return NumericBinary(expr.bin_op, a, b);
+    }
+    case ExprKind::kFuncCall: {
+      std::vector<double> args;
+      args.reserve(expr.args.size());
+      for (const auto& a : expr.args) {
+        SUDAF_ASSIGN_OR_RETURN(double v, EvalTerminating(*a, states));
+        args.push_back(v);
+      }
+      return ApplyScalarFunc(expr.func_name, args);
+    }
+    case ExprKind::kColumnRef:
+      return Status::TypeError("column reference in terminating function: " +
+                               expr.column);
+    case ExprKind::kAggCall:
+      return Status::TypeError("aggregate call in terminating function");
+  }
+  return Status::Internal("bad expr kind");
+}
+
+}  // namespace sudaf

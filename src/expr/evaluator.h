@@ -1,0 +1,67 @@
+#ifndef SUDAF_EXPR_EVALUATOR_H_
+#define SUDAF_EXPR_EVALUATOR_H_
+
+// Expression evaluation.
+//
+// Three evaluation modes:
+//   * Row mode over boxed Values — used for predicates (which may touch
+//     strings) and by the hardcoded-UDAF execution path.
+//   * Vectorized numeric mode over whole columns — used by the fast SUDAF
+//     path to compute aggregation-state inputs f(x_i).
+//   * Terminating mode — evaluates a terminating function T over the values
+//     of aggregation states (kStateRef nodes).
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+#include "expr/expr.h"
+#include "storage/column.h"
+
+namespace sudaf {
+
+// Supported scalar functions: sqrt, ln, log(base, x), exp, abs, sgn,
+// pow(x, y), nullif(x, y) (returns NaN when x == y, mirroring SQL NULLIF
+// under our NaN-as-NULL convention).
+// Returns TypeError for unknown names or wrong arity.
+Result<double> ApplyScalarFunc(const std::string& name,
+                               const std::vector<double>& args);
+
+// True if `name` is one of the scalar functions understood by
+// ApplyScalarFunc.
+bool IsKnownScalarFunc(const std::string& name);
+
+// --- Row mode ---------------------------------------------------------------
+
+// Resolves a column reference to a boxed value for a given row.
+using RowAccessor =
+    std::function<Result<Value>(const std::string& column, int64_t row)>;
+
+// Evaluates `expr` for row `row`. Comparison/logic operators yield int64 0/1.
+// Aggregate calls and state refs are errors in this mode.
+Result<Value> EvalRow(const Expr& expr, const RowAccessor& accessor,
+                      int64_t row);
+
+// --- Vectorized numeric mode -------------------------------------------------
+
+// Resolves a column name to a Column (numeric columns only in this mode).
+using ColumnResolver =
+    std::function<Result<const Column*>(const std::string& column)>;
+
+// Evaluates a purely scalar numeric expression over rows [0, num_rows),
+// producing one double per row. Aggregates/state refs/strings are errors.
+Result<std::vector<double>> EvalNumericVector(const Expr& expr,
+                                              const ColumnResolver& resolver,
+                                              int64_t num_rows);
+
+// --- Terminating mode ---------------------------------------------------------
+
+// Evaluates a terminating function whose leaves are kStateRef and literals.
+Result<double> EvalTerminating(const Expr& expr,
+                               const std::vector<double>& states);
+
+}  // namespace sudaf
+
+#endif  // SUDAF_EXPR_EVALUATOR_H_

@@ -1,0 +1,22 @@
+#ifndef SUDAF_EXPR_LEXER_H_
+#define SUDAF_EXPR_LEXER_H_
+
+// Tokenizer for expressions and SQL.
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "expr/token.h"
+
+namespace sudaf {
+
+// Tokenizes `input`; the returned vector always ends with a kEnd token.
+// Accepts identifiers [A-Za-z_][A-Za-z0-9_]*, numbers (with optional
+// fraction and exponent), single-quoted strings ('' escapes a quote) and
+// the symbols listed in token.h. Comments are not supported.
+Result<std::vector<Token>> Tokenize(const std::string& input);
+
+}  // namespace sudaf
+
+#endif  // SUDAF_EXPR_LEXER_H_

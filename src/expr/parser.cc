@@ -1,0 +1,273 @@
+#include "expr/parser.h"
+
+#include "expr/lexer.h"
+
+namespace sudaf {
+
+namespace {
+
+// Returns true and sets `*op` if `tok` names a primitive aggregate.
+bool AggOpFromName(const Token& tok, AggOp* op) {
+  if (tok.IsKeyword("sum")) {
+    *op = AggOp::kSum;
+  } else if (tok.IsKeyword("prod") || tok.IsKeyword("product")) {
+    *op = AggOp::kProd;
+  } else if (tok.IsKeyword("count")) {
+    *op = AggOp::kCount;
+  } else if (tok.IsKeyword("min")) {
+    *op = AggOp::kMin;
+  } else if (tok.IsKeyword("max")) {
+    *op = AggOp::kMax;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<ExprPtr> ParseExpression(const std::string& input) {
+  SUDAF_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(input));
+  size_t pos = 0;
+  ExprParser parser(&tokens, &pos);
+  SUDAF_ASSIGN_OR_RETURN(ExprPtr expr, parser.ParseOr());
+  if (tokens[pos].kind != TokenKind::kEnd) {
+    return Status::ParseError("trailing input at offset " +
+                              std::to_string(tokens[pos].position) + " in '" +
+                              input + "'");
+  }
+  return expr;
+}
+
+Result<ExprPtr> ExprParser::ParseOr() {
+  SUDAF_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAnd());
+  while (Peek().IsKeyword("or")) {
+    Next();
+    SUDAF_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAnd());
+    lhs = Expr::Binary(BinaryOp::kOr, std::move(lhs), std::move(rhs));
+  }
+  return lhs;
+}
+
+Result<ExprPtr> ExprParser::ParseAnd() {
+  SUDAF_ASSIGN_OR_RETURN(ExprPtr lhs, ParseNot());
+  while (Peek().IsKeyword("and")) {
+    Next();
+    SUDAF_ASSIGN_OR_RETURN(ExprPtr rhs, ParseNot());
+    lhs = Expr::Binary(BinaryOp::kAnd, std::move(lhs), std::move(rhs));
+  }
+  return lhs;
+}
+
+namespace {
+
+ExprPtr NotExpr(ExprPtr inner) {
+  std::vector<ExprPtr> args;
+  args.push_back(std::move(inner));
+  return Expr::Func("not", std::move(args));
+}
+
+}  // namespace
+
+Result<ExprPtr> ExprParser::ParseNot() {
+  if (Peek().IsKeyword("not")) {
+    Next();
+    SUDAF_ASSIGN_OR_RETURN(ExprPtr inner, ParseNot());
+    return NotExpr(std::move(inner));
+  }
+  return ParseComparison();
+}
+
+Result<ExprPtr> ExprParser::ParseComparison() {
+  SUDAF_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAdd());
+
+  // [NOT] BETWEEN lo AND hi / [NOT] IN (list).
+  bool negated = false;
+  if (Peek().IsKeyword("not")) {
+    // Only consume NOT if BETWEEN/IN follows (postfix predicate negation).
+    size_t saved = *pos_;
+    Next();
+    if (!Peek().IsKeyword("between") && !Peek().IsKeyword("in")) {
+      *pos_ = saved;
+    } else {
+      negated = true;
+    }
+  }
+  if (Peek().IsKeyword("between")) {
+    Next();
+    SUDAF_ASSIGN_OR_RETURN(ExprPtr lo, ParseAdd());
+    if (!Peek().IsKeyword("and")) {
+      return Status::ParseError("expected AND in BETWEEN at offset " +
+                                std::to_string(Peek().position));
+    }
+    Next();
+    SUDAF_ASSIGN_OR_RETURN(ExprPtr hi, ParseAdd());
+    ExprPtr lhs_copy = lhs->Clone();
+    ExprPtr range = Expr::Binary(
+        BinaryOp::kAnd,
+        Expr::Binary(BinaryOp::kGe, std::move(lhs_copy), std::move(lo)),
+        Expr::Binary(BinaryOp::kLe, std::move(lhs), std::move(hi)));
+    return negated ? NotExpr(std::move(range)) : std::move(range);
+  }
+  if (Peek().IsKeyword("in")) {
+    Next();
+    if (!Peek().IsSymbol("(")) {
+      return Status::ParseError("expected '(' after IN");
+    }
+    Next();
+    ExprPtr any;
+    while (true) {
+      SUDAF_ASSIGN_OR_RETURN(ExprPtr item, ParseOr());
+      ExprPtr eq =
+          Expr::Binary(BinaryOp::kEq, lhs->Clone(), std::move(item));
+      any = any == nullptr ? std::move(eq)
+                           : Expr::Binary(BinaryOp::kOr, std::move(any),
+                                          std::move(eq));
+      if (Peek().IsSymbol(",")) {
+        Next();
+        continue;
+      }
+      break;
+    }
+    if (!Peek().IsSymbol(")")) {
+      return Status::ParseError("expected ')' after IN list");
+    }
+    Next();
+    return negated ? NotExpr(std::move(any)) : std::move(any);
+  }
+  if (negated) return Status::Internal("lost NOT");  // unreachable
+
+  const Token& tok = Peek();
+  BinaryOp op;
+  if (tok.IsSymbol("=")) {
+    op = BinaryOp::kEq;
+  } else if (tok.IsSymbol("<>") || tok.IsSymbol("!=")) {
+    op = BinaryOp::kNe;
+  } else if (tok.IsSymbol("<")) {
+    op = BinaryOp::kLt;
+  } else if (tok.IsSymbol("<=")) {
+    op = BinaryOp::kLe;
+  } else if (tok.IsSymbol(">")) {
+    op = BinaryOp::kGt;
+  } else if (tok.IsSymbol(">=")) {
+    op = BinaryOp::kGe;
+  } else {
+    return lhs;
+  }
+  Next();
+  SUDAF_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAdd());
+  return Expr::Binary(op, std::move(lhs), std::move(rhs));
+}
+
+Result<ExprPtr> ExprParser::ParseAdd() {
+  SUDAF_ASSIGN_OR_RETURN(ExprPtr lhs, ParseMul());
+  while (Peek().IsSymbol("+") || Peek().IsSymbol("-")) {
+    BinaryOp op = Next().text == "+" ? BinaryOp::kAdd : BinaryOp::kSub;
+    SUDAF_ASSIGN_OR_RETURN(ExprPtr rhs, ParseMul());
+    lhs = Expr::Binary(op, std::move(lhs), std::move(rhs));
+  }
+  return lhs;
+}
+
+Result<ExprPtr> ExprParser::ParseMul() {
+  SUDAF_ASSIGN_OR_RETURN(ExprPtr lhs, ParseUnary());
+  while (Peek().IsSymbol("*") || Peek().IsSymbol("/")) {
+    BinaryOp op = Next().text == "*" ? BinaryOp::kMul : BinaryOp::kDiv;
+    SUDAF_ASSIGN_OR_RETURN(ExprPtr rhs, ParseUnary());
+    lhs = Expr::Binary(op, std::move(lhs), std::move(rhs));
+  }
+  return lhs;
+}
+
+Result<ExprPtr> ExprParser::ParseUnary() {
+  if (Peek().IsSymbol("-")) {
+    Next();
+    SUDAF_ASSIGN_OR_RETURN(ExprPtr child, ParseUnary());
+    return Expr::Unary(std::move(child));
+  }
+  return ParsePow();
+}
+
+Result<ExprPtr> ExprParser::ParsePow() {
+  SUDAF_ASSIGN_OR_RETURN(ExprPtr base, ParsePrimary());
+  if (Peek().IsSymbol("^")) {
+    Next();
+    // Right associative; exponent may be signed: x ^ -2.
+    SUDAF_ASSIGN_OR_RETURN(ExprPtr exp, ParseUnary());
+    return Expr::Binary(BinaryOp::kPow, std::move(base), std::move(exp));
+  }
+  return base;
+}
+
+Result<ExprPtr> ExprParser::ParsePrimary() {
+  const Token tok = Peek();
+  switch (tok.kind) {
+    case TokenKind::kNumber:
+      Next();
+      return Expr::Number(tok.number);
+    case TokenKind::kString:
+      Next();
+      return Expr::Literal(Value(tok.text));
+    case TokenKind::kSymbol:
+      if (tok.text == "(") {
+        Next();
+        SUDAF_ASSIGN_OR_RETURN(ExprPtr inner, ParseOr());
+        if (!Peek().IsSymbol(")")) {
+          return Status::ParseError("expected ')' at offset " +
+                                    std::to_string(Peek().position));
+        }
+        Next();
+        return inner;
+      }
+      if (tok.text == "*") {
+        // count(*) support: '*' as a bare primary inside an agg call.
+        Next();
+        return Expr::Column("*");
+      }
+      break;
+    case TokenKind::kIdent: {
+      Next();
+      if (!Peek().IsSymbol("(")) {
+        return Expr::Column(tok.text);
+      }
+      Next();  // consume '('
+      std::vector<ExprPtr> args;
+      if (!Peek().IsSymbol(")")) {
+        while (true) {
+          SUDAF_ASSIGN_OR_RETURN(ExprPtr arg, ParseOr());
+          args.push_back(std::move(arg));
+          if (Peek().IsSymbol(",")) {
+            Next();
+            continue;
+          }
+          break;
+        }
+      }
+      if (!Peek().IsSymbol(")")) {
+        return Status::ParseError("expected ')' in call to '" + tok.text +
+                                  "' at offset " +
+                                  std::to_string(Peek().position));
+      }
+      Next();
+      AggOp agg_op;
+      if (AggOpFromName(tok, &agg_op)) {
+        if (agg_op == AggOp::kCount) {
+          // count() and count(*) both have no meaningful argument.
+          return Expr::Agg(AggOp::kCount, nullptr);
+        }
+        if (args.size() != 1) {
+          return Status::ParseError(std::string(AggOpName(agg_op)) +
+                                    "() takes exactly one argument");
+        }
+        return Expr::Agg(agg_op, std::move(args[0]));
+      }
+      return Expr::Func(tok.text, std::move(args));
+    }
+    case TokenKind::kEnd:
+      break;
+  }
+  return Status::ParseError("unexpected token at offset " +
+                            std::to_string(tok.position));
+}
+
+}  // namespace sudaf

@@ -1,0 +1,63 @@
+#ifndef SUDAF_EXPR_PARSER_H_
+#define SUDAF_EXPR_PARSER_H_
+
+// Recursive-descent / precedence-climbing parser for expressions.
+//
+// Grammar (lowest to highest precedence):
+//   or_expr   := and_expr (OR and_expr)*
+//   and_expr  := not_expr (AND not_expr)*
+//   not_expr  := NOT not_expr | cmp_expr
+//   cmp_expr  := add_expr ((= | <> | != | < | <= | > | >=) add_expr
+//                          | [NOT] BETWEEN add_expr AND add_expr
+//                          | [NOT] IN '(' expr (',' expr)* ')')?
+//   add_expr  := mul_expr ((+ | -) mul_expr)*
+//   mul_expr  := unary ((* | /) unary)*
+//   unary     := - unary | pow_expr
+//   pow_expr  := primary (^ unary)?            -- right associative
+//   primary   := NUMBER | STRING | IDENT | IDENT '(' args ')' | '(' expr ')'
+//
+// `sum`, `prod` (alias `product`), `count`, `min`, `max` parse as kAggCall
+// when used as calls; every other call parses as kFuncCall.
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "expr/expr.h"
+#include "expr/token.h"
+
+namespace sudaf {
+
+// Parses a complete expression string; fails on trailing tokens.
+Result<ExprPtr> ParseExpression(const std::string& input);
+
+// Parser over a pre-lexed token stream; used by the SQL parser, which
+// delegates expression parsing here.
+class ExprParser {
+ public:
+  // Does not own `tokens`; `*pos` is advanced as tokens are consumed.
+  ExprParser(const std::vector<Token>* tokens, size_t* pos)
+      : tokens_(tokens), pos_(pos) {}
+
+  Result<ExprPtr> ParseOr();
+
+ private:
+  const Token& Peek() const { return (*tokens_)[*pos_]; }
+  Token Next() { return (*tokens_)[(*pos_)++]; }
+
+  Result<ExprPtr> ParseAnd();
+  Result<ExprPtr> ParseNot();
+  Result<ExprPtr> ParseComparison();
+  Result<ExprPtr> ParseAdd();
+  Result<ExprPtr> ParseMul();
+  Result<ExprPtr> ParseUnary();
+  Result<ExprPtr> ParsePow();
+  Result<ExprPtr> ParsePrimary();
+
+  const std::vector<Token>* tokens_;
+  size_t* pos_;
+};
+
+}  // namespace sudaf
+
+#endif  // SUDAF_EXPR_PARSER_H_

@@ -1,0 +1,22 @@
+#include "expr/token.h"
+
+#include <cctype>
+
+namespace sudaf {
+
+bool Token::IsKeyword(const char* kw) const {
+  if (kind != TokenKind::kIdent) return false;
+  const char* p = text.c_str();
+  const char* q = kw;
+  while (*p && *q) {
+    if (std::toupper(static_cast<unsigned char>(*p)) !=
+        std::toupper(static_cast<unsigned char>(*q))) {
+      return false;
+    }
+    ++p;
+    ++q;
+  }
+  return *p == '\0' && *q == '\0';
+}
+
+}  // namespace sudaf

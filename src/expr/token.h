@@ -1,0 +1,34 @@
+#ifndef SUDAF_EXPR_TOKEN_H_
+#define SUDAF_EXPR_TOKEN_H_
+
+// Token model shared by the expression parser and the SQL parser.
+
+#include <string>
+
+namespace sudaf {
+
+enum class TokenKind {
+  kEnd,
+  kIdent,    // bare identifier or keyword (case preserved in `text`)
+  kNumber,   // numeric literal
+  kString,   // quoted string literal (quotes stripped)
+  kSymbol,   // one of: + - * / ^ ( ) , . = <> != < <= > >= ; :=
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;     // identifier text / symbol spelling
+  double number = 0.0;  // kNumber value
+  bool is_integer = false;
+  int position = 0;     // byte offset in the input, for error messages
+
+  // Case-insensitive keyword match for identifiers.
+  bool IsKeyword(const char* kw) const;
+  bool IsSymbol(const char* s) const {
+    return kind == TokenKind::kSymbol && text == s;
+  }
+};
+
+}  // namespace sudaf
+
+#endif  // SUDAF_EXPR_TOKEN_H_

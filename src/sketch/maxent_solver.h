@@ -1,0 +1,39 @@
+#ifndef SUDAF_SKETCH_MAXENT_SOLVER_H_
+#define SUDAF_SKETCH_MAXENT_SOLVER_H_
+
+// Maximum-entropy quantile solver (the MomentSolver of the moments sketch).
+//
+// Given (min, max, n, Σx, ..., Σx^k), fits the maximum-entropy density
+// p(s) = exp(Σ_j λ_j·T_j(s)) on the scaled domain s ∈ [-1, 1] whose
+// Chebyshev moments match the data's, via a damped Newton iteration, then
+// inverts the fitted CDF at phi.
+
+#include <vector>
+
+#include "common/status.h"
+
+namespace sudaf {
+
+struct MaxEntOptions {
+  int grid_size = 256;
+  int max_iterations = 100;
+  double gradient_tolerance = 1e-9;
+};
+
+// `power_sums[j]` is Σ x^(j+1). Returns the estimated phi-quantile.
+// Fails on empty input or phi outside (0, 1); degenerate inputs
+// (min == max) return that point mass.
+Result<double> MaxEntQuantile(double min, double max, double count,
+                              const std::vector<double>& power_sums,
+                              double phi, const MaxEntOptions& options = {});
+
+// Lower-level access for tests: solves for the density on the grid and
+// returns per-grid-point probabilities (summing to ~1).
+Result<std::vector<double>> MaxEntDensity(
+    double min, double max, double count,
+    const std::vector<double>& power_sums,
+    const MaxEntOptions& options = {});
+
+}  // namespace sudaf
+
+#endif  // SUDAF_SKETCH_MAXENT_SOLVER_H_

@@ -1,0 +1,173 @@
+#include "sketch/moment_sketch.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "sketch/maxent_solver.h"
+
+namespace sudaf {
+
+MomentSketch::MomentSketch(int k)
+    : min(std::numeric_limits<double>::infinity()),
+      max(-std::numeric_limits<double>::infinity()),
+      power_sums(k, 0.0),
+      log_sums(k, 0.0) {}
+
+void MomentSketch::Add(double x) {
+  min = std::min(min, x);
+  max = std::max(max, x);
+  count += 1.0;
+  double p = 1.0;
+  for (double& s : power_sums) {
+    p *= x;
+    s += p;
+  }
+  double lx = std::log(std::fabs(x));
+  double lp = 1.0;
+  for (double& s : log_sums) {
+    lp *= lx;
+    s += lp;
+  }
+}
+
+void MomentSketch::Merge(const MomentSketch& other) {
+  SUDAF_CHECK(other.k() == k());
+  min = std::min(min, other.min);
+  max = std::max(max, other.max);
+  count += other.count;
+  for (int j = 0; j < k(); ++j) {
+    power_sums[j] += other.power_sums[j];
+    log_sums[j] += other.log_sums[j];
+  }
+}
+
+MomentSketch MomentSketch::FromValues(const std::vector<double>& values,
+                                      int k) {
+  MomentSketch sketch(k);
+  for (double v : values) sketch.Add(v);
+  return sketch;
+}
+
+Result<double> EstimateQuantile(const MomentSketch& sketch, double phi) {
+  return MaxEntQuantile(sketch.min, sketch.max, sketch.count,
+                        sketch.power_sums, phi);
+}
+
+NativeUdaf MakeApproxQuantileUdaf(const std::string& name, double phi,
+                                  int k) {
+  NativeUdaf udaf;
+  udaf.name = name;
+  udaf.state_templates = MomentSketchStateExprs("x", k);
+  udaf.terminate =
+      [phi, k](const std::vector<double>& states) -> Result<double> {
+    if (static_cast<int>(states.size()) < 3 + k) {
+      return Status::Internal("moments sketch state vector too short");
+    }
+    double mn = states[0];
+    double mx = states[1];
+    double count = states[2];
+    std::vector<double> power_sums(states.begin() + 3,
+                                   states.begin() + 3 + k);
+    return MaxEntQuantile(mn, mx, count, power_sums, phi);
+  };
+  return udaf;
+}
+
+namespace {
+
+// IUME approx-quantile UDAF: the boxed state is (min, max, count,
+// Σx, ..., Σx^k); Evaluate runs the MomentSolver.
+class HardcodedQuantileUdaf : public Udaf {
+ public:
+  HardcodedQuantileUdaf(std::string name, double phi, int k)
+      : name_(std::move(name)), phi_(phi), k_(k) {}
+
+  std::string name() const override { return name_; }
+  int num_args() const override { return 1; }
+
+  std::vector<Value> Initialize() const override {
+    std::vector<Value> state(3 + k_, Value(0.0));
+    state[0] = Value(std::numeric_limits<double>::infinity());
+    state[1] = Value(-std::numeric_limits<double>::infinity());
+    return state;
+  }
+
+  void Update(std::vector<Value>* state,
+              const std::vector<Value>& args) const override {
+    double x = args[0].AsDouble();
+    (*state)[0] = Value(std::min((*state)[0].AsDouble(), x));
+    (*state)[1] = Value(std::max((*state)[1].AsDouble(), x));
+    (*state)[2] = Value((*state)[2].AsDouble() + 1.0);
+    double p = 1.0;
+    for (int j = 0; j < k_; ++j) {
+      p *= x;
+      (*state)[3 + j] = Value((*state)[3 + j].AsDouble() + p);
+    }
+  }
+
+  void Merge(std::vector<Value>* state,
+             const std::vector<Value>& other) const override {
+    (*state)[0] =
+        Value(std::min((*state)[0].AsDouble(), other[0].AsDouble()));
+    (*state)[1] =
+        Value(std::max((*state)[1].AsDouble(), other[1].AsDouble()));
+    for (int j = 2; j < 3 + k_; ++j) {
+      (*state)[j] = Value((*state)[j].AsDouble() + other[j].AsDouble());
+    }
+  }
+
+  Result<Value> Evaluate(const std::vector<Value>& state) const override {
+    std::vector<double> power_sums(k_);
+    for (int j = 0; j < k_; ++j) power_sums[j] = state[3 + j].AsDouble();
+    // A coarser solver grid, matching the cheap built-in approximations
+    // (e.g. Spark percentile_approx) this baseline stands in for.
+    MaxEntOptions options;
+    options.grid_size = 128;
+    options.max_iterations = 40;
+    SUDAF_ASSIGN_OR_RETURN(
+        double q, MaxEntQuantile(state[0].AsDouble(), state[1].AsDouble(),
+                                 state[2].AsDouble(), power_sums, phi_,
+                                 options));
+    return Value(q);
+  }
+
+ private:
+  std::string name_;
+  double phi_;
+  int k_;
+};
+
+}  // namespace
+
+void RegisterHardcodedQuantileUdafs(UdafRegistry* registry, int k) {
+  struct Spec {
+    const char* name;
+    double phi;
+  };
+  for (const Spec& spec : {Spec{"approx_median", 0.5},
+                           Spec{"approx_first_quantile", 0.25},
+                           Spec{"approx_third_quantile", 0.75}}) {
+    Status st = registry->Register(
+        std::make_unique<HardcodedQuantileUdaf>(spec.name, spec.phi, k));
+    SUDAF_CHECK_MSG(st.ok(), st.ToString());
+  }
+}
+
+std::vector<std::string> MomentSketchStateExprs(const std::string& column,
+                                                int k) {
+  std::vector<std::string> exprs;
+  exprs.push_back("min(" + column + ")");
+  exprs.push_back("max(" + column + ")");
+  exprs.push_back("count()");
+  for (int j = 1; j <= k; ++j) {
+    exprs.push_back("sum(" + column + "^" + std::to_string(j) + ")");
+  }
+  for (int j = 1; j <= k; ++j) {
+    exprs.push_back("sum(ln(abs(" + column + "))^" + std::to_string(j) +
+                    ")");
+  }
+  return exprs;
+}
+
+}  // namespace sudaf

@@ -1,0 +1,66 @@
+#ifndef SUDAF_SKETCH_MOMENT_SKETCH_H_
+#define SUDAF_SKETCH_MOMENT_SKETCH_H_
+
+// Moments sketch [Gan et al., VLDB 2018] — the quantile summary the paper
+// uses both as a prefetched bundle of aggregation states (sequence AS2) and
+// as the example of a UDAF whose terminating function (the MomentSolver)
+// cannot be written with built-in functions.
+//
+// The sketch is a fixed-size set of algebraic aggregation states
+//   (min, max, count, Σx, ..., Σx^k, Σ ln|x|, ..., Σ ln^k|x|)
+// mergeable with ⊕ — which is exactly why SUDAF can cache and reuse its
+// pieces for ordinary aggregates (Σx² serves qm, Σ ln|x| serves gm, ...).
+
+#include <cstdint>
+#include <vector>
+
+#include "agg/udaf.h"
+#include "common/status.h"
+#include "sudaf/rewriter.h"
+
+namespace sudaf {
+
+struct MomentSketch {
+  explicit MomentSketch(int k = 10);
+
+  int k() const { return static_cast<int>(power_sums.size()); }
+
+  double min;
+  double max;
+  double count = 0;
+  std::vector<double> power_sums;  // power_sums[j] = Σ x^(j+1)
+  std::vector<double> log_sums;    // log_sums[j]  = Σ ln^(j+1)|x|
+
+  void Add(double x);
+  void Merge(const MomentSketch& other);
+
+  static MomentSketch FromValues(const std::vector<double>& values,
+                                 int k = 10);
+};
+
+// Approximates the phi-quantile (0 < phi < 1) from the sketch's power
+// moments with a maximum-entropy density estimate (MomentSolver).
+Result<double> EstimateQuantile(const MomentSketch& sketch, double phi);
+
+// Builds a native (hardcoded-terminating-function) UDAF `name(x)` whose
+// aggregation states are the moments-sketch states of order `k` and whose
+// terminating function runs the MomentSolver at quantile `phi` — the
+// paper's second UDAF-definition scenario.
+NativeUdaf MakeApproxQuantileUdaf(const std::string& name, double phi,
+                                  int k = 10);
+
+// Registers hardcoded (IUME) approx-quantile UDAFs — `approx_median`,
+// `approx_first_quantile`, `approx_third_quantile` — that maintain a moments
+// sketch in boxed state, for the engine-native baseline (mirroring Spark's
+// built-in approximate percentiles).
+void RegisterHardcodedQuantileUdafs(UdafRegistry* registry, int k = 10);
+
+// The select-list expressions that prefetch a moments sketch of order `k`
+// over `column` (min, max, count, Σ column^j, Σ ln^j|column|). Used by the
+// AS2 experiments.
+std::vector<std::string> MomentSketchStateExprs(const std::string& column,
+                                                int k = 10);
+
+}  // namespace sudaf
+
+#endif  // SUDAF_SKETCH_MOMENT_SKETCH_H_

@@ -1,0 +1,166 @@
+#include <cctype>
+
+#include "expr/lexer.h"
+#include "expr/parser.h"
+#include "sql/statement.h"
+
+namespace sudaf {
+
+namespace {
+
+// Keywords that terminate a select item / clause; an identifier following an
+// expression that is NOT one of these is an alias.
+bool IsClauseKeyword(const Token& tok) {
+  return tok.IsKeyword("from") || tok.IsKeyword("where") ||
+         tok.IsKeyword("group") || tok.IsKeyword("having") ||
+         tok.IsKeyword("order") || tok.IsKeyword("limit") ||
+         tok.IsKeyword("as") || tok.IsKeyword("asc") || tok.IsKeyword("desc");
+}
+
+std::string ToLower(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return s;
+}
+
+class SqlParser {
+ public:
+  explicit SqlParser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<std::unique_ptr<SelectStatement>> Parse() {
+    if (!Peek().IsKeyword("select")) {
+      return Status::ParseError("expected SELECT");
+    }
+    Next();
+    auto stmt = std::make_unique<SelectStatement>();
+
+    // Select list.
+    while (true) {
+      SUDAF_ASSIGN_OR_RETURN(SelectItem item, ParseSelectItem());
+      stmt->items.push_back(std::move(item));
+      if (Peek().IsSymbol(",")) {
+        Next();
+        continue;
+      }
+      break;
+    }
+
+    if (!Peek().IsKeyword("from")) {
+      return Status::ParseError("expected FROM");
+    }
+    Next();
+    while (true) {
+      if (Peek().kind != TokenKind::kIdent) {
+        return Status::ParseError("expected table name");
+      }
+      stmt->tables.push_back(ToLower(Next().text));
+      if (Peek().IsSymbol(",")) {
+        Next();
+        continue;
+      }
+      break;
+    }
+
+    if (Peek().IsKeyword("where")) {
+      Next();
+      ExprParser ep(&tokens_, &pos_);
+      SUDAF_ASSIGN_OR_RETURN(stmt->where, ep.ParseOr());
+    }
+
+    if (Peek().IsKeyword("group")) {
+      Next();
+      if (!Peek().IsKeyword("by")) return Status::ParseError("expected BY");
+      Next();
+      while (true) {
+        if (Peek().kind != TokenKind::kIdent) {
+          return Status::ParseError("expected GROUP BY column name");
+        }
+        stmt->group_by.push_back(Next().text);
+        if (Peek().IsSymbol(",")) {
+          Next();
+          continue;
+        }
+        break;
+      }
+    }
+
+    if (Peek().IsKeyword("having")) {
+      Next();
+      ExprParser ep(&tokens_, &pos_);
+      SUDAF_ASSIGN_OR_RETURN(stmt->having, ep.ParseOr());
+    }
+
+    if (Peek().IsKeyword("order")) {
+      Next();
+      if (!Peek().IsKeyword("by")) return Status::ParseError("expected BY");
+      Next();
+      while (true) {
+        if (Peek().kind != TokenKind::kIdent) {
+          return Status::ParseError("expected ORDER BY column name");
+        }
+        OrderByItem item;
+        item.column = Next().text;
+        if (Peek().IsKeyword("asc")) {
+          Next();
+        } else if (Peek().IsKeyword("desc")) {
+          Next();
+          item.ascending = false;
+        }
+        stmt->order_by.push_back(std::move(item));
+        if (Peek().IsSymbol(",")) {
+          Next();
+          continue;
+        }
+        break;
+      }
+    }
+
+    if (Peek().IsKeyword("limit")) {
+      Next();
+      if (Peek().kind != TokenKind::kNumber || !Peek().is_integer) {
+        return Status::ParseError("expected integer after LIMIT");
+      }
+      stmt->limit = static_cast<int64_t>(Next().number);
+    }
+
+    if (Peek().IsSymbol(";")) Next();
+    if (Peek().kind != TokenKind::kEnd) {
+      return Status::ParseError("trailing input after statement at offset " +
+                                std::to_string(Peek().position));
+    }
+    return stmt;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  Token Next() { return tokens_[pos_++]; }
+
+  Result<SelectItem> ParseSelectItem() {
+    ExprParser ep(&tokens_, &pos_);
+    SUDAF_ASSIGN_OR_RETURN(ExprPtr expr, ep.ParseOr());
+    SelectItem item;
+    item.expr = std::move(expr);
+    if (Peek().IsKeyword("as")) {
+      Next();
+      if (Peek().kind != TokenKind::kIdent) {
+        return Status::ParseError("expected alias after AS");
+      }
+      item.alias = Next().text;
+    } else if (Peek().kind == TokenKind::kIdent && !IsClauseKeyword(Peek())) {
+      item.alias = Next().text;
+    }
+    return item;
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<SelectStatement>> ParseSelect(const std::string& sql) {
+  SUDAF_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  SqlParser parser(std::move(tokens));
+  return parser.Parse();
+}
+
+}  // namespace sudaf

@@ -1,0 +1,55 @@
+#include "sql/statement.h"
+
+#include <sstream>
+
+namespace sudaf {
+
+std::unique_ptr<SelectStatement> SelectStatement::Clone() const {
+  auto out = std::make_unique<SelectStatement>();
+  out->items.reserve(items.size());
+  for (const auto& item : items) {
+    out->items.push_back(SelectItem{item.expr->Clone(), item.alias});
+  }
+  out->tables = tables;
+  if (where != nullptr) out->where = where->Clone();
+  out->group_by = group_by;
+  if (having != nullptr) out->having = having->Clone();
+  out->order_by = order_by;
+  out->limit = limit;
+  return out;
+}
+
+std::string SelectStatement::ToString() const {
+  std::ostringstream os;
+  os << "SELECT ";
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << items[i].expr->ToString();
+    if (!items[i].alias.empty()) os << " AS " << items[i].alias;
+  }
+  os << " FROM ";
+  for (size_t i = 0; i < tables.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << tables[i];
+  }
+  if (where != nullptr) os << " WHERE " << where->ToString();
+  if (!group_by.empty()) {
+    os << " GROUP BY ";
+    for (size_t i = 0; i < group_by.size(); ++i) {
+      if (i > 0) os << ", ";
+      os << group_by[i];
+    }
+  }
+  if (having != nullptr) os << " HAVING " << having->ToString();
+  if (!order_by.empty()) {
+    os << " ORDER BY ";
+    for (size_t i = 0; i < order_by.size(); ++i) {
+      if (i > 0) os << ", ";
+      os << order_by[i].column << (order_by[i].ascending ? "" : " DESC");
+    }
+  }
+  if (limit >= 0) os << " LIMIT " << limit;
+  return os.str();
+}
+
+}  // namespace sudaf

@@ -1,0 +1,54 @@
+#ifndef SUDAF_SQL_STATEMENT_H_
+#define SUDAF_SQL_STATEMENT_H_
+
+// Parsed representation of the supported SQL subset:
+//
+//   SELECT expr [[AS] alias], ...
+//   FROM table [, table ...]
+//   [WHERE expr]
+//   [GROUP BY column [, column ...]]
+//   [HAVING expr]                  -- over output column names/aliases
+//   [ORDER BY column [ASC|DESC] [, ...]]
+//   [LIMIT n]
+//
+// Multi-table FROM with equality predicates in WHERE expresses joins, as in
+// the paper's queries.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "expr/expr.h"
+
+namespace sudaf {
+
+struct SelectItem {
+  ExprPtr expr;
+  std::string alias;  // empty => derived from the expression
+};
+
+struct OrderByItem {
+  std::string column;  // output column name (alias or group-by column)
+  bool ascending = true;
+};
+
+struct SelectStatement {
+  std::vector<SelectItem> items;
+  std::vector<std::string> tables;
+  ExprPtr where;                     // null when absent
+  std::vector<std::string> group_by;  // column names
+  ExprPtr having;  // filter over output columns; null when absent
+  std::vector<OrderByItem> order_by;
+  int64_t limit = -1;  // -1 => no limit
+
+  std::unique_ptr<SelectStatement> Clone() const;
+  std::string ToString() const;
+};
+
+// Parses one SELECT statement (optionally ';'-terminated).
+Result<std::unique_ptr<SelectStatement>> ParseSelect(const std::string& sql);
+
+}  // namespace sudaf
+
+#endif  // SUDAF_SQL_STATEMENT_H_

@@ -1,0 +1,44 @@
+#include "storage/catalog.h"
+
+namespace sudaf {
+
+Status Catalog::AddTable(const std::string& name,
+                         std::unique_ptr<Table> table) {
+  if (tables_.count(name) > 0) {
+    return Status::AlreadyExists("table already exists: " + name);
+  }
+  tables_.emplace(name, std::move(table));
+  return Status::OK();
+}
+
+void Catalog::PutTable(const std::string& name, std::unique_ptr<Table> table) {
+  tables_[name] = std::move(table);
+}
+
+void Catalog::PutExternalTable(const std::string& name, Table* table) {
+  external_[name] = table;
+}
+
+Result<Table*> Catalog::GetTable(const std::string& name) const {
+  auto ext = external_.find(name);
+  if (ext != external_.end()) return ext->second;
+  auto it = tables_.find(name);
+  if (it == tables_.end()) return Status::NotFound("no table named " + name);
+  return it->second.get();
+}
+
+bool Catalog::HasTable(const std::string& name) const {
+  return external_.count(name) > 0 || tables_.count(name) > 0;
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size() + external_.size());
+  for (const auto& [name, _] : tables_) names.push_back(name);
+  for (const auto& [name, _] : external_) {
+    if (tables_.count(name) == 0) names.push_back(name);
+  }
+  return names;
+}
+
+}  // namespace sudaf

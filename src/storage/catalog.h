@@ -1,0 +1,41 @@
+#ifndef SUDAF_STORAGE_CATALOG_H_
+#define SUDAF_STORAGE_CATALOG_H_
+
+// Catalog: owns named tables for one database instance.
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace sudaf {
+
+class Catalog {
+ public:
+  // Registers `table` under `name`; fails if the name is taken.
+  Status AddTable(const std::string& name, std::unique_ptr<Table> table);
+
+  // Replaces or creates `name`.
+  void PutTable(const std::string& name, std::unique_ptr<Table> table);
+
+  // Registers a non-owning reference (e.g. a materialized view owned by the
+  // caller, or another catalog's table). The table must outlive this
+  // catalog. External names shadow owned ones.
+  void PutExternalTable(const std::string& name, Table* table);
+
+  Result<Table*> GetTable(const std::string& name) const;
+  bool HasTable(const std::string& name) const;
+
+  std::vector<std::string> TableNames() const;
+
+ private:
+  std::map<std::string, std::unique_ptr<Table>> tables_;
+  std::map<std::string, Table*> external_;
+};
+
+}  // namespace sudaf
+
+#endif  // SUDAF_STORAGE_CATALOG_H_

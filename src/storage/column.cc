@@ -1,0 +1,78 @@
+#include "storage/column.h"
+
+namespace sudaf {
+
+int64_t Column::size() const {
+  switch (type_) {
+    case DataType::kInt64:
+      return static_cast<int64_t>(ints_.size());
+    case DataType::kFloat64:
+      return static_cast<int64_t>(doubles_.size());
+    case DataType::kString:
+      return static_cast<int64_t>(codes_.size());
+  }
+  return 0;
+}
+
+void Column::Reserve(int64_t n) {
+  switch (type_) {
+    case DataType::kInt64:
+      ints_.reserve(n);
+      break;
+    case DataType::kFloat64:
+      doubles_.reserve(n);
+      break;
+    case DataType::kString:
+      codes_.reserve(n);
+      break;
+  }
+}
+
+void Column::AppendString(const std::string& v) {
+  auto it = dict_index_.find(v);
+  int32_t code;
+  if (it == dict_index_.end()) {
+    code = static_cast<int32_t>(dict_.size());
+    dict_.push_back(v);
+    dict_index_.emplace(v, code);
+  } else {
+    code = it->second;
+  }
+  codes_.push_back(code);
+}
+
+void Column::AppendValue(const Value& v) {
+  switch (type_) {
+    case DataType::kInt64:
+      SUDAF_CHECK(v.type() == DataType::kInt64);
+      AppendInt64(v.int64());
+      break;
+    case DataType::kFloat64:
+      SUDAF_CHECK(v.is_numeric());
+      AppendFloat64(v.AsDouble());
+      break;
+    case DataType::kString:
+      SUDAF_CHECK(v.type() == DataType::kString);
+      AppendString(v.string());
+      break;
+  }
+}
+
+Value Column::GetValue(int64_t row) const {
+  switch (type_) {
+    case DataType::kInt64:
+      return Value(ints_[row]);
+    case DataType::kFloat64:
+      return Value(doubles_[row]);
+    case DataType::kString:
+      return Value(dict_[codes_[row]]);
+  }
+  return Value();
+}
+
+int32_t Column::LookupDictionary(const std::string& s) const {
+  auto it = dict_index_.find(s);
+  return it == dict_index_.end() ? -1 : it->second;
+}
+
+}  // namespace sudaf

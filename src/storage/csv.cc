@@ -1,0 +1,240 @@
+#include "storage/csv.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <fstream>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+#include <vector>
+
+namespace sudaf {
+
+namespace {
+
+bool NeedsQuoting(const std::string& field) {
+  return field.find_first_of(",\"\n\r") != std::string::npos;
+}
+
+void WriteField(std::ostream& os, const std::string& field) {
+  if (!NeedsQuoting(field)) {
+    os << field;
+    return;
+  }
+  os << '"';
+  for (char c : field) {
+    if (c == '"') os << '"';
+    os << c;
+  }
+  os << '"';
+}
+
+// Splits one CSV record (quotes already balanced) into fields.
+Result<std::vector<std::string>> SplitRecord(const std::string& line,
+                                             int line_number) {
+  std::vector<std::string> fields;
+  std::string field;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(field));
+      field.clear();
+    } else if (c == '\r') {
+      // tolerate CRLF
+    } else {
+      field += c;
+    }
+  }
+  if (in_quotes) {
+    return Status::ParseError("unterminated quote on CSV line " +
+                              std::to_string(line_number));
+  }
+  fields.push_back(std::move(field));
+  return fields;
+}
+
+bool ParseInt(const std::string& s, int64_t* out) {
+  if (s.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  long long v = std::strtoll(s.c_str(), &end, 10);
+  if (errno != 0 || end != s.c_str() + s.size()) return false;
+  *out = v;
+  return true;
+}
+
+bool ParseDouble(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  double v = std::strtod(s.c_str(), &end);
+  if (errno != 0 || end != s.c_str() + s.size()) return false;
+  *out = v;
+  return true;
+}
+
+// Reads header + raw records from `path`.
+Result<std::pair<std::vector<std::string>,
+                 std::vector<std::vector<std::string>>>>
+ReadRecords(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::NotFound("cannot open CSV file: " + path);
+  }
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::ParseError("CSV file has no header: " + path);
+  }
+  SUDAF_ASSIGN_OR_RETURN(std::vector<std::string> header,
+                         SplitRecord(line, 1));
+  std::vector<std::vector<std::string>> records;
+  int line_number = 1;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty() || (line.size() == 1 && line[0] == '\r')) continue;
+    SUDAF_ASSIGN_OR_RETURN(std::vector<std::string> fields,
+                           SplitRecord(line, line_number));
+    if (fields.size() != header.size()) {
+      return Status::ParseError(
+          "CSV line " + std::to_string(line_number) + " has " +
+          std::to_string(fields.size()) + " fields, expected " +
+          std::to_string(header.size()));
+    }
+    records.push_back(std::move(fields));
+  }
+  return std::make_pair(std::move(header), std::move(records));
+}
+
+Result<std::unique_ptr<Table>> BuildTable(
+    const Schema& schema,
+    const std::vector<std::vector<std::string>>& records) {
+  auto table = std::make_unique<Table>(schema);
+  table->Reserve(static_cast<int64_t>(records.size()));
+  for (size_t r = 0; r < records.size(); ++r) {
+    for (int c = 0; c < schema.num_fields(); ++c) {
+      const std::string& field = records[r][c];
+      switch (schema.field(c).type) {
+        case DataType::kInt64: {
+          int64_t v;
+          if (!ParseInt(field, &v)) {
+            return Status::ParseError("row " + std::to_string(r + 2) +
+                                      ", column " + schema.field(c).name +
+                                      ": not an integer: '" + field + "'");
+          }
+          table->column(c).AppendInt64(v);
+          break;
+        }
+        case DataType::kFloat64: {
+          double v;
+          if (!ParseDouble(field, &v)) {
+            return Status::ParseError("row " + std::to_string(r + 2) +
+                                      ", column " + schema.field(c).name +
+                                      ": not a number: '" + field + "'");
+          }
+          table->column(c).AppendFloat64(v);
+          break;
+        }
+        case DataType::kString:
+          table->column(c).AppendString(field);
+          break;
+      }
+    }
+  }
+  table->FinishBulkAppend();
+  return table;
+}
+
+}  // namespace
+
+Status WriteCsv(const Table& table, const std::string& path) {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return Status::InvalidArgument("cannot open CSV file for writing: " +
+                                   path);
+  }
+  for (int c = 0; c < table.num_columns(); ++c) {
+    if (c > 0) out << ',';
+    WriteField(out, table.schema().field(c).name);
+  }
+  out << '\n';
+  out << std::setprecision(std::numeric_limits<double>::max_digits10);
+  for (int64_t r = 0; r < table.num_rows(); ++r) {
+    for (int c = 0; c < table.num_columns(); ++c) {
+      if (c > 0) out << ',';
+      const Column& col = table.column(c);
+      switch (col.type()) {
+        case DataType::kInt64:
+          out << col.GetInt64(r);
+          break;
+        case DataType::kFloat64:
+          out << col.GetFloat64(r);
+          break;
+        case DataType::kString:
+          WriteField(out, col.GetString(r));
+          break;
+      }
+    }
+    out << '\n';
+  }
+  out.flush();
+  if (!out.good()) return Status::Internal("CSV write failed: " + path);
+  return Status::OK();
+}
+
+Result<std::unique_ptr<Table>> ReadCsv(const Schema& schema,
+                                       const std::string& path) {
+  SUDAF_ASSIGN_OR_RETURN(auto parsed, ReadRecords(path));
+  const auto& [header, records] = parsed;
+  if (static_cast<int>(header.size()) != schema.num_fields()) {
+    return Status::InvalidArgument("CSV has " +
+                                   std::to_string(header.size()) +
+                                   " columns, schema expects " +
+                                   std::to_string(schema.num_fields()));
+  }
+  for (int c = 0; c < schema.num_fields(); ++c) {
+    if (header[c] != schema.field(c).name) {
+      return Status::InvalidArgument("CSV header mismatch at column " +
+                                     std::to_string(c) + ": '" + header[c] +
+                                     "' vs '" + schema.field(c).name + "'");
+    }
+  }
+  return BuildTable(schema, records);
+}
+
+Result<std::unique_ptr<Table>> ReadCsvInferSchema(const std::string& path) {
+  SUDAF_ASSIGN_OR_RETURN(auto parsed, ReadRecords(path));
+  const auto& [header, records] = parsed;
+  Schema schema;
+  for (size_t c = 0; c < header.size(); ++c) {
+    bool all_int = !records.empty();
+    bool all_double = !records.empty();
+    for (const auto& record : records) {
+      int64_t iv;
+      double dv;
+      if (!ParseInt(record[c], &iv)) all_int = false;
+      if (!ParseDouble(record[c], &dv)) all_double = false;
+      if (!all_int && !all_double) break;
+    }
+    DataType type = all_int ? DataType::kInt64
+                            : (all_double ? DataType::kFloat64
+                                          : DataType::kString);
+    SUDAF_RETURN_IF_ERROR(schema.AddField(Field{header[c], type}));
+  }
+  return BuildTable(schema, records);
+}
+
+}  // namespace sudaf

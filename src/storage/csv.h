@@ -1,0 +1,37 @@
+#ifndef SUDAF_STORAGE_CSV_H_
+#define SUDAF_STORAGE_CSV_H_
+
+// CSV import/export for tables, so users can run SUDAF over their own data
+// (and round-trip benchmark datasets for inspection).
+//
+// Dialect: comma separator, '\n' row terminator, RFC-4180-style quoting
+// (fields containing comma/quote/newline are wrapped in double quotes,
+// embedded quotes doubled). The first line is a header of column names.
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace sudaf {
+
+// Writes `table` (header + rows) to `path`. FLOAT64 uses max_digits10 so
+// a round trip is value-exact.
+Status WriteCsv(const Table& table, const std::string& path);
+
+// Reads a CSV with header into a table of the given `schema`. Header names
+// must match the schema (same order); every row must have one field per
+// column; INT64/FLOAT64 fields must parse as numbers.
+Result<std::unique_ptr<Table>> ReadCsv(const Schema& schema,
+                                       const std::string& path);
+
+// Reads a CSV with header, inferring the schema from the data: a column is
+// INT64 if every field parses as an integer, FLOAT64 if every field parses
+// as a number, STRING otherwise. An empty data section yields STRING
+// columns.
+Result<std::unique_ptr<Table>> ReadCsvInferSchema(const std::string& path);
+
+}  // namespace sudaf
+
+#endif  // SUDAF_STORAGE_CSV_H_

@@ -1,0 +1,32 @@
+#include "storage/schema.h"
+
+namespace sudaf {
+
+int Schema::FindField(const std::string& name) const {
+  for (int i = 0; i < num_fields(); ++i) {
+    if (fields_[i].name == name) return i;
+  }
+  return -1;
+}
+
+Status Schema::AddField(Field field) {
+  if (FindField(field.name) >= 0) {
+    return Status::AlreadyExists("duplicate column: " + field.name);
+  }
+  fields_.push_back(std::move(field));
+  return Status::OK();
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (int i = 0; i < num_fields(); ++i) {
+    if (i > 0) out += ", ";
+    out += fields_[i].name;
+    out += " ";
+    out += DataTypeName(fields_[i].type);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace sudaf

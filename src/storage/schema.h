@@ -1,0 +1,42 @@
+#ifndef SUDAF_STORAGE_SCHEMA_H_
+#define SUDAF_STORAGE_SCHEMA_H_
+
+// Relational schema: ordered list of named, typed columns.
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+
+namespace sudaf {
+
+struct Field {
+  std::string name;
+  DataType type;
+};
+
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields) : fields_(std::move(fields)) {}
+
+  int num_fields() const { return static_cast<int>(fields_.size()); }
+  const Field& field(int i) const { return fields_[i]; }
+  const std::vector<Field>& fields() const { return fields_; }
+
+  // Returns the index of column `name`, or -1 if absent.
+  int FindField(const std::string& name) const;
+
+  // Appends a field; fails if the name already exists.
+  Status AddField(Field field);
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Field> fields_;
+};
+
+}  // namespace sudaf
+
+#endif  // SUDAF_STORAGE_SCHEMA_H_

@@ -1,0 +1,52 @@
+#ifndef SUDAF_STORAGE_TABLE_H_
+#define SUDAF_STORAGE_TABLE_H_
+
+// In-memory columnar table.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/column.h"
+#include "storage/schema.h"
+
+namespace sudaf {
+
+class Table {
+ public:
+  explicit Table(Schema schema);
+
+  const Schema& schema() const { return schema_; }
+  int num_columns() const { return schema_.num_fields(); }
+  int64_t num_rows() const { return num_rows_; }
+
+  Column& column(int i) { return *columns_[i]; }
+  const Column& column(int i) const { return *columns_[i]; }
+
+  // Returns the column named `name` or an error if absent.
+  Result<const Column*> GetColumn(const std::string& name) const;
+
+  void Reserve(int64_t n);
+
+  // Appends one row; `values.size()` must equal the column count and types
+  // must match the schema.
+  void AppendRow(const std::vector<Value>& values);
+
+  // Finishes a batch of raw per-column appends done directly on `column(i)`;
+  // verifies all columns have equal length and updates the row count.
+  void FinishBulkAppend();
+
+  // Renders up to `max_rows` rows as an aligned text table (for examples
+  // and debugging).
+  std::string ToString(int64_t max_rows = 20) const;
+
+ private:
+  Schema schema_;
+  std::vector<std::unique_ptr<Column>> columns_;
+  int64_t num_rows_ = 0;
+};
+
+}  // namespace sudaf
+
+#endif  // SUDAF_STORAGE_TABLE_H_

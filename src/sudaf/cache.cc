@@ -1,0 +1,101 @@
+#include "sudaf/cache.h"
+
+#include <algorithm>
+
+namespace sudaf {
+
+namespace {
+
+void CollectConjunctStrings(const Expr& e, std::vector<std::string>* out) {
+  if (e.kind == ExprKind::kBinary && e.bin_op == BinaryOp::kAnd) {
+    CollectConjunctStrings(*e.args[0], out);
+    CollectConjunctStrings(*e.args[1], out);
+    return;
+  }
+  out->push_back(e.ToString());
+}
+
+std::unique_ptr<Table> CopyTable(const Table& table) {
+  auto out = std::make_unique<Table>(table.schema());
+  out->Reserve(table.num_rows());
+  for (int c = 0; c < table.num_columns(); ++c) {
+    const Column& src = table.column(c);
+    Column& dst = out->column(c);
+    for (int64_t r = 0; r < table.num_rows(); ++r) {
+      dst.AppendValue(src.GetValue(r));
+    }
+  }
+  out->FinishBulkAppend();
+  return out;
+}
+
+}  // namespace
+
+StateCache::GroupSet* StateCache::Find(const std::string& data_sig) {
+  auto it = sets_.find(data_sig);
+  return it == sets_.end() ? nullptr : &it->second;
+}
+
+StateCache::GroupSet* StateCache::GetOrCreate(const std::string& data_sig,
+                                              const Table& group_keys,
+                                              int32_t num_groups) {
+  auto it = sets_.find(data_sig);
+  if (it != sets_.end()) {
+    if (it->second.num_groups == num_groups) {
+      return &it->second;
+    }
+    sets_.erase(it);  // stale
+  }
+  GroupSet set;
+  set.group_keys = CopyTable(group_keys);
+  set.num_groups = num_groups;
+  auto [inserted, _] = sets_.emplace(data_sig, std::move(set));
+  return &inserted->second;
+}
+
+int64_t StateCache::num_entries() const {
+  int64_t n = 0;
+  for (const auto& [_, set] : sets_) {
+    n += static_cast<int64_t>(set.entries.size());
+  }
+  return n;
+}
+
+int64_t StateCache::ApproxBytes() const {
+  int64_t bytes = 0;
+  for (const auto& [_, set] : sets_) {
+    for (const auto& [key, entry] : set.entries) {
+      bytes += static_cast<int64_t>(key.size());
+      bytes += static_cast<int64_t>(
+          (entry.main.size() + entry.sign.size()) * sizeof(double));
+    }
+  }
+  return bytes;
+}
+
+std::string DataSignature(const SelectStatement& stmt) {
+  std::vector<std::string> tables = stmt.tables;
+  std::sort(tables.begin(), tables.end());
+  std::vector<std::string> conjuncts;
+  if (stmt.where != nullptr) CollectConjunctStrings(*stmt.where, &conjuncts);
+  std::sort(conjuncts.begin(), conjuncts.end());
+
+  std::string sig = "T:";
+  for (const std::string& t : tables) {
+    sig += t;
+    sig += ",";
+  }
+  sig += ";W:";
+  for (const std::string& c : conjuncts) {
+    sig += c;
+    sig += ",";
+  }
+  sig += ";G:";
+  for (const std::string& g : stmt.group_by) {
+    sig += g;
+    sig += ",";
+  }
+  return sig;
+}
+
+}  // namespace sudaf

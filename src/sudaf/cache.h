@@ -1,0 +1,75 @@
+#ifndef SUDAF_SUDAF_CACHE_H_
+#define SUDAF_SUDAF_CACHE_H_
+
+// Dynamic cache of aggregation states (Section 3.2 / Section 5).
+//
+// The cache stores *representative instances* of state equivalence classes,
+// keyed by (data signature, class key). The data signature canonicalizes the
+// data dimension of a query — tables, predicates and grouping — which the
+// paper keeps fixed (its sharing works on the computation dimension; data
+// overlap is delegated to chunk-based techniques, see Section 2).
+//
+// A cached entry holds one double per group (the ⊕-aggregated main channel)
+// and, for log-domain classes, the Π sgn(M) side channel (Section 5.3's
+// sign separation).
+//
+// The cache assumes the underlying tables are immutable while it holds
+// entries (the analytical setting of the paper). After mutating or
+// replacing a table, call Clear().
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sql/statement.h"
+#include "storage/table.h"
+
+namespace sudaf {
+
+class StateCache {
+ public:
+  struct Entry {
+    std::vector<double> main;  // per group
+    std::vector<double> sign;  // per group; empty unless log-domain
+  };
+
+  // All cached state instances for one data signature. Entries are aligned
+  // with `group_keys` (same group order, the pipeline is deterministic).
+  struct GroupSet {
+    std::unique_ptr<Table> group_keys;
+    int32_t num_groups = 0;  // may exceed group_keys->num_rows() for the
+                             // ungrouped (zero-key-column) case
+    std::map<std::string, Entry> entries;  // class key -> channels
+  };
+
+  // Returns the group set for `data_sig`, or nullptr when nothing is cached.
+  GroupSet* Find(const std::string& data_sig);
+
+  // Returns the group set for `data_sig`, creating it (with a copy of
+  // `group_keys`) on first use. If an existing set has a mismatched group
+  // count (stale), it is discarded and recreated.
+  GroupSet* GetOrCreate(const std::string& data_sig, const Table& group_keys,
+                        int32_t num_groups);
+
+  void Clear() { sets_.clear(); }
+
+  int64_t num_group_sets() const { return static_cast<int64_t>(sets_.size()); }
+  // Total number of cached state instances across all group sets.
+  int64_t num_entries() const;
+  // Approximate footprint of the cached channel vectors.
+  int64_t ApproxBytes() const;
+
+ private:
+  std::map<std::string, GroupSet> sets_;
+};
+
+// Canonical data signature of a statement: lower-cased sorted table list,
+// sorted WHERE conjunct strings, and the group-by list. Two queries with
+// equal signatures aggregate the same groups of the same rows.
+std::string DataSignature(const SelectStatement& stmt);
+
+}  // namespace sudaf
+
+#endif  // SUDAF_SUDAF_CACHE_H_

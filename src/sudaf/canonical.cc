@@ -1,0 +1,336 @@
+#include "sudaf/canonical.h"
+
+#include <sstream>
+
+namespace sudaf {
+
+namespace {
+
+// Builds the state-input expression for a (base, shape) pair with the
+// shape's coefficient and offset stripped (a = 1, b = 0) — the "reduced"
+// scalar function S₁ such that f = a·S₁(M) + b.
+ExprPtr ReducedInputExpr(const NormalizedScalar& norm) {
+  ExprPtr m = norm.base.ToExpr();
+  switch (norm.shape.family) {
+    case ShapeFamily::kPower:
+      if (norm.shape.p == 1.0) return m;
+      return Expr::Binary(BinaryOp::kPow, std::move(m),
+                          Expr::Number(norm.shape.p));
+    case ShapeFamily::kAffine:
+      return m;
+    case ShapeFamily::kLog: {
+      std::vector<ExprPtr> args;
+      args.push_back(std::move(m));
+      return Expr::Func("ln", std::move(args));
+    }
+    case ShapeFamily::kExp: {
+      ExprPtr scaled =
+          norm.shape.c == 1.0
+              ? std::move(m)
+              : Expr::Binary(BinaryOp::kMul, Expr::Number(norm.shape.c),
+                             std::move(m));
+      std::vector<ExprPtr> args;
+      args.push_back(std::move(scaled));
+      return Expr::Func("exp", std::move(args));
+    }
+    case ShapeFamily::kLogPow: {
+      std::vector<ExprPtr> args;
+      args.push_back(std::move(m));
+      ExprPtr ln = Expr::Func("ln", std::move(args));
+      return Expr::Binary(BinaryOp::kPow, std::move(ln),
+                          Expr::Number(norm.shape.p));
+    }
+    case ShapeFamily::kExpPow: {
+      ExprPtr powed = Expr::Binary(BinaryOp::kPow, std::move(m),
+                                   Expr::Number(norm.shape.p));
+      ExprPtr scaled =
+          norm.shape.c == 1.0
+              ? std::move(powed)
+              : Expr::Binary(BinaryOp::kMul, Expr::Number(norm.shape.c),
+                             std::move(powed));
+      std::vector<ExprPtr> args;
+      args.push_back(std::move(scaled));
+      return Expr::Func("exp", std::move(args));
+    }
+    case ShapeFamily::kConst:
+      return Expr::Number(1.0);
+  }
+  return m;
+}
+
+class Canonicalizer {
+ public:
+  Result<CanonicalForm> Run(const std::vector<const Expr*>& exprs) {
+    for (const Expr* e : exprs) {
+      SUDAF_ASSIGN_OR_RETURN(ExprPtr t, Rewrite(*e));
+      form_.terminating.push_back(std::move(t));
+    }
+    return std::move(form_);
+  }
+
+ private:
+  // Returns the StateRef index for `state`, deduplicating by key.
+  int InternState(AggStateDef state) {
+    std::string key = state.Key();
+    for (size_t i = 0; i < form_.states.size(); ++i) {
+      if (form_.states[i].Key() == key) return static_cast<int>(i);
+    }
+    form_.states.push_back(std::move(state));
+    return static_cast<int>(form_.states.size()) - 1;
+  }
+
+  int CountStateIndex() {
+    return InternState(MakeState(AggOp::kCount, nullptr));
+  }
+
+  // Additive flattening for SR1: e = Σ sign_i · term_i.
+  void FlattenSum(const Expr& e, double sign,
+                  std::vector<std::pair<double, const Expr*>>* terms) {
+    if (e.kind == ExprKind::kBinary && (e.bin_op == BinaryOp::kAdd ||
+                                        e.bin_op == BinaryOp::kSub)) {
+      FlattenSum(*e.args[0], sign, terms);
+      FlattenSum(*e.args[1],
+                 e.bin_op == BinaryOp::kAdd ? sign : -sign, terms);
+      return;
+    }
+    if (e.kind == ExprKind::kUnaryMinus) {
+      FlattenSum(*e.args[0], -sign, terms);
+      return;
+    }
+    terms->emplace_back(sign, &e);
+  }
+
+  // Multiplicative flattening for SR2: e = Π factor_i^{±1}.
+  void FlattenProd(const Expr& e, bool inverted,
+                   std::vector<std::pair<bool, const Expr*>>* factors) {
+    if (e.kind == ExprKind::kBinary && (e.bin_op == BinaryOp::kMul ||
+                                        e.bin_op == BinaryOp::kDiv)) {
+      // Only split factors that do NOT merge into one monomial — x*y stays a
+      // single Π(x*y) state (one abstract column), while g1(x)·g2(x) with
+      // heterogeneous shapes splits per SR2.
+      std::optional<NormalizedScalar> whole = NormalizeScalar(e);
+      if (!whole.has_value()) {
+        FlattenProd(*e.args[0], inverted, factors);
+        FlattenProd(*e.args[1],
+                    (e.bin_op == BinaryOp::kDiv) ? !inverted : inverted,
+                    factors);
+        return;
+      }
+    }
+    factors->emplace_back(inverted, &e);
+  }
+
+  // Emits states and terminating expression for one Σ(...) call.
+  Result<ExprPtr> RewriteSumCall(const Expr& input) {
+    std::vector<std::pair<double, const Expr*>> terms;
+    FlattenSum(input, 1.0, &terms);
+
+    ExprPtr acc;
+    auto add_term = [&acc](ExprPtr term, double sign) {
+      if (acc == nullptr) {
+        acc = sign < 0 ? Expr::Unary(std::move(term)) : std::move(term);
+      } else {
+        acc = Expr::Binary(sign < 0 ? BinaryOp::kSub : BinaryOp::kAdd,
+                           std::move(acc), std::move(term));
+      }
+    };
+
+    for (const auto& [sign, term] : terms) {
+      std::optional<NormalizedScalar> norm = NormalizeScalar(*term);
+      if (norm.has_value() && norm->shape.family == ShapeFamily::kConst) {
+        // Σ c = c · count().
+        double c = norm->shape.a;
+        if (c == 0.0) continue;
+        add_term(Expr::Binary(BinaryOp::kMul, Expr::Number(c),
+                              Expr::StateRef(CountStateIndex())),
+                 sign);
+        continue;
+      }
+      if (norm.has_value()) {
+        // Σ(a·S₁(M) + b) = a·Σ S₁(M) + b·count().
+        double a = norm->shape.a;
+        double b = norm->shape.b;
+        AggStateDef state = MakeState(AggOp::kSum, ReducedInputExpr(*norm));
+        int idx = InternState(std::move(state));
+        ExprPtr piece = Expr::StateRef(idx);
+        if (a != 1.0) {
+          piece = Expr::Binary(BinaryOp::kMul, Expr::Number(a),
+                               std::move(piece));
+        }
+        if (b != 0.0) {
+          piece = Expr::Binary(
+              BinaryOp::kAdd, std::move(piece),
+              Expr::Binary(BinaryOp::kMul, Expr::Number(b),
+                           Expr::StateRef(CountStateIndex())));
+        }
+        add_term(std::move(piece), sign);
+        continue;
+      }
+      // Opaque term: keep as its own state.
+      int idx = InternState(MakeState(AggOp::kSum, term->Clone()));
+      add_term(Expr::StateRef(idx), sign);
+    }
+    if (acc == nullptr) acc = Expr::Number(0.0);
+    return acc;
+  }
+
+  // Emits states and terminating expression for one Π(...) call.
+  Result<ExprPtr> RewriteProdCall(const Expr& input) {
+    std::vector<std::pair<bool, const Expr*>> factors;
+    FlattenProd(input, false, &factors);
+
+    ExprPtr acc;
+    auto mul_factor = [&acc](ExprPtr factor, bool inverted) {
+      if (acc == nullptr && !inverted) {
+        acc = std::move(factor);
+        return;
+      }
+      if (acc == nullptr) acc = Expr::Number(1.0);
+      acc = Expr::Binary(inverted ? BinaryOp::kDiv : BinaryOp::kMul,
+                         std::move(acc), std::move(factor));
+    };
+
+    for (const auto& [inverted, factor] : factors) {
+      std::optional<NormalizedScalar> norm = NormalizeScalar(*factor);
+      if (norm.has_value() && norm->shape.family == ShapeFamily::kConst) {
+        // Π c = c^count().
+        mul_factor(Expr::Binary(BinaryOp::kPow, Expr::Number(norm->shape.a),
+                                Expr::StateRef(CountStateIndex())),
+                   inverted);
+        continue;
+      }
+      if (norm.has_value() && norm->shape.b == 0.0 && norm->shape.a != 1.0) {
+        // Π a·S₁(M) = a^count() · Π S₁(M).
+        double a = norm->shape.a;
+        AggStateDef state = MakeState(AggOp::kProd, ReducedInputExpr(*norm));
+        int idx = InternState(std::move(state));
+        ExprPtr piece = Expr::Binary(
+            BinaryOp::kMul,
+            Expr::Binary(BinaryOp::kPow, Expr::Number(a),
+                         Expr::StateRef(CountStateIndex())),
+            Expr::StateRef(idx));
+        mul_factor(std::move(piece), inverted);
+        continue;
+      }
+      int idx = InternState(MakeState(AggOp::kProd, factor->Clone()));
+      mul_factor(Expr::StateRef(idx), inverted);
+    }
+    if (acc == nullptr) acc = Expr::Number(1.0);
+    return acc;
+  }
+
+  Result<ExprPtr> Rewrite(const Expr& e) {
+    if (e.kind == ExprKind::kAggCall) {
+      switch (e.agg_op) {
+        case AggOp::kCount:
+          return Expr::StateRef(CountStateIndex());
+        case AggOp::kSum:
+          return RewriteSumCall(*e.args[0]);
+        case AggOp::kProd:
+          return RewriteProdCall(*e.args[0]);
+        case AggOp::kMin:
+        case AggOp::kMax: {
+          int idx = InternState(MakeState(e.agg_op, e.args[0]->Clone()));
+          return Expr::StateRef(idx);
+        }
+      }
+      return Status::Internal("bad agg op");
+    }
+    ExprPtr copy = e.Clone();
+    for (size_t i = 0; i < e.args.size(); ++i) {
+      SUDAF_ASSIGN_OR_RETURN(copy->args[i], Rewrite(*e.args[i]));
+    }
+    return copy;
+  }
+
+  CanonicalForm form_;
+};
+
+}  // namespace
+
+AggStateDef AggStateDef::Clone() const {
+  AggStateDef out;
+  out.op = op;
+  out.input = input == nullptr ? nullptr : input->Clone();
+  out.norm = norm;
+  return out;
+}
+
+std::string AggStateDef::Key() const {
+  std::string out = AggOpName(op);
+  out += "|";
+  if (op == AggOp::kCount) return out;
+  if (norm.has_value()) {
+    out += norm->base.Key();
+    out += "|";
+    out += norm->shape.ToString();
+  } else {
+    out += "raw:";
+    out += input->ToString();
+  }
+  return out;
+}
+
+std::string AggStateDef::ToString() const {
+  std::string out = AggOpName(op);
+  out += "(";
+  if (op != AggOp::kCount) {
+    out += norm.has_value() ? norm->ToString() : input->ToString();
+  }
+  out += ")";
+  return out;
+}
+
+AggStateDef MakeState(AggOp op, ExprPtr input) {
+  AggStateDef state;
+  state.op = op;
+  state.input = std::move(input);
+  if (state.input != nullptr && op != AggOp::kMin && op != AggOp::kMax) {
+    state.norm = NormalizeScalar(*state.input);
+  }
+  return state;
+}
+
+std::string CanonicalForm::Describe(int i) const {
+  std::ostringstream os;
+  os << "F = (";
+  for (size_t j = 0; j < states.size(); ++j) {
+    if (j > 0) os << ", ";
+    os << (states[j].op == AggOp::kCount
+               ? "1"
+               : (states[j].norm.has_value() ? states[j].norm->ToString()
+                                             : states[j].input->ToString()));
+  }
+  os << "), ⊕ = (";
+  for (size_t j = 0; j < states.size(); ++j) {
+    if (j > 0) os << ", ";
+    switch (states[j].op) {
+      case AggOp::kSum:
+      case AggOp::kCount:
+        os << "+";
+        break;
+      case AggOp::kProd:
+        os << "×";
+        break;
+      case AggOp::kMin:
+        os << "min";
+        break;
+      case AggOp::kMax:
+        os << "max";
+        break;
+    }
+  }
+  os << "), T = " << terminating[i]->ToString();
+  return os.str();
+}
+
+Result<CanonicalForm> Canonicalize(const std::vector<const Expr*>& exprs) {
+  Canonicalizer canonicalizer;
+  return canonicalizer.Run(exprs);
+}
+
+Result<CanonicalForm> Canonicalize(const Expr& expr) {
+  return Canonicalize(std::vector<const Expr*>{&expr});
+}
+
+}  // namespace sudaf

@@ -1,0 +1,71 @@
+#ifndef SUDAF_SUDAF_CANONICAL_H_
+#define SUDAF_SUDAF_CANONICAL_H_
+
+// Canonical forms of UDAFs (Section 3.1) and factoring-out of aggregation
+// states (Sections 2–3).
+//
+// A UDAF written as a mathematical expression with embedded primitive
+// aggregate calls — e.g.
+//     theta1 = (count()*sum(x*y) - sum(x)*sum(y)) /
+//              (count()*sum(x^2) - sum(x)^2)
+// is decomposed into the canonical form (F, ⊕, T): a list of aggregation
+// states s_j(X) = Σ⊕_j f_j(x_i) plus a terminating function T over the
+// states. The decomposition applies:
+//   * coefficient/offset extraction:  Σ(a·g(x)+b) -> a·Σg(x) + b·count()
+//                                     Π(a·g(x))   -> a^count() · Πg(x)
+//   * the splitting rules SR1/SR2 (Section 4.2):
+//       Σ(g1 ± g2) -> Σg1 ± Σg2        Π(g1·g2) -> Πg1 · Πg2
+//       Π(g1/g2)   -> Πg1 / Πg2
+//   * deduplication of identical states across all expressions of a query.
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "expr/expr.h"
+#include "sudaf/normalize.h"
+
+namespace sudaf {
+
+// One aggregation state s(X) = Σ⊕ f(x_i).
+struct AggStateDef {
+  AggOp op = AggOp::kSum;
+  ExprPtr input;  // f as an expression; null for count()
+  std::optional<NormalizedScalar> norm;  // nullopt => opaque state
+
+  AggStateDef Clone() const;
+
+  // Identity key: two states with equal keys compute the same value.
+  std::string Key() const;
+
+  // Human-readable, e.g. "sum(x^2)".
+  std::string ToString() const;
+};
+
+// Builds a state definition (normalizing the input expression).
+AggStateDef MakeState(AggOp op, ExprPtr input);
+
+// The canonical form of one or more UDAF expressions sharing a state list.
+struct CanonicalForm {
+  std::vector<AggStateDef> states;
+  // One terminating function per input expression; leaves are kStateRef
+  // into `states` (plus literals/scalar functions).
+  std::vector<ExprPtr> terminating;
+
+  // Renders "(F, ⊕, T)" for expression `i` — the Table 1 presentation.
+  std::string Describe(int i) const;
+};
+
+// Decomposes `exprs` (each containing at least one aggregate call) into a
+// joint canonical form with deduplicated states.
+Result<CanonicalForm> Canonicalize(
+    const std::vector<const Expr*>& exprs);
+
+// Convenience overload for a single UDAF expression.
+Result<CanonicalForm> Canonicalize(const Expr& expr);
+
+}  // namespace sudaf
+
+#endif  // SUDAF_SUDAF_CANONICAL_H_

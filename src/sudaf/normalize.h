@@ -1,0 +1,58 @@
+#ifndef SUDAF_SUDAF_NORMALIZE_H_
+#define SUDAF_SUDAF_NORMALIZE_H_
+
+// Normalization of aggregation-state input expressions.
+//
+// The scalar function f of an aggregation state Σ⊕ f(x_i) is normalized into
+// a Shape applied to a *monomial base* M = Π col_j^{e_j}. The monomial
+// generalizes the paper's single abstract input column: a multi-variate
+// input such as x·y is treated as a uni-variate aggregate over the abstract
+// column z = x·y (footnote 3 of the paper). Canonicalization makes
+// syntactically different but equal functions — 4x², (2x)², x²·4 — normalize
+// to the identical (base, shape) pair, which is what lets sharing decisions
+// run on precomputed relationships instead of ad-hoc expression rewriting
+// (the Section 5 motivation).
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "expr/expr.h"
+#include "sudaf/shape.h"
+
+namespace sudaf {
+
+// Product of column powers: Π col^exponent. Exponents are doubles (x^0.5 is
+// legal) but are integers in all practical aggregates.
+struct Monomial {
+  std::map<std::string, double> exponents;  // ordered => canonical key
+
+  bool IsEmpty() const { return exponents.empty(); }
+  // Canonical key, e.g. "x", "x*y", "x^2*y^-1".
+  std::string Key() const;
+  // Rebuilds the monomial as an expression (for evaluation).
+  ExprPtr ToExpr() const;
+  // Σ of exponents' parities: returns -1 if M(-x..) = -M(x..) when all
+  // columns are negated, +1 if unchanged, 0 if undefined (fractional).
+  int NegationSign() const;
+};
+
+struct NormalizedScalar {
+  Monomial base;
+  Shape shape;  // f(row) = shape(base(row))
+
+  // Properties of f under x -> -x (drives the Table 3 case analysis).
+  bool even = false;
+  bool injective = true;
+
+  std::string ToString() const;
+};
+
+// Normalizes a scalar expression (no aggregate calls). Returns nullopt when
+// the expression is outside PS∘-over-a-monomial — such states remain usable
+// but are shareable only by syntactic equality (the paper's fallback).
+std::optional<NormalizedScalar> NormalizeScalar(const Expr& expr);
+
+}  // namespace sudaf
+
+#endif  // SUDAF_SUDAF_NORMALIZE_H_

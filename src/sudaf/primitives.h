@@ -1,0 +1,55 @@
+#ifndef SUDAF_SUDAF_PRIMITIVES_H_
+#define SUDAF_SUDAF_PRIMITIVES_H_
+
+// Primitive function classes of the SUDAF framework (Table 2 of the paper).
+//
+//   PS  (primitive scalar):  a; x; a·x; x^a; log_a(x); a^x
+//   PB  (primitive binary):  +  -  ×  /  ^
+//   PA  (primitive aggregate): Σ and Π
+//   PS∘ : compositions h_l ∘ ... ∘ h_1 of PS elements
+//   PS⊙ : PS∘ functions combined with PB operators
+//   PA∘ : f' ∘ Σ⊕ ∘ f with f, f' ∈ PS⊙
+//   PA⊙ : T'(agg_k ⊙ ... ⊙ agg_1) — the full class of supported UDAFs
+//
+// A `Primitive` is one PS element with its constant parameter; chains of
+// primitives are the concrete form of PS∘ functions.
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace sudaf {
+
+enum class PrimitiveKind {
+  kConst,     // f(x) = a
+  kIdentity,  // f(x) = x
+  kLinear,    // f(x) = a·x      (a ≠ 0)
+  kPower,     // f(x) = x^a      (a ≠ 0)
+  kLog,       // f(x) = log_a(x) (a > 0, a ≠ 1)
+  kExp,       // f(x) = a^x      (a > 0, a ≠ 1)
+};
+
+struct Primitive {
+  PrimitiveKind kind;
+  double param = 0.0;
+
+  double Eval(double x) const;
+  std::string ToString() const;  // e.g. "3*x", "x^2", "log_2(x)", "2^x"
+
+  // Injectivity over the function's natural real domain. Even powers are the
+  // only non-injective non-constant primitives (cf. Figure 3 of the paper).
+  bool injective() const;
+  // f(-x) = f(x) on the natural domain (even integer powers).
+  bool even() const;
+};
+
+// A PS∘ chain h_l ∘ ... ∘ h_1 applied left-to-right from index 0.
+using PrimitiveChain = std::vector<Primitive>;
+
+double EvalChain(const PrimitiveChain& chain, double x);
+std::string ChainToString(const PrimitiveChain& chain);
+
+}  // namespace sudaf
+
+#endif  // SUDAF_SUDAF_PRIMITIVES_H_

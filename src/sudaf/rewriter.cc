@@ -1,0 +1,391 @@
+#include "sudaf/rewriter.h"
+
+#include <algorithm>
+#include <optional>
+#include <sstream>
+
+#include "engine/executor.h"
+#include "expr/evaluator.h"
+#include "expr/parser.h"
+
+namespace sudaf {
+
+Status UdafLibrary::Define(const std::string& name,
+                           const std::vector<std::string>& params,
+                           const std::string& expression) {
+  if (IsKnownScalarFunc(name)) {
+    return Status::InvalidArgument("cannot redefine scalar function " + name);
+  }
+  SUDAF_ASSIGN_OR_RETURN(ExprPtr body, ParseExpression(expression));
+  if (!body->ContainsAggregate()) {
+    return Status::InvalidArgument("UDAF " + name +
+                                   " contains no aggregate call");
+  }
+  UdafDefinition def;
+  def.name = name;
+  def.params = params;
+  def.body = std::move(body);
+  exprs_[name] = std::move(def);
+  return Status::OK();
+}
+
+Status UdafLibrary::DefineNative(NativeUdaf udaf) {
+  // Validate the state templates parse.
+  for (const std::string& tmpl : udaf.state_templates) {
+    SUDAF_ASSIGN_OR_RETURN(ExprPtr e, ParseExpression(tmpl));
+    (void)e;
+  }
+  natives_[udaf.name] = std::move(udaf);
+  return Status::OK();
+}
+
+const UdafDefinition* UdafLibrary::GetExpr(const std::string& name) const {
+  auto it = exprs_.find(name);
+  return it == exprs_.end() ? nullptr : &it->second;
+}
+
+const NativeUdaf* UdafLibrary::GetNative(const std::string& name) const {
+  auto it = natives_.find(name);
+  return it == natives_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> UdafLibrary::Names() const {
+  std::vector<std::string> names;
+  for (const auto& [name, _] : exprs_) names.push_back(name);
+  for (const auto& [name, _] : natives_) names.push_back(name);
+  return names;
+}
+
+Result<ExprPtr> UdafLibrary::Expand(const Expr& expr) const {
+  ExprPtr current = expr.Clone();
+  // Iterate to a fixpoint so definitions may reference other definitions.
+  for (int round = 0; round < 16; ++round) {
+    bool changed = false;
+    for (const auto& [name, def] : exprs_) {
+      if (current->ContainsFunc(name)) {
+        current = ExpandFunctionCalls(*current, name, def.params, *def.body);
+        changed = true;
+      }
+    }
+    if (!changed) return current;
+  }
+  return Status::InvalidArgument("UDAF definitions appear to be recursive");
+}
+
+UdafLibrary UdafLibrary::Standard() {
+  UdafLibrary lib;
+  auto def = [&lib](const std::string& name,
+                    const std::vector<std::string>& params,
+                    const std::string& body) {
+    Status st = lib.Define(name, params, body);
+    SUDAF_CHECK_MSG(st.ok(), st.ToString());
+  };
+  def("avg", {"x"}, "sum(x)/count()");
+  def("var", {"x"}, "sum(x^2)/count() - (sum(x)/count())^2");
+  def("stddev", {"x"}, "sqrt(sum(x^2)/count() - (sum(x)/count())^2)");
+  // Power means (Table 1, first row) with p = 2, 3, 4, -1.
+  def("qm", {"x"}, "(sum(x^2)/count())^(1/2)");
+  def("cm", {"x"}, "(sum(x^3)/count())^(1/3)");
+  def("apm", {"x"}, "(sum(x^4)/count())^(1/4)");
+  def("hm", {"x"}, "(sum(x^-1)/count())^(-1)");
+  // Geometric mean (Table 1 gives (Πx)^(1/n); the library's default uses
+  // the numerically robust equivalent e^(Σln x / n) — SUDAF identifies the
+  // two states Πx and Σln x as the same sharing class either way, cf. the
+  // Section 2 discussion of gm vs. the moments sketch's Σln(x_i)).
+  def("gm", {"x"}, "exp(sum(ln(x))/count())");
+  def("gm_prod", {"x"}, "prod(x)^(1/count())");
+  // Standardized moments via raw power sums.
+  def("skewness", {"x"},
+      "(sum(x^3)/count() - 3*(sum(x)/count())*(sum(x^2)/count())"
+      " + 2*(sum(x)/count())^3)"
+      " / (sum(x^2)/count() - (sum(x)/count())^2)^1.5");
+  def("kurtosis", {"x"},
+      "(sum(x^4)/count() - 4*(sum(x)/count())*(sum(x^3)/count())"
+      " + 6*(sum(x)/count())^2*(sum(x^2)/count())"
+      " - 3*(sum(x)/count())^4)"
+      " / (sum(x^2)/count() - (sum(x)/count())^2)^2");
+  // Simple linear regression (the motivating example).
+  def("theta1", {"x", "y"},
+      "(count()*sum(x*y) - sum(y)*sum(x))"
+      " / (count()*sum(x^2) - sum(x)^2)");
+  def("theta0", {"x", "y"}, "sum(y)/count() - theta1(x, y)*(sum(x)/count())");
+  // Bivariate aggregates (Table 1).
+  def("covar", {"x", "y"},
+      "sum(x*y)/count() - (sum(x)/count())*(sum(y)/count())");
+  def("corr", {"x", "y"},
+      "(count()*sum(x*y) - sum(x)*sum(y))"
+      " / (sqrt(count()*sum(x^2) - sum(x)^2)"
+      "    * sqrt(count()*sum(y^2) - sum(y)^2))");
+  def("logsumexp", {"x"}, "ln(sum(exp(x)))");
+  return lib;
+}
+
+std::string RewrittenQuery::Explain(const SelectStatement& stmt) const {
+  std::ostringstream os;
+  os << "-- rewritten query (states computed with built-in aggregates)\n";
+  os << "SELECT ";
+  bool first = true;
+  for (const ItemPlan& item : items) {
+    if (!first) os << ", ";
+    first = false;
+    if (item.group_key_index >= 0) {
+      os << item.output_name;
+    } else if (item.native != nullptr) {
+      os << item.native->name << "[native](";
+      for (size_t i = 0; i < item.native_term_indices.size(); ++i) {
+        if (i > 0) os << ", ";
+        os << form.terminating[item.native_term_indices[i]]->ToString();
+      }
+      os << ") AS " << item.output_name;
+    } else {
+      os << form.terminating[item.terminating_index]->ToString() << " AS "
+         << item.output_name;
+    }
+  }
+  os << "\nFROM (SELECT ";
+  for (const std::string& g : stmt.group_by) os << g << ", ";
+  for (size_t i = 0; i < form.states.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << form.states[i].ToString() << " s" << i + 1;
+  }
+  os << "\n      FROM ";
+  for (size_t i = 0; i < stmt.tables.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << stmt.tables[i];
+  }
+  if (stmt.where != nullptr) os << "\n      WHERE " << stmt.where->ToString();
+  if (!stmt.group_by.empty()) {
+    os << "\n      GROUP BY ";
+    for (size_t i = 0; i < stmt.group_by.size(); ++i) {
+      if (i > 0) os << ", ";
+      os << stmt.group_by[i];
+    }
+  }
+  os << ") TEMP;";
+  return os.str();
+}
+
+namespace {
+
+// Terminating functions can be expensive (e.g. the MomentSolver). When the
+// ORDER BY touches only group-key outputs, the output order and the LIMIT
+// cut are fully determined *before* any terminating function runs — so sort
+// and truncate the group list first, then evaluate T only for surviving
+// groups. Returns nullopt when the fast path does not apply.
+std::optional<std::vector<int32_t>> GroupOrderFromKeys(
+    const RewrittenQuery& rewritten, const SelectStatement& stmt,
+    const Table& group_keys, int32_t num_groups) {
+  if (stmt.order_by.empty() && stmt.limit < 0) return std::nullopt;
+  if (stmt.having != nullptr) return std::nullopt;  // needs all T values
+  std::vector<std::pair<const Column*, bool>> sort_keys;
+  for (const OrderByItem& order : stmt.order_by) {
+    const Column* col = nullptr;
+    for (const ItemPlan& item : rewritten.items) {
+      if (item.output_name == order.column && item.group_key_index >= 0) {
+        col = &group_keys.column(item.group_key_index);
+        break;
+      }
+    }
+    if (col == nullptr) return std::nullopt;  // orders by an aggregate
+    sort_keys.emplace_back(col, order.ascending);
+  }
+  std::vector<int32_t> order(num_groups);
+  for (int32_t g = 0; g < num_groups; ++g) order[g] = g;
+  if (!sort_keys.empty()) {
+    std::stable_sort(order.begin(), order.end(),
+                     [&sort_keys](int32_t a, int32_t b) {
+                       for (const auto& [col, asc] : sort_keys) {
+                         int cmp = col->GetValue(a).Compare(col->GetValue(b));
+                         if (cmp != 0) return asc ? cmp < 0 : cmp > 0;
+                       }
+                       return false;
+                     });
+  }
+  if (stmt.limit >= 0 && stmt.limit < static_cast<int64_t>(order.size())) {
+    order.resize(stmt.limit);
+  }
+  return order;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Table>> AssembleRewrittenResult(
+    const RewrittenQuery& rewritten, const SelectStatement& stmt,
+    const Table& group_keys, int32_t num_groups,
+    const std::vector<std::vector<double>>& state_values) {
+  const size_t num_states = rewritten.form.states.size();
+
+  Schema out_schema;
+  for (const ItemPlan& item : rewritten.items) {
+    DataType type = DataType::kFloat64;
+    if (item.group_key_index >= 0) {
+      type = group_keys.schema().field(item.group_key_index).type;
+    }
+    SUDAF_RETURN_IF_ERROR(out_schema.AddField(Field{item.output_name, type}));
+  }
+
+  // Groups to evaluate, in output order; `presorted` means no further
+  // sort/limit pass is needed.
+  std::vector<int32_t> order;
+  bool presorted = false;
+  if (std::optional<std::vector<int32_t>> fast =
+          GroupOrderFromKeys(rewritten, stmt, group_keys, num_groups)) {
+    order = std::move(*fast);
+    presorted = true;
+  } else {
+    order.resize(num_groups);
+    for (int32_t g = 0; g < num_groups; ++g) order[g] = g;
+  }
+  const int32_t out_rows = static_cast<int32_t>(order.size());
+
+  auto result = std::make_unique<Table>(std::move(out_schema));
+  result->Reserve(out_rows);
+
+  std::vector<double> group_state(num_states);
+  std::vector<std::vector<double>> item_values(rewritten.items.size());
+  for (auto& v : item_values) v.resize(out_rows);
+
+  for (int32_t r = 0; r < out_rows; ++r) {
+    const int32_t g = order[r];
+    for (size_t s = 0; s < num_states; ++s) {
+      group_state[s] = state_values[s][g];
+    }
+    for (size_t i = 0; i < rewritten.items.size(); ++i) {
+      const ItemPlan& item = rewritten.items[i];
+      if (item.group_key_index >= 0) continue;
+      if (item.native != nullptr) {
+        std::vector<double> args;
+        args.reserve(item.native_term_indices.size());
+        for (int ti : item.native_term_indices) {
+          SUDAF_ASSIGN_OR_RETURN(
+              double v,
+              EvalTerminating(*rewritten.form.terminating[ti], group_state));
+          args.push_back(v);
+        }
+        SUDAF_ASSIGN_OR_RETURN(item_values[i][r],
+                               item.native->terminate(args));
+      } else {
+        SUDAF_ASSIGN_OR_RETURN(
+            item_values[i][r],
+            EvalTerminating(
+                *rewritten.form.terminating[item.terminating_index],
+                group_state));
+      }
+    }
+  }
+
+  for (size_t i = 0; i < rewritten.items.size(); ++i) {
+    const ItemPlan& item = rewritten.items[i];
+    Column& dst = result->column(static_cast<int>(i));
+    if (item.group_key_index >= 0) {
+      const Column& src = group_keys.column(item.group_key_index);
+      for (int32_t r = 0; r < out_rows; ++r) {
+        dst.AppendValue(src.GetValue(order[r]));
+      }
+    } else {
+      for (int32_t r = 0; r < out_rows; ++r) {
+        dst.AppendFloat64(item_values[i][r]);
+      }
+    }
+  }
+  result->FinishBulkAppend();
+  if (presorted) return result;
+  return SortAndLimit(std::move(result), stmt);
+}
+
+Result<RewrittenQuery> RewriteQuery(const SelectStatement& stmt,
+                                    const UdafLibrary& library) {
+  // Pass 1: expand UDAF definitions and collect the expressions to
+  // canonicalize. Native UDAFs contribute one expression per state.
+  struct PendingItem {
+    std::string output_name;
+    std::string group_key;               // non-empty => group key item
+    ExprPtr expanded;                    // aggregate expression
+    const NativeUdaf* native = nullptr;
+    std::vector<ExprPtr> native_states;
+  };
+  std::vector<PendingItem> pending;
+
+  for (const SelectItem& item : stmt.items) {
+    PendingItem p;
+    p.output_name = SelectItemName(item);
+    const Expr& e = *item.expr;
+    if (e.kind == ExprKind::kColumnRef) {
+      p.group_key = e.column;
+      pending.push_back(std::move(p));
+      continue;
+    }
+    if (e.kind == ExprKind::kFuncCall &&
+        library.GetNative(e.func_name) != nullptr) {
+      if (e.args.size() != 1 || e.args[0]->kind != ExprKind::kColumnRef) {
+        return Status::InvalidArgument(
+            e.func_name + "() expects a single column argument");
+      }
+      p.native = library.GetNative(e.func_name);
+      for (const std::string& tmpl : p.native->state_templates) {
+        SUDAF_ASSIGN_OR_RETURN(ExprPtr t, ParseExpression(tmpl));
+        std::vector<std::pair<std::string, const Expr*>> binding;
+        binding.emplace_back("x", e.args[0].get());
+        p.native_states.push_back(SubstituteColumns(*t, binding));
+      }
+      pending.push_back(std::move(p));
+      continue;
+    }
+    SUDAF_ASSIGN_OR_RETURN(p.expanded, library.Expand(e));
+    if (!p.expanded->ContainsAggregate()) {
+      return Status::InvalidArgument(
+          "select item is neither a group key nor an aggregate: " +
+          e.ToString());
+    }
+    pending.push_back(std::move(p));
+  }
+
+  // Pass 2: joint canonicalization with state deduplication.
+  std::vector<const Expr*> exprs;
+  for (const PendingItem& p : pending) {
+    if (p.expanded != nullptr) exprs.push_back(p.expanded.get());
+    for (const ExprPtr& s : p.native_states) exprs.push_back(s.get());
+  }
+
+  RewrittenQuery out;
+  if (!exprs.empty()) {
+    SUDAF_ASSIGN_OR_RETURN(out.form, Canonicalize(exprs));
+  }
+  out.data_signature = DataSignature(stmt);
+
+  // Pass 3: item plans.
+  int term_cursor = 0;
+  int key_cursor = 0;
+  for (PendingItem& p : pending) {
+    ItemPlan plan;
+    plan.output_name = p.output_name;
+    if (!p.group_key.empty()) {
+      // Group-key columns are emitted in group-by order by the executor.
+      bool found = false;
+      for (size_t k = 0; k < stmt.group_by.size(); ++k) {
+        if (stmt.group_by[k] == p.group_key) {
+          plan.group_key_index = static_cast<int>(k);
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        return Status::InvalidArgument("select column " + p.group_key +
+                                       " is not in GROUP BY");
+      }
+      ++key_cursor;
+    } else if (p.native != nullptr) {
+      plan.native = p.native;
+      for (size_t i = 0; i < p.native_states.size(); ++i) {
+        plan.native_term_indices.push_back(term_cursor++);
+      }
+    } else {
+      plan.terminating_index = term_cursor++;
+    }
+    out.items.push_back(std::move(plan));
+  }
+  (void)key_cursor;
+  return out;
+}
+
+}  // namespace sudaf

@@ -1,0 +1,107 @@
+#ifndef SUDAF_SUDAF_REWRITER_H_
+#define SUDAF_SUDAF_REWRITER_H_
+
+// SUDAF's declarative UDAF registry and the query rewriter that factors
+// queries into (aggregation states, terminating functions) — the step that
+// turns Q1 into RQ1 in the paper's motivating example.
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sql/statement.h"
+#include "sudaf/cache.h"
+#include "sudaf/canonical.h"
+
+namespace sudaf {
+
+// A UDAF defined declaratively as a mathematical expression over named
+// parameters, e.g. theta1(x, y) = (count()*sum(x*y) - ...) / (...).
+struct UdafDefinition {
+  std::string name;
+  std::vector<std::string> params;
+  ExprPtr body;
+};
+
+// The paper's second definition scenario (Section 4.1): aggregation states
+// declared as expressions plus a hardcoded terminating function — e.g. the
+// MomentSolver consuming a moments sketch to approximate a quantile.
+struct NativeUdaf {
+  std::string name;
+  // State expressions over the single formal parameter "x",
+  // e.g. {"min(x)", "max(x)", "count()", "sum(x)", "sum(ln(x)^2)", ...}.
+  std::vector<std::string> state_templates;
+  // Terminating function over the evaluated state values (same order).
+  std::function<Result<double>(const std::vector<double>&)> terminate;
+};
+
+// Registry of declaratively-defined UDAFs.
+class UdafLibrary {
+ public:
+  // Parses and registers `expression` under `name`. Scalar-function names
+  // (sqrt, ln, ...) cannot be redefined.
+  Status Define(const std::string& name,
+                const std::vector<std::string>& params,
+                const std::string& expression);
+  Status DefineNative(NativeUdaf udaf);
+
+  const UdafDefinition* GetExpr(const std::string& name) const;
+  const NativeUdaf* GetNative(const std::string& name) const;
+  std::vector<std::string> Names() const;
+
+  // Expands every registered-UDAF call inside `expr` (to a fixpoint).
+  Result<ExprPtr> Expand(const Expr& expr) const;
+
+  // A library preloaded with the aggregates used throughout the paper's
+  // experiments: avg, var, stddev, qm, cm, apm, hm, gm, skewness, kurtosis,
+  // theta1, theta0, covar, corr, logsumexp.
+  static UdafLibrary Standard();
+
+ private:
+  std::map<std::string, UdafDefinition> exprs_;
+  std::map<std::string, NativeUdaf> natives_;
+};
+
+// Plan for one select item after rewriting.
+struct ItemPlan {
+  std::string output_name;
+  int group_key_index = -1;    // >= 0: copy this group-key column
+  int terminating_index = -1;  // >= 0: evaluate form.terminating[i] per group
+  const NativeUdaf* native = nullptr;  // set for native-terminated UDAFs
+  std::vector<int> native_term_indices;  // their states' terminating indices
+};
+
+// A fully rewritten query: deduplicated aggregation states + per-item
+// terminating plans (the paper's RQ form).
+struct RewrittenQuery {
+  CanonicalForm form;
+  std::vector<ItemPlan> items;
+  std::string data_signature;
+
+  // RQ1-style rendering: the inner built-in-aggregate query and the outer
+  // terminating select list.
+  std::string Explain(const SelectStatement& stmt) const;
+};
+
+// Rewrites `stmt`: expands registered UDAFs in the select list, factors out
+// aggregation states (splitting rules included), deduplicates them across
+// items, and produces terminating plans.
+Result<RewrittenQuery> RewriteQuery(const SelectStatement& stmt,
+                                    const UdafLibrary& library);
+
+// Evaluates the terminating plans of `rewritten` over per-group state
+// values (`state_values[state][group]`), assembles the result table (group
+// keys + item columns) and applies the statement's ORDER BY / LIMIT.
+// (`num_groups` is passed explicitly because ungrouped queries have one
+// group but a zero-column key table.)
+Result<std::unique_ptr<Table>> AssembleRewrittenResult(
+    const RewrittenQuery& rewritten, const SelectStatement& stmt,
+    const Table& group_keys, int32_t num_groups,
+    const std::vector<std::vector<double>>& state_values);
+
+}  // namespace sudaf
+
+#endif  // SUDAF_SUDAF_REWRITER_H_

@@ -1,0 +1,254 @@
+#include "sudaf/session.h"
+
+#include <map>
+#include <set>
+
+#include "agg/interpreted_udaf.h"
+#include "common/timer.h"
+#include "expr/evaluator.h"
+
+namespace sudaf {
+
+SudafSession::SudafSession(const Catalog* catalog, ExecOptions exec)
+    : catalog_(catalog),
+      exec_(exec),
+      library_(UdafLibrary::Standard()),
+      executor_(catalog, &hardcoded_) {
+  // The engine-native baseline runs non-built-in aggregates the way real
+  // engines do: through interpreted, boxed, row-at-a-time UDAFs (PL/pgSQL /
+  // Scala-UDAF shape). Compiled IUME versions live in hardcoded_udafs.cc
+  // for the ablation benchmarks.
+  RegisterInterpretedUdafs(&hardcoded_);
+}
+
+Result<std::unique_ptr<Table>> SudafSession::Execute(const std::string& sql,
+                                                     ExecMode mode) {
+  SUDAF_ASSIGN_OR_RETURN(std::unique_ptr<SelectStatement> stmt,
+                         ParseSelect(sql));
+  return ExecuteStatement(*stmt, mode);
+}
+
+Result<std::unique_ptr<Table>> SudafSession::ExecuteStatement(
+    const SelectStatement& stmt, ExecMode mode) {
+  stats_ = ExecStats{};
+  double start = NowMs();
+  Result<std::unique_ptr<Table>> result =
+      mode == ExecMode::kEngine
+          ? executor_.Execute(stmt, exec_)
+          : ExecuteSudaf(stmt, mode == ExecMode::kSudafShare);
+  stats_.total_ms = NowMs() - start;
+  return result;
+}
+
+Result<std::string> SudafSession::ExplainRewrite(
+    const std::string& sql) const {
+  SUDAF_ASSIGN_OR_RETURN(std::unique_ptr<SelectStatement> stmt,
+                         ParseSelect(sql));
+  SUDAF_ASSIGN_OR_RETURN(RewrittenQuery rewritten,
+                         RewriteQuery(*stmt, library_));
+  return rewritten.Explain(*stmt);
+}
+
+Status SudafSession::Prefetch(const std::string& sql) {
+  SUDAF_ASSIGN_OR_RETURN(std::unique_ptr<Table> ignored,
+                         Execute(sql, ExecMode::kSudafShare));
+  (void)ignored;
+  return Status::OK();
+}
+
+namespace {
+
+// Per-state execution descriptor.
+struct StateExec {
+  StateClass cls;
+  SharedComputation share_fn;  // Share(state, cls.rep)
+  bool from_cache = false;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<Table>> SudafSession::ExecuteSudaf(
+    const SelectStatement& stmt, bool share) {
+  // 1. Rewrite: expand UDAFs, factor out states, build terminating plans.
+  double t = NowMs();
+  SUDAF_ASSIGN_OR_RETURN(RewrittenQuery rewritten,
+                         RewriteQuery(stmt, library_));
+  stats_.rewrite_ms = NowMs() - t;
+  const std::vector<AggStateDef>& states = rewritten.form.states;
+  stats_.num_states = static_cast<int>(states.size());
+
+  // 2. Classify states and probe the cache.
+  t = NowMs();
+  std::vector<StateExec> execs(states.size());
+  for (size_t i = 0; i < states.size(); ++i) {
+    StateExec& ex = execs[i];
+    ex.cls = ClassifyState(states[i]);
+    std::optional<SharedComputation> fn = Share(states[i], ex.cls.rep);
+    if (!fn.has_value()) {
+      // The classification was coarser than the theorem allows for this
+      // instance; fall back to a self-class (always shareable: identity).
+      ex.cls.key = "self|" + states[i].Key();
+      ex.cls.rep = states[i].Clone();
+      ex.cls.log_domain = false;
+      fn = SharedComputation{};
+    }
+    ex.share_fn = *fn;
+  }
+
+  StateCache::GroupSet* group_set =
+      share ? cache_.Find(rewritten.data_signature) : nullptr;
+  bool any_miss = false;
+  for (size_t i = 0; i < states.size(); ++i) {
+    if (share && group_set != nullptr &&
+        group_set->entries.count(execs[i].cls.key) > 0) {
+      execs[i].from_cache = true;
+    } else {
+      any_miss = true;
+    }
+  }
+  stats_.probe_ms = NowMs() - t;
+
+  // 3. Obtain the grouped input (scanning base data only when some state
+  //    actually needs computing — the all-hit case never touches the data).
+  PreparedInput input;
+  const Table* group_keys = nullptr;
+  int32_t num_groups = 0;
+
+  if (any_miss || states.empty()) {
+    t = NowMs();
+    std::vector<std::string> extra_columns;
+    for (size_t i = 0; i < states.size(); ++i) {
+      if (execs[i].from_cache) continue;
+      ExprPtr main = execs[i].cls.MainInputExpr();
+      if (main != nullptr) main->CollectColumns(&extra_columns);
+      if (execs[i].cls.log_domain) {
+        execs[i].cls.SignInputExpr()->CollectColumns(&extra_columns);
+      }
+      if (!share && states[i].input != nullptr) {
+        states[i].input->CollectColumns(&extra_columns);
+      }
+    }
+    SUDAF_ASSIGN_OR_RETURN(input, executor_.Prepare(stmt, extra_columns));
+    stats_.input_ms = NowMs() - t;
+    stats_.scanned_base_data = true;
+    group_keys = input.group_keys.get();
+    num_groups = input.num_groups;
+
+    if (share) {
+      group_set = cache_.GetOrCreate(rewritten.data_signature,
+                                     *input.group_keys, num_groups);
+      // A recreated (stale) set lost its entries; demote affected states.
+      for (StateExec& ex : execs) {
+        if (ex.from_cache && group_set->entries.count(ex.cls.key) == 0) {
+          ex.from_cache = false;
+        }
+      }
+    }
+  } else {
+    group_keys = group_set->group_keys.get();
+    num_groups = group_set->num_groups;
+  }
+
+  // 4. Compute missing states.
+  t = NowMs();
+  const Table* frame = input.frame.get();
+  ColumnResolver resolver = [frame](const std::string& name)
+      -> Result<const Column*> {
+    if (frame == nullptr) {
+      return Status::Internal("no input frame materialized");
+    }
+    return frame->GetColumn(name);
+  };
+
+  std::vector<std::vector<double>> state_values(states.size());
+  // Computed class entries local to this query (used in no-share mode and
+  // as a per-query dedup in share mode).
+  std::map<std::string, StateCache::Entry> local_entries;
+
+  auto compute_class_entry =
+      [&](const StateClass& cls) -> Result<StateCache::Entry> {
+    StateCache::Entry entry;
+    ExprPtr main_expr = cls.MainInputExpr();
+    if (main_expr == nullptr) {
+      entry.main = ComputeGroupedState(AggOp::kCount, {}, input.group_ids,
+                                       num_groups, exec_);
+    } else {
+      SUDAF_ASSIGN_OR_RETURN(
+          std::vector<double> in,
+          EvalNumericVector(*main_expr, resolver, frame->num_rows()));
+      entry.main = ComputeGroupedState(cls.MainOp(), in, input.group_ids,
+                                       num_groups, exec_);
+    }
+    if (cls.log_domain) {
+      SUDAF_ASSIGN_OR_RETURN(
+          std::vector<double> sgn,
+          EvalNumericVector(*cls.SignInputExpr(), resolver,
+                            frame->num_rows()));
+      entry.sign = ComputeGroupedState(AggOp::kProd, sgn, input.group_ids,
+                                       num_groups, exec_);
+    }
+    return entry;
+  };
+
+  for (size_t i = 0; i < states.size(); ++i) {
+    const AggStateDef& state = states[i];
+    StateExec& ex = execs[i];
+
+    if (share) {
+      const StateCache::Entry* entry = nullptr;
+      if (ex.from_cache) {
+        entry = &group_set->entries.at(ex.cls.key);
+        ++stats_.states_from_cache;
+      } else {
+        auto it = group_set->entries.find(ex.cls.key);
+        if (it == group_set->entries.end()) {
+          SUDAF_ASSIGN_OR_RETURN(StateCache::Entry computed,
+                                 compute_class_entry(ex.cls));
+          it = group_set->entries.emplace(ex.cls.key, std::move(computed))
+                   .first;
+          ++stats_.states_computed;
+        }
+        entry = &it->second;
+      }
+      state_values[i].resize(num_groups);
+      for (int32_t g = 0; g < num_groups; ++g) {
+        double sign = entry->sign.empty() ? 1.0 : entry->sign[g];
+        state_values[i][g] =
+            ApplyFromClass(state, ex.cls, ex.share_fn, entry->main[g], sign);
+      }
+      continue;
+    }
+
+    // No-share mode: compute each requested state directly.
+    StateCache::Entry* local = nullptr;
+    std::string direct_key = "direct|" + state.Key();
+    auto it = local_entries.find(direct_key);
+    if (it == local_entries.end()) {
+      StateCache::Entry entry;
+      if (state.op == AggOp::kCount) {
+        entry.main = ComputeGroupedState(AggOp::kCount, {}, input.group_ids,
+                                         num_groups, exec_);
+      } else {
+        SUDAF_ASSIGN_OR_RETURN(
+            std::vector<double> in,
+            EvalNumericVector(*state.input, resolver, frame->num_rows()));
+        entry.main = ComputeGroupedState(state.op, in, input.group_ids,
+                                         num_groups, exec_);
+      }
+      it = local_entries.emplace(direct_key, std::move(entry)).first;
+      ++stats_.states_computed;
+    }
+    local = &it->second;
+    state_values[i] = local->main;
+  }
+  stats_.states_ms = NowMs() - t;
+
+  // 5. Terminating functions per group, output assembly, ORDER BY/LIMIT.
+  t = NowMs();
+  Result<std::unique_ptr<Table>> result = AssembleRewrittenResult(
+      rewritten, stmt, *group_keys, num_groups, state_values);
+  stats_.terminate_ms = NowMs() - t;
+  return result;
+}
+
+}  // namespace sudaf

@@ -1,0 +1,98 @@
+#ifndef SUDAF_SUDAF_SESSION_H_
+#define SUDAF_SUDAF_SESSION_H_
+
+// SudafSession — the library's main entry point.
+//
+// One session binds a catalog to three execution paths:
+//   * kEngine       — the baseline: built-ins via kernels, UDAFs via the
+//                     hardcoded IUME interface (how PostgreSQL / Spark SQL
+//                     run the original queries);
+//   * kSudafNoShare — SUDAF rewriting only: UDAF expressions are factored
+//                     into aggregation states computed with built-in
+//                     kernels, then finished by terminating functions;
+//   * kSudafShare   — rewriting + the dynamic cache: states are served from
+//                     cached class representatives whenever the sharing
+//                     conditions of Theorem 4.1 allow, and newly computed
+//                     representatives are cached.
+//
+// Example:
+//   SudafSession session(&catalog);
+//   session.library().Define("my_mean", {"x"}, "sum(x^2)/sum(x)");
+//   auto result = session.Execute(
+//       "SELECT square_id, my_mean(traffic) FROM milan_data "
+//       "GROUP BY square_id", ExecMode::kSudafShare);
+
+#include <memory>
+#include <string>
+
+#include "agg/udaf.h"
+#include "common/status.h"
+#include "engine/exec_options.h"
+#include "engine/executor.h"
+#include "sudaf/cache.h"
+#include "sudaf/rewriter.h"
+#include "sudaf/sharing.h"
+
+namespace sudaf {
+
+enum class ExecMode { kEngine, kSudafNoShare, kSudafShare };
+
+// Per-query execution statistics (all times in milliseconds).
+struct ExecStats {
+  double total_ms = 0;
+  double rewrite_ms = 0;     // UDAF expansion + canonicalization
+  double probe_ms = 0;       // cache probing (classification + lookup)
+  double input_ms = 0;       // scan/filter/join/group of base data
+  double states_ms = 0;      // state computation (vectorized kernels)
+  double terminate_ms = 0;   // terminating functions
+  int num_states = 0;
+  int states_from_cache = 0;
+  int states_computed = 0;
+  bool scanned_base_data = false;
+};
+
+class SudafSession {
+ public:
+  // `catalog` must outlive the session.
+  explicit SudafSession(const Catalog* catalog, ExecOptions exec = {});
+
+  UdafLibrary& library() { return library_; }
+  UdafRegistry& hardcoded() { return hardcoded_; }
+  StateCache& cache() { return cache_; }
+  const Catalog* catalog() const { return catalog_; }
+  const ExecOptions& exec_options() const { return exec_; }
+  void set_exec_options(const ExecOptions& exec) { exec_ = exec; }
+
+  // Parses and runs `sql` under `mode`.
+  Result<std::unique_ptr<Table>> Execute(const std::string& sql,
+                                         ExecMode mode);
+  Result<std::unique_ptr<Table>> ExecuteStatement(const SelectStatement& stmt,
+                                                  ExecMode mode);
+
+  // Returns the RQ-style rewritten form of `sql` (states + terminating
+  // select list) without executing it.
+  Result<std::string> ExplainRewrite(const std::string& sql) const;
+
+  // Runs `sql` in share mode purely to warm the cache (e.g. prefetching a
+  // moments sketch before a query sequence, as in the AS2 experiments).
+  Status Prefetch(const std::string& sql);
+
+  // Statistics of the most recent Execute/Prefetch call.
+  const ExecStats& last_stats() const { return stats_; }
+
+ private:
+  Result<std::unique_ptr<Table>> ExecuteSudaf(const SelectStatement& stmt,
+                                              bool share);
+
+  const Catalog* catalog_;
+  ExecOptions exec_;
+  UdafLibrary library_;
+  UdafRegistry hardcoded_;
+  Executor executor_;
+  StateCache cache_;
+  ExecStats stats_;
+};
+
+}  // namespace sudaf
+
+#endif  // SUDAF_SUDAF_SESSION_H_

@@ -1,0 +1,227 @@
+#include "sudaf/symbolic.h"
+
+#include <map>
+#include <numeric>
+#include <sstream>
+
+#include "common/timer.h"
+
+namespace sudaf {
+
+namespace {
+
+const PrimitiveKind kSymbolicKinds[] = {
+    PrimitiveKind::kLinear,  // p·x
+    PrimitiveKind::kPower,   // x^p
+    PrimitiveKind::kLog,     // log_p(x)
+    PrimitiveKind::kExp,     // p^x
+};
+
+// Two fixed, "generic" parameter pools (no collisions with 0/1, mutually
+// distinct) used to probe strong vs. weak relationships.
+const double kParamsA[] = {2.5, 3.5, 1.75, 2.25};
+const double kParamsB[] = {4.2, 5.5, 3.25, 6.75};
+
+ExprPtr WrapPrimitive(PrimitiveKind kind, double param, ExprPtr inner) {
+  switch (kind) {
+    case PrimitiveKind::kLinear:
+      return Expr::Binary(BinaryOp::kMul, Expr::Number(param),
+                          std::move(inner));
+    case PrimitiveKind::kPower:
+      return Expr::Binary(BinaryOp::kPow, std::move(inner),
+                          Expr::Number(param));
+    case PrimitiveKind::kLog: {
+      std::vector<ExprPtr> args;
+      args.push_back(Expr::Number(param));
+      args.push_back(std::move(inner));
+      return Expr::Func("log", std::move(args));
+    }
+    case PrimitiveKind::kExp:
+      return Expr::Binary(BinaryOp::kPow, Expr::Number(param),
+                          std::move(inner));
+    case PrimitiveKind::kConst:
+    case PrimitiveKind::kIdentity:
+      return inner;
+  }
+  return inner;
+}
+
+const char* KindTemplate(PrimitiveKind kind) {
+  switch (kind) {
+    case PrimitiveKind::kLinear:
+      return "%P*(%X)";
+    case PrimitiveKind::kPower:
+      return "(%X)^%P";
+    case PrimitiveKind::kLog:
+      return "log_%P(%X)";
+    case PrimitiveKind::kExp:
+      return "%P^(%X)";
+    default:
+      return "%X";
+  }
+}
+
+// Union-find.
+int Find(std::vector<int>& parent, int x) {
+  while (parent[x] != x) {
+    parent[x] = parent[parent[x]];
+    x = parent[x];
+  }
+  return x;
+}
+
+void Union(std::vector<int>& parent, int a, int b) {
+  parent[Find(parent, a)] = Find(parent, b);
+}
+
+}  // namespace
+
+std::string SymbolicState::ToString() const {
+  std::string body = "x";
+  int param_index = 1;
+  for (PrimitiveKind kind : chain) {
+    std::string tmpl = KindTemplate(kind);
+    std::string next;
+    for (size_t i = 0; i < tmpl.size(); ++i) {
+      if (tmpl[i] == '%' && i + 1 < tmpl.size()) {
+        if (tmpl[i + 1] == 'X') {
+          next += body;
+        } else {
+          next += "p" + std::to_string(param_index);
+        }
+        ++i;
+      } else {
+        next += tmpl[i];
+      }
+    }
+    ++param_index;
+    body = std::move(next);
+  }
+  return std::string(op == AggOp::kSum ? "Σ " : "Π ") + body;
+}
+
+AggStateDef SymbolicState::Instantiate(
+    const std::vector<double>& params) const {
+  SUDAF_CHECK(params.size() >= chain.size());
+  ExprPtr expr = Expr::Column("x");
+  for (size_t i = 0; i < chain.size(); ++i) {
+    expr = WrapPrimitive(chain[i], params[i], std::move(expr));
+  }
+  return MakeState(op, std::move(expr));
+}
+
+SymbolicSpace SymbolicSpace::Build(int l) {
+  double start = NowMs();
+  SymbolicSpace space;
+  space.l_ = l;
+
+  // Enumerate chains of length 0..l over the four parameterized kinds.
+  std::vector<std::vector<PrimitiveKind>> chains = {{}};
+  std::vector<std::vector<PrimitiveKind>> frontier = {{}};
+  for (int len = 1; len <= l; ++len) {
+    std::vector<std::vector<PrimitiveKind>> next;
+    for (const auto& chain : frontier) {
+      for (PrimitiveKind kind : kSymbolicKinds) {
+        std::vector<PrimitiveKind> extended = chain;
+        extended.push_back(kind);
+        next.push_back(extended);
+      }
+    }
+    chains.insert(chains.end(), next.begin(), next.end());
+    frontier = std::move(next);
+  }
+  for (AggOp op : {AggOp::kSum, AggOp::kProd}) {
+    for (const auto& chain : chains) {
+      space.states_.push_back(SymbolicState{op, chain});
+    }
+  }
+
+  const int n = static_cast<int>(space.states_.size());
+  std::vector<int> parent(n);
+  std::iota(parent.begin(), parent.end(), 0);
+
+  // Pairwise relationships, probed with the ground-truth Share() decision:
+  //   strong — holds with independently drawn parameters;
+  //   weak   — holds only when corresponding parameters are tied.
+  std::vector<double> pool_a(kParamsA, kParamsA + 4);
+  std::vector<double> pool_b(kParamsB, kParamsB + 4);
+  for (int i = 0; i < n; ++i) {
+    AggStateDef si_a = space.states_[i].Instantiate(pool_a);
+    for (int j = 0; j < n; ++j) {
+      if (i == j) continue;
+      AggStateDef sj_b = space.states_[j].Instantiate(pool_b);
+      if (Share(si_a, sj_b).has_value()) {
+        space.edges_.push_back({i, j, EdgeKind::kStrong});
+        Union(parent, i, j);
+        continue;
+      }
+      AggStateDef sj_a = space.states_[j].Instantiate(pool_a);
+      std::optional<SharedComputation> tied = Share(si_a, sj_a);
+      if (tied.has_value()) {
+        space.edges_.push_back({i, j, EdgeKind::kWeak});
+        Union(parent, i, j);
+      }
+    }
+  }
+
+  // Equivalence classes & representatives (prefer the shortest chain, then
+  // Σ over Π, then enumeration order — Σx, Πx, Σx^p, ... as in Fig. 5).
+  std::map<int, int> root_to_class;
+  space.class_of_.resize(n);
+  for (int i = 0; i < n; ++i) {
+    int root = Find(parent, i);
+    auto [it, inserted] =
+        root_to_class.emplace(root, static_cast<int>(root_to_class.size()));
+    space.class_of_[i] = it->second;
+    if (inserted) space.representatives_.push_back(i);
+  }
+  auto better_rep = [&space](int a, int b) {
+    const SymbolicState& sa = space.states_[a];
+    const SymbolicState& sb = space.states_[b];
+    if (sa.chain.size() != sb.chain.size()) {
+      return sa.chain.size() < sb.chain.size();
+    }
+    if (sa.op != sb.op) return sa.op == AggOp::kSum;
+    return a < b;
+  };
+  for (int i = 0; i < n; ++i) {
+    int c = space.class_of_[i];
+    if (better_rep(i, space.representatives_[c])) {
+      space.representatives_[c] = i;
+    }
+  }
+
+  space.build_ms_ = NowMs() - start;
+  return space;
+}
+
+std::string SymbolicSpace::Describe() const {
+  std::ostringstream os;
+  os << "l-bounded symbolic space saggs_" << l_ << "(X): " << states_.size()
+     << " states (bound 2(4^" << l_ + 1 << "-1)/3 = "
+     << 2 * ((1 << (2 * (l_ + 1))) - 1) / 3 << "), " << edges_.size()
+     << " sharing edges, " << num_classes() << " equivalence classes"
+     << " (precomputed in " << build_ms_ << " ms)\n";
+  for (int c = 0; c < num_classes(); ++c) {
+    os << "  class " << c << "  rep = " << states_[representative(c)].ToString()
+       << "  members = {";
+    bool first = true;
+    for (size_t i = 0; i < states_.size(); ++i) {
+      if (class_of_[i] == c) {
+        if (!first) os << ", ";
+        os << states_[i].ToString();
+        first = false;
+      }
+    }
+    os << "}\n";
+  }
+  int strong = 0;
+  int weak = 0;
+  for (const SymbolicEdge& e : edges_) {
+    (e.kind == EdgeKind::kStrong ? strong : weak)++;
+  }
+  os << "  edges: " << strong << " strong, " << weak << " weak\n";
+  return os.str();
+}
+
+}  // namespace sudaf

@@ -1,0 +1,81 @@
+#ifndef SUDAF_SUDAF_SYMBOLIC_H_
+#define SUDAF_SUDAF_SYMBOLIC_H_
+
+// Symbolic aggregation states and the precomputed sharing digraph
+// (Section 5 / Figures 4–5 of the paper).
+//
+// A symbolic state Σ⊕ sf_p̄(x) stands for all concrete states obtained by
+// instantiating the parameters of its symbolic scalar-function chain. The
+// l-bounded space saggs_l(X) contains every symbolic state whose chain has
+// length ≤ l; its size is bounded by 2(4^{l+1}-1)/3.
+//
+// SUDAF precomputes, once at deployment, which symbolic states share which —
+// `strong` edges hold for all parameter instantiations, `weak` edges hold
+// when corresponding parameters are tied — then collapses the digraph into
+// equivalence classes with one representative per class. At runtime,
+// concrete states map straight to their class (see ClassifyState), so no
+// expression transformation happens per query.
+
+#include <string>
+#include <vector>
+
+#include "sudaf/sharing.h"
+
+namespace sudaf {
+
+// One symbolic aggregation state: ⊕ plus a chain of parameterized primitive
+// kinds (chain[0] innermost; empty chain = identity, i.e. Σx / Πx).
+struct SymbolicState {
+  AggOp op = AggOp::kSum;
+  std::vector<PrimitiveKind> chain;  // from {kLinear, kPower, kLog, kExp}
+
+  // "Σ p1*x", "Π log_p1(x)^p2", ...
+  std::string ToString() const;
+
+  // Concrete state with the given parameter per chain element.
+  AggStateDef Instantiate(const std::vector<double>& params) const;
+};
+
+enum class EdgeKind { kStrong, kWeak };
+
+struct SymbolicEdge {
+  int from = 0;  // `from` shares `to`
+  int to = 0;
+  EdgeKind kind = EdgeKind::kStrong;
+};
+
+// The enumerated space with its sharing digraph and equivalence classes.
+class SymbolicSpace {
+ public:
+  // Enumerates saggs_l and derives all pairwise relationships (the paper's
+  // deployment-time precomputation; ~110 ms in their prototype for l = 2).
+  static SymbolicSpace Build(int l);
+
+  int l() const { return l_; }
+  const std::vector<SymbolicState>& states() const { return states_; }
+  const std::vector<SymbolicEdge>& edges() const { return edges_; }
+
+  // Equivalence class id of each state (mutually-sharing states collapse).
+  const std::vector<int>& class_of() const { return class_of_; }
+  // Index (into states()) of the representative of class `c`.
+  int representative(int c) const { return representatives_[c]; }
+  int num_classes() const { return static_cast<int>(representatives_.size()); }
+
+  double build_ms() const { return build_ms_; }
+
+  // Multi-line textual rendering of the digraph (nodes by level, edges,
+  // classes with representatives) — the Figure 4/5 artifact.
+  std::string Describe() const;
+
+ private:
+  int l_ = 0;
+  std::vector<SymbolicState> states_;
+  std::vector<SymbolicEdge> edges_;
+  std::vector<int> class_of_;
+  std::vector<int> representatives_;
+  double build_ms_ = 0;
+};
+
+}  // namespace sudaf
+
+#endif  // SUDAF_SUDAF_SYMBOLIC_H_

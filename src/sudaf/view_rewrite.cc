@@ -1,0 +1,242 @@
+#include "sudaf/view_rewrite.h"
+
+#include <set>
+
+#include "expr/evaluator.h"
+
+namespace sudaf {
+
+namespace {
+
+void CollectConjuncts(const Expr* e, std::vector<const Expr*>* out) {
+  if (e->kind == ExprKind::kBinary && e->bin_op == BinaryOp::kAnd) {
+    CollectConjuncts(e->args[0].get(), out);
+    CollectConjuncts(e->args[1].get(), out);
+    return;
+  }
+  out->push_back(e);
+}
+
+std::string StateColumnName(size_t i) {
+  return "__s" + std::to_string(i);
+}
+
+}  // namespace
+
+Result<AggregateView> MaterializeAggregateView(SudafSession* session,
+                                               const std::string& name,
+                                               const std::string& sql) {
+  SUDAF_ASSIGN_OR_RETURN(std::unique_ptr<SelectStatement> stmt,
+                         ParseSelect(sql));
+  SUDAF_ASSIGN_OR_RETURN(RewrittenQuery rewritten,
+                         RewriteQuery(*stmt, session->library()));
+
+  Executor executor(session->catalog(), &session->hardcoded());
+  std::vector<std::string> extra;
+  for (const AggStateDef& state : rewritten.form.states) {
+    if (state.input != nullptr) state.input->CollectColumns(&extra);
+  }
+  SUDAF_ASSIGN_OR_RETURN(PreparedInput input, executor.Prepare(*stmt, extra));
+
+  const Table* frame = input.frame.get();
+  ColumnResolver resolver =
+      [frame](const std::string& col) -> Result<const Column*> {
+    return frame->GetColumn(col);
+  };
+
+  AggregateView view;
+  view.name = name;
+  view.num_key_columns = input.group_keys->num_columns();
+
+  Schema schema;
+  for (const Field& f : input.group_keys->schema().fields()) {
+    SUDAF_RETURN_IF_ERROR(schema.AddField(f));
+  }
+  for (size_t i = 0; i < rewritten.form.states.size(); ++i) {
+    SUDAF_RETURN_IF_ERROR(
+        schema.AddField(Field{StateColumnName(i), DataType::kFloat64}));
+  }
+  view.data = std::make_unique<Table>(std::move(schema));
+
+  for (int c = 0; c < input.group_keys->num_columns(); ++c) {
+    const Column& src = input.group_keys->column(c);
+    Column& dst = view.data->column(c);
+    for (int32_t g = 0; g < input.num_groups; ++g) {
+      dst.AppendValue(src.GetValue(g));
+    }
+  }
+  for (size_t i = 0; i < rewritten.form.states.size(); ++i) {
+    const AggStateDef& state = rewritten.form.states[i];
+    std::vector<double> values;
+    if (state.op == AggOp::kCount) {
+      values = ComputeGroupedState(AggOp::kCount, {}, input.group_ids,
+                                   input.num_groups, session->exec_options());
+    } else {
+      SUDAF_ASSIGN_OR_RETURN(
+          std::vector<double> in,
+          EvalNumericVector(*state.input, resolver, frame->num_rows()));
+      values = ComputeGroupedState(state.op, in, input.group_ids,
+                                   input.num_groups, session->exec_options());
+    }
+    Column& dst = view.data->column(view.num_key_columns +
+                                    static_cast<int>(i));
+    for (double v : values) dst.AppendFloat64(v);
+    view.states.push_back(state.Clone());
+  }
+  view.data->FinishBulkAppend();
+  view.stmt = std::move(stmt);
+  return view;
+}
+
+Result<std::unique_ptr<Table>> ExecuteWithView(SudafSession* session,
+                                               const AggregateView& view,
+                                               const std::string& sql) {
+  SUDAF_ASSIGN_OR_RETURN(std::unique_ptr<SelectStatement> stmt,
+                         ParseSelect(sql));
+  SUDAF_ASSIGN_OR_RETURN(RewrittenQuery rewritten,
+                         RewriteQuery(*stmt, session->library()));
+
+  // Condition: query grouping is coarser than (a subset of) the view's.
+  for (const std::string& g : stmt->group_by) {
+    bool in_view = false;
+    for (const std::string& vg : view.stmt->group_by) {
+      if (vg == g) in_view = true;
+    }
+    if (!in_view) {
+      return Status::InvalidArgument(
+          "query groups by " + g + " which the view does not retain");
+    }
+  }
+
+  // Condition: the view's tables and predicates are contained in the query.
+  std::set<std::string> query_tables(stmt->tables.begin(),
+                                     stmt->tables.end());
+  std::vector<std::string> extra_tables;
+  for (const std::string& t : view.stmt->tables) {
+    if (query_tables.count(t) == 0) {
+      return Status::InvalidArgument("view uses table " + t +
+                                     " absent from the query");
+    }
+  }
+  for (const std::string& t : stmt->tables) {
+    bool in_view = false;
+    for (const std::string& vt : view.stmt->tables) {
+      if (vt == t) in_view = true;
+    }
+    if (!in_view) extra_tables.push_back(t);
+  }
+
+  std::vector<const Expr*> query_conjuncts;
+  if (stmt->where != nullptr) {
+    CollectConjuncts(stmt->where.get(), &query_conjuncts);
+  }
+  std::vector<const Expr*> view_conjuncts;
+  if (view.stmt->where != nullptr) {
+    CollectConjuncts(view.stmt->where.get(), &view_conjuncts);
+  }
+  std::vector<const Expr*> remaining = query_conjuncts;
+  for (const Expr* vc : view_conjuncts) {
+    bool found = false;
+    for (auto it = remaining.begin(); it != remaining.end(); ++it) {
+      if ((*it)->ToString() == vc->ToString()) {
+        remaining.erase(it);
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      return Status::InvalidArgument(
+          "view predicate not implied by the query: " + vc->ToString());
+    }
+  }
+
+  // Map every query state onto a view state via Theorem 4.1.
+  struct StateSource {
+    int view_state = -1;
+    SharedComputation share_fn;
+  };
+  std::vector<StateSource> sources(rewritten.form.states.size());
+  for (size_t i = 0; i < rewritten.form.states.size(); ++i) {
+    bool mapped = false;
+    for (size_t v = 0; v < view.states.size(); ++v) {
+      std::optional<SharedComputation> fn =
+          Share(rewritten.form.states[i], view.states[v]);
+      if (fn.has_value()) {
+        sources[i] = StateSource{static_cast<int>(v), *fn};
+        mapped = true;
+        break;
+      }
+    }
+    if (!mapped) {
+      return Status::InvalidArgument(
+          "query state " + rewritten.form.states[i].ToString() +
+          " is not computable from the view");
+    }
+  }
+
+  // Delta statement: view ⋈ extra dimension tables, remaining predicates,
+  // the query's grouping.
+  SelectStatement delta;
+  delta.tables.push_back(view.name);
+  for (const std::string& t : extra_tables) delta.tables.push_back(t);
+  ExprPtr where;
+  for (const Expr* c : remaining) {
+    where = where == nullptr
+                ? c->Clone()
+                : Expr::Binary(BinaryOp::kAnd, std::move(where), c->Clone());
+  }
+  delta.where = std::move(where);
+  delta.group_by = stmt->group_by;
+  for (const std::string& g : delta.group_by) {
+    delta.items.push_back(SelectItem{Expr::Column(g), ""});
+  }
+
+  Catalog delta_catalog;
+  for (const std::string& t : session->catalog()->TableNames()) {
+    SUDAF_ASSIGN_OR_RETURN(Table * table, session->catalog()->GetTable(t));
+    delta_catalog.PutExternalTable(t, table);
+  }
+  delta_catalog.PutExternalTable(view.name, view.data.get());
+
+  Executor executor(&delta_catalog, &session->hardcoded());
+  std::vector<std::string> extra_columns;
+  std::set<int> needed_view_states;
+  for (const StateSource& src : sources) {
+    needed_view_states.insert(src.view_state);
+  }
+  for (int v : needed_view_states) {
+    extra_columns.push_back(StateColumnName(v));
+  }
+  SUDAF_ASSIGN_OR_RETURN(PreparedInput input,
+                         executor.Prepare(delta, extra_columns));
+
+  // Roll up each needed view state with its own ⊕, then apply r.
+  const Table* frame = input.frame.get();
+  std::map<int, std::vector<double>> rolled;
+  for (int v : needed_view_states) {
+    SUDAF_ASSIGN_OR_RETURN(const Column* col,
+                           frame->GetColumn(StateColumnName(v)));
+    std::vector<double> in(col->doubles().begin(), col->doubles().end());
+    // Rolling up materialized counts means summing them (⊕ of count is +
+    // over already-counted chunks, not counting view rows).
+    AggOp rollup_op =
+        view.states[v].op == AggOp::kCount ? AggOp::kSum : view.states[v].op;
+    rolled[v] = ComputeGroupedState(rollup_op, in, input.group_ids,
+                                    input.num_groups,
+                                    session->exec_options());
+  }
+
+  std::vector<std::vector<double>> state_values(rewritten.form.states.size());
+  for (size_t i = 0; i < sources.size(); ++i) {
+    const std::vector<double>& src = rolled[sources[i].view_state];
+    state_values[i].resize(input.num_groups);
+    for (int32_t g = 0; g < input.num_groups; ++g) {
+      state_values[i][g] = sources[i].share_fn.Apply(src[g]);
+    }
+  }
+
+  return AssembleRewrittenResult(rewritten, *stmt, *input.group_keys,
+                                 input.num_groups, state_values);
+}
+
+}  // namespace sudaf

@@ -1,0 +1,57 @@
+#ifndef SUDAF_SUDAF_VIEW_REWRITE_H_
+#define SUDAF_SUDAF_VIEW_REWRITE_H_
+
+// Aggregate-view rewriting over partial aggregates (the Q3 / RQ3'
+// experiment).
+//
+// Traditional rewriting with aggregate views fails for UDAFs: a view
+// storing theta1() results is useless for a query wanting qm() and
+// stddev(). But a view that materializes the *aggregation states* of the
+// rewritten query (sum/count built-ins) can be rolled up by algorithms such
+// as Cohen–Nutt–Serebrenik [ADBIS-DASFAA'00], which support exactly sum and
+// count. This module materializes such views and answers coarser queries
+// from them:
+//
+//   1. every query state must share some view state (Theorem 4.1) — the
+//      rollup runs the *view* state's ⊕ first and applies r afterwards,
+//      which is sound because every Theorem 4.1 r commutes with ⊕-rollup
+//      (a·Σ, ln∘Π, e^Σ, |Π|^a);
+//   2. the query's GROUP BY must be a subset of the view's;
+//   3. every view predicate must appear in the query (view not broader),
+//      and the query's extra predicates may touch only view columns or
+//      extra dimension tables joinable to view key columns.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/table.h"
+#include "sudaf/session.h"
+
+namespace sudaf {
+
+// A materialized partial-aggregate view: the deduplicated aggregation
+// states of its defining query, stored at the query's GROUP BY granularity.
+struct AggregateView {
+  std::string name;
+  std::unique_ptr<SelectStatement> stmt;  // defining query
+  std::vector<AggStateDef> states;        // aligned with state columns
+  std::unique_ptr<Table> data;  // [group keys..., __s0, __s1, ...]
+  int num_key_columns = 0;
+};
+
+// Materializes the aggregation states of `sql`'s select list at its GROUP
+// BY granularity (the V1 of the motivating example: the subquery of RQ1).
+Result<AggregateView> MaterializeAggregateView(SudafSession* session,
+                                               const std::string& name,
+                                               const std::string& sql);
+
+// Answers `sql` from `view` (never touching the view's base tables), or
+// fails if the rewrite conditions do not hold.
+Result<std::unique_ptr<Table>> ExecuteWithView(SudafSession* session,
+                                               const AggregateView& view,
+                                               const std::string& sql);
+
+}  // namespace sudaf
+
+#endif  // SUDAF_SUDAF_VIEW_REWRITE_H_

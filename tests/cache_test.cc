@@ -1,0 +1,81 @@
+// Tests for sudaf/cache: data signatures and the state cache.
+
+#include "gtest/gtest.h"
+#include "sudaf/cache.h"
+#include "tests/test_util.h"
+
+namespace sudaf {
+namespace {
+
+std::string SignatureOf(const std::string& sql) {
+  auto stmt = ParseSelect(sql);
+  SUDAF_CHECK_MSG(stmt.ok(), stmt.status().ToString());
+  return DataSignature(**stmt);
+}
+
+TEST(DataSignatureTest, IndependentOfSelectList) {
+  EXPECT_EQ(SignatureOf("SELECT qm(x) FROM t WHERE a = 1 GROUP BY g"),
+            SignatureOf("SELECT stddev(x) FROM t WHERE a = 1 GROUP BY g"));
+}
+
+TEST(DataSignatureTest, CanonicalizesTableAndConjunctOrder) {
+  EXPECT_EQ(
+      SignatureOf("SELECT sum(x) FROM a, b WHERE k1 = k2 AND c = 1"),
+      SignatureOf("SELECT sum(x) FROM b, a WHERE c = 1 AND k1 = k2"));
+}
+
+TEST(DataSignatureTest, DistinguishesPredicates) {
+  EXPECT_NE(SignatureOf("SELECT sum(x) FROM t WHERE a = 1"),
+            SignatureOf("SELECT sum(x) FROM t WHERE a = 2"));
+  EXPECT_NE(SignatureOf("SELECT sum(x) FROM t"),
+            SignatureOf("SELECT sum(x) FROM t WHERE a = 1"));
+}
+
+TEST(DataSignatureTest, DistinguishesGrouping) {
+  EXPECT_NE(SignatureOf("SELECT g, sum(x) FROM t GROUP BY g"),
+            SignatureOf("SELECT sum(x) FROM t"));
+}
+
+TEST(StateCacheTest, FindMissesThenHits) {
+  StateCache cache;
+  EXPECT_EQ(cache.Find("sig"), nullptr);
+  auto keys = testing_util::MakeXyTable({1, 2}, {0, 0}, {0, 0});
+  StateCache::GroupSet* set = cache.GetOrCreate("sig", *keys, 2);
+  ASSERT_NE(set, nullptr);
+  EXPECT_EQ(cache.Find("sig"), set);
+  EXPECT_EQ(cache.num_group_sets(), 1);
+}
+
+TEST(StateCacheTest, EntriesAndBytes) {
+  StateCache cache;
+  auto keys = testing_util::MakeXyTable({1}, {0}, {0});
+  StateCache::GroupSet* set = cache.GetOrCreate("sig", *keys, 1);
+  set->entries["sum_pow|x|1"] = StateCache::Entry{{1.0}, {}};
+  set->entries["logclass|x"] = StateCache::Entry{{0.5}, {1.0}};
+  EXPECT_EQ(cache.num_entries(), 2);
+  EXPECT_GT(cache.ApproxBytes(), 0);
+  cache.Clear();
+  EXPECT_EQ(cache.num_group_sets(), 0);
+}
+
+TEST(StateCacheTest, StaleGroupCountRecreates) {
+  StateCache cache;
+  auto keys2 = testing_util::MakeXyTable({1, 2}, {0, 0}, {0, 0});
+  StateCache::GroupSet* set = cache.GetOrCreate("sig", *keys2, 2);
+  set->entries["count"] = StateCache::Entry{{2.0, 3.0}, {}};
+  auto keys3 = testing_util::MakeXyTable({1, 2, 3}, {0, 0, 0}, {0, 0, 0});
+  StateCache::GroupSet* fresh = cache.GetOrCreate("sig", *keys3, 3);
+  EXPECT_TRUE(fresh->entries.empty());
+  EXPECT_EQ(fresh->num_groups, 3);
+}
+
+TEST(StateCacheTest, GroupKeysAreCopied) {
+  StateCache cache;
+  auto keys = testing_util::MakeXyTable({7}, {0}, {0});
+  StateCache::GroupSet* set = cache.GetOrCreate("sig", *keys, 1);
+  keys.reset();  // cache must not dangle
+  EXPECT_EQ(set->group_keys->column(0).GetInt64(0), 7);
+}
+
+}  // namespace
+}  // namespace sudaf

@@ -1,0 +1,224 @@
+// Tests for sudaf/canonical: canonical forms (F, ⊕, T), state factoring,
+// coefficient/offset extraction and the splitting rules SR1/SR2 — Table 1
+// and Section 4.1 of the paper.
+
+#include <cmath>
+
+#include "expr/evaluator.h"
+#include "expr/parser.h"
+#include "gtest/gtest.h"
+#include "sudaf/canonical.h"
+#include "tests/test_util.h"
+
+namespace sudaf {
+namespace {
+
+using testing_util::ExpectClose;
+
+CanonicalForm CanonicalizeString(const std::string& s) {
+  auto expr = ParseExpression(s);
+  SUDAF_CHECK_MSG(expr.ok(), expr.status().ToString());
+  auto form = Canonicalize(**expr);
+  SUDAF_CHECK_MSG(form.ok(), form.status().ToString());
+  return std::move(*form);
+}
+
+// Evaluates a canonical form against a concrete multiset by computing each
+// state directly, then applying T — the reference semantics for every test
+// below.
+double EvalForm(const CanonicalForm& form, const std::vector<double>& xs,
+                const std::vector<double>& ys = {}) {
+  std::vector<double> state_values;
+  for (const AggStateDef& state : form.states) {
+    double acc;
+    switch (state.op) {
+      case AggOp::kCount:
+        acc = static_cast<double>(xs.size());
+        break;
+      default: {
+        acc = state.op == AggOp::kProd ? 1.0 : 0.0;
+        if (state.op == AggOp::kMin) acc = HUGE_VAL;
+        if (state.op == AggOp::kMax) acc = -HUGE_VAL;
+        for (size_t i = 0; i < xs.size(); ++i) {
+          RowAccessor accessor = [&](const std::string& col,
+                                     int64_t) -> Result<Value> {
+            if (col == "x") return Value(xs[i]);
+            if (col == "y") return Value(ys[i]);
+            return Status::NotFound(col);
+          };
+          auto v = EvalRow(*state.input, accessor, 0);
+          SUDAF_CHECK_MSG(v.ok(), v.status().ToString());
+          double f = v->AsDouble();
+          switch (state.op) {
+            case AggOp::kSum:
+              acc += f;
+              break;
+            case AggOp::kProd:
+              acc *= f;
+              break;
+            case AggOp::kMin:
+              acc = std::min(acc, f);
+              break;
+            case AggOp::kMax:
+              acc = std::max(acc, f);
+              break;
+            default:
+              break;
+          }
+        }
+      }
+    }
+    state_values.push_back(acc);
+  }
+  auto out = EvalTerminating(*form.terminating[0], state_values);
+  SUDAF_CHECK_MSG(out.ok(), out.status().ToString());
+  return *out;
+}
+
+TEST(CanonicalTest, PowerMeanTable1) {
+  // qm = (Σx²/n)^(1/2): exactly two states.
+  CanonicalForm form = CanonicalizeString("(sum(x^2)/count())^(1/2)");
+  ASSERT_EQ(form.states.size(), 2u);
+  EXPECT_EQ(form.states[0].ToString(), "sum(x^2)");
+  EXPECT_EQ(form.states[1].ToString(), "count()");
+  ExpectClose(std::sqrt((1.0 + 4.0 + 9.0) / 3.0),
+              EvalForm(form, {1.0, 2.0, 3.0}));
+}
+
+TEST(CanonicalTest, GeometricMeanUsesProduct) {
+  CanonicalForm form = CanonicalizeString("prod(x)^(1/count())");
+  ASSERT_EQ(form.states.size(), 2u);
+  EXPECT_EQ(form.states[0].op, AggOp::kProd);
+  ExpectClose(std::pow(24.0, 1.0 / 4.0), EvalForm(form, {1, 2, 3, 4}));
+}
+
+TEST(CanonicalTest, StddevSharesStatesAcrossSubexpressions) {
+  // stddev uses Σx² and count and Σx; the two count() calls and the two
+  // sum(x) calls deduplicate.
+  CanonicalForm form =
+      CanonicalizeString("sqrt(sum(x^2)/count() - (sum(x)/count())^2)");
+  EXPECT_EQ(form.states.size(), 3u);
+  ExpectClose(2.0, EvalForm(form, {2, 4, 4, 4, 5, 5, 7, 9}));
+}
+
+TEST(CanonicalTest, LogSumExpTable1) {
+  CanonicalForm form = CanonicalizeString("ln(sum(exp(x)))");
+  ASSERT_EQ(form.states.size(), 1u);
+  ExpectClose(std::log(std::exp(1.0) + std::exp(2.0)),
+              EvalForm(form, {1.0, 2.0}));
+}
+
+TEST(CanonicalTest, CovarianceTable1) {
+  CanonicalForm form = CanonicalizeString(
+      "sum(x*y)/count() - (sum(x)/count())*(sum(y)/count())");
+  EXPECT_EQ(form.states.size(), 4u);  // Σxy, count, Σx, Σy
+  ExpectClose(2.5, EvalForm(form, {1, 2, 3, 4}, {2, 4, 6, 8}));
+}
+
+TEST(CanonicalTest, CorrelationTable1) {
+  CanonicalForm form = CanonicalizeString(
+      "(count()*sum(x*y) - sum(x)*sum(y))"
+      " / (sqrt(count()*sum(x^2) - sum(x)^2)"
+      "    * sqrt(count()*sum(y^2) - sum(y)^2))");
+  EXPECT_EQ(form.states.size(), 6u);  // the Table 1 correlation row
+  ExpectClose(1.0, EvalForm(form, {1, 2, 3}, {2, 4, 6}));
+}
+
+TEST(CanonicalTest, Theta1MotivatingExample) {
+  // Section 2: SUDAF identifies exactly 5 partial aggregates in theta1.
+  CanonicalForm form = CanonicalizeString(
+      "(count()*sum(x*y) - sum(y)*sum(x)) / (count()*sum(x^2) - sum(x)^2)");
+  EXPECT_EQ(form.states.size(), 5u);
+  // Perfect line y = 2x + 1 => slope 2.
+  ExpectClose(2.0, EvalForm(form, {1, 2, 3, 4}, {3, 5, 7, 9}));
+}
+
+TEST(CanonicalTest, CoefficientExtraction) {
+  // Σ(4x²) = 4·Σx²: the interned state is the reduced Σx².
+  CanonicalForm form = CanonicalizeString("sum(4*x^2)");
+  ASSERT_EQ(form.states.size(), 1u);
+  EXPECT_EQ(form.states[0].ToString(), "sum(x^2)");
+  ExpectClose(4.0 * (1.0 + 4.0), EvalForm(form, {1.0, 2.0}));
+}
+
+TEST(CanonicalTest, CoefficientExtractionMakesVariantsShareStates) {
+  // Σ4x² and Σ(3x)² intern the SAME reduced state Σx² (Example 5.2's point:
+  // no repeated mathematical transformations, one shared computation).
+  auto e1 = ParseExpression("sum(4*x^2)");
+  auto e2 = ParseExpression("sum((3*x)^2)");
+  ASSERT_TRUE(e1.ok() && e2.ok());
+  auto form = Canonicalize({e1->get(), e2->get()});
+  ASSERT_TRUE(form.ok());
+  EXPECT_EQ(form->states.size(), 1u);
+}
+
+TEST(CanonicalTest, SplittingRuleSR1) {
+  // SR1: Σ(x² + x) = Σx² + Σx.
+  CanonicalForm form = CanonicalizeString("sum(x^2 + x)");
+  ASSERT_EQ(form.states.size(), 2u);
+  ExpectClose((1 + 4 + 9) + (1 + 2 + 3), EvalForm(form, {1, 2, 3}));
+}
+
+TEST(CanonicalTest, SplittingRuleSR1WithConstants) {
+  // Σ(2x - 3) = 2Σx - 3·count().
+  CanonicalForm form = CanonicalizeString("sum(2*x - 3)");
+  ASSERT_EQ(form.states.size(), 2u);  // Σx and count
+  bool has_count = false;
+  for (const auto& s : form.states) {
+    if (s.op == AggOp::kCount) has_count = true;
+  }
+  EXPECT_TRUE(has_count);
+  ExpectClose(2.0 * 6.0 - 9.0, EvalForm(form, {1, 2, 3}));
+}
+
+TEST(CanonicalTest, SplittingRuleSR2) {
+  // SR2: Π(x²·2^x) = Πx² · Π2^x.
+  CanonicalForm form = CanonicalizeString("prod(x^2 * 2^x)");
+  ASSERT_EQ(form.states.size(), 2u);
+  double expected = (1.0 * 4.0) * std::pow(2.0, 3.0);
+  ExpectClose(expected, EvalForm(form, {1.0, 2.0}));
+}
+
+TEST(CanonicalTest, SR2Division) {
+  // Π(x / 2^x) = Πx / Π2^x.
+  CanonicalForm form = CanonicalizeString("prod(x / 2^x)");
+  ASSERT_EQ(form.states.size(), 2u);
+  ExpectClose((1.0 / 2.0) * (2.0 / 4.0), EvalForm(form, {1.0, 2.0}));
+}
+
+TEST(CanonicalTest, SR2KeepsMonomialsTogether) {
+  // Π(x·y) is one abstract-column state, not Πx · Πy.
+  CanonicalForm form = CanonicalizeString("prod(x*y)");
+  EXPECT_EQ(form.states.size(), 1u);
+}
+
+TEST(CanonicalTest, ProductConstantFactor) {
+  // Π(2x) = 2^count() · Πx.
+  CanonicalForm form = CanonicalizeString("prod(2*x)");
+  ASSERT_EQ(form.states.size(), 2u);
+  ExpectClose(std::pow(2.0, 3.0) * 6.0, EvalForm(form, {1, 2, 3}));
+}
+
+TEST(CanonicalTest, MinMaxStatesAreOpaqueButUsable) {
+  CanonicalForm form = CanonicalizeString("max(x) - min(x)");
+  ASSERT_EQ(form.states.size(), 2u);
+  ExpectClose(8.0, EvalForm(form, {1.0, 4.0, 9.0}));
+}
+
+TEST(CanonicalTest, DescribeRendersTable1Style) {
+  CanonicalForm form = CanonicalizeString("(sum(x^2)/count())^(1/2)");
+  std::string description = form.Describe(0);
+  EXPECT_NE(description.find("F = ("), std::string::npos);
+  EXPECT_NE(description.find("T = "), std::string::npos);
+}
+
+TEST(CanonicalTest, StateKeysDistinguishOps) {
+  AggStateDef sum_state =
+      MakeState(AggOp::kSum, std::move(*ParseExpression("x")));
+  AggStateDef prod_state =
+      MakeState(AggOp::kProd, std::move(*ParseExpression("x")));
+  EXPECT_NE(sum_state.Key(), prod_state.Key());
+}
+
+}  // namespace
+}  // namespace sudaf

@@ -1,0 +1,145 @@
+// Tests for sudaf/chunked: data-dimension sharing over predefined chunks
+// (the extension sketched in Sections 2 and 8 of the paper).
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "gtest/gtest.h"
+#include "sudaf/chunked.h"
+#include "tests/test_util.h"
+
+namespace sudaf {
+namespace {
+
+using testing_util::ExpectClose;
+
+class ChunkedTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // events(ts INT64 in [0, 1000), grp INT64, v FLOAT64)
+    Schema schema;
+    ASSERT_OK(schema.AddField({"ts", DataType::kInt64}));
+    ASSERT_OK(schema.AddField({"grp", DataType::kInt64}));
+    ASSERT_OK(schema.AddField({"v", DataType::kFloat64}));
+    auto events = std::make_unique<Table>(std::move(schema));
+    Rng rng(808);
+    for (int i = 0; i < 5000; ++i) {
+      events->column(0).AppendInt64(rng.NextBelow(1000));
+      events->column(1).AppendInt64(rng.NextBelow(3));
+      events->column(2).AppendFloat64(rng.NextDoubleIn(0.5, 9.5));
+    }
+    events->FinishBulkAppend();
+    catalog_.PutTable("events", std::move(events));
+    session_ = std::make_unique<SudafSession>(&catalog_);
+    chunked_ = std::make_unique<ChunkedSharingSession>(
+        session_.get(), "events", "ts", /*chunk_width=*/100);
+  }
+
+  void ExpectMatchesDirect(const std::string& sql, double tol = 1e-9) {
+    auto direct = session_->Execute(sql, ExecMode::kSudafNoShare);
+    ASSERT_TRUE(direct.ok()) << direct.status().ToString();
+    auto via_chunks = chunked_->Execute(sql);
+    ASSERT_TRUE(via_chunks.ok()) << via_chunks.status().ToString();
+    ASSERT_EQ((*direct)->num_rows(), (*via_chunks)->num_rows());
+    for (int c = 0; c < (*direct)->num_columns(); ++c) {
+      for (int64_t r = 0; r < (*direct)->num_rows(); ++r) {
+        ExpectClose((*direct)->column(c).GetNumeric(r),
+                    (*via_chunks)->column(c).GetNumeric(r), tol);
+      }
+    }
+  }
+
+  Catalog catalog_;
+  std::unique_ptr<SudafSession> session_;
+  std::unique_ptr<ChunkedSharingSession> chunked_;
+};
+
+TEST_F(ChunkedTest, RangeQueryMatchesDirectExecution) {
+  ExpectMatchesDirect(
+      "SELECT qm(v), stddev(v) FROM events WHERE ts >= 200 AND ts < 600");
+  EXPECT_EQ(chunked_->last_stats().chunks_needed, 4);
+  EXPECT_EQ(chunked_->last_stats().chunks_computed, 4);
+}
+
+TEST_F(ChunkedTest, OverlappingRangeReusesCommonChunks) {
+  ExpectMatchesDirect("SELECT qm(v) FROM events WHERE ts >= 0 AND ts < 400");
+  EXPECT_EQ(chunked_->last_stats().chunks_computed, 4);
+  // Overlap [200, 600): chunks 2,3 cached, 4,5 fresh — and a *different*
+  // UDAF still shares (stddev needs Σv², Σv, count; qm cached Σv², count).
+  ExpectMatchesDirect(
+      "SELECT stddev(v) FROM events WHERE ts >= 200 AND ts < 600");
+  EXPECT_EQ(chunked_->last_stats().chunks_from_cache, 0);
+  EXPECT_EQ(chunked_->last_stats().chunks_computed, 4);
+  // Third query entirely inside cached territory: zero computation.
+  ExpectMatchesDirect(
+      "SELECT var(v), avg(v) FROM events WHERE ts >= 200 AND ts < 500");
+  EXPECT_EQ(chunked_->last_stats().chunks_from_cache, 3);
+  EXPECT_EQ(chunked_->last_stats().chunks_computed, 0);
+}
+
+TEST_F(ChunkedTest, FullDomainQueryWithoutPredicate) {
+  ExpectMatchesDirect("SELECT avg(v), qm(v) FROM events");
+  EXPECT_EQ(chunked_->last_stats().chunks_needed, 10);
+}
+
+TEST_F(ChunkedTest, GroupByMergesPerChunkGroups) {
+  ExpectMatchesDirect(
+      "SELECT grp, qm(v), count(v) FROM events WHERE ts >= 100 AND ts < 900 "
+      "GROUP BY grp ORDER BY grp");
+}
+
+TEST_F(ChunkedTest, ResidualPredicatesPartitionTheCache) {
+  ExpectMatchesDirect(
+      "SELECT sum(v) FROM events WHERE ts >= 0 AND ts < 300 AND grp = 1");
+  int64_t after_first = chunked_->num_cached_chunk_entries();
+  // Same range, different residual predicate: must not share.
+  ExpectMatchesDirect(
+      "SELECT sum(v) FROM events WHERE ts >= 0 AND ts < 300 AND grp = 2");
+  EXPECT_EQ(chunked_->last_stats().chunks_from_cache, 0);
+  EXPECT_GT(chunked_->num_cached_chunk_entries(), after_first);
+}
+
+TEST_F(ChunkedTest, CrossShapeSharingWithinChunks) {
+  ExpectMatchesDirect(
+      "SELECT sum(v^2) FROM events WHERE ts >= 0 AND ts < 200");
+  // Σ4v² served from the per-chunk Σv² representatives.
+  ExpectMatchesDirect(
+      "SELECT sum(4*v^2) FROM events WHERE ts >= 0 AND ts < 200");
+  EXPECT_EQ(chunked_->last_stats().chunks_computed, 0);
+}
+
+TEST_F(ChunkedTest, LogDomainStatesMergeAcrossChunks) {
+  ExpectMatchesDirect(
+      "SELECT gm(v) FROM events WHERE ts >= 0 AND ts < 500", 1e-8);
+  // prod over the same range comes from the merged log channels.
+  ExpectMatchesDirect(
+      "SELECT sum(ln(v)) FROM events WHERE ts >= 0 AND ts < 500", 1e-8);
+  EXPECT_EQ(chunked_->last_stats().chunks_computed, 0);
+}
+
+TEST_F(ChunkedTest, MisalignedRangeIsRejected) {
+  auto result = chunked_->Execute(
+      "SELECT qm(v) FROM events WHERE ts >= 150 AND ts < 600");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnimplemented);
+}
+
+TEST_F(ChunkedTest, UnsupportedChunkPredicateIsRejected) {
+  auto result = chunked_->Execute(
+      "SELECT qm(v) FROM events WHERE ts = 100");
+  EXPECT_FALSE(result.ok());
+}
+
+TEST_F(ChunkedTest, WrongTableIsRejected) {
+  catalog_.PutTable("other", testing_util::MakeXyTable({1}, {1.0}, {1.0}));
+  auto result = chunked_->Execute("SELECT sum(x) FROM other");
+  EXPECT_FALSE(result.ok());
+}
+
+TEST_F(ChunkedTest, MinMaxMergeWithTheirOwnOps) {
+  ExpectMatchesDirect(
+      "SELECT min(v), max(v) FROM events WHERE ts >= 300 AND ts < 800");
+}
+
+}  // namespace
+}  // namespace sudaf

@@ -1,0 +1,140 @@
+// Tests for common/: Status, Result, Value, Rng.
+
+#include <set>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/value.h"
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace sudaf {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = Status::NotFound("missing thing");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kNotFound);
+  EXPECT_EQ(st.message(), "missing thing");
+  EXPECT_EQ(st.ToString(), "NotFound: missing thing");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kAlreadyExists, StatusCode::kUnimplemented,
+        StatusCode::kInternal, StatusCode::kParseError,
+        StatusCode::kTypeError}) {
+    EXPECT_STRNE(StatusCodeName(code), "Unknown");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::InvalidArgument("nope"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+Result<int> FailingHelper() { return Status::Internal("boom"); }
+
+Result<int> PropagatingHelper() {
+  SUDAF_ASSIGN_OR_RETURN(int v, FailingHelper());
+  return v + 1;
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  Result<int> r = PropagatingHelper();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+}
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_EQ(Value(int64_t{7}).type(), DataType::kInt64);
+  EXPECT_EQ(Value(3.5).type(), DataType::kFloat64);
+  EXPECT_EQ(Value(std::string("hi")).type(), DataType::kString);
+  EXPECT_TRUE(Value(int64_t{1}).is_numeric());
+  EXPECT_FALSE(Value(std::string("x")).is_numeric());
+}
+
+TEST(ValueTest, AsDoubleCoercesIntegers) {
+  EXPECT_DOUBLE_EQ(Value(int64_t{5}).AsDouble(), 5.0);
+  EXPECT_DOUBLE_EQ(Value(2.25).AsDouble(), 2.25);
+}
+
+TEST(ValueTest, NumericEqualityCrossesTypes) {
+  EXPECT_TRUE(Value(int64_t{3}).Equals(Value(3.0)));
+  EXPECT_FALSE(Value(int64_t{3}).Equals(Value(3.5)));
+  EXPECT_FALSE(Value(std::string("3")).Equals(Value(3.0)));
+  EXPECT_TRUE(Value(std::string("ab")).Equals(Value(std::string("ab"))));
+}
+
+TEST(ValueTest, CompareOrdersNumericsAndStrings) {
+  EXPECT_LT(Value(1.0).Compare(Value(int64_t{2})), 0);
+  EXPECT_GT(Value(std::string("b")).Compare(Value(std::string("a"))), 0);
+  EXPECT_EQ(Value(2.0).Compare(Value(int64_t{2})), 0);
+  // Numerics sort before strings.
+  EXPECT_LT(Value(9.0).Compare(Value(std::string("a"))), 0);
+}
+
+TEST(ValueTest, ToStringFormats) {
+  EXPECT_EQ(Value(int64_t{7}).ToString(), "7");
+  EXPECT_EQ(Value(std::string("x")).ToString(), "'x'");
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RngTest, DoublesInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, NextBelowCoversRange) {
+  Rng rng(9);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 200; ++i) {
+    uint64_t v = rng.NextBelow(10);
+    EXPECT_LT(v, 10u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(RngTest, LogNormalIsPositive) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GT(rng.NextLogNormal(1.0, 2.0), 0.0);
+  }
+}
+
+TEST(RngTest, GaussianRoughlyCentered) {
+  Rng rng(13);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.NextGaussian();
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+}
+
+}  // namespace
+}  // namespace sudaf

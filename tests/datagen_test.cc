@@ -1,0 +1,186 @@
+// Tests for datagen/ and bench_support/: the synthetic Milan-like and
+// TPC-DS-like datasets and the experiment workload definitions.
+
+#include <cmath>
+#include <set>
+
+#include "bench_support/workload.h"
+#include "datagen/milan_like.h"
+#include "datagen/tpcds_like.h"
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace sudaf {
+namespace {
+
+TEST(MilanDataTest, SchemaAndSize) {
+  MilanOptions options;
+  options.num_rows = 5000;
+  auto table = GenerateMilanData(options);
+  EXPECT_EQ(table->num_rows(), 5000);
+  EXPECT_EQ(table->schema().FindField("square_id"), 0);
+  EXPECT_EQ(table->schema().FindField("time_interval"), 1);
+  EXPECT_EQ(table->schema().FindField("internet_traffic"), 2);
+}
+
+TEST(MilanDataTest, TrafficIsPositiveAndHeavyTailed) {
+  MilanOptions options;
+  options.num_rows = 20000;
+  auto table = GenerateMilanData(options);
+  const Column& traffic = table->column(2);
+  double max_seen = 0.0;
+  double sum = 0.0;
+  for (int64_t i = 0; i < table->num_rows(); ++i) {
+    double v = traffic.GetFloat64(i);
+    ASSERT_GT(v, 0.0);
+    max_seen = std::max(max_seen, v);
+    sum += v;
+  }
+  double mean = sum / table->num_rows();
+  EXPECT_GT(max_seen, 10.0 * mean);  // heavy tail
+}
+
+TEST(MilanDataTest, DeterministicUnderSeed) {
+  MilanOptions options;
+  options.num_rows = 100;
+  auto a = GenerateMilanData(options);
+  auto b = GenerateMilanData(options);
+  for (int64_t i = 0; i < a->num_rows(); ++i) {
+    EXPECT_EQ(a->column(0).GetInt64(i), b->column(0).GetInt64(i));
+    EXPECT_DOUBLE_EQ(a->column(2).GetFloat64(i), b->column(2).GetFloat64(i));
+  }
+}
+
+TEST(MilanDataTest, SquareIdsInGridRange) {
+  MilanOptions options;
+  options.num_rows = 5000;
+  options.num_squares = 100;
+  auto table = GenerateMilanData(options);
+  for (int64_t i = 0; i < table->num_rows(); ++i) {
+    int64_t sq = table->column(0).GetInt64(i);
+    EXPECT_GE(sq, 1);
+    EXPECT_LE(sq, 100);
+  }
+}
+
+class TpcdsDataTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TpcdsOptions options;
+    options.num_sales = 10000;
+    ASSERT_OK(GenerateTpcdsData(options, &catalog_));
+  }
+  Catalog catalog_;
+};
+
+TEST_F(TpcdsDataTest, AllSixTablesExist) {
+  for (const char* name : {"store_sales", "store", "date_dim", "item",
+                           "customer_demographics", "promotion"}) {
+    EXPECT_TRUE(catalog_.HasTable(name)) << name;
+  }
+}
+
+TEST_F(TpcdsDataTest, ForeignKeysResolve) {
+  ASSERT_OK_AND_ASSIGN(Table * sales, catalog_.GetTable("store_sales"));
+  ASSERT_OK_AND_ASSIGN(Table * item, catalog_.GetTable("item"));
+  ASSERT_OK_AND_ASSIGN(Table * store, catalog_.GetTable("store"));
+  int64_t num_items = item->num_rows();
+  int64_t num_stores = store->num_rows();
+  for (int64_t i = 0; i < sales->num_rows(); ++i) {
+    int64_t isk = sales->column(1).GetInt64(i);
+    EXPECT_GE(isk, 1);
+    EXPECT_LE(isk, num_items);
+    int64_t ssk = sales->column(2).GetInt64(i);
+    EXPECT_GE(ssk, 1);
+    EXPECT_LE(ssk, num_stores);
+  }
+}
+
+TEST_F(TpcdsDataTest, TennesseeStoresExist) {
+  ASSERT_OK_AND_ASSIGN(Table * store, catalog_.GetTable("store"));
+  int tn = 0;
+  for (int64_t i = 0; i < store->num_rows(); ++i) {
+    if (store->column(1).GetString(i) == "TN") ++tn;
+  }
+  EXPECT_GT(tn, 0);
+  EXPECT_LT(tn, store->num_rows());
+}
+
+TEST_F(TpcdsDataTest, SportsCategoryExists) {
+  ASSERT_OK_AND_ASSIGN(Table * item, catalog_.GetTable("item"));
+  std::set<std::string> categories;
+  for (int64_t i = 0; i < item->num_rows(); ++i) {
+    categories.insert(item->column(2).GetString(i));
+  }
+  EXPECT_TRUE(categories.count("Sports"));
+  EXPECT_EQ(categories.size(), 10u);
+}
+
+TEST_F(TpcdsDataTest, PricesArePositivelyCorrelated) {
+  // sales_price ≈ 0.8·list_price + noise, so theta1 is meaningful.
+  ASSERT_OK_AND_ASSIGN(Table * sales, catalog_.GetTable("store_sales"));
+  double sx = 0, sy = 0, sxy = 0, sxx = 0;
+  int64_t n = sales->num_rows();
+  for (int64_t i = 0; i < n; ++i) {
+    double x = sales->column(6).GetFloat64(i);
+    double y = sales->column(7).GetFloat64(i);
+    sx += x;
+    sy += y;
+    sxy += x * y;
+    sxx += x * x;
+  }
+  double slope = (n * sxy - sx * sy) / (n * sxx - sx * sx);
+  EXPECT_NEAR(slope, 0.8, 0.05);
+}
+
+TEST_F(TpcdsDataTest, DatesCoverYears) {
+  ASSERT_OK_AND_ASSIGN(Table * dates, catalog_.GetTable("date_dim"));
+  std::set<int64_t> years;
+  for (int64_t i = 0; i < dates->num_rows(); ++i) {
+    years.insert(dates->column(1).GetInt64(i));
+  }
+  EXPECT_TRUE(years.count(1998));
+  EXPECT_TRUE(years.count(2000));
+  EXPECT_TRUE(years.count(2002));
+}
+
+TEST(WorkloadTest, QueryModelsParse) {
+  for (int model : {1, 2, 3}) {
+    for (const std::string& agg : bench::SequenceAS1()) {
+      auto stmt = ParseSelect(bench::QueryModel(model, agg));
+      EXPECT_TRUE(stmt.ok()) << bench::QueryModel(model, agg);
+    }
+  }
+}
+
+TEST(WorkloadTest, SequencesMatchThePaper) {
+  EXPECT_EQ(bench::SequenceAS1().size(), 11u);
+  EXPECT_EQ(bench::SequenceAS2().size(), 11u);
+  EXPECT_EQ(bench::SequenceAS1().front(), "cm");
+  EXPECT_EQ(bench::SequenceAS2().front(), "max");
+  EXPECT_EQ(bench::Figure10Aggregates().size(), 16u);
+}
+
+TEST(WorkloadTest, PrefetchSqlParses) {
+  for (int model : {1, 2, 3}) {
+    auto stmt = ParseSelect(bench::MomentSketchPrefetchSql(model, 10));
+    EXPECT_TRUE(stmt.ok()) << model;
+  }
+}
+
+TEST(WorkloadTest, EndToEndTinyWorkloadRuns) {
+  Catalog catalog;
+  bench::WorkloadOptions options;
+  options.milan_rows = 2000;
+  options.sales_rows = 2000;
+  ASSERT_OK(bench::SetupWorkloadData(options, &catalog));
+  SudafSession session(&catalog);
+  ASSERT_OK(bench::RegisterQuantileUdafs(&session, 6));
+  std::vector<double> times = bench::RunSequence(
+      &session, 2, {"qm", "stddev", "avg"}, ExecMode::kSudafShare);
+  ASSERT_EQ(times.size(), 3u);
+  for (double t : times) EXPECT_GE(t, 0.0);
+}
+
+}  // namespace
+}  // namespace sudaf

@@ -1,0 +1,175 @@
+// Edge-case and failure-injection tests across the whole stack: empty
+// inputs, single rows, NaN propagation, degenerate groupings, and cache
+// behaviour under table replacement.
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "gtest/gtest.h"
+#include "sudaf/session.h"
+#include "tests/test_util.h"
+
+namespace sudaf {
+namespace {
+
+using testing_util::ExpectClose;
+
+class EdgeTest : public ::testing::Test {
+ protected:
+  void Load(const std::vector<int64_t>& g, const std::vector<double>& x) {
+    catalog_.PutTable("t", testing_util::MakeXyTable(g, x, x));
+    session_ = std::make_unique<SudafSession>(&catalog_);
+  }
+  Catalog catalog_;
+  std::unique_ptr<SudafSession> session_;
+};
+
+TEST_F(EdgeTest, EmptyTableUngrouped) {
+  Load({}, {});
+  for (ExecMode mode : {ExecMode::kEngine, ExecMode::kSudafNoShare,
+                        ExecMode::kSudafShare}) {
+    auto result = session_->Execute("SELECT sum(x), count(x) FROM t", mode);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    ASSERT_EQ((*result)->num_rows(), 1);
+    EXPECT_DOUBLE_EQ((*result)->column(0).GetFloat64(0), 0.0);
+    EXPECT_DOUBLE_EQ((*result)->column(1).GetFloat64(0), 0.0);
+  }
+}
+
+TEST_F(EdgeTest, EmptyTableGroupedYieldsNoRows) {
+  Load({}, {});
+  auto result = session_->Execute("SELECT g, qm(x) FROM t GROUP BY g",
+                                  ExecMode::kSudafShare);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ((*result)->num_rows(), 0);
+}
+
+TEST_F(EdgeTest, AvgOfEmptyIsNaN) {
+  Load({}, {});
+  auto result =
+      session_->Execute("SELECT avg(x) FROM t", ExecMode::kSudafNoShare);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(std::isnan((*result)->column(0).GetFloat64(0)));
+}
+
+TEST_F(EdgeTest, SingleRow) {
+  Load({0}, {4.0});
+  for (ExecMode mode : {ExecMode::kEngine, ExecMode::kSudafNoShare,
+                        ExecMode::kSudafShare}) {
+    auto result = session_->Execute(
+        "SELECT qm(x), gm(x), min(x), max(x) FROM t", mode);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    for (int c = 0; c < 4; ++c) {
+      ExpectClose(4.0, (*result)->column(c).GetFloat64(0), 1e-9);
+    }
+  }
+  // Variance of a singleton is 0 (population semantics).
+  auto var =
+      session_->Execute("SELECT var(x) FROM t", ExecMode::kSudafShare);
+  ExpectClose(0.0, (*var)->column(0).GetFloat64(0), 1e-12);
+}
+
+TEST_F(EdgeTest, NaNInputsPropagateConsistently) {
+  Load({0, 0, 0}, {1.0, std::nan(""), 3.0});
+  auto engine = session_->Execute("SELECT sum(x) FROM t", ExecMode::kEngine);
+  auto share =
+      session_->Execute("SELECT sum(x) FROM t", ExecMode::kSudafShare);
+  ASSERT_TRUE(engine.ok() && share.ok());
+  EXPECT_TRUE(std::isnan((*engine)->column(0).GetFloat64(0)));
+  EXPECT_TRUE(std::isnan((*share)->column(0).GetFloat64(0)));
+}
+
+TEST_F(EdgeTest, ZeroInLogDomainStates) {
+  // gm with a zero: Σln|x| hits -inf, Π sgn hits 0 — the result must be 0,
+  // matching the engine.
+  Load({0, 0, 0}, {2.0, 0.0, 8.0});
+  auto engine = session_->Execute("SELECT gm(x) FROM t", ExecMode::kEngine);
+  auto share =
+      session_->Execute("SELECT gm(x) FROM t", ExecMode::kSudafShare);
+  ASSERT_TRUE(engine.ok() && share.ok());
+  ExpectClose((*engine)->column(0).GetFloat64(0),
+              (*share)->column(0).GetFloat64(0), 1e-9);
+  // prod over the cached channels reconstructs 0 exactly.
+  auto prod =
+      session_->Execute("SELECT prod(x) FROM t", ExecMode::kSudafShare);
+  ASSERT_TRUE(prod.ok());
+  EXPECT_DOUBLE_EQ((*prod)->column(0).GetFloat64(0), 0.0);
+}
+
+TEST_F(EdgeTest, EveryRowItsOwnGroup) {
+  std::vector<int64_t> g(100);
+  std::vector<double> x(100);
+  for (int i = 0; i < 100; ++i) {
+    g[i] = i;
+    x[i] = i + 1.0;
+  }
+  Load(g, x);
+  auto result = session_->Execute(
+      "SELECT g, avg(x) FROM t GROUP BY g ORDER BY g DESC LIMIT 2",
+      ExecMode::kSudafShare);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ((*result)->num_rows(), 2);
+  EXPECT_EQ((*result)->column(0).GetInt64(0), 99);
+  ExpectClose(100.0, (*result)->column(1).GetFloat64(0));
+}
+
+TEST_F(EdgeTest, LimitZeroAndOversizedLimit) {
+  Load({0, 1}, {1.0, 2.0});
+  auto zero = session_->Execute(
+      "SELECT g, sum(x) FROM t GROUP BY g LIMIT 0", ExecMode::kSudafShare);
+  ASSERT_TRUE(zero.ok());
+  EXPECT_EQ((*zero)->num_rows(), 0);
+  auto big = session_->Execute(
+      "SELECT g, sum(x) FROM t GROUP BY g LIMIT 99", ExecMode::kSudafShare);
+  ASSERT_TRUE(big.ok());
+  EXPECT_EQ((*big)->num_rows(), 2);
+}
+
+TEST_F(EdgeTest, ReplacedTableRequiresCacheClear) {
+  // The cache's documented contract: tables are immutable while entries
+  // exist. An all-hit query never rescans, so replacing a table without
+  // Clear() serves the old answer; after Clear() everything is recomputed.
+  Load({0, 1}, {1.0, 2.0});
+  auto first = session_->Execute("SELECT g, sum(x) FROM t GROUP BY g",
+                                 ExecMode::kSudafShare);
+  ASSERT_TRUE(first.ok());
+  catalog_.PutTable("t",
+                    testing_util::MakeXyTable({0, 1, 2}, {5, 6, 7}, {0, 0, 0}));
+  auto stale = session_->Execute("SELECT g, sum(x) FROM t GROUP BY g",
+                                 ExecMode::kSudafShare);
+  ASSERT_TRUE(stale.ok());
+  EXPECT_EQ((*stale)->num_rows(), 2);  // served from cache, by design
+
+  session_->cache().Clear();
+  auto fresh = session_->Execute("SELECT g, sum(x) FROM t GROUP BY g",
+                                 ExecMode::kSudafShare);
+  ASSERT_TRUE(fresh.ok());
+  ASSERT_EQ((*fresh)->num_rows(), 3);
+  EXPECT_EQ(session_->last_stats().states_from_cache, 0);
+  ExpectClose(7.0, (*fresh)->column(1).GetFloat64(2));
+}
+
+TEST_F(EdgeTest, HugeValuesDoNotBreakSharing) {
+  Load({0, 0}, {1e150, 2e150});
+  auto engine =
+      session_->Execute("SELECT qm(x) FROM t", ExecMode::kEngine);
+  auto share =
+      session_->Execute("SELECT qm(x) FROM t", ExecMode::kSudafShare);
+  ASSERT_TRUE(engine.ok() && share.ok());
+  // Σx² overflows to inf in BOTH paths — consistent, not silently wrong.
+  EXPECT_EQ((*engine)->column(0).GetFloat64(0),
+            (*share)->column(0).GetFloat64(0));
+}
+
+TEST_F(EdgeTest, DuplicateStateAcrossItemsComputedOnce) {
+  Load({0, 1, 0, 1}, {1, 2, 3, 4});
+  auto result = session_->Execute(
+      "SELECT g, sum(x) a, sum(x) b, sum(x)+0 c FROM t GROUP BY g",
+      ExecMode::kSudafShare);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(session_->last_stats().num_states, 1);
+  EXPECT_EQ(session_->last_stats().states_computed, 1);
+}
+
+}  // namespace
+}  // namespace sudaf

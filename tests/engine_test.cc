@@ -1,0 +1,226 @@
+// Tests for engine/: planning, filtering, hash joins, grouping and
+// engine-native execution.
+
+#include <cmath>
+
+#include "engine/executor.h"
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace sudaf {
+namespace {
+
+using testing_util::ExpectClose;
+
+class EngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // fact(fk INT64, v FLOAT64), dim(dk INT64, tag STRING, band INT64)
+    Schema fact_schema;
+    ASSERT_OK(fact_schema.AddField({"fk", DataType::kInt64}));
+    ASSERT_OK(fact_schema.AddField({"v", DataType::kFloat64}));
+    auto fact = std::make_unique<Table>(std::move(fact_schema));
+    // Rows: fk cycles 1..3, v = 1..9.
+    for (int i = 0; i < 9; ++i) {
+      fact->column(0).AppendInt64(1 + i % 3);
+      fact->column(1).AppendFloat64(i + 1.0);
+    }
+    fact->FinishBulkAppend();
+
+    Schema dim_schema;
+    ASSERT_OK(dim_schema.AddField({"dk", DataType::kInt64}));
+    ASSERT_OK(dim_schema.AddField({"tag", DataType::kString}));
+    ASSERT_OK(dim_schema.AddField({"band", DataType::kInt64}));
+    auto dim = std::make_unique<Table>(std::move(dim_schema));
+    dim->AppendRow({Value(int64_t{1}), Value(std::string("a")),
+                    Value(int64_t{10})});
+    dim->AppendRow({Value(int64_t{2}), Value(std::string("b")),
+                    Value(int64_t{10})});
+    dim->AppendRow({Value(int64_t{3}), Value(std::string("a")),
+                    Value(int64_t{20})});
+    dim->FinishBulkAppend();
+
+    catalog_.PutTable("fact", std::move(fact));
+    catalog_.PutTable("dim", std::move(dim));
+    RegisterHardcodedUdafs(&registry_);
+    executor_ = std::make_unique<Executor>(&catalog_, &registry_);
+  }
+
+  // Runs and returns the single double of a one-row one-column result.
+  double RunScalar(const std::string& sql) {
+    auto stmt = ParseSelect(sql);
+    SUDAF_CHECK_MSG(stmt.ok(), stmt.status().ToString());
+    auto result = executor_->Execute(**stmt);
+    SUDAF_CHECK_MSG(result.ok(), result.status().ToString());
+    SUDAF_CHECK((*result)->num_rows() == 1);
+    return (*result)->column(0).GetNumeric(0);
+  }
+
+  Catalog catalog_;
+  UdafRegistry registry_;
+  std::unique_ptr<Executor> executor_;
+};
+
+TEST_F(EngineTest, UngroupedSum) {
+  EXPECT_DOUBLE_EQ(RunScalar("SELECT sum(v) FROM fact"), 45.0);
+}
+
+TEST_F(EngineTest, FilterPushdown) {
+  EXPECT_DOUBLE_EQ(RunScalar("SELECT count(*) FROM fact WHERE v > 5"), 4.0);
+}
+
+TEST_F(EngineTest, ExpressionInsideAggregate) {
+  // Σ (v² + 1) over v = 1..9.
+  double expected = 0.0;
+  for (int i = 1; i <= 9; ++i) expected += i * i + 1.0;
+  EXPECT_DOUBLE_EQ(RunScalar("SELECT sum(v^2 + 1) FROM fact"), expected);
+}
+
+TEST_F(EngineTest, GroupByIntKey) {
+  ASSERT_OK_AND_ASSIGN(auto stmt,
+                       ParseSelect("SELECT fk, sum(v) FROM fact GROUP BY fk "
+                                   "ORDER BY fk"));
+  ASSERT_OK_AND_ASSIGN(auto result, executor_->Execute(*stmt));
+  ASSERT_EQ(result->num_rows(), 3);
+  // fk=1 -> v ∈ {1,4,7}; fk=2 -> {2,5,8}; fk=3 -> {3,6,9}.
+  EXPECT_DOUBLE_EQ(result->column(1).GetFloat64(0), 12.0);
+  EXPECT_DOUBLE_EQ(result->column(1).GetFloat64(1), 15.0);
+  EXPECT_DOUBLE_EQ(result->column(1).GetFloat64(2), 18.0);
+}
+
+TEST_F(EngineTest, JoinWithStringFilterAndGroupByString) {
+  ASSERT_OK_AND_ASSIGN(
+      auto stmt,
+      ParseSelect("SELECT tag, sum(v) FROM fact, dim "
+                  "WHERE fk = dk GROUP BY tag ORDER BY tag"));
+  ASSERT_OK_AND_ASSIGN(auto result, executor_->Execute(*stmt));
+  ASSERT_EQ(result->num_rows(), 2);
+  EXPECT_EQ(result->column(0).GetString(0), "a");
+  EXPECT_DOUBLE_EQ(result->column(1).GetFloat64(0), 12.0 + 18.0);  // fk 1,3
+  EXPECT_DOUBLE_EQ(result->column(1).GetFloat64(1), 15.0);          // fk 2
+}
+
+TEST_F(EngineTest, JoinPlusDimensionPredicate) {
+  EXPECT_DOUBLE_EQ(
+      RunScalar("SELECT sum(v) FROM fact, dim WHERE fk = dk AND tag = 'a'"),
+      30.0);
+}
+
+TEST_F(EngineTest, OrPredicateOnSingleTable) {
+  EXPECT_DOUBLE_EQ(
+      RunScalar(
+          "SELECT count(*) FROM fact, dim WHERE fk = dk AND "
+          "(tag = 'b' or band = 20)"),
+      6.0);  // fk=2 (3 rows) + fk=3 (3 rows)
+}
+
+TEST_F(EngineTest, CompositeGroupKeys) {
+  ASSERT_OK_AND_ASSIGN(
+      auto stmt,
+      ParseSelect("SELECT tag, band, count(*) FROM fact, dim WHERE fk = dk "
+                  "GROUP BY tag, band ORDER BY tag, band"));
+  ASSERT_OK_AND_ASSIGN(auto result, executor_->Execute(*stmt));
+  ASSERT_EQ(result->num_rows(), 3);  // (a,10), (a,20), (b,10)
+  EXPECT_EQ(result->column(0).GetString(0), "a");
+  EXPECT_EQ(result->column(1).GetInt64(0), 10);
+  EXPECT_DOUBLE_EQ(result->column(2).GetFloat64(0), 3.0);
+}
+
+TEST_F(EngineTest, OrderByDescAndLimit) {
+  ASSERT_OK_AND_ASSIGN(
+      auto stmt, ParseSelect("SELECT fk, max(v) m FROM fact GROUP BY fk "
+                             "ORDER BY m DESC LIMIT 2"));
+  ASSERT_OK_AND_ASSIGN(auto result, executor_->Execute(*stmt));
+  ASSERT_EQ(result->num_rows(), 2);
+  EXPECT_DOUBLE_EQ(result->column(1).GetFloat64(0), 9.0);
+  EXPECT_DOUBLE_EQ(result->column(1).GetFloat64(1), 8.0);
+}
+
+TEST_F(EngineTest, NativeAvgVarStddev) {
+  // v = 1..9: mean 5, population variance 60/9.
+  ExpectClose(5.0, RunScalar("SELECT avg(v) FROM fact"));
+  ExpectClose(60.0 / 9.0, RunScalar("SELECT var(v) FROM fact"));
+  ExpectClose(std::sqrt(60.0 / 9.0), RunScalar("SELECT stddev(v) FROM fact"));
+}
+
+TEST_F(EngineTest, HardcodedUdafViaIume) {
+  double expected = 0.0;
+  for (int i = 1; i <= 9; ++i) expected += i * i;
+  ExpectClose(std::sqrt(expected / 9.0), RunScalar("SELECT qm(v) FROM fact"));
+}
+
+TEST_F(EngineTest, UdafWithTwoColumns) {
+  // theta1(v, v) = 1 exactly.
+  ExpectClose(1.0, RunScalar("SELECT theta1(v, v) FROM fact"));
+}
+
+TEST_F(EngineTest, PartitionedExecutionMatchesSerial) {
+  ASSERT_OK_AND_ASSIGN(
+      auto stmt, ParseSelect("SELECT fk, qm(v) FROM fact GROUP BY fk "
+                             "ORDER BY fk"));
+  ASSERT_OK_AND_ASSIGN(auto serial, executor_->Execute(*stmt));
+  ExecOptions opts;
+  opts.partitioned = true;
+  opts.num_partitions = 3;
+  ASSERT_OK_AND_ASSIGN(auto partitioned, executor_->Execute(*stmt, opts));
+  ASSERT_EQ(serial->num_rows(), partitioned->num_rows());
+  for (int64_t r = 0; r < serial->num_rows(); ++r) {
+    ExpectClose(serial->column(1).GetFloat64(r),
+                partitioned->column(1).GetFloat64(r));
+  }
+}
+
+TEST_F(EngineTest, SelectColumnNotInGroupByFails) {
+  ASSERT_OK_AND_ASSIGN(auto stmt,
+                       ParseSelect("SELECT v, sum(v) FROM fact GROUP BY fk"));
+  EXPECT_FALSE(executor_->Execute(*stmt).ok());
+}
+
+TEST_F(EngineTest, UnknownColumnFails) {
+  ASSERT_OK_AND_ASSIGN(auto stmt, ParseSelect("SELECT sum(zzz) FROM fact"));
+  EXPECT_FALSE(executor_->Execute(*stmt).ok());
+}
+
+TEST_F(EngineTest, UnknownTableFails) {
+  ASSERT_OK_AND_ASSIGN(auto stmt, ParseSelect("SELECT sum(v) FROM nope"));
+  EXPECT_FALSE(executor_->Execute(*stmt).ok());
+}
+
+TEST_F(EngineTest, DisconnectedJoinFails) {
+  ASSERT_OK_AND_ASSIGN(auto stmt,
+                       ParseSelect("SELECT sum(v) FROM fact, dim"));
+  EXPECT_FALSE(executor_->Execute(*stmt).ok());
+}
+
+TEST_F(EngineTest, AmbiguousColumnFails) {
+  Schema other;
+  ASSERT_OK(other.AddField({"v", DataType::kFloat64}));
+  ASSERT_OK(other.AddField({"fk2", DataType::kInt64}));
+  auto table = std::make_unique<Table>(std::move(other));
+  table->AppendRow({Value(1.0), Value(int64_t{1})});
+  catalog_.PutTable("other", std::move(table));
+  ASSERT_OK_AND_ASSIGN(
+      auto stmt, ParseSelect("SELECT sum(v) FROM fact, other WHERE fk = fk2"));
+  EXPECT_FALSE(executor_->Execute(*stmt).ok());
+}
+
+TEST_F(EngineTest, EmptyJoinResultYieldsNoGroups) {
+  ASSERT_OK_AND_ASSIGN(
+      auto stmt,
+      ParseSelect("SELECT fk, sum(v) FROM fact, dim WHERE fk = dk AND "
+                  "tag = 'zzz' GROUP BY fk"));
+  ASSERT_OK_AND_ASSIGN(auto result, executor_->Execute(*stmt));
+  EXPECT_EQ(result->num_rows(), 0);
+}
+
+TEST_F(EngineTest, GatherRowsReordersAll) {
+  ASSERT_OK_AND_ASSIGN(Table * dim, catalog_.GetTable("dim"));
+  auto picked = GatherRows(*dim, {2, 0});
+  ASSERT_EQ(picked->num_rows(), 2);
+  EXPECT_EQ(picked->column(1).GetString(0), "a");
+  EXPECT_EQ(picked->column(0).GetInt64(0), 3);
+  EXPECT_EQ(picked->column(0).GetInt64(1), 1);
+}
+
+}  // namespace
+}  // namespace sudaf

@@ -1,0 +1,90 @@
+// Tests for the HAVING clause across all execution paths.
+
+#include "gtest/gtest.h"
+#include "sudaf/session.h"
+#include "tests/test_util.h"
+
+namespace sudaf {
+namespace {
+
+class HavingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // g: 0 has 2 rows, 1 has 3 rows, 2 has 5 rows; x = 1..10.
+    std::vector<int64_t> g = {0, 0, 1, 1, 1, 2, 2, 2, 2, 2};
+    std::vector<double> x = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+    catalog_.PutTable("t", testing_util::MakeXyTable(g, x, x));
+    session_ = std::make_unique<SudafSession>(&catalog_);
+  }
+
+  Catalog catalog_;
+  std::unique_ptr<SudafSession> session_;
+};
+
+TEST_F(HavingTest, ParsesAndRoundTrips) {
+  ASSERT_OK_AND_ASSIGN(
+      auto stmt,
+      ParseSelect("SELECT g, count(x) c FROM t GROUP BY g HAVING c > 2 "
+                  "ORDER BY g"));
+  ASSERT_NE(stmt->having, nullptr);
+  EXPECT_NE(stmt->ToString().find("HAVING"), std::string::npos);
+  auto clone = stmt->Clone();
+  EXPECT_EQ(clone->ToString(), stmt->ToString());
+}
+
+TEST_F(HavingTest, FiltersGroupsInEveryMode) {
+  const std::string sql =
+      "SELECT g, count(x) c FROM t GROUP BY g HAVING c >= 3 ORDER BY g";
+  for (ExecMode mode : {ExecMode::kEngine, ExecMode::kSudafNoShare,
+                        ExecMode::kSudafShare}) {
+    auto result = session_->Execute(sql, mode);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    ASSERT_EQ((*result)->num_rows(), 2) << "mode " << static_cast<int>(mode);
+    EXPECT_EQ((*result)->column(0).GetInt64(0), 1);
+    EXPECT_EQ((*result)->column(0).GetInt64(1), 2);
+  }
+}
+
+TEST_F(HavingTest, ReferencesAggregateAlias) {
+  auto result = session_->Execute(
+      "SELECT g, avg(x) m FROM t GROUP BY g HAVING m > 3 AND m < 9 "
+      "ORDER BY g",
+      ExecMode::kSudafShare);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // Means: 1.5, 4, 8 -> groups 1 and 2 pass.
+  ASSERT_EQ((*result)->num_rows(), 2);
+}
+
+TEST_F(HavingTest, HavingPlusLimit) {
+  auto result = session_->Execute(
+      "SELECT g, sum(x) s FROM t GROUP BY g HAVING s > 2 ORDER BY s DESC "
+      "LIMIT 1",
+      ExecMode::kSudafNoShare);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ((*result)->num_rows(), 1);
+  EXPECT_DOUBLE_EQ((*result)->column(1).GetFloat64(0), 40.0);  // group 2
+}
+
+TEST_F(HavingTest, UnknownColumnInHavingFails) {
+  auto result = session_->Execute(
+      "SELECT g, sum(x) s FROM t GROUP BY g HAVING zzz > 2",
+      ExecMode::kSudafNoShare);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST_F(HavingTest, HavingDisablesLazyTerminatingButStaysCorrect) {
+  // With ORDER BY on a group key + LIMIT, the lazy path would normally
+  // evaluate only the limited groups; HAVING forces full evaluation and
+  // must still agree with the engine.
+  const std::string sql =
+      "SELECT g, qm(x) q FROM t GROUP BY g HAVING q > 2 ORDER BY g LIMIT 1";
+  auto engine = session_->Execute(sql, ExecMode::kEngine);
+  auto share = session_->Execute(sql, ExecMode::kSudafShare);
+  ASSERT_TRUE(engine.ok() && share.ok());
+  ASSERT_EQ((*engine)->num_rows(), (*share)->num_rows());
+  testing_util::ExpectClose((*engine)->column(1).GetFloat64(0),
+                            (*share)->column(1).GetFloat64(0), 1e-9);
+}
+
+}  // namespace
+}  // namespace sudaf

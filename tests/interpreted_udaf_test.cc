@@ -1,0 +1,133 @@
+// Tests for agg/interpreted_udaf: the PL/pgSQL-shaped interpreted UDAF
+// execution model used as the engine-native baseline.
+
+#include <cmath>
+
+#include "agg/interpreted_udaf.h"
+#include "common/rng.h"
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace sudaf {
+namespace {
+
+using testing_util::ExpectClose;
+
+double RunUdaf(const Udaf& udaf, const std::vector<double>& x,
+               const std::vector<double>& y = {}) {
+  std::vector<Value> state = udaf.Initialize();
+  for (size_t i = 0; i < x.size(); ++i) {
+    std::vector<Value> args = {Value(x[i])};
+    if (udaf.num_args() == 2) args.push_back(Value(y[i]));
+    udaf.Update(&state, args);
+  }
+  auto result = udaf.Evaluate(state);
+  SUDAF_CHECK_MSG(result.ok(), result.status().ToString());
+  return result->AsDouble();
+}
+
+TEST(InterpretedUdafTest, CreateValidatesSpec) {
+  InterpretedUdafSpec empty;
+  empty.name = "empty";
+  empty.evaluate = "1";
+  EXPECT_FALSE(CreateInterpretedUdaf(empty).ok());
+
+  InterpretedUdafSpec bad_update;
+  bad_update.name = "bad";
+  bad_update.state_vars = {{"s", 0.0, "s + sum(x)", ""}};
+  bad_update.evaluate = "s";
+  EXPECT_FALSE(CreateInterpretedUdaf(bad_update).ok());
+
+  InterpretedUdafSpec unparsable;
+  unparsable.name = "bad2";
+  unparsable.state_vars = {{"s", 0.0, "s + ", ""}};
+  unparsable.evaluate = "s";
+  EXPECT_FALSE(CreateInterpretedUdaf(unparsable).ok());
+}
+
+TEST(InterpretedUdafTest, SimpleMeanViaSpec) {
+  InterpretedUdafSpec spec;
+  spec.name = "imean";
+  spec.state_vars = {{"n", 0.0, "n + 1", ""}, {"s", 0.0, "s + x", ""}};
+  spec.evaluate = "s / n";
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<Udaf> udaf,
+                       CreateInterpretedUdaf(spec));
+  ExpectClose(2.0, RunUdaf(*udaf, {1.0, 2.0, 3.0}));
+}
+
+TEST(InterpretedUdafTest, MergeExpressionsWork) {
+  InterpretedUdafSpec spec;
+  spec.name = "imax";
+  spec.state_vars = {
+      {"m", -1e300, "(x > m) * x + (x <= m) * m",
+       "(m > other_m) * m + (m <= other_m) * other_m"}};
+  spec.evaluate = "m";
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<Udaf> udaf,
+                       CreateInterpretedUdaf(spec));
+  std::vector<Value> a = udaf->Initialize();
+  std::vector<Value> b = udaf->Initialize();
+  udaf->Update(&a, {Value(3.0)});
+  udaf->Update(&b, {Value(7.0)});
+  udaf->Merge(&a, b);
+  ASSERT_OK_AND_ASSIGN(Value result, udaf->Evaluate(a));
+  ExpectClose(7.0, result.AsDouble());
+}
+
+// Every interpreted experiment UDAF must agree with its compiled IUME
+// counterpart — they are two execution models of the same function.
+class InterpretedVsCompiledTest
+    : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(InterpretedVsCompiledTest, Agree) {
+  UdafRegistry interpreted;
+  RegisterInterpretedUdafs(&interpreted);
+  UdafRegistry compiled;
+  RegisterHardcodedUdafs(&compiled);
+  ASSERT_OK_AND_ASSIGN(const Udaf* iu, interpreted.Get(GetParam()));
+  ASSERT_OK_AND_ASSIGN(const Udaf* cu, compiled.Get(GetParam()));
+
+  Rng rng(314);
+  std::vector<double> x(333);
+  std::vector<double> y(333);
+  for (size_t i = 0; i < x.size(); ++i) {
+    x[i] = rng.NextDoubleIn(0.5, 9.5);
+    y[i] = 2.0 * x[i] + rng.NextDoubleIn(-1.0, 1.0);
+  }
+  ExpectClose(RunUdaf(*cu, x, y), RunUdaf(*iu, x, y), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(ExperimentUdafs, InterpretedVsCompiledTest,
+                         ::testing::Values("qm", "cm", "apm", "hm", "gm",
+                                           "skewness", "kurtosis", "theta1",
+                                           "covar", "corr", "logsumexp"));
+
+TEST(InterpretedUdafTest, MergePartitionsCorrectly) {
+  UdafRegistry registry;
+  RegisterInterpretedUdafs(&registry);
+  ASSERT_OK_AND_ASSIGN(const Udaf* udaf, registry.Get("qm"));
+  Rng rng(7);
+  std::vector<double> xs(100);
+  for (double& v : xs) v = rng.NextDoubleIn(1.0, 5.0);
+
+  std::vector<Value> whole = udaf->Initialize();
+  std::vector<Value> left = udaf->Initialize();
+  std::vector<Value> right = udaf->Initialize();
+  for (size_t i = 0; i < xs.size(); ++i) {
+    udaf->Update(&whole, {Value(xs[i])});
+    udaf->Update(i % 2 == 0 ? &left : &right, {Value(xs[i])});
+  }
+  udaf->Merge(&left, right);
+  ASSERT_OK_AND_ASSIGN(Value merged, udaf->Evaluate(left));
+  ASSERT_OK_AND_ASSIGN(Value direct, udaf->Evaluate(whole));
+  ExpectClose(direct.AsDouble(), merged.AsDouble(), 1e-9);
+}
+
+TEST(InterpretedUdafTest, GmHandlesNegatives) {
+  UdafRegistry registry;
+  RegisterInterpretedUdafs(&registry);
+  ASSERT_OK_AND_ASSIGN(const Udaf* gm, registry.Get("gm"));
+  ExpectClose(-2.0, RunUdaf(*gm, {-2.0, 2.0, -2.0, -2.0, 2.0}), 1e-9);
+}
+
+}  // namespace
+}  // namespace sudaf

@@ -1,0 +1,139 @@
+// Tests for agg/builtin_kernels and the grouped/partitioned aggregation
+// helpers — including the algebraic-aggregation property that partitioned
+// execution with ⊕-merge equals a single pass.
+
+#include <limits>
+
+#include "agg/builtin_kernels.h"
+#include "common/rng.h"
+#include "engine/aggregation.h"
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace sudaf {
+namespace {
+
+using testing_util::ExpectClose;
+
+TEST(KernelsTest, UngroupedReductions) {
+  std::vector<double> v = {1.0, 2.0, 3.0, -4.0};
+  EXPECT_DOUBLE_EQ(KernelSum(v), 2.0);
+  EXPECT_DOUBLE_EQ(KernelProd(v), -24.0);
+  EXPECT_DOUBLE_EQ(KernelMin(v), -4.0);
+  EXPECT_DOUBLE_EQ(KernelMax(v), 3.0);
+}
+
+TEST(KernelsTest, EmptyInputsYieldIdentities) {
+  std::vector<double> empty;
+  EXPECT_DOUBLE_EQ(KernelSum(empty), 0.0);
+  EXPECT_DOUBLE_EQ(KernelProd(empty), 1.0);
+  EXPECT_EQ(KernelMin(empty), std::numeric_limits<double>::infinity());
+  EXPECT_EQ(KernelMax(empty), -std::numeric_limits<double>::infinity());
+}
+
+TEST(KernelsTest, IdentityIsNeutralForMerge) {
+  for (AggOp op : {AggOp::kSum, AggOp::kProd, AggOp::kMin, AggOp::kMax,
+                   AggOp::kCount}) {
+    double e = AggIdentity(op);
+    EXPECT_DOUBLE_EQ(AggMerge(op, e, 7.5), 7.5) << AggOpName(op);
+    EXPECT_DOUBLE_EQ(AggMerge(op, 7.5, e), 7.5) << AggOpName(op);
+  }
+}
+
+TEST(KernelsTest, MergeIsCommutativeAndAssociative) {
+  Rng rng(5);
+  for (AggOp op : {AggOp::kSum, AggOp::kProd, AggOp::kMin, AggOp::kMax}) {
+    for (int i = 0; i < 50; ++i) {
+      double a = rng.NextDoubleIn(-10, 10);
+      double b = rng.NextDoubleIn(-10, 10);
+      double c = rng.NextDoubleIn(-10, 10);
+      ExpectClose(AggMerge(op, a, b), AggMerge(op, b, a));
+      ExpectClose(AggMerge(op, AggMerge(op, a, b), c),
+                  AggMerge(op, a, AggMerge(op, b, c)), 1e-12);
+    }
+  }
+}
+
+TEST(KernelsTest, GroupedAccumulate) {
+  std::vector<double> in = {1, 2, 3, 4, 5};
+  std::vector<int32_t> gids = {0, 1, 0, 1, 0};
+  std::vector<double> acc(2, AggIdentity(AggOp::kSum));
+  GroupedAccumulate(AggOp::kSum, in, gids, &acc);
+  EXPECT_DOUBLE_EQ(acc[0], 9.0);
+  EXPECT_DOUBLE_EQ(acc[1], 6.0);
+
+  std::vector<double> cnt(2, AggIdentity(AggOp::kCount));
+  GroupedAccumulate(AggOp::kCount, {}, gids, &cnt);
+  EXPECT_DOUBLE_EQ(cnt[0], 3.0);
+  EXPECT_DOUBLE_EQ(cnt[1], 2.0);
+
+  std::vector<double> mx(2, AggIdentity(AggOp::kMax));
+  GroupedAccumulate(AggOp::kMax, in, gids, &mx);
+  EXPECT_DOUBLE_EQ(mx[0], 5.0);
+  EXPECT_DOUBLE_EQ(mx[1], 4.0);
+}
+
+// Property sweep: partitioned execution (partial aggregation + ⊕ merge)
+// must equal the single-pass result for every ⊕ and partition count — the
+// algebraic-aggregation contract the Spark-like mode relies on.
+class PartitionedEquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<AggOp, int>> {};
+
+TEST_P(PartitionedEquivalenceTest, MatchesSinglePass) {
+  const auto [op, partitions] = GetParam();
+  Rng rng(42 + partitions);
+  const int64_t n = 5000;
+  const int32_t groups = 17;
+  std::vector<double> in(n);
+  std::vector<int32_t> gids(n);
+  for (int64_t i = 0; i < n; ++i) {
+    // Keep products bounded: values near 1.
+    in[i] = 0.9 + 0.2 * rng.NextDouble();
+    gids[i] = static_cast<int32_t>(rng.NextBelow(groups));
+  }
+
+  ExecOptions serial;
+  std::vector<double> expected =
+      ComputeGroupedState(op, in, gids, groups, serial);
+
+  ExecOptions partitioned;
+  partitioned.partitioned = true;
+  partitioned.num_partitions = partitions;
+  std::vector<double> actual =
+      ComputeGroupedState(op, in, gids, groups, partitioned);
+
+  ASSERT_EQ(actual.size(), expected.size());
+  for (int32_t g = 0; g < groups; ++g) {
+    ExpectClose(expected[g], actual[g], 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOpsAndPartitionCounts, PartitionedEquivalenceTest,
+    ::testing::Combine(::testing::Values(AggOp::kSum, AggOp::kProd,
+                                         AggOp::kMin, AggOp::kMax,
+                                         AggOp::kCount),
+                       ::testing::Values(2, 4, 7)));
+
+TEST(PartitionedTest, ParallelThreadsMatchSerial) {
+  Rng rng(7);
+  const int64_t n = 10000;
+  std::vector<double> in(n);
+  std::vector<int32_t> gids(n);
+  for (int64_t i = 0; i < n; ++i) {
+    in[i] = rng.NextDoubleIn(-5, 5);
+    gids[i] = static_cast<int32_t>(rng.NextBelow(8));
+  }
+  ExecOptions serial;
+  ExecOptions parallel;
+  parallel.partitioned = true;
+  parallel.num_partitions = 4;
+  parallel.parallel = true;
+  std::vector<double> a = ComputeGroupedState(AggOp::kSum, in, gids, 8, serial);
+  std::vector<double> b =
+      ComputeGroupedState(AggOp::kSum, in, gids, 8, parallel);
+  for (int g = 0; g < 8; ++g) ExpectClose(a[g], b[g], 1e-9);
+}
+
+}  // namespace
+}  // namespace sudaf

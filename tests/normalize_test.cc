@@ -1,0 +1,182 @@
+// Tests for sudaf/normalize: scalar-function normalization into
+// shape-over-monomial, the concrete form of the paper's symbolic
+// representations.
+
+#include "expr/parser.h"
+#include "gtest/gtest.h"
+#include "sudaf/normalize.h"
+#include "tests/test_util.h"
+
+namespace sudaf {
+namespace {
+
+using testing_util::ExpectClose;
+
+std::optional<NormalizedScalar> NormalizeString(const std::string& s) {
+  auto expr = ParseExpression(s);
+  SUDAF_CHECK_MSG(expr.ok(), expr.status().ToString());
+  return NormalizeScalar(**expr);
+}
+
+TEST(NormalizeTest, PlainColumn) {
+  auto n = NormalizeString("x");
+  ASSERT_TRUE(n.has_value());
+  EXPECT_EQ(n->base.Key(), "x");
+  EXPECT_TRUE(n->shape.IsIdentity());
+  EXPECT_TRUE(n->injective);
+  EXPECT_FALSE(n->even);
+}
+
+TEST(NormalizeTest, SyntacticVariantsOfSameFunctionAgree) {
+  // 4x², (2x)², x²·4, 4·x·x all normalize identically.
+  auto a = NormalizeString("4*x^2");
+  auto b = NormalizeString("(2*x)^2");
+  auto c = NormalizeString("x^2 * 4");
+  auto d = NormalizeString("4*x*x");
+  for (auto* n : {&a, &b, &c, &d}) {
+    ASSERT_TRUE(n->has_value());
+    EXPECT_EQ((*n)->base.Key(), "x");
+    EXPECT_EQ((*n)->shape.family, ShapeFamily::kPower);
+    ExpectClose(4.0, (*n)->shape.a);
+    ExpectClose(2.0, (*n)->shape.p);
+  }
+}
+
+TEST(NormalizeTest, EvenPowersAreEvenAndNonInjective) {
+  auto n = NormalizeString("x^2");
+  ASSERT_TRUE(n.has_value());
+  EXPECT_TRUE(n->even);
+  EXPECT_FALSE(n->injective);
+  auto cube = NormalizeString("x^3");
+  ASSERT_TRUE(cube.has_value());
+  EXPECT_FALSE(cube->even);
+  EXPECT_TRUE(cube->injective);
+}
+
+TEST(NormalizeTest, ReciprocalAndQuotients) {
+  auto inv = NormalizeString("x^-1");
+  ASSERT_TRUE(inv.has_value());
+  EXPECT_EQ(inv->base.Key(), "x");
+  ExpectClose(-1.0, inv->shape.p);
+
+  auto quot = NormalizeString("x / y");
+  ASSERT_TRUE(quot.has_value());
+  EXPECT_EQ(quot->base.Key(), "x*y^-1");
+}
+
+TEST(NormalizeTest, MultiColumnMonomials) {
+  auto xy = NormalizeString("x*y");
+  ASSERT_TRUE(xy.has_value());
+  EXPECT_EQ(xy->base.Key(), "x*y");
+  ExpectClose(1.0, xy->shape.p);
+
+  // x²·y² ≡ (x·y)².
+  auto sq1 = NormalizeString("x^2 * y^2");
+  auto sq2 = NormalizeString("(x*y)^2");
+  ASSERT_TRUE(sq1.has_value() && sq2.has_value());
+  EXPECT_EQ(sq1->base.Key(), sq2->base.Key());
+  ExpectClose(sq2->shape.p, sq1->shape.p);
+}
+
+TEST(NormalizeTest, LogPullsExponents) {
+  // ln(x²) = 2·ln x, canonically over base x.
+  auto n = NormalizeString("ln(x^2)");
+  ASSERT_TRUE(n.has_value());
+  EXPECT_EQ(n->base.Key(), "x");
+  EXPECT_EQ(n->shape.family, ShapeFamily::kLog);
+  ExpectClose(2.0, n->shape.a);
+  ExpectClose(0.0, n->shape.b);
+
+  // ln(x²·y²) ≡ ln((x·y)²) = 2·ln(x·y).
+  auto m1 = NormalizeString("ln(x^2*y^2)");
+  auto m2 = NormalizeString("ln((x*y)^2)");
+  ASSERT_TRUE(m1.has_value() && m2.has_value());
+  EXPECT_EQ(m1->base.Key(), m2->base.Key());
+  ExpectClose(m2->shape.a, m1->shape.a);
+}
+
+TEST(NormalizeTest, LogBaseAndSqrt) {
+  auto lg = NormalizeString("log(2, x)");
+  ASSERT_TRUE(lg.has_value());
+  EXPECT_EQ(lg->shape.family, ShapeFamily::kLog);
+  ExpectClose(3.0, lg->shape.Eval(8.0));
+
+  auto rt = NormalizeString("sqrt(x)");
+  ASSERT_TRUE(rt.has_value());
+  ExpectClose(0.5, rt->shape.p);
+  EXPECT_TRUE(rt->injective);  // positive-domain
+}
+
+TEST(NormalizeTest, ExponentialForms) {
+  // 2^x and exp(3x).
+  auto p2 = NormalizeString("2^x");
+  ASSERT_TRUE(p2.has_value());
+  EXPECT_EQ(p2->shape.family, ShapeFamily::kExp);
+  ExpectClose(8.0, p2->shape.Eval(3.0));
+
+  auto e3 = NormalizeString("exp(3*x)");
+  ASSERT_TRUE(e3.has_value());
+  EXPECT_EQ(e3->shape.family, ShapeFamily::kExp);
+  ExpectClose(3.0, e3->shape.c);
+}
+
+TEST(NormalizeTest, LogPowChains) {
+  auto n = NormalizeString("ln(x)^3");
+  ASSERT_TRUE(n.has_value());
+  EXPECT_EQ(n->shape.family, ShapeFamily::kLogPow);
+  ExpectClose(3.0, n->shape.p);
+}
+
+TEST(NormalizeTest, AbsMarksEven) {
+  auto n = NormalizeString("ln(abs(x))");
+  ASSERT_TRUE(n.has_value());
+  EXPECT_EQ(n->shape.family, ShapeFamily::kLog);
+  EXPECT_TRUE(n->even);
+}
+
+TEST(NormalizeTest, ConstantsFold) {
+  auto n = NormalizeString("2 * 3 + 4");
+  ASSERT_TRUE(n.has_value());
+  EXPECT_EQ(n->shape.family, ShapeFamily::kConst);
+  ExpectClose(10.0, n->shape.a);
+  EXPECT_TRUE(n->base.IsEmpty());
+}
+
+TEST(NormalizeTest, SumsOfDistinctTermsAreOutOfScope) {
+  // x + y is PS⊙, not PS∘ over one monomial; handled by splitting rules at
+  // the state level, so normalization declines.
+  EXPECT_FALSE(NormalizeString("x + y").has_value());
+  EXPECT_FALSE(NormalizeString("x + 1").has_value());
+  EXPECT_FALSE(NormalizeString("ln(x) * x").has_value());
+}
+
+TEST(NormalizeTest, UnaryMinusFoldsIntoCoefficient) {
+  auto n = NormalizeString("-3*x^2");
+  ASSERT_TRUE(n.has_value());
+  ExpectClose(-3.0, n->shape.a);
+  ExpectClose(2.0, n->shape.p);
+}
+
+TEST(MonomialTest, NegationSign) {
+  Monomial odd;
+  odd.exponents = {{"x", 1.0}};
+  EXPECT_EQ(odd.NegationSign(), -1);
+  Monomial even;
+  even.exponents = {{"x", 1.0}, {"y", 1.0}};
+  EXPECT_EQ(even.NegationSign(), 1);
+  Monomial frac;
+  frac.exponents = {{"x", 0.5}};
+  EXPECT_EQ(frac.NegationSign(), 0);
+}
+
+TEST(MonomialTest, ToExprRoundTrips) {
+  Monomial m;
+  m.exponents = {{"x", 2.0}, {"y", -1.0}};
+  ExprPtr e = m.ToExpr();
+  auto n = NormalizeScalar(*e);
+  ASSERT_TRUE(n.has_value());
+  EXPECT_EQ(n->base.Key(), "x*y^-0.5");  // canonicalized: leading exp 1 ⇒ /2
+}
+
+}  // namespace
+}  // namespace sudaf

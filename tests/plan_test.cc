@@ -1,0 +1,123 @@
+// Tests for engine/plan and engine/hash_join internals: conjunct
+// classification, join-order formation, multi-match joins, post-join
+// filters.
+
+#include "engine/hash_join.h"
+#include "engine/plan.h"
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace sudaf {
+namespace {
+
+class PlanTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // a(ak, av), b(bk, bv), c(ck, cv): a 1..6, b 1..3, c 1..2.
+    auto make = [](const std::string& key, const std::string& val, int n,
+                   int key_mod) {
+      Schema schema;
+      SUDAF_CHECK(schema.AddField({key, DataType::kInt64}).ok());
+      SUDAF_CHECK(schema.AddField({val, DataType::kFloat64}).ok());
+      auto table = std::make_unique<Table>(std::move(schema));
+      for (int i = 0; i < n; ++i) {
+        table->column(0).AppendInt64(1 + i % key_mod);
+        table->column(1).AppendFloat64(i * 1.0);
+      }
+      table->FinishBulkAppend();
+      return table;
+    };
+    catalog_.PutTable("a", make("ak", "av", 6, 3));
+    catalog_.PutTable("b", make("bk", "bv", 3, 3));
+    catalog_.PutTable("c", make("ck", "cv", 2, 2));
+  }
+
+  QueryPlan Plan(const std::string& sql) {
+    auto stmt = ParseSelect(sql);
+    SUDAF_CHECK_MSG(stmt.ok(), stmt.status().ToString());
+    stmts_.push_back(std::move(*stmt));
+    auto plan = PlanQuery(*stmts_.back(), catalog_);
+    SUDAF_CHECK_MSG(plan.ok(), plan.status().ToString());
+    return std::move(*plan);
+  }
+
+  Catalog catalog_;
+  std::vector<std::unique_ptr<SelectStatement>> stmts_;
+};
+
+TEST_F(PlanTest, ClassifiesJoinsAndFilters) {
+  QueryPlan plan = Plan(
+      "SELECT sum(av) FROM a, b WHERE ak = bk AND av > 1 AND bv < 100");
+  EXPECT_EQ(plan.joins.size(), 1u);
+  EXPECT_EQ(plan.filters.size(), 2u);
+  EXPECT_NE(plan.filters[0].table_index, plan.filters[1].table_index);
+}
+
+TEST_F(PlanTest, SameTableEqualityIsAFilter) {
+  QueryPlan plan = Plan("SELECT sum(av) FROM a WHERE ak = ak");
+  EXPECT_TRUE(plan.joins.empty());
+  EXPECT_EQ(plan.filters.size(), 1u);
+}
+
+TEST_F(PlanTest, ResolveColumnErrors) {
+  QueryPlan plan = Plan("SELECT sum(av) FROM a, b WHERE ak = bk");
+  EXPECT_TRUE(plan.ResolveColumn("av").ok());
+  EXPECT_FALSE(plan.ResolveColumn("zzz").ok());
+}
+
+TEST_F(PlanTest, CrossTableNonEquiConjunctRejected) {
+  auto stmt = ParseSelect("SELECT sum(av) FROM a, b WHERE ak < bk");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_FALSE(PlanQuery(**stmt, catalog_).ok());
+}
+
+TEST_F(PlanTest, JoinProducesAllMatches) {
+  // a has two rows per key 1..3, b one row per key: 6 output tuples.
+  QueryPlan plan = Plan("SELECT sum(av) FROM a, b WHERE ak = bk");
+  ASSERT_OK_AND_ASSIGN(JoinedRows joined, FilterAndJoin(plan));
+  EXPECT_EQ(joined.num_tuples, 6);
+  EXPECT_EQ(joined.rows.size(), 2u);
+  EXPECT_EQ(joined.rows[0].size(), 6u);
+  EXPECT_EQ(joined.rows[1].size(), 6u);
+}
+
+TEST_F(PlanTest, ThreeWayChainJoin) {
+  // a ⋈ b on ak = bk, b ⋈ c on bk = ck: keys 1,2 survive (c has 1..2),
+  // a has 2 rows per key -> 4 tuples.
+  QueryPlan plan = Plan(
+      "SELECT sum(av) FROM a, b, c WHERE ak = bk AND bk = ck");
+  ASSERT_OK_AND_ASSIGN(JoinedRows joined, FilterAndJoin(plan));
+  EXPECT_EQ(joined.num_tuples, 4);
+}
+
+TEST_F(PlanTest, RedundantEdgeBecomesPostJoinFilter) {
+  // Both edges connect the same pair transitively; the second a–c edge is
+  // applied as a post-join filter and must not change the result.
+  QueryPlan plan = Plan(
+      "SELECT sum(av) FROM a, b, c WHERE ak = bk AND bk = ck AND ak = ck");
+  ASSERT_OK_AND_ASSIGN(JoinedRows joined, FilterAndJoin(plan));
+  EXPECT_EQ(joined.num_tuples, 4);
+}
+
+TEST_F(PlanTest, FilterBeforeJoinShrinksBuildSide) {
+  QueryPlan plan = Plan(
+      "SELECT sum(av) FROM a, b WHERE ak = bk AND bk = 2");
+  ASSERT_OK_AND_ASSIGN(JoinedRows joined, FilterAndJoin(plan));
+  EXPECT_EQ(joined.num_tuples, 2);  // a rows with ak = 2
+}
+
+TEST_F(PlanTest, EmptyFilterGivesEmptyJoin) {
+  QueryPlan plan = Plan(
+      "SELECT sum(av) FROM a, b WHERE ak = bk AND bv > 1000");
+  ASSERT_OK_AND_ASSIGN(JoinedRows joined, FilterAndJoin(plan));
+  EXPECT_EQ(joined.num_tuples, 0);
+}
+
+TEST_F(PlanTest, GroupByColumnMustResolve) {
+  auto stmt = ParseSelect("SELECT sum(av) FROM a GROUP BY nope");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_FALSE(PlanQuery(**stmt, catalog_).ok());
+}
+
+}  // namespace
+}  // namespace sudaf

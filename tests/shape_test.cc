@@ -1,0 +1,216 @@
+// Tests for sudaf/shape: the closed normal-form algebra that evaluates
+// f1 ∘ f2⁻¹ symbolically. Includes property sweeps checking the algebra
+// against numeric evaluation.
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "gtest/gtest.h"
+#include "sudaf/shape.h"
+#include "tests/test_util.h"
+
+namespace sudaf {
+namespace {
+
+using testing_util::ExpectClose;
+
+TEST(ShapeTest, ConstructorsNormalizeDegenerateParams) {
+  EXPECT_EQ(Shape::Power(3.0, 0.0).family, ShapeFamily::kConst);
+  EXPECT_EQ(Shape::Power(0.0, 2.0).family, ShapeFamily::kConst);
+  EXPECT_TRUE(Shape::Power(1.0, 1.0).IsIdentity());
+}
+
+TEST(ShapeTest, EvalPerFamily) {
+  ExpectClose(5.0, Shape::Const(5.0).Eval(99.0));
+  ExpectClose(18.0, Shape::Power(2.0, 2.0).Eval(3.0));
+  ExpectClose(3.0 * std::log(2.0) + 1.0, Shape::Log(3.0, 1.0).Eval(2.0));
+  ExpectClose(2.0 * std::exp(6.0), Shape::Exp(2.0, 3.0).Eval(2.0));
+}
+
+TEST(ShapeTest, ComposePowerPower) {
+  // 2·(3x²)³ = 54·x⁶
+  auto c = ComposeShapes(Shape::Power(2.0, 3.0), Shape::Power(3.0, 2.0));
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(c->family, ShapeFamily::kPower);
+  ExpectClose(54.0, c->a);
+  ExpectClose(6.0, c->p);
+}
+
+TEST(ShapeTest, ComposeLogPower) {
+  // 2·ln(3x²) = 4·ln x + 2·ln 3
+  auto c = ComposeShapes(Shape::Log(2.0, 0.0), Shape::Power(3.0, 2.0));
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(c->family, ShapeFamily::kLog);
+  ExpectClose(4.0, c->a);
+  ExpectClose(2.0 * std::log(3.0), c->b);
+}
+
+TEST(ShapeTest, ComposeExpLogGivesPower) {
+  // e^(2·ln x) = x²
+  auto c = ComposeShapes(Shape::Exp(1.0, 1.0), Shape::Log(2.0, 0.0));
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(c->family, ShapeFamily::kPower);
+  ExpectClose(1.0, c->a);
+  ExpectClose(2.0, c->p);
+}
+
+TEST(ShapeTest, ComposeOutsideFamiliesFails) {
+  // e^(e^x) is not representable.
+  EXPECT_FALSE(
+      ComposeShapes(Shape::Exp(1.0, 1.0), Shape::Exp(1.0, 1.0)).has_value());
+  // ln(ln x) is not representable.
+  EXPECT_FALSE(
+      ComposeShapes(Shape::Log(1.0, 0.0), Shape::Log(1.0, 0.0)).has_value());
+}
+
+TEST(ShapeTest, InversePower) {
+  auto inv = InverseShape(Shape::Power(4.0, 2.0));
+  ASSERT_TRUE(inv.has_value());
+  // y = 4x² -> x = (y/4)^(1/2)
+  ExpectClose(3.0, inv->Eval(36.0));
+}
+
+TEST(ShapeTest, InverseOfNegativeLinear) {
+  auto inv = InverseShape(Shape::Power(-2.0, 1.0));
+  ASSERT_TRUE(inv.has_value());
+  ExpectClose(-3.0, inv->Eval(6.0));
+}
+
+TEST(ShapeTest, ConstHasNoInverse) {
+  EXPECT_FALSE(InverseShape(Shape::Const(2.0)).has_value());
+}
+
+// Property sweep: for every family pair that composes, the symbolic
+// composition must agree with pointwise numeric composition on the positive
+// domain; for every invertible shape, f(f⁻¹(y)) ≈ y.
+class ShapeAlgebraProperty : public ::testing::TestWithParam<int> {};
+
+Shape RandomShape(Rng* rng) {
+  double a = rng->NextDoubleIn(0.5, 3.0);
+  double second = rng->NextDoubleIn(0.5, 2.5);
+  switch (rng->NextBelow(6)) {
+    case 0:
+      return Shape::Power(a, second);
+    case 1: {
+      Shape s;
+      s.family = ShapeFamily::kAffine;
+      s.a = a;
+      s.b = second;
+      return s;
+    }
+    case 2:
+      return Shape::Log(a, rng->NextDoubleIn(-1.0, 1.0));
+    case 3:
+      return Shape::Exp(a, second);
+    case 4: {
+      Shape s;
+      s.family = ShapeFamily::kLogPow;
+      s.a = a;
+      s.p = 2.0 + second;  // keep away from 1
+      return s;
+    }
+    default: {
+      Shape s;
+      s.family = ShapeFamily::kExpPow;
+      s.a = a;
+      s.c = second;
+      s.p = 2.5;
+      return s;
+    }
+  }
+}
+
+TEST_P(ShapeAlgebraProperty, CompositionMatchesNumerically) {
+  Rng rng(1000 + GetParam());
+  for (int trial = 0; trial < 40; ++trial) {
+    Shape outer = RandomShape(&rng);
+    Shape inner = RandomShape(&rng);
+    std::optional<Shape> composed = ComposeShapes(outer, inner);
+    if (!composed.has_value()) continue;
+    for (int i = 0; i < 5; ++i) {
+      // Stay on x > 1 so logs are positive and every family is defined.
+      double x = rng.NextDoubleIn(1.5, 4.0);
+      double direct = outer.Eval(inner.Eval(x));
+      double via = composed->Eval(x);
+      if (!std::isfinite(direct) || !std::isfinite(via)) continue;
+      ExpectClose(direct, via, 1e-6);
+    }
+  }
+}
+
+TEST_P(ShapeAlgebraProperty, InverseRoundTrips) {
+  Rng rng(2000 + GetParam());
+  for (int trial = 0; trial < 40; ++trial) {
+    Shape shape = RandomShape(&rng);
+    std::optional<Shape> inv = InverseShape(shape);
+    if (!inv.has_value()) continue;
+    for (int i = 0; i < 5; ++i) {
+      double x = rng.NextDoubleIn(1.5, 4.0);
+      double y = shape.Eval(x);
+      if (!std::isfinite(y)) continue;
+      double back = inv->Eval(y);
+      if (!std::isfinite(back)) continue;
+      ExpectClose(x, back, 1e-6);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ShapeAlgebraProperty,
+                         ::testing::Range(0, 8));
+
+TEST(ShapeChainTest, FoldsPrimitiveChains) {
+  // 3·(x²): chain [power 2, linear 3].
+  PrimitiveChain chain = {{PrimitiveKind::kPower, 2.0},
+                          {PrimitiveKind::kLinear, 3.0}};
+  auto shape = ShapeFromChain(chain);
+  ASSERT_TRUE(shape.has_value());
+  EXPECT_EQ(shape->family, ShapeFamily::kPower);
+  ExpectClose(3.0, shape->a);
+  ExpectClose(2.0, shape->p);
+}
+
+TEST(ShapeChainTest, LogBaseConversion) {
+  // log_2(x) = ln x / ln 2.
+  PrimitiveChain chain = {{PrimitiveKind::kLog, 2.0}};
+  auto shape = ShapeFromChain(chain);
+  ASSERT_TRUE(shape.has_value());
+  EXPECT_EQ(shape->family, ShapeFamily::kLog);
+  ExpectClose(3.0, shape->Eval(8.0));
+}
+
+TEST(ShapeChainTest, Example51Transformation) {
+  // Example 5.1 of the paper: f1∘f2⁻¹ with f1 = 4x², f2 = (3x)² must be
+  // (4/9)·x — derived here with zero expression rewriting.
+  Shape f1 = *ComposeShapes(Shape::Power(4.0, 1.0), Shape::Power(1.0, 2.0));
+  Shape f2 = Shape::Power(9.0, 2.0);  // (3x)² = 9x²
+  auto inv = InverseShape(f2);
+  ASSERT_TRUE(inv.has_value());
+  auto g = ComposeShapes(f1, *inv);
+  ASSERT_TRUE(g.has_value());
+  EXPECT_EQ(g->family, ShapeFamily::kPower);
+  ExpectClose(4.0 / 9.0, g->a);
+  ExpectClose(1.0, g->p);
+}
+
+TEST(PrimitivesTest, InjectiveAndEvenClassification) {
+  // Figure 3: even integer powers are the only non-injective, non-constant
+  // primitives.
+  EXPECT_FALSE((Primitive{PrimitiveKind::kPower, 2.0}).injective());
+  EXPECT_TRUE((Primitive{PrimitiveKind::kPower, 2.0}).even());
+  EXPECT_TRUE((Primitive{PrimitiveKind::kPower, 3.0}).injective());
+  EXPECT_TRUE((Primitive{PrimitiveKind::kPower, 0.5}).injective());
+  EXPECT_TRUE((Primitive{PrimitiveKind::kLinear, -2.0}).injective());
+  EXPECT_TRUE((Primitive{PrimitiveKind::kLog, 2.0}).injective());
+  EXPECT_TRUE((Primitive{PrimitiveKind::kExp, 2.0}).injective());
+  EXPECT_FALSE((Primitive{PrimitiveKind::kConst, 5.0}).injective());
+}
+
+TEST(PrimitivesTest, ChainEvaluation) {
+  PrimitiveChain chain = {{PrimitiveKind::kPower, 2.0},
+                          {PrimitiveKind::kLinear, 3.0}};
+  ExpectClose(12.0, EvalChain(chain, 2.0));
+  EXPECT_EQ(ChainToString(chain), "3*(x^2)");
+}
+
+}  // namespace
+}  // namespace sudaf

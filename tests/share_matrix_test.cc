@@ -1,0 +1,158 @@
+// Exhaustive pairwise sharing matrix over a hand-analyzed catalog of
+// aggregation states. Every ordered pair's expected decision was derived
+// manually from Theorem 4.1; the implementation must reproduce the full
+// matrix, and every positive cell must verify numerically on random data.
+//
+// This pins down the decision procedure far more tightly than spot checks:
+// a regression in the shape algebra, the case split, or the evenness
+// analysis flips at least one cell.
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "expr/evaluator.h"
+#include "expr/parser.h"
+#include "gtest/gtest.h"
+#include "sudaf/sharing.h"
+#include "tests/test_util.h"
+
+namespace sudaf {
+namespace {
+
+struct CatalogEntry {
+  AggOp op;
+  const char* input;  // null for count
+};
+
+// The state catalog. Indices matter: the matrix below is ordered the same.
+const CatalogEntry kCatalog[] = {
+    /* 0 */ {AggOp::kSum, "x"},         // Σx
+    /* 1 */ {AggOp::kSum, "3*x"},       // Σ3x
+    /* 2 */ {AggOp::kSum, "x^2"},       // Σx²
+    /* 3 */ {AggOp::kSum, "x^3"},       // Σx³
+    /* 4 */ {AggOp::kSum, "ln(x)"},     // Σln x
+    /* 5 */ {AggOp::kSum, "2*ln(x)"},   // Σ2ln x (= Σln x²)
+    /* 6 */ {AggOp::kSum, "exp(x)"},    // Σeˣ
+    /* 7 */ {AggOp::kProd, "x"},        // Πx
+    /* 8 */ {AggOp::kProd, "x^2"},      // Πx²
+    /* 9 */ {AggOp::kProd, "exp(x)"},   // Πeˣ
+    /* 10 */ {AggOp::kCount, nullptr},  // count
+    /* 11 */ {AggOp::kMin, "x"},        // min x
+};
+constexpr int kN = 12;
+
+// Expected share(i, j) — does row i compute from column j?
+// Derivations (Theorem 4.1):
+//   Σx ~ Σ3x (2.1, both ways); Σx ~ Πeˣ (2.2/2.3: Πeˣ = e^Σx);
+//   Σln x ~ Σ2ln x (2.1); Σln x ~ Πx via 2.2. Σln x from Πx² is refused
+//   by case 1 (ln is injective, x² is even — over M(Q) the sign context is
+//   lost), as is Πx from Πx².
+//   Πx² from Πx: |Πx|² (2.4 i). Πx ~ Σln x (2.3). Πx² ~ Σln x (2.3 with
+//   r = e^{2v}); Πx² ~ Σ2ln x (e^v). Πeˣ ~ Σx (2.3) and Σ3x (c = 1/3).
+//   Σx³ shares nothing here (x³ vs x² loses no sign but patterns fail;
+//   vs x: exponents differ). Σeˣ only itself. count/min only themselves.
+const bool kExpected[kN][kN] = {
+    //            0  1  2  3  4  5  6  7  8  9 10 11
+    /* 0 Σx   */ {1, 1, 0, 0, 0, 0, 0, 0, 0, 1, 0, 0},
+    /* 1 Σ3x  */ {1, 1, 0, 0, 0, 0, 0, 0, 0, 1, 0, 0},
+    /* 2 Σx²  */ {0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0},
+    /* 3 Σx³  */ {0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 0},
+    /* 4 Σln  */ {0, 0, 0, 0, 1, 1, 0, 1, 0, 0, 0, 0},
+    /* 5 Σ2ln */ {0, 0, 0, 0, 1, 1, 0, 1, 0, 0, 0, 0},
+    /* 6 Σeˣ  */ {0, 0, 0, 0, 0, 0, 1, 0, 0, 0, 0, 0},
+    /* 7 Πx   */ {0, 0, 0, 0, 1, 1, 0, 1, 0, 0, 0, 0},
+    /* 8 Πx²  */ {0, 0, 0, 0, 1, 1, 0, 1, 1, 0, 0, 0},
+    /* 9 Πeˣ  */ {1, 1, 0, 0, 0, 0, 0, 0, 0, 1, 0, 0},
+    /* 10 cnt */ {0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1, 0},
+    /* 11 min */ {0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1},
+};
+
+AggStateDef MakeEntry(const CatalogEntry& entry) {
+  if (entry.input == nullptr) return MakeState(entry.op, nullptr);
+  auto expr = ParseExpression(entry.input);
+  SUDAF_CHECK_MSG(expr.ok(), expr.status().ToString());
+  return MakeState(entry.op, std::move(*expr));
+}
+
+double EvalState(const AggStateDef& state, const std::vector<double>& xs) {
+  if (state.op == AggOp::kCount) return static_cast<double>(xs.size());
+  double acc = state.op == AggOp::kProd ? 1.0 : 0.0;
+  if (state.op == AggOp::kMin) acc = HUGE_VAL;
+  if (state.op == AggOp::kMax) acc = -HUGE_VAL;
+  for (double x : xs) {
+    RowAccessor accessor = [x](const std::string& col,
+                               int64_t) -> Result<Value> {
+      if (col == "x") return Value(x);
+      return Status::NotFound(col);
+    };
+    auto v = EvalRow(*state.input, accessor, 0);
+    SUDAF_CHECK(v.ok());
+    switch (state.op) {
+      case AggOp::kSum:
+        acc += v->AsDouble();
+        break;
+      case AggOp::kProd:
+        acc *= v->AsDouble();
+        break;
+      case AggOp::kMin:
+        acc = std::min(acc, v->AsDouble());
+        break;
+      case AggOp::kMax:
+        acc = std::max(acc, v->AsDouble());
+        break;
+      default:
+        break;
+    }
+  }
+  return acc;
+}
+
+TEST(ShareMatrixTest, MatchesHandDerivedMatrix) {
+  for (int i = 0; i < kN; ++i) {
+    for (int j = 0; j < kN; ++j) {
+      AggStateDef si = MakeEntry(kCatalog[i]);
+      AggStateDef sj = MakeEntry(kCatalog[j]);
+      bool shares = Share(si, sj).has_value();
+      EXPECT_EQ(shares, kExpected[i][j])
+          << "share(" << si.ToString() << ", " << sj.ToString() << ")";
+    }
+  }
+}
+
+TEST(ShareMatrixTest, EveryPositiveCellIsNumericallyExact) {
+  Rng rng(55);
+  for (int i = 0; i < kN; ++i) {
+    for (int j = 0; j < kN; ++j) {
+      if (!kExpected[i][j]) continue;
+      AggStateDef si = MakeEntry(kCatalog[i]);
+      AggStateDef sj = MakeEntry(kCatalog[j]);
+      auto r = Share(si, sj);
+      ASSERT_TRUE(r.has_value());
+      for (int trial = 0; trial < 10; ++trial) {
+        std::vector<double> xs(2 + rng.NextBelow(6));
+        for (double& x : xs) x = rng.NextDoubleIn(0.5, 2.5);
+        testing_util::ExpectClose(EvalState(si, xs),
+                                  r->Apply(EvalState(sj, xs)), 1e-8);
+      }
+    }
+  }
+}
+
+TEST(ShareMatrixTest, MatrixIsReflexiveAndClassesAreConsistent) {
+  // Positive cells must be symmetric-or-justified: if i shares j and j
+  // shares i, ClassifyState must put them in one class.
+  for (int i = 0; i < kN; ++i) {
+    AggStateDef si = MakeEntry(kCatalog[i]);
+    EXPECT_TRUE(Share(si, MakeEntry(kCatalog[i])).has_value()) << i;
+    for (int j = 0; j < kN; ++j) {
+      if (i == j || !kExpected[i][j] || !kExpected[j][i]) continue;
+      StateClass ci = ClassifyState(MakeEntry(kCatalog[i]));
+      StateClass cj = ClassifyState(MakeEntry(kCatalog[j]));
+      EXPECT_EQ(ci.key, cj.key)
+          << kCatalog[i].input << " vs " << kCatalog[j].input;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sudaf

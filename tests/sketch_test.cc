@@ -1,0 +1,166 @@
+// Tests for sketch/: the moments sketch and the maximum-entropy quantile
+// solver (MomentSolver).
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "gtest/gtest.h"
+#include "sketch/maxent_solver.h"
+#include "sketch/moment_sketch.h"
+#include "tests/test_util.h"
+
+namespace sudaf {
+namespace {
+
+using testing_util::ExpectClose;
+
+std::vector<double> UniformSample(int n, double lo, double hi,
+                                  uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> xs(n);
+  for (double& x : xs) x = rng.NextDoubleIn(lo, hi);
+  return xs;
+}
+
+double TrueQuantile(std::vector<double> xs, double phi) {
+  std::sort(xs.begin(), xs.end());
+  return xs[static_cast<size_t>(phi * (xs.size() - 1))];
+}
+
+TEST(MomentSketchTest, AddTracksAllStates) {
+  MomentSketch sketch(4);
+  sketch.Add(2.0);
+  sketch.Add(3.0);
+  EXPECT_DOUBLE_EQ(sketch.min, 2.0);
+  EXPECT_DOUBLE_EQ(sketch.max, 3.0);
+  EXPECT_DOUBLE_EQ(sketch.count, 2.0);
+  EXPECT_DOUBLE_EQ(sketch.power_sums[0], 5.0);      // Σx
+  EXPECT_DOUBLE_EQ(sketch.power_sums[1], 13.0);     // Σx²
+  ExpectClose(std::log(2.0) + std::log(3.0), sketch.log_sums[0]);
+}
+
+TEST(MomentSketchTest, MergeEqualsBulk) {
+  std::vector<double> xs = UniformSample(500, 1.0, 9.0, 3);
+  MomentSketch whole = MomentSketch::FromValues(xs, 8);
+  MomentSketch left(8);
+  MomentSketch right(8);
+  for (size_t i = 0; i < xs.size(); ++i) {
+    (i % 2 == 0 ? left : right).Add(xs[i]);
+  }
+  left.Merge(right);
+  EXPECT_DOUBLE_EQ(whole.count, left.count);
+  EXPECT_DOUBLE_EQ(whole.min, left.min);
+  for (int j = 0; j < 8; ++j) {
+    ExpectClose(whole.power_sums[j], left.power_sums[j], 1e-9);
+    ExpectClose(whole.log_sums[j], left.log_sums[j], 1e-9);
+  }
+}
+
+TEST(MaxEntSolverTest, UniformQuantilesAreAccurate) {
+  std::vector<double> xs = UniformSample(20000, 0.0, 10.0, 17);
+  MomentSketch sketch = MomentSketch::FromValues(xs, 10);
+  for (double phi : {0.1, 0.25, 0.5, 0.75, 0.9}) {
+    ASSERT_OK_AND_ASSIGN(double q, EstimateQuantile(sketch, phi));
+    // Uniform is max-entropy's home turf: tight accuracy.
+    EXPECT_NEAR(q, 10.0 * phi, 0.15) << "phi = " << phi;
+  }
+}
+
+TEST(MaxEntSolverTest, GaussianLikeQuantiles) {
+  Rng rng(23);
+  std::vector<double> xs(20000);
+  for (double& x : xs) x = 50.0 + 10.0 * rng.NextGaussian();
+  MomentSketch sketch = MomentSketch::FromValues(xs, 10);
+  ASSERT_OK_AND_ASSIGN(double median, EstimateQuantile(sketch, 0.5));
+  EXPECT_NEAR(median, TrueQuantile(xs, 0.5), 1.0);
+  ASSERT_OK_AND_ASSIGN(double p90, EstimateQuantile(sketch, 0.9));
+  EXPECT_NEAR(p90, TrueQuantile(xs, 0.9), 2.0);
+}
+
+TEST(MaxEntSolverTest, QuantilesAreMonotone) {
+  std::vector<double> xs = UniformSample(5000, 2.0, 8.0, 29);
+  MomentSketch sketch = MomentSketch::FromValues(xs, 8);
+  double prev = -HUGE_VAL;
+  for (double phi = 0.05; phi < 1.0; phi += 0.05) {
+    ASSERT_OK_AND_ASSIGN(double q, EstimateQuantile(sketch, phi));
+    EXPECT_GE(q, prev - 1e-9);
+    prev = q;
+  }
+}
+
+TEST(MaxEntSolverTest, DegenerateInputs) {
+  MomentSketch empty(4);
+  EXPECT_FALSE(EstimateQuantile(empty, 0.5).ok());
+
+  MomentSketch single(4);
+  single.Add(7.0);
+  ASSERT_OK_AND_ASSIGN(double q, EstimateQuantile(single, 0.5));
+  EXPECT_DOUBLE_EQ(q, 7.0);
+
+  MomentSketch constant(4);
+  constant.Add(3.0);
+  constant.Add(3.0);
+  ASSERT_OK_AND_ASSIGN(double qc, EstimateQuantile(constant, 0.5));
+  EXPECT_DOUBLE_EQ(qc, 3.0);
+
+  MomentSketch two(4);
+  two.Add(1.0);
+  two.Add(2.0);
+  EXPECT_FALSE(EstimateQuantile(two, 0.0).ok());
+  EXPECT_FALSE(EstimateQuantile(two, 1.0).ok());
+}
+
+TEST(MaxEntSolverTest, DensityIntegratesToOne) {
+  std::vector<double> xs = UniformSample(2000, 1.0, 5.0, 31);
+  MomentSketch sketch = MomentSketch::FromValues(xs, 6);
+  ASSERT_OK_AND_ASSIGN(
+      std::vector<double> density,
+      MaxEntDensity(sketch.min, sketch.max, sketch.count,
+                    sketch.power_sums));
+  double total = 0.0;
+  for (double p : density) total += p;
+  ExpectClose(1.0, total, 1e-9);
+}
+
+TEST(NativeQuantileUdafTest, StateTemplatesCoverTheSketch) {
+  std::vector<std::string> exprs = MomentSketchStateExprs("price", 5);
+  // min, max, count + 5 power sums + 5 log sums.
+  EXPECT_EQ(exprs.size(), 13u);
+  EXPECT_EQ(exprs[0], "min(price)");
+  EXPECT_EQ(exprs[3], "sum(price^1)");
+  EXPECT_NE(exprs[8].find("ln(abs(price))"), std::string::npos);
+}
+
+TEST(NativeQuantileUdafTest, TerminateMatchesDirectSolver) {
+  std::vector<double> xs = UniformSample(3000, 0.0, 4.0, 37);
+  MomentSketch sketch = MomentSketch::FromValues(xs, 6);
+
+  NativeUdaf udaf = MakeApproxQuantileUdaf("approx_median", 0.5, 6);
+  std::vector<double> states = {sketch.min, sketch.max, sketch.count};
+  for (double s : sketch.power_sums) states.push_back(s);
+  for (double s : sketch.log_sums) states.push_back(s);
+  ASSERT_OK_AND_ASSIGN(double via_udaf, udaf.terminate(states));
+  ASSERT_OK_AND_ASSIGN(double direct, EstimateQuantile(sketch, 0.5));
+  ExpectClose(direct, via_udaf, 1e-12);
+}
+
+TEST(NativeQuantileUdafTest, HardcodedIumeVersionAgrees) {
+  UdafRegistry registry;
+  RegisterHardcodedQuantileUdafs(&registry, 6);
+  ASSERT_OK_AND_ASSIGN(const Udaf* udaf, registry.Get("approx_median"));
+
+  std::vector<double> xs = UniformSample(3000, 0.0, 4.0, 41);
+  std::vector<Value> state = udaf->Initialize();
+  for (double x : xs) udaf->Update(&state, {Value(x)});
+  ASSERT_OK_AND_ASSIGN(Value result, udaf->Evaluate(state));
+
+  MomentSketch sketch = MomentSketch::FromValues(xs, 6);
+  ASSERT_OK_AND_ASSIGN(double direct, EstimateQuantile(sketch, 0.5));
+  // The IUME baseline runs the solver on a coarser grid (like the cheap
+  // built-in approximations it models), so allow grid-resolution slack.
+  ExpectClose(direct, result.AsDouble(), 2e-2);
+}
+
+}  // namespace
+}  // namespace sudaf

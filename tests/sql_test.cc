@@ -1,0 +1,104 @@
+// Tests for sql/: the SELECT parser.
+
+#include "gtest/gtest.h"
+#include "sql/statement.h"
+#include "tests/test_util.h"
+
+namespace sudaf {
+namespace {
+
+TEST(SqlParserTest, MinimalSelect) {
+  ASSERT_OK_AND_ASSIGN(auto stmt, ParseSelect("SELECT sum(x) FROM t"));
+  EXPECT_EQ(stmt->items.size(), 1u);
+  EXPECT_EQ(stmt->tables, (std::vector<std::string>{"t"}));
+  EXPECT_EQ(stmt->where, nullptr);
+  EXPECT_TRUE(stmt->group_by.empty());
+  EXPECT_EQ(stmt->limit, -1);
+}
+
+TEST(SqlParserTest, FullClauses) {
+  ASSERT_OK_AND_ASSIGN(
+      auto stmt,
+      ParseSelect("SELECT g, avg(x) AS a FROM t, u "
+                  "WHERE t_id = u_id AND x > 3 "
+                  "GROUP BY g ORDER BY g DESC LIMIT 10;"));
+  EXPECT_EQ(stmt->items.size(), 2u);
+  EXPECT_EQ(stmt->items[1].alias, "a");
+  EXPECT_EQ(stmt->tables.size(), 2u);
+  ASSERT_NE(stmt->where, nullptr);
+  EXPECT_EQ(stmt->group_by, (std::vector<std::string>{"g"}));
+  ASSERT_EQ(stmt->order_by.size(), 1u);
+  EXPECT_EQ(stmt->order_by[0].column, "g");
+  EXPECT_FALSE(stmt->order_by[0].ascending);
+  EXPECT_EQ(stmt->limit, 10);
+}
+
+TEST(SqlParserTest, BareAliasWithoutAs) {
+  ASSERT_OK_AND_ASSIGN(auto stmt,
+                       ParseSelect("SELECT sum(x) total FROM t"));
+  EXPECT_EQ(stmt->items[0].alias, "total");
+}
+
+TEST(SqlParserTest, KeywordsAreCaseInsensitive) {
+  ASSERT_OK_AND_ASSIGN(
+      auto stmt, ParseSelect("select g, max(x) from t group by g order by g"));
+  EXPECT_EQ(stmt->group_by.size(), 1u);
+  EXPECT_EQ(stmt->order_by.size(), 1u);
+}
+
+TEST(SqlParserTest, TableNamesLowercased) {
+  ASSERT_OK_AND_ASSIGN(auto stmt, ParseSelect("SELECT sum(x) FROM MyTable"));
+  EXPECT_EQ(stmt->tables[0], "mytable");
+}
+
+TEST(SqlParserTest, OrPredicateInsideWhere) {
+  ASSERT_OK_AND_ASSIGN(
+      auto stmt,
+      ParseSelect("SELECT count(*) FROM t WHERE (a = 'N' or b = 'N') "
+                  "and c = 1"));
+  ASSERT_NE(stmt->where, nullptr);
+  // Top level is AND of (a='N' or b='N') and c=1.
+  EXPECT_EQ(stmt->where->bin_op, BinaryOp::kAnd);
+  EXPECT_EQ(stmt->where->args[0]->bin_op, BinaryOp::kOr);
+}
+
+TEST(SqlParserTest, CloneIsDeep) {
+  ASSERT_OK_AND_ASSIGN(
+      auto stmt,
+      ParseSelect("SELECT g, sum(x) FROM t WHERE x > 1 GROUP BY g LIMIT 5"));
+  auto copy = stmt->Clone();
+  EXPECT_EQ(copy->ToString(), stmt->ToString());
+  EXPECT_NE(copy->where.get(), stmt->where.get());
+}
+
+TEST(SqlParserTest, ToStringRoundTripParses) {
+  ASSERT_OK_AND_ASSIGN(
+      auto stmt,
+      ParseSelect("SELECT g, qm(x) q FROM t WHERE g >= 2 GROUP BY g "
+                  "ORDER BY g LIMIT 3"));
+  ASSERT_OK_AND_ASSIGN(auto again, ParseSelect(stmt->ToString()));
+  EXPECT_EQ(again->ToString(), stmt->ToString());
+}
+
+TEST(SqlParserTest, MissingFromFails) {
+  EXPECT_FALSE(ParseSelect("SELECT 1").ok());
+}
+
+TEST(SqlParserTest, MissingSelectFails) {
+  EXPECT_FALSE(ParseSelect("FROM t").ok());
+}
+
+TEST(SqlParserTest, NonIntegerLimitFails) {
+  EXPECT_FALSE(ParseSelect("SELECT sum(x) FROM t LIMIT 2.5").ok());
+}
+
+TEST(SqlParserTest, TrailingGarbageFails) {
+  EXPECT_FALSE(ParseSelect("SELECT sum(x) FROM t LIMIT 1 nonsense").ok());
+}
+
+TEST(SqlParserTest, GroupByExpressionRejected) {
+  EXPECT_FALSE(ParseSelect("SELECT sum(x) FROM t GROUP BY 1+2").ok());
+}
+
+}  // namespace
+}  // namespace sudaf

@@ -1,0 +1,138 @@
+// Tests for sudaf/symbolic: the l-bounded symbolic space, its size bound,
+// the precomputed digraph and its equivalence classes (Figures 4–5).
+
+#include <set>
+
+#include "common/rng.h"
+#include "gtest/gtest.h"
+#include "sudaf/symbolic.h"
+#include "tests/test_util.h"
+
+namespace sudaf {
+namespace {
+
+TEST(SymbolicSpaceTest, SizesMatchTheBound) {
+  // |saggs_l| = 2(4^{l+1}-1)/3 for the exact enumeration.
+  EXPECT_EQ(SymbolicSpace::Build(0).states().size(), 2u);
+  EXPECT_EQ(SymbolicSpace::Build(1).states().size(), 10u);
+  EXPECT_EQ(SymbolicSpace::Build(2).states().size(), 42u);
+}
+
+TEST(SymbolicSpaceTest, Level0HasSumAndProd) {
+  SymbolicSpace space = SymbolicSpace::Build(0);
+  std::set<std::string> names;
+  for (const SymbolicState& s : space.states()) names.insert(s.ToString());
+  EXPECT_TRUE(names.count("Σ x"));
+  EXPECT_TRUE(names.count("Π x"));
+}
+
+class SymbolicSpace2Test : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() { space_ = new SymbolicSpace(SymbolicSpace::Build(2)); }
+  static void TearDownTestSuite() {
+    delete space_;
+    space_ = nullptr;
+  }
+
+  int IndexOf(const std::string& name) {
+    for (size_t i = 0; i < space_->states().size(); ++i) {
+      if (space_->states()[i].ToString() == name) return static_cast<int>(i);
+    }
+    ADD_FAILURE() << "no symbolic state named " << name;
+    return -1;
+  }
+
+  static SymbolicSpace* space_;
+};
+
+SymbolicSpace* SymbolicSpace2Test::space_ = nullptr;
+
+TEST_F(SymbolicSpace2Test, SumXClassContainsLinearAndExpProducts) {
+  // Figure 4: [Σx] = {Σx, Σ p·x, Π p^x, ...}.
+  int base = IndexOf("Σ x");
+  int linear = IndexOf("Σ p1*(x)");
+  int prod_exp = IndexOf("Π p1^(x)");
+  ASSERT_GE(base, 0);
+  ASSERT_GE(linear, 0);
+  ASSERT_GE(prod_exp, 0);
+  EXPECT_EQ(space_->class_of()[base], space_->class_of()[linear]);
+  EXPECT_EQ(space_->class_of()[base], space_->class_of()[prod_exp]);
+}
+
+TEST_F(SymbolicSpace2Test, LogClassUnitesProductsAndSumLogs) {
+  int prod = IndexOf("Π x");
+  int sum_log = IndexOf("Σ log_p1(x)");
+  EXPECT_EQ(space_->class_of()[prod], space_->class_of()[sum_log]);
+}
+
+TEST_F(SymbolicSpace2Test, PowerSumsAreWeaklyRelated) {
+  // Σ x^p and Σ p2·x^p1 share under the tied-exponent condition — a weak
+  // edge, same class.
+  int pow = IndexOf("Σ (x)^p1");
+  int scaled = IndexOf("Σ p2*((x)^p1)");
+  EXPECT_EQ(space_->class_of()[pow], space_->class_of()[scaled]);
+  bool found_weak = false;
+  for (const SymbolicEdge& e : space_->edges()) {
+    if (e.from == scaled && e.to == pow && e.kind == EdgeKind::kWeak) {
+      found_weak = true;
+    }
+  }
+  EXPECT_TRUE(found_weak);
+}
+
+TEST_F(SymbolicSpace2Test, SumAndPowerSumsStayDistinct) {
+  int sum = IndexOf("Σ x");
+  int pow = IndexOf("Σ (x)^p1");
+  EXPECT_NE(space_->class_of()[sum], space_->class_of()[pow]);
+}
+
+TEST_F(SymbolicSpace2Test, RepresentativesHaveMinimalChains) {
+  for (int c = 0; c < space_->num_classes(); ++c) {
+    const SymbolicState& rep = space_->states()[space_->representative(c)];
+    for (size_t i = 0; i < space_->states().size(); ++i) {
+      if (space_->class_of()[i] == c) {
+        EXPECT_LE(rep.chain.size(), space_->states()[i].chain.size());
+      }
+    }
+  }
+}
+
+TEST_F(SymbolicSpace2Test, EveryEdgeIsNumericallySound) {
+  // For each digraph edge, instantiate both endpoints consistently with the
+  // edge's regime and verify the claimed sharing numerically.
+  Rng rng(31337);
+  const std::vector<double> tied = {2.5, 3.5, 1.75, 2.25};
+  const std::vector<double> free1 = {2.5, 3.5, 1.75, 2.25};
+  const std::vector<double> free2 = {4.2, 5.5, 3.25, 6.75};
+  int checked = 0;
+  for (const SymbolicEdge& e : space_->edges()) {
+    AggStateDef s1 = space_->states()[e.from].Instantiate(free1);
+    AggStateDef s2 = space_->states()[e.to].Instantiate(
+        e.kind == EdgeKind::kStrong ? free2 : tied);
+    std::optional<SharedComputation> r = Share(s1, s2);
+    ASSERT_TRUE(r.has_value())
+        << space_->states()[e.from].ToString() << " -> "
+        << space_->states()[e.to].ToString();
+    ++checked;
+  }
+  EXPECT_GT(checked, 40);  // the digraph is dense enough to be interesting
+}
+
+TEST_F(SymbolicSpace2Test, DescribeMentionsBoundAndClasses) {
+  std::string description = space_->Describe();
+  EXPECT_NE(description.find("42 states"), std::string::npos);
+  EXPECT_NE(description.find("equivalence classes"), std::string::npos);
+}
+
+TEST(SymbolicStateTest, InstantiateMatchesRendering) {
+  SymbolicState state{AggOp::kSum,
+                      {PrimitiveKind::kPower, PrimitiveKind::kLinear}};
+  EXPECT_EQ(state.ToString(), "Σ p2*((x)^p1)");
+  AggStateDef concrete = state.Instantiate({2.0, 3.0});
+  ASSERT_TRUE(concrete.norm.has_value());
+  EXPECT_EQ(concrete.norm->base.Key(), "x");
+  EXPECT_EQ(concrete.norm->shape.family, ShapeFamily::kPower);
+}
+
+}  // namespace
+}  // namespace sudaf

@@ -1,0 +1,156 @@
+// Tests for the hardcoded (IUME) UDAF library: each implementation against a
+// directly computed reference, plus the merge-correctness property that
+// distributed execution depends on.
+
+#include <cmath>
+#include <numeric>
+
+#include "agg/udaf.h"
+#include "common/rng.h"
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace sudaf {
+namespace {
+
+using testing_util::ExpectClose;
+
+class HardcodedUdafTest : public ::testing::Test {
+ protected:
+  void SetUp() override { RegisterHardcodedUdafs(&registry_); }
+
+  // Runs `name` over (x[, y]) row-at-a-time, single state.
+  double Run(const std::string& name, const std::vector<double>& x,
+             const std::vector<double>& y = {}) {
+    auto udaf_result = registry_.Get(name);
+    SUDAF_CHECK(udaf_result.ok());
+    const Udaf* udaf = *udaf_result;
+    std::vector<Value> state = udaf->Initialize();
+    for (size_t i = 0; i < x.size(); ++i) {
+      std::vector<Value> args = {Value(x[i])};
+      if (udaf->num_args() == 2) args.push_back(Value(y[i]));
+      udaf->Update(&state, args);
+    }
+    auto value = udaf->Evaluate(state);
+    SUDAF_CHECK(value.ok());
+    return value->AsDouble();
+  }
+
+  // Runs `name` split into two partitions merged with Udaf::Merge.
+  double RunMerged(const std::string& name, const std::vector<double>& x) {
+    auto udaf_result = registry_.Get(name);
+    SUDAF_CHECK(udaf_result.ok());
+    const Udaf* udaf = *udaf_result;
+    std::vector<Value> s1 = udaf->Initialize();
+    std::vector<Value> s2 = udaf->Initialize();
+    for (size_t i = 0; i < x.size(); ++i) {
+      udaf->Update(i % 2 == 0 ? &s1 : &s2, {Value(x[i])});
+    }
+    udaf->Merge(&s1, s2);
+    auto value = udaf->Evaluate(s1);
+    SUDAF_CHECK(value.ok());
+    return value->AsDouble();
+  }
+
+  UdafRegistry registry_;
+};
+
+const std::vector<double> kX = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+
+TEST_F(HardcodedUdafTest, SumCountAvgMinMax) {
+  ExpectClose(40.0, Run("sum", kX));
+  ExpectClose(8.0, Run("count", kX));
+  ExpectClose(5.0, Run("avg", kX));
+  ExpectClose(2.0, Run("min", kX));
+  ExpectClose(9.0, Run("max", kX));
+}
+
+TEST_F(HardcodedUdafTest, VarAndStddev) {
+  // Classic textbook multiset: population variance 4, stddev 2.
+  ExpectClose(4.0, Run("var", kX));
+  ExpectClose(2.0, Run("stddev", kX));
+}
+
+TEST_F(HardcodedUdafTest, PowerMeans) {
+  auto power_mean = [](const std::vector<double>& x, double p) {
+    double s = 0.0;
+    for (double v : x) s += std::pow(v, p);
+    return std::pow(s / x.size(), 1.0 / p);
+  };
+  ExpectClose(power_mean(kX, 2.0), Run("qm", kX));
+  ExpectClose(power_mean(kX, 3.0), Run("cm", kX));
+  ExpectClose(power_mean(kX, 4.0), Run("apm", kX));
+  ExpectClose(power_mean(kX, -1.0), Run("hm", kX));
+}
+
+TEST_F(HardcodedUdafTest, GeometricMean) {
+  double log_sum = 0.0;
+  for (double v : kX) log_sum += std::log(v);
+  ExpectClose(std::exp(log_sum / kX.size()), Run("gm", kX));
+}
+
+TEST_F(HardcodedUdafTest, GeometricMeanWithNegativesKeepsSign) {
+  // An even number of negatives: positive result; odd: negative.
+  ExpectClose(-2.0, Run("gm", {-2.0, 2.0, -2.0, -2.0, 2.0}), 1e-9);
+}
+
+TEST_F(HardcodedUdafTest, SkewnessAndKurtosis) {
+  auto moment = [](const std::vector<double>& x, int k) {
+    double mean = std::accumulate(x.begin(), x.end(), 0.0) / x.size();
+    double m = 0.0;
+    for (double v : x) m += std::pow(v - mean, k);
+    return m / x.size();
+  };
+  double var = moment(kX, 2);
+  ExpectClose(moment(kX, 3) / std::pow(var, 1.5), Run("skewness", kX), 1e-8);
+  ExpectClose(moment(kX, 4) / (var * var), Run("kurtosis", kX), 1e-8);
+}
+
+TEST_F(HardcodedUdafTest, Theta1MatchesLeastSquares) {
+  // y = 3x + 1 exactly => slope 3.
+  std::vector<double> x = {1, 2, 3, 4, 5};
+  std::vector<double> y = {4, 7, 10, 13, 16};
+  ExpectClose(3.0, Run("theta1", x, y));
+}
+
+TEST_F(HardcodedUdafTest, CovarianceAndCorrelation) {
+  std::vector<double> x = {1, 2, 3, 4};
+  std::vector<double> y = {2, 4, 6, 8};
+  ExpectClose(2.5, Run("covar", x, y));   // population covariance of x,2x
+  ExpectClose(1.0, Run("corr", x, y), 1e-9);
+}
+
+TEST_F(HardcodedUdafTest, LogSumExp) {
+  std::vector<double> x = {0.0, 1.0, 2.0};
+  double expected = std::log(std::exp(0.0) + std::exp(1.0) + std::exp(2.0));
+  ExpectClose(expected, Run("logsumexp", x));
+}
+
+// Merge must be equivalent to a single pass (the commutative/associative
+// contract the user is responsible for in real engines).
+class UdafMergeTest : public HardcodedUdafTest,
+                      public ::testing::WithParamInterface<const char*> {};
+
+TEST_P(UdafMergeTest, MergeEqualsSinglePass) {
+  Rng rng(99);
+  std::vector<double> x(257);
+  for (double& v : x) v = rng.NextDoubleIn(0.5, 9.5);
+  ExpectClose(Run(GetParam(), x), RunMerged(GetParam(), x), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSingleColumnUdafs, UdafMergeTest,
+    ::testing::Values("sum", "count", "avg", "min", "max", "var", "stddev",
+                      "qm", "cm", "apm", "hm", "gm", "skewness", "kurtosis",
+                      "logsumexp"));
+
+TEST_F(HardcodedUdafTest, RegistryRejectsDuplicates) {
+  UdafRegistry fresh;
+  RegisterHardcodedUdafs(&fresh);
+  EXPECT_FALSE(fresh.Get("no_such_udaf").ok());
+  EXPECT_TRUE(fresh.Has("qm"));
+  EXPECT_GE(fresh.Names().size(), 15u);
+}
+
+}  // namespace
+}  // namespace sudaf

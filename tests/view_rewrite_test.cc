@@ -1,0 +1,175 @@
+// Tests for sudaf/view_rewrite: materialized partial-aggregate views and
+// rollup rewriting (the Q3 / RQ3' experiment).
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "gtest/gtest.h"
+#include "sudaf/view_rewrite.h"
+#include "tests/test_util.h"
+
+namespace sudaf {
+namespace {
+
+using testing_util::ExpectClose;
+
+class ViewRewriteTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // fact(item INT64, year INT64, price FLOAT64) + item_dim(ik, cat).
+    Schema fact_schema;
+    ASSERT_OK(fact_schema.AddField({"item", DataType::kInt64}));
+    ASSERT_OK(fact_schema.AddField({"year", DataType::kInt64}));
+    ASSERT_OK(fact_schema.AddField({"price", DataType::kFloat64}));
+    auto fact = std::make_unique<Table>(std::move(fact_schema));
+    Rng rng(555);
+    for (int i = 0; i < 500; ++i) {
+      fact->column(0).AppendInt64(1 + rng.NextBelow(20));
+      fact->column(1).AppendInt64(1998 + rng.NextBelow(5));
+      fact->column(2).AppendFloat64(rng.NextDoubleIn(1.0, 100.0));
+    }
+    fact->FinishBulkAppend();
+
+    Schema dim_schema;
+    ASSERT_OK(dim_schema.AddField({"ik", DataType::kInt64}));
+    ASSERT_OK(dim_schema.AddField({"cat", DataType::kString}));
+    auto dim = std::make_unique<Table>(std::move(dim_schema));
+    for (int i = 0; i < 20; ++i) {
+      dim->column(0).AppendInt64(i + 1);
+      dim->column(1).AppendString(i % 4 == 0 ? "Sports" : "Other");
+    }
+    dim->FinishBulkAppend();
+
+    catalog_.PutTable("fact", std::move(fact));
+    catalog_.PutTable("item_dim", std::move(dim));
+    session_ = std::make_unique<SudafSession>(&catalog_);
+  }
+
+  Catalog catalog_;
+  std::unique_ptr<SudafSession> session_;
+};
+
+TEST_F(ViewRewriteTest, MaterializedViewHoldsStatesPerGroup) {
+  ASSERT_OK_AND_ASSIGN(
+      AggregateView view,
+      MaterializeAggregateView(
+          session_.get(), "v1",
+          "SELECT item, year, count(), sum(price), sum(price^2) "
+          "FROM fact GROUP BY item, year"));
+  EXPECT_EQ(view.num_key_columns, 2);
+  EXPECT_EQ(view.states.size(), 3u);
+  EXPECT_GT(view.data->num_rows(), 0);
+  EXPECT_EQ(view.data->num_columns(), 5);
+}
+
+TEST_F(ViewRewriteTest, RollupMatchesDirectExecution) {
+  // The paper's RQ3' scenario: coarser grouping + extra dimension join +
+  // extra filters answered from the view only.
+  ASSERT_OK_AND_ASSIGN(
+      AggregateView view,
+      MaterializeAggregateView(
+          session_.get(), "v1",
+          "SELECT item, year, count(), sum(price), sum(price^2) "
+          "FROM fact GROUP BY item, year"));
+  const std::string q3 =
+      "SELECT year, qm(price), stddev(price) FROM fact, item_dim "
+      "WHERE item = ik AND cat = 'Sports' AND year >= 2000 "
+      "GROUP BY year ORDER BY year";
+  ASSERT_OK_AND_ASSIGN(auto direct,
+                       session_->Execute(q3, ExecMode::kSudafNoShare));
+  ASSERT_OK_AND_ASSIGN(auto via_view,
+                       ExecuteWithView(session_.get(), view, q3));
+  ASSERT_EQ(direct->num_rows(), via_view->num_rows());
+  for (int64_t r = 0; r < direct->num_rows(); ++r) {
+    for (int c = 0; c < direct->num_columns(); ++c) {
+      ExpectClose(direct->column(c).GetNumeric(r),
+                  via_view->column(c).GetNumeric(r), 1e-9);
+    }
+  }
+}
+
+TEST_F(ViewRewriteTest, RollupAppliesRAfterViewSideMerge) {
+  // The query wants Σ 4·price² — shareable from the view's Σ price² with
+  // r(x) = 4x, applied after rollup (r commutes with ⊕).
+  ASSERT_OK_AND_ASSIGN(
+      AggregateView view,
+      MaterializeAggregateView(session_.get(), "v1",
+                               "SELECT year, sum(price^2) FROM fact "
+                               "GROUP BY year"));
+  const std::string q = "SELECT year, sum(4*price^2) FROM fact "
+                        "GROUP BY year ORDER BY year";
+  ASSERT_OK_AND_ASSIGN(auto direct,
+                       session_->Execute(q, ExecMode::kSudafNoShare));
+  ASSERT_OK_AND_ASSIGN(auto via_view,
+                       ExecuteWithView(session_.get(), view, q));
+  for (int64_t r = 0; r < direct->num_rows(); ++r) {
+    ExpectClose(direct->column(1).GetNumeric(r),
+                via_view->column(1).GetNumeric(r), 1e-9);
+  }
+}
+
+TEST_F(ViewRewriteTest, CrossOpRollup) {
+  // View materializes Σ ln(price); the query's gm = e^(Σln/n) needs Σ ln
+  // and count, both rolled up from the view.
+  ASSERT_OK_AND_ASSIGN(
+      AggregateView view,
+      MaterializeAggregateView(
+          session_.get(), "v1",
+          "SELECT item, year, count(), sum(ln(price)) FROM fact "
+          "GROUP BY item, year"));
+  const std::string q =
+      "SELECT year, gm(price) FROM fact GROUP BY year ORDER BY year";
+  ASSERT_OK_AND_ASSIGN(auto direct,
+                       session_->Execute(q, ExecMode::kSudafNoShare));
+  ASSERT_OK_AND_ASSIGN(auto via_view,
+                       ExecuteWithView(session_.get(), view, q));
+  for (int64_t r = 0; r < direct->num_rows(); ++r) {
+    ExpectClose(direct->column(1).GetNumeric(r),
+                via_view->column(1).GetNumeric(r), 1e-8);
+  }
+}
+
+TEST_F(ViewRewriteTest, RejectsCoarserView) {
+  // View grouped by year only cannot answer a per-item query.
+  ASSERT_OK_AND_ASSIGN(
+      AggregateView view,
+      MaterializeAggregateView(session_.get(), "v1",
+                               "SELECT year, sum(price) FROM fact "
+                               "GROUP BY year"));
+  auto result = ExecuteWithView(
+      session_.get(), view,
+      "SELECT item, sum(price) FROM fact GROUP BY item");
+  EXPECT_FALSE(result.ok());
+}
+
+TEST_F(ViewRewriteTest, RejectsMissingViewPredicate) {
+  // The view filters year >= 2000 but the query does not: the view is too
+  // narrow.
+  ASSERT_OK_AND_ASSIGN(
+      AggregateView view,
+      MaterializeAggregateView(session_.get(), "v1",
+                               "SELECT year, sum(price) FROM fact "
+                               "WHERE year >= 2000 GROUP BY year"));
+  auto result = ExecuteWithView(
+      session_.get(), view,
+      "SELECT year, sum(price) FROM fact GROUP BY year");
+  EXPECT_FALSE(result.ok());
+}
+
+TEST_F(ViewRewriteTest, RejectsUnshareableStates) {
+  // theta1 results (final values) are useless for qm/stddev — the VQ1
+  // observation of Section 2. A view of final UDAF values cannot serve
+  // states it does not share.
+  ASSERT_OK_AND_ASSIGN(
+      AggregateView view,
+      MaterializeAggregateView(session_.get(), "v1",
+                               "SELECT year, sum(price) FROM fact "
+                               "GROUP BY year"));
+  auto result = ExecuteWithView(
+      session_.get(), view,
+      "SELECT year, qm(price) FROM fact GROUP BY year");
+  EXPECT_FALSE(result.ok());  // Σprice² is not computable from Σprice
+}
+
+}  // namespace
+}  // namespace sudaf
