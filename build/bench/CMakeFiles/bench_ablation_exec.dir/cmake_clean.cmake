@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_exec.dir/bench_ablation_exec.cc.o"
+  "CMakeFiles/bench_ablation_exec.dir/bench_ablation_exec.cc.o.d"
+  "bench_ablation_exec"
+  "bench_ablation_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_chunks.dir/bench_ext_chunks.cc.o"
+  "CMakeFiles/bench_ext_chunks.dir/bench_ext_chunks.cc.o.d"
+  "bench_ext_chunks"
+  "bench_ext_chunks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_chunks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_sequences_spark.dir/bench_fig7_sequences_spark.cc.o"
+  "CMakeFiles/bench_fig7_sequences_spark.dir/bench_fig7_sequences_spark.cc.o.d"
+  "bench_fig7_sequences_spark"
+  "bench_fig7_sequences_spark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_sequences_spark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_perquery_spark.dir/bench_fig9_perquery_spark.cc.o"
+  "CMakeFiles/bench_fig9_perquery_spark.dir/bench_fig9_perquery_spark.cc.o.d"
+  "bench_fig9_perquery_spark"
+  "bench_fig9_perquery_spark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_perquery_spark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

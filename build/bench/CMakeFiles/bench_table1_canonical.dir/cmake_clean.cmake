@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_canonical.dir/bench_table1_canonical.cc.o"
+  "CMakeFiles/bench_table1_canonical.dir/bench_table1_canonical.cc.o.d"
+  "bench_table1_canonical"
+  "bench_table1_canonical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_canonical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

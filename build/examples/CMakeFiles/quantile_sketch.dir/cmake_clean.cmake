@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quantile_sketch.dir/quantile_sketch.cc.o"
+  "CMakeFiles/quantile_sketch.dir/quantile_sketch.cc.o.d"
+  "quantile_sketch"
+  "quantile_sketch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quantile_sketch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

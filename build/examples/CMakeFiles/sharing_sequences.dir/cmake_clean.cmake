@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sharing_sequences.dir/sharing_sequences.cc.o"
+  "CMakeFiles/sharing_sequences.dir/sharing_sequences.cc.o.d"
+  "sharing_sequences"
+  "sharing_sequences.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sharing_sequences.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

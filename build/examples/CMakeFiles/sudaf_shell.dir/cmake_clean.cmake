@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sudaf_shell.dir/sudaf_shell.cc.o"
+  "CMakeFiles/sudaf_shell.dir/sudaf_shell.cc.o.d"
+  "sudaf_shell"
+  "sudaf_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sudaf_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

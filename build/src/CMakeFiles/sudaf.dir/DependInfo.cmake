@@ -1,0 +1,56 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/agg/builtin_kernels.cc" "src/CMakeFiles/sudaf.dir/agg/builtin_kernels.cc.o" "gcc" "src/CMakeFiles/sudaf.dir/agg/builtin_kernels.cc.o.d"
+  "/root/repo/src/agg/hardcoded_udafs.cc" "src/CMakeFiles/sudaf.dir/agg/hardcoded_udafs.cc.o" "gcc" "src/CMakeFiles/sudaf.dir/agg/hardcoded_udafs.cc.o.d"
+  "/root/repo/src/agg/interpreted_udaf.cc" "src/CMakeFiles/sudaf.dir/agg/interpreted_udaf.cc.o" "gcc" "src/CMakeFiles/sudaf.dir/agg/interpreted_udaf.cc.o.d"
+  "/root/repo/src/agg/udaf.cc" "src/CMakeFiles/sudaf.dir/agg/udaf.cc.o" "gcc" "src/CMakeFiles/sudaf.dir/agg/udaf.cc.o.d"
+  "/root/repo/src/bench_support/workload.cc" "src/CMakeFiles/sudaf.dir/bench_support/workload.cc.o" "gcc" "src/CMakeFiles/sudaf.dir/bench_support/workload.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/sudaf.dir/common/status.cc.o" "gcc" "src/CMakeFiles/sudaf.dir/common/status.cc.o.d"
+  "/root/repo/src/common/value.cc" "src/CMakeFiles/sudaf.dir/common/value.cc.o" "gcc" "src/CMakeFiles/sudaf.dir/common/value.cc.o.d"
+  "/root/repo/src/datagen/milan_like.cc" "src/CMakeFiles/sudaf.dir/datagen/milan_like.cc.o" "gcc" "src/CMakeFiles/sudaf.dir/datagen/milan_like.cc.o.d"
+  "/root/repo/src/datagen/tpcds_like.cc" "src/CMakeFiles/sudaf.dir/datagen/tpcds_like.cc.o" "gcc" "src/CMakeFiles/sudaf.dir/datagen/tpcds_like.cc.o.d"
+  "/root/repo/src/engine/aggregation.cc" "src/CMakeFiles/sudaf.dir/engine/aggregation.cc.o" "gcc" "src/CMakeFiles/sudaf.dir/engine/aggregation.cc.o.d"
+  "/root/repo/src/engine/executor.cc" "src/CMakeFiles/sudaf.dir/engine/executor.cc.o" "gcc" "src/CMakeFiles/sudaf.dir/engine/executor.cc.o.d"
+  "/root/repo/src/engine/hash_join.cc" "src/CMakeFiles/sudaf.dir/engine/hash_join.cc.o" "gcc" "src/CMakeFiles/sudaf.dir/engine/hash_join.cc.o.d"
+  "/root/repo/src/engine/plan.cc" "src/CMakeFiles/sudaf.dir/engine/plan.cc.o" "gcc" "src/CMakeFiles/sudaf.dir/engine/plan.cc.o.d"
+  "/root/repo/src/expr/evaluator.cc" "src/CMakeFiles/sudaf.dir/expr/evaluator.cc.o" "gcc" "src/CMakeFiles/sudaf.dir/expr/evaluator.cc.o.d"
+  "/root/repo/src/expr/expr.cc" "src/CMakeFiles/sudaf.dir/expr/expr.cc.o" "gcc" "src/CMakeFiles/sudaf.dir/expr/expr.cc.o.d"
+  "/root/repo/src/expr/lexer.cc" "src/CMakeFiles/sudaf.dir/expr/lexer.cc.o" "gcc" "src/CMakeFiles/sudaf.dir/expr/lexer.cc.o.d"
+  "/root/repo/src/expr/parser.cc" "src/CMakeFiles/sudaf.dir/expr/parser.cc.o" "gcc" "src/CMakeFiles/sudaf.dir/expr/parser.cc.o.d"
+  "/root/repo/src/expr/token.cc" "src/CMakeFiles/sudaf.dir/expr/token.cc.o" "gcc" "src/CMakeFiles/sudaf.dir/expr/token.cc.o.d"
+  "/root/repo/src/sketch/maxent_solver.cc" "src/CMakeFiles/sudaf.dir/sketch/maxent_solver.cc.o" "gcc" "src/CMakeFiles/sudaf.dir/sketch/maxent_solver.cc.o.d"
+  "/root/repo/src/sketch/moment_sketch.cc" "src/CMakeFiles/sudaf.dir/sketch/moment_sketch.cc.o" "gcc" "src/CMakeFiles/sudaf.dir/sketch/moment_sketch.cc.o.d"
+  "/root/repo/src/sql/sql_parser.cc" "src/CMakeFiles/sudaf.dir/sql/sql_parser.cc.o" "gcc" "src/CMakeFiles/sudaf.dir/sql/sql_parser.cc.o.d"
+  "/root/repo/src/sql/statement.cc" "src/CMakeFiles/sudaf.dir/sql/statement.cc.o" "gcc" "src/CMakeFiles/sudaf.dir/sql/statement.cc.o.d"
+  "/root/repo/src/storage/catalog.cc" "src/CMakeFiles/sudaf.dir/storage/catalog.cc.o" "gcc" "src/CMakeFiles/sudaf.dir/storage/catalog.cc.o.d"
+  "/root/repo/src/storage/column.cc" "src/CMakeFiles/sudaf.dir/storage/column.cc.o" "gcc" "src/CMakeFiles/sudaf.dir/storage/column.cc.o.d"
+  "/root/repo/src/storage/csv.cc" "src/CMakeFiles/sudaf.dir/storage/csv.cc.o" "gcc" "src/CMakeFiles/sudaf.dir/storage/csv.cc.o.d"
+  "/root/repo/src/storage/schema.cc" "src/CMakeFiles/sudaf.dir/storage/schema.cc.o" "gcc" "src/CMakeFiles/sudaf.dir/storage/schema.cc.o.d"
+  "/root/repo/src/storage/table.cc" "src/CMakeFiles/sudaf.dir/storage/table.cc.o" "gcc" "src/CMakeFiles/sudaf.dir/storage/table.cc.o.d"
+  "/root/repo/src/sudaf/cache.cc" "src/CMakeFiles/sudaf.dir/sudaf/cache.cc.o" "gcc" "src/CMakeFiles/sudaf.dir/sudaf/cache.cc.o.d"
+  "/root/repo/src/sudaf/canonical.cc" "src/CMakeFiles/sudaf.dir/sudaf/canonical.cc.o" "gcc" "src/CMakeFiles/sudaf.dir/sudaf/canonical.cc.o.d"
+  "/root/repo/src/sudaf/chunked.cc" "src/CMakeFiles/sudaf.dir/sudaf/chunked.cc.o" "gcc" "src/CMakeFiles/sudaf.dir/sudaf/chunked.cc.o.d"
+  "/root/repo/src/sudaf/normalize.cc" "src/CMakeFiles/sudaf.dir/sudaf/normalize.cc.o" "gcc" "src/CMakeFiles/sudaf.dir/sudaf/normalize.cc.o.d"
+  "/root/repo/src/sudaf/primitives.cc" "src/CMakeFiles/sudaf.dir/sudaf/primitives.cc.o" "gcc" "src/CMakeFiles/sudaf.dir/sudaf/primitives.cc.o.d"
+  "/root/repo/src/sudaf/rewriter.cc" "src/CMakeFiles/sudaf.dir/sudaf/rewriter.cc.o" "gcc" "src/CMakeFiles/sudaf.dir/sudaf/rewriter.cc.o.d"
+  "/root/repo/src/sudaf/session.cc" "src/CMakeFiles/sudaf.dir/sudaf/session.cc.o" "gcc" "src/CMakeFiles/sudaf.dir/sudaf/session.cc.o.d"
+  "/root/repo/src/sudaf/shape.cc" "src/CMakeFiles/sudaf.dir/sudaf/shape.cc.o" "gcc" "src/CMakeFiles/sudaf.dir/sudaf/shape.cc.o.d"
+  "/root/repo/src/sudaf/sharing.cc" "src/CMakeFiles/sudaf.dir/sudaf/sharing.cc.o" "gcc" "src/CMakeFiles/sudaf.dir/sudaf/sharing.cc.o.d"
+  "/root/repo/src/sudaf/symbolic.cc" "src/CMakeFiles/sudaf.dir/sudaf/symbolic.cc.o" "gcc" "src/CMakeFiles/sudaf.dir/sudaf/symbolic.cc.o.d"
+  "/root/repo/src/sudaf/view_rewrite.cc" "src/CMakeFiles/sudaf.dir/sudaf/view_rewrite.cc.o" "gcc" "src/CMakeFiles/sudaf.dir/sudaf/view_rewrite.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,47 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cache_test.cc" "tests/CMakeFiles/sudaf_tests.dir/cache_test.cc.o" "gcc" "tests/CMakeFiles/sudaf_tests.dir/cache_test.cc.o.d"
+  "/root/repo/tests/canonical_test.cc" "tests/CMakeFiles/sudaf_tests.dir/canonical_test.cc.o" "gcc" "tests/CMakeFiles/sudaf_tests.dir/canonical_test.cc.o.d"
+  "/root/repo/tests/chunked_test.cc" "tests/CMakeFiles/sudaf_tests.dir/chunked_test.cc.o" "gcc" "tests/CMakeFiles/sudaf_tests.dir/chunked_test.cc.o.d"
+  "/root/repo/tests/common_test.cc" "tests/CMakeFiles/sudaf_tests.dir/common_test.cc.o" "gcc" "tests/CMakeFiles/sudaf_tests.dir/common_test.cc.o.d"
+  "/root/repo/tests/csv_test.cc" "tests/CMakeFiles/sudaf_tests.dir/csv_test.cc.o" "gcc" "tests/CMakeFiles/sudaf_tests.dir/csv_test.cc.o.d"
+  "/root/repo/tests/datagen_test.cc" "tests/CMakeFiles/sudaf_tests.dir/datagen_test.cc.o" "gcc" "tests/CMakeFiles/sudaf_tests.dir/datagen_test.cc.o.d"
+  "/root/repo/tests/edge_test.cc" "tests/CMakeFiles/sudaf_tests.dir/edge_test.cc.o" "gcc" "tests/CMakeFiles/sudaf_tests.dir/edge_test.cc.o.d"
+  "/root/repo/tests/engine_test.cc" "tests/CMakeFiles/sudaf_tests.dir/engine_test.cc.o" "gcc" "tests/CMakeFiles/sudaf_tests.dir/engine_test.cc.o.d"
+  "/root/repo/tests/expr_test.cc" "tests/CMakeFiles/sudaf_tests.dir/expr_test.cc.o" "gcc" "tests/CMakeFiles/sudaf_tests.dir/expr_test.cc.o.d"
+  "/root/repo/tests/having_test.cc" "tests/CMakeFiles/sudaf_tests.dir/having_test.cc.o" "gcc" "tests/CMakeFiles/sudaf_tests.dir/having_test.cc.o.d"
+  "/root/repo/tests/interpreted_udaf_test.cc" "tests/CMakeFiles/sudaf_tests.dir/interpreted_udaf_test.cc.o" "gcc" "tests/CMakeFiles/sudaf_tests.dir/interpreted_udaf_test.cc.o.d"
+  "/root/repo/tests/kernels_test.cc" "tests/CMakeFiles/sudaf_tests.dir/kernels_test.cc.o" "gcc" "tests/CMakeFiles/sudaf_tests.dir/kernels_test.cc.o.d"
+  "/root/repo/tests/misc_test.cc" "tests/CMakeFiles/sudaf_tests.dir/misc_test.cc.o" "gcc" "tests/CMakeFiles/sudaf_tests.dir/misc_test.cc.o.d"
+  "/root/repo/tests/normalize_test.cc" "tests/CMakeFiles/sudaf_tests.dir/normalize_test.cc.o" "gcc" "tests/CMakeFiles/sudaf_tests.dir/normalize_test.cc.o.d"
+  "/root/repo/tests/plan_test.cc" "tests/CMakeFiles/sudaf_tests.dir/plan_test.cc.o" "gcc" "tests/CMakeFiles/sudaf_tests.dir/plan_test.cc.o.d"
+  "/root/repo/tests/predicate_test.cc" "tests/CMakeFiles/sudaf_tests.dir/predicate_test.cc.o" "gcc" "tests/CMakeFiles/sudaf_tests.dir/predicate_test.cc.o.d"
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/sudaf_tests.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/sudaf_tests.dir/property_test.cc.o.d"
+  "/root/repo/tests/rewriter_test.cc" "tests/CMakeFiles/sudaf_tests.dir/rewriter_test.cc.o" "gcc" "tests/CMakeFiles/sudaf_tests.dir/rewriter_test.cc.o.d"
+  "/root/repo/tests/session_test.cc" "tests/CMakeFiles/sudaf_tests.dir/session_test.cc.o" "gcc" "tests/CMakeFiles/sudaf_tests.dir/session_test.cc.o.d"
+  "/root/repo/tests/shape_test.cc" "tests/CMakeFiles/sudaf_tests.dir/shape_test.cc.o" "gcc" "tests/CMakeFiles/sudaf_tests.dir/shape_test.cc.o.d"
+  "/root/repo/tests/share_matrix_test.cc" "tests/CMakeFiles/sudaf_tests.dir/share_matrix_test.cc.o" "gcc" "tests/CMakeFiles/sudaf_tests.dir/share_matrix_test.cc.o.d"
+  "/root/repo/tests/sharing_test.cc" "tests/CMakeFiles/sudaf_tests.dir/sharing_test.cc.o" "gcc" "tests/CMakeFiles/sudaf_tests.dir/sharing_test.cc.o.d"
+  "/root/repo/tests/sketch_test.cc" "tests/CMakeFiles/sudaf_tests.dir/sketch_test.cc.o" "gcc" "tests/CMakeFiles/sudaf_tests.dir/sketch_test.cc.o.d"
+  "/root/repo/tests/sql_test.cc" "tests/CMakeFiles/sudaf_tests.dir/sql_test.cc.o" "gcc" "tests/CMakeFiles/sudaf_tests.dir/sql_test.cc.o.d"
+  "/root/repo/tests/storage_test.cc" "tests/CMakeFiles/sudaf_tests.dir/storage_test.cc.o" "gcc" "tests/CMakeFiles/sudaf_tests.dir/storage_test.cc.o.d"
+  "/root/repo/tests/symbolic_test.cc" "tests/CMakeFiles/sudaf_tests.dir/symbolic_test.cc.o" "gcc" "tests/CMakeFiles/sudaf_tests.dir/symbolic_test.cc.o.d"
+  "/root/repo/tests/udaf_test.cc" "tests/CMakeFiles/sudaf_tests.dir/udaf_test.cc.o" "gcc" "tests/CMakeFiles/sudaf_tests.dir/udaf_test.cc.o.d"
+  "/root/repo/tests/view_rewrite_test.cc" "tests/CMakeFiles/sudaf_tests.dir/view_rewrite_test.cc.o" "gcc" "tests/CMakeFiles/sudaf_tests.dir/view_rewrite_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sudaf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
