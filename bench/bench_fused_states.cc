@@ -1,0 +1,229 @@
+// Fused vs. legacy multi-state grouped aggregation.
+//
+// The SUDAF rewrite turns one UDAF into several aggregation states over the
+// same scan. The legacy executor pays per state: one full-column
+// materialization of f_j(x) (std::pow per row for power sums) plus one
+// grouped pass. The fused StateBatch executor pays once: a single
+// morsel-driven pass that evaluates a shared expression DAG (power chains
+// x^2 → x^3 → x^4 strength-reduced onto each other) and accumulates every
+// state into cache-resident per-worker blocks.
+//
+// Three sweeps, written to BENCH_fused_states.json:
+//   * states 1..16 (power sums) at 1M rows, single-threaded;
+//   * rows 1M..10M for the 5-state kurtosis set, single-threaded;
+//   * threads 1..8 for the 5-state set at 4M rows (morsel-parallel).
+// The kurtosis entry doubles as the acceptance gate: fused must be >= 2x
+// the legacy path at 1M rows single-threaded.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "agg/builtin_kernels.h"
+#include "common/rng.h"
+#include "common/timer.h"
+#include "engine/aggregation.h"
+#include "engine/state_batch.h"
+#include "expr/evaluator.h"
+#include "expr/parser.h"
+#include "storage/column.h"
+#include "sudaf/session.h"
+
+using namespace sudaf;  // NOLINT — bench brevity
+
+namespace {
+
+constexpr int32_t kGroups = 100;
+
+struct Data {
+  Column x{DataType::kFloat64};
+  std::vector<int32_t> gids;
+
+  explicit Data(int64_t n) {
+    Rng rng(7);
+    gids.resize(n);
+    x.Reserve(n);
+    for (int64_t i = 0; i < n; ++i) {
+      x.AppendFloat64(rng.NextDoubleIn(0.5, 9.5));
+      gids[i] = static_cast<int32_t>(rng.NextBelow(kGroups));
+    }
+  }
+
+  ColumnResolver Resolver() const {
+    return [this](const std::string& name) -> Result<const Column*> {
+      if (name == "x") return &x;
+      return Status::InvalidArgument("no column " + name);
+    };
+  }
+};
+
+// The k power-sum states sum(x^1) .. sum(x^k); with_count prepends count()
+// (the kurtosis shape: n, s1, s2, s3, s4).
+std::vector<ExprPtr> MakeInputs(int k) {
+  std::vector<ExprPtr> inputs;
+  for (int j = 1; j <= k; ++j) {
+    auto parsed = ParseExpression(j == 1 ? "x" : "x^" + std::to_string(j));
+    SUDAF_CHECK_MSG(parsed.ok(), parsed.status().ToString());
+    inputs.push_back(std::move(*parsed));
+  }
+  return inputs;
+}
+
+double TimeLegacy(const Data& data, const std::vector<ExprPtr>& inputs,
+                  bool with_count) {
+  ExecOptions opts;
+  opts.use_fused = false;
+  ColumnResolver resolver = data.Resolver();
+  double t0 = NowMs();
+  double sink = 0;
+  if (with_count) {
+    std::vector<double> cnt = ComputeGroupedState(
+        AggOp::kCount, {}, data.gids, kGroups, opts);
+    sink += cnt[0];
+  }
+  for (const ExprPtr& input : inputs) {
+    auto in = EvalNumericVector(*input, resolver,
+                                static_cast<int64_t>(data.gids.size()));
+    SUDAF_CHECK_MSG(in.ok(), in.status().ToString());
+    std::vector<double> out =
+        ComputeGroupedState(AggOp::kSum, *in, data.gids, kGroups, opts);
+    sink += out[0];
+  }
+  double ms = NowMs() - t0;
+  if (sink == 42.0) std::printf("");  // keep the work observable
+  return ms;
+}
+
+double TimeFused(const Data& data, const std::vector<ExprPtr>& inputs,
+                 bool with_count, int threads, StateBatchStats* stats) {
+  ExecOptions opts;
+  opts.parallel = threads > 1;
+  opts.num_threads = threads;
+  std::vector<StateBatchRequest> requests;
+  if (with_count) requests.push_back({AggOp::kCount, nullptr});
+  for (const ExprPtr& input : inputs) {
+    requests.push_back({AggOp::kSum, input.get()});
+  }
+  double t0 = NowMs();
+  auto result = ComputeStateBatch(requests, data.Resolver(), data.gids,
+                                  kGroups, opts, stats);
+  double ms = NowMs() - t0;
+  SUDAF_CHECK_MSG(result.ok(), result.status().ToString());
+  return ms;
+}
+
+template <typename F>
+double Best(int reps, F&& run) {
+  double best = run();
+  for (int r = 1; r < reps; ++r) best = std::min(best, run());
+  return best;
+}
+
+int RepsFor(int64_t rows) {
+  return rows <= 1'000'000 ? 5 : rows <= 4'000'000 ? 3 : 1;
+}
+
+}  // namespace
+
+int main() {
+  FILE* json = std::fopen("BENCH_fused_states.json", "w");
+  SUDAF_CHECK_MSG(json != nullptr, "cannot open BENCH_fused_states.json");
+  std::fprintf(json, "{\n  \"groups\": %d,\n", kGroups);
+
+  // Sweep 1: number of states at 1M rows, single-threaded.
+  std::printf("power-sum states at 1M rows, single-threaded\n");
+  std::printf("%8s %12s %12s %10s %8s %8s\n", "states", "legacy (ms)",
+              "fused (ms)", "speedup", "slots", "shared");
+  std::fprintf(json, "  \"state_sweep\": [\n");
+  {
+    Data data(1'000'000);
+    const int reps = RepsFor(1'000'000);
+    bool first = true;
+    for (int k : {1, 2, 3, 4, 5, 6, 8, 10, 12, 16}) {
+      std::vector<ExprPtr> inputs = MakeInputs(k);
+      double legacy =
+          Best(reps, [&] { return TimeLegacy(data, inputs, false); });
+      StateBatchStats stats;
+      double fused =
+          Best(reps, [&] { return TimeFused(data, inputs, false, 1, &stats); });
+      std::printf("%8d %12.2f %12.2f %9.2fx %8d %8d\n", k, legacy, fused,
+                  legacy / fused, stats.num_slots, stats.num_shared_slots);
+      std::fprintf(json,
+                   "%s    {\"states\": %d, \"legacy_ms\": %.3f, "
+                   "\"fused_ms\": %.3f, \"speedup\": %.3f, \"slots\": %d, "
+                   "\"shared_slots\": %d}",
+                   first ? "" : ",\n", k, legacy, fused, legacy / fused,
+                   stats.num_slots, stats.num_shared_slots);
+      first = false;
+    }
+    std::fprintf(json, "\n  ],\n");
+  }
+
+  // Sweep 2: rows for the kurtosis state set (count, x, x^2, x^3, x^4).
+  std::printf("\nkurtosis states (n, s1..s4) vs. rows, single-threaded\n");
+  std::printf("%12s %12s %12s %10s\n", "rows", "legacy (ms)", "fused (ms)",
+              "speedup");
+  std::fprintf(json, "  \"row_sweep\": [\n");
+  double kurtosis_1m_speedup = 0;
+  {
+    std::vector<ExprPtr> inputs = MakeInputs(4);
+    bool first = true;
+    for (int64_t rows : {1'000'000, 2'000'000, 4'000'000, 10'000'000}) {
+      Data data(rows);
+      const int reps = RepsFor(rows);
+      double legacy =
+          Best(reps, [&] { return TimeLegacy(data, inputs, true); });
+      double fused =
+          Best(reps, [&] { return TimeFused(data, inputs, true, 1, nullptr); });
+      if (rows == 1'000'000) kurtosis_1m_speedup = legacy / fused;
+      std::printf("%12lld %12.2f %12.2f %9.2fx\n",
+                  static_cast<long long>(rows), legacy, fused,
+                  legacy / fused);
+      std::fprintf(json,
+                   "%s    {\"rows\": %lld, \"legacy_ms\": %.3f, "
+                   "\"fused_ms\": %.3f, \"speedup\": %.3f}",
+                   first ? "" : ",\n", static_cast<long long>(rows), legacy,
+                   fused, legacy / fused);
+      first = false;
+    }
+    std::fprintf(json, "\n  ],\n");
+  }
+
+  // Sweep 3: fused thread scaling, kurtosis set at 4M rows.
+  std::printf("\nfused thread sweep, kurtosis states at 4M rows\n");
+  std::printf("%8s %12s %10s %8s\n", "threads", "fused (ms)", "vs 1T",
+              "morsels");
+  std::fprintf(json, "  \"thread_sweep\": [\n");
+  {
+    std::vector<ExprPtr> inputs = MakeInputs(4);
+    Data data(4'000'000);
+    const int reps = RepsFor(4'000'000);
+    double base = 0;
+    bool first = true;
+    for (int threads : {1, 2, 4, 8}) {
+      StateBatchStats stats;
+      double fused = Best(
+          reps, [&] { return TimeFused(data, inputs, true, threads, &stats); });
+      if (threads == 1) base = fused;
+      std::printf("%8d %12.2f %9.2fx %8lld\n", threads, fused, base / fused,
+                  static_cast<long long>(stats.morsels));
+      std::fprintf(json,
+                   "%s    {\"threads\": %d, \"fused_ms\": %.3f, "
+                   "\"speedup_vs_1t\": %.3f, \"threads_used\": %d}",
+                   first ? "" : ",\n", threads, fused, base / fused,
+                   stats.threads_used);
+      first = false;
+    }
+    std::fprintf(json, "\n  ],\n");
+  }
+
+  std::fprintf(json, "  \"kurtosis_1m_speedup\": %.3f\n}\n",
+               kurtosis_1m_speedup);
+  std::fclose(json);
+  std::printf(
+      "\nkurtosis @ 1M rows single-threaded: fused is %.2fx the legacy "
+      "path\nwrote BENCH_fused_states.json\n",
+      kurtosis_1m_speedup);
+  return kurtosis_1m_speedup >= 2.0 ? 0 : 1;
+}

@@ -64,29 +64,34 @@ double AggMerge(AggOp op, double a, double b) {
 void GroupedAccumulate(AggOp op, const std::vector<double>& input,
                        const std::vector<int32_t>& group_ids,
                        std::vector<double>* acc) {
-  const int64_t n = static_cast<int64_t>(group_ids.size());
+  if (op != AggOp::kCount) {
+    SUDAF_CHECK(input.size() == group_ids.size());
+  }
+  GroupedAccumulateRange(op, input.data(), group_ids.data(), 0,
+                         static_cast<int64_t>(group_ids.size()), acc);
+}
+
+void GroupedAccumulateRange(AggOp op, const double* input,
+                            const int32_t* group_ids, int64_t lo, int64_t hi,
+                            std::vector<double>* acc) {
   std::vector<double>& a = *acc;
   switch (op) {
     case AggOp::kSum:
-      SUDAF_CHECK(input.size() == group_ids.size());
-      for (int64_t i = 0; i < n; ++i) a[group_ids[i]] += input[i];
+      for (int64_t i = lo; i < hi; ++i) a[group_ids[i]] += input[i];
       break;
     case AggOp::kProd:
-      SUDAF_CHECK(input.size() == group_ids.size());
-      for (int64_t i = 0; i < n; ++i) a[group_ids[i]] *= input[i];
+      for (int64_t i = lo; i < hi; ++i) a[group_ids[i]] *= input[i];
       break;
     case AggOp::kCount:
-      for (int64_t i = 0; i < n; ++i) a[group_ids[i]] += 1.0;
+      for (int64_t i = lo; i < hi; ++i) a[group_ids[i]] += 1.0;
       break;
     case AggOp::kMin:
-      SUDAF_CHECK(input.size() == group_ids.size());
-      for (int64_t i = 0; i < n; ++i) {
+      for (int64_t i = lo; i < hi; ++i) {
         a[group_ids[i]] = std::min(a[group_ids[i]], input[i]);
       }
       break;
     case AggOp::kMax:
-      SUDAF_CHECK(input.size() == group_ids.size());
-      for (int64_t i = 0; i < n; ++i) {
+      for (int64_t i = lo; i < hi; ++i) {
         a[group_ids[i]] = std::max(a[group_ids[i]], input[i]);
       }
       break;

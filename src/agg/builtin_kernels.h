@@ -35,6 +35,14 @@ void GroupedAccumulate(AggOp op, const std::vector<double>& input,
                        const std::vector<int32_t>& group_ids,
                        std::vector<double>* acc);
 
+// Range variant: accumulates rows [lo, hi) of `input`/`group_ids` into
+// `acc` without materializing slice copies. `input` may be null for kCount.
+// This is the partition/morsel building block: callers pass index ranges
+// into the shared arrays instead of copying per-partition slices.
+void GroupedAccumulateRange(AggOp op, const double* input,
+                            const int32_t* group_ids, int64_t lo, int64_t hi,
+                            std::vector<double>* acc);
+
 }  // namespace sudaf
 
 #endif  // SUDAF_AGG_BUILTIN_KERNELS_H_

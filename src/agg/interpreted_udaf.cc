@@ -1,5 +1,7 @@
 #include "agg/interpreted_udaf.h"
 
+#include <string_view>
+
 #include "expr/evaluator.h"
 #include "expr/parser.h"
 
@@ -54,9 +56,9 @@ class InterpretedUdaf : public Udaf {
              const std::vector<Value>& other) const override {
     RowAccessor env = [this, state, &other](const std::string& name,
                                             int64_t) -> Result<Value> {
-      constexpr const char* kOtherPrefix = "other_";
+      constexpr std::string_view kOtherPrefix = "other_";
       if (name.rfind(kOtherPrefix, 0) == 0) {
-        std::string base = name.substr(6);
+        std::string base = name.substr(kOtherPrefix.size());
         for (size_t i = 0; i < spec_.state_vars.size(); ++i) {
           if (spec_.state_vars[i].name == base) return other[i];
         }

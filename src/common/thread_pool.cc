@@ -1,0 +1,105 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+namespace sudaf {
+
+ThreadPool::ThreadPool(int num_workers) {
+  EnsureWorkers(num_workers);
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::EnsureWorkers(int n) {
+  std::lock_guard<std::mutex> job_lock(job_mu_);
+  std::lock_guard<std::mutex> lock(mu_);
+  while (static_cast<int>(workers_.size()) < n) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+void ThreadPool::RunTasks() {
+  const std::function<void(int64_t)>& fn = *job_fn_;
+  const int64_t num_tasks = num_tasks_;
+  while (true) {
+    int64_t t = next_task_.fetch_add(1, std::memory_order_relaxed);
+    if (t >= num_tasks) break;
+    fn(t);
+    tasks_done_.fetch_add(1, std::memory_order_acq_rel);
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] {
+        return shutdown_ ||
+               (job_active_ &&
+                next_task_.load(std::memory_order_relaxed) < num_tasks_);
+      });
+      if (shutdown_) return;
+      ++active_claimers_;
+    }
+    RunTasks();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --active_claimers_;
+      if (active_claimers_ == 0 &&
+          tasks_done_.load(std::memory_order_acquire) == num_tasks_) {
+        done_cv_.notify_all();
+      }
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(int64_t num_tasks,
+                             const std::function<void(int64_t)>& fn) {
+  if (num_tasks <= 0) return;
+  if (num_tasks == 1 || workers_.empty()) {
+    for (int64_t t = 0; t < num_tasks; ++t) fn(t);
+    return;
+  }
+  std::lock_guard<std::mutex> job_lock(job_mu_);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_fn_ = &fn;
+    num_tasks_ = num_tasks;
+    next_task_.store(0, std::memory_order_relaxed);
+    tasks_done_.store(0, std::memory_order_relaxed);
+    active_claimers_ = 1;  // the caller
+    job_active_ = true;
+  }
+  work_cv_.notify_all();
+  RunTasks();  // the caller participates
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    --active_claimers_;
+    // Wait until every claimer has left RunTasks: only then is it safe for
+    // the next job to reset the task counters (a lingering claimer could
+    // otherwise grab a fresh task index against the old function).
+    done_cv_.wait(lock, [this] {
+      return active_claimers_ == 0 &&
+             tasks_done_.load(std::memory_order_acquire) == num_tasks_;
+    });
+    job_active_ = false;
+    job_fn_ = nullptr;
+  }
+}
+
+ThreadPool& ThreadPool::Global() {
+  // Leaked intentionally: worker threads must not be joined during static
+  // destruction (exit-time joins can deadlock, and tests may still touch
+  // the pool from atexit paths).
+  static ThreadPool* pool = new ThreadPool(0);
+  return *pool;
+}
+
+}  // namespace sudaf

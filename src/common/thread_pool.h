@@ -1,0 +1,80 @@
+#ifndef SUDAF_COMMON_THREAD_POOL_H_
+#define SUDAF_COMMON_THREAD_POOL_H_
+
+// Persistent worker-thread pool.
+//
+// The engine used to spawn fresh std::threads on every partitioned
+// aggregation call; at morsel granularity that costs more than the work
+// being distributed. This pool keeps workers alive across calls and hands
+// them index-addressed tasks. Scheduling is deliberately work-stealing-free:
+// a ParallelFor caller decides the task decomposition (the fused executor
+// passes one contiguous morsel range per task), so results stay
+// deterministic for a fixed task count.
+//
+// One job runs at a time; concurrent ParallelFor calls serialize on an
+// internal mutex. Task functions must not throw.
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sudaf {
+
+class ThreadPool {
+ public:
+  // Starts `num_workers` worker threads (0 is valid: ParallelFor then runs
+  // everything on the calling thread).
+  explicit ThreadPool(int num_workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+
+  // Grows the pool to at least `n` workers (never shrinks). Lets callers
+  // that want T-way parallelism request T-1 workers lazily, so processes
+  // that never go parallel never pay for threads.
+  void EnsureWorkers(int n);
+
+  // Runs fn(i) for every i in [0, num_tasks). The calling thread
+  // participates, so up to num_workers()+1 tasks execute concurrently.
+  // Blocks until all tasks completed.
+  void ParallelFor(int64_t num_tasks, const std::function<void(int64_t)>& fn);
+
+  // Process-wide pool, created empty on first use and grown on demand
+  // (capped at kMaxGlobalWorkers).
+  static ThreadPool& Global();
+
+  // Parallelism cap for the global pool.
+  static constexpr int kMaxGlobalWorkers = 64;
+
+ private:
+  void WorkerLoop();
+  void RunTasks();
+
+  std::mutex job_mu_;  // serializes ParallelFor callers
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::vector<std::thread> workers_;
+
+  // Current job state (guarded by mu_; counters also read atomically inside
+  // the claim loop).
+  const std::function<void(int64_t)>* job_fn_ = nullptr;
+  int64_t num_tasks_ = 0;
+  std::atomic<int64_t> next_task_{0};
+  std::atomic<int64_t> tasks_done_{0};
+  int active_claimers_ = 0;  // threads currently inside RunTasks
+  bool job_active_ = false;
+  bool shutdown_ = false;
+};
+
+}  // namespace sudaf
+
+#endif  // SUDAF_COMMON_THREAD_POOL_H_

@@ -1,9 +1,10 @@
 #include "engine/aggregation.h"
 
-#include <thread>
+#include <algorithm>
 #include <unordered_map>
 
 #include "agg/builtin_kernels.h"
+#include "common/thread_pool.h"
 
 namespace sudaf {
 
@@ -154,21 +155,16 @@ std::vector<double> ComputeGroupedState(AggOp op,
   const int parts = opts.num_partitions;
   std::vector<std::vector<double>> partials(
       parts, std::vector<double>(num_groups, AggIdentity(op)));
-  auto run_partition = [&](int p) {
-    int64_t lo = n * p / parts;
-    int64_t hi = n * (p + 1) / parts;
-    std::vector<int32_t> gids(group_ids.begin() + lo, group_ids.begin() + hi);
-    std::vector<double> in;
-    if (op != AggOp::kCount) {
-      in.assign(input.begin() + lo, input.begin() + hi);
-    }
-    GroupedAccumulate(op, in, gids, &partials[p]);
+  // Each partition accumulates over its index range of the shared arrays —
+  // no per-partition slice copies.
+  auto run_partition = [&](int64_t p) {
+    GroupedAccumulateRange(op, input.data(), group_ids.data(), n * p / parts,
+                           n * (p + 1) / parts, &partials[p]);
   };
   if (opts.parallel) {
-    std::vector<std::thread> threads;
-    threads.reserve(parts);
-    for (int p = 0; p < parts; ++p) threads.emplace_back(run_partition, p);
-    for (auto& t : threads) t.join();
+    ThreadPool& pool = ThreadPool::Global();
+    pool.EnsureWorkers(std::min(parts - 1, ThreadPool::kMaxGlobalWorkers));
+    pool.ParallelFor(parts, run_partition);
   } else {
     for (int p = 0; p < parts; ++p) run_partition(p);
   }
@@ -221,14 +217,13 @@ Result<std::vector<double>> RunHardcodedUdaf(
     const int parts = opts.num_partitions;
     std::vector<std::vector<std::vector<Value>>> partials(parts);
     for (int p = 0; p < parts; ++p) partials[p] = make_states();
-    auto run_partition = [&](int p) {
+    auto run_partition = [&](int64_t p) {
       run_range(n * p / parts, n * (p + 1) / parts, &partials[p]);
     };
     if (opts.parallel) {
-      std::vector<std::thread> threads;
-      threads.reserve(parts);
-      for (int p = 0; p < parts; ++p) threads.emplace_back(run_partition, p);
-      for (auto& t : threads) t.join();
+      ThreadPool& pool = ThreadPool::Global();
+      pool.EnsureWorkers(std::min(parts - 1, ThreadPool::kMaxGlobalWorkers));
+      pool.ParallelFor(parts, run_partition);
     } else {
       for (int p = 0; p < parts; ++p) run_partition(p);
     }

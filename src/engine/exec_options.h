@@ -17,6 +17,21 @@ struct ExecOptions {
   // Run partitions on worker threads (off by default: the benchmarks target
   // single-core machines, where threading adds noise without speedup).
   bool parallel = false;
+
+  // --- Fused StateBatch executor -----------------------------------------
+  // Compute all of a query's aggregation states in one morsel-driven pass
+  // (shared input evaluation + fused accumulation) instead of one full
+  // column materialization + grouped pass per state. Default on; turn off
+  // to fall back to the legacy per-state path (kept for comparison
+  // benchmarks).
+  bool use_fused = true;
+  // Rows per morsel. Sized so the per-morsel scratch buffers of a typical
+  // state batch stay cache-resident.
+  int morsel_size = 65536;
+  // Worker-thread count for the fused pass when `parallel` is set:
+  // 0 = std::thread::hardware_concurrency(). Ignored when parallel=false
+  // (single-threaded morsel loop).
+  int num_threads = 0;
 };
 
 }  // namespace sudaf

@@ -1,0 +1,579 @@
+#include "engine/state_batch.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <map>
+#include <string>
+#include <thread>
+
+#include "agg/builtin_kernels.h"
+#include "common/thread_pool.h"
+#include "storage/column.h"
+
+namespace sudaf {
+
+namespace {
+
+// One node of the shared evaluation DAG. Slots are created children-first,
+// so evaluating them in index order satisfies all dependencies.
+struct Slot {
+  enum class Kind {
+    kLiteral,     // constant fill
+    kColumnF64,   // alias into a float64 column (no buffer, no copy)
+    kColumnI64,   // int64 column, converted per morsel
+    kNeg,         // -a
+    kAdd,         // a + b
+    kSub,         // a - b
+    kMul,         // a * b
+    kDiv,         // a / b
+    kPow,         // pow(a, b), non-integral exponent
+    kRecip,       // 1 / a
+    kSqrt,
+    kLog,
+    kExp,
+    kAbs,
+    kSgn,
+    kGenericBinary,  // comparisons / logic via NumericBinary
+    kGenericFunc,    // row-at-a-time ApplyScalarFunc
+  };
+  Kind kind;
+  int a = -1;
+  int b = -1;
+  std::vector<int> args;         // kGenericFunc
+  double literal = 0.0;          // kLiteral
+  BinaryOp bin_op{};             // kGenericBinary
+  std::string func_name;         // kGenericFunc
+  const double* f64 = nullptr;   // kColumnF64
+  const int64_t* i64 = nullptr;  // kColumnI64
+  int dedup_hits = 0;            // times this slot was reused by interning
+};
+
+// One distinct accumulation channel of the fused pass.
+struct Channel {
+  AggOp op = AggOp::kSum;
+  int slot = -1;  // -1 for count()
+};
+
+// `e` is a constant (literal, possibly under unary minus)?
+bool ExtractConstant(const Expr& e, double* v) {
+  if (e.kind == ExprKind::kLiteral && e.literal.is_numeric()) {
+    *v = e.literal.AsDouble();
+    return true;
+  }
+  if (e.kind == ExprKind::kUnaryMinus && ExtractConstant(*e.args[0], v)) {
+    *v = -*v;
+    return true;
+  }
+  return false;
+}
+
+// Compiles the input expressions of all requested channels into the shared
+// DAG. Subexpressions are interned structurally (same kind + same child
+// slots => same slot), which gives common-subexpression sharing across
+// states for free: sum(x) and sum(x*y) produce one column-x slot.
+class BatchPlan {
+ public:
+  Status Build(const std::vector<StateBatchRequest>& requests,
+               const ColumnResolver& resolver);
+
+  const std::vector<Slot>& slots() const { return slots_; }
+  const std::vector<Channel>& channels() const { return channels_; }
+  const std::vector<int>& request_channel() const { return request_channel_; }
+
+  int num_shared_slots() const {
+    int n = 0;
+    for (const Slot& s : slots_) {
+      if (s.dedup_hits > 0) ++n;
+    }
+    return n;
+  }
+
+ private:
+  Result<int> BuildExpr(const Expr& e, const ColumnResolver& resolver);
+  Result<int> BuildPow(const Expr& base, const Expr& exponent,
+                       const ColumnResolver& resolver);
+  int Intern(Slot slot, const std::string& key);
+  int MakeUnary(Slot::Kind kind, const char* tag, int child);
+  int MakeArith(Slot::Kind kind, const char* tag, int a, int b);
+  int MakeLiteral(double v);
+
+  std::vector<Slot> slots_;
+  std::map<std::string, int> memo_;
+  std::vector<Channel> channels_;
+  std::map<std::string, int> channel_memo_;
+  std::vector<int> request_channel_;
+};
+
+int BatchPlan::Intern(Slot slot, const std::string& key) {
+  auto [it, inserted] = memo_.emplace(key, static_cast<int>(slots_.size()));
+  if (!inserted) {
+    ++slots_[it->second].dedup_hits;
+    return it->second;
+  }
+  slots_.push_back(std::move(slot));
+  return it->second;
+}
+
+int BatchPlan::MakeUnary(Slot::Kind kind, const char* tag, int child) {
+  Slot s;
+  s.kind = kind;
+  s.a = child;
+  return Intern(std::move(s),
+                std::string(tag) + "|" + std::to_string(child));
+}
+
+int BatchPlan::MakeArith(Slot::Kind kind, const char* tag, int a, int b) {
+  // + and * commute exactly in IEEE arithmetic; normalize operand order so
+  // x*y and y*x intern to one slot.
+  if (kind == Slot::Kind::kAdd || kind == Slot::Kind::kMul) {
+    if (a > b) std::swap(a, b);
+  }
+  Slot s;
+  s.kind = kind;
+  s.a = a;
+  s.b = b;
+  return Intern(std::move(s), std::string(tag) + "|" + std::to_string(a) +
+                                  "|" + std::to_string(b));
+}
+
+int BatchPlan::MakeLiteral(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  Slot s;
+  s.kind = Slot::Kind::kLiteral;
+  s.literal = v;
+  return Intern(std::move(s), "lit|" + std::to_string(bits));
+}
+
+// pow with a constant exponent strength-reduces onto a shared
+// multiplication chain: x^4 = (x^3)·x reuses the x^3 and x^2 slots that
+// sibling states (e.g. kurtosis's sum(x^3), sum(x^2)) already need — work
+// the per-state legacy path repeats num_states times.
+Result<int> BatchPlan::BuildPow(const Expr& base, const Expr& exponent,
+                                const ColumnResolver& resolver) {
+  double c = 0.0;
+  if (ExtractConstant(exponent, &c)) {
+    const double k = std::abs(c);
+    const bool integral = k == std::floor(k) && k <= 16.0;
+    if (integral || k == 0.5) {
+      if (c == 0.0) return MakeLiteral(1.0);
+      SUDAF_ASSIGN_OR_RETURN(int b, BuildExpr(base, resolver));
+      int cur;
+      if (k == 0.5) {
+        cur = MakeUnary(Slot::Kind::kSqrt, "sqrt", b);
+      } else {
+        cur = b;
+        for (int i = 2; i <= static_cast<int>(k); ++i) {
+          cur = MakeArith(Slot::Kind::kMul, "mul", cur, b);
+        }
+      }
+      if (c < 0.0) cur = MakeUnary(Slot::Kind::kRecip, "recip", cur);
+      return cur;
+    }
+  }
+  SUDAF_ASSIGN_OR_RETURN(int a, BuildExpr(base, resolver));
+  SUDAF_ASSIGN_OR_RETURN(int b, BuildExpr(exponent, resolver));
+  return MakeArith(Slot::Kind::kPow, "pow", a, b);
+}
+
+Result<int> BatchPlan::BuildExpr(const Expr& e,
+                                 const ColumnResolver& resolver) {
+  switch (e.kind) {
+    case ExprKind::kLiteral: {
+      if (!e.literal.is_numeric()) {
+        return Status::TypeError("string literal in numeric vector context");
+      }
+      return MakeLiteral(e.literal.AsDouble());
+    }
+    case ExprKind::kColumnRef: {
+      SUDAF_ASSIGN_OR_RETURN(const Column* col, resolver(e.column));
+      if (col->type() == DataType::kString) {
+        return Status::TypeError("string column in numeric context: " +
+                                 e.column);
+      }
+      Slot s;
+      std::string key;
+      if (col->type() == DataType::kFloat64) {
+        s.kind = Slot::Kind::kColumnF64;
+        s.f64 = col->doubles().data();
+        key = "cf|";
+      } else {
+        s.kind = Slot::Kind::kColumnI64;
+        s.i64 = col->ints().data();
+        key = "ci|";
+      }
+      key += std::to_string(reinterpret_cast<uintptr_t>(col));
+      return Intern(std::move(s), key);
+    }
+    case ExprKind::kUnaryMinus: {
+      SUDAF_ASSIGN_OR_RETURN(int a, BuildExpr(*e.args[0], resolver));
+      return MakeUnary(Slot::Kind::kNeg, "neg", a);
+    }
+    case ExprKind::kBinary: {
+      if (e.bin_op == BinaryOp::kPow) {
+        return BuildPow(*e.args[0], *e.args[1], resolver);
+      }
+      SUDAF_ASSIGN_OR_RETURN(int a, BuildExpr(*e.args[0], resolver));
+      SUDAF_ASSIGN_OR_RETURN(int b, BuildExpr(*e.args[1], resolver));
+      switch (e.bin_op) {
+        case BinaryOp::kAdd:
+          return MakeArith(Slot::Kind::kAdd, "add", a, b);
+        case BinaryOp::kSub:
+          return MakeArith(Slot::Kind::kSub, "sub", a, b);
+        case BinaryOp::kMul:
+          return MakeArith(Slot::Kind::kMul, "mul", a, b);
+        case BinaryOp::kDiv:
+          return MakeArith(Slot::Kind::kDiv, "div", a, b);
+        default: {
+          Slot s;
+          s.kind = Slot::Kind::kGenericBinary;
+          s.a = a;
+          s.b = b;
+          s.bin_op = e.bin_op;
+          return Intern(std::move(s),
+                        "gbin|" + std::to_string(static_cast<int>(e.bin_op)) +
+                            "|" + std::to_string(a) + "|" +
+                            std::to_string(b));
+        }
+      }
+    }
+    case ExprKind::kFuncCall: {
+      if ((e.func_name == "pow" || e.func_name == "power") &&
+          e.args.size() == 2) {
+        return BuildPow(*e.args[0], *e.args[1], resolver);
+      }
+      if (e.args.size() == 1) {
+        const std::string& f = e.func_name;
+        Slot::Kind kind;
+        if (f == "sqrt") {
+          kind = Slot::Kind::kSqrt;
+        } else if (f == "ln" || f == "log") {
+          kind = Slot::Kind::kLog;
+        } else if (f == "exp") {
+          kind = Slot::Kind::kExp;
+        } else if (f == "abs") {
+          kind = Slot::Kind::kAbs;
+        } else if (f == "sgn") {
+          kind = Slot::Kind::kSgn;
+        } else {
+          kind = Slot::Kind::kGenericFunc;
+        }
+        if (kind != Slot::Kind::kGenericFunc) {
+          SUDAF_ASSIGN_OR_RETURN(int a, BuildExpr(*e.args[0], resolver));
+          return MakeUnary(kind, f.c_str(), a);
+        }
+      }
+      // Generic scalar function. ApplyScalarFunc's failures (unknown name,
+      // wrong arity) are value-independent, so probing once at plan time
+      // makes per-row evaluation infallible.
+      SUDAF_RETURN_IF_ERROR(
+          ApplyScalarFunc(e.func_name,
+                          std::vector<double>(e.args.size(), 1.0))
+              .status());
+      Slot s;
+      s.kind = Slot::Kind::kGenericFunc;
+      s.func_name = e.func_name;
+      std::string key = "gfunc|" + e.func_name;
+      for (const auto& arg : e.args) {
+        SUDAF_ASSIGN_OR_RETURN(int a, BuildExpr(*arg, resolver));
+        s.args.push_back(a);
+        key += "|" + std::to_string(a);
+      }
+      return Intern(std::move(s), key);
+    }
+    case ExprKind::kAggCall:
+    case ExprKind::kStateRef:
+      return Status::TypeError("aggregate in vectorized scalar context: " +
+                               e.ToString());
+  }
+  return Status::Internal("bad expr kind");
+}
+
+Status BatchPlan::Build(const std::vector<StateBatchRequest>& requests,
+                        const ColumnResolver& resolver) {
+  request_channel_.reserve(requests.size());
+  for (const StateBatchRequest& req : requests) {
+    int slot = -1;
+    if (req.op != AggOp::kCount) {
+      if (req.input == nullptr) {
+        return Status::InvalidArgument(
+            "aggregation state without an input expression");
+      }
+      SUDAF_ASSIGN_OR_RETURN(slot, BuildExpr(*req.input, resolver));
+    }
+    std::string key =
+        std::to_string(static_cast<int>(req.op)) + "|" + std::to_string(slot);
+    auto [it, inserted] =
+        channel_memo_.emplace(key, static_cast<int>(channels_.size()));
+    if (inserted) channels_.push_back(Channel{req.op, slot});
+    request_channel_.push_back(it->second);
+  }
+  return Status::OK();
+}
+
+// Per-worker evaluation state: one scratch buffer per slot (morsel-sized,
+// reused across all of the worker's morsels) plus the worker's private
+// num_channels × num_groups accumulator block.
+struct WorkerEval {
+  std::vector<std::vector<double>> bufs;
+  std::vector<const double*> ptr;
+  std::vector<double> acc;
+
+  void Init(const BatchPlan& plan, int64_t morsel_size, int32_t num_groups) {
+    const std::vector<Slot>& slots = plan.slots();
+    bufs.resize(slots.size());
+    ptr.assign(slots.size(), nullptr);
+    for (size_t i = 0; i < slots.size(); ++i) {
+      const Slot& s = slots[i];
+      if (s.kind == Slot::Kind::kColumnF64) continue;  // aliases the column
+      bufs[i].resize(morsel_size);
+      if (s.kind == Slot::Kind::kLiteral) {
+        std::fill(bufs[i].begin(), bufs[i].end(), s.literal);
+      }
+      ptr[i] = bufs[i].data();
+    }
+    acc.resize(plan.channels().size() * static_cast<size_t>(num_groups));
+    for (size_t c = 0; c < plan.channels().size(); ++c) {
+      std::fill_n(acc.begin() + c * num_groups, num_groups,
+                  AggIdentity(plan.channels()[c].op));
+    }
+  }
+};
+
+Status EvalMorsel(const BatchPlan& plan, WorkerEval* w, int64_t lo,
+                  int64_t len) {
+  const std::vector<Slot>& slots = plan.slots();
+  for (size_t i = 0; i < slots.size(); ++i) {
+    const Slot& s = slots[i];
+    double* out = w->bufs[i].data();
+    switch (s.kind) {
+      case Slot::Kind::kLiteral:
+        break;  // prefilled at Init
+      case Slot::Kind::kColumnF64:
+        w->ptr[i] = s.f64 + lo;
+        break;
+      case Slot::Kind::kColumnI64: {
+        const int64_t* in = s.i64 + lo;
+        for (int64_t r = 0; r < len; ++r) {
+          out[r] = static_cast<double>(in[r]);
+        }
+        break;
+      }
+      case Slot::Kind::kNeg: {
+        const double* a = w->ptr[s.a];
+        for (int64_t r = 0; r < len; ++r) out[r] = -a[r];
+        break;
+      }
+      case Slot::Kind::kAdd: {
+        const double* a = w->ptr[s.a];
+        const double* b = w->ptr[s.b];
+        for (int64_t r = 0; r < len; ++r) out[r] = a[r] + b[r];
+        break;
+      }
+      case Slot::Kind::kSub: {
+        const double* a = w->ptr[s.a];
+        const double* b = w->ptr[s.b];
+        for (int64_t r = 0; r < len; ++r) out[r] = a[r] - b[r];
+        break;
+      }
+      case Slot::Kind::kMul: {
+        const double* a = w->ptr[s.a];
+        const double* b = w->ptr[s.b];
+        for (int64_t r = 0; r < len; ++r) out[r] = a[r] * b[r];
+        break;
+      }
+      case Slot::Kind::kDiv: {
+        const double* a = w->ptr[s.a];
+        const double* b = w->ptr[s.b];
+        for (int64_t r = 0; r < len; ++r) out[r] = a[r] / b[r];
+        break;
+      }
+      case Slot::Kind::kPow: {
+        const double* a = w->ptr[s.a];
+        const double* b = w->ptr[s.b];
+        for (int64_t r = 0; r < len; ++r) out[r] = std::pow(a[r], b[r]);
+        break;
+      }
+      case Slot::Kind::kRecip: {
+        const double* a = w->ptr[s.a];
+        for (int64_t r = 0; r < len; ++r) out[r] = 1.0 / a[r];
+        break;
+      }
+      case Slot::Kind::kSqrt: {
+        const double* a = w->ptr[s.a];
+        for (int64_t r = 0; r < len; ++r) out[r] = std::sqrt(a[r]);
+        break;
+      }
+      case Slot::Kind::kLog: {
+        const double* a = w->ptr[s.a];
+        for (int64_t r = 0; r < len; ++r) out[r] = std::log(a[r]);
+        break;
+      }
+      case Slot::Kind::kExp: {
+        const double* a = w->ptr[s.a];
+        for (int64_t r = 0; r < len; ++r) out[r] = std::exp(a[r]);
+        break;
+      }
+      case Slot::Kind::kAbs: {
+        const double* a = w->ptr[s.a];
+        for (int64_t r = 0; r < len; ++r) out[r] = std::fabs(a[r]);
+        break;
+      }
+      case Slot::Kind::kSgn: {
+        const double* a = w->ptr[s.a];
+        for (int64_t r = 0; r < len; ++r) {
+          out[r] = a[r] > 0 ? 1.0 : (a[r] < 0 ? -1.0 : 0.0);
+        }
+        break;
+      }
+      case Slot::Kind::kGenericBinary: {
+        const double* a = w->ptr[s.a];
+        const double* b = w->ptr[s.b];
+        for (int64_t r = 0; r < len; ++r) {
+          SUDAF_ASSIGN_OR_RETURN(out[r], ApplyBinaryOp(s.bin_op, a[r], b[r]));
+        }
+        break;
+      }
+      case Slot::Kind::kGenericFunc: {
+        std::vector<double> args(s.args.size());
+        for (int64_t r = 0; r < len; ++r) {
+          for (size_t j = 0; j < s.args.size(); ++j) {
+            args[j] = w->ptr[s.args[j]][r];
+          }
+          SUDAF_ASSIGN_OR_RETURN(out[r],
+                                 ApplyScalarFunc(s.func_name, args));
+        }
+        break;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+void AccumulateMorsel(const BatchPlan& plan, WorkerEval* w,
+                      const int32_t* group_ids, int64_t lo, int64_t len,
+                      int32_t num_groups) {
+  const std::vector<Channel>& channels = plan.channels();
+  const int32_t* g = group_ids + lo;
+  for (size_t c = 0; c < channels.size(); ++c) {
+    double* a = w->acc.data() + c * num_groups;
+    switch (channels[c].op) {
+      case AggOp::kSum: {
+        const double* in = w->ptr[channels[c].slot];
+        for (int64_t r = 0; r < len; ++r) a[g[r]] += in[r];
+        break;
+      }
+      case AggOp::kProd: {
+        const double* in = w->ptr[channels[c].slot];
+        for (int64_t r = 0; r < len; ++r) a[g[r]] *= in[r];
+        break;
+      }
+      case AggOp::kCount:
+        for (int64_t r = 0; r < len; ++r) a[g[r]] += 1.0;
+        break;
+      case AggOp::kMin: {
+        const double* in = w->ptr[channels[c].slot];
+        for (int64_t r = 0; r < len; ++r) {
+          a[g[r]] = std::min(a[g[r]], in[r]);
+        }
+        break;
+      }
+      case AggOp::kMax: {
+        const double* in = w->ptr[channels[c].slot];
+        for (int64_t r = 0; r < len; ++r) {
+          a[g[r]] = std::max(a[g[r]], in[r]);
+        }
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Result<std::vector<std::vector<double>>> ComputeStateBatch(
+    const std::vector<StateBatchRequest>& requests,
+    const ColumnResolver& resolver, const std::vector<int32_t>& group_ids,
+    int32_t num_groups, const ExecOptions& opts, StateBatchStats* stats) {
+  const int64_t n = static_cast<int64_t>(group_ids.size());
+
+  BatchPlan plan;
+  SUDAF_RETURN_IF_ERROR(plan.Build(requests, resolver));
+
+  const int64_t morsel = std::max(1, opts.morsel_size);
+  const int64_t num_morsels = (n + morsel - 1) / morsel;
+
+  int workers = 1;
+  if (opts.parallel) {
+    workers = opts.num_threads > 0
+                  ? opts.num_threads
+                  : static_cast<int>(
+                        std::max(1u, std::thread::hardware_concurrency()));
+    workers = static_cast<int>(
+        std::min<int64_t>(workers, std::max<int64_t>(1, num_morsels)));
+    workers = std::min(workers, ThreadPool::kMaxGlobalWorkers + 1);
+  }
+
+  std::vector<WorkerEval> evals(workers);
+  std::vector<Status> worker_status(workers, Status::OK());
+  auto run_worker = [&](int64_t wi) {
+    WorkerEval& we = evals[wi];
+    we.Init(plan, morsel, num_groups);
+    const int64_t first = num_morsels * wi / workers;
+    const int64_t last = num_morsels * (wi + 1) / workers;
+    for (int64_t m = first; m < last; ++m) {
+      const int64_t lo = m * morsel;
+      const int64_t len = std::min(morsel, n - lo);
+      Status st = EvalMorsel(plan, &we, lo, len);
+      if (!st.ok()) {
+        worker_status[wi] = std::move(st);
+        return;
+      }
+      AccumulateMorsel(plan, &we, group_ids.data(), lo, len, num_groups);
+    }
+  };
+
+  if (workers > 1) {
+    ThreadPool& pool = ThreadPool::Global();
+    pool.EnsureWorkers(workers - 1);
+    pool.ParallelFor(workers, run_worker);
+  } else {
+    run_worker(0);
+  }
+  for (Status& st : worker_status) {
+    if (!st.ok()) return std::move(st);
+  }
+
+  // Merge worker blocks with ⊕ in worker order (deterministic for a fixed
+  // worker count; with one worker this is the serial accumulation order).
+  const std::vector<Channel>& channels = plan.channels();
+  std::vector<std::vector<double>> merged(channels.size());
+  for (size_t c = 0; c < channels.size(); ++c) {
+    merged[c].assign(num_groups, AggIdentity(channels[c].op));
+    for (int w = 0; w < workers; ++w) {
+      const double* part = evals[w].acc.data() + c * num_groups;
+      for (int32_t g = 0; g < num_groups; ++g) {
+        merged[c][g] = AggMerge(channels[c].op, merged[c][g], part[g]);
+      }
+    }
+  }
+
+  if (stats != nullptr) {
+    *stats = StateBatchStats{};
+    stats->morsels = num_morsels;
+    stats->num_requests = static_cast<int>(requests.size());
+    stats->num_channels = static_cast<int>(channels.size());
+    stats->num_slots = static_cast<int>(plan.slots().size());
+    stats->num_shared_slots = plan.num_shared_slots();
+    stats->threads_used = workers;
+  }
+
+  std::vector<std::vector<double>> out(requests.size());
+  for (size_t r = 0; r < requests.size(); ++r) {
+    out[r] = merged[plan.request_channel()[r]];
+  }
+  return out;
+}
+
+}  // namespace sudaf

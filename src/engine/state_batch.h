@@ -1,0 +1,73 @@
+#ifndef SUDAF_ENGINE_STATE_BATCH_H_
+#define SUDAF_ENGINE_STATE_BATCH_H_
+
+// Fused multi-state grouped aggregation — the StateBatch executor.
+//
+// SUDAF's rewrite turns one query into a set of aggregation states
+// s_j(X) = Σ⊕_j f_j(x_i) over the same scan. The legacy path computes each
+// state independently: materialize f_j over the whole column (one
+// heap-allocated vector per state), then run one grouped pass over
+// `group_ids` per state — a kurtosis query touches the input five times.
+//
+// The StateBatch executor computes *all* states of a query in one
+// morsel-driven pass:
+//
+//   * the input expressions of every state are compiled into one shared
+//     evaluation DAG: common subexpressions are detected across states (so
+//     sum(x*y) and sum(x) read x once) and integral powers are
+//     strength-reduced onto shared power chains (x^4 reuses the x^2 slot
+//     another state already needed);
+//   * the row range is split into morsels (ExecOptions::morsel_size rows);
+//     each morsel evaluates the DAG into per-worker scratch buffers that
+//     stay cache-resident, then accumulates every state into the worker's
+//     num_states × num_groups accumulator block;
+//   * worker blocks are merged with ⊕ in worker order, so results are
+//     deterministic for a fixed worker count.
+//
+// Parallel execution (opts.parallel) distributes contiguous morsel ranges
+// over the persistent ThreadPool — no per-call thread spawning, no work
+// stealing.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/exec_options.h"
+#include "expr/evaluator.h"
+#include "expr/expr.h"
+
+namespace sudaf {
+
+// One requested aggregation channel: ⊕-accumulate `input` (null for
+// count()) under `op`. Callers may freely pass duplicate channels; the
+// executor dedups them and computes each distinct (op, input) once.
+struct StateBatchRequest {
+  AggOp op = AggOp::kSum;
+  const Expr* input = nullptr;  // borrowed; must outlive the call
+};
+
+// Observability counters for one fused pass.
+struct StateBatchStats {
+  int64_t morsels = 0;         // morsels processed (across workers)
+  int num_requests = 0;        // channels requested
+  int num_channels = 0;        // distinct channels computed
+  int num_slots = 0;           // DAG slots evaluated per morsel
+  int num_shared_slots = 0;    // slots referenced by >1 parent (CSE hits)
+  int threads_used = 1;        // workers that participated
+};
+
+// Computes every requested channel over rows [0, group_ids.size()) in one
+// fused morsel-driven pass. Returns one num_groups-sized vector per request
+// (duplicates of the same channel share the computation but each get their
+// own copy). `resolver` resolves the column leaves of the input
+// expressions. `stats`, when non-null, is overwritten with this pass's
+// counters.
+Result<std::vector<std::vector<double>>> ComputeStateBatch(
+    const std::vector<StateBatchRequest>& requests,
+    const ColumnResolver& resolver, const std::vector<int32_t>& group_ids,
+    int32_t num_groups, const ExecOptions& opts,
+    StateBatchStats* stats = nullptr);
+
+}  // namespace sudaf
+
+#endif  // SUDAF_ENGINE_STATE_BATCH_H_

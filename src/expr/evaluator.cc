@@ -43,6 +43,10 @@ Result<double> NumericBinary(BinaryOp op, double a, double b) {
 
 }  // namespace
 
+Result<double> ApplyBinaryOp(BinaryOp op, double a, double b) {
+  return NumericBinary(op, a, b);
+}
+
 Result<double> ApplyScalarFunc(const std::string& name,
                                const std::vector<double>& args) {
   auto need = [&](size_t n) -> Status {
@@ -178,15 +182,68 @@ Result<Value> EvalRow(const Expr& expr, const RowAccessor& accessor,
   return Status::Internal("bad expr kind");
 }
 
-Result<std::vector<double>> EvalNumericVector(const Expr& expr,
-                                              const ColumnResolver& resolver,
-                                              int64_t num_rows) {
+std::vector<double>* EvalScratch::Acquire(int64_t size) {
+  std::unique_ptr<std::vector<double>> buf;
+  if (!free_.empty()) {
+    buf = std::move(free_.back());
+    free_.pop_back();
+  } else {
+    buf = std::make_unique<std::vector<double>>();
+  }
+  if (static_cast<int64_t>(buf->size()) < size) buf->resize(size);
+  std::vector<double>* raw = buf.get();
+  in_use_.push_back(std::move(buf));
+  return raw;
+}
+
+void EvalScratch::Release(std::vector<double>* buf) {
+  for (auto it = in_use_.begin(); it != in_use_.end(); ++it) {
+    if (it->get() == buf) {
+      free_.push_back(std::move(*it));
+      in_use_.erase(it);
+      return;
+    }
+  }
+}
+
+namespace {
+
+// RAII borrow from an EvalScratch pool.
+class ScratchBuffer {
+ public:
+  ScratchBuffer(EvalScratch* scratch, int64_t size)
+      : scratch_(scratch), buf_(scratch->Acquire(size)) {}
+  ScratchBuffer(ScratchBuffer&& other) noexcept
+      : scratch_(other.scratch_), buf_(other.buf_) {
+    other.buf_ = nullptr;
+  }
+  ScratchBuffer(const ScratchBuffer&) = delete;
+  ScratchBuffer& operator=(const ScratchBuffer&) = delete;
+  ScratchBuffer& operator=(ScratchBuffer&&) = delete;
+  ~ScratchBuffer() {
+    if (buf_ != nullptr) scratch_->Release(buf_);
+  }
+  double* data() { return buf_->data(); }
+
+ private:
+  EvalScratch* scratch_;
+  std::vector<double>* buf_;
+};
+
+}  // namespace
+
+Status EvalNumericRange(const Expr& expr, const ColumnResolver& resolver,
+                        int64_t lo, int64_t hi, double* out,
+                        EvalScratch* scratch) {
+  const int64_t n = hi - lo;
   switch (expr.kind) {
     case ExprKind::kLiteral: {
       if (!expr.literal.is_numeric()) {
         return Status::TypeError("string literal in numeric vector context");
       }
-      return std::vector<double>(num_rows, expr.literal.AsDouble());
+      const double v = expr.literal.AsDouble();
+      for (int64_t i = 0; i < n; ++i) out[i] = v;
+      return Status::OK();
     }
     case ExprKind::kColumnRef: {
       SUDAF_ASSIGN_OR_RETURN(const Column* col, resolver(expr.column));
@@ -194,97 +251,94 @@ Result<std::vector<double>> EvalNumericVector(const Expr& expr,
         return Status::TypeError("string column in numeric context: " +
                                  expr.column);
       }
-      std::vector<double> out(num_rows);
       if (col->type() == DataType::kFloat64) {
         const auto& v = col->doubles();
-        for (int64_t i = 0; i < num_rows; ++i) out[i] = v[i];
+        for (int64_t i = 0; i < n; ++i) out[i] = v[lo + i];
       } else {
         const auto& v = col->ints();
-        for (int64_t i = 0; i < num_rows; ++i) {
-          out[i] = static_cast<double>(v[i]);
+        for (int64_t i = 0; i < n; ++i) {
+          out[i] = static_cast<double>(v[lo + i]);
         }
       }
-      return out;
+      return Status::OK();
     }
     case ExprKind::kUnaryMinus: {
-      SUDAF_ASSIGN_OR_RETURN(
-          std::vector<double> v,
-          EvalNumericVector(*expr.args[0], resolver, num_rows));
-      for (double& x : v) x = -x;
-      return v;
+      SUDAF_RETURN_IF_ERROR(
+          EvalNumericRange(*expr.args[0], resolver, lo, hi, out, scratch));
+      for (int64_t i = 0; i < n; ++i) out[i] = -out[i];
+      return Status::OK();
     }
     case ExprKind::kBinary: {
-      SUDAF_ASSIGN_OR_RETURN(
-          std::vector<double> a,
-          EvalNumericVector(*expr.args[0], resolver, num_rows));
-      SUDAF_ASSIGN_OR_RETURN(
-          std::vector<double> b,
-          EvalNumericVector(*expr.args[1], resolver, num_rows));
+      SUDAF_RETURN_IF_ERROR(
+          EvalNumericRange(*expr.args[0], resolver, lo, hi, out, scratch));
+      ScratchBuffer rhs(scratch, n);
+      double* b = rhs.data();
+      SUDAF_RETURN_IF_ERROR(
+          EvalNumericRange(*expr.args[1], resolver, lo, hi, b, scratch));
       // Tight loops per operator for the hot cases.
       switch (expr.bin_op) {
         case BinaryOp::kAdd:
-          for (int64_t i = 0; i < num_rows; ++i) a[i] += b[i];
-          return a;
+          for (int64_t i = 0; i < n; ++i) out[i] += b[i];
+          return Status::OK();
         case BinaryOp::kSub:
-          for (int64_t i = 0; i < num_rows; ++i) a[i] -= b[i];
-          return a;
+          for (int64_t i = 0; i < n; ++i) out[i] -= b[i];
+          return Status::OK();
         case BinaryOp::kMul:
-          for (int64_t i = 0; i < num_rows; ++i) a[i] *= b[i];
-          return a;
+          for (int64_t i = 0; i < n; ++i) out[i] *= b[i];
+          return Status::OK();
         case BinaryOp::kDiv:
-          for (int64_t i = 0; i < num_rows; ++i) a[i] /= b[i];
-          return a;
+          for (int64_t i = 0; i < n; ++i) out[i] /= b[i];
+          return Status::OK();
         case BinaryOp::kPow:
-          for (int64_t i = 0; i < num_rows; ++i) a[i] = std::pow(a[i], b[i]);
-          return a;
+          for (int64_t i = 0; i < n; ++i) out[i] = std::pow(out[i], b[i]);
+          return Status::OK();
         default: {
-          for (int64_t i = 0; i < num_rows; ++i) {
-            SUDAF_ASSIGN_OR_RETURN(a[i],
-                                   NumericBinary(expr.bin_op, a[i], b[i]));
+          for (int64_t i = 0; i < n; ++i) {
+            SUDAF_ASSIGN_OR_RETURN(out[i],
+                                   NumericBinary(expr.bin_op, out[i], b[i]));
           }
-          return a;
+          return Status::OK();
         }
       }
     }
     case ExprKind::kFuncCall: {
-      std::vector<std::vector<double>> arg_vecs;
-      arg_vecs.reserve(expr.args.size());
+      // Specialize common unary functions (evaluated in place).
+      if (expr.args.size() == 1) {
+        const std::string& f = expr.func_name;
+        if (f == "sqrt" || f == "ln" || f == "log" || f == "exp" ||
+            f == "abs" || f == "sgn") {
+          SUDAF_RETURN_IF_ERROR(EvalNumericRange(*expr.args[0], resolver, lo,
+                                                 hi, out, scratch));
+          if (f == "sqrt") {
+            for (int64_t i = 0; i < n; ++i) out[i] = std::sqrt(out[i]);
+          } else if (f == "ln" || f == "log") {
+            for (int64_t i = 0; i < n; ++i) out[i] = std::log(out[i]);
+          } else if (f == "exp") {
+            for (int64_t i = 0; i < n; ++i) out[i] = std::exp(out[i]);
+          } else if (f == "abs") {
+            for (int64_t i = 0; i < n; ++i) out[i] = std::fabs(out[i]);
+          } else {
+            for (int64_t i = 0; i < n; ++i) out[i] = Sgn(out[i]);
+          }
+          return Status::OK();
+        }
+      }
+      std::vector<ScratchBuffer> arg_bufs;
+      std::vector<double*> arg_ptrs;
+      arg_bufs.reserve(expr.args.size());
+      arg_ptrs.reserve(expr.args.size());
       for (const auto& a : expr.args) {
-        SUDAF_ASSIGN_OR_RETURN(std::vector<double> v,
-                               EvalNumericVector(*a, resolver, num_rows));
-        arg_vecs.push_back(std::move(v));
+        arg_bufs.emplace_back(scratch, n);
+        arg_ptrs.push_back(arg_bufs.back().data());
+        SUDAF_RETURN_IF_ERROR(
+            EvalNumericRange(*a, resolver, lo, hi, arg_ptrs.back(), scratch));
       }
-      // Specialize common unary functions.
-      if (arg_vecs.size() == 1) {
-        std::vector<double>& v = arg_vecs[0];
-        if (expr.func_name == "sqrt") {
-          for (double& x : v) x = std::sqrt(x);
-          return std::move(v);
-        }
-        if (expr.func_name == "ln" || expr.func_name == "log") {
-          for (double& x : v) x = std::log(x);
-          return std::move(v);
-        }
-        if (expr.func_name == "exp") {
-          for (double& x : v) x = std::exp(x);
-          return std::move(v);
-        }
-        if (expr.func_name == "abs") {
-          for (double& x : v) x = std::fabs(x);
-          return std::move(v);
-        }
-        if (expr.func_name == "sgn") {
-          for (double& x : v) x = Sgn(x);
-          return std::move(v);
-        }
-      }
-      std::vector<double> out(num_rows);
-      std::vector<double> args(arg_vecs.size());
-      for (int64_t i = 0; i < num_rows; ++i) {
-        for (size_t j = 0; j < arg_vecs.size(); ++j) args[j] = arg_vecs[j][i];
+      std::vector<double> args(expr.args.size());
+      for (int64_t i = 0; i < n; ++i) {
+        for (size_t j = 0; j < arg_ptrs.size(); ++j) args[j] = arg_ptrs[j][i];
         SUDAF_ASSIGN_OR_RETURN(out[i], ApplyScalarFunc(expr.func_name, args));
       }
-      return out;
+      return Status::OK();
     }
     case ExprKind::kAggCall:
     case ExprKind::kStateRef:
@@ -292,6 +346,16 @@ Result<std::vector<double>> EvalNumericVector(const Expr& expr,
                                expr.ToString());
   }
   return Status::Internal("bad expr kind");
+}
+
+Result<std::vector<double>> EvalNumericVector(const Expr& expr,
+                                              const ColumnResolver& resolver,
+                                              int64_t num_rows) {
+  std::vector<double> out(num_rows);
+  EvalScratch scratch;
+  SUDAF_RETURN_IF_ERROR(
+      EvalNumericRange(expr, resolver, 0, num_rows, out.data(), &scratch));
+  return out;
 }
 
 Result<double> EvalTerminating(const Expr& expr,

@@ -12,6 +12,7 @@
 //     of aggregation states (kStateRef nodes).
 
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -32,6 +33,11 @@ Result<double> ApplyScalarFunc(const std::string& name,
 // True if `name` is one of the scalar functions understood by
 // ApplyScalarFunc.
 bool IsKnownScalarFunc(const std::string& name);
+
+// Applies a numeric binary operator to two doubles (comparison/logic
+// operators yield 0/1). Exposed for the fused StateBatch executor's generic
+// slots; arithmetic operators never fail.
+Result<double> ApplyBinaryOp(BinaryOp op, double a, double b);
 
 // --- Row mode ---------------------------------------------------------------
 
@@ -55,6 +61,32 @@ using ColumnResolver =
 Result<std::vector<double>> EvalNumericVector(const Expr& expr,
                                               const ColumnResolver& resolver,
                                               int64_t num_rows);
+
+// Reusable intermediate buffers for EvalNumericRange. One pool per caller
+// (not thread-safe); buffers grow to the largest range evaluated and are
+// recycled across calls, so a morsel loop allocates only on its first
+// iteration.
+class EvalScratch {
+ public:
+  // Borrows a buffer of at least `size` doubles (contents unspecified).
+  std::vector<double>* Acquire(int64_t size);
+  // Returns a borrowed buffer to the pool.
+  void Release(std::vector<double>* buf);
+
+ private:
+  std::vector<std::unique_ptr<std::vector<double>>> free_;
+  std::vector<std::unique_ptr<std::vector<double>>> in_use_;
+};
+
+// Range-based variant of EvalNumericVector: evaluates `expr` for rows
+// [lo, hi) of the resolved columns, writing the hi-lo results into the
+// caller-provided `out` buffer. Intermediates come from `scratch` instead of
+// per-node heap allocations — this is the building block of the morsel-driven
+// executor, where the same expression is evaluated over many small row
+// ranges and must not allocate per morsel.
+Status EvalNumericRange(const Expr& expr, const ColumnResolver& resolver,
+                        int64_t lo, int64_t hi, double* out,
+                        EvalScratch* scratch);
 
 // --- Terminating mode ---------------------------------------------------------
 

@@ -5,6 +5,7 @@
 
 #include "agg/builtin_kernels.h"
 #include "common/timer.h"
+#include "engine/state_batch.h"
 #include "expr/evaluator.h"
 
 namespace sudaf {
@@ -256,33 +257,76 @@ Result<std::unique_ptr<Table>> ChunkedSharingSession::Execute(
     }
     const int32_t num_cgroups = static_cast<int32_t>(composite_keys.size());
 
-    // Per-class channels at composite granularity, each in one pass.
+    // Per-class channels at composite granularity.
     std::map<std::string, StateCache::Entry> computed;
-    for (const StateExec& ex : execs) {
-      if (computed.count(ex.cls.key) > 0) continue;
-      StateCache::Entry channels;
-      ExprPtr main_expr = ex.cls.MainInputExpr();
-      if (main_expr == nullptr) {
-        channels.main = ComputeGroupedState(AggOp::kCount, {}, cgids,
-                                            num_cgroups,
-                                            session_->exec_options());
-      } else {
-        SUDAF_ASSIGN_OR_RETURN(
-            std::vector<double> in,
-            EvalNumericVector(*main_expr, resolver, rows));
-        channels.main = ComputeGroupedState(ex.cls.MainOp(), in, cgids,
-                                            num_cgroups,
-                                            session_->exec_options());
+    if (session_->exec_options().use_fused) {
+      // Fused: all class channels in one morsel-driven pass over the range.
+      std::vector<ExprPtr> keepalive;
+      std::vector<StateBatchRequest> requests;
+      struct PendingEntry {
+        std::string key;
+        int main_idx = -1;
+        int sign_idx = -1;
+      };
+      std::vector<PendingEntry> pending;
+      for (const StateExec& ex : execs) {
+        if (computed.count(ex.cls.key) > 0) continue;
+        computed[ex.cls.key];  // reserve the key to dedup duplicate classes
+        PendingEntry pe;
+        pe.key = ex.cls.key;
+        pe.main_idx = static_cast<int>(requests.size());
+        ExprPtr main_expr = ex.cls.MainInputExpr();
+        if (main_expr == nullptr) {
+          requests.push_back({AggOp::kCount, nullptr});
+        } else {
+          requests.push_back({ex.cls.MainOp(), main_expr.get()});
+          keepalive.push_back(std::move(main_expr));
+        }
+        if (ex.cls.log_domain) {
+          ExprPtr sign_expr = ex.cls.SignInputExpr();
+          pe.sign_idx = static_cast<int>(requests.size());
+          requests.push_back({AggOp::kProd, sign_expr.get()});
+          keepalive.push_back(std::move(sign_expr));
+        }
+        pending.push_back(std::move(pe));
       }
-      if (ex.cls.log_domain) {
-        SUDAF_ASSIGN_OR_RETURN(
-            std::vector<double> sgn,
-            EvalNumericVector(*ex.cls.SignInputExpr(), resolver, rows));
-        channels.sign = ComputeGroupedState(AggOp::kProd, sgn, cgids,
-                                            num_cgroups,
-                                            session_->exec_options());
+      SUDAF_ASSIGN_OR_RETURN(
+          std::vector<std::vector<double>> batch,
+          ComputeStateBatch(requests, resolver, cgids, num_cgroups,
+                            session_->exec_options()));
+      for (PendingEntry& pe : pending) {
+        StateCache::Entry& channels = computed[pe.key];
+        channels.main = std::move(batch[pe.main_idx]);
+        if (pe.sign_idx >= 0) channels.sign = std::move(batch[pe.sign_idx]);
       }
-      computed[ex.cls.key] = std::move(channels);
+    } else {
+      // Legacy: one full-column materialization + grouped pass per channel.
+      for (const StateExec& ex : execs) {
+        if (computed.count(ex.cls.key) > 0) continue;
+        StateCache::Entry channels;
+        ExprPtr main_expr = ex.cls.MainInputExpr();
+        if (main_expr == nullptr) {
+          channels.main = ComputeGroupedState(AggOp::kCount, {}, cgids,
+                                              num_cgroups,
+                                              session_->exec_options());
+        } else {
+          SUDAF_ASSIGN_OR_RETURN(
+              std::vector<double> in,
+              EvalNumericVector(*main_expr, resolver, rows));
+          channels.main = ComputeGroupedState(ex.cls.MainOp(), in, cgids,
+                                              num_cgroups,
+                                              session_->exec_options());
+        }
+        if (ex.cls.log_domain) {
+          SUDAF_ASSIGN_OR_RETURN(
+              std::vector<double> sgn,
+              EvalNumericVector(*ex.cls.SignInputExpr(), resolver, rows));
+          channels.sign = ComputeGroupedState(AggOp::kProd, sgn, cgids,
+                                              num_cgroups,
+                                              session_->exec_options());
+        }
+        computed[ex.cls.key] = std::move(channels);
+      }
     }
 
     // Scatter composite results into per-chunk entries. Every chunk in the

@@ -1,10 +1,12 @@
 #include "sudaf/session.h"
 
+#include <algorithm>
 #include <map>
 #include <set>
 
 #include "agg/interpreted_udaf.h"
 #include "common/timer.h"
+#include "engine/state_batch.h"
 #include "expr/evaluator.h"
 
 namespace sudaf {
@@ -164,6 +166,88 @@ Result<std::unique_ptr<Table>> SudafSession::ExecuteSudaf(
   // Computed class entries local to this query (used in no-share mode and
   // as a per-query dedup in share mode).
   std::map<std::string, StateCache::Entry> local_entries;
+
+  if (exec_.use_fused && any_miss) {
+    // Fused path: gather every missing channel — one (op, input) request per
+    // class main state plus an optional sign channel — and compute them all
+    // in a single morsel-driven pass over the frame. The distribution loop
+    // below then finds every entry pre-populated; its per-state compute
+    // branches only run on the legacy (use_fused == false) path.
+    std::vector<ExprPtr> keepalive;  // owns cloned inputs referenced below
+    std::vector<StateBatchRequest> requests;
+    struct PendingEntry {
+      std::string key;
+      int main_idx = -1;
+      int sign_idx = -1;
+      bool shared = false;  // destination: group_set (share) vs local_entries
+    };
+    std::vector<PendingEntry> pending;
+    std::set<std::string> scheduled;
+
+    for (size_t i = 0; i < states.size(); ++i) {
+      StateExec& ex = execs[i];
+      PendingEntry pe;
+      if (share) {
+        if (ex.from_cache || group_set->entries.count(ex.cls.key) > 0 ||
+            !scheduled.insert(ex.cls.key).second) {
+          continue;
+        }
+        pe.key = ex.cls.key;
+        pe.shared = true;
+        ExprPtr main_expr = ex.cls.MainInputExpr();
+        pe.main_idx = static_cast<int>(requests.size());
+        if (main_expr == nullptr) {
+          requests.push_back({AggOp::kCount, nullptr});
+        } else {
+          requests.push_back({ex.cls.MainOp(), main_expr.get()});
+          keepalive.push_back(std::move(main_expr));
+        }
+        if (ex.cls.log_domain) {
+          ExprPtr sign_expr = ex.cls.SignInputExpr();
+          pe.sign_idx = static_cast<int>(requests.size());
+          requests.push_back({AggOp::kProd, sign_expr.get()});
+          keepalive.push_back(std::move(sign_expr));
+        }
+      } else {
+        std::string direct_key = "direct|" + states[i].Key();
+        if (!scheduled.insert(direct_key).second) continue;
+        pe.key = std::move(direct_key);
+        pe.main_idx = static_cast<int>(requests.size());
+        if (states[i].op == AggOp::kCount) {
+          requests.push_back({AggOp::kCount, nullptr});
+        } else {
+          requests.push_back({states[i].op, states[i].input.get()});
+        }
+      }
+      pending.push_back(std::move(pe));
+    }
+
+    if (!requests.empty()) {
+      StateBatchStats bstats;
+      SUDAF_ASSIGN_OR_RETURN(
+          std::vector<std::vector<double>> batch,
+          ComputeStateBatch(requests, resolver, input.group_ids, num_groups,
+                            exec_, &bstats));
+      for (PendingEntry& pe : pending) {
+        StateCache::Entry entry;
+        entry.main = std::move(batch[pe.main_idx]);
+        if (pe.sign_idx >= 0) entry.sign = std::move(batch[pe.sign_idx]);
+        if (pe.shared) {
+          group_set->entries.emplace(pe.key, std::move(entry));
+        } else {
+          local_entries.emplace(pe.key, std::move(entry));
+        }
+        ++stats_.states_computed;
+      }
+      stats_.used_fused = true;
+      stats_.morsels += bstats.morsels;
+      stats_.fused_channels += bstats.num_channels;
+      stats_.fused_slots += bstats.num_slots;
+      stats_.fused_shared_slots += bstats.num_shared_slots;
+      stats_.fused_threads =
+          std::max(stats_.fused_threads, bstats.threads_used);
+    }
+  }
 
   auto compute_class_entry =
       [&](const StateClass& cls) -> Result<StateCache::Entry> {

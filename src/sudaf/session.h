@@ -22,6 +22,7 @@
 //       "SELECT square_id, my_mean(traffic) FROM milan_data "
 //       "GROUP BY square_id", ExecMode::kSudafShare);
 
+#include <cstdint>
 #include <memory>
 #include <string>
 
@@ -49,6 +50,15 @@ struct ExecStats {
   int states_from_cache = 0;
   int states_computed = 0;
   bool scanned_base_data = false;
+
+  // Fused StateBatch executor observability (zero when the legacy
+  // per-state path ran, i.e. ExecOptions::use_fused == false).
+  bool used_fused = false;
+  int64_t morsels = 0;          // morsels processed across fused passes
+  int fused_channels = 0;       // distinct (op, input) channels computed
+  int fused_slots = 0;          // DAG slots evaluated per morsel
+  int fused_shared_slots = 0;   // slots reused across states (CSE hits)
+  int fused_threads = 1;        // max worker count of any fused pass
 };
 
 class SudafSession {

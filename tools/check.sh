@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Build + test under a sanitizer configuration. The new threaded execution
+# paths (thread pool, fused StateBatch) should be validated with
+#
+#   tools/check.sh tsan     # race-check the thread pool / morsel pipeline
+#   tools/check.sh asan     # memory/UB check
+#   tools/check.sh release  # plain optimized build (default)
+#
+# Requires cmake >= 3.23 (presets). Runs from anywhere inside the repo.
+set -euo pipefail
+
+preset="${1:-release}"
+case "$preset" in
+  release|asan|tsan) ;;
+  *) echo "usage: $0 [release|asan|tsan]" >&2; exit 2 ;;
+esac
+
+cd "$(git -C "$(dirname "$0")" rev-parse --show-toplevel)"
+
+cmake --preset "$preset"
+cmake --build --preset "$preset" -j "$(nproc)"
+ctest --preset "$preset" -j "$(nproc)"
