@@ -1,0 +1,91 @@
+#include "common/failpoint.h"
+
+#include <atomic>
+#include <map>
+#include <mutex>
+
+namespace sudaf {
+
+namespace {
+
+struct Spec {
+  Status error;
+  int skip = 0;
+  int count = 1;
+};
+
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, Spec> specs;
+  std::map<std::string, int64_t> hits;
+};
+
+// Leaked intentionally: failpoints may be evaluated from worker threads
+// that outlive static destruction order.
+Registry& registry() {
+  static Registry* r = new Registry();
+  return *r;
+}
+
+// Number of currently armed sites. The zero check is the entire cost of an
+// inactive failpoint.
+std::atomic<int> num_active{0};
+
+}  // namespace
+
+void FailPoint::Activate(const std::string& site, Status error, int skip,
+                         int count) {
+  SUDAF_CHECK_MSG(!error.ok(), "failpoint must inject a non-OK status");
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  Spec spec{std::move(error), skip, count};
+  auto [it, inserted] = r.specs.insert_or_assign(site, std::move(spec));
+  (void)it;
+  if (inserted) num_active.fetch_add(1, std::memory_order_release);
+}
+
+void FailPoint::Deactivate(const std::string& site) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  if (r.specs.erase(site) > 0) {
+    num_active.fetch_sub(1, std::memory_order_release);
+  }
+}
+
+void FailPoint::DeactivateAll() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  num_active.fetch_sub(static_cast<int>(r.specs.size()),
+                       std::memory_order_release);
+  r.specs.clear();
+  r.hits.clear();
+}
+
+int64_t FailPoint::Hits(const std::string& site) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.hits.find(site);
+  return it == r.hits.end() ? 0 : it->second;
+}
+
+Status FailPoint::Check(const char* site) {
+  if (num_active.load(std::memory_order_acquire) == 0) return Status::OK();
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  ++r.hits[site];
+  auto it = r.specs.find(site);
+  if (it == r.specs.end()) return Status::OK();
+  Spec& spec = it->second;
+  if (spec.skip > 0) {
+    --spec.skip;
+    return Status::OK();
+  }
+  Status err = spec.error;
+  if (--spec.count <= 0) {
+    r.specs.erase(it);
+    num_active.fetch_sub(1, std::memory_order_release);
+  }
+  return err;
+}
+
+}  // namespace sudaf

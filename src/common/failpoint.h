@@ -1,0 +1,60 @@
+#ifndef SUDAF_COMMON_FAILPOINT_H_
+#define SUDAF_COMMON_FAILPOINT_H_
+
+// Deterministic fault injection: named failure sites, runtime activation
+// (the Arrow/RocksDB sync-point idiom, trimmed to Status injection).
+//
+// Production code marks a site once:
+//
+//   SUDAF_FAILPOINT("cache:insert");            // returns on injected error
+//
+// and tests drive it:
+//
+//   FailPoint::Activate("cache:insert", Status::Internal("injected"));
+//   ... run the query, observe the typed failure and the recovery path ...
+//
+// An inactive site costs a single relaxed atomic load — failpoints are
+// compiled in unconditionally so the exact binaries under test ship to
+// production.
+//
+// Registered sites (kept in sync with docs/robustness.md):
+//   cache:probe           before the state-cache probe in Session
+//   cache:insert          before each state-cache entry insertion
+//   state_batch:morsel    before each fused-executor morsel
+//   thread_pool:dispatch  before each task of a fallible ParallelFor
+//   csv:scan              before each CSV record is parsed
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace sudaf {
+
+class FailPoint {
+ public:
+  // Activates `site`: after `skip` passing evaluations, the next `count`
+  // evaluations return a copy of `error`; the spec then expires on its own.
+  // Re-activating a site replaces its previous spec.
+  static void Activate(const std::string& site, Status error, int skip = 0,
+                       int count = 1);
+  static void Deactivate(const std::string& site);
+  static void DeactivateAll();
+
+  // Times `site` was evaluated since the last DeactivateAll(). Tracked only
+  // while at least one site is active (the inactive fast path is lock-free
+  // and counts nothing).
+  static int64_t Hits(const std::string& site);
+
+  // Evaluates `site`; called via SUDAF_FAILPOINT.
+  static Status Check(const char* site);
+};
+
+}  // namespace sudaf
+
+// Marks a failure site; propagates the injected Status to the caller when
+// the site is active and due to fire.
+#define SUDAF_FAILPOINT(site) \
+  SUDAF_RETURN_IF_ERROR(::sudaf::FailPoint::Check(site))
+
+#endif  // SUDAF_COMMON_FAILPOINT_H_

@@ -1,0 +1,38 @@
+#include "common/query_guard.h"
+
+#include <string>
+
+namespace sudaf {
+
+void QueryGuard::ArmDeadline(double timeout_ms) {
+  has_deadline_ = true;
+  deadline_ = std::chrono::steady_clock::now() +
+              std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                  std::chrono::duration<double, std::milli>(
+                      timeout_ms > 0 ? timeout_ms : 0));
+}
+
+Status QueryGuard::Check() const {
+  checks_.fetch_add(1, std::memory_order_relaxed);
+  if (token_ != nullptr && token_->cancelled()) {
+    return Status::Cancelled("query cancelled");
+  }
+  if (has_deadline_ && std::chrono::steady_clock::now() >= deadline_) {
+    return Status::DeadlineExceeded("query deadline exceeded");
+  }
+  return Status::OK();
+}
+
+Status QueryGuard::ChargeMemory(int64_t bytes) const {
+  if (memory_budget_ <= 0) return Status::OK();
+  int64_t total =
+      memory_charged_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  if (total > memory_budget_) {
+    return Status::ResourceExhausted(
+        "memory budget exceeded: " + std::to_string(total) + " of " +
+        std::to_string(memory_budget_) + " bytes");
+  }
+  return Status::OK();
+}
+
+}  // namespace sudaf

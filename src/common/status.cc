@@ -1,5 +1,8 @@
 #include "common/status.h"
 
+#include <cstdlib>
+#include <iostream>
+
 namespace sudaf {
 
 const char* StatusCodeName(StatusCode code) {
@@ -20,6 +23,12 @@ const char* StatusCodeName(StatusCode code) {
       return "ParseError";
     case StatusCode::kTypeError:
       return "TypeError";
+    case StatusCode::kCancelled:
+      return "Cancelled";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
   }
   return "Unknown";
 }

@@ -7,8 +7,6 @@
 // `Status` (procedures) or `Result<T>` (functions). This follows the
 // Arrow/RocksDB idiom for database libraries.
 
-#include <cstdlib>
-#include <iostream>
 #include <optional>
 #include <string>
 #include <utility>
@@ -24,6 +22,12 @@ enum class StatusCode {
   kInternal,
   kParseError,
   kTypeError,
+  // Hardened-execution codes (see docs/robustness.md): the query was
+  // cancelled through its QueryGuard, overran its wall-clock deadline, or
+  // exceeded its memory budget.
+  kCancelled,
+  kDeadlineExceeded,
+  kResourceExhausted,
 };
 
 // Returns a short human-readable name for `code` ("OK", "ParseError", ...).
@@ -57,6 +61,15 @@ class Status {
   }
   static Status TypeError(std::string msg) {
     return Status(StatusCode::kTypeError, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/failpoint.h"
+
 namespace sudaf {
 
 ThreadPool::ThreadPool(int num_workers) {
@@ -92,6 +94,28 @@ void ThreadPool::ParallelFor(int64_t num_tasks,
     job_active_ = false;
     job_fn_ = nullptr;
   }
+}
+
+Status ThreadPool::TryParallelFor(int64_t num_tasks,
+                                  const std::function<Status(int64_t)>& fn) {
+  std::mutex err_mu;
+  Status first_error;          // of the lowest-indexed failed task
+  int64_t first_error_task = -1;
+  std::atomic<bool> failed{false};
+  ParallelFor(num_tasks, [&](int64_t t) {
+    if (failed.load(std::memory_order_relaxed)) return;  // fail fast
+    Status st = FailPoint::Check("thread_pool:dispatch");
+    if (st.ok()) st = fn(t);
+    if (!st.ok()) {
+      std::lock_guard<std::mutex> lock(err_mu);
+      if (first_error_task < 0 || t < first_error_task) {
+        first_error_task = t;
+        first_error = std::move(st);
+      }
+      failed.store(true, std::memory_order_relaxed);
+    }
+  });
+  return first_error;
 }
 
 ThreadPool& ThreadPool::Global() {

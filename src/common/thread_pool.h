@@ -12,7 +12,10 @@
 // deterministic for a fixed task count.
 //
 // One job runs at a time; concurrent ParallelFor calls serialize on an
-// internal mutex. Task functions must not throw.
+// internal mutex. Task functions must not throw: fallible work returns
+// Status through the fallible ParallelFor overload, which propagates the
+// failure deterministically instead of leaving it to unwind across the
+// pool (UB).
 
 #include <atomic>
 #include <cstdint>
@@ -21,6 +24,8 @@
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/status.h"
 
 namespace sudaf {
 
@@ -45,6 +50,16 @@ class ThreadPool {
   // participates, so up to num_workers()+1 tasks execute concurrently.
   // Blocks until all tasks completed.
   void ParallelFor(int64_t num_tasks, const std::function<void(int64_t)>& fn);
+
+  // Fallible variant (separate name: a Status-returning lambda would make
+  // an overload ambiguous, since std::function<void(...)> also accepts it).
+  // After the first task failure, remaining tasks are skipped (fail fast),
+  // and the error of the LOWEST-indexed failed task is returned — so a
+  // deterministic fault (guard trip, failpoint) yields the same Status
+  // regardless of worker interleaving. Each executed task first passes the
+  // "thread_pool:dispatch" failpoint. Returns OK when every task succeeded.
+  Status TryParallelFor(int64_t num_tasks,
+                        const std::function<Status(int64_t)>& fn);
 
   // Process-wide pool, created empty on first use and grown on demand
   // (capped at kMaxGlobalWorkers).

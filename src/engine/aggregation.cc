@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "agg/builtin_kernels.h"
+#include "common/query_guard.h"
 #include "common/thread_pool.h"
 
 namespace sudaf {
@@ -190,10 +191,17 @@ Result<std::vector<double>> RunHardcodedUdaf(
   const int64_t n = static_cast<int64_t>(group_ids.size());
   const int num_args = udaf.num_args();
 
+  // Row-at-a-time driving is the slowest engine path, so the guard is
+  // checked every kGuardStride rows — the legacy-path equivalent of the
+  // fused executor's morsel-boundary check.
+  constexpr int64_t kGuardStride = 4096;
   auto run_range = [&](int64_t lo, int64_t hi,
-                       std::vector<std::vector<Value>>* states) {
+                       std::vector<std::vector<Value>>* states) -> Status {
     std::vector<Value> args(num_args);
     for (int64_t i = lo; i < hi; ++i) {
+      if (opts.guard != nullptr && (i - lo) % kGuardStride == 0) {
+        SUDAF_RETURN_IF_ERROR(opts.guard->Check());
+      }
       // Box every input value — this is the per-row overhead hardcoded
       // UDAFs pay in real engines.
       for (int a = 0; a < num_args; ++a) {
@@ -201,6 +209,7 @@ Result<std::vector<double>> RunHardcodedUdaf(
       }
       udaf.Update(&(*states)[group_ids[i]], args);
     }
+    return Status::OK();
   };
 
   auto make_states = [&]() {
@@ -212,20 +221,22 @@ Result<std::vector<double>> RunHardcodedUdaf(
   std::vector<std::vector<Value>> final_states;
   if (!opts.partitioned || opts.num_partitions <= 1) {
     final_states = make_states();
-    run_range(0, n, &final_states);
+    SUDAF_RETURN_IF_ERROR(run_range(0, n, &final_states));
   } else {
     const int parts = opts.num_partitions;
     std::vector<std::vector<std::vector<Value>>> partials(parts);
     for (int p = 0; p < parts; ++p) partials[p] = make_states();
-    auto run_partition = [&](int64_t p) {
-      run_range(n * p / parts, n * (p + 1) / parts, &partials[p]);
+    auto run_partition = [&](int64_t p) -> Status {
+      return run_range(n * p / parts, n * (p + 1) / parts, &partials[p]);
     };
     if (opts.parallel) {
       ThreadPool& pool = ThreadPool::Global();
       pool.EnsureWorkers(std::min(parts - 1, ThreadPool::kMaxGlobalWorkers));
-      pool.ParallelFor(parts, run_partition);
+      SUDAF_RETURN_IF_ERROR(pool.TryParallelFor(parts, run_partition));
     } else {
-      for (int p = 0; p < parts; ++p) run_partition(p);
+      for (int p = 0; p < parts; ++p) {
+        SUDAF_RETURN_IF_ERROR(run_partition(p));
+      }
     }
     final_states = std::move(partials[0]);
     for (int p = 1; p < parts; ++p) {

@@ -3,6 +3,8 @@
 
 namespace sudaf {
 
+class QueryGuard;
+
 // Execution-context knobs.
 //
 // `partitioned = false` models a single-node engine (the paper's PostgreSQL
@@ -32,6 +34,14 @@ struct ExecOptions {
   // 0 = std::thread::hardware_concurrency(). Ignored when parallel=false
   // (single-threaded morsel loop).
   int num_threads = 0;
+
+  // --- Hardened execution (docs/robustness.md) ---------------------------
+  // Borrowed per-query guard: cancellation token, wall-clock deadline,
+  // memory budget. Checked at morsel boundaries in the fused executor, per
+  // select item / row batch in the legacy engine path, and between SUDAF
+  // pipeline stages. Null (default) disables all guard checks. The guard
+  // must outlive every execution that uses these options.
+  const QueryGuard* guard = nullptr;
 };
 
 }  // namespace sudaf

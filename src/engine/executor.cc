@@ -5,6 +5,7 @@
 #include <set>
 
 #include "agg/builtin_kernels.h"
+#include "common/query_guard.h"
 #include "engine/state_batch.h"
 #include "expr/evaluator.h"
 
@@ -64,7 +65,13 @@ Result<PreparedInput> Executor::Prepare(
 
 Result<std::unique_ptr<Table>> Executor::Execute(
     const SelectStatement& stmt, const ExecOptions& opts) const {
+  if (opts.guard != nullptr) {
+    SUDAF_RETURN_IF_ERROR(opts.guard->Check());
+  }
   SUDAF_ASSIGN_OR_RETURN(PreparedInput input, Prepare(stmt));
+  if (opts.guard != nullptr) {
+    SUDAF_RETURN_IF_ERROR(opts.guard->ChargeMemory(input.frame->ApproxBytes()));
+  }
   const Table& frame = *input.frame;
   const int32_t num_groups = input.num_groups;
 
@@ -124,6 +131,12 @@ Result<std::unique_ptr<Table>> Executor::Execute(
   }
 
   for (size_t i = 0; i < stmt.items.size(); ++i) {
+    // Legacy per-item path: each select item may trigger a full-column
+    // materialization and grouped pass, so the guard is re-checked between
+    // items (the fused pre-pass above checks at morsel granularity).
+    if (opts.guard != nullptr) {
+      SUDAF_RETURN_IF_ERROR(opts.guard->Check());
+    }
     const SelectItem& item = stmt.items[i];
     const Expr& expr = *item.expr;
     const std::string out_name = SelectItemName(item);

@@ -8,6 +8,8 @@
 #include <thread>
 
 #include "agg/builtin_kernels.h"
+#include "common/failpoint.h"
+#include "common/query_guard.h"
 #include "common/thread_pool.h"
 #include "storage/column.h"
 
@@ -515,34 +517,50 @@ Result<std::vector<std::vector<double>>> ComputeStateBatch(
     workers = std::min(workers, ThreadPool::kMaxGlobalWorkers + 1);
   }
 
+  // Admit the pass's scratch footprint against the query's memory budget
+  // before allocating: per worker, one morsel-sized buffer per non-alias
+  // slot plus the num_channels × num_groups accumulator block.
+  if (opts.guard != nullptr) {
+    int64_t buffered_slots = 0;
+    for (const Slot& s : plan.slots()) {
+      if (s.kind != Slot::Kind::kColumnF64) ++buffered_slots;
+    }
+    const int64_t scratch_bytes =
+        static_cast<int64_t>(workers) *
+        (buffered_slots * morsel +
+         static_cast<int64_t>(plan.channels().size()) * num_groups) *
+        static_cast<int64_t>(sizeof(double));
+    SUDAF_RETURN_IF_ERROR(opts.guard->ChargeMemory(scratch_bytes));
+  }
+
   std::vector<WorkerEval> evals(workers);
-  std::vector<Status> worker_status(workers, Status::OK());
-  auto run_worker = [&](int64_t wi) {
+  auto run_worker = [&](int64_t wi) -> Status {
     WorkerEval& we = evals[wi];
     we.Init(plan, morsel, num_groups);
     const int64_t first = num_morsels * wi / workers;
     const int64_t last = num_morsels * (wi + 1) / workers;
     for (int64_t m = first; m < last; ++m) {
+      // Morsel boundary: fault-injection site, then the query guard
+      // (cancellation / deadline). A trip here aborts the whole pass with a
+      // typed error before any result is produced.
+      SUDAF_FAILPOINT("state_batch:morsel");
+      if (opts.guard != nullptr) {
+        SUDAF_RETURN_IF_ERROR(opts.guard->Check());
+      }
       const int64_t lo = m * morsel;
       const int64_t len = std::min(morsel, n - lo);
-      Status st = EvalMorsel(plan, &we, lo, len);
-      if (!st.ok()) {
-        worker_status[wi] = std::move(st);
-        return;
-      }
+      SUDAF_RETURN_IF_ERROR(EvalMorsel(plan, &we, lo, len));
       AccumulateMorsel(plan, &we, group_ids.data(), lo, len, num_groups);
     }
+    return Status::OK();
   };
 
   if (workers > 1) {
     ThreadPool& pool = ThreadPool::Global();
     pool.EnsureWorkers(workers - 1);
-    pool.ParallelFor(workers, run_worker);
+    SUDAF_RETURN_IF_ERROR(pool.TryParallelFor(workers, run_worker));
   } else {
-    run_worker(0);
-  }
-  for (Status& st : worker_status) {
-    if (!st.ok()) return std::move(st);
+    SUDAF_RETURN_IF_ERROR(run_worker(0));
   }
 
   // Merge worker blocks with ⊕ in worker order (deterministic for a fixed

@@ -8,15 +8,29 @@ Status Catalog::AddTable(const std::string& name,
     return Status::AlreadyExists("table already exists: " + name);
   }
   tables_.emplace(name, std::move(table));
+  TouchTable(name);
   return Status::OK();
 }
 
 void Catalog::PutTable(const std::string& name, std::unique_ptr<Table> table) {
   tables_[name] = std::move(table);
+  TouchTable(name);
 }
 
 void Catalog::PutExternalTable(const std::string& name, Table* table) {
   external_[name] = table;
+  TouchTable(name);
+}
+
+uint64_t Catalog::TableEpoch(const std::string& name) const {
+  auto it = epochs_.find(name);
+  return it == epochs_.end() ? 0 : it->second;
+}
+
+uint64_t Catalog::TablesEpoch(const std::vector<std::string>& names) const {
+  uint64_t epoch = 0;
+  for (const std::string& name : names) epoch += TableEpoch(name);
+  return epoch;
 }
 
 Result<Table*> Catalog::GetTable(const std::string& name) const {

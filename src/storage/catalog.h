@@ -2,7 +2,14 @@
 #define SUDAF_STORAGE_CATALOG_H_
 
 // Catalog: owns named tables for one database instance.
+//
+// Every mutation of a name (AddTable / PutTable / PutExternalTable /
+// TouchTable) bumps that table's epoch. Cached derived state (the SUDAF
+// StateCache) snapshots the epochs of the tables it covers and is
+// invalidated on probe when any of them has advanced — see
+// docs/robustness.md for the contract.
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
@@ -31,9 +38,22 @@ class Catalog {
 
   std::vector<std::string> TableNames() const;
 
+  // Declares that `name` was mutated in place (e.g. rows appended to an
+  // external table by its owner), bumping its epoch so cached state over it
+  // is invalidated on the next probe.
+  void TouchTable(const std::string& name) { ++epochs_[name]; }
+
+  // Mutation epoch of `name`; 0 for a never-registered name.
+  uint64_t TableEpoch(const std::string& name) const;
+
+  // Combined epoch of a query's table set (the sum — any mutation of any
+  // referenced table changes it, mutations of unrelated tables don't).
+  uint64_t TablesEpoch(const std::vector<std::string>& names) const;
+
  private:
   std::map<std::string, std::unique_ptr<Table>> tables_;
   std::map<std::string, Table*> external_;
+  std::map<std::string, uint64_t> epochs_;
 };
 
 }  // namespace sudaf

@@ -14,6 +14,16 @@ int64_t Column::size() const {
   return 0;
 }
 
+int64_t Column::ApproxBytes() const {
+  int64_t bytes = static_cast<int64_t>(
+      ints_.size() * sizeof(int64_t) + doubles_.size() * sizeof(double) +
+      codes_.size() * sizeof(int32_t));
+  for (const std::string& s : dict_) {
+    bytes += static_cast<int64_t>(s.size() + sizeof(std::string));
+  }
+  return bytes;
+}
+
 void Column::Reserve(int64_t n) {
   switch (type_) {
     case DataType::kInt64:

@@ -56,6 +56,10 @@ class Column {
   // Useful for constant-time string equality predicates.
   int32_t LookupDictionary(const std::string& s) const;
 
+  // Approximate heap footprint of the value buffers (dictionary included),
+  // used for QueryGuard memory budgeting.
+  int64_t ApproxBytes() const;
+
  private:
   DataType type_;
   std::vector<int64_t> ints_;        // kInt64

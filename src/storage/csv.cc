@@ -8,6 +8,8 @@
 #include <sstream>
 #include <vector>
 
+#include "common/failpoint.h"
+
 namespace sudaf {
 
 namespace {
@@ -106,6 +108,10 @@ ReadRecords(const std::string& path) {
   while (std::getline(in, line)) {
     ++line_number;
     if (line.empty() || (line.size() == 1 && line[0] == '\r')) continue;
+    // Lets tests simulate a scan that dies mid-file (truncated input,
+    // flaky storage) and assert the engine surfaces a typed error instead
+    // of a partial table.
+    SUDAF_FAILPOINT("csv:scan");
     SUDAF_ASSIGN_OR_RETURN(std::vector<std::string> fields,
                            SplitRecord(line, line_number));
     if (fields.size() != header.size()) {

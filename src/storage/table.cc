@@ -22,6 +22,12 @@ void Table::Reserve(int64_t n) {
   for (auto& col : columns_) col->Reserve(n);
 }
 
+int64_t Table::ApproxBytes() const {
+  int64_t bytes = 0;
+  for (const auto& col : columns_) bytes += col->ApproxBytes();
+  return bytes;
+}
+
 void Table::AppendRow(const std::vector<Value>& values) {
   SUDAF_CHECK(static_cast<int>(values.size()) == num_columns());
   for (int i = 0; i < num_columns(); ++i) {

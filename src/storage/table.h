@@ -41,6 +41,10 @@ class Table {
   // and debugging).
   std::string ToString(int64_t max_rows = 20) const;
 
+  // Approximate heap footprint of all column buffers, used for QueryGuard
+  // memory budgeting.
+  int64_t ApproxBytes() const;
+
  private:
   Schema schema_;
   std::vector<std::unique_ptr<Column>> columns_;

@@ -1,6 +1,7 @@
 #include "sudaf/cache.h"
 
 #include <algorithm>
+#include <cmath>
 
 namespace sudaf {
 
@@ -31,26 +32,55 @@ std::unique_ptr<Table> CopyTable(const Table& table) {
 
 }  // namespace
 
-StateCache::GroupSet* StateCache::Find(const std::string& data_sig) {
+StateCache::GroupSet* StateCache::Find(const std::string& data_sig,
+                                       uint64_t epoch) {
   auto it = sets_.find(data_sig);
-  return it == sets_.end() ? nullptr : &it->second;
+  if (it == sets_.end()) return nullptr;
+  if (it->second.epoch != epoch) {
+    // A covered table mutated since this set was built: every entry in it
+    // describes data that no longer exists. Invalidate-on-probe.
+    sets_.erase(it);
+    ++counters_.epoch_invalidations;
+    return nullptr;
+  }
+  return &it->second;
 }
 
 StateCache::GroupSet* StateCache::GetOrCreate(const std::string& data_sig,
                                               const Table& group_keys,
-                                              int32_t num_groups) {
+                                              int32_t num_groups,
+                                              uint64_t epoch) {
   auto it = sets_.find(data_sig);
   if (it != sets_.end()) {
-    if (it->second.num_groups == num_groups) {
+    if (it->second.epoch != epoch) {
+      sets_.erase(it);
+      ++counters_.epoch_invalidations;
+    } else if (it->second.num_groups != num_groups) {
+      // Group-count heuristic: kept as a backstop behind epoch
+      // invalidation; a discard here means data changed without an epoch
+      // bump (an in-place mutation missing TouchTable).
+      sets_.erase(it);
+      ++counters_.stale_discards;
+    } else {
       return &it->second;
     }
-    sets_.erase(it);  // stale
   }
   GroupSet set;
   set.group_keys = CopyTable(group_keys);
   set.num_groups = num_groups;
+  set.epoch = epoch;
   auto [inserted, _] = sets_.emplace(data_sig, std::move(set));
   return &inserted->second;
+}
+
+bool EntryIsPoisoned(const StateCache::Entry& entry) {
+  for (double v : entry.main) {
+    if (!std::isfinite(v)) return true;
+  }
+  for (double v : entry.sign) {
+    if (!std::isfinite(v)) return true;
+  }
+  return false;
 }
 
 int64_t StateCache::num_entries() const {

@@ -13,9 +13,18 @@
 // and, for log-domain classes, the Π sgn(M) side channel (Section 5.3's
 // sign separation).
 //
-// The cache assumes the underlying tables are immutable while it holds
-// entries (the analytical setting of the paper). After mutating or
-// replacing a table, call Clear().
+// Staleness is handled by *epoch invalidation* (docs/robustness.md): every
+// group set snapshots the combined catalog epoch of the tables it covers,
+// and a probe with a newer epoch discards the set before it can serve
+// stale answers. Catalog mutations bump epochs automatically, so callers
+// no longer need the old "call Clear() after mutating a table" contract
+// (Clear() remains for bulk memory reclamation). The group-count heuristic
+// is kept as a second line of defense and its discards are counted.
+//
+// Poison safety: entries whose channels contain NaN/±Inf must never be
+// shared across queries. Use EntryIsPoisoned() before inserting; the
+// SUDAF session both refuses to insert poisoned entries and evicts any it
+// finds at probe time.
 
 #include <cstdint>
 #include <map>
@@ -41,19 +50,32 @@ class StateCache {
     std::unique_ptr<Table> group_keys;
     int32_t num_groups = 0;  // may exceed group_keys->num_rows() for the
                              // ungrouped (zero-key-column) case
+    uint64_t epoch = 0;      // combined catalog epoch at creation
     std::map<std::string, Entry> entries;  // class key -> channels
   };
 
-  // Returns the group set for `data_sig`, or nullptr when nothing is cached.
-  GroupSet* Find(const std::string& data_sig);
+  // Cumulative invalidation counters over this cache's lifetime. Per-query
+  // deltas are surfaced through ExecStats.
+  struct Counters {
+    int64_t epoch_invalidations = 0;  // sets dropped: table epoch advanced
+    int64_t stale_discards = 0;       // sets dropped: group-count mismatch
+  };
+
+  // Returns the group set for `data_sig`, or nullptr when nothing (valid)
+  // is cached. A set created under an older `epoch` is discarded on probe
+  // and counted in counters().epoch_invalidations.
+  GroupSet* Find(const std::string& data_sig, uint64_t epoch = 0);
 
   // Returns the group set for `data_sig`, creating it (with a copy of
-  // `group_keys`) on first use. If an existing set has a mismatched group
-  // count (stale), it is discarded and recreated.
+  // `group_keys`) on first use. An existing set is discarded and recreated
+  // when its epoch is older (epoch invalidation) or its group count
+  // mismatches (stale-set heuristic); both paths are counted.
   GroupSet* GetOrCreate(const std::string& data_sig, const Table& group_keys,
-                        int32_t num_groups);
+                        int32_t num_groups, uint64_t epoch = 0);
 
   void Clear() { sets_.clear(); }
+
+  const Counters& counters() const { return counters_; }
 
   int64_t num_group_sets() const { return static_cast<int64_t>(sets_.size()); }
   // Total number of cached state instances across all group sets.
@@ -63,7 +85,12 @@ class StateCache {
 
  private:
   std::map<std::string, GroupSet> sets_;
+  Counters counters_;
 };
+
+// True when any channel value of `entry` is NaN or ±Inf — an overflowed or
+// half-computed state that must not be shared across queries.
+bool EntryIsPoisoned(const StateCache::Entry& entry);
 
 // Canonical data signature of a statement: lower-cased sorted table list,
 // sorted WHERE conjunct strings, and the group-by list. Two queries with

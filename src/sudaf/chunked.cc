@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "agg/builtin_kernels.h"
+#include "common/query_guard.h"
 #include "common/timer.h"
 #include "engine/state_batch.h"
 #include "expr/evaluator.h"
@@ -71,6 +72,9 @@ Result<std::unique_ptr<Table>> ChunkedSharingSession::Execute(
     const std::string& sql) {
   double start = NowMs();
   stats_ = ChunkedExecStats{};
+  if (session_->exec_options().guard != nullptr) {
+    SUDAF_RETURN_IF_ERROR(session_->exec_options().guard->Check());
+  }
 
   SUDAF_ASSIGN_OR_RETURN(std::unique_ptr<SelectStatement> stmt,
                          ParseSelect(sql));

@@ -5,6 +5,8 @@
 #include <set>
 
 #include "agg/interpreted_udaf.h"
+#include "common/failpoint.h"
+#include "common/query_guard.h"
 #include "common/timer.h"
 #include "engine/state_batch.h"
 #include "expr/evaluator.h"
@@ -33,12 +35,19 @@ Result<std::unique_ptr<Table>> SudafSession::Execute(const std::string& sql,
 Result<std::unique_ptr<Table>> SudafSession::ExecuteStatement(
     const SelectStatement& stmt, ExecMode mode) {
   stats_ = ExecStats{};
+  StateCache::Counters before = cache_.counters();
   double start = NowMs();
   Result<std::unique_ptr<Table>> result =
       mode == ExecMode::kEngine
           ? executor_.Execute(stmt, exec_)
           : ExecuteSudaf(stmt, mode == ExecMode::kSudafShare);
   stats_.total_ms = NowMs() - start;
+  // Delta-ing cumulative cache counters (rather than incrementing stats_
+  // inline) also attributes invalidations that happen on error paths.
+  const StateCache::Counters& after = cache_.counters();
+  stats_.cache_epoch_invalidations =
+      after.epoch_invalidations - before.epoch_invalidations;
+  stats_.cache_stale_discards = after.stale_discards - before.stale_discards;
   return result;
 }
 
@@ -71,6 +80,8 @@ struct StateExec {
 
 Result<std::unique_ptr<Table>> SudafSession::ExecuteSudaf(
     const SelectStatement& stmt, bool share) {
+  if (exec_.guard != nullptr) SUDAF_RETURN_IF_ERROR(exec_.guard->Check());
+
   // 1. Rewrite: expand UDAFs, factor out states, build terminating plans.
   double t = NowMs();
   SUDAF_ASSIGN_OR_RETURN(RewrittenQuery rewritten,
@@ -97,16 +108,34 @@ Result<std::unique_ptr<Table>> SudafSession::ExecuteSudaf(
     ex.share_fn = *fn;
   }
 
-  StateCache::GroupSet* group_set =
-      share ? cache_.Find(rewritten.data_signature) : nullptr;
+  // The combined catalog epoch of the query's tables versions every probe
+  // and insert: a set cached under an older epoch is discarded rather than
+  // served (docs/robustness.md).
+  uint64_t epoch = share ? catalog_->TablesEpoch(stmt.tables) : 0;
+  StateCache::GroupSet* group_set = nullptr;
+  if (share) {
+    SUDAF_FAILPOINT("cache:probe");
+    group_set = cache_.Find(rewritten.data_signature, epoch);
+  }
   bool any_miss = false;
   for (size_t i = 0; i < states.size(); ++i) {
-    if (share && group_set != nullptr &&
-        group_set->entries.count(execs[i].cls.key) > 0) {
-      execs[i].from_cache = true;
-    } else {
-      any_miss = true;
+    if (share && group_set != nullptr) {
+      auto eit = group_set->entries.find(execs[i].cls.key);
+      if (eit != group_set->entries.end()) {
+        if (EntryIsPoisoned(eit->second)) {
+          // Defense in depth: poison can't enter the cache through this
+          // session, but an entry may have been poisoned by other means
+          // (direct mutation in tests, future persistence). Evict, treat
+          // as a miss.
+          group_set->entries.erase(eit);
+          ++stats_.cache_poison_evictions;
+        } else {
+          execs[i].from_cache = true;
+          continue;
+        }
+      }
     }
+    any_miss = true;
   }
   stats_.probe_ms = NowMs() - t;
 
@@ -135,10 +164,15 @@ Result<std::unique_ptr<Table>> SudafSession::ExecuteSudaf(
     stats_.scanned_base_data = true;
     group_keys = input.group_keys.get();
     num_groups = input.num_groups;
+    if (exec_.guard != nullptr) {
+      SUDAF_RETURN_IF_ERROR(
+          exec_.guard->ChargeMemory(input.frame->ApproxBytes()));
+      SUDAF_RETURN_IF_ERROR(exec_.guard->Check());
+    }
 
     if (share) {
       group_set = cache_.GetOrCreate(rewritten.data_signature,
-                                     *input.group_keys, num_groups);
+                                     *input.group_keys, num_groups, epoch);
       // A recreated (stale) set lost its entries; demote affected states.
       for (StateExec& ex : execs) {
         if (ex.from_cache && group_set->entries.count(ex.cls.key) == 0) {
@@ -228,14 +262,30 @@ Result<std::unique_ptr<Table>> SudafSession::ExecuteSudaf(
           std::vector<std::vector<double>> batch,
           ComputeStateBatch(requests, resolver, input.group_ids, num_groups,
                             exec_, &bstats));
-      for (PendingEntry& pe : pending) {
-        StateCache::Entry entry;
-        entry.main = std::move(batch[pe.main_idx]);
-        if (pe.sign_idx >= 0) entry.sign = std::move(batch[pe.sign_idx]);
-        if (pe.shared) {
-          group_set->entries.emplace(pe.key, std::move(entry));
+      std::vector<StateCache::Entry> built(pending.size());
+      for (size_t p = 0; p < pending.size(); ++p) {
+        built[p].main = std::move(batch[pending[p].main_idx]);
+        if (pending[p].sign_idx >= 0) {
+          built[p].sign = std::move(batch[pending[p].sign_idx]);
+        }
+      }
+      // Two-phase commit: all insert-side failure checks fire before the
+      // first entry lands in the shared cache, so an injected fault can
+      // never leave a partial insert behind.
+      for (const PendingEntry& pe : pending) {
+        if (pe.shared) SUDAF_FAILPOINT("cache:insert");
+      }
+      for (size_t p = 0; p < pending.size(); ++p) {
+        PendingEntry& pe = pending[p];
+        bool poisoned = EntryIsPoisoned(built[p]);
+        if (poisoned) ++stats_.states_poisoned;
+        if (pe.shared && !poisoned) {
+          group_set->entries.emplace(pe.key, std::move(built[p]));
         } else {
-          local_entries.emplace(pe.key, std::move(entry));
+          // No-share mode, or a poisoned state: keep it query-local. The
+          // distribution loop below checks local_entries first, so the
+          // current query still gets its (honest, e.g. Inf) answer.
+          local_entries.emplace(pe.key, std::move(built[p]));
         }
         ++stats_.states_computed;
       }
@@ -280,19 +330,32 @@ Result<std::unique_ptr<Table>> SudafSession::ExecuteSudaf(
 
     if (share) {
       const StateCache::Entry* entry = nullptr;
+      auto local_it = local_entries.find(ex.cls.key);
       if (ex.from_cache) {
         entry = &group_set->entries.at(ex.cls.key);
         ++stats_.states_from_cache;
+      } else if (local_it != local_entries.end()) {
+        // Computed this query but poisoned — served locally, never cached.
+        entry = &local_it->second;
       } else {
         auto it = group_set->entries.find(ex.cls.key);
         if (it == group_set->entries.end()) {
           SUDAF_ASSIGN_OR_RETURN(StateCache::Entry computed,
                                  compute_class_entry(ex.cls));
-          it = group_set->entries.emplace(ex.cls.key, std::move(computed))
-                   .first;
+          SUDAF_FAILPOINT("cache:insert");
           ++stats_.states_computed;
+          if (EntryIsPoisoned(computed)) {
+            ++stats_.states_poisoned;
+            entry = &local_entries.emplace(ex.cls.key, std::move(computed))
+                         .first->second;
+          } else {
+            entry = &group_set->entries.emplace(ex.cls.key,
+                                                std::move(computed))
+                         .first->second;
+          }
+        } else {
+          entry = &it->second;
         }
-        entry = &it->second;
       }
       state_values[i].resize(num_groups);
       for (int32_t g = 0; g < num_groups; ++g) {
@@ -319,6 +382,7 @@ Result<std::unique_ptr<Table>> SudafSession::ExecuteSudaf(
         entry.main = ComputeGroupedState(state.op, in, input.group_ids,
                                          num_groups, exec_);
       }
+      if (EntryIsPoisoned(entry)) ++stats_.states_poisoned;
       it = local_entries.emplace(direct_key, std::move(entry)).first;
       ++stats_.states_computed;
     }

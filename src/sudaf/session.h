@@ -59,6 +59,16 @@ struct ExecStats {
   int fused_slots = 0;          // DAG slots evaluated per morsel
   int fused_shared_slots = 0;   // slots reused across states (CSE hits)
   int fused_threads = 1;        // max worker count of any fused pass
+
+  // Robustness counters (docs/robustness.md). A poisoned state has a
+  // NaN/±Inf channel value: it is still served to the query that computed
+  // it (the arithmetic answer is honest) but never enters the shared
+  // cache. The cache_* fields are per-query deltas of StateCache
+  // invalidation events.
+  int states_poisoned = 0;           // computed states with non-finite values
+  int cache_poison_evictions = 0;    // poisoned entries evicted at probe
+  int64_t cache_epoch_invalidations = 0;  // sets dropped: table epoch moved
+  int64_t cache_stale_discards = 0;       // sets dropped: group-count mismatch
 };
 
 class SudafSession {

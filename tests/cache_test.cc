@@ -1,5 +1,8 @@
 // Tests for sudaf/cache: data signatures and the state cache.
 
+#include <cmath>
+#include <limits>
+
 #include "gtest/gtest.h"
 #include "sudaf/cache.h"
 #include "tests/test_util.h"
@@ -67,6 +70,42 @@ TEST(StateCacheTest, StaleGroupCountRecreates) {
   StateCache::GroupSet* fresh = cache.GetOrCreate("sig", *keys3, 3);
   EXPECT_TRUE(fresh->entries.empty());
   EXPECT_EQ(fresh->num_groups, 3);
+  // The discard is no longer silent: it is counted, and the old set is
+  // really gone (a re-probe with the original count recreates again).
+  EXPECT_EQ(cache.counters().stale_discards, 1);
+  StateCache::GroupSet* back = cache.GetOrCreate("sig", *keys2, 2);
+  EXPECT_TRUE(back->entries.empty());
+  EXPECT_EQ(cache.counters().stale_discards, 2);
+  EXPECT_EQ(cache.counters().epoch_invalidations, 0);
+}
+
+TEST(StateCacheTest, EpochMismatchInvalidatesOnProbe) {
+  StateCache cache;
+  auto keys = testing_util::MakeXyTable({1, 2}, {0, 0}, {0, 0});
+  StateCache::GroupSet* set = cache.GetOrCreate("sig", *keys, 2, /*epoch=*/1);
+  set->entries["count"] = StateCache::Entry{{2.0, 3.0}, {}};
+  EXPECT_EQ(cache.Find("sig", 1), set);
+
+  // Probe under a newer epoch: the set is discarded, not served.
+  EXPECT_EQ(cache.Find("sig", 2), nullptr);
+  EXPECT_EQ(cache.num_group_sets(), 0);
+  EXPECT_EQ(cache.counters().epoch_invalidations, 1);
+
+  // GetOrCreate under a newer epoch likewise recreates.
+  StateCache::GroupSet* recreated = cache.GetOrCreate("sig", *keys, 2, 3);
+  recreated->entries["count"] = StateCache::Entry{{2.0, 3.0}, {}};
+  StateCache::GroupSet* again = cache.GetOrCreate("sig", *keys, 2, 4);
+  EXPECT_TRUE(again->entries.empty());
+  EXPECT_EQ(cache.counters().epoch_invalidations, 2);
+}
+
+TEST(StateCacheTest, EntryPoisonDetection) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  EXPECT_FALSE(EntryIsPoisoned(StateCache::Entry{{1.0, -2.0}, {1.0}}));
+  EXPECT_FALSE(EntryIsPoisoned(StateCache::Entry{{}, {}}));
+  EXPECT_TRUE(EntryIsPoisoned(StateCache::Entry{{1.0, kInf}, {}}));
+  EXPECT_TRUE(EntryIsPoisoned(StateCache::Entry{{1.0}, {-kInf}}));
+  EXPECT_TRUE(EntryIsPoisoned(StateCache::Entry{{std::nan("")}, {}}));
 }
 
 TEST(StateCacheTest, GroupKeysAreCopied) {

@@ -125,28 +125,30 @@ TEST_F(EdgeTest, LimitZeroAndOversizedLimit) {
   EXPECT_EQ((*big)->num_rows(), 2);
 }
 
-TEST_F(EdgeTest, ReplacedTableRequiresCacheClear) {
-  // The cache's documented contract: tables are immutable while entries
-  // exist. An all-hit query never rescans, so replacing a table without
-  // Clear() serves the old answer; after Clear() everything is recomputed.
+TEST_F(EdgeTest, ReplacedTableInvalidatesCacheViaEpoch) {
+  // Replacing a table bumps its catalog epoch, so the next probe discards
+  // the cached group set automatically — no manual Clear() needed
+  // (docs/robustness.md).
   Load({0, 1}, {1.0, 2.0});
   auto first = session_->Execute("SELECT g, sum(x) FROM t GROUP BY g",
                                  ExecMode::kSudafShare);
   ASSERT_TRUE(first.ok());
   catalog_.PutTable("t",
                     testing_util::MakeXyTable({0, 1, 2}, {5, 6, 7}, {0, 0, 0}));
-  auto stale = session_->Execute("SELECT g, sum(x) FROM t GROUP BY g",
-                                 ExecMode::kSudafShare);
-  ASSERT_TRUE(stale.ok());
-  EXPECT_EQ((*stale)->num_rows(), 2);  // served from cache, by design
-
-  session_->cache().Clear();
   auto fresh = session_->Execute("SELECT g, sum(x) FROM t GROUP BY g",
                                  ExecMode::kSudafShare);
   ASSERT_TRUE(fresh.ok());
   ASSERT_EQ((*fresh)->num_rows(), 3);
   EXPECT_EQ(session_->last_stats().states_from_cache, 0);
+  EXPECT_EQ(session_->last_stats().cache_epoch_invalidations, 1);
   ExpectClose(7.0, (*fresh)->column(1).GetFloat64(2));
+
+  // The recreated set serves subsequent queries as usual.
+  auto again = session_->Execute("SELECT g, sum(x) FROM t GROUP BY g",
+                                 ExecMode::kSudafShare);
+  ASSERT_TRUE(again.ok());
+  EXPECT_GT(session_->last_stats().states_from_cache, 0);
+  EXPECT_EQ(session_->last_stats().cache_epoch_invalidations, 0);
 }
 
 TEST_F(EdgeTest, HugeValuesDoNotBreakSharing) {

@@ -1,5 +1,8 @@
 // Tests for sql/: the SELECT parser.
 
+#include <string>
+
+#include "common/rng.h"
 #include "gtest/gtest.h"
 #include "sql/statement.h"
 #include "tests/test_util.h"
@@ -98,6 +101,76 @@ TEST(SqlParserTest, TrailingGarbageFails) {
 
 TEST(SqlParserTest, GroupByExpressionRejected) {
   EXPECT_FALSE(ParseSelect("SELECT sum(x) FROM t GROUP BY 1+2").ok());
+}
+
+// Fuzz: malformed, truncated and garbage inputs must come back as a typed
+// ParseError — never crash, hang, or leak another status code. Seeded Rng,
+// so every run covers the same corpus and failures reproduce.
+TEST(SqlParserFuzzTest, TruncationsOfValidQuery) {
+  const std::string valid =
+      "SELECT g, avg(x) AS a FROM t, u WHERE t_id = u_id AND x > 3.5 "
+      "GROUP BY g ORDER BY g DESC LIMIT 10;";
+  for (size_t len = 0; len < valid.size(); ++len) {
+    auto result = ParseSelect(valid.substr(0, len));
+    if (!result.ok()) {
+      EXPECT_EQ(result.status().code(), StatusCode::kParseError)
+          << "prefix of length " << len << ": "
+          << result.status().ToString();
+    }
+  }
+}
+
+TEST(SqlParserFuzzTest, RandomMutationsOfValidQuery) {
+  const std::string valid =
+      "SELECT g, qm(x) q FROM t WHERE g >= 2 AND x > 1.5 GROUP BY g "
+      "ORDER BY g LIMIT 3";
+  const std::string alphabet =
+      "abcxgt0123456789 ()*,.<>=!+-/^'\";\x01\x7f";
+  Rng rng(20260806);
+  for (int iter = 0; iter < 2000; ++iter) {
+    std::string input = valid;
+    int mutations = 1 + static_cast<int>(rng.NextBelow(4));
+    for (int m = 0; m < mutations; ++m) {
+      size_t pos = static_cast<size_t>(rng.NextBelow(input.size()));
+      switch (rng.NextBelow(3)) {
+        case 0:  // overwrite
+          input[pos] = alphabet[rng.NextBelow(alphabet.size())];
+          break;
+        case 1:  // delete
+          input.erase(pos, 1 + rng.NextBelow(3));
+          break;
+        default:  // insert
+          input.insert(pos, 1, alphabet[rng.NextBelow(alphabet.size())]);
+          break;
+      }
+      if (input.empty()) input = " ";
+    }
+    auto result = ParseSelect(input);
+    if (!result.ok()) {
+      ASSERT_EQ(result.status().code(), StatusCode::kParseError)
+          << "input: " << input << "\nstatus: "
+          << result.status().ToString();
+    }
+  }
+}
+
+TEST(SqlParserFuzzTest, PureGarbageNeverCrashes) {
+  const std::string alphabet =
+      "SELECTFROMabcx019 ()*,.<>=!+-/^'\";@#$%&[]{}\\`~?\x01\x7f\xff";
+  Rng rng(7);
+  for (int iter = 0; iter < 2000; ++iter) {
+    std::string input;
+    size_t len = rng.NextBelow(64);
+    for (size_t i = 0; i < len; ++i) {
+      input += alphabet[rng.NextBelow(alphabet.size())];
+    }
+    auto result = ParseSelect(input);
+    if (!result.ok()) {
+      ASSERT_EQ(result.status().code(), StatusCode::kParseError)
+          << "input: " << input << "\nstatus: "
+          << result.status().ToString();
+    }
+  }
 }
 
 }  // namespace
