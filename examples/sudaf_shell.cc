@@ -10,7 +10,13 @@
 //   \define <name>(<params>) := <expression>
 //                                register a UDAF declaratively
 //   \tables                      list tables
-//   \cache                       cache statistics
+//   \cache                       cache statistics (size, eviction and
+//                                invalidation counters)
+//   \cache save <path>           snapshot the state cache to a checksummed
+//                                file (atomic publish)
+//   \cache load <path>           recover a snapshot into the cache; torn,
+//                                corrupt or stale records are dropped
+//                                individually and reported
 //   \import <path> <table>       load a CSV file (schema inferred)
 //   \export <table> <path>       write a table as CSV
 //   \quit                        exit
@@ -21,6 +27,7 @@
 #include <string>
 
 #include "bench_support/workload.h"
+#include "common/failpoint.h"
 #include "storage/csv.h"
 
 using namespace sudaf;  // NOLINT — example brevity
@@ -90,11 +97,23 @@ int main() {
   st = bench::RegisterQuantileUdafs(&session, 10);
   SUDAF_CHECK_MSG(st.ok(), st.ToString());
 
+  // CI crash shards arm fault-injection sites through the environment
+  // (SUDAF_FAILPOINTS="site[=skip:N[:count:M]],..."), no rebuild needed.
+  auto armed = FailPoint::ActivateFromEnv();
+  if (!armed.ok()) {
+    std::printf("warning: %s\n", armed.status().ToString().c_str());
+  } else if (*armed > 0) {
+    std::printf("armed %d failpoint site%s from SUDAF_FAILPOINTS\n", *armed,
+                *armed == 1 ? "" : "s");
+  }
+
   std::printf("SUDAF shell — tables:");
   for (const std::string& name : catalog.TableNames()) {
     std::printf(" %s", name.c_str());
   }
-  std::printf("\nmode: share (\\mode to change, \\quit to exit)\n");
+  std::printf(
+      "\nmode: share (\\mode to change, \\cache for cache stats and "
+      "save/load, \\quit to exit)\n");
 
   ExecMode mode = ExecMode::kSudafShare;
   std::string line;
@@ -156,11 +175,53 @@ int main() {
           Status wst = WriteCsv(**table, path);
           std::printf("%s\n", wst.ok() ? "written" : wst.ToString().c_str());
         }
-      } else if (line == "\\cache") {
-        std::printf("  %lld group sets, %lld state entries, ~%lld bytes\n",
-                    static_cast<long long>(session.cache().num_group_sets()),
-                    static_cast<long long>(session.cache().num_entries()),
-                    static_cast<long long>(session.cache().ApproxBytes()));
+      } else if (line.rfind("\\cache", 0) == 0) {
+        std::stringstream args(line.substr(6));
+        std::string sub, path;
+        args >> sub >> path;
+        if (sub.empty()) {
+          const StateCache::Counters& c = session.cache().counters();
+          const CachePolicy& policy = session.exec_options().cache_policy;
+          std::printf("  %lld group sets, %lld state entries, ~%lld bytes",
+                      static_cast<long long>(session.cache().num_group_sets()),
+                      static_cast<long long>(session.cache().num_entries()),
+                      static_cast<long long>(session.cache().ApproxBytes()));
+          if (policy.max_bytes > 0) {
+            std::printf(" (budget %lld)",
+                        static_cast<long long>(policy.max_bytes));
+          }
+          std::printf("\n");
+          std::printf(
+              "  invalidations: %lld epoch, %lld stale; evictions: %lld "
+              "(%lld bytes)\n",
+              static_cast<long long>(c.epoch_invalidations),
+              static_cast<long long>(c.stale_discards),
+              static_cast<long long>(c.evictions),
+              static_cast<long long>(c.bytes_evicted));
+        } else if (sub == "save" && !path.empty()) {
+          Status cst = session.SaveCache(path);
+          std::printf("%s\n",
+                      cst.ok() ? "cache snapshot written"
+                               : cst.ToString().c_str());
+        } else if (sub == "load" && !path.empty()) {
+          CacheRecoveryStats rec;
+          Status cst = session.LoadCache(path, &rec);
+          if (!cst.ok()) {
+            std::printf("error: %s\n", cst.ToString().c_str());
+          } else {
+            std::printf(
+                "  recovered %lld sets / %lld entries; dropped: %lld "
+                "checksum, %lld torn, %lld stale-epoch, %lld poisoned\n",
+                static_cast<long long>(rec.sets_recovered),
+                static_cast<long long>(rec.entries_recovered),
+                static_cast<long long>(rec.records_dropped_checksum),
+                static_cast<long long>(rec.records_dropped_torn),
+                static_cast<long long>(rec.sets_dropped_epoch),
+                static_cast<long long>(rec.entries_quarantined));
+          }
+        } else {
+          std::printf("usage: \\cache [save <path> | load <path>]\n");
+        }
       } else {
         std::printf("unknown command\n");
       }

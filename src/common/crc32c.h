@@ -1,0 +1,26 @@
+#ifndef SUDAF_COMMON_CRC32C_H_
+#define SUDAF_COMMON_CRC32C_H_
+
+// CRC32C (Castagnoli polynomial 0x1EDC6F41, reflected 0x82F63B78): the
+// checksum used by the cache persistence layer to detect torn and
+// bit-rotted records (docs/robustness.md). Software table-driven
+// implementation — persistence records are small, and a portable answer
+// matters more than SSE4.2 throughput here.
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace sudaf {
+
+// CRC32C of `data`, optionally continuing from a previous `crc` (pass the
+// return value of an earlier call to checksum in pieces).
+uint32_t Crc32c(const void* data, size_t n, uint32_t crc = 0);
+
+inline uint32_t Crc32c(std::string_view data, uint32_t crc = 0) {
+  return Crc32c(data.data(), data.size(), crc);
+}
+
+}  // namespace sudaf
+
+#endif  // SUDAF_COMMON_CRC32C_H_

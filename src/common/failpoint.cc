@@ -1,8 +1,11 @@
 #include "common/failpoint.h"
 
 #include <atomic>
+#include <cstdlib>
+#include <limits>
 #include <map>
 #include <mutex>
+#include <vector>
 
 namespace sudaf {
 
@@ -42,6 +45,87 @@ void FailPoint::Activate(const std::string& site, Status error, int skip,
   auto [it, inserted] = r.specs.insert_or_assign(site, std::move(spec));
   (void)it;
   if (inserted) num_active.fetch_add(1, std::memory_order_release);
+}
+
+namespace {
+
+std::vector<std::string> SplitOn(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (true) {
+    size_t pos = s.find(sep, start);
+    out.push_back(s.substr(start, pos - start));
+    if (pos == std::string::npos) break;
+    start = pos + 1;
+  }
+  return out;
+}
+
+bool ParseInt(const std::string& s, int* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  long v = std::strtol(s.c_str(), &end, 10);
+  if (end != s.c_str() + s.size() || v < 0 ||
+      v > std::numeric_limits<int>::max()) {
+    return false;
+  }
+  *out = static_cast<int>(v);
+  return true;
+}
+
+struct ParsedSpec {
+  std::string site;
+  int skip = 0;
+  int count = 1;
+};
+
+}  // namespace
+
+Result<int> FailPoint::ActivateFromEnv(const char* spec) {
+  if (spec == nullptr) spec = std::getenv("SUDAF_FAILPOINTS");
+  if (spec == nullptr || *spec == '\0') return 0;
+
+  // Parse everything before arming anything: a malformed spec must not
+  // leave a half-armed configuration behind.
+  std::vector<ParsedSpec> parsed;
+  for (const std::string& item : SplitOn(spec, ',')) {
+    if (item.empty()) continue;
+    ParsedSpec p;
+    size_t eq = item.find('=');
+    p.site = item.substr(0, eq);
+    if (p.site.empty()) {
+      return Status::InvalidArgument("SUDAF_FAILPOINTS: empty site in '" +
+                                     item + "'");
+    }
+    if (eq != std::string::npos) {
+      std::vector<std::string> args = SplitOn(item.substr(eq + 1), ':');
+      for (size_t i = 0; i < args.size(); ++i) {
+        const std::string& arg = args[i];
+        if (arg == "skip" || arg == "count") {
+          int* dst = arg == "skip" ? &p.skip : &p.count;
+          if (i + 1 < args.size() && ParseInt(args[i + 1], dst)) {
+            ++i;  // consumed the number
+          } else if (arg == "count") {
+            // Bare `count`: fire on every evaluation.
+            p.count = std::numeric_limits<int>::max();
+          } else {
+            return Status::InvalidArgument(
+                "SUDAF_FAILPOINTS: 'skip' needs a number in '" + item + "'");
+          }
+        } else {
+          return Status::InvalidArgument("SUDAF_FAILPOINTS: unknown arg '" +
+                                         arg + "' in '" + item + "'");
+        }
+      }
+    }
+    parsed.push_back(std::move(p));
+  }
+  for (const ParsedSpec& p : parsed) {
+    Activate(p.site,
+             Status::Internal("injected by SUDAF_FAILPOINTS at " + p.site),
+             p.skip, p.count);
+  }
+  return static_cast<int>(parsed.size());
 }
 
 void FailPoint::Deactivate(const std::string& site) {

@@ -18,11 +18,20 @@
 // production.
 //
 // Registered sites (kept in sync with docs/robustness.md):
-//   cache:probe           before the state-cache probe in Session
-//   cache:insert          before each state-cache entry insertion
-//   state_batch:morsel    before each fused-executor morsel
-//   thread_pool:dispatch  before each task of a fallible ParallelFor
-//   csv:scan              before each CSV record is parsed
+//   cache:probe            before the state-cache probe in Session
+//   cache:insert           before each state-cache entry insertion
+//   state_batch:morsel     before each fused-executor morsel
+//   thread_pool:dispatch   before each task of a fallible ParallelFor
+//   csv:scan               before each CSV record is parsed
+//   cache:wal_append       before each cache-WAL record append; an injected
+//                          fault leaves a *torn* record on disk (header +
+//                          half the payload), simulating a crash mid-write
+//   cache:snapshot_write   before the snapshot payload is written; an
+//                          injected fault leaves a partial tmp file (the
+//                          published snapshot is untouched)
+//   cache:snapshot_rename  between tmp-file write and the atomic rename
+//   cache:recover_record   before each record is applied during recovery;
+//                          an injected fault drops that record as corrupt
 
 #include <cstdint>
 #include <string>
@@ -40,6 +49,20 @@ class FailPoint {
                        int count = 1);
   static void Deactivate(const std::string& site);
   static void DeactivateAll();
+
+  // Arms sites from an environment-style spec string, so CI shards can
+  // inject faults into unmodified binaries:
+  //
+  //   SUDAF_FAILPOINTS="cache:wal_append,cache:snapshot_write=skip:3"
+  //
+  // Grammar: comma-separated `site[=arg[:arg...]]`. A bare site fires once
+  // immediately. Args are `skip:N` (pass N evaluations first), `count:N`
+  // (fire N times), or a bare `count` (fire on every evaluation). The
+  // injected error is Status::Internal naming the site. When `spec` is
+  // null the SUDAF_FAILPOINTS environment variable is read (absent/empty
+  // arms nothing). Returns the number of sites armed, or InvalidArgument
+  // on a malformed spec (with no sites armed).
+  static Result<int> ActivateFromEnv(const char* spec = nullptr);
 
   // Times `site` was evaluated since the last DeactivateAll(). Tracked only
   // while at least one site is active (the inactive fast path is lock-free

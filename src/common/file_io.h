@@ -1,0 +1,46 @@
+#ifndef SUDAF_COMMON_FILE_IO_H_
+#define SUDAF_COMMON_FILE_IO_H_
+
+// Small file-I/O helpers for the persistence layer (docs/robustness.md).
+//
+// The one contract that matters is WriteFileAtomic: readers of `path`
+// observe either the previous complete content or the new complete
+// content, never a half-written file. It writes to `path + ".tmp"`,
+// flushes, then publishes with rename(2), which is atomic on POSIX
+// filesystems. Append paths make no such promise — a crash mid-append
+// leaves a torn tail, which is exactly what the WAL recovery code is
+// built to detect and drop.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace sudaf {
+
+// Entire content of `path`; NotFound when it does not exist.
+Result<std::string> ReadFileToString(const std::string& path);
+
+// Replaces `path` with `data` atomically (tmp file + rename). On error the
+// previous content of `path`, if any, is left intact.
+Status WriteFileAtomic(const std::string& path, std::string_view data);
+
+// Appends `data` to `path`, creating it when absent, and flushes before
+// returning. Not atomic: a crash can leave a prefix of `data`.
+Status AppendToFile(const std::string& path, std::string_view data);
+
+// Size of `path` in bytes, or -1 when it does not exist.
+int64_t FileSizeOf(const std::string& path);
+
+bool FileExists(const std::string& path);
+
+// Removes `path` if present; absent is not an error.
+Status RemoveFileIfExists(const std::string& path);
+
+// Creates `dir` (and parents) if absent.
+Status EnsureDirectory(const std::string& dir);
+
+}  // namespace sudaf
+
+#endif  // SUDAF_COMMON_FILE_IO_H_

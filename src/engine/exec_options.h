@@ -1,9 +1,25 @@
 #ifndef SUDAF_ENGINE_EXEC_OPTIONS_H_
 #define SUDAF_ENGINE_EXEC_OPTIONS_H_
 
+#include <cstdint>
+
 namespace sudaf {
 
 class QueryGuard;
+
+// Budget for the shared state cache (docs/robustness.md, "Durability &
+// memory budget"). The cache enforces ApproxBytes() <= max_bytes as an
+// invariant: before any insert that would overshoot, whole group sets are
+// evicted in cost order (least recently used x fewest hits / most bytes
+// first); an entry that cannot fit even after eviction stays query-local.
+struct CachePolicy {
+  // Byte budget for cached group sets; 0 = unbounded (the historical
+  // behavior).
+  int64_t max_bytes = 0;
+  // When cache persistence is enabled, a WAL growing past this many bytes
+  // triggers snapshot compaction (Save + WAL reset).
+  int64_t wal_max_bytes = 4 << 20;
+};
 
 // Execution-context knobs.
 //
@@ -42,6 +58,10 @@ struct ExecOptions {
   // pipeline stages. Null (default) disables all guard checks. The guard
   // must outlive every execution that uses these options.
   const QueryGuard* guard = nullptr;
+
+  // Byte budget + WAL compaction threshold for the session's StateCache;
+  // applied by SudafSession (the executor itself never touches the cache).
+  CachePolicy cache_policy;
 };
 
 }  // namespace sudaf

@@ -32,17 +32,72 @@ std::unique_ptr<Table> CopyTable(const Table& table) {
 
 }  // namespace
 
+int64_t StateCache::EntryBytes(const std::string& key, const Entry& entry) {
+  return kPerEntryOverhead + static_cast<int64_t>(key.size()) +
+         static_cast<int64_t>((entry.main.size() + entry.sign.size()) *
+                              sizeof(double));
+}
+
+int64_t StateCache::SetBytes(const GroupSet& set) {
+  int64_t bytes = kPerSetOverhead + static_cast<int64_t>(set.data_sig.size());
+  if (set.group_keys != nullptr) bytes += set.group_keys->ApproxBytes();
+  for (const auto& [key, entry] : set.entries) {
+    bytes += EntryBytes(key, entry);
+  }
+  return bytes;
+}
+
+void StateCache::EraseSet(std::map<std::string, GroupSet>::iterator it,
+                          int64_t* counter) {
+  if (journal_ != nullptr) journal_->OnEraseSet(it->first);
+  sets_.erase(it);
+  ++*counter;
+}
+
+bool StateCache::EnsureRoom(int64_t incoming_bytes, const GroupSet* pinned) {
+  if (policy_.max_bytes <= 0) return true;
+  int64_t total = ApproxBytes();
+  while (total + incoming_bytes > policy_.max_bytes) {
+    // Cost-aware victim selection: evict the set with the least expected
+    // value per byte, score = hits / (age × bytes) — cold, rarely-hit,
+    // large sets go first.
+    auto victim = sets_.end();
+    double victim_score = 0.0;
+    int64_t victim_bytes = 0;
+    for (auto it = sets_.begin(); it != sets_.end(); ++it) {
+      if (&it->second == pinned) continue;
+      int64_t bytes = SetBytes(it->second);
+      double age =
+          static_cast<double>(tick_ - it->second.last_used_tick) + 1.0;
+      double score = (static_cast<double>(it->second.hits) + 1.0) /
+                     (age * static_cast<double>(std::max<int64_t>(bytes, 1)));
+      if (victim == sets_.end() || score < victim_score) {
+        victim = it;
+        victim_score = score;
+        victim_bytes = bytes;
+      }
+    }
+    if (victim == sets_.end()) return false;
+    total -= victim_bytes;
+    counters_.bytes_evicted += victim_bytes;
+    EraseSet(victim, &counters_.evictions);
+  }
+  return true;
+}
+
 StateCache::GroupSet* StateCache::Find(const std::string& data_sig,
                                        uint64_t epoch) {
+  ++tick_;
   auto it = sets_.find(data_sig);
   if (it == sets_.end()) return nullptr;
   if (it->second.epoch != epoch) {
     // A covered table mutated since this set was built: every entry in it
     // describes data that no longer exists. Invalidate-on-probe.
-    sets_.erase(it);
-    ++counters_.epoch_invalidations;
+    EraseSet(it, &counters_.epoch_invalidations);
     return nullptr;
   }
+  ++it->second.hits;
+  it->second.last_used_tick = tick_;
   return &it->second;
 }
 
@@ -50,27 +105,78 @@ StateCache::GroupSet* StateCache::GetOrCreate(const std::string& data_sig,
                                               const Table& group_keys,
                                               int32_t num_groups,
                                               uint64_t epoch) {
+  ++tick_;
   auto it = sets_.find(data_sig);
   if (it != sets_.end()) {
     if (it->second.epoch != epoch) {
-      sets_.erase(it);
-      ++counters_.epoch_invalidations;
+      EraseSet(it, &counters_.epoch_invalidations);
     } else if (it->second.num_groups != num_groups) {
       // Group-count heuristic: kept as a backstop behind epoch
       // invalidation; a discard here means data changed without an epoch
       // bump (an in-place mutation missing TouchTable).
-      sets_.erase(it);
-      ++counters_.stale_discards;
+      EraseSet(it, &counters_.stale_discards);
     } else {
+      it->second.last_used_tick = tick_;
       return &it->second;
     }
   }
   GroupSet set;
+  set.data_sig = data_sig;
   set.group_keys = CopyTable(group_keys);
   set.num_groups = num_groups;
   set.epoch = epoch;
+  set.last_used_tick = tick_;
+  if (policy_.max_bytes > 0 && !EnsureRoom(SetBytes(set), nullptr)) {
+    // The bare set (its group-keys table) is bigger than the whole budget:
+    // park it uncached so the current query can still run to completion.
+    overflow_ = std::make_unique<GroupSet>(std::move(set));
+    return overflow_.get();
+  }
   auto [inserted, _] = sets_.emplace(data_sig, std::move(set));
+  if (journal_ != nullptr) journal_->OnCreateSet(inserted->second);
   return &inserted->second;
+}
+
+const StateCache::Entry* StateCache::InsertEntry(GroupSet* set,
+                                                 const std::string& key,
+                                                 Entry* entry) {
+  if (overflow_ != nullptr && set == overflow_.get()) {
+    // Overflow sets are query-local: no budget, no journal.
+    auto [it, _] = set->entries.insert_or_assign(key, std::move(*entry));
+    return &it->second;
+  }
+  int64_t add = EntryBytes(key, *entry);
+  auto existing = set->entries.find(key);
+  if (existing != set->entries.end()) {
+    add -= EntryBytes(key, existing->second);
+  }
+  if (add > 0 && !EnsureRoom(add, set)) return nullptr;
+  auto [it, _] = set->entries.insert_or_assign(key, std::move(*entry));
+  if (journal_ != nullptr) {
+    journal_->OnInsertEntry(set->data_sig, key, it->second);
+  }
+  return &it->second;
+}
+
+StateCache::GroupSet* StateCache::AdoptSet(GroupSet set) {
+  ++tick_;
+  set.last_used_tick = tick_;
+  std::string sig = set.data_sig;
+  auto [it, _] = sets_.insert_or_assign(sig, std::move(set));
+  return &it->second;
+}
+
+void StateCache::EnforceBudget() {
+  if (policy_.max_bytes <= 0) return;
+  EnsureRoom(0, nullptr);
+}
+
+void StateCache::Clear() {
+  if (journal_ != nullptr) {
+    for (const auto& [sig, _] : sets_) journal_->OnEraseSet(sig);
+  }
+  sets_.clear();
+  overflow_.reset();
 }
 
 bool EntryIsPoisoned(const StateCache::Entry& entry) {
@@ -94,11 +200,7 @@ int64_t StateCache::num_entries() const {
 int64_t StateCache::ApproxBytes() const {
   int64_t bytes = 0;
   for (const auto& [_, set] : sets_) {
-    for (const auto& [key, entry] : set.entries) {
-      bytes += static_cast<int64_t>(key.size());
-      bytes += static_cast<int64_t>(
-          (entry.main.size() + entry.sign.size()) * sizeof(double));
-    }
+    bytes += SetBytes(set);
   }
   return bytes;
 }
@@ -126,6 +228,21 @@ std::string DataSignature(const SelectStatement& stmt) {
     sig += ",";
   }
   return sig;
+}
+
+std::vector<std::string> TablesFromDataSignature(const std::string& sig) {
+  std::vector<std::string> out;
+  if (sig.rfind("T:", 0) != 0) return out;
+  size_t end = sig.find(";W:");
+  if (end == std::string::npos) end = sig.size();
+  size_t start = 2;
+  while (start < end) {
+    size_t comma = sig.find(',', start);
+    if (comma == std::string::npos || comma > end) comma = end;
+    if (comma > start) out.push_back(sig.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return out;
 }
 
 }  // namespace sudaf

@@ -25,6 +25,19 @@
 // shared across queries. Use EntryIsPoisoned() before inserting; the
 // SUDAF session both refuses to insert poisoned entries and evicts any it
 // finds at probe time.
+//
+// Memory budget (docs/robustness.md, "Durability & memory budget"): under
+// a CachePolicy with max_bytes > 0, InsertEntry() evicts whole group sets
+// in cost order — score = hits / (age × bytes), lowest first — *before*
+// the insert, so `ApproxBytes() <= max_bytes` holds after every insert. A
+// group set that cannot fit on its own is parked in an uncached overflow
+// slot: the current query still uses it, but it is never counted, never
+// journaled, and dies on the next overflow.
+//
+// Durability: a CacheJournal attached via set_journal() observes every
+// structural mutation (set creation, entry insert, set erasure) so the
+// persistence layer (sudaf/cache_persist.h) can mirror the cache into an
+// append-only WAL.
 
 #include <cstdint>
 #include <map>
@@ -32,10 +45,13 @@
 #include <string>
 #include <vector>
 
+#include "engine/exec_options.h"
 #include "sql/statement.h"
 #include "storage/table.h"
 
 namespace sudaf {
+
+class CacheJournal;
 
 class StateCache {
  public:
@@ -47,11 +63,16 @@ class StateCache {
   // All cached state instances for one data signature. Entries are aligned
   // with `group_keys` (same group order, the pipeline is deterministic).
   struct GroupSet {
+    std::string data_sig;  // owning key, duplicated for journal/eviction
     std::unique_ptr<Table> group_keys;
     int32_t num_groups = 0;  // may exceed group_keys->num_rows() for the
                              // ungrouped (zero-key-column) case
     uint64_t epoch = 0;      // combined catalog epoch at creation
     std::map<std::string, Entry> entries;  // class key -> channels
+
+    // Eviction-cost inputs (maintained by Find/GetOrCreate).
+    int64_t hits = 0;             // probes that found this set valid
+    uint64_t last_used_tick = 0;  // logical clock of the last probe/create
   };
 
   // Cumulative invalidation counters over this cache's lifetime. Per-query
@@ -59,7 +80,24 @@ class StateCache {
   struct Counters {
     int64_t epoch_invalidations = 0;  // sets dropped: table epoch advanced
     int64_t stale_discards = 0;       // sets dropped: group-count mismatch
+    int64_t evictions = 0;            // sets dropped: byte-budget pressure
+    int64_t bytes_evicted = 0;        // ApproxBytes of budget-evicted sets
   };
+
+  // Byte-accounting constants (docs/robustness.md): fixed per-node
+  // overheads added on top of the payload vectors so the budget reflects
+  // the real heap footprint, not just channel doubles. Public so the
+  // regression test in tests/cache_test.cc pins the formula.
+  //   per set:   map node + GroupSet struct + group_keys Table object
+  //   per entry: map node + the two vector headers
+  static constexpr int64_t kPerSetOverhead = 192;
+  static constexpr int64_t kPerEntryOverhead = 112;
+
+  // Footprint of one entry as charged against the budget.
+  static int64_t EntryBytes(const std::string& key, const Entry& entry);
+  // Footprint of one group set (signature, group-keys table, overheads,
+  // and all entries).
+  static int64_t SetBytes(const GroupSet& set);
 
   // Returns the group set for `data_sig`, or nullptr when nothing (valid)
   // is cached. A set created under an older `epoch` is discarded on probe
@@ -69,23 +107,84 @@ class StateCache {
   // Returns the group set for `data_sig`, creating it (with a copy of
   // `group_keys`) on first use. An existing set is discarded and recreated
   // when its epoch is older (epoch invalidation) or its group count
-  // mismatches (stale-set heuristic); both paths are counted.
+  // mismatches (stale-set heuristic); both paths are counted. Under a byte
+  // budget, other sets are evicted to make room; a set that cannot fit at
+  // all is returned from the uncached overflow slot (valid until the next
+  // GetOrCreate overflow, never served by Find).
   GroupSet* GetOrCreate(const std::string& data_sig, const Table& group_keys,
                         int32_t num_groups, uint64_t epoch = 0);
 
-  void Clear() { sets_.clear(); }
+  // Inserts `*entry` (moved from on success) under `key` into `set`, which
+  // must be a pointer previously returned by GetOrCreate. Evicts other
+  // group sets as needed so ApproxBytes() stays within policy().max_bytes;
+  // returns the stored entry, or nullptr — with `*entry` left untouched —
+  // when the entry cannot fit even after evicting everything else (the
+  // caller keeps it query-local). Notifies the journal on success.
+  const Entry* InsertEntry(GroupSet* set, const std::string& key,
+                           Entry* entry);
+
+  // Installs a recovered set (persistence layer only): no journal
+  // notification, no budget enforcement — callers run EnforceBudget()
+  // after recovery completes. Replaces any existing set for the signature.
+  GroupSet* AdoptSet(GroupSet set);
+
+  // Evicts lowest-score sets until ApproxBytes() <= policy().max_bytes
+  // (no-op when unbounded). Used after recovery and policy changes.
+  void EnforceBudget();
+
+  void Clear();
+
+  void set_policy(const CachePolicy& policy) { policy_ = policy; }
+  const CachePolicy& policy() const { return policy_; }
+
+  // Attaches `journal` (borrowed, may be null to detach); it must outlive
+  // every subsequent mutation of this cache.
+  void set_journal(CacheJournal* journal) { journal_ = journal; }
 
   const Counters& counters() const { return counters_; }
+
+  const std::map<std::string, GroupSet>& sets() const { return sets_; }
 
   int64_t num_group_sets() const { return static_cast<int64_t>(sets_.size()); }
   // Total number of cached state instances across all group sets.
   int64_t num_entries() const;
-  // Approximate footprint of the cached channel vectors.
+  // Approximate footprint of all cached group sets: channel vectors,
+  // class keys, data signatures, group-key tables, and fixed per-node
+  // overheads. The quantity bounded by CachePolicy::max_bytes.
   int64_t ApproxBytes() const;
 
  private:
+  // Erases `it`, notifying the journal. `counter` is bumped by 1.
+  void EraseSet(std::map<std::string, GroupSet>::iterator it,
+                int64_t* counter);
+  // Evicts unpinned sets (lowest score first) until the cached total plus
+  // `incoming_bytes` fits the budget. Returns false when impossible.
+  bool EnsureRoom(int64_t incoming_bytes, const GroupSet* pinned);
+
   std::map<std::string, GroupSet> sets_;
+  // Budget-overflow slot: a set too large to cache at all, kept alive for
+  // the query that is using it (see GetOrCreate).
+  std::unique_ptr<GroupSet> overflow_;
+  CachePolicy policy_;
+  CacheJournal* journal_ = nullptr;
   Counters counters_;
+  uint64_t tick_ = 0;
+};
+
+// Observer of StateCache structural mutations; implemented by the
+// persistence layer to mirror the cache into a WAL. Callbacks must not
+// mutate the cache.
+class CacheJournal {
+ public:
+  virtual ~CacheJournal() = default;
+  // A new (empty) group set was created.
+  virtual void OnCreateSet(const StateCache::GroupSet& set) = 0;
+  // `entry` was inserted into the set for `data_sig`.
+  virtual void OnInsertEntry(const std::string& data_sig,
+                             const std::string& key,
+                             const StateCache::Entry& entry) = 0;
+  // The set for `data_sig` was erased (invalidation, eviction or Clear).
+  virtual void OnEraseSet(const std::string& data_sig) = 0;
 };
 
 // True when any channel value of `entry` is NaN or ±Inf — an overflowed or
@@ -96,6 +195,11 @@ bool EntryIsPoisoned(const StateCache::Entry& entry);
 // sorted WHERE conjunct strings, and the group-by list. Two queries with
 // equal signatures aggregate the same groups of the same rows.
 std::string DataSignature(const SelectStatement& stmt);
+
+// Recovers the sorted table list back out of a data signature (the "T:"
+// section). Used by recovery to re-derive the live combined epoch of a
+// persisted group set.
+std::vector<std::string> TablesFromDataSignature(const std::string& sig);
 
 }  // namespace sudaf
 

@@ -1,0 +1,147 @@
+#ifndef SUDAF_SUDAF_CACHE_PERSIST_H_
+#define SUDAF_SUDAF_CACHE_PERSIST_H_
+
+// Durable StateCache: checksummed snapshot + append-only WAL
+// (docs/robustness.md, "Durability & memory budget").
+//
+// On-disk format (version 1, little-endian fixed layout):
+//
+//   file   := magic[8] version:u32 record*
+//   record := len:u32 crc:u32 payload[len]     crc = CRC32C(len || payload)
+//   payload:= type:u8 body
+//
+// Snapshot files ("SUDFCSH1") hold one kSnapshotSet record per group set
+// (signature, epoch, group-keys table, all entries). WAL files
+// ("SUDFWAL1") hold the mutation stream: kWalUpsertSet / kWalInsertEntry /
+// kWalEraseSet, appended by the CacheJournal hooks as the in-memory cache
+// mutates. Channel doubles are stored as raw bit patterns, so recovered
+// states reproduce bit-identical query answers.
+//
+// Recovery (`CachePersistence::Open`, `LoadCacheSnapshot`) is never
+// fatal: it replays snapshot-then-WAL and drops damaged or stale records
+// *individually* —
+//   * a record whose CRC mismatches (bit rot, injected corruption) is
+//     skipped and counted in records_dropped_checksum;
+//   * a truncated tail (torn write: the record length points past EOF)
+//     ends the scan and is counted in records_dropped_torn — everything
+//     before it is kept, everything after it is unreachable by design;
+//   * a set whose stored combined epoch differs from the live catalog's
+//     (`Catalog::TablesEpoch` over the signature's tables) is dropped and
+//     counted in sets_dropped_epoch;
+//   * entries that are poisoned on load (NaN/±Inf channels) are
+//     quarantined — dropped and counted in entries_quarantined;
+//   * WAL records referencing a set that was dropped or never created are
+//     skipped and counted in wal_records_skipped.
+// Snapshots publish via atomic rename (write tmp, flush, rename), so a
+// crash mid-save leaves the previous snapshot intact.
+//
+// Crash-fault injection sites (tests/cache_persist_test.cc, CI crash
+// shard): cache:wal_append (torn-write mode — the header plus half the
+// payload reach disk), cache:snapshot_write (partial tmp file),
+// cache:snapshot_rename (tmp written, never published), and
+// cache:recover_record (per-record drop during recovery).
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "storage/catalog.h"
+#include "sudaf/cache.h"
+
+namespace sudaf {
+
+// Counters filled by recovery; surfaced by the shell's `\cache` command.
+struct CacheRecoveryStats {
+  int64_t sets_recovered = 0;
+  int64_t entries_recovered = 0;
+  int64_t wal_records_replayed = 0;
+  int64_t records_dropped_checksum = 0;  // CRC mismatch / malformed payload
+  int64_t records_dropped_torn = 0;      // truncated tail ended the scan
+  int64_t sets_dropped_epoch = 0;        // stored epoch != live catalog
+  int64_t entries_quarantined = 0;       // poisoned channels on load
+  int64_t wal_records_skipped = 0;       // WAL record for a missing set
+
+  int64_t total_dropped() const {
+    return records_dropped_checksum + records_dropped_torn +
+           sets_dropped_epoch + entries_quarantined + wal_records_skipped;
+  }
+};
+
+// One-shot snapshot of the whole cache into a single checksummed file,
+// published with an atomic rename (`\cache save <path>` in the shell).
+Status SaveCacheSnapshot(const StateCache& cache, const std::string& path);
+
+// Loads a snapshot file into `cache`, replacing sets with matching
+// signatures and keeping the rest. Damaged or stale records are dropped
+// individually per the rules above — only a missing/unreadable file or a
+// foreign format is an error. Applies the cache's byte budget afterwards.
+Status LoadCacheSnapshot(const std::string& path, const Catalog& catalog,
+                         StateCache* cache, CacheRecoveryStats* stats);
+
+// Managed durability for one session's StateCache: a directory holding
+// `cache.snapshot` + `cache.wal`. Open() recovers both into the cache and
+// then attaches itself as the cache's journal, so every later mutation is
+// WAL-appended; a WAL growing past CachePolicy::wal_max_bytes triggers
+// snapshot compaction. WAL append failures never fail queries — they are
+// counted (wal_errors) and repaired by the next compaction.
+class CachePersistence final : public CacheJournal {
+ public:
+  // Opens (creating if absent) the store at `dir` and recovers its
+  // contents into `cache`. `catalog` and `cache` must outlive the
+  // returned object. Recovery is never fatal; inspect recovery_stats().
+  static Result<std::unique_ptr<CachePersistence>> Open(
+      const std::string& dir, const Catalog* catalog, StateCache* cache);
+
+  // Detaches from the cache. Pending state is already in the WAL, so no
+  // I/O happens here.
+  ~CachePersistence() override;
+
+  CachePersistence(const CachePersistence&) = delete;
+  CachePersistence& operator=(const CachePersistence&) = delete;
+
+  // Snapshot-compacts: writes the full cache to `cache.snapshot`
+  // (atomically) and resets the WAL to an empty header.
+  Status Save();
+
+  const CacheRecoveryStats& recovery_stats() const { return recovery_; }
+  int64_t wal_appends() const { return wal_appends_; }
+  int64_t wal_errors() const { return wal_errors_; }
+  int64_t wal_bytes() const { return wal_bytes_; }
+  int64_t snapshots_written() const { return snapshots_written_; }
+
+  std::string snapshot_path() const;
+  std::string wal_path() const;
+
+  // CacheJournal — called by StateCache, not by users.
+  void OnCreateSet(const StateCache::GroupSet& set) override;
+  void OnInsertEntry(const std::string& data_sig, const std::string& key,
+                     const StateCache::Entry& entry) override;
+  void OnEraseSet(const std::string& data_sig) override;
+
+ private:
+  CachePersistence(std::string dir, const Catalog* catalog,
+                   StateCache* cache);
+
+  // Replays snapshot + WAL from dir_ into cache_ (journal not yet
+  // attached). Compacts immediately when anything was dropped, so the
+  // on-disk state converges back to the in-memory state.
+  void Recover();
+
+  // Frames `payload` into a record and appends it to the WAL. Swallows
+  // errors into wal_errors_; triggers compaction past wal_max_bytes.
+  void AppendRecord(const std::string& payload);
+
+  std::string dir_;
+  const Catalog* catalog_;
+  StateCache* cache_;
+  CacheRecoveryStats recovery_;
+  int64_t wal_appends_ = 0;
+  int64_t wal_errors_ = 0;
+  int64_t wal_bytes_ = 0;
+  int64_t snapshots_written_ = 0;
+};
+
+}  // namespace sudaf
+
+#endif  // SUDAF_SUDAF_CACHE_PERSIST_H_

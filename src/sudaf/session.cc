@@ -23,6 +23,29 @@ SudafSession::SudafSession(const Catalog* catalog, ExecOptions exec)
   // Scala-UDAF shape). Compiled IUME versions live in hardcoded_udafs.cc
   // for the ablation benchmarks.
   RegisterInterpretedUdafs(&hardcoded_);
+  cache_.set_policy(exec_.cache_policy);
+}
+
+void SudafSession::set_exec_options(const ExecOptions& exec) {
+  exec_ = exec;
+  cache_.set_policy(exec_.cache_policy);
+  cache_.EnforceBudget();
+}
+
+Status SudafSession::EnableCachePersistence(const std::string& dir) {
+  persistence_.reset();  // detach any previous store first
+  SUDAF_ASSIGN_OR_RETURN(persistence_,
+                         CachePersistence::Open(dir, catalog_, &cache_));
+  return Status::OK();
+}
+
+Status SudafSession::SaveCache(const std::string& path) const {
+  return SaveCacheSnapshot(cache_, path);
+}
+
+Status SudafSession::LoadCache(const std::string& path,
+                               CacheRecoveryStats* stats) {
+  return LoadCacheSnapshot(path, *catalog_, &cache_, stats);
 }
 
 Result<std::unique_ptr<Table>> SudafSession::Execute(const std::string& sql,
@@ -48,6 +71,8 @@ Result<std::unique_ptr<Table>> SudafSession::ExecuteStatement(
   stats_.cache_epoch_invalidations =
       after.epoch_invalidations - before.epoch_invalidations;
   stats_.cache_stale_discards = after.stale_discards - before.stale_discards;
+  stats_.cache_evictions = after.evictions - before.evictions;
+  stats_.cache_bytes_evicted = after.bytes_evicted - before.bytes_evicted;
   return result;
 }
 
@@ -279,12 +304,18 @@ Result<std::unique_ptr<Table>> SudafSession::ExecuteSudaf(
         PendingEntry& pe = pending[p];
         bool poisoned = EntryIsPoisoned(built[p]);
         if (poisoned) ++stats_.states_poisoned;
+        bool cached = false;
         if (pe.shared && !poisoned) {
-          group_set->entries.emplace(pe.key, std::move(built[p]));
-        } else {
-          // No-share mode, or a poisoned state: keep it query-local. The
-          // distribution loop below checks local_entries first, so the
-          // current query still gets its (honest, e.g. Inf) answer.
+          // Budget-aware insert: the cache evicts colder group sets first
+          // and declines (nullptr) when the entry cannot fit at all.
+          cached =
+              cache_.InsertEntry(group_set, pe.key, &built[p]) != nullptr;
+          if (!cached) ++stats_.cache_budget_rejects;
+        }
+        if (!cached) {
+          // No-share mode, a poisoned state, or a budget reject: keep it
+          // query-local. The distribution loop below checks local_entries
+          // first, so the current query still gets its honest answer.
           local_entries.emplace(pe.key, std::move(built[p]));
         }
         ++stats_.states_computed;
@@ -349,9 +380,13 @@ Result<std::unique_ptr<Table>> SudafSession::ExecuteSudaf(
             entry = &local_entries.emplace(ex.cls.key, std::move(computed))
                          .first->second;
           } else {
-            entry = &group_set->entries.emplace(ex.cls.key,
-                                                std::move(computed))
-                         .first->second;
+            entry = cache_.InsertEntry(group_set, ex.cls.key, &computed);
+            if (entry == nullptr) {
+              // Declined under the byte budget: serve it query-local.
+              ++stats_.cache_budget_rejects;
+              entry = &local_entries.emplace(ex.cls.key, std::move(computed))
+                           .first->second;
+            }
           }
         } else {
           entry = &it->second;

@@ -31,6 +31,7 @@
 #include "engine/exec_options.h"
 #include "engine/executor.h"
 #include "sudaf/cache.h"
+#include "sudaf/cache_persist.h"
 #include "sudaf/rewriter.h"
 #include "sudaf/sharing.h"
 
@@ -69,6 +70,14 @@ struct ExecStats {
   int cache_poison_evictions = 0;    // poisoned entries evicted at probe
   int64_t cache_epoch_invalidations = 0;  // sets dropped: table epoch moved
   int64_t cache_stale_discards = 0;       // sets dropped: group-count mismatch
+
+  // Byte-budget pressure (CachePolicy::max_bytes, docs/robustness.md).
+  // Evictions are whole group sets dropped to make room before an insert;
+  // budget_rejects are entries that could not fit even after eviction and
+  // were kept query-local instead of cached.
+  int64_t cache_evictions = 0;
+  int64_t cache_bytes_evicted = 0;
+  int cache_budget_rejects = 0;
 };
 
 class SudafSession {
@@ -81,7 +90,28 @@ class SudafSession {
   StateCache& cache() { return cache_; }
   const Catalog* catalog() const { return catalog_; }
   const ExecOptions& exec_options() const { return exec_; }
-  void set_exec_options(const ExecOptions& exec) { exec_ = exec; }
+  // Also applies exec.cache_policy to the state cache, evicting down to
+  // the new budget immediately.
+  void set_exec_options(const ExecOptions& exec);
+
+  // --- Durable cache (docs/robustness.md, "Durability & memory budget") --
+  // Opens (creating if absent) a snapshot+WAL store at `dir`, recovers its
+  // surviving contents into this session's cache, and keeps the store in
+  // sync with every later cache mutation. Recovery is never fatal — torn,
+  // corrupt, stale or poisoned records are dropped individually; inspect
+  // cache_persistence()->recovery_stats().
+  Status EnableCachePersistence(const std::string& dir);
+  // Detaches the store. All mutations up to this point are already in the
+  // WAL; no data is lost.
+  void DisableCachePersistence() { persistence_.reset(); }
+  CachePersistence* cache_persistence() { return persistence_.get(); }
+
+  // One-shot snapshot of the cache to/from a single file (`\cache save` /
+  // `\cache load` in the shell). Load merges into the current cache and
+  // applies the same per-record recovery rules as EnableCachePersistence.
+  Status SaveCache(const std::string& path) const;
+  Status LoadCache(const std::string& path,
+                   CacheRecoveryStats* stats = nullptr);
 
   // Parses and runs `sql` under `mode`.
   Result<std::unique_ptr<Table>> Execute(const std::string& sql,
@@ -110,6 +140,9 @@ class SudafSession {
   UdafRegistry hardcoded_;
   Executor executor_;
   StateCache cache_;
+  // Declared after cache_: destroyed first, detaching its journal while
+  // the cache is still alive.
+  std::unique_ptr<CachePersistence> persistence_;
   ExecStats stats_;
 };
 

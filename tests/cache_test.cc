@@ -116,5 +116,141 @@ TEST(StateCacheTest, GroupKeysAreCopied) {
   EXPECT_EQ(set->group_keys->column(0).GetInt64(0), 7);
 }
 
+TEST(TablesFromDataSignatureTest, RecoversTheSortedTableList) {
+  auto stmt = ParseSelect("SELECT sum(x) FROM b, a WHERE k1 = k2");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(TablesFromDataSignature(DataSignature(**stmt)),
+            (std::vector<std::string>{"a", "b"}));
+  auto single = ParseSelect("SELECT sum(x) FROM t GROUP BY g");
+  ASSERT_TRUE(single.ok());
+  EXPECT_EQ(TablesFromDataSignature(DataSignature(**single)),
+            (std::vector<std::string>{"t"}));
+  // Degenerate inputs parse to "no tables", never crash.
+  EXPECT_TRUE(TablesFromDataSignature("").empty());
+  EXPECT_TRUE(TablesFromDataSignature("T:;W:;G:").empty());
+  EXPECT_TRUE(TablesFromDataSignature("X:bogus").empty());
+}
+
+// ---------------------------------------------------------------------------
+// Byte accounting and the cost-aware eviction policy
+// ---------------------------------------------------------------------------
+
+// Pins the ApproxBytes formula: the budget must charge the group-keys
+// table and the fixed map-node overheads, not just the channel doubles —
+// otherwise a "bounded" cache can exceed its budget several-fold on
+// key-heavy workloads.
+TEST(StateCacheBytesTest, ApproxBytesFormulaRegression) {
+  StateCache cache;
+  auto keys = testing_util::MakeXyTable({1, 2, 3}, {0, 0, 0}, {0, 0, 0});
+  const std::string sig = "bytes-regression-sig";
+  StateCache::GroupSet* set = cache.GetOrCreate(sig, *keys, 3);
+
+  int64_t expected = StateCache::kPerSetOverhead +
+                     static_cast<int64_t>(sig.size()) +
+                     set->group_keys->ApproxBytes();
+  EXPECT_EQ(cache.ApproxBytes(), expected);
+  EXPECT_GT(set->group_keys->ApproxBytes(), 0);  // the table is charged
+
+  StateCache::Entry e1{{1.0, 2.0, 3.0}, {}};
+  StateCache::Entry e2{{1.0, 2.0, 3.0}, {1.0, -1.0, 1.0}};
+  ASSERT_NE(cache.InsertEntry(set, "k1", &e1), nullptr);
+  ASSERT_NE(cache.InsertEntry(set, "key2", &e2), nullptr);
+  expected += StateCache::kPerEntryOverhead + 2 + 3 * 8;      // "k1", main
+  expected += StateCache::kPerEntryOverhead + 4 + (3 + 3) * 8;  // "key2"
+  EXPECT_EQ(cache.ApproxBytes(), expected);
+  EXPECT_EQ(StateCache::SetBytes(*set), expected);
+
+  // Replacing an entry re-charges, it does not double-count.
+  StateCache::Entry shorter{{1.0}, {}};
+  ASSERT_NE(cache.InsertEntry(set, "k1", &shorter), nullptr);
+  expected -= 2 * 8;
+  EXPECT_EQ(cache.ApproxBytes(), expected);
+}
+
+TEST(StateCacheEvictionTest, ColdUnhitSetsAreEvictedFirst) {
+  StateCache cache;
+  auto keys = testing_util::MakeXyTable({1}, {0}, {0});
+  StateCache::GroupSet* a = cache.GetOrCreate("sig-a", *keys, 1);
+  StateCache::GroupSet* b = cache.GetOrCreate("sig-b", *keys, 1);
+  StateCache::Entry ea{{1.0}, {}}, eb{{2.0}, {}};
+  cache.InsertEntry(a, "k", &ea);
+  cache.InsertEntry(b, "k", &eb);
+  // Make `b` hot: repeated valid probes raise its hits and recency.
+  for (int i = 0; i < 5; ++i) ASSERT_NE(cache.Find("sig-b"), nullptr);
+
+  // Now constrain the budget so only one of the two fits: the cold,
+  // never-probed `a` must be the victim.
+  CachePolicy policy;
+  policy.max_bytes = cache.ApproxBytes() - 1;
+  cache.set_policy(policy);
+  cache.EnforceBudget();
+  EXPECT_EQ(cache.Find("sig-a"), nullptr);
+  EXPECT_NE(cache.Find("sig-b"), nullptr);
+  EXPECT_EQ(cache.counters().evictions, 1);
+  EXPECT_GT(cache.counters().bytes_evicted, 0);
+  EXPECT_LE(cache.ApproxBytes(), policy.max_bytes);
+}
+
+TEST(StateCacheEvictionTest, LargerOfEquallyColdSetsGoesFirst) {
+  StateCache cache;
+  auto keys = testing_util::MakeXyTable({1}, {0}, {0});
+  StateCache::GroupSet* small = cache.GetOrCreate("sig-small", *keys, 1);
+  StateCache::GroupSet* big = cache.GetOrCreate("sig-big", *keys, 1);
+  StateCache::Entry es{{1.0}, {}};
+  StateCache::Entry ebig{std::vector<double>(2048, 1.0), {}};
+  cache.InsertEntry(small, "k", &es);
+  cache.InsertEntry(big, "k", &ebig);
+
+  CachePolicy policy;
+  policy.max_bytes = cache.ApproxBytes() - 1;
+  cache.set_policy(policy);
+  cache.EnforceBudget();
+  // score = hits / (age × bytes): equal hits and near-equal age, so the
+  // big set has the lower score and is evicted.
+  EXPECT_EQ(cache.Find("sig-big"), nullptr);
+  EXPECT_NE(cache.Find("sig-small"), nullptr);
+}
+
+TEST(StateCacheEvictionTest, InsertDeclineLeavesEntryUntouched) {
+  StateCache cache;
+  auto keys = testing_util::MakeXyTable({1}, {0}, {0});
+  StateCache::GroupSet* set = cache.GetOrCreate("sig", *keys, 1);
+  CachePolicy policy;
+  policy.max_bytes = cache.ApproxBytes() + 64;  // set fits, big entries don't
+  cache.set_policy(policy);
+
+  StateCache::Entry huge{std::vector<double>(1024, 7.0), {}};
+  EXPECT_EQ(cache.InsertEntry(set, "huge", &huge), nullptr);
+  // The caller keeps the state query-local, so it must still be intact.
+  ASSERT_EQ(huge.main.size(), 1024u);
+  EXPECT_EQ(huge.main[17], 7.0);
+  EXPECT_EQ(cache.num_entries(), 0);
+  EXPECT_LE(cache.ApproxBytes(), policy.max_bytes);
+}
+
+TEST(StateCacheEvictionTest, OversizedSetLandsInTheOverflowSlot) {
+  StateCache cache;
+  CachePolicy policy;
+  policy.max_bytes = 64;  // smaller than any bare group set
+  cache.set_policy(policy);
+  auto keys = testing_util::MakeXyTable({1, 2}, {0, 0}, {0, 0});
+
+  StateCache::GroupSet* set = cache.GetOrCreate("sig-over", *keys, 2);
+  ASSERT_NE(set, nullptr);  // the current query can still proceed
+  // ...but the set is uncached: invisible to Find, uncounted, unbudgeted.
+  EXPECT_EQ(cache.Find("sig-over"), nullptr);
+  EXPECT_EQ(cache.num_group_sets(), 0);
+  EXPECT_EQ(cache.ApproxBytes(), 0);
+
+  StateCache::Entry entry{{1.0, 2.0}, {}};
+  EXPECT_NE(cache.InsertEntry(set, "k", &entry), nullptr);
+  EXPECT_EQ(cache.num_entries(), 0);  // still uncounted
+
+  // The next overflow replaces the slot; the old pointer dies with it.
+  StateCache::GroupSet* next = cache.GetOrCreate("sig-over2", *keys, 2);
+  ASSERT_NE(next, nullptr);
+  EXPECT_EQ(cache.num_group_sets(), 0);
+}
+
 }  // namespace
 }  // namespace sudaf

@@ -4,6 +4,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <limits>
 
@@ -109,6 +110,74 @@ TEST_F(FailPointTest, InjectedStatusIsCopiedVerbatim) {
   Status st = FailPoint::Check("robustness_test:site");
   EXPECT_EQ(st.code(), StatusCode::kCancelled);
   EXPECT_EQ(st.message(), "simulated cancel");
+}
+
+// ---------------------------------------------------------------------------
+// FailPoint::ActivateFromEnv (the SUDAF_FAILPOINTS grammar)
+// ---------------------------------------------------------------------------
+
+TEST_F(FailPointTest, EnvSpecBareSiteFiresOnce) {
+  ASSERT_OK_AND_ASSIGN(int armed,
+                       FailPoint::ActivateFromEnv("env_test:bare"));
+  EXPECT_EQ(armed, 1);
+  Status st = FailPoint::Check("env_test:bare");
+  EXPECT_EQ(st.code(), StatusCode::kInternal);
+  // The injected message names the site, so CI logs are attributable.
+  EXPECT_NE(st.message().find("env_test:bare"), std::string::npos);
+  EXPECT_OK(FailPoint::Check("env_test:bare"));  // fired once, expired
+}
+
+TEST_F(FailPointTest, EnvSpecSkipAndCountArgs) {
+  ASSERT_OK_AND_ASSIGN(
+      int armed, FailPoint::ActivateFromEnv("env_test:sc=skip:2:count:2"));
+  EXPECT_EQ(armed, 1);
+  EXPECT_OK(FailPoint::Check("env_test:sc"));
+  EXPECT_OK(FailPoint::Check("env_test:sc"));
+  EXPECT_FALSE(FailPoint::Check("env_test:sc").ok());
+  EXPECT_FALSE(FailPoint::Check("env_test:sc").ok());
+  EXPECT_OK(FailPoint::Check("env_test:sc"));
+}
+
+TEST_F(FailPointTest, EnvSpecBareCountFiresForever) {
+  ASSERT_OK_AND_ASSIGN(int armed,
+                       FailPoint::ActivateFromEnv("env_test:all=count"));
+  EXPECT_EQ(armed, 1);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_FALSE(FailPoint::Check("env_test:all").ok()) << i;
+  }
+}
+
+TEST_F(FailPointTest, EnvSpecArmsMultipleSites) {
+  ASSERT_OK_AND_ASSIGN(
+      int armed,
+      FailPoint::ActivateFromEnv("env_test:one,env_test:two=skip:1"));
+  EXPECT_EQ(armed, 2);
+  EXPECT_FALSE(FailPoint::Check("env_test:one").ok());
+  EXPECT_OK(FailPoint::Check("env_test:two"));
+  EXPECT_FALSE(FailPoint::Check("env_test:two").ok());
+}
+
+TEST_F(FailPointTest, EnvSpecMalformedArmsNothing) {
+  for (const char* bad :
+       {"=skip:1", "env_test:a=skip", "env_test:a=skip:x",
+        "env_test:a=bogus:1", "env_test:ok,env_test:b=wat"}) {
+    auto result = FailPoint::ActivateFromEnv(bad);
+    ASSERT_FALSE(result.ok()) << bad;
+    EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument) << bad;
+  }
+  // All-or-nothing: the valid prefix of a malformed spec was not armed.
+  EXPECT_OK(FailPoint::Check("env_test:ok"));
+}
+
+TEST_F(FailPointTest, EnvSpecReadsTheEnvironmentVariable) {
+  ASSERT_EQ(setenv("SUDAF_FAILPOINTS", "env_test:fromenv", 1), 0);
+  ASSERT_OK_AND_ASSIGN(int armed, FailPoint::ActivateFromEnv());
+  EXPECT_EQ(armed, 1);
+  EXPECT_FALSE(FailPoint::Check("env_test:fromenv").ok());
+  ASSERT_EQ(unsetenv("SUDAF_FAILPOINTS"), 0);
+  // Absent variable arms nothing and is not an error.
+  ASSERT_OK_AND_ASSIGN(armed, FailPoint::ActivateFromEnv());
+  EXPECT_EQ(armed, 0);
 }
 
 // ---------------------------------------------------------------------------
@@ -440,6 +509,64 @@ TEST_F(RobustSessionTest, TableReplacementInvalidatesViaEpoch) {
   ASSERT_EQ((*fresh)->num_rows(), 2);
   ExpectClose(10.0, (*fresh)->column(1).GetFloat64(0));
   ExpectClose(20.0, (*fresh)->column(1).GetFloat64(1));
+}
+
+// Multi-table signatures snapshot the combined epoch: mutating EITHER
+// joined table invalidates the cached join states.
+TEST_F(RobustSessionTest, JoinSetInvalidatesWhenEitherTableMutates) {
+  auto make_fact = [] {
+    Schema s;
+    SUDAF_CHECK(s.AddField({"fk", DataType::kInt64}).ok());
+    SUDAF_CHECK(s.AddField({"v", DataType::kFloat64}).ok());
+    auto t = std::make_unique<Table>(std::move(s));
+    for (int64_t i = 0; i < 12; ++i) {
+      t->column(0).AppendInt64(i % 3);
+      t->column(1).AppendFloat64(static_cast<double>(i));
+    }
+    t->FinishBulkAppend();
+    return t;
+  };
+  auto make_dim = [](int64_t keys) {
+    Schema s;
+    SUDAF_CHECK(s.AddField({"dk", DataType::kInt64}).ok());
+    SUDAF_CHECK(s.AddField({"w", DataType::kFloat64}).ok());
+    auto t = std::make_unique<Table>(std::move(s));
+    for (int64_t k = 0; k < keys; ++k) {
+      t->column(0).AppendInt64(k);
+      t->column(1).AppendFloat64(static_cast<double>(k));
+    }
+    t->FinishBulkAppend();
+    return t;
+  };
+  catalog_.PutTable("fact", make_fact());
+  catalog_.PutTable("dim", make_dim(3));
+  session_ = std::make_unique<SudafSession>(&catalog_);
+
+  const std::string sql =
+      "SELECT fk, sum(v) FROM fact, dim WHERE fk = dk GROUP BY fk";
+  ASSERT_TRUE(session_->Execute(sql, ExecMode::kSudafShare).ok());
+  ASSERT_GT(session_->cache().num_entries(), 0);
+
+  // Mutate the DIMENSION side only; join states over (fact, dim) go.
+  catalog_.PutTable("dim", make_dim(2));
+  auto after_dim = session_->Execute(sql, ExecMode::kSudafShare);
+  ASSERT_TRUE(after_dim.ok()) << after_dim.status().ToString();
+  EXPECT_EQ(session_->last_stats().cache_epoch_invalidations, 1);
+  EXPECT_EQ(session_->last_stats().states_from_cache, 0);
+  ASSERT_EQ((*after_dim)->num_rows(), 2);  // key 2 no longer joins
+
+  // Now the FACT side.
+  catalog_.PutTable("fact", make_fact());
+  auto after_fact = session_->Execute(sql, ExecMode::kSudafShare);
+  ASSERT_TRUE(after_fact.ok());
+  EXPECT_EQ(session_->last_stats().cache_epoch_invalidations, 1);
+  EXPECT_EQ(session_->last_stats().states_from_cache, 0);
+
+  // Stable epochs: an immediate re-run shares instead of recomputing.
+  auto warm = session_->Execute(sql, ExecMode::kSudafShare);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_EQ(session_->last_stats().cache_epoch_invalidations, 0);
+  EXPECT_GT(session_->last_stats().states_from_cache, 0);
 }
 
 TEST_F(RobustSessionTest, InPlaceMutationInvalidatesViaTouchTable) {
