@@ -71,7 +71,7 @@ int main() {
                       " AND time_interval < " + std::to_string(step.hi);
     auto plain = session.Execute(sql, ExecMode::kSudafNoShare);
     SUDAF_CHECK_MSG(plain.ok(), plain.status().ToString());
-    double plain_ms = session.last_stats().total_ms;
+    double plain_ms = plain->stats.total_ms;
 
     auto shared = chunked.Execute(sql);
     SUDAF_CHECK_MSG(shared.ok(), shared.status().ToString());

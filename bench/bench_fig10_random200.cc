@@ -16,6 +16,7 @@ using sudaf::ExecMode;
 using sudaf::ExecOptions;
 using sudaf::Rng;
 using sudaf::Status;
+using sudaf::SessionOptions;
 using sudaf::SudafSession;
 
 int main() {
@@ -49,7 +50,7 @@ int main() {
   const ExecMode modes[] = {ExecMode::kEngine, ExecMode::kSudafNoShare,
                             ExecMode::kSudafShare};
   for (int context = 0; context < 3; ++context) {
-    SudafSession session(&catalog, exec);
+    SudafSession session(&catalog, SessionOptions{}.set_exec(exec));
     Status rq = sudaf::bench::RegisterQuantileUdafs(&session, 10);
     SUDAF_CHECK_MSG(rq.ok(), rq.ToString());
     for (const std::string& agg : queries) {
@@ -61,7 +62,7 @@ int main() {
         times[context].push_back(-1.0);
         continue;
       }
-      times[context].push_back(session.last_stats().total_ms);
+      times[context].push_back(result->stats.total_ms);
     }
   }
 

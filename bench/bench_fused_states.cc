@@ -124,9 +124,37 @@ int RepsFor(int64_t rows) {
   return rows <= 1'000'000 ? 5 : rows <= 4'000'000 ? 3 : 1;
 }
 
+// --smoke: one cold + one warm share-mode query through a real session,
+// printing each profile as one line of sudaf.profile.v1 JSON
+// (docs/observability.md). CI's perf-smoke job gates on this schema, not on
+// timings.
+int RunSmoke() {
+  Schema schema;
+  SUDAF_CHECK(schema.AddField({"g", DataType::kInt64}).ok());
+  SUDAF_CHECK(schema.AddField({"x", DataType::kFloat64}).ok());
+  auto table = std::make_unique<Table>(std::move(schema));
+  Rng rng(7);
+  for (int i = 0; i < 50'000; ++i) {
+    table->column(0).AppendInt64(static_cast<int64_t>(rng.NextBelow(64)));
+    table->column(1).AppendFloat64(rng.NextDoubleIn(0.5, 9.5));
+  }
+  table->FinishBulkAppend();
+  Catalog catalog;
+  catalog.PutTable("t", std::move(table));
+  SudafSession session(&catalog);
+  const char* sql = "SELECT g, kurtosis(x), var(x) FROM t GROUP BY g";
+  for (int run = 0; run < 2; ++run) {
+    auto result = session.Execute(sql, ExecMode::kSudafShare);
+    SUDAF_CHECK_MSG(result.ok(), result.status().ToString());
+    std::printf("%s\n", result->ProfileJson().c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (argc > 1 && std::string(argv[1]) == "--smoke") return RunSmoke();
   FILE* json = std::fopen("BENCH_fused_states.json", "w");
   SUDAF_CHECK_MSG(json != nullptr, "cannot open BENCH_fused_states.json");
   std::fprintf(json, "{\n  \"groups\": %d,\n", kGroups);

@@ -32,9 +32,9 @@ int main() {
     SudafSession session(&catalog);
 
     auto time_query = [&session, &sql](ExecMode mode) {
-      auto result = session.Execute(sql, mode);
+      Result<QueryResult> result = session.Execute(sql, mode);
       SUDAF_CHECK_MSG(result.ok(), result.status().ToString());
-      return session.last_stats().total_ms;
+      return result->stats.total_ms;
     };
 
     double engine_ms = time_query(ExecMode::kEngine);

@@ -55,14 +55,15 @@ inline const char* kQ3 =
     "s_state = 'TN' and d_year >= 2000 GROUP BY d_year";
 
 inline double TimeQuery(SudafSession* session, const std::string& sql,
-                        ExecMode mode) {
-  auto result = session->Execute(sql, mode);
+                        ExecMode mode, ExecStats* stats_out = nullptr) {
+  Result<QueryResult> result = session->Execute(sql, mode);
   if (!result.ok()) {
     std::fprintf(stderr, "FAILED: %s\n  %s\n", sql.c_str(),
                  result.status().ToString().c_str());
     return -1.0;
   }
-  return session->last_stats().total_ms;
+  if (stats_out != nullptr) *stats_out = result->stats;
+  return result->stats.total_ms;
 }
 
 inline void RunMotivatingExample(const char* context_name,
@@ -71,7 +72,7 @@ inline void RunMotivatingExample(const char* context_name,
   WorkloadOptions options = WorkloadOptions::FromEnv();
   Status st = SetupWorkloadData(options, &catalog);
   SUDAF_CHECK_MSG(st.ok(), st.ToString());
-  SudafSession session(&catalog, exec);
+  SudafSession session(&catalog, SessionOptions{}.set_exec(exec));
 
   std::printf("=== Motivating example (Section 2), %s context ===\n",
               context_name);
@@ -92,8 +93,8 @@ inline void RunMotivatingExample(const char* context_name,
   // (b) Q2 right after Q1 (the cache holds s1, s2, s3).
   double q2_udaf_ms = TimeQuery(&session, kQ2, ExecMode::kEngine);
   double q2_noshare_ms = TimeQuery(&session, kQ2, ExecMode::kSudafNoShare);
-  double q2_share_ms = TimeQuery(&session, kQ2, ExecMode::kSudafShare);
-  const ExecStats& stats = session.last_stats();
+  ExecStats stats;
+  double q2_share_ms = TimeQuery(&session, kQ2, ExecMode::kSudafShare, &stats);
   std::printf("\n(b) Q2 after Q1\n");
   std::printf("    %-22s %9.2f ms\n", "hardcoded UDAF", q2_udaf_ms);
   std::printf("    %-22s %9.2f ms\n", "SUDAF (no share)", q2_noshare_ms);

@@ -41,7 +41,7 @@ int main() {
   SUDAF_CHECK_MSG(q1_result.ok(), q1_result.status().ToString());
   std::printf("Q1 results (%0.1f ms; the generator draws sales ≈ "
               "0.8·list + noise, so theta1 ≈ 0.8):\n%s\n",
-              session.last_stats().total_ms, (*q1_result)->ToString(5).c_str());
+              q1_result->stats.total_ms, (*q1_result)->ToString(5).c_str());
 
   // Q2: different UDAFs, same data dimension — served from Q1's cache.
   const std::string q2 =
@@ -55,9 +55,9 @@ int main() {
   std::printf(
       "\nQ2 after Q1: %0.2f ms, %d/%d states from Q1's cache, base data "
       "scanned: %s\n%s\n",
-      session.last_stats().total_ms, session.last_stats().states_from_cache,
-      session.last_stats().num_states,
-      session.last_stats().scanned_base_data ? "yes" : "no",
+      q2_result->stats.total_ms, q2_result->stats.states_from_cache,
+      q2_result->stats.num_states,
+      q2_result->stats.scanned_base_data ? "yes" : "no",
       (*q2_result)->ToString(5).c_str());
 
   // Q3 via the materialized partial-aggregate view V1 (the RQ1 subquery).

@@ -50,10 +50,9 @@ int main() {
     auto result = session.Execute(sql, ExecMode::kSudafShare);
     SUDAF_CHECK_MSG(result.ok(), result.status().ToString());
     std::printf("%s\n-> %.2f ms, %d/%d states from cache, scanned: %s\n%s\n",
-                sql, session.last_stats().total_ms,
-                session.last_stats().states_from_cache,
-                session.last_stats().num_states,
-                session.last_stats().scanned_base_data ? "yes" : "no",
+                sql, result->stats.total_ms, result->stats.states_from_cache,
+                result->stats.num_states,
+                result->stats.scanned_base_data ? "yes" : "no",
                 (*result)->ToString().c_str());
   }
 

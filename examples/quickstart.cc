@@ -54,8 +54,7 @@ int main() {
   auto first = session.Execute(query, ExecMode::kSudafShare);
   SUDAF_CHECK_MSG(first.ok(), first.status().ToString());
   std::printf("first run (%0.2f ms, computed %d states):\n%s\n",
-              session.last_stats().total_ms,
-              session.last_stats().states_computed,
+              first->stats.total_ms, first->stats.states_computed,
               (*first)->ToString().c_str());
 
   // A *different* UDAF over the same data: qm needs Σtemp² and count —
@@ -68,9 +67,9 @@ int main() {
   std::printf(
       "qm run (%0.2f ms, %d/%d states from cache, scanned base data: %s):\n"
       "%s\n",
-      session.last_stats().total_ms, session.last_stats().states_from_cache,
-      session.last_stats().num_states,
-      session.last_stats().scanned_base_data ? "yes" : "no",
+      second->stats.total_ms, second->stats.states_from_cache,
+      second->stats.num_states,
+      second->stats.scanned_base_data ? "yes" : "no",
       (*second)->ToString().c_str());
   return 0;
 }

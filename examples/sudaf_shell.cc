@@ -10,6 +10,11 @@
 //   \define <name>(<params>) := <expression>
 //                                register a UDAF declaratively
 //   \tables                      list tables
+//   \profile on|off              print the per-phase trace profile after
+//                                each query
+//   \profile json                print the last query's profile as JSON
+//                                (schema: docs/observability.md)
+//   \metrics                     dump the session metrics registry as JSON
 //   \cache                       cache statistics (size, eviction and
 //                                invalidation counters)
 //   \cache save <path>           snapshot the state cache to a checksummed
@@ -34,14 +39,14 @@ using namespace sudaf;  // NOLINT — example brevity
 
 namespace {
 
-void RunStatement(SudafSession* session, const std::string& sql,
-                  ExecMode mode) {
-  auto result = session->Execute(sql, mode);
+void RunStatement(SudafSession* session, const std::string& sql, ExecMode mode,
+                  bool profile_on, std::string* last_profile_json) {
+  Result<QueryResult> result = session->Execute(sql, mode);
   if (!result.ok()) {
     std::printf("error: %s\n", result.status().ToString().c_str());
     return;
   }
-  const ExecStats& stats = session->last_stats();
+  const ExecStats& stats = result->stats;
   std::printf("%s(%lld rows, %.2f ms", (*result)->ToString(20).c_str(),
               static_cast<long long>((*result)->num_rows()), stats.total_ms);
   if (mode != ExecMode::kEngine) {
@@ -50,6 +55,10 @@ void RunStatement(SudafSession* session, const std::string& sql,
                 stats.scanned_base_data ? "yes" : "no");
   }
   std::printf(")\n");
+  *last_profile_json = result->ProfileJson();
+  if (profile_on) {
+    std::printf("%s", result->ProfileText().c_str());
+  }
 }
 
 // Parses "\define name(a, b) := expression".
@@ -116,6 +125,8 @@ int main() {
       "save/load, \\quit to exit)\n");
 
   ExecMode mode = ExecMode::kSudafShare;
+  bool profile_on = false;
+  std::string last_profile_json;
   std::string line;
   std::string pending;
   while (true) {
@@ -138,6 +149,25 @@ int main() {
         std::printf("%s\n", explain.ok()
                                 ? explain->c_str()
                                 : explain.status().ToString().c_str());
+      } else if (line.rfind("\\profile", 0) == 0) {
+        std::stringstream args(line.substr(8));
+        std::string sub;
+        args >> sub;
+        if (sub == "on") {
+          profile_on = true;
+          std::printf("profiling on\n");
+        } else if (sub == "off") {
+          profile_on = false;
+          std::printf("profiling off\n");
+        } else if (sub == "json") {
+          std::printf("%s\n", last_profile_json.empty()
+                                  ? "no query profiled yet"
+                                  : last_profile_json.c_str());
+        } else {
+          std::printf("usage: \\profile on|off|json\n");
+        }
+      } else if (line == "\\metrics") {
+        std::printf("%s\n", session.metrics().Snapshot().ToJson().c_str());
       } else if (line.rfind("\\define", 0) == 0) {
         HandleDefine(&session, line);
       } else if (line == "\\tables") {
@@ -180,8 +210,8 @@ int main() {
         std::string sub, path;
         args >> sub >> path;
         if (sub.empty()) {
-          const StateCache::Counters& c = session.cache().counters();
-          const CachePolicy& policy = session.exec_options().cache_policy;
+          const StateCache::Counters c = session.cache().counters();
+          const CachePolicy& policy = session.options().cache_policy;
           std::printf("  %lld group sets, %lld state entries, ~%lld bytes",
                       static_cast<long long>(session.cache().num_group_sets()),
                       static_cast<long long>(session.cache().num_entries()),
@@ -237,7 +267,7 @@ int main() {
     std::string sql = pending;
     pending.clear();
     if (sql.find_first_not_of("; \t") == std::string::npos) continue;
-    RunStatement(&session, sql, mode);
+    RunStatement(&session, sql, mode, profile_on, &last_profile_json);
   }
   return 0;
 }

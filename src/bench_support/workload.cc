@@ -147,14 +147,14 @@ std::vector<double> RunSequence(SudafSession* session, int model,
   times.reserve(aggs.size());
   for (const std::string& agg : aggs) {
     std::string sql = QueryModel(model, agg);
-    Result<std::unique_ptr<Table>> result = session->Execute(sql, mode);
+    Result<QueryResult> result = session->Execute(sql, mode);
     if (!result.ok()) {
       std::fprintf(stderr, "query failed (%s): %s\n", sql.c_str(),
                    result.status().ToString().c_str());
       times.push_back(-1.0);
       continue;
     }
-    times.push_back(session->last_stats().total_ms);
+    times.push_back(result->stats.total_ms);
   }
   return times;
 }

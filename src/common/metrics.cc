@@ -1,0 +1,175 @@
+#include "common/metrics.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace sudaf {
+
+namespace {
+
+std::string JsonNumber(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+std::string EscapeJson(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void Histogram::Observe(double v) {
+  count_.fetch_add(1, std::memory_order_relaxed);
+  metrics_internal::AtomicAdd(sum_, v);
+  metrics_internal::AtomicMin(min_, v);
+  metrics_internal::AtomicMax(max_, v);
+  int bucket = 0;
+  if (v > 0) {
+    int exp = static_cast<int>(std::floor(std::log2(v)));
+    bucket = exp - kMinExp;
+    if (bucket < 0) bucket = 0;
+    if (bucket >= kNumBuckets) bucket = kNumBuckets - 1;
+  }
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot s;
+  s.count = count_.load(std::memory_order_relaxed);
+  s.sum = sum_.load(std::memory_order_relaxed);
+  if (s.count > 0) {
+    s.min = min_.load(std::memory_order_relaxed);
+    s.max = max_.load(std::memory_order_relaxed);
+  }
+  s.buckets.resize(kNumBuckets);
+  for (int i = 0; i < kNumBuckets; ++i) {
+    s.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return s;
+}
+
+int64_t MetricsSnapshot::counter(const std::string& name) const {
+  auto it = counters.find(name);
+  return it == counters.end() ? 0 : it->second;
+}
+
+double MetricsSnapshot::dcounter(const std::string& name) const {
+  auto it = dcounters.find(name);
+  return it == dcounters.end() ? 0.0 : it->second;
+}
+
+double MetricsSnapshot::gauge(const std::string& name) const {
+  auto it = gauges.find(name);
+  return it == gauges.end() ? 0.0 : it->second;
+}
+
+MetricsSnapshot MetricsSnapshot::Delta(const MetricsSnapshot& since) const {
+  MetricsSnapshot d = *this;
+  for (auto& [name, v] : d.counters) v -= since.counter(name);
+  for (auto& [name, v] : d.dcounters) v -= since.dcounter(name);
+  return d;
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{\"counters\": {";
+  bool first = true;
+  for (const auto& [name, v] : counters) {
+    out += (first ? "" : ", ");
+    out += "\"" + EscapeJson(name) + "\": " + std::to_string(v);
+    first = false;
+  }
+  out += "}, \"dcounters\": {";
+  first = true;
+  for (const auto& [name, v] : dcounters) {
+    out += (first ? "" : ", ");
+    out += "\"" + EscapeJson(name) + "\": " + JsonNumber(v);
+    first = false;
+  }
+  out += "}, \"gauges\": {";
+  first = true;
+  for (const auto& [name, v] : gauges) {
+    out += (first ? "" : ", ");
+    out += "\"" + EscapeJson(name) + "\": " + JsonNumber(v);
+    first = false;
+  }
+  out += "}, \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    out += (first ? "" : ", ");
+    out += "\"" + EscapeJson(name) + "\": {\"count\": " +
+           std::to_string(h.count) + ", \"sum\": " + JsonNumber(h.sum) +
+           ", \"min\": " + JsonNumber(h.min) +
+           ", \"max\": " + JsonNumber(h.max) + "}";
+    first = false;
+  }
+  out += "}}";
+  return out;
+}
+
+Counter* MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+DCounter* MetricsRegistry::dcounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = dcounters_[name];
+  if (slot == nullptr) slot = std::make_unique<DCounter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot s;
+  for (const auto& [name, c] : counters_) s.counters[name] = c->value();
+  for (const auto& [name, c] : dcounters_) s.dcounters[name] = c->value();
+  for (const auto& [name, g] : gauges_) s.gauges[name] = g->value();
+  for (const auto& [name, h] : histograms_) s.histograms[name] = h->snapshot();
+  return s;
+}
+
+}  // namespace sudaf

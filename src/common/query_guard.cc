@@ -15,9 +15,11 @@ void QueryGuard::ArmDeadline(double timeout_ms) {
 Status QueryGuard::Check() const {
   checks_.fetch_add(1, std::memory_order_relaxed);
   if (token_ != nullptr && token_->cancelled()) {
+    trips_.fetch_add(1, std::memory_order_relaxed);
     return Status::Cancelled("query cancelled");
   }
   if (has_deadline_ && std::chrono::steady_clock::now() >= deadline_) {
+    trips_.fetch_add(1, std::memory_order_relaxed);
     return Status::DeadlineExceeded("query deadline exceeded");
   }
   return Status::OK();
@@ -28,6 +30,7 @@ Status QueryGuard::ChargeMemory(int64_t bytes) const {
   int64_t total =
       memory_charged_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
   if (total > memory_budget_) {
+    trips_.fetch_add(1, std::memory_order_relaxed);
     return Status::ResourceExhausted(
         "memory budget exceeded: " + std::to_string(total) + " of " +
         std::to_string(memory_budget_) + " bytes");

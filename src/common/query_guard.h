@@ -78,6 +78,11 @@ class QueryGuard {
   // consults the guard at morsel granularity.
   int64_t checks() const { return checks_.load(std::memory_order_relaxed); }
 
+  // Number of failed Check()/ChargeMemory() calls (cancellation, deadline,
+  // budget). Sessions mirror per-query deltas of checks()/trips() into
+  // sudaf.guard.checks / sudaf.guard.trips.
+  int64_t trips() const { return trips_.load(std::memory_order_relaxed); }
+
  private:
   const CancelToken* token_ = nullptr;
   bool has_deadline_ = false;
@@ -85,6 +90,7 @@ class QueryGuard {
   int64_t memory_budget_ = 0;
   mutable std::atomic<int64_t> memory_charged_{0};
   mutable std::atomic<int64_t> checks_{0};
+  mutable std::atomic<int64_t> trips_{0};
 };
 
 }  // namespace sudaf

@@ -34,6 +34,7 @@ void ThreadPool::RunTasks() {
     int64_t t = next_task_.fetch_add(1, std::memory_order_relaxed);
     if (t >= num_tasks) break;
     fn(t);
+    tasks_total_.fetch_add(1, std::memory_order_relaxed);
     tasks_done_.fetch_add(1, std::memory_order_acq_rel);
   }
 }
@@ -65,8 +66,12 @@ void ThreadPool::WorkerLoop() {
 void ThreadPool::ParallelFor(int64_t num_tasks,
                              const std::function<void(int64_t)>& fn) {
   if (num_tasks <= 0) return;
+  jobs_total_.fetch_add(1, std::memory_order_relaxed);
   if (num_tasks == 1 || workers_.empty()) {
-    for (int64_t t = 0; t < num_tasks; ++t) fn(t);
+    for (int64_t t = 0; t < num_tasks; ++t) {
+      fn(t);
+      tasks_total_.fetch_add(1, std::memory_order_relaxed);
+    }
     return;
   }
   std::lock_guard<std::mutex> job_lock(job_mu_);

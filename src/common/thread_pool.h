@@ -61,6 +61,21 @@ class ThreadPool {
   Status TryParallelFor(int64_t num_tasks,
                         const std::function<Status(int64_t)>& fn);
 
+  // Cumulative activity counters since construction. Sessions snapshot
+  // these around a query and mirror the delta into their MetricsRegistry
+  // (sudaf.pool.jobs / sudaf.pool.tasks) — the pool itself stays free of
+  // registry dependencies.
+  struct Counters {
+    int64_t jobs = 0;   // ParallelFor/TryParallelFor calls that ran work
+    int64_t tasks = 0;  // individual task executions
+  };
+  Counters counters() const {
+    Counters c;
+    c.jobs = jobs_total_.load(std::memory_order_relaxed);
+    c.tasks = tasks_total_.load(std::memory_order_relaxed);
+    return c;
+  }
+
   // Process-wide pool, created empty on first use and grown on demand
   // (capped at kMaxGlobalWorkers).
   static ThreadPool& Global();
@@ -88,6 +103,10 @@ class ThreadPool {
   int active_claimers_ = 0;  // threads currently inside RunTasks
   bool job_active_ = false;
   bool shutdown_ = false;
+
+  // Lifetime totals (see counters()).
+  std::atomic<int64_t> jobs_total_{0};
+  std::atomic<int64_t> tasks_total_{0};
 };
 
 }  // namespace sudaf

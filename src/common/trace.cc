@@ -1,0 +1,263 @@
+#include "common/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "common/timer.h"
+
+namespace sudaf {
+
+namespace {
+
+std::string Ms(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  return buf;
+}
+
+std::string EscapeJson(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+      continue;
+    }
+    out += c;
+  }
+  return out;
+}
+
+double SpanDuration(const QueryTrace::Span& s) {
+  return s.end_ms < s.start_ms ? 0.0 : s.end_ms - s.start_ms;
+}
+
+}  // namespace
+
+QueryTrace::QueryTrace(int capacity)
+    : capacity_(std::max(capacity, 16)), epoch_ms_(NowMs()) {}
+
+double QueryTrace::now_ms() const { return NowMs() - epoch_ms_; }
+
+int QueryTrace::BeginSpan(const std::string& name, int parent) {
+  double t = now_ms();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (static_cast<int>(spans_.size()) >= capacity_) {
+    ++dropped_spans_;
+    return -1;
+  }
+  Span s;
+  s.id = static_cast<int>(spans_.size());
+  s.parent = parent;
+  s.name = name;
+  s.start_ms = t;
+  spans_.push_back(std::move(s));
+  return spans_.back().id;
+}
+
+double QueryTrace::EndSpan(int id) {
+  double t = now_ms();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id < 0 || id >= static_cast<int>(spans_.size())) return 0.0;
+  spans_[id].end_ms = t;
+  return SpanDuration(spans_[id]);
+}
+
+void QueryTrace::AddEvent(const std::string& name, int span, int64_t value) {
+  double t = now_ms();
+  std::lock_guard<std::mutex> lock(mu_);
+  Event e;
+  e.name = name;
+  e.span = span;
+  e.t_ms = t;
+  e.value = value;
+  if (static_cast<int>(ring_.size()) < capacity_) {
+    ring_.push_back(std::move(e));
+  } else {
+    ring_[ring_head_] = std::move(e);
+    ring_head_ = (ring_head_ + 1) % ring_.size();
+  }
+  ++total_events_;
+}
+
+std::vector<QueryTrace::Span> QueryTrace::spans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+std::vector<QueryTrace::Event> QueryTrace::events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Event> out;
+  out.reserve(ring_.size());
+  // Oldest-first: the ring head is the oldest entry once the buffer wrapped.
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(ring_head_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+int64_t QueryTrace::dropped_events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_events_ - static_cast<int64_t>(ring_.size());
+}
+
+int64_t QueryTrace::dropped_spans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_spans_;
+}
+
+double QueryTrace::SpanMs(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  double total = 0;
+  for (const Span& s : spans_) {
+    if (s.name == name) total += SpanDuration(s);
+  }
+  return total;
+}
+
+int64_t QueryTrace::EventCount(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t n = 0;
+  for (const Event& e : ring_) {
+    if (e.name == name) ++n;
+  }
+  return n;
+}
+
+std::string QueryTrace::ToJson() const {
+  std::vector<Span> spans;
+  std::vector<Event> events;
+  int64_t dropped_events_n;
+  int64_t dropped_spans_n;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    spans = spans_;
+    dropped_spans_n = dropped_spans_;
+    dropped_events_n = total_events_ - static_cast<int64_t>(ring_.size());
+    events.reserve(ring_.size());
+    for (size_t i = 0; i < ring_.size(); ++i) {
+      events.push_back(ring_[(ring_head_ + i) % ring_.size()]);
+    }
+  }
+
+  // children[p] lists span ids whose parent is p (+1 shifted so -1 fits).
+  std::vector<std::vector<int>> children(spans.size() + 1);
+  for (const Span& s : spans) {
+    children[static_cast<size_t>(s.parent + 1)].push_back(s.id);
+  }
+
+  std::string out = "{\"spans\": ";
+  // Children are emitted recursively; spans form a tree by construction
+  // (parents are opened before their children).
+  auto emit = [&](auto&& self, int parent) -> void {
+    out += "[";
+    bool first = true;
+    for (int id : children[static_cast<size_t>(parent + 1)]) {
+      const Span& s = spans[id];
+      out += (first ? "" : ", ");
+      out += "{\"name\": \"" + EscapeJson(s.name) + "\"";
+      out += ", \"ms\": " + Ms(SpanDuration(s));
+      out += ", \"start_ms\": " + Ms(s.start_ms);
+      out += ", \"children\": ";
+      self(self, id);
+      out += "}";
+      first = false;
+    }
+    out += "]";
+  };
+  emit(emit, -1);
+
+  out += ", \"events\": [";
+  bool first = true;
+  for (const Event& e : events) {
+    out += (first ? "" : ", ");
+    out += "{\"name\": \"" + EscapeJson(e.name) + "\"";
+    out += ", \"span\": ";
+    out += (e.span >= 0 && e.span < static_cast<int>(spans.size()))
+               ? "\"" + EscapeJson(spans[e.span].name) + "\""
+               : std::string("null");
+    out += ", \"t_ms\": " + Ms(e.t_ms);
+    out += ", \"value\": " + std::to_string(e.value) + "}";
+    first = false;
+  }
+  out += "], \"dropped_events\": " + std::to_string(dropped_events_n);
+  out += ", \"dropped_spans\": " + std::to_string(dropped_spans_n) + "}";
+  return out;
+}
+
+std::string QueryTrace::ToText() const {
+  std::vector<Span> spans = this->spans();
+  std::vector<Event> events = this->events();
+
+  std::vector<std::vector<int>> children(spans.size() + 1);
+  for (const Span& s : spans) {
+    children[static_cast<size_t>(s.parent + 1)].push_back(s.id);
+  }
+  // Aggregate events per (span, name): count and summed value.
+  std::map<std::pair<int, std::string>, std::pair<int64_t, int64_t>> agg;
+  for (const Event& e : events) {
+    auto& slot = agg[{e.span, e.name}];
+    ++slot.first;
+    slot.second += e.value;
+  }
+
+  std::string out;
+  auto emit = [&](auto&& self, int parent, int depth) -> void {
+    for (int id : children[static_cast<size_t>(parent + 1)]) {
+      const Span& s = spans[id];
+      std::string line(static_cast<size_t>(depth) * 2, ' ');
+      line += s.name;
+      if (line.size() < 28) line.resize(28, ' ');
+      line += " " + Ms(SpanDuration(s)) + " ms";
+      for (const auto& [key, cv] : agg) {
+        if (key.first != id) continue;
+        line += "  " + key.second + "×" + std::to_string(cv.first);
+        if (cv.second != cv.first) {  // non-unit payloads: show the sum
+          line += " (sum " + std::to_string(cv.second) + ")";
+        }
+      }
+      out += line + "\n";
+      self(self, id, depth + 1);
+    }
+  };
+  emit(emit, -1, 0);
+
+  // Root-level events (span == -1), e.g. cache evictions outside any phase.
+  for (const auto& [key, cv] : agg) {
+    if (key.first != -1) continue;
+    out += key.second + "×" + std::to_string(cv.first) + "\n";
+  }
+  int64_t dropped = dropped_events();
+  if (dropped > 0) {
+    out += "[" + std::to_string(dropped) + " events dropped]\n";
+  }
+  return out;
+}
+
+TraceSpan::TraceSpan(QueryTrace* trace, const std::string& name, int parent,
+                     DCounter* acc)
+    : trace_(trace), acc_(acc) {
+  start_ms_ = NowMs();
+  if (trace_ != nullptr) id_ = trace_->BeginSpan(name, parent);
+}
+
+void TraceSpan::Close() {
+  if (closed_) return;
+  closed_ = true;
+  if (trace_ != nullptr && id_ >= 0) {
+    double ms = trace_->EndSpan(id_);
+    if (acc_ != nullptr) acc_->Add(ms);
+  } else if (acc_ != nullptr) {
+    acc_->Add(NowMs() - start_ms_);
+  }
+}
+
+void TraceSpan::Event(const std::string& name, int64_t value) {
+  if (trace_ != nullptr) trace_->AddEvent(name, id_, value);
+}
+
+}  // namespace sudaf

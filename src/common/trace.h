@@ -1,0 +1,139 @@
+#ifndef SUDAF_COMMON_TRACE_H_
+#define SUDAF_COMMON_TRACE_H_
+
+// Per-query trace tree (docs/observability.md).
+//
+// One QueryTrace records one query execution as a tree of timed *spans*
+// (rewrite → probe → input → states → terminate, plus nested executor
+// spans) and a bounded ring buffer of instant *events* attached to spans
+// (one per morsel, one per cache decision, one per eviction). The session
+// creates the trace, hands a borrowed pointer down through ExecOptions,
+// and publishes it — immutable — as QueryResult::trace.
+//
+// Spans are recorded through the RAII TraceSpan wrapper, which also
+// (optionally) accumulates its duration into a DCounter so phase metrics
+// and phase spans can never disagree:
+//
+//   TraceSpan span(trace, "rewrite", root.id(),
+//                  metrics->dcounter("sudaf.phase.rewrite_ms"));
+//
+// All members are thread-safe: fused-executor workers emit morsel events
+// concurrently. Event volume is bounded by `capacity` — when the ring
+// wraps, the oldest events are dropped (and counted); spans above the cap
+// are dropped entirely (and counted) so a pathological query cannot grow
+// the trace without bound.
+//
+// Timestamps are milliseconds relative to the trace's construction.
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+
+namespace sudaf {
+
+class QueryTrace {
+ public:
+  struct Span {
+    int id = -1;
+    int parent = -1;  // -1 => root-level
+    std::string name;
+    double start_ms = 0;
+    double end_ms = -1;  // -1 while open
+  };
+
+  struct Event {
+    std::string name;
+    int span = -1;  // owning span id, -1 => root-level
+    double t_ms = 0;
+    int64_t value = 1;  // payload (rows of a morsel, bytes of an eviction)
+  };
+
+  explicit QueryTrace(int capacity = 4096);
+
+  // Opens a span; returns its id, or -1 when the span cap is reached (the
+  // span is then dropped and counted). Prefer TraceSpan over calling this
+  // directly.
+  int BeginSpan(const std::string& name, int parent = -1);
+  // Closes the span and returns its duration (0 for invalid ids) — the one
+  // number TraceSpan also feeds its DCounter, so span and metric cannot
+  // disagree.
+  double EndSpan(int id);
+
+  // Records an instant event under `span`. When the ring is full the
+  // oldest event is overwritten and counted as dropped.
+  void AddEvent(const std::string& name, int span, int64_t value = 1);
+
+  // Milliseconds since trace construction (the span/event clock).
+  double now_ms() const;
+
+  // --- Post-execution accessors (safe any time; copies under the lock) ---
+  std::vector<Span> spans() const;
+  std::vector<Event> events() const;  // surviving events, oldest first
+  int64_t dropped_events() const;
+  int64_t dropped_spans() const;
+
+  // Sum of the durations of all closed spans named `name`.
+  double SpanMs(const std::string& name) const;
+  // Count of events named `name`.
+  int64_t EventCount(const std::string& name) const;
+
+  // {"spans": [{"name":..,"ms":..,"start_ms":..,"children":[...]}, ...],
+  //  "events": [{"name":..,"span":..,"t_ms":..,"value":..}, ...],
+  //  "dropped_events": N, "dropped_spans": N}
+  std::string ToJson() const;
+
+  // Indented span tree with per-span aggregated event summaries; one line
+  // per span, for EXPLAIN ANALYZE and the shell's `\profile on` output.
+  std::string ToText() const;
+
+ private:
+  mutable std::mutex mu_;
+  const int capacity_;
+  const double epoch_ms_;  // NowMs() at construction
+  std::vector<Span> spans_;
+  std::vector<Event> ring_;  // event ring buffer, capacity_ entries max
+  size_t ring_head_ = 0;     // next overwrite position once full
+  int64_t total_events_ = 0;
+  int64_t dropped_spans_ = 0;
+};
+
+// Shared, immutable handle to a finished query's trace. Null when tracing
+// is disabled (SessionOptions::collect_traces == false).
+using TraceHandle = std::shared_ptr<const QueryTrace>;
+
+// RAII span: opens on construction, closes on destruction (or explicit
+// Close()). Null `trace` makes every operation a no-op, so call sites need
+// no branching. `acc`, when given, receives the span's duration on close —
+// the one mechanism that keeps phase metrics and trace spans consistent.
+class TraceSpan {
+ public:
+  TraceSpan(QueryTrace* trace, const std::string& name, int parent = -1,
+            DCounter* acc = nullptr);
+  ~TraceSpan() { Close(); }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  void Close();
+
+  // Span id for parenting children and events; -1 when untraced.
+  int id() const { return id_; }
+
+  // Instant event under this span.
+  void Event(const std::string& name, int64_t value = 1);
+
+ private:
+  QueryTrace* trace_;
+  DCounter* acc_;
+  int id_ = -1;
+  double start_ms_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace sudaf
+
+#endif  // SUDAF_COMMON_TRACE_H_

@@ -5,13 +5,17 @@
 
 namespace sudaf {
 
+class MetricsRegistry;
 class QueryGuard;
+class QueryTrace;
 
 // Budget for the shared state cache (docs/robustness.md, "Durability &
 // memory budget"). The cache enforces ApproxBytes() <= max_bytes as an
 // invariant: before any insert that would overshoot, whole group sets are
 // evicted in cost order (least recently used x fewest hits / most bytes
 // first); an entry that cannot fit even after eviction stays query-local.
+// Session-scoped: set through SessionOptions (or StateCache::set_policy
+// directly), never through per-query ExecOptions.
 struct CachePolicy {
   // Byte budget for cached group sets; 0 = unbounded (the historical
   // behavior).
@@ -59,9 +63,16 @@ struct ExecOptions {
   // must outlive every execution that uses these options.
   const QueryGuard* guard = nullptr;
 
-  // Byte budget + WAL compaction threshold for the session's StateCache;
-  // applied by SudafSession (the executor itself never touches the cache).
-  CachePolicy cache_policy;
+  // --- Observability (docs/observability.md) -----------------------------
+  // Borrowed sinks, both may be null (no recording). The session points
+  // these at its MetricsRegistry and the current query's trace before
+  // executing; engine layers (fused executor, legacy engine path) record
+  // counters and spans through them. Both must outlive the execution.
+  MetricsRegistry* metrics = nullptr;
+  QueryTrace* trace = nullptr;
+  // Parent span id for engine-created spans (QueryTrace::BeginSpan);
+  // -1 attaches them at the trace root.
+  int trace_span = -1;
 };
 
 }  // namespace sudaf

@@ -5,7 +5,9 @@
 #include <set>
 
 #include "agg/builtin_kernels.h"
+#include "common/metrics.h"
 #include "common/query_guard.h"
+#include "common/trace.h"
 #include "engine/state_batch.h"
 #include "expr/evaluator.h"
 
@@ -65,10 +67,18 @@ Result<PreparedInput> Executor::Prepare(
 
 Result<std::unique_ptr<Table>> Executor::Execute(
     const SelectStatement& stmt, const ExecOptions& opts) const {
+  TraceSpan exec_span(opts.trace, "engine_execute", opts.trace_span);
+  if (opts.metrics != nullptr) {
+    opts.metrics->counter("sudaf.engine.executions")->Add();
+  }
   if (opts.guard != nullptr) {
     SUDAF_RETURN_IF_ERROR(opts.guard->Check());
   }
   SUDAF_ASSIGN_OR_RETURN(PreparedInput input, Prepare(stmt));
+  if (opts.metrics != nullptr) {
+    opts.metrics->counter("sudaf.engine.input_rows")
+        ->Add(input.num_input_rows);
+  }
   if (opts.guard != nullptr) {
     SUDAF_RETURN_IF_ERROR(opts.guard->ChargeMemory(input.frame->ApproxBytes()));
   }

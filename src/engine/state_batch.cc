@@ -9,8 +9,10 @@
 
 #include "agg/builtin_kernels.h"
 #include "common/failpoint.h"
+#include "common/metrics.h"
 #include "common/query_guard.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "storage/column.h"
 
 namespace sudaf {
@@ -533,6 +535,26 @@ Result<std::vector<std::vector<double>>> ComputeStateBatch(
     SUDAF_RETURN_IF_ERROR(opts.guard->ChargeMemory(scratch_bytes));
   }
 
+  // One span covers the whole fused pass (workers attach their per-morsel
+  // events to it); the registry records pass-level totals.
+  TraceSpan pass_span(opts.trace, "fused_pass", opts.trace_span);
+  if (opts.metrics != nullptr) {
+    opts.metrics->counter("sudaf.fused.passes")->Add();
+    opts.metrics->counter("sudaf.fused.morsels")->Add(num_morsels);
+    opts.metrics->counter("sudaf.fused.channels")
+        ->Add(static_cast<int64_t>(plan.channels().size()));
+    opts.metrics->counter("sudaf.fused.slots")
+        ->Add(static_cast<int64_t>(plan.slots().size()));
+    opts.metrics->counter("sudaf.fused.shared_slots")
+        ->Add(plan.num_shared_slots());
+    opts.metrics->gauge("sudaf.fused.threads")->Set(workers);
+  }
+  // Resolve the per-morsel handle once; updates inside the loop are then a
+  // single atomic op per morsel.
+  Histogram* morsel_rows =
+      opts.metrics != nullptr ? opts.metrics->histogram("sudaf.fused.morsel_rows")
+                              : nullptr;
+
   std::vector<WorkerEval> evals(workers);
   auto run_worker = [&](int64_t wi) -> Status {
     WorkerEval& we = evals[wi];
@@ -551,6 +573,10 @@ Result<std::vector<std::vector<double>>> ComputeStateBatch(
       const int64_t len = std::min(morsel, n - lo);
       SUDAF_RETURN_IF_ERROR(EvalMorsel(plan, &we, lo, len));
       AccumulateMorsel(plan, &we, group_ids.data(), lo, len, num_groups);
+      pass_span.Event("morsel", len);
+      if (morsel_rows != nullptr) {
+        morsel_rows->Observe(static_cast<double>(len));
+      }
     }
     return Status::OK();
   };

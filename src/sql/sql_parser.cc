@@ -163,4 +163,25 @@ Result<std::unique_ptr<SelectStatement>> ParseSelect(const std::string& sql) {
   return parser.Parse();
 }
 
+Result<ParsedSql> ParseSql(const std::string& sql) {
+  SUDAF_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  ParsedSql parsed;
+  size_t start = 0;
+  if (!tokens.empty() && tokens[0].IsKeyword("explain")) {
+    parsed.explain = true;
+    start = 1;
+    if (tokens.size() > 1 && tokens[1].IsKeyword("analyze")) {
+      parsed.analyze = true;
+      start = 2;
+    }
+  }
+  if (start > 0) {
+    tokens.erase(tokens.begin(),
+                 tokens.begin() + static_cast<ptrdiff_t>(start));
+  }
+  SqlParser parser(std::move(tokens));
+  SUDAF_ASSIGN_OR_RETURN(parsed.select, parser.Parse());
+  return parsed;
+}
+
 }  // namespace sudaf

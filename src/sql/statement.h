@@ -49,6 +49,21 @@ struct SelectStatement {
 // Parses one SELECT statement (optionally ';'-terminated).
 Result<std::unique_ptr<SelectStatement>> ParseSelect(const std::string& sql);
 
+// A statement as typed at the top level: the SELECT plus any
+// `EXPLAIN [ANALYZE]` prefix. EXPLAIN shows the SUDAF rewrite without
+// executing; EXPLAIN ANALYZE executes and returns the per-phase profile
+// (docs/observability.md). Only ParseSql accepts the prefix — ParseSelect
+// keeps rejecting it, so embedded-statement call sites (cache signatures,
+// fuzzers) never see an EXPLAIN.
+struct ParsedSql {
+  std::unique_ptr<SelectStatement> select;
+  bool explain = false;
+  bool analyze = false;  // implies explain
+};
+
+// Parses `sql` as [EXPLAIN [ANALYZE]] SELECT ... .
+Result<ParsedSql> ParseSql(const std::string& sql);
+
 }  // namespace sudaf
 
 #endif  // SUDAF_SQL_STATEMENT_H_

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/trace.h"
+
 namespace sudaf {
 
 namespace {
@@ -32,6 +34,28 @@ std::unique_ptr<Table> CopyTable(const Table& table) {
 
 }  // namespace
 
+StateCache::StateCache() { BindMetrics(nullptr); }
+
+void StateCache::BindMetrics(MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    owned_metrics_ = std::make_unique<MetricsRegistry>();
+    registry = owned_metrics_.get();
+  }
+  epoch_invalidations_ = registry->counter("sudaf.cache.epoch_invalidations");
+  stale_discards_ = registry->counter("sudaf.cache.stale_discards");
+  evictions_ = registry->counter("sudaf.cache.evictions");
+  bytes_evicted_ = registry->counter("sudaf.cache.bytes_evicted");
+}
+
+StateCache::Counters StateCache::counters() const {
+  Counters c;
+  c.epoch_invalidations = epoch_invalidations_->value();
+  c.stale_discards = stale_discards_->value();
+  c.evictions = evictions_->value();
+  c.bytes_evicted = bytes_evicted_->value();
+  return c;
+}
+
 int64_t StateCache::EntryBytes(const std::string& key, const Entry& entry) {
   return kPerEntryOverhead + static_cast<int64_t>(key.size()) +
          static_cast<int64_t>((entry.main.size() + entry.sign.size()) *
@@ -48,10 +72,10 @@ int64_t StateCache::SetBytes(const GroupSet& set) {
 }
 
 void StateCache::EraseSet(std::map<std::string, GroupSet>::iterator it,
-                          int64_t* counter) {
+                          Counter* counter) {
   if (journal_ != nullptr) journal_->OnEraseSet(it->first);
   sets_.erase(it);
-  ++*counter;
+  counter->Add();
 }
 
 bool StateCache::EnsureRoom(int64_t incoming_bytes, const GroupSet* pinned) {
@@ -79,8 +103,9 @@ bool StateCache::EnsureRoom(int64_t incoming_bytes, const GroupSet* pinned) {
     }
     if (victim == sets_.end()) return false;
     total -= victim_bytes;
-    counters_.bytes_evicted += victim_bytes;
-    EraseSet(victim, &counters_.evictions);
+    bytes_evicted_->Add(victim_bytes);
+    if (trace_ != nullptr) trace_->AddEvent("cache.evict", -1, victim_bytes);
+    EraseSet(victim, evictions_);
   }
   return true;
 }
@@ -93,7 +118,8 @@ StateCache::GroupSet* StateCache::Find(const std::string& data_sig,
   if (it->second.epoch != epoch) {
     // A covered table mutated since this set was built: every entry in it
     // describes data that no longer exists. Invalidate-on-probe.
-    EraseSet(it, &counters_.epoch_invalidations);
+    if (trace_ != nullptr) trace_->AddEvent("cache.epoch_invalidate", -1);
+    EraseSet(it, epoch_invalidations_);
     return nullptr;
   }
   ++it->second.hits;
@@ -109,12 +135,14 @@ StateCache::GroupSet* StateCache::GetOrCreate(const std::string& data_sig,
   auto it = sets_.find(data_sig);
   if (it != sets_.end()) {
     if (it->second.epoch != epoch) {
-      EraseSet(it, &counters_.epoch_invalidations);
+      if (trace_ != nullptr) trace_->AddEvent("cache.epoch_invalidate", -1);
+      EraseSet(it, epoch_invalidations_);
     } else if (it->second.num_groups != num_groups) {
       // Group-count heuristic: kept as a backstop behind epoch
       // invalidation; a discard here means data changed without an epoch
       // bump (an in-place mutation missing TouchTable).
-      EraseSet(it, &counters_.stale_discards);
+      if (trace_ != nullptr) trace_->AddEvent("cache.stale_discard", -1);
+      EraseSet(it, stale_discards_);
     } else {
       it->second.last_used_tick = tick_;
       return &it->second;

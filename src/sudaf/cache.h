@@ -45,6 +45,7 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "engine/exec_options.h"
 #include "sql/statement.h"
 #include "storage/table.h"
@@ -52,6 +53,7 @@
 namespace sudaf {
 
 class CacheJournal;
+class QueryTrace;
 
 class StateCache {
  public:
@@ -75,8 +77,11 @@ class StateCache {
     uint64_t last_used_tick = 0;  // logical clock of the last probe/create
   };
 
-  // Cumulative invalidation counters over this cache's lifetime. Per-query
-  // deltas are surfaced through ExecStats.
+  // Snapshot of the cache's cumulative invalidation metrics (see
+  // counters()). The live values are registry-backed Counters — metric
+  // names sudaf.cache.{epoch_invalidations, stale_discards, evictions,
+  // bytes_evicted} — so ExecStats derives per-query deltas straight from
+  // registry snapshots.
   struct Counters {
     int64_t epoch_invalidations = 0;  // sets dropped: table epoch advanced
     int64_t stale_discards = 0;       // sets dropped: group-count mismatch
@@ -92,6 +97,10 @@ class StateCache {
   //   per entry: map node + the two vector headers
   static constexpr int64_t kPerSetOverhead = 192;
   static constexpr int64_t kPerEntryOverhead = 112;
+
+  // Starts with an internally-owned MetricsRegistry; sessions rebind to
+  // their own registry via BindMetrics.
+  StateCache();
 
   // Footprint of one entry as charged against the budget.
   static int64_t EntryBytes(const std::string& key, const Entry& entry);
@@ -141,7 +150,20 @@ class StateCache {
   // every subsequent mutation of this cache.
   void set_journal(CacheJournal* journal) { journal_ = journal; }
 
-  const Counters& counters() const { return counters_; }
+  // Points the cache's counters at `registry` (borrowed, must outlive the
+  // cache; null rebinds to an internally-owned registry). Counts accrued
+  // under the previous binding stay with the old registry — bind before
+  // first use. The session binds its registry at construction, which is
+  // what makes every ExecStats cache field a registry-derived delta.
+  void BindMetrics(MetricsRegistry* registry);
+
+  // Borrowed per-query trace sink (null detaches): evictions and
+  // invalidations emit root-level events ("cache.evict" with evicted
+  // bytes, "cache.epoch_invalidate", "cache.stale_discard") while bound.
+  void BindTrace(QueryTrace* trace) { trace_ = trace; }
+
+  // Point-in-time copy of the registry-backed counters.
+  Counters counters() const;
 
   const std::map<std::string, GroupSet>& sets() const { return sets_; }
 
@@ -156,7 +178,7 @@ class StateCache {
  private:
   // Erases `it`, notifying the journal. `counter` is bumped by 1.
   void EraseSet(std::map<std::string, GroupSet>::iterator it,
-                int64_t* counter);
+                Counter* counter);
   // Evicts unpinned sets (lowest score first) until the cached total plus
   // `incoming_bytes` fits the budget. Returns false when impossible.
   bool EnsureRoom(int64_t incoming_bytes, const GroupSet* pinned);
@@ -167,7 +189,14 @@ class StateCache {
   std::unique_ptr<GroupSet> overflow_;
   CachePolicy policy_;
   CacheJournal* journal_ = nullptr;
-  Counters counters_;
+  QueryTrace* trace_ = nullptr;
+  // Fallback registry for caches used standalone (unit tests, benches);
+  // unused once BindMetrics rebinds to a session registry.
+  std::unique_ptr<MetricsRegistry> owned_metrics_;
+  Counter* epoch_invalidations_ = nullptr;
+  Counter* stale_discards_ = nullptr;
+  Counter* evictions_ = nullptr;
+  Counter* bytes_evicted_ = nullptr;
   uint64_t tick_ = 0;
 };
 

@@ -70,8 +70,15 @@ int64_t ChunkedSharingSession::num_cached_chunk_entries() const {
 
 Result<std::unique_ptr<Table>> ChunkedSharingSession::Execute(
     const std::string& sql) {
-  double start = NowMs();
   stats_ = ChunkedExecStats{};
+  // Like ExecStats, ChunkedExecStats is derived from the session registry:
+  // all counting below goes through sudaf.chunked.* metrics, and the
+  // struct is a per-query delta computed at the end. The TraceSpan (no
+  // trace attached) is used purely as an RAII accumulator for total_ms.
+  MetricsRegistry& m = session_->metrics();
+  const MetricsSnapshot before = m.Snapshot();
+  TraceSpan total_span(nullptr, "chunked", -1,
+                       m.dcounter("sudaf.chunked.total_ms"));
   if (session_->exec_options().guard != nullptr) {
     SUDAF_RETURN_IF_ERROR(session_->exec_options().guard->Check());
   }
@@ -189,7 +196,7 @@ Result<std::unique_ptr<Table>> ChunkedSharingSession::Execute(
   };
   std::vector<int64_t> missing;
   for (int64_t c = first_chunk; c < last_chunk; ++c) {
-    ++stats_.chunks_needed;
+    m.counter("sudaf.chunked.chunks_needed")->Add();
     auto it = chunks_.find(chunk_map_key(c));
     bool complete = it != chunks_.end();
     if (complete) {
@@ -198,9 +205,9 @@ Result<std::unique_ptr<Table>> ChunkedSharingSession::Execute(
       }
     }
     if (complete) {
-      ++stats_.chunks_from_cache;
+      m.counter("sudaf.chunked.chunks_from_cache")->Add();
     } else {
-      ++stats_.chunks_computed;
+      m.counter("sudaf.chunked.chunks_computed")->Add();
       missing.push_back(c);
     }
   }
@@ -478,7 +485,16 @@ Result<std::unique_ptr<Table>> ChunkedSharingSession::Execute(
 
   Result<std::unique_ptr<Table>> result = AssembleRewrittenResult(
       rewritten, *stmt, group_keys, num_groups, state_values);
-  stats_.total_ms = NowMs() - start;
+
+  total_span.Close();
+  const MetricsSnapshot delta = m.Snapshot().Delta(before);
+  stats_.chunks_needed =
+      static_cast<int>(delta.counter("sudaf.chunked.chunks_needed"));
+  stats_.chunks_from_cache =
+      static_cast<int>(delta.counter("sudaf.chunked.chunks_from_cache"));
+  stats_.chunks_computed =
+      static_cast<int>(delta.counter("sudaf.chunked.chunks_computed"));
+  stats_.total_ms = delta.dcounter("sudaf.chunked.total_ms");
   return result;
 }
 

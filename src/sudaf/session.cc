@@ -1,21 +1,155 @@
 #include "sudaf/session.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <map>
 #include <set>
+#include <sstream>
 
 #include "agg/interpreted_udaf.h"
 #include "common/failpoint.h"
 #include "common/query_guard.h"
+#include "common/thread_pool.h"
 #include "common/timer.h"
 #include "engine/state_batch.h"
 #include "expr/evaluator.h"
 
 namespace sudaf {
 
-SudafSession::SudafSession(const Catalog* catalog, ExecOptions exec)
+namespace {
+
+// The one place ExecStats is produced: every field below is a projection
+// of a per-query registry delta (counters/dcounters subtract, gauges are
+// read from the post-query snapshot). There are no other writers — which
+// is what makes the struct provably consistent with the registry.
+ExecStats DeriveExecStats(const MetricsSnapshot& d) {
+  ExecStats s;
+  s.total_ms = d.dcounter("sudaf.query.total_ms");
+  s.rewrite_ms = d.dcounter("sudaf.phase.rewrite_ms");
+  s.probe_ms = d.dcounter("sudaf.phase.probe_ms");
+  s.input_ms = d.dcounter("sudaf.phase.input_ms");
+  s.states_ms = d.dcounter("sudaf.phase.states_ms");
+  s.terminate_ms = d.dcounter("sudaf.phase.terminate_ms");
+  s.num_states = static_cast<int>(d.counter("sudaf.states.requested"));
+  s.states_from_cache = static_cast<int>(d.counter("sudaf.states.from_cache"));
+  s.states_computed = static_cast<int>(d.counter("sudaf.states.computed"));
+  s.scanned_base_data = d.counter("sudaf.input.scans") > 0;
+  s.used_fused = d.counter("sudaf.fused.passes") > 0;
+  s.morsels = d.counter("sudaf.fused.morsels");
+  s.fused_channels = static_cast<int>(d.counter("sudaf.fused.channels"));
+  s.fused_slots = static_cast<int>(d.counter("sudaf.fused.slots"));
+  s.fused_shared_slots =
+      static_cast<int>(d.counter("sudaf.fused.shared_slots"));
+  s.fused_threads =
+      s.used_fused ? std::max(1, static_cast<int>(d.gauge("sudaf.fused.threads")))
+                   : 1;
+  s.states_poisoned = static_cast<int>(d.counter("sudaf.states.poisoned"));
+  s.cache_poison_evictions =
+      static_cast<int>(d.counter("sudaf.cache.poison_evictions"));
+  s.cache_epoch_invalidations = d.counter("sudaf.cache.epoch_invalidations");
+  s.cache_stale_discards = d.counter("sudaf.cache.stale_discards");
+  s.cache_evictions = d.counter("sudaf.cache.evictions");
+  s.cache_bytes_evicted = d.counter("sudaf.cache.bytes_evicted");
+  s.cache_budget_rejects =
+      static_cast<int>(d.counter("sudaf.cache.budget_rejects"));
+  return s;
+}
+
+std::string FmtMs(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  return buf;
+}
+
+// Wraps multi-line text into a one-string-column table (one row per
+// line) — the result shape of EXPLAIN and EXPLAIN ANALYZE.
+std::unique_ptr<Table> TextTable(const std::string& column,
+                                 const std::string& text) {
+  Schema schema;
+  (void)schema.AddField({column, DataType::kString});
+  auto table = std::make_unique<Table>(schema);
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    table->AppendRow({Value(line)});
+  }
+  table->FinishBulkAppend();
+  return table;
+}
+
+}  // namespace
+
+std::string QueryResult::ProfileJson() const {
+  // Probe decisions come from the trace when one was recorded (they are
+  // per-probe events); the stats-based fallback counts served/computed
+  // states instead, which is the closest registry-derived equivalent.
+  int64_t hits = trace != nullptr ? trace->EventCount("cache.hit")
+                                  : stats.states_from_cache;
+  int64_t misses = trace != nullptr ? trace->EventCount("cache.miss")
+                                    : stats.states_computed;
+  std::string out = "{\"schema\": \"sudaf.profile.v1\"";
+  out += ", \"total_ms\": " + FmtMs(stats.total_ms);
+  out += ", \"phases\": {";
+  out += "\"rewrite_ms\": " + FmtMs(stats.rewrite_ms);
+  out += ", \"probe_ms\": " + FmtMs(stats.probe_ms);
+  out += ", \"input_ms\": " + FmtMs(stats.input_ms);
+  out += ", \"states_ms\": " + FmtMs(stats.states_ms);
+  out += ", \"terminate_ms\": " + FmtMs(stats.terminate_ms);
+  out += "}, \"states\": {";
+  out += "\"requested\": " + std::to_string(stats.num_states);
+  out += ", \"from_cache\": " + std::to_string(stats.states_from_cache);
+  out += ", \"computed\": " + std::to_string(stats.states_computed);
+  out += ", \"poisoned\": " + std::to_string(stats.states_poisoned);
+  out += "}, \"cache\": {";
+  out += "\"hits\": " + std::to_string(hits);
+  out += ", \"misses\": " + std::to_string(misses);
+  out += ", \"poison_evictions\": " +
+         std::to_string(stats.cache_poison_evictions);
+  out += ", \"epoch_invalidations\": " +
+         std::to_string(stats.cache_epoch_invalidations);
+  out += ", \"stale_discards\": " + std::to_string(stats.cache_stale_discards);
+  out += ", \"evictions\": " + std::to_string(stats.cache_evictions);
+  out += ", \"bytes_evicted\": " + std::to_string(stats.cache_bytes_evicted);
+  out += ", \"budget_rejects\": " +
+         std::to_string(stats.cache_budget_rejects);
+  out += "}, \"fused\": {";
+  out += std::string("\"used\": ") + (stats.used_fused ? "true" : "false");
+  out += ", \"morsels\": " + std::to_string(stats.morsels);
+  out += ", \"channels\": " + std::to_string(stats.fused_channels);
+  out += ", \"slots\": " + std::to_string(stats.fused_slots);
+  out += ", \"shared_slots\": " + std::to_string(stats.fused_shared_slots);
+  out += ", \"threads\": " + std::to_string(stats.fused_threads);
+  out += "}, \"trace\": ";
+  out += trace != nullptr ? trace->ToJson() : std::string("null");
+  out += "}";
+  return out;
+}
+
+std::string QueryResult::ProfileText() const {
+  std::string out = "total " + FmtMs(stats.total_ms) + " ms";
+  out += "  states " + std::to_string(stats.num_states);
+  out += " (cache " + std::to_string(stats.states_from_cache);
+  out += ", computed " + std::to_string(stats.states_computed) + ")";
+  if (stats.used_fused) {
+    out += "  fused " + std::to_string(stats.fused_channels) + "ch/" +
+           std::to_string(stats.fused_slots) + "slots";
+  }
+  out += "\n";
+  if (trace != nullptr) {
+    out += trace->ToText();
+  } else {
+    out += "  rewrite   " + FmtMs(stats.rewrite_ms) + " ms\n";
+    out += "  probe     " + FmtMs(stats.probe_ms) + " ms\n";
+    out += "  input     " + FmtMs(stats.input_ms) + " ms\n";
+    out += "  states    " + FmtMs(stats.states_ms) + " ms\n";
+    out += "  terminate " + FmtMs(stats.terminate_ms) + " ms\n";
+  }
+  return out;
+}
+
+SudafSession::SudafSession(const Catalog* catalog, SessionOptions options)
     : catalog_(catalog),
-      exec_(exec),
+      options_(std::move(options)),
       library_(UdafLibrary::Standard()),
       executor_(catalog, &hardcoded_) {
   // The engine-native baseline runs non-built-in aggregates the way real
@@ -23,12 +157,16 @@ SudafSession::SudafSession(const Catalog* catalog, ExecOptions exec)
   // Scala-UDAF shape). Compiled IUME versions live in hardcoded_udafs.cc
   // for the ablation benchmarks.
   RegisterInterpretedUdafs(&hardcoded_);
-  cache_.set_policy(exec_.cache_policy);
+  cache_.BindMetrics(&metrics_);
+  cache_.set_policy(options_.cache_policy);
 }
 
-void SudafSession::set_exec_options(const ExecOptions& exec) {
-  exec_ = exec;
-  cache_.set_policy(exec_.cache_policy);
+SudafSession::SudafSession(const Catalog* catalog, ExecOptions exec)
+    : SudafSession(catalog, SessionOptions{}.set_exec(exec)) {}
+
+void SudafSession::set_cache_policy(const CachePolicy& policy) {
+  options_.cache_policy = policy;
+  cache_.set_policy(policy);
   cache_.EnforceBudget();
 }
 
@@ -48,31 +186,100 @@ Status SudafSession::LoadCache(const std::string& path,
   return LoadCacheSnapshot(path, *catalog_, &cache_, stats);
 }
 
-Result<std::unique_ptr<Table>> SudafSession::Execute(const std::string& sql,
-                                                     ExecMode mode) {
-  SUDAF_ASSIGN_OR_RETURN(std::unique_ptr<SelectStatement> stmt,
-                         ParseSelect(sql));
-  return ExecuteStatement(*stmt, mode);
+Result<QueryResult> SudafSession::Execute(const std::string& sql,
+                                          ExecMode mode) {
+  return Execute(sql, mode, options_.exec);
 }
 
-Result<std::unique_ptr<Table>> SudafSession::ExecuteStatement(
-    const SelectStatement& stmt, ExecMode mode) {
+Result<QueryResult> SudafSession::Execute(const std::string& sql,
+                                          ExecMode mode,
+                                          const ExecOptions& exec) {
+  // A failed parse must not leave the previous query's statistics behind
+  // as if they were this query's.
   stats_ = ExecStats{};
-  StateCache::Counters before = cache_.counters();
-  double start = NowMs();
-  Result<std::unique_ptr<Table>> result =
-      mode == ExecMode::kEngine
-          ? executor_.Execute(stmt, exec_)
-          : ExecuteSudaf(stmt, mode == ExecMode::kSudafShare);
-  stats_.total_ms = NowMs() - start;
-  // Delta-ing cumulative cache counters (rather than incrementing stats_
-  // inline) also attributes invalidations that happen on error paths.
-  const StateCache::Counters& after = cache_.counters();
-  stats_.cache_epoch_invalidations =
-      after.epoch_invalidations - before.epoch_invalidations;
-  stats_.cache_stale_discards = after.stale_discards - before.stale_discards;
-  stats_.cache_evictions = after.evictions - before.evictions;
-  stats_.cache_bytes_evicted = after.bytes_evicted - before.bytes_evicted;
+  SUDAF_ASSIGN_OR_RETURN(ParsedSql parsed, ParseSql(sql));
+  if (parsed.explain && !parsed.analyze) {
+    SUDAF_ASSIGN_OR_RETURN(RewrittenQuery rewritten,
+                           RewriteQuery(*parsed.select, library_));
+    QueryResult result;
+    result.table = TextTable("plan", rewritten.Explain(*parsed.select));
+    return result;
+  }
+  SUDAF_ASSIGN_OR_RETURN(QueryResult result,
+                         ExecuteStatement(*parsed.select, mode, exec));
+  if (parsed.analyze) {
+    result.table = TextTable("profile", result.ProfileText());
+  }
+  return result;
+}
+
+Result<QueryResult> SudafSession::ExecuteStatement(const SelectStatement& stmt,
+                                                   ExecMode mode) {
+  return ExecuteStatement(stmt, mode, options_.exec);
+}
+
+Result<QueryResult> SudafSession::ExecuteStatement(const SelectStatement& stmt,
+                                                   ExecMode mode,
+                                                   const ExecOptions& exec) {
+  stats_ = ExecStats{};
+  std::shared_ptr<QueryTrace> trace;
+  if (options_.collect_traces) {
+    trace = std::make_shared<QueryTrace>(options_.trace_capacity);
+  }
+
+  // Per-query run options: caller knobs plus this session's observability
+  // sinks. Engine layers only ever see these borrowed pointers.
+  ExecOptions run = exec;
+  run.metrics = &metrics_;
+  run.trace = trace.get();
+  cache_.BindTrace(trace.get());
+
+  // The pool and guard keep their own cumulative counters; mirror the
+  // per-query movement into the registry so it shows up in snapshots.
+  const ThreadPool::Counters pool_before = ThreadPool::Global().counters();
+  const int64_t guard_checks_before =
+      run.guard != nullptr ? run.guard->checks() : 0;
+  const int64_t guard_trips_before =
+      run.guard != nullptr ? run.guard->trips() : 0;
+
+  const MetricsSnapshot before = metrics_.Snapshot();
+  metrics_.counter("sudaf.query.count")->Add();
+
+  Result<std::unique_ptr<Table>> table = std::unique_ptr<Table>();
+  {
+    // Root span; its accumulator IS the total_ms metric, so the trace tree
+    // and the derived stats agree by construction.
+    TraceSpan root(trace.get(), "execute", -1,
+                   metrics_.dcounter("sudaf.query.total_ms"));
+    run.trace_span = root.id();
+    table = mode == ExecMode::kEngine
+                ? executor_.Execute(stmt, run)
+                : ExecuteSudaf(stmt, mode == ExecMode::kSudafShare, run);
+  }
+  cache_.BindTrace(nullptr);
+
+  const ThreadPool::Counters pool_after = ThreadPool::Global().counters();
+  metrics_.counter("sudaf.pool.jobs")->Add(pool_after.jobs - pool_before.jobs);
+  metrics_.counter("sudaf.pool.tasks")
+      ->Add(pool_after.tasks - pool_before.tasks);
+  if (run.guard != nullptr) {
+    metrics_.counter("sudaf.guard.checks")
+        ->Add(run.guard->checks() - guard_checks_before);
+    metrics_.counter("sudaf.guard.trips")
+        ->Add(run.guard->trips() - guard_trips_before);
+  }
+  if (!table.ok()) metrics_.counter("sudaf.query.errors")->Add();
+
+  // Derive the stats struct from the per-query registry delta. This also
+  // attributes work that happened on error paths (invalidations, guard
+  // trips) before the error surfaces.
+  stats_ = DeriveExecStats(metrics_.Snapshot().Delta(before));
+  SUDAF_RETURN_IF_ERROR(table.status());
+
+  QueryResult result;
+  result.table = std::move(*table);
+  result.stats = stats_;
+  result.trace = std::move(trace);
   return result;
 }
 
@@ -86,7 +293,7 @@ Result<std::string> SudafSession::ExplainRewrite(
 }
 
 Status SudafSession::Prefetch(const std::string& sql) {
-  SUDAF_ASSIGN_OR_RETURN(std::unique_ptr<Table> ignored,
+  SUDAF_ASSIGN_OR_RETURN(QueryResult ignored,
                          Execute(sql, ExecMode::kSudafShare));
   (void)ignored;
   return Status::OK();
@@ -104,19 +311,23 @@ struct StateExec {
 }  // namespace
 
 Result<std::unique_ptr<Table>> SudafSession::ExecuteSudaf(
-    const SelectStatement& stmt, bool share) {
-  if (exec_.guard != nullptr) SUDAF_RETURN_IF_ERROR(exec_.guard->Check());
+    const SelectStatement& stmt, bool share, const ExecOptions& exec) {
+  if (exec.guard != nullptr) SUDAF_RETURN_IF_ERROR(exec.guard->Check());
+  QueryTrace* trace = exec.trace;
 
   // 1. Rewrite: expand UDAFs, factor out states, build terminating plans.
-  double t = NowMs();
+  TraceSpan rewrite_span(trace, "rewrite", exec.trace_span,
+                         metrics_.dcounter("sudaf.phase.rewrite_ms"));
   SUDAF_ASSIGN_OR_RETURN(RewrittenQuery rewritten,
                          RewriteQuery(stmt, library_));
-  stats_.rewrite_ms = NowMs() - t;
+  rewrite_span.Close();
   const std::vector<AggStateDef>& states = rewritten.form.states;
-  stats_.num_states = static_cast<int>(states.size());
+  metrics_.counter("sudaf.states.requested")
+      ->Add(static_cast<int64_t>(states.size()));
 
   // 2. Classify states and probe the cache.
-  t = NowMs();
+  TraceSpan probe_span(trace, "probe", exec.trace_span,
+                       metrics_.dcounter("sudaf.phase.probe_ms"));
   std::vector<StateExec> execs(states.size());
   for (size_t i = 0; i < states.size(); ++i) {
     StateExec& ex = execs[i];
@@ -153,16 +364,23 @@ Result<std::unique_ptr<Table>> SudafSession::ExecuteSudaf(
           // (direct mutation in tests, future persistence). Evict, treat
           // as a miss.
           group_set->entries.erase(eit);
-          ++stats_.cache_poison_evictions;
+          metrics_.counter("sudaf.cache.poison_evictions")->Add();
+          probe_span.Event("cache.poison_evict");
         } else {
           execs[i].from_cache = true;
+          metrics_.counter("sudaf.cache.probe_hits")->Add();
+          probe_span.Event("cache.hit");
           continue;
         }
       }
     }
+    if (share) {
+      metrics_.counter("sudaf.cache.probe_misses")->Add();
+      probe_span.Event("cache.miss");
+    }
     any_miss = true;
   }
-  stats_.probe_ms = NowMs() - t;
+  probe_span.Close();
 
   // 3. Obtain the grouped input (scanning base data only when some state
   //    actually needs computing — the all-hit case never touches the data).
@@ -171,7 +389,8 @@ Result<std::unique_ptr<Table>> SudafSession::ExecuteSudaf(
   int32_t num_groups = 0;
 
   if (any_miss || states.empty()) {
-    t = NowMs();
+    TraceSpan input_span(trace, "input", exec.trace_span,
+                         metrics_.dcounter("sudaf.phase.input_ms"));
     std::vector<std::string> extra_columns;
     for (size_t i = 0; i < states.size(); ++i) {
       if (execs[i].from_cache) continue;
@@ -185,14 +404,14 @@ Result<std::unique_ptr<Table>> SudafSession::ExecuteSudaf(
       }
     }
     SUDAF_ASSIGN_OR_RETURN(input, executor_.Prepare(stmt, extra_columns));
-    stats_.input_ms = NowMs() - t;
-    stats_.scanned_base_data = true;
+    metrics_.counter("sudaf.input.scans")->Add();
+    input_span.Event("rows", input.num_input_rows);
     group_keys = input.group_keys.get();
     num_groups = input.num_groups;
-    if (exec_.guard != nullptr) {
+    if (exec.guard != nullptr) {
       SUDAF_RETURN_IF_ERROR(
-          exec_.guard->ChargeMemory(input.frame->ApproxBytes()));
-      SUDAF_RETURN_IF_ERROR(exec_.guard->Check());
+          exec.guard->ChargeMemory(input.frame->ApproxBytes()));
+      SUDAF_RETURN_IF_ERROR(exec.guard->Check());
     }
 
     if (share) {
@@ -211,7 +430,8 @@ Result<std::unique_ptr<Table>> SudafSession::ExecuteSudaf(
   }
 
   // 4. Compute missing states.
-  t = NowMs();
+  TraceSpan states_span(trace, "states", exec.trace_span,
+                        metrics_.dcounter("sudaf.phase.states_ms"));
   const Table* frame = input.frame.get();
   ColumnResolver resolver = [frame](const std::string& name)
       -> Result<const Column*> {
@@ -226,7 +446,7 @@ Result<std::unique_ptr<Table>> SudafSession::ExecuteSudaf(
   // as a per-query dedup in share mode).
   std::map<std::string, StateCache::Entry> local_entries;
 
-  if (exec_.use_fused && any_miss) {
+  if (exec.use_fused && any_miss) {
     // Fused path: gather every missing channel — one (op, input) request per
     // class main state plus an optional sign channel — and compute them all
     // in a single morsel-driven pass over the frame. The distribution loop
@@ -282,11 +502,14 @@ Result<std::unique_ptr<Table>> SudafSession::ExecuteSudaf(
     }
 
     if (!requests.empty()) {
+      // Parent the fused pass under the states phase, not the query root.
+      ExecOptions batch_opts = exec;
+      batch_opts.trace_span = states_span.id();
       StateBatchStats bstats;
       SUDAF_ASSIGN_OR_RETURN(
           std::vector<std::vector<double>> batch,
           ComputeStateBatch(requests, resolver, input.group_ids, num_groups,
-                            exec_, &bstats));
+                            batch_opts, &bstats));
       std::vector<StateCache::Entry> built(pending.size());
       for (size_t p = 0; p < pending.size(); ++p) {
         built[p].main = std::move(batch[pending[p].main_idx]);
@@ -303,14 +526,16 @@ Result<std::unique_ptr<Table>> SudafSession::ExecuteSudaf(
       for (size_t p = 0; p < pending.size(); ++p) {
         PendingEntry& pe = pending[p];
         bool poisoned = EntryIsPoisoned(built[p]);
-        if (poisoned) ++stats_.states_poisoned;
+        if (poisoned) metrics_.counter("sudaf.states.poisoned")->Add();
         bool cached = false;
         if (pe.shared && !poisoned) {
           // Budget-aware insert: the cache evicts colder group sets first
           // and declines (nullptr) when the entry cannot fit at all.
           cached =
               cache_.InsertEntry(group_set, pe.key, &built[p]) != nullptr;
-          if (!cached) ++stats_.cache_budget_rejects;
+          if (!cached) {
+            metrics_.counter("sudaf.cache.budget_rejects")->Add();
+          }
         }
         if (!cached) {
           // No-share mode, a poisoned state, or a budget reject: keep it
@@ -318,15 +543,8 @@ Result<std::unique_ptr<Table>> SudafSession::ExecuteSudaf(
           // first, so the current query still gets its honest answer.
           local_entries.emplace(pe.key, std::move(built[p]));
         }
-        ++stats_.states_computed;
+        metrics_.counter("sudaf.states.computed")->Add();
       }
-      stats_.used_fused = true;
-      stats_.morsels += bstats.morsels;
-      stats_.fused_channels += bstats.num_channels;
-      stats_.fused_slots += bstats.num_slots;
-      stats_.fused_shared_slots += bstats.num_shared_slots;
-      stats_.fused_threads =
-          std::max(stats_.fused_threads, bstats.threads_used);
     }
   }
 
@@ -336,13 +554,13 @@ Result<std::unique_ptr<Table>> SudafSession::ExecuteSudaf(
     ExprPtr main_expr = cls.MainInputExpr();
     if (main_expr == nullptr) {
       entry.main = ComputeGroupedState(AggOp::kCount, {}, input.group_ids,
-                                       num_groups, exec_);
+                                       num_groups, exec);
     } else {
       SUDAF_ASSIGN_OR_RETURN(
           std::vector<double> in,
           EvalNumericVector(*main_expr, resolver, frame->num_rows()));
       entry.main = ComputeGroupedState(cls.MainOp(), in, input.group_ids,
-                                       num_groups, exec_);
+                                       num_groups, exec);
     }
     if (cls.log_domain) {
       SUDAF_ASSIGN_OR_RETURN(
@@ -350,7 +568,7 @@ Result<std::unique_ptr<Table>> SudafSession::ExecuteSudaf(
           EvalNumericVector(*cls.SignInputExpr(), resolver,
                             frame->num_rows()));
       entry.sign = ComputeGroupedState(AggOp::kProd, sgn, input.group_ids,
-                                       num_groups, exec_);
+                                       num_groups, exec);
     }
     return entry;
   };
@@ -364,7 +582,7 @@ Result<std::unique_ptr<Table>> SudafSession::ExecuteSudaf(
       auto local_it = local_entries.find(ex.cls.key);
       if (ex.from_cache) {
         entry = &group_set->entries.at(ex.cls.key);
-        ++stats_.states_from_cache;
+        metrics_.counter("sudaf.states.from_cache")->Add();
       } else if (local_it != local_entries.end()) {
         // Computed this query but poisoned — served locally, never cached.
         entry = &local_it->second;
@@ -374,16 +592,16 @@ Result<std::unique_ptr<Table>> SudafSession::ExecuteSudaf(
           SUDAF_ASSIGN_OR_RETURN(StateCache::Entry computed,
                                  compute_class_entry(ex.cls));
           SUDAF_FAILPOINT("cache:insert");
-          ++stats_.states_computed;
+          metrics_.counter("sudaf.states.computed")->Add();
           if (EntryIsPoisoned(computed)) {
-            ++stats_.states_poisoned;
+            metrics_.counter("sudaf.states.poisoned")->Add();
             entry = &local_entries.emplace(ex.cls.key, std::move(computed))
                          .first->second;
           } else {
             entry = cache_.InsertEntry(group_set, ex.cls.key, &computed);
             if (entry == nullptr) {
               // Declined under the byte budget: serve it query-local.
-              ++stats_.cache_budget_rejects;
+              metrics_.counter("sudaf.cache.budget_rejects")->Add();
               entry = &local_entries.emplace(ex.cls.key, std::move(computed))
                            .first->second;
             }
@@ -409,28 +627,30 @@ Result<std::unique_ptr<Table>> SudafSession::ExecuteSudaf(
       StateCache::Entry entry;
       if (state.op == AggOp::kCount) {
         entry.main = ComputeGroupedState(AggOp::kCount, {}, input.group_ids,
-                                         num_groups, exec_);
+                                         num_groups, exec);
       } else {
         SUDAF_ASSIGN_OR_RETURN(
             std::vector<double> in,
             EvalNumericVector(*state.input, resolver, frame->num_rows()));
         entry.main = ComputeGroupedState(state.op, in, input.group_ids,
-                                         num_groups, exec_);
+                                         num_groups, exec);
       }
-      if (EntryIsPoisoned(entry)) ++stats_.states_poisoned;
+      if (EntryIsPoisoned(entry)) {
+        metrics_.counter("sudaf.states.poisoned")->Add();
+      }
       it = local_entries.emplace(direct_key, std::move(entry)).first;
-      ++stats_.states_computed;
+      metrics_.counter("sudaf.states.computed")->Add();
     }
     local = &it->second;
     state_values[i] = local->main;
   }
-  stats_.states_ms = NowMs() - t;
+  states_span.Close();
 
   // 5. Terminating functions per group, output assembly, ORDER BY/LIMIT.
-  t = NowMs();
+  TraceSpan terminate_span(trace, "terminate", exec.trace_span,
+                           metrics_.dcounter("sudaf.phase.terminate_ms"));
   Result<std::unique_ptr<Table>> result = AssembleRewrittenResult(
       rewritten, stmt, *group_keys, num_groups, state_values);
-  stats_.terminate_ms = NowMs() - t;
   return result;
 }
 

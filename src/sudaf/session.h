@@ -21,13 +21,29 @@
 //   auto result = session.Execute(
 //       "SELECT square_id, my_mean(traffic) FROM milan_data "
 //       "GROUP BY square_id", ExecMode::kSudafShare);
+//   if (result.ok()) {
+//     Table& table = **result;              // the result rows
+//     double ms = result->stats.total_ms;   // per-query statistics
+//     std::cout << result->ProfileText();   // per-phase trace breakdown
+//   }
+//
+// Observability (docs/observability.md): the session owns a
+// MetricsRegistry that every layer below it (fused executor, cache, thread
+// pool, guard) feeds. ExecStats is *derived* from registry snapshots taken
+// around each query — no field of it is hand-incremented anywhere — and
+// each query additionally records a trace tree of timed spans
+// (rewrite → probe → input → states → terminate) published through
+// QueryResult::trace. `EXPLAIN ANALYZE <select>` surfaces the same data
+// through SQL.
 
 #include <cstdint>
 #include <memory>
 #include <string>
 
 #include "agg/udaf.h"
+#include "common/metrics.h"
 #include "common/status.h"
+#include "common/trace.h"
 #include "engine/exec_options.h"
 #include "engine/executor.h"
 #include "sudaf/cache.h"
@@ -40,6 +56,13 @@ namespace sudaf {
 enum class ExecMode { kEngine, kSudafNoShare, kSudafShare };
 
 // Per-query execution statistics (all times in milliseconds).
+//
+// Every field is a projection of the session's MetricsRegistry: the session
+// snapshots the registry around each query and derives the struct from the
+// delta (see DeriveExecStats in session.cc, which documents the
+// field → metric mapping). The struct is kept because a flat value type is
+// what benches and tests want to assert against; the registry remains the
+// source of truth.
 struct ExecStats {
   double total_ms = 0;
   double rewrite_ms = 0;     // UDAF expansion + canonicalization
@@ -59,7 +82,7 @@ struct ExecStats {
   int fused_channels = 0;       // distinct (op, input) channels computed
   int fused_slots = 0;          // DAG slots evaluated per morsel
   int fused_shared_slots = 0;   // slots reused across states (CSE hits)
-  int fused_threads = 1;        // max worker count of any fused pass
+  int fused_threads = 1;        // worker count of the last fused pass
 
   // Robustness counters (docs/robustness.md). A poisoned state has a
   // NaN/±Inf channel value: it is still served to the query that computed
@@ -80,19 +103,111 @@ struct ExecStats {
   int cache_budget_rejects = 0;
 };
 
+// Everything one query execution produced: the result rows, the derived
+// statistics, and (when SessionOptions::collect_traces is on) the
+// immutable trace tree. Returned by value from Execute/ExecuteStatement.
+//
+// operator->/operator* forward to the table, so call sites that only care
+// about rows read naturally: `(*result)->num_rows()` on a
+// Result<QueryResult> reaches the Table just as it used to reach a bare
+// std::unique_ptr<Table>.
+struct QueryResult {
+  std::unique_ptr<Table> table;
+  ExecStats stats;
+  TraceHandle trace;  // null when tracing was disabled
+
+  const Table* operator->() const { return table.get(); }
+  const Table& operator*() const { return *table; }
+
+  // The documented "sudaf.profile.v1" JSON object: stats + phase
+  // breakdown + the full span/event trace (docs/observability.md). This is
+  // the schema the shell's `\profile json` prints and bench_fused_states
+  // embeds in BENCH_*.json.
+  std::string ProfileJson() const;
+
+  // Human-readable profile: one header line plus the indented span tree
+  // (what `EXPLAIN ANALYZE` and the shell's `\profile on` print).
+  std::string ProfileText() const;
+};
+
+// Session-construction knobs, separated by scope: `exec` holds the
+// per-query defaults (any Execute call can override them), everything else
+// is session-lifetime state. This replaces the old pattern of smuggling
+// the cache budget through ExecOptions — set_exec_options() used to
+// silently re-apply the cache policy, which made a per-query knob mutate
+// session state; CachePolicy now lives here, explicitly.
+struct SessionOptions {
+  // Default execution options for queries that don't pass their own.
+  ExecOptions exec;
+  // Byte budget + WAL compaction threshold of the session's StateCache.
+  CachePolicy cache_policy;
+  // Record a per-query trace tree (spans + events), published through
+  // QueryResult::trace. Costs one mutex op per span/event; turn off for
+  // benchmark inner loops that only want ExecStats.
+  bool collect_traces = true;
+  // Span cap and event ring size of each query's trace.
+  int trace_capacity = 4096;
+
+  SessionOptions& set_exec(const ExecOptions& e) {
+    exec = e;
+    return *this;
+  }
+  SessionOptions& set_cache_policy(const CachePolicy& p) {
+    cache_policy = p;
+    return *this;
+  }
+  SessionOptions& set_cache_max_bytes(int64_t bytes) {
+    cache_policy.max_bytes = bytes;
+    return *this;
+  }
+  SessionOptions& set_wal_max_bytes(int64_t bytes) {
+    cache_policy.wal_max_bytes = bytes;
+    return *this;
+  }
+  SessionOptions& set_collect_traces(bool v) {
+    collect_traces = v;
+    return *this;
+  }
+  SessionOptions& set_trace_capacity(int n) {
+    trace_capacity = n;
+    return *this;
+  }
+};
+
 class SudafSession {
  public:
   // `catalog` must outlive the session.
-  explicit SudafSession(const Catalog* catalog, ExecOptions exec = {});
+  explicit SudafSession(const Catalog* catalog, SessionOptions options = {});
+  // Deprecated (kept for one release): wraps `exec` in SessionOptions.
+  // Note the cache policy no longer rides in ExecOptions — callers that
+  // set a budget must use SessionOptions::set_cache_policy.
+  SudafSession(const Catalog* catalog, ExecOptions exec);
 
   UdafLibrary& library() { return library_; }
   UdafRegistry& hardcoded() { return hardcoded_; }
   StateCache& cache() { return cache_; }
   const Catalog* catalog() const { return catalog_; }
-  const ExecOptions& exec_options() const { return exec_; }
-  // Also applies exec.cache_policy to the state cache, evicting down to
-  // the new budget immediately.
-  void set_exec_options(const ExecOptions& exec);
+
+  const SessionOptions& options() const { return options_; }
+  // Default per-query execution options (SessionOptions::exec).
+  const ExecOptions& exec_options() const { return options_.exec; }
+  void set_default_exec_options(const ExecOptions& exec) {
+    options_.exec = exec;
+  }
+  // Deprecated alias for set_default_exec_options. Unlike the historical
+  // version it does NOT touch the cache policy (that footgun is gone);
+  // use set_cache_policy for the budget.
+  void set_exec_options(const ExecOptions& exec) {
+    set_default_exec_options(exec);
+  }
+  // Applies `policy` to the state cache, evicting down to the new budget
+  // immediately.
+  void set_cache_policy(const CachePolicy& policy);
+
+  // The session-lifetime metrics registry: cumulative counters over every
+  // query this session ran (metric catalogue in docs/observability.md).
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
 
   // --- Durable cache (docs/robustness.md, "Durability & memory budget") --
   // Opens (creating if absent) a snapshot+WAL store at `dir`, recovers its
@@ -113,11 +228,19 @@ class SudafSession {
   Status LoadCache(const std::string& path,
                    CacheRecoveryStats* stats = nullptr);
 
-  // Parses and runs `sql` under `mode`.
-  Result<std::unique_ptr<Table>> Execute(const std::string& sql,
-                                         ExecMode mode);
-  Result<std::unique_ptr<Table>> ExecuteStatement(const SelectStatement& stmt,
-                                                  ExecMode mode);
+  // Parses and runs `sql` under `mode`. `sql` may carry an
+  // `EXPLAIN [ANALYZE]` prefix: plain EXPLAIN returns the rewritten form
+  // as a one-column table without executing; EXPLAIN ANALYZE executes and
+  // returns the profile text as the result table (stats and trace are
+  // those of the analyzed query). The overload taking ExecOptions runs
+  // this one query under `exec` instead of the session default.
+  Result<QueryResult> Execute(const std::string& sql, ExecMode mode);
+  Result<QueryResult> Execute(const std::string& sql, ExecMode mode,
+                              const ExecOptions& exec);
+  Result<QueryResult> ExecuteStatement(const SelectStatement& stmt,
+                                       ExecMode mode);
+  Result<QueryResult> ExecuteStatement(const SelectStatement& stmt,
+                                       ExecMode mode, const ExecOptions& exec);
 
   // Returns the RQ-style rewritten form of `sql` (states + terminating
   // select list) without executing it.
@@ -127,18 +250,25 @@ class SudafSession {
   // moments sketch before a query sequence, as in the AS2 experiments).
   Status Prefetch(const std::string& sql);
 
-  // Statistics of the most recent Execute/Prefetch call.
+  // Statistics of the most recent Execute/Prefetch call — a copy of what
+  // that call's QueryResult::stats carried (zeroed when it failed before
+  // executing). Deprecated shim: prefer QueryResult::stats, which cannot
+  // be clobbered by a later query.
   const ExecStats& last_stats() const { return stats_; }
 
  private:
   Result<std::unique_ptr<Table>> ExecuteSudaf(const SelectStatement& stmt,
-                                              bool share);
+                                              bool share,
+                                              const ExecOptions& exec);
 
   const Catalog* catalog_;
-  ExecOptions exec_;
+  SessionOptions options_;
   UdafLibrary library_;
   UdafRegistry hardcoded_;
   Executor executor_;
+  // Declared before cache_ (which binds counters into it) so it outlives
+  // the cache during destruction.
+  MetricsRegistry metrics_;
   StateCache cache_;
   // Declared after cache_: destroyed first, detaching its journal while
   // the cache is still alive.

@@ -690,7 +690,7 @@ TEST_F(SessionBudgetTest, EvictionsSurfaceInExecStats) {
   int64_t one_set = probe.cache().ApproxBytes();
   ASSERT_GT(one_set, 0);
 
-  ExecOptions opts;
+  SessionOptions opts;
   opts.cache_policy.max_bytes = one_set + one_set / 2;
   SudafSession session(&catalog_, opts);
   ASSERT_TRUE(session.Execute("SELECT g, var(x) FROM t GROUP BY g",
@@ -714,7 +714,7 @@ TEST_F(SessionBudgetTest, BudgetRejectsKeepQueriesCorrect) {
 
   // One byte short of the full footprint: the set fits, its last entry
   // does not. The query must still answer correctly from local state.
-  ExecOptions opts;
+  SessionOptions opts;
   opts.cache_policy.max_bytes = full - 1;
   SudafSession session(&catalog_, opts);
   auto bounded = session.Execute("SELECT g, var(x) FROM t GROUP BY g ORDER BY g",
@@ -744,10 +744,10 @@ TEST_F(SessionBudgetTest, ShrinkingThePolicyEvictsImmediately) {
   int64_t unbounded = session.cache().ApproxBytes();
   ASSERT_GT(unbounded, 0);
 
-  ExecOptions opts = session.exec_options();
-  opts.cache_policy.max_bytes = unbounded / 2;
-  session.set_exec_options(opts);
-  EXPECT_LE(session.cache().ApproxBytes(), opts.cache_policy.max_bytes);
+  CachePolicy policy = session.options().cache_policy;
+  policy.max_bytes = unbounded / 2;
+  session.set_cache_policy(policy);
+  EXPECT_LE(session.cache().ApproxBytes(), policy.max_bytes);
   EXPECT_GT(session.cache().counters().evictions, 0);
 }
 

@@ -35,8 +35,12 @@ class SessionTest : public ::testing::Test {
   std::unique_ptr<Table> Run(const std::string& sql, ExecMode mode) {
     auto result = session_->Execute(sql, mode);
     SUDAF_CHECK_MSG(result.ok(), result.status().ToString());
-    return std::move(*result);
+    last_run_stats_ = result->stats;
+    return std::move(result->table);
   }
+
+  // Stats of the last Run() query, captured from its QueryResult.
+  const ExecStats& stats() const { return last_run_stats_; }
 
   void ExpectTablesClose(const Table& a, const Table& b, double tol = 1e-9) {
     ASSERT_EQ(a.num_rows(), b.num_rows());
@@ -55,6 +59,7 @@ class SessionTest : public ::testing::Test {
 
   Catalog catalog_;
   std::unique_ptr<SudafSession> session_;
+  ExecStats last_run_stats_;
 };
 
 // Every aggregate of the paper's workload: the engine baseline, the SUDAF
@@ -75,7 +80,7 @@ TEST_P(ModeAgreementTest, AllThreeModesAgree) {
   ExpectTablesClose(*engine, *noshare, 1e-7);
   ExpectTablesClose(*engine, *share_cold, 1e-7);
   ExpectTablesClose(*engine, *share_warm, 1e-7);
-  EXPECT_FALSE(session_->last_stats().scanned_base_data);
+  EXPECT_FALSE(stats().scanned_base_data);
 }
 
 INSTANTIATE_TEST_SUITE_P(PaperAggregates, ModeAgreementTest,
@@ -107,10 +112,10 @@ TEST_F(SessionTest, Q2AfterQ1ReusesThreeStates) {
   // all three of their states in the cache and never scan base data.
   Run("SELECT g, avg(x), avg(y), theta1(x, y) FROM t GROUP BY g",
       ExecMode::kSudafShare);
-  EXPECT_EQ(session_->last_stats().states_computed, 5);
+  EXPECT_EQ(stats().states_computed, 5);
 
   Run("SELECT g, qm(x), stddev(x) FROM t GROUP BY g", ExecMode::kSudafShare);
-  const ExecStats& stats = session_->last_stats();
+  const ExecStats& stats = this->stats();
   EXPECT_EQ(stats.num_states, 3);
   EXPECT_EQ(stats.states_from_cache, 3);
   EXPECT_EQ(stats.states_computed, 0);
@@ -121,8 +126,8 @@ TEST_F(SessionTest, CrossShapeSharing) {
   // Σ4x² is served from a cached Σx² (different syntactic shape).
   Run("SELECT g, sum(x^2) FROM t GROUP BY g", ExecMode::kSudafShare);
   Run("SELECT g, sum(4*x^2) FROM t GROUP BY g", ExecMode::kSudafShare);
-  EXPECT_EQ(session_->last_stats().states_from_cache, 1);
-  EXPECT_FALSE(session_->last_stats().scanned_base_data);
+  EXPECT_EQ(stats().states_from_cache, 1);
+  EXPECT_FALSE(stats().scanned_base_data);
 }
 
 TEST_F(SessionTest, GeometricMeanSharesWithProducts) {
@@ -131,8 +136,8 @@ TEST_F(SessionTest, GeometricMeanSharesWithProducts) {
   Run("SELECT g, gm(x) FROM t GROUP BY g", ExecMode::kSudafShare);
   auto prod = Run("SELECT g, prod(x) FROM t GROUP BY g ORDER BY g",
                   ExecMode::kSudafShare);
-  EXPECT_EQ(session_->last_stats().states_from_cache, 1);
-  EXPECT_FALSE(session_->last_stats().scanned_base_data);
+  EXPECT_EQ(stats().states_from_cache, 1);
+  EXPECT_FALSE(stats().scanned_base_data);
   auto engine = Run("SELECT g, prod(x) FROM t GROUP BY g ORDER BY g",
                     ExecMode::kEngine);
   // Values can be astronomically large; compare on the log scale.
@@ -145,11 +150,11 @@ TEST_F(SessionTest, GeometricMeanSharesWithProducts) {
 TEST_F(SessionTest, LogClassCrossSharing) {
   Run("SELECT g, exp(sum(ln(x))/count()) FROM t GROUP BY g",
       ExecMode::kSudafShare);
-  int computed_first = session_->last_stats().states_computed;
+  int computed_first = stats().states_computed;
   EXPECT_GT(computed_first, 0);
   // Σ ln(x²) = 2Σln|x| — same class, cache hit.
   Run("SELECT g, sum(ln(x^2)) FROM t GROUP BY g", ExecMode::kSudafShare);
-  EXPECT_EQ(session_->last_stats().states_from_cache, 1);
+  EXPECT_EQ(stats().states_from_cache, 1);
 }
 
 TEST_F(SessionTest, SignSeparationOnMixedSignData) {
@@ -168,7 +173,7 @@ TEST_F(SessionTest, SignSeparationOnMixedSignData) {
                    ExecMode::kSudafShare);
   double expected = 2.0 * (std::log(2.0) + std::log(3.0) + std::log(1.5));
   ExpectClose(expected, ln_sq->column(1).GetFloat64(0), 1e-9);
-  EXPECT_EQ(session_->last_stats().states_from_cache, 1);
+  EXPECT_EQ(stats().states_from_cache, 1);
 }
 
 TEST_F(SessionTest, UngroupedQueriesReturnOneRow) {
@@ -176,7 +181,7 @@ TEST_F(SessionTest, UngroupedQueriesReturnOneRow) {
   ASSERT_EQ(result->num_rows(), 1);
   auto warm = Run("SELECT qm(x) FROM t", ExecMode::kSudafShare);
   ASSERT_EQ(warm->num_rows(), 1);
-  EXPECT_FALSE(session_->last_stats().scanned_base_data);
+  EXPECT_FALSE(stats().scanned_base_data);
 }
 
 TEST_F(SessionTest, DifferentDataDimensionsDoNotShare) {
@@ -184,14 +189,14 @@ TEST_F(SessionTest, DifferentDataDimensionsDoNotShare) {
   // data dimension is out of scope, Section 2).
   Run("SELECT g, qm(x) FROM t GROUP BY g", ExecMode::kSudafShare);
   Run("SELECT g, qm(x) FROM t WHERE x > 5 GROUP BY g", ExecMode::kSudafShare);
-  EXPECT_EQ(session_->last_stats().states_from_cache, 0);
-  EXPECT_TRUE(session_->last_stats().scanned_base_data);
+  EXPECT_EQ(stats().states_from_cache, 0);
+  EXPECT_TRUE(stats().scanned_base_data);
 }
 
 TEST_F(SessionTest, PartialHitComputesOnlyMissingStates) {
   Run("SELECT g, avg(x) FROM t GROUP BY g", ExecMode::kSudafShare);
   Run("SELECT g, var(x) FROM t GROUP BY g", ExecMode::kSudafShare);
-  const ExecStats& stats = session_->last_stats();
+  const ExecStats& stats = this->stats();
   EXPECT_EQ(stats.num_states, 3);         // Σx², Σx, count
   EXPECT_EQ(stats.states_from_cache, 2);  // Σx and count from avg
   EXPECT_EQ(stats.states_computed, 1);    // Σx² fresh
@@ -205,7 +210,7 @@ TEST_F(SessionTest, UserDefinedUdafViaExpression) {
   EXPECT_EQ(result->num_rows(), 5);
   // Its states come from the shared pool on a second run.
   Run("SELECT g, contraharmonic(x) FROM t GROUP BY g", ExecMode::kSudafShare);
-  EXPECT_EQ(session_->last_stats().states_from_cache, 2);
+  EXPECT_EQ(stats().states_from_cache, 2);
 }
 
 TEST_F(SessionTest, MomentSketchPrefetchServesAS2StyleQueries) {
@@ -221,13 +226,13 @@ TEST_F(SessionTest, MomentSketchPrefetchServesAS2StyleQueries) {
   ASSERT_OK(session_->Prefetch(prefix + sketch_items + suffix));
 
   Run(prefix + "qm(x)" + suffix, ExecMode::kSudafShare);
-  EXPECT_EQ(session_->last_stats().states_computed, 0);
+  EXPECT_EQ(stats().states_computed, 0);
   Run(prefix + "var(x), min(x), max(x)" + suffix, ExecMode::kSudafShare);
-  EXPECT_EQ(session_->last_stats().states_computed, 0);
+  EXPECT_EQ(stats().states_computed, 0);
   Run(prefix + "gm(x)" + suffix, ExecMode::kSudafShare);
-  EXPECT_EQ(session_->last_stats().states_computed, 0);
+  EXPECT_EQ(stats().states_computed, 0);
   Run(prefix + "hm(x)" + suffix, ExecMode::kSudafShare);
-  EXPECT_EQ(session_->last_stats().states_computed, 1);
+  EXPECT_EQ(stats().states_computed, 1);
 }
 
 TEST_F(SessionTest, NativeQuantileUdafRuns) {
@@ -254,7 +259,7 @@ TEST_F(SessionTest, PartitionedSparkModeAgrees) {
   ExecOptions spark;
   spark.partitioned = true;
   spark.num_partitions = 4;
-  SudafSession partitioned(&catalog_, spark);
+  SudafSession partitioned(&catalog_, SessionOptions{}.set_exec(spark));
   std::string sql = "SELECT g, qm(x), gm(x) FROM t GROUP BY g ORDER BY g";
   auto serial = Run(sql, ExecMode::kSudafNoShare);
   auto result = partitioned.Execute(sql, ExecMode::kSudafNoShare);
@@ -264,7 +269,7 @@ TEST_F(SessionTest, PartitionedSparkModeAgrees) {
 
 TEST_F(SessionTest, StatsAreRecorded) {
   Run("SELECT g, qm(x) FROM t GROUP BY g", ExecMode::kSudafShare);
-  const ExecStats& stats = session_->last_stats();
+  const ExecStats& stats = this->stats();
   EXPECT_GT(stats.total_ms, 0.0);
   EXPECT_GE(stats.rewrite_ms, 0.0);
   EXPECT_EQ(stats.num_states, 2);
