@@ -11,13 +11,21 @@
 // Three sweeps, written to BENCH_fused_states.json:
 //   * states 1..16 (power sums) at 1M rows, single-threaded;
 //   * rows 1M..10M for the 5-state kurtosis set, single-threaded;
-//   * threads 1..8 for the 5-state set at 4M rows (morsel-parallel).
+//   * threads 1..8 through the FULL pipeline (filter → gather → group →
+//     fused pass) on a 4M-row session query with a WHERE clause, reporting
+//     per-phase times from the query trace and checking that every thread
+//     count reproduces the 1-thread result bit for bit.
 // The kurtosis entry doubles as the acceptance gate: fused must be >= 2x
-// the legacy path at 1M rows single-threaded.
+// the legacy path at 1M rows single-threaded. The thread sweep records
+// "hardware_threads" so readers can judge the speedups against the cores
+// that were actually available (a 1-core container cannot show scaling,
+// only the absence of parallel overhead and the bit-identity contract).
 
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "agg/builtin_kernels.h"
@@ -124,11 +132,12 @@ int RepsFor(int64_t rows) {
   return rows <= 1'000'000 ? 5 : rows <= 4'000'000 ? 3 : 1;
 }
 
-// --smoke: one cold + one warm share-mode query through a real session,
-// printing each profile as one line of sudaf.profile.v1 JSON
-// (docs/observability.md). CI's perf-smoke job gates on this schema, not on
-// timings.
-int RunSmoke() {
+// --smoke [--threads N]: one cold + one warm share-mode query through a
+// real session, printing each profile as one line of sudaf.profile.v1 JSON
+// (docs/observability.md). CI's perf-smoke job gates on this schema — and,
+// with --threads N, on the parallel pipeline actually engaging (the profile
+// reports threads_used) — not on timings.
+int RunSmoke(int threads) {
   Schema schema;
   SUDAF_CHECK(schema.AddField({"g", DataType::kInt64}).ok());
   SUDAF_CHECK(schema.AddField({"x", DataType::kFloat64}).ok());
@@ -141,7 +150,15 @@ int RunSmoke() {
   table->FinishBulkAppend();
   Catalog catalog;
   catalog.PutTable("t", std::move(table));
-  SudafSession session(&catalog);
+  ExecOptions exec;
+  if (threads > 1) {
+    exec.parallel = true;
+    exec.num_threads = threads;
+    // Small morsels so a 50k-row smoke input still splits into enough
+    // chunks for every requested worker to claim one.
+    exec.morsel_size = 4096;
+  }
+  SudafSession session(&catalog, exec);
   const char* sql = "SELECT g, kurtosis(x), var(x) FROM t GROUP BY g";
   for (int run = 0; run < 2; ++run) {
     auto result = session.Execute(sql, ExecMode::kSudafShare);
@@ -151,13 +168,37 @@ int RunSmoke() {
   return 0;
 }
 
+// Bitwise table comparison for the thread-sweep identity check.
+bool TablesBitIdentical(const Table& a, const Table& b) {
+  if (a.num_rows() != b.num_rows() || a.num_columns() != b.num_columns()) {
+    return false;
+  }
+  for (int c = 0; c < a.num_columns(); ++c) {
+    for (int64_t r = 0; r < a.num_rows(); ++r) {
+      double da = a.column(c).GetNumeric(r);
+      double db = b.column(c).GetNumeric(r);
+      if (std::memcmp(&da, &db, sizeof(double)) != 0) return false;
+    }
+  }
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc > 1 && std::string(argv[1]) == "--smoke") return RunSmoke();
+  if (argc > 1 && std::string(argv[1]) == "--smoke") {
+    int threads = 1;
+    for (int a = 2; a < argc; ++a) {
+      if (std::string(argv[a]) == "--threads" && a + 1 < argc) {
+        threads = std::atoi(argv[a + 1]);
+      }
+    }
+    return RunSmoke(threads);
+  }
   FILE* json = std::fopen("BENCH_fused_states.json", "w");
   SUDAF_CHECK_MSG(json != nullptr, "cannot open BENCH_fused_states.json");
-  std::fprintf(json, "{\n  \"groups\": %d,\n", kGroups);
+  std::fprintf(json, "{\n  \"groups\": %d,\n  \"hardware_threads\": %u,\n",
+               kGroups, std::thread::hardware_concurrency());
 
   // Sweep 1: number of states at 1M rows, single-threaded.
   std::printf("power-sum states at 1M rows, single-threaded\n");
@@ -218,30 +259,83 @@ int main(int argc, char** argv) {
     std::fprintf(json, "\n  ],\n");
   }
 
-  // Sweep 3: fused thread scaling, kurtosis set at 4M rows.
-  std::printf("\nfused thread sweep, kurtosis states at 4M rows\n");
-  std::printf("%8s %12s %10s %8s\n", "threads", "fused (ms)", "vs 1T",
-              "morsels");
+  // Sweep 3: end-to-end thread scaling through the full pipeline — a real
+  // session query with a WHERE clause at 4M rows, so filter, gather,
+  // grouping AND the fused pass all run morsel-parallel. Per-phase times
+  // come from the query trace (the same spans ProfileJson reports), and
+  // every thread count's result table is checked bit-identical against the
+  // 1-thread run.
+  std::printf("\nfull-pipeline thread sweep, kurtosis at 4M rows + WHERE\n");
+  std::printf("%8s %10s %10s %10s %10s %10s %8s %6s %5s\n", "threads",
+              "total(ms)", "filter", "gather", "group", "fused", "vs 1T",
+              "used", "bit=");
   std::fprintf(json, "  \"thread_sweep\": [\n");
   {
-    std::vector<ExprPtr> inputs = MakeInputs(4);
-    Data data(4'000'000);
-    const int reps = RepsFor(4'000'000);
+    Rng rng(7);
+    Schema schema;
+    SUDAF_CHECK(schema.AddField({"g", DataType::kInt64}).ok());
+    SUDAF_CHECK(schema.AddField({"x", DataType::kFloat64}).ok());
+    SUDAF_CHECK(schema.AddField({"y", DataType::kFloat64}).ok());
+    auto table = std::make_unique<Table>(std::move(schema));
+    constexpr int64_t kSweepRows = 4'000'000;
+    for (int64_t i = 0; i < kSweepRows; ++i) {
+      table->column(0).AppendInt64(static_cast<int64_t>(rng.NextBelow(kGroups)));
+      table->column(1).AppendFloat64(rng.NextDoubleIn(0.5, 9.5));
+      table->column(2).AppendFloat64(rng.NextDoubleIn(-2.0, 2.0));
+    }
+    table->FinishBulkAppend();
+    Catalog catalog;
+    catalog.PutTable("t", std::move(table));
+    const char* sql =
+        "SELECT g, kurtosis(x), var(x) FROM t WHERE y > -1.0 GROUP BY g";
+
+    const int reps = RepsFor(kSweepRows);
     double base = 0;
     bool first = true;
+    std::unique_ptr<Table> one_thread_result;
     for (int threads : {1, 2, 4, 8}) {
-      StateBatchStats stats;
-      double fused = Best(
-          reps, [&] { return TimeFused(data, inputs, true, threads, &stats); });
-      if (threads == 1) base = fused;
-      std::printf("%8d %12.2f %9.2fx %8lld\n", threads, fused, base / fused,
-                  static_cast<long long>(stats.morsels));
+      ExecOptions exec;
+      exec.parallel = threads > 1;
+      exec.num_threads = threads;
+      QueryResult best;
+      double best_ms = 0;
+      for (int r = 0; r < reps; ++r) {
+        // Fresh session per rep: a warm cache would skip the pipeline.
+        SudafSession session(&catalog, exec);
+        auto result = session.Execute(sql, ExecMode::kSudafShare);
+        SUDAF_CHECK_MSG(result.ok(), result.status().ToString());
+        if (r == 0 || result->stats.total_ms < best_ms) {
+          best_ms = result->stats.total_ms;
+          best = std::move(*result);
+        }
+      }
+      if (threads == 1) {
+        base = best_ms;
+        one_thread_result = std::move(best.table);
+      }
+      const ExecStats& s = best.stats;
+      double fused_ms = best.trace != nullptr
+                            ? best.trace->SpanMs("fused_pass")
+                            : s.states_ms;
+      bool identical =
+          threads == 1 ||
+          TablesBitIdentical(*one_thread_result, *best.table);
+      std::printf("%8d %10.2f %10.2f %10.2f %10.2f %10.2f %7.2fx %6d %5s\n",
+                  threads, best_ms, s.filter_ms, s.gather_ms, s.group_ms,
+                  fused_ms, base / best_ms, s.fused_threads,
+                  identical ? "yes" : "NO");
       std::fprintf(json,
-                   "%s    {\"threads\": %d, \"fused_ms\": %.3f, "
-                   "\"speedup_vs_1t\": %.3f, \"threads_used\": %d}",
-                   first ? "" : ",\n", threads, fused, base / fused,
-                   stats.threads_used);
+                   "%s    {\"threads\": %d, \"total_ms\": %.3f, "
+                   "\"filter_ms\": %.3f, \"gather_ms\": %.3f, "
+                   "\"group_ms\": %.3f, \"fused_ms\": %.3f, "
+                   "\"speedup_vs_1t\": %.3f, \"threads_used\": %d, "
+                   "\"bit_identical\": %s}",
+                   first ? "" : ",\n", threads, best_ms, s.filter_ms,
+                   s.gather_ms, s.group_ms, fused_ms, base / best_ms,
+                   s.fused_threads, identical ? "true" : "false");
       first = false;
+      SUDAF_CHECK_MSG(identical,
+                      "thread sweep produced a non-identical result table");
     }
     std::fprintf(json, "\n  ],\n");
   }

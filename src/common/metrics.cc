@@ -61,6 +61,22 @@ void Histogram::Observe(double v) {
   buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
 }
 
+void Histogram::ObserveN(double v, int64_t n) {
+  if (n <= 0) return;
+  count_.fetch_add(n, std::memory_order_relaxed);
+  metrics_internal::AtomicAdd(sum_, v * static_cast<double>(n));
+  metrics_internal::AtomicMin(min_, v);
+  metrics_internal::AtomicMax(max_, v);
+  int bucket = 0;
+  if (v > 0) {
+    int exp = static_cast<int>(std::floor(std::log2(v)));
+    bucket = exp - kMinExp;
+    if (bucket < 0) bucket = 0;
+    if (bucket >= kNumBuckets) bucket = kNumBuckets - 1;
+  }
+  buckets_[bucket].fetch_add(n, std::memory_order_relaxed);
+}
+
 Histogram::Snapshot Histogram::snapshot() const {
   Snapshot s;
   s.count = count_.load(std::memory_order_relaxed);
@@ -95,6 +111,21 @@ MetricsSnapshot MetricsSnapshot::Delta(const MetricsSnapshot& since) const {
   MetricsSnapshot d = *this;
   for (auto& [name, v] : d.counters) v -= since.counter(name);
   for (auto& [name, v] : d.dcounters) v -= since.dcounter(name);
+  for (auto& [name, h] : d.histograms) {
+    auto it = since.histograms.find(name);
+    if (it == since.histograms.end()) continue;
+    const Histogram::Snapshot& base = it->second;
+    h.count -= base.count;
+    h.sum -= base.sum;
+    for (size_t i = 0; i < h.buckets.size() && i < base.buckets.size(); ++i) {
+      h.buckets[i] -= base.buckets[i];
+    }
+    if (h.count <= 0) {
+      h.sum = 0;
+      h.min = 0;
+      h.max = 0;
+    }
+  }
   return d;
 }
 

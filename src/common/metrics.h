@@ -105,6 +105,11 @@ class Histogram {
   static constexpr int kMinExp = -6;  // first bucket starts at 1/64
 
   void Observe(double v);
+  // Records `n` observations of the same value with one atomic op per
+  // aggregate — what per-worker buffers use to splice a batch of identical
+  // morsel lengths into the histogram at pass end instead of one Observe
+  // per morsel on the hot path.
+  void ObserveN(double v, int64_t n);
 
   struct Snapshot {
     int64_t count = 0;
@@ -135,8 +140,11 @@ struct MetricsSnapshot {
   double dcounter(const std::string& name) const;
   double gauge(const std::string& name) const;
 
-  // Per-query deltas: this snapshot minus `since` (counters and dcounters
-  // subtract; gauges and histograms are taken from *this).
+  // Per-query deltas: this snapshot minus `since`. Counters, dcounters and
+  // histogram count/sum/buckets subtract; gauges are taken from *this
+  // (instantaneous). Histogram min/max stay cumulative — the extrema of the
+  // delta window alone are not recoverable — and are zeroed when the delta
+  // window observed nothing.
   MetricsSnapshot Delta(const MetricsSnapshot& since) const;
 
   // {"counters": {...}, "dcounters": {...}, "gauges": {...},

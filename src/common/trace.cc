@@ -84,6 +84,26 @@ void QueryTrace::AddEvent(const std::string& name, int span, int64_t value) {
   ++total_events_;
 }
 
+void QueryTrace::AddEvents(const std::string& name, int span,
+                           const std::vector<PendingEvent>& batch) {
+  if (batch.empty()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const PendingEvent& p : batch) {
+    Event e;
+    e.name = name;
+    e.span = span;
+    e.t_ms = p.t_ms;
+    e.value = p.value;
+    if (static_cast<int>(ring_.size()) < capacity_) {
+      ring_.push_back(std::move(e));
+    } else {
+      ring_[ring_head_] = std::move(e);
+      ring_head_ = (ring_head_ + 1) % ring_.size();
+    }
+    ++total_events_;
+  }
+}
+
 std::vector<QueryTrace::Span> QueryTrace::spans() const {
   std::lock_guard<std::mutex> lock(mu_);
   return spans_;
@@ -258,6 +278,11 @@ void TraceSpan::Close() {
 
 void TraceSpan::Event(const std::string& name, int64_t value) {
   if (trace_ != nullptr) trace_->AddEvent(name, id_, value);
+}
+
+void TraceSpan::Events(const std::string& name,
+                       const std::vector<QueryTrace::PendingEvent>& batch) {
+  if (trace_ != nullptr) trace_->AddEvents(name, id_, batch);
 }
 
 }  // namespace sudaf

@@ -67,6 +67,21 @@ class QueryTrace {
   // oldest event is overwritten and counted as dropped.
   void AddEvent(const std::string& name, int span, int64_t value = 1);
 
+  // An event captured into a worker-private buffer: the timestamp is taken
+  // lock-free at capture time (now_ms()), the ring insertion is deferred.
+  struct PendingEvent {
+    double t_ms = 0;
+    int64_t value = 1;
+  };
+
+  // Splices a batch of pre-timestamped events under `span` into the ring
+  // with ONE lock acquisition — how parallel workers record per-morsel
+  // events without taking the trace mutex once per morsel. Events are
+  // inserted in the given order; callers that care about global timestamp
+  // order across workers should sort the merged batch by t_ms first.
+  void AddEvents(const std::string& name, int span,
+                 const std::vector<PendingEvent>& batch);
+
   // Milliseconds since trace construction (the span/event clock).
   double now_ms() const;
 
@@ -125,6 +140,10 @@ class TraceSpan {
 
   // Instant event under this span.
   void Event(const std::string& name, int64_t value = 1);
+
+  // Batched events under this span (see QueryTrace::AddEvents).
+  void Events(const std::string& name,
+              const std::vector<QueryTrace::PendingEvent>& batch);
 
  private:
   QueryTrace* trace_;

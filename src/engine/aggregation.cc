@@ -11,7 +11,7 @@ namespace sudaf {
 
 Result<std::unique_ptr<Table>> GatherColumns(
     const QueryPlan& plan, const JoinedRows& joined,
-    const std::vector<std::string>& columns) {
+    const std::vector<std::string>& columns, const ExecOptions& opts) {
   Schema schema;
   struct Source {
     const Column* col;
@@ -25,29 +25,40 @@ Result<std::unique_ptr<Table>> GatherColumns(
     sources.push_back(Source{&col, &joined.rows[loc.first]});
   }
 
+  const int64_t n = joined.num_tuples;
   auto frame = std::make_unique<Table>(std::move(schema));
-  frame->Reserve(joined.num_tuples);
   for (size_t c = 0; c < sources.size(); ++c) {
-    const Column& src = *sources[c].col;
-    const std::vector<int64_t>& rows = *sources[c].rows;
-    Column& dst = frame->column(static_cast<int>(c));
-    switch (src.type()) {
-      case DataType::kInt64:
-        for (int64_t i = 0; i < joined.num_tuples; ++i) {
-          dst.AppendInt64(src.GetInt64(rows[i]));
-        }
-        break;
-      case DataType::kFloat64:
-        for (int64_t i = 0; i < joined.num_tuples; ++i) {
-          dst.AppendFloat64(src.GetFloat64(rows[i]));
-        }
-        break;
-      case DataType::kString:
-        for (int64_t i = 0; i < joined.num_tuples; ++i) {
-          dst.AppendString(src.GetString(rows[i]));
-        }
-        break;
-    }
+    frame->column(static_cast<int>(c))
+        .PrepareGatherFrom(*sources[c].col, n);
+  }
+
+  // Parallel gather over (column × row-range) tasks; every task writes a
+  // disjoint window of a prepared output column, so the result is the same
+  // positional copy the serial appends produced. String columns adopt the
+  // source dictionary wholesale (PrepareGatherFrom) instead of re-interning
+  // row by row.
+  constexpr int64_t kMinRangeRows = 16384;
+  const int ranges_per_col = std::max(
+      1, PlannedWorkers(opts, (n + kMinRangeRows - 1) / kMinRangeRows));
+  const int64_t num_tasks =
+      static_cast<int64_t>(sources.size()) * ranges_per_col;
+  auto run_task = [&](int64_t task) {
+    const int c = static_cast<int>(task / ranges_per_col);
+    const int64_t r = task % ranges_per_col;
+    const int64_t lo = n * r / ranges_per_col;
+    const int64_t hi = n * (r + 1) / ranges_per_col;
+    frame->column(c).GatherRange(*sources[c].col, sources[c].rows->data(),
+                                 lo, hi);
+  };
+  const int workers =
+      std::min(PlannedWorkers(opts, num_tasks),
+               ThreadPool::kMaxGlobalWorkers + 1);
+  if (workers > 1) {
+    ThreadPool& pool = ThreadPool::Global();
+    pool.EnsureWorkers(workers - 1);
+    pool.ParallelFor(num_tasks, run_task);
+  } else {
+    for (int64_t task = 0; task < num_tasks; ++task) run_task(task);
   }
   frame->FinishBulkAppend();
   return frame;
@@ -61,10 +72,68 @@ uint64_t MixKey(uint64_t h, uint64_t v) {
   return h;
 }
 
+// Flat open-addressing table mapping composite group keys to group ids:
+// linear probing over a power-of-two entry array, no per-bucket vectors.
+// A key is represented by one of its frame rows; `eq` compares the key
+// columns of two rows.
+class GroupHashTable {
+ public:
+  struct Entry {
+    uint64_t hash = 0;
+    int64_t row = -1;   // representative frame row
+    int32_t gid = -1;   // -1 => empty slot
+  };
+
+  GroupHashTable() : entries_(kInitialCapacity) {}
+
+  // Returns the group id of (h, row), inserting it as `next_gid` when new
+  // (*inserted reports which happened).
+  template <typename Eq>
+  int32_t FindOrInsert(uint64_t h, int64_t row, int32_t next_gid,
+                       const Eq& eq, bool* inserted) {
+    if ((count_ + 1) * 10 >= entries_.size() * 7) Grow();
+    const size_t mask = entries_.size() - 1;
+    size_t idx = static_cast<size_t>(h) & mask;
+    for (;;) {
+      Entry& e = entries_[idx];
+      if (e.gid < 0) {
+        e.hash = h;
+        e.row = row;
+        e.gid = next_gid;
+        ++count_;
+        *inserted = true;
+        return next_gid;
+      }
+      if (e.hash == h && eq(e.row, row)) {
+        *inserted = false;
+        return e.gid;
+      }
+      idx = (idx + 1) & mask;
+    }
+  }
+
+ private:
+  void Grow() {
+    std::vector<Entry> old = std::move(entries_);
+    entries_.assign(old.size() * 2, Entry{});
+    const size_t mask = entries_.size() - 1;
+    for (const Entry& e : old) {
+      if (e.gid < 0) continue;
+      size_t idx = static_cast<size_t>(e.hash) & mask;
+      while (entries_[idx].gid >= 0) idx = (idx + 1) & mask;
+      entries_[idx] = e;
+    }
+  }
+
+  static constexpr size_t kInitialCapacity = 1024;
+  std::vector<Entry> entries_;
+  size_t count_ = 0;
+};
+
 }  // namespace
 
 Status BuildGroups(const std::vector<std::string>& group_by,
-                   PreparedInput* out) {
+                   PreparedInput* out, const ExecOptions& opts) {
   const Table& frame = *out->frame;
   const int64_t n = out->num_input_rows;
   out->group_ids.assign(n, 0);
@@ -86,13 +155,7 @@ Status BuildGroups(const std::vector<std::string>& group_by,
     key_cols.push_back(col);
     SUDAF_RETURN_IF_ERROR(key_schema.AddField(Field{name, col->type()}));
   }
-
   out->group_keys = std::make_unique<Table>(std::move(key_schema));
-  // Composite key -> group id. Collisions resolved by comparing stored
-  // first-row indices (open chaining on hash buckets).
-  std::unordered_map<uint64_t, std::vector<int32_t>> buckets;
-  std::vector<int64_t> first_row;  // per group: representative frame row
-  buckets.reserve(1024);
 
   auto code_at = [&](int c, int64_t row) -> int64_t {
     const Column* col = key_cols[c];
@@ -100,34 +163,88 @@ Status BuildGroups(const std::vector<std::string>& group_by,
                ? col->GetInt64(row)
                : static_cast<int64_t>(col->GetStringCode(row));
   };
-
-  for (int64_t i = 0; i < n; ++i) {
+  auto hash_row = [&](int64_t i) -> uint64_t {
     uint64_t h = 0;
     for (size_t c = 0; c < key_cols.size(); ++c) {
       h = MixKey(h, static_cast<uint64_t>(code_at(static_cast<int>(c), i)));
     }
-    std::vector<int32_t>& bucket = buckets[h];
-    int32_t gid = -1;
-    for (int32_t candidate : bucket) {
-      bool equal = true;
-      for (size_t c = 0; c < key_cols.size(); ++c) {
-        if (code_at(static_cast<int>(c), i) !=
-            code_at(static_cast<int>(c), first_row[candidate])) {
-          equal = false;
-          break;
-        }
-      }
-      if (equal) {
-        gid = candidate;
-        break;
+    return h;
+  };
+  auto rows_equal = [&](int64_t a, int64_t b) -> bool {
+    for (size_t c = 0; c < key_cols.size(); ++c) {
+      if (code_at(static_cast<int>(c), a) != code_at(static_cast<int>(c), b)) {
+        return false;
       }
     }
-    if (gid < 0) {
-      gid = static_cast<int32_t>(first_row.size());
-      bucket.push_back(gid);
-      first_row.push_back(i);
+    return true;
+  };
+
+  // Two-phase parallel grouping. Phase 1 builds one local table per
+  // contiguous row range, writing range-local ids into group_ids. Phase 2
+  // merges the local key sets in ascending range order, local ids in local
+  // first-occurrence order — which assigns every key its id at the first
+  // range where it globally first occurs, so global ids come out in
+  // first-occurrence row order for ANY contiguous partitioning (R = 1
+  // reproduces the serial scan exactly). Phase 3 remaps local -> global in
+  // parallel.
+  constexpr int64_t kMinRangeRows = 16384;
+  const int num_ranges =
+      std::min(PlannedWorkers(opts, (n + kMinRangeRows - 1) / kMinRangeRows),
+               ThreadPool::kMaxGlobalWorkers + 1);
+
+  std::vector<GroupHashTable> local(num_ranges);
+  std::vector<std::vector<int64_t>> local_first(num_ranges);
+  auto build_local = [&](int64_t r) {
+    GroupHashTable& tbl = local[r];
+    std::vector<int64_t>& firsts = local_first[r];
+    const int64_t lo = n * r / num_ranges;
+    const int64_t hi = n * (r + 1) / num_ranges;
+    for (int64_t i = lo; i < hi; ++i) {
+      bool inserted = false;
+      const int32_t gid =
+          tbl.FindOrInsert(hash_row(i), i,
+                           static_cast<int32_t>(firsts.size()), rows_equal,
+                           &inserted);
+      if (inserted) firsts.push_back(i);
+      out->group_ids[i] = gid;
     }
-    out->group_ids[i] = gid;
+  };
+  if (num_ranges > 1) {
+    ThreadPool& pool = ThreadPool::Global();
+    pool.EnsureWorkers(num_ranges - 1);
+    pool.ParallelFor(num_ranges, build_local);
+  } else {
+    build_local(0);
+  }
+
+  // Phase 2: deterministic serial merge over the (small) local key sets.
+  GroupHashTable global;
+  std::vector<int64_t> first_row;
+  std::vector<std::vector<int32_t>> local_to_global(num_ranges);
+  for (int r = 0; r < num_ranges; ++r) {
+    local_to_global[r].resize(local_first[r].size());
+    for (size_t g = 0; g < local_first[r].size(); ++g) {
+      const int64_t row = local_first[r][g];
+      bool inserted = false;
+      const int32_t gid = global.FindOrInsert(
+          hash_row(row), row, static_cast<int32_t>(first_row.size()),
+          rows_equal, &inserted);
+      if (inserted) first_row.push_back(row);
+      local_to_global[r][g] = gid;
+    }
+  }
+
+  // Phase 3: parallel local -> global remap (identity when R == 1).
+  if (num_ranges > 1) {
+    auto remap = [&](int64_t r) {
+      const std::vector<int32_t>& map = local_to_global[r];
+      const int64_t lo = n * r / num_ranges;
+      const int64_t hi = n * (r + 1) / num_ranges;
+      for (int64_t i = lo; i < hi; ++i) {
+        out->group_ids[i] = map[out->group_ids[i]];
+      }
+    };
+    ThreadPool::Global().ParallelFor(num_ranges, remap);
   }
 
   out->num_groups = static_cast<int32_t>(first_row.size());

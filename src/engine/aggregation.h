@@ -28,16 +28,23 @@ struct PreparedInput {
 };
 
 // Gathers `columns` (resolved against `plan`) from the join result into a
-// fresh table with one row per tuple.
+// fresh table with one row per tuple. Parallel under opts.parallel: output
+// columns are pre-sized and (column × row-range) tasks fill disjoint
+// windows, producing the same positional copy as a serial gather.
 Result<std::unique_ptr<Table>> GatherColumns(
     const QueryPlan& plan, const JoinedRows& joined,
-    const std::vector<std::string>& columns);
+    const std::vector<std::string>& columns, const ExecOptions& opts = {});
 
 // Computes `out->group_ids`, `out->group_keys` and `out->num_groups` for the
 // frame already stored in `out`. With an empty `group_by` there is a single
 // group 0 (and `group_keys` has zero columns, one row).
+//
+// Parallel under opts.parallel via two-phase grouping: per-range flat
+// open-addressing hash tables, then a deterministic merge that assigns
+// global ids in first-occurrence row order — group_keys ordering and
+// group_ids are bit-identical to the serial scan for every thread count.
 Status BuildGroups(const std::vector<std::string>& group_by,
-                   PreparedInput* out);
+                   PreparedInput* out, const ExecOptions& opts = {});
 
 // Grouped ⊕-aggregation of `input` (empty for kCount). Honors
 // opts.partitioned by aggregating per-partition and merging with ⊕ — the

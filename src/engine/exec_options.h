@@ -1,7 +1,9 @@
 #ifndef SUDAF_ENGINE_EXEC_OPTIONS_H_
 #define SUDAF_ENGINE_EXEC_OPTIONS_H_
 
+#include <algorithm>
 #include <cstdint>
+#include <thread>
 
 namespace sudaf {
 
@@ -74,6 +76,23 @@ struct ExecOptions {
   // -1 attaches them at the trace root.
   int trace_span = -1;
 };
+
+// Worker count a pipeline stage should use under `opts` for a stage with
+// at most `max_tasks` independent work units: 1 when parallelism is off or
+// there is nothing to split, otherwise num_threads (0 = hardware
+// concurrency) capped by the task count. Every parallel stage (filter,
+// gather, group, fused accumulation) sizes itself through this one helper
+// so a query reports a consistent thread count.
+inline int PlannedWorkers(const ExecOptions& opts, int64_t max_tasks) {
+  if (!opts.parallel || max_tasks <= 1) return 1;
+  int workers = opts.num_threads;
+  if (workers <= 0) {
+    workers = static_cast<int>(std::thread::hardware_concurrency());
+    if (workers <= 0) workers = 1;
+  }
+  return static_cast<int>(
+      std::min<int64_t>(workers, std::max<int64_t>(max_tasks, 1)));
+}
 
 }  // namespace sudaf
 

@@ -37,9 +37,20 @@ std::string SelectItemName(const SelectItem& item) {
 
 Result<PreparedInput> Executor::Prepare(
     const SelectStatement& stmt,
-    const std::vector<std::string>& extra_columns) const {
+    const std::vector<std::string>& extra_columns,
+    const ExecOptions& opts) const {
   SUDAF_ASSIGN_OR_RETURN(QueryPlan plan, PlanQuery(stmt, *catalog_));
-  SUDAF_ASSIGN_OR_RETURN(JoinedRows joined, FilterAndJoin(plan));
+
+  auto phase_ms = [&](const char* name) -> DCounter* {
+    return opts.metrics != nullptr ? opts.metrics->dcounter(name) : nullptr;
+  };
+
+  JoinedRows joined;
+  {
+    TraceSpan filter_span(opts.trace, "filter", opts.trace_span,
+                          phase_ms("sudaf.phase.filter_ms"));
+    SUDAF_ASSIGN_OR_RETURN(joined, FilterAndJoin(plan, opts));
+  }
 
   // Columns the frame must carry: group-by keys, select-list references,
   // caller extras. Deduplicated, insertion-ordered.
@@ -59,9 +70,18 @@ Result<PreparedInput> Executor::Prepare(
   for (const std::string& c : extra_columns) add(c);
 
   PreparedInput prepared;
-  SUDAF_ASSIGN_OR_RETURN(prepared.frame, GatherColumns(plan, joined, needed));
+  {
+    TraceSpan gather_span(opts.trace, "gather", opts.trace_span,
+                          phase_ms("sudaf.phase.gather_ms"));
+    SUDAF_ASSIGN_OR_RETURN(prepared.frame,
+                           GatherColumns(plan, joined, needed, opts));
+  }
   prepared.num_input_rows = joined.num_tuples;
-  SUDAF_RETURN_IF_ERROR(BuildGroups(stmt.group_by, &prepared));
+  {
+    TraceSpan group_span(opts.trace, "group", opts.trace_span,
+                         phase_ms("sudaf.phase.group_ms"));
+    SUDAF_RETURN_IF_ERROR(BuildGroups(stmt.group_by, &prepared, opts));
+  }
   return prepared;
 }
 
@@ -74,7 +94,9 @@ Result<std::unique_ptr<Table>> Executor::Execute(
   if (opts.guard != nullptr) {
     SUDAF_RETURN_IF_ERROR(opts.guard->Check());
   }
-  SUDAF_ASSIGN_OR_RETURN(PreparedInput input, Prepare(stmt));
+  ExecOptions prep_opts = opts;
+  prep_opts.trace_span = exec_span.id() >= 0 ? exec_span.id() : opts.trace_span;
+  SUDAF_ASSIGN_OR_RETURN(PreparedInput input, Prepare(stmt, {}, prep_opts));
   if (opts.metrics != nullptr) {
     opts.metrics->counter("sudaf.engine.input_rows")
         ->Add(input.num_input_rows);

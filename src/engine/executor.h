@@ -38,10 +38,19 @@ class Executor {
 
   // Plans, filters, joins and groups the FROM/WHERE/GROUP BY part of `stmt`.
   // The frame contains the group-by columns, every column referenced by the
-  // select list, and `extra_columns`.
+  // select list, and `extra_columns`. `opts` controls pipeline parallelism
+  // (filter / gather / group run morsel-parallel under opts.parallel, with
+  // results bit-identical to the serial path) and carries the observability
+  // sinks: each stage records a span ("filter", "gather", "group") under
+  // opts.trace_span and a sudaf.phase.*_ms dcounter.
+  Result<PreparedInput> Prepare(const SelectStatement& stmt,
+                                const std::vector<std::string>& extra_columns,
+                                const ExecOptions& opts) const;
   Result<PreparedInput> Prepare(
       const SelectStatement& stmt,
-      const std::vector<std::string>& extra_columns = {}) const;
+      const std::vector<std::string>& extra_columns = {}) const {
+    return Prepare(stmt, extra_columns, ExecOptions{});
+  }
 
   const Catalog* catalog() const { return catalog_; }
   const UdafRegistry* registry() const { return registry_; }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "common/query_guard.h"
+#include "common/thread_pool.h"
 #include "expr/evaluator.h"
 
 namespace sudaf {
@@ -10,9 +12,16 @@ namespace sudaf {
 namespace {
 
 // Evaluates the per-table filters; returns the selected row ids of table `t`.
-// Numeric predicates evaluate vectorized; predicates touching strings fall
-// back to boxed row-at-a-time evaluation.
-Result<std::vector<int64_t>> FilterTable(const QueryPlan& plan, int t) {
+// Numeric predicates evaluate vectorized per morsel (EvalNumericRange);
+// predicates touching strings fall back to boxed row-at-a-time evaluation.
+//
+// Under opts.parallel the pass is morsel-parallel and order-preserving:
+// workers fill disjoint ranges of a shared keep-bitmap, per-range selection
+// counts prefix-sum into write offsets, and the selected row ids are
+// written in parallel — ascending contiguous ranges make the output
+// identical to the serial scan for every worker count.
+Result<std::vector<int64_t>> FilterTable(const QueryPlan& plan, int t,
+                                         const ExecOptions& opts) {
   Table* table = plan.tables[t];
   std::vector<const Expr*> preds;
   for (const TableFilter& f : plan.filters) {
@@ -25,9 +34,8 @@ Result<std::vector<int64_t>> FilterTable(const QueryPlan& plan, int t) {
     for (int64_t i = 0; i < n; ++i) out[i] = i;
     return out;
   }
+  if (n == 0) return out;
 
-  // `keep[i]` accumulates the conjunction across predicates.
-  std::vector<uint8_t> keep(n, 1);
   ColumnResolver resolver =
       [table](const std::string& col) -> Result<const Column*> {
     return table->GetColumn(col);
@@ -37,25 +45,95 @@ Result<std::vector<int64_t>> FilterTable(const QueryPlan& plan, int t) {
     SUDAF_ASSIGN_OR_RETURN(const Column* c, table->GetColumn(col));
     return c->GetValue(row);
   };
-  for (const Expr* pred : preds) {
-    Result<std::vector<double>> vectorized =
-        EvalNumericVector(*pred, resolver, n);
-    if (vectorized.ok()) {
-      const std::vector<double>& v = *vectorized;
-      for (int64_t i = 0; i < n; ++i) {
-        if (v[i] == 0.0) keep[i] = 0;
-      }
-      continue;
-    }
-    for (int64_t i = 0; i < n; ++i) {
-      if (!keep[i]) continue;
-      SUDAF_ASSIGN_OR_RETURN(Value v, EvalRow(*pred, accessor, i));
-      if (!v.is_numeric() || v.AsDouble() == 0.0) keep[i] = 0;
+
+  // Classify each predicate once: EvalNumericRange's failures (string
+  // columns, unknown names) are value-independent, so probing one row
+  // decides vectorized vs row-at-a-time mode for the whole scan.
+  std::vector<uint8_t> vectorized(preds.size(), 0);
+  {
+    EvalScratch probe_scratch;
+    double probe = 0;
+    for (size_t p = 0; p < preds.size(); ++p) {
+      vectorized[p] =
+          EvalNumericRange(*preds[p], resolver, 0, 1, &probe, &probe_scratch)
+              .ok();
     }
   }
-  out.reserve(n / 4);
-  for (int64_t i = 0; i < n; ++i) {
-    if (keep[i]) out.push_back(i);
+
+  const int64_t morsel = std::max(1, opts.morsel_size);
+  const int64_t num_morsels = (n + morsel - 1) / morsel;
+  const int workers = std::min(PlannedWorkers(opts, num_morsels),
+                               ThreadPool::kMaxGlobalWorkers + 1);
+
+  // Phase 1: fill the keep-bitmap (conjunction across predicates), one
+  // contiguous morsel-aligned range per worker, morselized so the predicate
+  // scratch stays cache-resident.
+  std::vector<uint8_t> keep(n, 1);
+  std::vector<int64_t> range_lo(workers + 1);
+  for (int w = 0; w <= workers; ++w) {
+    range_lo[w] = std::min(n, (num_morsels * w / workers) * morsel);
+  }
+  auto run_range = [&](int64_t wi) -> Status {
+    EvalScratch scratch;
+    std::vector<double> buf(static_cast<size_t>(
+        std::min<int64_t>(morsel, range_lo[wi + 1] - range_lo[wi])));
+    for (int64_t mlo = range_lo[wi]; mlo < range_lo[wi + 1]; mlo += morsel) {
+      if (opts.guard != nullptr) {
+        SUDAF_RETURN_IF_ERROR(opts.guard->Check());
+      }
+      const int64_t mhi = std::min(mlo + morsel, range_lo[wi + 1]);
+      for (size_t p = 0; p < preds.size(); ++p) {
+        if (vectorized[p]) {
+          SUDAF_RETURN_IF_ERROR(EvalNumericRange(*preds[p], resolver, mlo,
+                                                 mhi, buf.data(), &scratch));
+          for (int64_t i = mlo; i < mhi; ++i) {
+            if (buf[i - mlo] == 0.0) keep[i] = 0;
+          }
+        } else {
+          for (int64_t i = mlo; i < mhi; ++i) {
+            if (!keep[i]) continue;
+            SUDAF_ASSIGN_OR_RETURN(Value v, EvalRow(*preds[p], accessor, i));
+            if (!v.is_numeric() || v.AsDouble() == 0.0) keep[i] = 0;
+          }
+        }
+      }
+    }
+    return Status::OK();
+  };
+  if (workers > 1) {
+    ThreadPool& pool = ThreadPool::Global();
+    pool.EnsureWorkers(workers - 1);
+    SUDAF_RETURN_IF_ERROR(pool.TryParallelFor(workers, run_range));
+  } else {
+    SUDAF_RETURN_IF_ERROR(run_range(0));
+  }
+
+  // Phase 2: per-range selection counts, prefix sum, parallel write of the
+  // selected row ids at each range's offset.
+  std::vector<int64_t> counts(workers, 0);
+  auto count_range = [&](int64_t wi) {
+    int64_t c = 0;
+    for (int64_t i = range_lo[wi]; i < range_lo[wi + 1]; ++i) c += keep[i];
+    counts[wi] = c;
+  };
+  std::vector<int64_t> offsets(workers + 1, 0);
+  auto write_range = [&](int64_t wi) {
+    int64_t at = offsets[wi];
+    for (int64_t i = range_lo[wi]; i < range_lo[wi + 1]; ++i) {
+      if (keep[i]) out[at++] = i;
+    }
+  };
+  if (workers > 1) {
+    ThreadPool& pool = ThreadPool::Global();
+    pool.ParallelFor(workers, count_range);
+    for (int w = 0; w < workers; ++w) offsets[w + 1] = offsets[w] + counts[w];
+    out.resize(offsets[workers]);
+    pool.ParallelFor(workers, write_range);
+  } else {
+    count_range(0);
+    offsets[1] = counts[0];
+    out.resize(offsets[1]);
+    write_range(0);
   }
   return out;
 }
@@ -75,13 +153,14 @@ int64_t KeyAt(const Column& col, int64_t row) {
 
 }  // namespace
 
-Result<JoinedRows> FilterAndJoin(const QueryPlan& plan) {
+Result<JoinedRows> FilterAndJoin(const QueryPlan& plan,
+                                 const ExecOptions& opts) {
   const int num_tables = static_cast<int>(plan.tables.size());
 
-  // 1. Filter every table.
+  // 1. Filter every table (morsel-parallel under opts.parallel).
   std::vector<std::vector<int64_t>> selected(num_tables);
   for (int t = 0; t < num_tables; ++t) {
-    SUDAF_ASSIGN_OR_RETURN(selected[t], FilterTable(plan, t));
+    SUDAF_ASSIGN_OR_RETURN(selected[t], FilterTable(plan, t, opts));
   }
 
   // 2. Seed the tuple stream with the largest filtered table.

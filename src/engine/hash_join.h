@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "engine/exec_options.h"
 #include "engine/plan.h"
 
 namespace sudaf {
@@ -27,7 +28,14 @@ struct JoinedRows {
 // tuple stream, starting from the largest filtered table and repeatedly
 // attaching a table connected by a join edge (int64 keys only). Join edges
 // between already-joined tables become post-join filters.
-Result<JoinedRows> FilterAndJoin(const QueryPlan& plan);
+//
+// Filtering is morsel-parallel under opts.parallel: workers evaluate
+// predicates over contiguous row ranges into a shared keep-bitmap, then the
+// selected row ids are written in parallel at offsets from a prefix sum
+// over per-range counts — the selection vector is identical to the serial
+// one for every thread count. The join itself stays serial.
+Result<JoinedRows> FilterAndJoin(const QueryPlan& plan,
+                                 const ExecOptions& opts = {});
 
 }  // namespace sudaf
 

@@ -1,6 +1,7 @@
 #include "engine/state_batch.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstring>
 #include <map>
@@ -39,7 +40,7 @@ struct Slot {
     kAbs,
     kSgn,
     kGenericBinary,  // comparisons / logic via NumericBinary
-    kGenericFunc,    // row-at-a-time ApplyScalarFunc
+    kGenericFunc,    // scalar function resolved to a pointer at Build time
   };
   Kind kind;
   int a = -1;
@@ -47,7 +48,7 @@ struct Slot {
   std::vector<int> args;         // kGenericFunc
   double literal = 0.0;          // kLiteral
   BinaryOp bin_op{};             // kGenericBinary
-  std::string func_name;         // kGenericFunc
+  ScalarFn fn = nullptr;         // kGenericFunc, resolved once by Build
   const double* f64 = nullptr;   // kColumnF64
   const int64_t* i64 = nullptr;  // kColumnI64
   int dedup_hits = 0;            // times this slot was reused by interning
@@ -268,16 +269,16 @@ Result<int> BatchPlan::BuildExpr(const Expr& e,
           return MakeUnary(kind, f.c_str(), a);
         }
       }
-      // Generic scalar function. ApplyScalarFunc's failures (unknown name,
-      // wrong arity) are value-independent, so probing once at plan time
-      // makes per-row evaluation infallible.
-      SUDAF_RETURN_IF_ERROR(
-          ApplyScalarFunc(e.func_name,
-                          std::vector<double>(e.args.size(), 1.0))
-              .status());
+      // Generic scalar function: name and arity resolve to a plain function
+      // pointer once at plan time (the failures are value-independent), so
+      // per-row evaluation is an infallible indirect call with no string
+      // dispatch.
+      SUDAF_ASSIGN_OR_RETURN(
+          ScalarFn fn,
+          ResolveScalarFunc(e.func_name, static_cast<int>(e.args.size())));
       Slot s;
       s.kind = Slot::Kind::kGenericFunc;
-      s.func_name = e.func_name;
+      s.fn = fn;
       std::string key = "gfunc|" + e.func_name;
       for (const auto& arg : e.args) {
         SUDAF_ASSIGN_OR_RETURN(int a, BuildExpr(*arg, resolver));
@@ -317,14 +318,15 @@ Status BatchPlan::Build(const std::vector<StateBatchRequest>& requests,
 }
 
 // Per-worker evaluation state: one scratch buffer per slot (morsel-sized,
-// reused across all of the worker's morsels) plus the worker's private
-// num_channels × num_groups accumulator block.
+// reused across all of the worker's morsels). Accumulation goes straight
+// into the chunk block the worker currently owns, so workers carry no
+// accumulator of their own — the accumulation tree is a property of the
+// pass, not of the worker count.
 struct WorkerEval {
   std::vector<std::vector<double>> bufs;
   std::vector<const double*> ptr;
-  std::vector<double> acc;
 
-  void Init(const BatchPlan& plan, int64_t morsel_size, int32_t num_groups) {
+  void Init(const BatchPlan& plan, int64_t morsel_size) {
     const std::vector<Slot>& slots = plan.slots();
     bufs.resize(slots.size());
     ptr.assign(slots.size(), nullptr);
@@ -336,11 +338,6 @@ struct WorkerEval {
         std::fill(bufs[i].begin(), bufs[i].end(), s.literal);
       }
       ptr[i] = bufs[i].data();
-    }
-    acc.resize(plan.channels().size() * static_cast<size_t>(num_groups));
-    for (size_t c = 0; c < plan.channels().size(); ++c) {
-      std::fill_n(acc.begin() + c * num_groups, num_groups,
-                  AggIdentity(plan.channels()[c].op));
     }
   }
 };
@@ -445,8 +442,7 @@ Status EvalMorsel(const BatchPlan& plan, WorkerEval* w, int64_t lo,
           for (size_t j = 0; j < s.args.size(); ++j) {
             args[j] = w->ptr[s.args[j]][r];
           }
-          SUDAF_ASSIGN_OR_RETURN(out[r],
-                                 ApplyScalarFunc(s.func_name, args));
+          out[r] = s.fn(args.data());
         }
         break;
       }
@@ -455,13 +451,15 @@ Status EvalMorsel(const BatchPlan& plan, WorkerEval* w, int64_t lo,
   return Status::OK();
 }
 
+// Folds one evaluated morsel into `acc`, the num_channels × num_groups
+// block of the accumulation chunk that owns rows [lo, lo+len).
 void AccumulateMorsel(const BatchPlan& plan, WorkerEval* w,
                       const int32_t* group_ids, int64_t lo, int64_t len,
-                      int32_t num_groups) {
+                      int32_t num_groups, double* acc) {
   const std::vector<Channel>& channels = plan.channels();
   const int32_t* g = group_ids + lo;
   for (size_t c = 0; c < channels.size(); ++c) {
-    double* a = w->acc.data() + c * num_groups;
+    double* a = acc + c * static_cast<size_t>(num_groups);
     switch (channels[c].op) {
       case AggOp::kSum: {
         const double* in = w->ptr[channels[c].slot];
@@ -507,75 +505,117 @@ Result<std::vector<std::vector<double>>> ComputeStateBatch(
 
   const int64_t morsel = std::max(1, opts.morsel_size);
   const int64_t num_morsels = (n + morsel - 1) / morsel;
+  const int64_t num_channels = static_cast<int64_t>(plan.channels().size());
 
-  int workers = 1;
-  if (opts.parallel) {
-    workers = opts.num_threads > 0
-                  ? opts.num_threads
-                  : static_cast<int>(
-                        std::max(1u, std::thread::hardware_concurrency()));
-    workers = static_cast<int>(
-        std::min<int64_t>(workers, std::max<int64_t>(1, num_morsels)));
-    workers = std::min(workers, ThreadPool::kMaxGlobalWorkers + 1);
+  // Fixed accumulation tree (the bit-identity contract): rows fold into
+  // `num_chunks` chunk blocks, each covering a contiguous morsel range, and
+  // the blocks merge with ⊕ in chunk order. The chunk count is a pure
+  // function of input size and plan shape — NEVER of the worker count — so
+  // any thread count (including 1) produces bitwise-identical states.
+  // A single-chunk pass (input ≤ one morsel, e.g. most tests) degenerates
+  // to the exact serial accumulation order.
+  const int64_t kMaxChunks = 64;  // = kMaxGlobalWorkers: enough parallelism
+  int64_t num_chunks = std::min(std::max<int64_t>(num_morsels, 1), kMaxChunks);
+  const int64_t block_bytes =
+      num_channels * static_cast<int64_t>(num_groups) *
+      static_cast<int64_t>(sizeof(double));
+  if (block_bytes > 0) {
+    // Bound the chunk accumulator at ~32 MiB for wide plans / many groups.
+    const int64_t budget = int64_t{32} << 20;
+    num_chunks =
+        std::min(num_chunks, std::max<int64_t>(1, budget / block_bytes));
   }
+
+  const int workers =
+      std::min(PlannedWorkers(opts, num_chunks),
+               ThreadPool::kMaxGlobalWorkers + 1);
 
   // Admit the pass's scratch footprint against the query's memory budget
   // before allocating: per worker, one morsel-sized buffer per non-alias
-  // slot plus the num_channels × num_groups accumulator block.
+  // slot, plus the shared chunk accumulator.
   if (opts.guard != nullptr) {
     int64_t buffered_slots = 0;
     for (const Slot& s : plan.slots()) {
       if (s.kind != Slot::Kind::kColumnF64) ++buffered_slots;
     }
     const int64_t scratch_bytes =
-        static_cast<int64_t>(workers) *
-        (buffered_slots * morsel +
-         static_cast<int64_t>(plan.channels().size()) * num_groups) *
-        static_cast<int64_t>(sizeof(double));
+        static_cast<int64_t>(workers) * buffered_slots * morsel *
+            static_cast<int64_t>(sizeof(double)) +
+        num_chunks * block_bytes;
     SUDAF_RETURN_IF_ERROR(opts.guard->ChargeMemory(scratch_bytes));
   }
 
   // One span covers the whole fused pass (workers attach their per-morsel
-  // events to it); the registry records pass-level totals.
+  // events to it); the registry records pass-level totals. `threads_used`
+  // is a histogram + per-pass event (not a gauge): chunked queries run many
+  // passes and a gauge would only ever report the last one.
   TraceSpan pass_span(opts.trace, "fused_pass", opts.trace_span);
   if (opts.metrics != nullptr) {
     opts.metrics->counter("sudaf.fused.passes")->Add();
     opts.metrics->counter("sudaf.fused.morsels")->Add(num_morsels);
-    opts.metrics->counter("sudaf.fused.channels")
-        ->Add(static_cast<int64_t>(plan.channels().size()));
+    opts.metrics->counter("sudaf.fused.channels")->Add(num_channels);
     opts.metrics->counter("sudaf.fused.slots")
         ->Add(static_cast<int64_t>(plan.slots().size()));
     opts.metrics->counter("sudaf.fused.shared_slots")
         ->Add(plan.num_shared_slots());
-    opts.metrics->gauge("sudaf.fused.threads")->Set(workers);
+    opts.metrics->histogram("sudaf.fused.threads_used")
+        ->Observe(static_cast<double>(workers));
   }
-  // Resolve the per-morsel handle once; updates inside the loop are then a
-  // single atomic op per morsel.
+  pass_span.Event("threads_used", workers);
   Histogram* morsel_rows =
-      opts.metrics != nullptr ? opts.metrics->histogram("sudaf.fused.morsel_rows")
-                              : nullptr;
+      opts.metrics != nullptr
+          ? opts.metrics->histogram("sudaf.fused.morsel_rows")
+          : nullptr;
 
+  std::vector<double> chunk_acc(
+      static_cast<size_t>(num_chunks * num_channels * num_groups));
+
+  // Per-worker observability buffers: morsel events carry lock-free
+  // timestamps and splice into the trace ring once at pass end; histogram
+  // observations batch the same way. Neither takes a lock inside the loop.
+  std::vector<std::vector<QueryTrace::PendingEvent>> worker_events(workers);
+  std::vector<int64_t> worker_full_morsels(workers, 0);
+  std::vector<std::vector<int64_t>> worker_partial_morsels(workers);
+
+  // Workers claim whole chunks from an atomic counter (dynamic scheduling:
+  // a straggling worker no longer bounds the pass the way the old static
+  // range split did) and fold each chunk's morsels into that chunk's block.
+  std::atomic<int64_t> next_chunk{0};
   std::vector<WorkerEval> evals(workers);
   auto run_worker = [&](int64_t wi) -> Status {
     WorkerEval& we = evals[wi];
-    we.Init(plan, morsel, num_groups);
-    const int64_t first = num_morsels * wi / workers;
-    const int64_t last = num_morsels * (wi + 1) / workers;
-    for (int64_t m = first; m < last; ++m) {
-      // Morsel boundary: fault-injection site, then the query guard
-      // (cancellation / deadline). A trip here aborts the whole pass with a
-      // typed error before any result is produced.
-      SUDAF_FAILPOINT("state_batch:morsel");
-      if (opts.guard != nullptr) {
-        SUDAF_RETURN_IF_ERROR(opts.guard->Check());
+    we.Init(plan, morsel);
+    for (;;) {
+      const int64_t c = next_chunk.fetch_add(1, std::memory_order_relaxed);
+      if (c >= num_chunks) break;
+      double* acc = chunk_acc.data() + c * num_channels * num_groups;
+      for (int64_t ch = 0; ch < num_channels; ++ch) {
+        std::fill_n(acc + ch * num_groups, num_groups,
+                    AggIdentity(plan.channels()[ch].op));
       }
-      const int64_t lo = m * morsel;
-      const int64_t len = std::min(morsel, n - lo);
-      SUDAF_RETURN_IF_ERROR(EvalMorsel(plan, &we, lo, len));
-      AccumulateMorsel(plan, &we, group_ids.data(), lo, len, num_groups);
-      pass_span.Event("morsel", len);
-      if (morsel_rows != nullptr) {
-        morsel_rows->Observe(static_cast<double>(len));
+      const int64_t m_first = num_morsels * c / num_chunks;
+      const int64_t m_last = num_morsels * (c + 1) / num_chunks;
+      for (int64_t m = m_first; m < m_last; ++m) {
+        // Morsel boundary: fault-injection site, then the query guard
+        // (cancellation / deadline). A trip here aborts the whole pass with
+        // a typed error before any result is produced.
+        SUDAF_FAILPOINT("state_batch:morsel");
+        if (opts.guard != nullptr) {
+          SUDAF_RETURN_IF_ERROR(opts.guard->Check());
+        }
+        const int64_t lo = m * morsel;
+        const int64_t len = std::min(morsel, n - lo);
+        SUDAF_RETURN_IF_ERROR(EvalMorsel(plan, &we, lo, len));
+        AccumulateMorsel(plan, &we, group_ids.data(), lo, len, num_groups,
+                         acc);
+        if (opts.trace != nullptr) {
+          worker_events[wi].push_back({opts.trace->now_ms(), len});
+        }
+        if (len == morsel) {
+          ++worker_full_morsels[wi];
+        } else {
+          worker_partial_morsels[wi].push_back(len);
+        }
       }
     }
     return Status::OK();
@@ -589,14 +629,46 @@ Result<std::vector<std::vector<double>>> ComputeStateBatch(
     SUDAF_RETURN_IF_ERROR(run_worker(0));
   }
 
-  // Merge worker blocks with ⊕ in worker order (deterministic for a fixed
-  // worker count; with one worker this is the serial accumulation order).
+  // Splice the buffered per-morsel observability: one trace lock for the
+  // whole pass (events sorted into global timestamp order) and one
+  // histogram update per distinct morsel length.
+  if (opts.trace != nullptr) {
+    std::vector<QueryTrace::PendingEvent> all_events;
+    size_t total = 0;
+    for (const auto& ev : worker_events) total += ev.size();
+    all_events.reserve(total);
+    for (const auto& ev : worker_events) {
+      all_events.insert(all_events.end(), ev.begin(), ev.end());
+    }
+    std::sort(all_events.begin(), all_events.end(),
+              [](const QueryTrace::PendingEvent& a,
+                 const QueryTrace::PendingEvent& b) { return a.t_ms < b.t_ms; });
+    pass_span.Events("morsel", all_events);
+  }
+  if (morsel_rows != nullptr) {
+    int64_t full = 0;
+    for (int w = 0; w < workers; ++w) full += worker_full_morsels[w];
+    morsel_rows->ObserveN(static_cast<double>(morsel), full);
+    for (int w = 0; w < workers; ++w) {
+      for (int64_t len : worker_partial_morsels[w]) {
+        morsel_rows->Observe(static_cast<double>(len));
+      }
+    }
+  }
+
+  // Merge chunk blocks with ⊕ in chunk order. The merged value starts as a
+  // *copy* of chunk 0 (not identity ⊕ chunk 0): with a single chunk this
+  // reproduces the serial accumulation bit-for-bit, including signed-zero
+  // cases where 0.0 + (-0.0) would lose the sign.
   const std::vector<Channel>& channels = plan.channels();
   std::vector<std::vector<double>> merged(channels.size());
   for (size_t c = 0; c < channels.size(); ++c) {
-    merged[c].assign(num_groups, AggIdentity(channels[c].op));
-    for (int w = 0; w < workers; ++w) {
-      const double* part = evals[w].acc.data() + c * num_groups;
+    const double* first = chunk_acc.data() + c * num_groups;
+    merged[c].assign(first, first + num_groups);
+    for (int64_t k = 1; k < num_chunks; ++k) {
+      const double* part =
+          chunk_acc.data() + (k * num_channels + static_cast<int64_t>(c)) *
+                                 num_groups;
       for (int32_t g = 0; g < num_groups; ++g) {
         merged[c][g] = AggMerge(channels[c].op, merged[c][g], part[g]);
       }

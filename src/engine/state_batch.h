@@ -19,14 +19,18 @@
 //     another state already needed);
 //   * the row range is split into morsels (ExecOptions::morsel_size rows);
 //     each morsel evaluates the DAG into per-worker scratch buffers that
-//     stay cache-resident, then accumulates every state into the worker's
-//     num_states × num_groups accumulator block;
-//   * worker blocks are merged with ⊕ in worker order, so results are
-//     deterministic for a fixed worker count.
+//     stay cache-resident, then accumulates into the chunk block that owns
+//     the morsel's rows;
+//   * accumulation follows a *fixed chunk tree*: rows fold into a bounded
+//     number of contiguous chunk blocks whose count depends only on the
+//     input size and plan shape, and blocks merge with ⊕ in chunk order —
+//     so results are bitwise identical for ANY worker count, including the
+//     single-threaded run (docs/execution.md, "Deterministic parallelism").
 //
-// Parallel execution (opts.parallel) distributes contiguous morsel ranges
-// over the persistent ThreadPool — no per-call thread spawning, no work
-// stealing.
+// Parallel execution (opts.parallel) lets ThreadPool workers claim chunks
+// from an atomic counter (dynamic scheduling, no per-call thread spawning);
+// the chunk tree keeps the arithmetic identical regardless of which worker
+// processes which chunk.
 
 #include <cstdint>
 #include <vector>

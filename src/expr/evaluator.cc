@@ -9,6 +9,21 @@ namespace {
 
 double Sgn(double x) { return x > 0 ? 1.0 : (x < 0 ? -1.0 : 0.0); }
 
+// Resolved scalar-function bodies. Arity is validated by ResolveScalarFunc;
+// these assume `a` points at the right number of doubles.
+double FnSqrt(const double* a) { return std::sqrt(a[0]); }
+double FnLn(const double* a) { return std::log(a[0]); }
+double FnLog2(const double* a) { return std::log(a[1]) / std::log(a[0]); }
+double FnExp(const double* a) { return std::exp(a[0]); }
+double FnAbs(const double* a) { return std::fabs(a[0]); }
+double FnSgn(const double* a) { return Sgn(a[0]); }
+double FnPow(const double* a) { return std::pow(a[0], a[1]); }
+double FnNullif(const double* a) {
+  if (a[0] == a[1]) return std::numeric_limits<double>::quiet_NaN();
+  return a[0];
+}
+double FnNot(const double* a) { return a[0] == 0.0 ? 1.0 : 0.0; }
+
 Result<double> NumericBinary(BinaryOp op, double a, double b) {
   switch (op) {
     case BinaryOp::kAdd:
@@ -47,55 +62,36 @@ Result<double> ApplyBinaryOp(BinaryOp op, double a, double b) {
   return NumericBinary(op, a, b);
 }
 
-Result<double> ApplyScalarFunc(const std::string& name,
-                               const std::vector<double>& args) {
-  auto need = [&](size_t n) -> Status {
-    if (args.size() != n) {
-      return Status::TypeError(name + "() expects " + std::to_string(n) +
-                               " argument(s), got " +
-                               std::to_string(args.size()));
-    }
-    return Status::OK();
+Result<ScalarFn> ResolveScalarFunc(const std::string& name, int arity) {
+  struct Entry {
+    const char* name;
+    int arity;
+    ScalarFn fn;
   };
-  if (name == "sqrt") {
-    SUDAF_RETURN_IF_ERROR(need(1));
-    return std::sqrt(args[0]);
+  static const Entry kTable[] = {
+      {"sqrt", 1, FnSqrt},    {"ln", 1, FnLn},      {"log", 1, FnLn},
+      {"log", 2, FnLog2},     {"exp", 1, FnExp},    {"abs", 1, FnAbs},
+      {"sgn", 1, FnSgn},      {"pow", 2, FnPow},    {"power", 2, FnPow},
+      {"nullif", 2, FnNullif}, {"not", 1, FnNot},
+  };
+  int expected = -1;
+  for (const Entry& e : kTable) {
+    if (name != e.name) continue;
+    if (arity == e.arity) return e.fn;
+    expected = e.arity;
   }
-  if (name == "ln") {
-    SUDAF_RETURN_IF_ERROR(need(1));
-    return std::log(args[0]);
-  }
-  if (name == "log") {
-    if (args.size() == 1) return std::log(args[0]);
-    SUDAF_RETURN_IF_ERROR(need(2));
-    return std::log(args[1]) / std::log(args[0]);
-  }
-  if (name == "exp") {
-    SUDAF_RETURN_IF_ERROR(need(1));
-    return std::exp(args[0]);
-  }
-  if (name == "abs") {
-    SUDAF_RETURN_IF_ERROR(need(1));
-    return std::fabs(args[0]);
-  }
-  if (name == "sgn") {
-    SUDAF_RETURN_IF_ERROR(need(1));
-    return Sgn(args[0]);
-  }
-  if (name == "pow" || name == "power") {
-    SUDAF_RETURN_IF_ERROR(need(2));
-    return std::pow(args[0], args[1]);
-  }
-  if (name == "nullif") {
-    SUDAF_RETURN_IF_ERROR(need(2));
-    if (args[0] == args[1]) return std::numeric_limits<double>::quiet_NaN();
-    return args[0];
-  }
-  if (name == "not") {
-    SUDAF_RETURN_IF_ERROR(need(1));
-    return args[0] == 0.0 ? 1.0 : 0.0;
+  if (expected >= 0) {
+    return Status::TypeError(name + "() expects " + std::to_string(expected) +
+                             " argument(s), got " + std::to_string(arity));
   }
   return Status::TypeError("unknown scalar function: " + name);
+}
+
+Result<double> ApplyScalarFunc(const std::string& name,
+                               const std::vector<double>& args) {
+  SUDAF_ASSIGN_OR_RETURN(
+      ScalarFn fn, ResolveScalarFunc(name, static_cast<int>(args.size())));
+  return fn(args.data());
 }
 
 bool IsKnownScalarFunc(const std::string& name) {

@@ -30,6 +30,18 @@ namespace sudaf {
 Result<double> ApplyScalarFunc(const std::string& name,
                                const std::vector<double>& args);
 
+// A scalar function resolved to a plain function pointer: name and arity
+// are validated once at resolve time, after which per-row calls are
+// infallible and never touch the name again. `args` points at `arity`
+// doubles. This is what hot loops (the fused executor's kGenericFunc slot)
+// call instead of re-resolving by std::string every row.
+using ScalarFn = double (*)(const double* args);
+
+// Resolves `name` with the given arity to its ScalarFn, or TypeError for
+// unknown names / wrong arity — the same failures ApplyScalarFunc reports,
+// hoisted out of the per-row path.
+Result<ScalarFn> ResolveScalarFunc(const std::string& name, int arity);
+
 // True if `name` is one of the scalar functions understood by
 // ApplyScalarFunc.
 bool IsKnownScalarFunc(const std::string& name);

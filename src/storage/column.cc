@@ -80,6 +80,39 @@ Value Column::GetValue(int64_t row) const {
   return Value();
 }
 
+void Column::PrepareGatherFrom(const Column& src, int64_t n) {
+  SUDAF_CHECK(type_ == src.type_);
+  SUDAF_CHECK(size() == 0);
+  switch (type_) {
+    case DataType::kInt64:
+      ints_.resize(n);
+      break;
+    case DataType::kFloat64:
+      doubles_.resize(n);
+      break;
+    case DataType::kString:
+      codes_.resize(n);
+      dict_ = src.dict_;
+      dict_index_ = src.dict_index_;
+      break;
+  }
+}
+
+void Column::GatherRange(const Column& src, const int64_t* rows, int64_t lo,
+                         int64_t hi) {
+  switch (type_) {
+    case DataType::kInt64:
+      for (int64_t i = lo; i < hi; ++i) ints_[i] = src.ints_[rows[i]];
+      break;
+    case DataType::kFloat64:
+      for (int64_t i = lo; i < hi; ++i) doubles_[i] = src.doubles_[rows[i]];
+      break;
+    case DataType::kString:
+      for (int64_t i = lo; i < hi; ++i) codes_[i] = src.codes_[rows[i]];
+      break;
+  }
+}
+
 int32_t Column::LookupDictionary(const std::string& s) const {
   auto it = dict_index_.find(s);
   return it == dict_index_.end() ? -1 : it->second;

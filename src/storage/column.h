@@ -56,6 +56,20 @@ class Column {
   // Useful for constant-time string equality predicates.
   int32_t LookupDictionary(const std::string& s) const;
 
+  // --- Parallel gather (engine executor) ---------------------------------
+  // Prepares this (empty) column to receive `n` rows gathered from `src`
+  // (same type): value buffers are sized with unspecified contents and, for
+  // strings, `src`'s dictionary is adopted wholesale so gathered codes stay
+  // valid with no per-row dictionary lookups. Call once, then fill disjoint
+  // [lo, hi) windows — from any threads — with GatherRange, then
+  // Table::FinishBulkAppend.
+  void PrepareGatherFrom(const Column& src, int64_t n);
+
+  // Writes output positions [lo, hi): this[i] = src[rows[i]]. Safe to call
+  // concurrently for disjoint ranges after PrepareGatherFrom.
+  void GatherRange(const Column& src, const int64_t* rows, int64_t lo,
+                   int64_t hi);
+
   // Approximate heap footprint of the value buffers (dictionary included),
   // used for QueryGuard memory budgeting.
   int64_t ApproxBytes() const;

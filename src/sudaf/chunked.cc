@@ -243,8 +243,11 @@ Result<std::unique_ptr<Table>> ChunkedSharingSession::Execute(
         ex.cls.SignInputExpr()->CollectColumns(&extra_columns);
       }
     }
-    SUDAF_ASSIGN_OR_RETURN(PreparedInput input,
-                           executor.Prepare(range_stmt, extra_columns));
+    // The session's default exec options carry the parallelism knobs for
+    // the covering-range scan (no trace/metrics sinks to attach here).
+    SUDAF_ASSIGN_OR_RETURN(
+        PreparedInput input,
+        executor.Prepare(range_stmt, extra_columns, session_->exec_options()));
     const Table* frame = input.frame.get();
     ColumnResolver resolver =
         [frame](const std::string& name) -> Result<const Column*> {

@@ -28,6 +28,9 @@ ExecStats DeriveExecStats(const MetricsSnapshot& d) {
   s.rewrite_ms = d.dcounter("sudaf.phase.rewrite_ms");
   s.probe_ms = d.dcounter("sudaf.phase.probe_ms");
   s.input_ms = d.dcounter("sudaf.phase.input_ms");
+  s.filter_ms = d.dcounter("sudaf.phase.filter_ms");
+  s.gather_ms = d.dcounter("sudaf.phase.gather_ms");
+  s.group_ms = d.dcounter("sudaf.phase.group_ms");
   s.states_ms = d.dcounter("sudaf.phase.states_ms");
   s.terminate_ms = d.dcounter("sudaf.phase.terminate_ms");
   s.num_states = static_cast<int>(d.counter("sudaf.states.requested"));
@@ -40,9 +43,16 @@ ExecStats DeriveExecStats(const MetricsSnapshot& d) {
   s.fused_slots = static_cast<int>(d.counter("sudaf.fused.slots"));
   s.fused_shared_slots =
       static_cast<int>(d.counter("sudaf.fused.shared_slots"));
-  s.fused_threads =
-      s.used_fused ? std::max(1, static_cast<int>(d.gauge("sudaf.fused.threads")))
-                   : 1;
+  // Worker count per fused pass: the mean of the per-pass threads_used
+  // histogram over this query's delta window. Chunked executions run many
+  // passes; each observes its own worker count, so the mean (rounded) is
+  // exact whenever all passes sized alike — and honest when they didn't.
+  s.fused_threads = 1;
+  auto th = d.histograms.find("sudaf.fused.threads_used");
+  if (th != d.histograms.end() && th->second.count > 0) {
+    s.fused_threads = std::max(
+        1, static_cast<int>(th->second.sum / th->second.count + 0.5));
+  }
   s.states_poisoned = static_cast<int>(d.counter("sudaf.states.poisoned"));
   s.cache_poison_evictions =
       static_cast<int>(d.counter("sudaf.cache.poison_evictions"));
@@ -93,6 +103,9 @@ std::string QueryResult::ProfileJson() const {
   out += "\"rewrite_ms\": " + FmtMs(stats.rewrite_ms);
   out += ", \"probe_ms\": " + FmtMs(stats.probe_ms);
   out += ", \"input_ms\": " + FmtMs(stats.input_ms);
+  out += ", \"filter_ms\": " + FmtMs(stats.filter_ms);
+  out += ", \"gather_ms\": " + FmtMs(stats.gather_ms);
+  out += ", \"group_ms\": " + FmtMs(stats.group_ms);
   out += ", \"states_ms\": " + FmtMs(stats.states_ms);
   out += ", \"terminate_ms\": " + FmtMs(stats.terminate_ms);
   out += "}, \"states\": {";
@@ -118,7 +131,7 @@ std::string QueryResult::ProfileJson() const {
   out += ", \"channels\": " + std::to_string(stats.fused_channels);
   out += ", \"slots\": " + std::to_string(stats.fused_slots);
   out += ", \"shared_slots\": " + std::to_string(stats.fused_shared_slots);
-  out += ", \"threads\": " + std::to_string(stats.fused_threads);
+  out += ", \"threads_used\": " + std::to_string(stats.fused_threads);
   out += "}, \"trace\": ";
   out += trace != nullptr ? trace->ToJson() : std::string("null");
   out += "}";
@@ -403,7 +416,12 @@ Result<std::unique_ptr<Table>> SudafSession::ExecuteSudaf(
         states[i].input->CollectColumns(&extra_columns);
       }
     }
-    SUDAF_ASSIGN_OR_RETURN(input, executor_.Prepare(stmt, extra_columns));
+    // Nest the executor's filter/gather/group spans under the input span
+    // and hand the pipeline stages the parallelism knobs.
+    ExecOptions input_opts = exec;
+    input_opts.trace_span = input_span.id();
+    SUDAF_ASSIGN_OR_RETURN(input,
+                           executor_.Prepare(stmt, extra_columns, input_opts));
     metrics_.counter("sudaf.input.scans")->Add();
     input_span.Event("rows", input.num_input_rows);
     group_keys = input.group_keys.get();

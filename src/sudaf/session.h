@@ -68,6 +68,9 @@ struct ExecStats {
   double rewrite_ms = 0;     // UDAF expansion + canonicalization
   double probe_ms = 0;       // cache probing (classification + lookup)
   double input_ms = 0;       // scan/filter/join/group of base data
+  double filter_ms = 0;      // WHERE predicate pass (inside input_ms)
+  double gather_ms = 0;      // column gather into the frame (inside input_ms)
+  double group_ms = 0;       // group-by hashing (inside input_ms)
   double states_ms = 0;      // state computation (vectorized kernels)
   double terminate_ms = 0;   // terminating functions
   int num_states = 0;
@@ -82,7 +85,8 @@ struct ExecStats {
   int fused_channels = 0;       // distinct (op, input) channels computed
   int fused_slots = 0;          // DAG slots evaluated per morsel
   int fused_shared_slots = 0;   // slots reused across states (CSE hits)
-  int fused_threads = 1;        // worker count of the last fused pass
+  int fused_threads = 1;        // workers per fused pass (mean of the
+                                // sudaf.fused.threads_used histogram delta)
 
   // Robustness counters (docs/robustness.md). A poisoned state has a
   // NaN/±Inf channel value: it is still served to the query that computed

@@ -38,7 +38,9 @@ Result<AggregateView> MaterializeAggregateView(SudafSession* session,
   for (const AggStateDef& state : rewritten.form.states) {
     if (state.input != nullptr) state.input->CollectColumns(&extra);
   }
-  SUDAF_ASSIGN_OR_RETURN(PreparedInput input, executor.Prepare(*stmt, extra));
+  SUDAF_ASSIGN_OR_RETURN(
+      PreparedInput input,
+      executor.Prepare(*stmt, extra, session->exec_options()));
 
   const Table* frame = input.frame.get();
   ColumnResolver resolver =
@@ -231,8 +233,9 @@ Result<std::unique_ptr<Table>> ExecuteWithView(SudafSession* session,
   for (int v : needed_view_states) {
     extra_columns.push_back(StateColumnName(v));
   }
-  SUDAF_ASSIGN_OR_RETURN(PreparedInput input,
-                         executor.Prepare(delta, extra_columns));
+  SUDAF_ASSIGN_OR_RETURN(
+      PreparedInput input,
+      executor.Prepare(delta, extra_columns, session->exec_options()));
 
   // Roll up each needed view state with its own ⊕, then apply r.
   // Rolling up materialized counts means summing them (⊕ of count is +

@@ -6,11 +6,14 @@
 //
 // Tolerance contract: count, min and max are exact in every configuration
 // (the accumulated values are identical, only the visit order changes).
-// Plain-column sums are bitwise equal to the serial order on a single
-// worker. Expressions involving pow may differ from the legacy path by a
-// few ulps (the fused DAG strength-reduces x^k into multiplication chains
-// while the legacy evaluator calls std::pow), so those compare within
-// 1e-12 relative.
+// The fused pass folds rows through a fixed chunk tree whose shape depends
+// only on input size and morsel size — never the worker count — so for a
+// given configuration results are bitwise identical at every thread count,
+// and a single-chunk input (≤ one morsel, like the fixtures here) is
+// bitwise equal to the legacy serial order. Expressions involving pow may
+// differ from the legacy path by a few ulps (the fused DAG
+// strength-reduces x^k into multiplication chains while the legacy
+// evaluator calls std::pow), so those compare within 1e-12 relative.
 
 #include <cmath>
 #include <cstring>
@@ -218,8 +221,8 @@ TEST(FusedStateBatchTest, ParallelMatchesSerialReference) {
 }
 
 // A fixed configuration must produce bitwise-identical results on repeated
-// runs: morsel ranges are assigned statically and worker blocks merge in
-// worker order, so there is no scheduling nondeterminism.
+// runs: workers claim chunks dynamically, but each chunk's morsel range and
+// the chunk-order merge are fixed, so scheduling cannot leak into values.
 TEST(FusedStateBatchTest, ParallelRunsAreBitwiseDeterministic) {
   std::vector<ParsedRequest> reqs = ParseRequests({
       {AggOp::kSum, "x"},

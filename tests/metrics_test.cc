@@ -215,6 +215,9 @@ const char* const kProfileSchemaKeys[] = {
     "\"rewrite_ms\":",
     "\"probe_ms\":",
     "\"input_ms\":",
+    "\"filter_ms\":",
+    "\"gather_ms\":",
+    "\"group_ms\":",
     "\"states_ms\":",
     "\"terminate_ms\":",
     "\"states\":",
@@ -237,7 +240,7 @@ const char* const kProfileSchemaKeys[] = {
     "\"channels\":",
     "\"slots\":",
     "\"shared_slots\":",
-    "\"threads\":",
+    "\"threads_used\":",
     "\"trace\":",
 };
 
@@ -249,10 +252,11 @@ TEST_F(ProfileTest, ProfileJsonMatchesDocumentedSchema) {
   for (const char* key : kProfileSchemaKeys) {
     EXPECT_NE(json.find(key), std::string::npos) << "missing " << key;
   }
-  // The trace section carries the five phase spans and the probe events.
+  // The trace section carries the phase spans (including the pipeline
+  // sub-phases nested under "input") and the probe events.
   for (const char* span :
-       {"\"execute\"", "\"rewrite\"", "\"probe\"", "\"input\"", "\"states\"",
-        "\"terminate\""}) {
+       {"\"execute\"", "\"rewrite\"", "\"probe\"", "\"input\"", "\"filter\"",
+        "\"gather\"", "\"group\"", "\"states\"", "\"terminate\""}) {
     EXPECT_NE(json.find(span), std::string::npos) << "missing span " << span;
   }
   ASSERT_NE(result->trace, nullptr);

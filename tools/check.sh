@@ -20,3 +20,13 @@ cd "$(git -C "$(dirname "$0")" rev-parse --show-toplevel)"
 cmake --preset "$preset"
 cmake --build --preset "$preset" -j "$(nproc)"
 ctest --preset "$preset" -j "$(nproc)"
+
+if [ "$preset" = tsan ]; then
+  # Explicit race gate for the parallel pipeline: re-run the thread-count
+  # determinism suite with many repetitions so dynamic chunk claiming and
+  # the per-worker observability buffers get repeatedly exercised under
+  # ThreadSanitizer (ctest above runs each test once).
+  build_dir="build-tsan"
+  "${build_dir}/tests/sudaf_tests" \
+    --gtest_filter='ParallelPipelineTest.*' --gtest_repeat=3
+fi
