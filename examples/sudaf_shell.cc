@@ -15,6 +15,10 @@
 //   \profile json                print the last query's profile as JSON
 //                                (schema: docs/observability.md)
 //   \metrics                     dump the session metrics registry as JSON
+//   \failpoints [spec|off]       list armed fault-injection sites, or
+//                                atomically re-arm from a spec in the
+//                                SUDAF_FAILPOINTS grammar (docs/service.md);
+//                                "off" disarms everything
 //   \cache                       cache statistics (size, eviction and
 //                                invalidation counters)
 //   \cache save <path>           snapshot the state cache to a checksummed
@@ -168,6 +172,34 @@ int main() {
         }
       } else if (line == "\\metrics") {
         std::printf("%s\n", session.metrics().Snapshot().ToJson().c_str());
+      } else if (line.rfind("\\failpoints", 0) == 0) {
+        std::string spec = line.substr(11);
+        size_t start = spec.find_first_not_of(' ');
+        spec = start == std::string::npos ? "" : spec.substr(start);
+        if (spec.empty()) {
+          std::vector<std::string> sites = FailPoint::ActiveSites();
+          if (sites.empty()) {
+            std::printf("no failpoints armed\n");
+          } else {
+            for (const std::string& site : sites) {
+              std::printf("  %s (%lld hits)\n", site.c_str(),
+                          static_cast<long long>(FailPoint::Hits(site)));
+            }
+          }
+        } else if (spec == "off") {
+          FailPoint::Reset();
+          std::printf("all failpoints disarmed\n");
+        } else {
+          // ReArm replaces the whole configuration atomically — repeated
+          // \failpoints commands never accumulate stale specs.
+          auto rearmed = FailPoint::ReArm(spec.c_str());
+          if (!rearmed.ok()) {
+            std::printf("error: %s\n", rearmed.status().ToString().c_str());
+          } else {
+            std::printf("armed %d site%s\n", *rearmed,
+                        *rearmed == 1 ? "" : "s");
+          }
+        }
       } else if (line.rfind("\\define", 0) == 0) {
         HandleDefine(&session, line);
       } else if (line == "\\tables") {

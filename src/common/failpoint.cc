@@ -128,6 +128,22 @@ Result<int> FailPoint::ActivateFromEnv(const char* spec) {
   return static_cast<int>(parsed.size());
 }
 
+void FailPoint::Reset() { DeactivateAll(); }
+
+Result<int> FailPoint::ReArm(const char* spec) {
+  Reset();
+  return ActivateFromEnv(spec);
+}
+
+std::vector<std::string> FailPoint::ActiveSites() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  std::vector<std::string> out;
+  out.reserve(r.specs.size());
+  for (const auto& kv : r.specs) out.push_back(kv.first);
+  return out;
+}
+
 void FailPoint::Deactivate(const std::string& site) {
   Registry& r = registry();
   std::lock_guard<std::mutex> lock(r.mu);

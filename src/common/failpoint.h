@@ -35,6 +35,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 
@@ -63,6 +64,24 @@ class FailPoint {
   // arms nothing). Returns the number of sites armed, or InvalidArgument
   // on a malformed spec (with no sites armed).
   static Result<int> ActivateFromEnv(const char* spec = nullptr);
+
+  // Disarms every site and clears the hit counters — returns the process to
+  // the "no faults armed" state regardless of what was configured before.
+  // Equivalent to DeactivateAll(); the distinct name marks the start of a
+  // re-arm cycle in chaos harnesses.
+  static void Reset();
+
+  // Atomically replaces the active configuration: Reset() then
+  // ActivateFromEnv(spec). ActivateFromEnv alone only *adds* sites, so a
+  // shell `\failpoints` command or a chaos thread cycling configurations
+  // must go through ReArm to avoid accumulating stale specs. A malformed
+  // spec still arms nothing, but the previous configuration is already
+  // cleared (fail to a quiescent state, never half-armed).
+  static Result<int> ReArm(const char* spec = nullptr);
+
+  // Currently armed site names, sorted (specs that fired their full count
+  // have expired and are not listed).
+  static std::vector<std::string> ActiveSites();
 
   // Times `site` was evaluated since the last DeactivateAll(). Tracked only
   // while at least one site is active (the inactive fast path is lock-free

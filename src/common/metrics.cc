@@ -77,6 +77,19 @@ void Histogram::ObserveN(double v, int64_t n) {
   buckets_[bucket].fetch_add(n, std::memory_order_relaxed);
 }
 
+void Histogram::Merge(const Snapshot& s) {
+  if (s.count <= 0) return;
+  count_.fetch_add(s.count, std::memory_order_relaxed);
+  metrics_internal::AtomicAdd(sum_, s.sum);
+  metrics_internal::AtomicMin(min_, s.min);
+  metrics_internal::AtomicMax(max_, s.max);
+  for (size_t i = 0; i < s.buckets.size() && i < kNumBuckets; ++i) {
+    if (s.buckets[i] != 0) {
+      buckets_[i].fetch_add(s.buckets[i], std::memory_order_relaxed);
+    }
+  }
+}
+
 Histogram::Snapshot Histogram::snapshot() const {
   Snapshot s;
   s.count = count_.load(std::memory_order_relaxed);
@@ -191,6 +204,17 @@ Histogram* MetricsRegistry::histogram(const std::string& name) {
   auto& slot = histograms_[name];
   if (slot == nullptr) slot = std::make_unique<Histogram>();
   return slot.get();
+}
+
+void MetricsRegistry::Merge(const MetricsSnapshot& s) {
+  for (const auto& [name, v] : s.counters) {
+    if (v != 0) counter(name)->Add(v);
+  }
+  for (const auto& [name, v] : s.dcounters) {
+    if (v != 0) dcounter(name)->Add(v);
+  }
+  for (const auto& [name, v] : s.gauges) gauge(name)->Set(v);
+  for (const auto& [name, h] : s.histograms) histogram(name)->Merge(h);
 }
 
 MetricsSnapshot MetricsRegistry::Snapshot() const {

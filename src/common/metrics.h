@@ -120,6 +120,12 @@ class Histogram {
   };
   Snapshot snapshot() const;
 
+  // Folds a snapshot of another histogram into this one: count/sum/buckets
+  // add, min/max widen (a snapshot with count == 0 contributes nothing).
+  // Used by MetricsRegistry::Merge to fold per-query registries into the
+  // session-lifetime registry.
+  void Merge(const Snapshot& s);
+
  private:
   std::atomic<int64_t> count_{0};
   std::atomic<double> sum_{0.0};
@@ -168,6 +174,14 @@ class MetricsRegistry {
   Histogram* histogram(const std::string& name);
 
   MetricsSnapshot Snapshot() const;
+
+  // Accumulates a snapshot into this registry: counters/dcounters add,
+  // histograms fold (Histogram::Merge), gauges take the snapshot's value
+  // (last-writer-wins, matching Gauge::Set semantics). This is how a
+  // per-query registry — execution writes into a registry private to the
+  // query, so concurrent queries never cross-attribute each other's work —
+  // is folded into the session-lifetime registry once the query finishes.
+  void Merge(const MetricsSnapshot& s);
 
  private:
   mutable std::mutex mu_;  // guards the maps only, never the values

@@ -1,5 +1,6 @@
 #include "common/query_guard.h"
 
+#include <limits>
 #include <string>
 
 namespace sudaf {
@@ -10,6 +11,13 @@ void QueryGuard::ArmDeadline(double timeout_ms) {
               std::chrono::duration_cast<std::chrono::steady_clock::duration>(
                   std::chrono::duration<double, std::milli>(
                       timeout_ms > 0 ? timeout_ms : 0));
+}
+
+double QueryGuard::remaining_ms() const {
+  if (!has_deadline_) return std::numeric_limits<double>::infinity();
+  std::chrono::duration<double, std::milli> left =
+      deadline_ - std::chrono::steady_clock::now();
+  return left.count() > 0 ? left.count() : 0.0;
 }
 
 Status QueryGuard::Check() const {

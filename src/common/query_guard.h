@@ -62,6 +62,24 @@ class QueryGuard {
   // Returns kCancelled / kDeadlineExceeded when tripped, OK otherwise.
   Status Check() const;
 
+  // Deadline introspection for schedulers: the admission controller sizes
+  // its queue waits from the guard's remaining budget so a request can time
+  // out *while queued*, before it ever reaches a morsel boundary.
+  // Configuration calls (set_cancel_token / ArmDeadline / set_memory_budget)
+  // must happen-before the guard is shared with other threads; after that
+  // the guard is read-only except for its atomic counters.
+  bool has_deadline() const { return has_deadline_; }
+  std::chrono::steady_clock::time_point deadline() const { return deadline_; }
+  // Milliseconds until the deadline (clamped at 0 once expired), or +inf
+  // when no deadline is armed.
+  double remaining_ms() const;
+
+  // True when the guard can still trip asynchronously (cancel source or
+  // deadline armed) — what queued waits need to poll for.
+  bool can_trip_async() const {
+    return token_ != nullptr || has_deadline_;
+  }
+
   // Admits `bytes` of engine allocation against the budget; returns
   // kResourceExhausted once the cumulative charge exceeds it. The failed
   // charge stays recorded, so later charges keep failing (fail closed).

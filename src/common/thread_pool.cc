@@ -6,6 +6,16 @@
 
 namespace sudaf {
 
+namespace {
+// The pool whose task the current thread is executing, if any. ParallelFor
+// consults it to detect reentrancy: a task that submits nested parallel
+// work to its own pool must run that work inline — taking job_mu_ from
+// inside a task would deadlock against the outer job holding it (and the
+// nested job's tasks could never be claimed anyway, since every worker is
+// already busy executing the outer job).
+thread_local const ThreadPool* tls_running_pool = nullptr;
+}  // namespace
+
 ThreadPool::ThreadPool(int num_workers) {
   EnsureWorkers(num_workers);
 }
@@ -30,6 +40,8 @@ void ThreadPool::EnsureWorkers(int n) {
 void ThreadPool::RunTasks() {
   const std::function<void(int64_t)>& fn = *job_fn_;
   const int64_t num_tasks = num_tasks_;
+  const ThreadPool* prev = tls_running_pool;
+  tls_running_pool = this;
   while (true) {
     int64_t t = next_task_.fetch_add(1, std::memory_order_relaxed);
     if (t >= num_tasks) break;
@@ -37,6 +49,7 @@ void ThreadPool::RunTasks() {
     tasks_total_.fetch_add(1, std::memory_order_relaxed);
     tasks_done_.fetch_add(1, std::memory_order_acq_rel);
   }
+  tls_running_pool = prev;
 }
 
 void ThreadPool::WorkerLoop() {
@@ -67,7 +80,7 @@ void ThreadPool::ParallelFor(int64_t num_tasks,
                              const std::function<void(int64_t)>& fn) {
   if (num_tasks <= 0) return;
   jobs_total_.fetch_add(1, std::memory_order_relaxed);
-  if (num_tasks == 1 || workers_.empty()) {
+  if (num_tasks == 1 || workers_.empty() || tls_running_pool == this) {
     for (int64_t t = 0; t < num_tasks; ++t) {
       fn(t);
       tasks_total_.fetch_add(1, std::memory_order_relaxed);

@@ -49,6 +49,10 @@ class ThreadPool {
   // Runs fn(i) for every i in [0, num_tasks). The calling thread
   // participates, so up to num_workers()+1 tasks execute concurrently.
   // Blocks until all tasks completed.
+  //
+  // Reentrancy-safe: when called from inside a task of this same pool, the
+  // nested job runs entirely inline on the calling thread (still counted in
+  // counters()) instead of deadlocking on the one-job-at-a-time mutex.
   void ParallelFor(int64_t num_tasks, const std::function<void(int64_t)>& fn);
 
   // Fallible variant (separate name: a Status-returning lambda would make

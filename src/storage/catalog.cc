@@ -2,38 +2,68 @@
 
 namespace sudaf {
 
+Catalog::Catalog(Catalog&& other) noexcept {
+  std::lock_guard<std::mutex> lock(other.mu_);
+  tables_ = std::move(other.tables_);
+  external_ = std::move(other.external_);
+  epochs_ = std::move(other.epochs_);
+}
+
+Catalog& Catalog::operator=(Catalog&& other) noexcept {
+  if (this == &other) return *this;
+  std::scoped_lock lock(mu_, other.mu_);
+  tables_ = std::move(other.tables_);
+  external_ = std::move(other.external_);
+  epochs_ = std::move(other.epochs_);
+  return *this;
+}
+
 Status Catalog::AddTable(const std::string& name,
                          std::unique_ptr<Table> table) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (tables_.count(name) > 0) {
     return Status::AlreadyExists("table already exists: " + name);
   }
   tables_.emplace(name, std::move(table));
-  TouchTable(name);
+  ++epochs_[name];
   return Status::OK();
 }
 
 void Catalog::PutTable(const std::string& name, std::unique_ptr<Table> table) {
+  std::lock_guard<std::mutex> lock(mu_);
   tables_[name] = std::move(table);
-  TouchTable(name);
+  ++epochs_[name];
 }
 
 void Catalog::PutExternalTable(const std::string& name, Table* table) {
+  std::lock_guard<std::mutex> lock(mu_);
   external_[name] = table;
-  TouchTable(name);
+  ++epochs_[name];
+}
+
+void Catalog::TouchTable(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++epochs_[name];
 }
 
 uint64_t Catalog::TableEpoch(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = epochs_.find(name);
   return it == epochs_.end() ? 0 : it->second;
 }
 
 uint64_t Catalog::TablesEpoch(const std::vector<std::string>& names) const {
+  std::lock_guard<std::mutex> lock(mu_);
   uint64_t epoch = 0;
-  for (const std::string& name : names) epoch += TableEpoch(name);
+  for (const std::string& name : names) {
+    auto it = epochs_.find(name);
+    if (it != epochs_.end()) epoch += it->second;
+  }
   return epoch;
 }
 
 Result<Table*> Catalog::GetTable(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto ext = external_.find(name);
   if (ext != external_.end()) return ext->second;
   auto it = tables_.find(name);
@@ -42,10 +72,12 @@ Result<Table*> Catalog::GetTable(const std::string& name) const {
 }
 
 bool Catalog::HasTable(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   return external_.count(name) > 0 || tables_.count(name) > 0;
 }
 
 std::vector<std::string> Catalog::TableNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::string> names;
   names.reserve(tables_.size() + external_.size());
   for (const auto& [name, _] : tables_) names.push_back(name);

@@ -8,10 +8,19 @@
 // StateCache) snapshots the epochs of the tables it covers and is
 // invalidated on probe when any of them has advanced — see
 // docs/robustness.md for the contract.
+//
+// Thread safety: all methods lock an internal mutex, so registrations,
+// epoch bumps and lookups are safe against concurrent queries. The Table
+// objects returned by GetTable are NOT protected: replacing or destroying
+// a table while a query that resolved it is still running is undefined —
+// concurrent workloads must only mutate tables via TouchTable (in-place
+// appends by the owner) or add *new* names. docs/service.md spells out
+// this contract.
 
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -22,6 +31,13 @@ namespace sudaf {
 
 class Catalog {
  public:
+  Catalog() = default;
+  // Movable for single-threaded setup code (fixtures building a catalog
+  // and returning it by value). Moving a catalog that other threads are
+  // concurrently using is undefined — move before sharing.
+  Catalog(Catalog&& other) noexcept;
+  Catalog& operator=(Catalog&& other) noexcept;
+
   // Registers `table` under `name`; fails if the name is taken.
   Status AddTable(const std::string& name, std::unique_ptr<Table> table);
 
@@ -41,7 +57,7 @@ class Catalog {
   // Declares that `name` was mutated in place (e.g. rows appended to an
   // external table by its owner), bumping its epoch so cached state over it
   // is invalidated on the next probe.
-  void TouchTable(const std::string& name) { ++epochs_[name]; }
+  void TouchTable(const std::string& name);
 
   // Mutation epoch of `name`; 0 for a never-registered name.
   uint64_t TableEpoch(const std::string& name) const;
@@ -51,6 +67,7 @@ class Catalog {
   uint64_t TablesEpoch(const std::vector<std::string>& names) const;
 
  private:
+  mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Table>> tables_;
   std::map<std::string, Table*> external_;
   std::map<std::string, uint64_t> epochs_;

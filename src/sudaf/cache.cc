@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 
 #include "common/trace.h"
 
@@ -34,17 +35,24 @@ std::unique_ptr<Table> CopyTable(const Table& table) {
 
 }  // namespace
 
-StateCache::StateCache() { BindMetrics(nullptr); }
+StateCache::StateCache() {
+  owned_metrics_ = std::make_unique<MetricsRegistry>();
+  MetricsRegistry* r = owned_metrics_.get();
+  epoch_invalidations_ = r->counter("sudaf.cache.epoch_invalidations");
+  stale_discards_ = r->counter("sudaf.cache.stale_discards");
+  evictions_ = r->counter("sudaf.cache.evictions");
+  bytes_evicted_ = r->counter("sudaf.cache.bytes_evicted");
+  poison_evictions_ = r->counter("sudaf.cache.poison_evictions");
+}
 
-void StateCache::BindMetrics(MetricsRegistry* registry) {
-  if (registry == nullptr) {
-    owned_metrics_ = std::make_unique<MetricsRegistry>();
-    registry = owned_metrics_.get();
-  }
-  epoch_invalidations_ = registry->counter("sudaf.cache.epoch_invalidations");
-  stale_discards_ = registry->counter("sudaf.cache.stale_discards");
-  evictions_ = registry->counter("sudaf.cache.evictions");
-  bytes_evicted_ = registry->counter("sudaf.cache.bytes_evicted");
+std::mutex& StateCache::StripeFor(const std::string& data_sig) const {
+  size_t h = std::hash<std::string>{}(data_sig);
+  return stripes_[h % kNumStripes];
+}
+
+void StateCache::MirrorCount(const CacheOps& ops, const char* name,
+                             int64_t delta) {
+  if (ops.metrics != nullptr) ops.metrics->counter(name)->Add(delta);
 }
 
 StateCache::Counters StateCache::counters() const {
@@ -53,6 +61,7 @@ StateCache::Counters StateCache::counters() const {
   c.stale_discards = stale_discards_->value();
   c.evictions = evictions_->value();
   c.bytes_evicted = bytes_evicted_->value();
+  c.poison_evictions = poison_evictions_->value();
   return c;
 }
 
@@ -71,16 +80,26 @@ int64_t StateCache::SetBytes(const GroupSet& set) {
   return bytes;
 }
 
-void StateCache::EraseSet(std::map<std::string, GroupSet>::iterator it,
-                          Counter* counter) {
-  if (journal_ != nullptr) journal_->OnEraseSet(it->first);
-  sets_.erase(it);
-  counter->Add();
+int64_t StateCache::SetBytesStriped(const std::string& sig,
+                                    const GroupSet& set) const {
+  std::lock_guard<std::mutex> stripe(StripeFor(sig));
+  return SetBytes(set);
 }
 
-bool StateCache::EnsureRoom(int64_t incoming_bytes, const GroupSet* pinned) {
+void StateCache::EraseSetLocked(
+    std::map<std::string, GroupSetPtr>::iterator it, Counter* counter,
+    const char* mirror_name, const CacheOps& ops) {
+  if (journal_ != nullptr) journal_->OnEraseSet(it->first);
+  sets_.erase(it);  // the set itself lives on while any query holds a ref
+  counter->Add();
+  MirrorCount(ops, mirror_name);
+}
+
+bool StateCache::EnsureRoomLocked(int64_t incoming_bytes,
+                                  const GroupSet* pinned,
+                                  const CacheOps& ops) {
   if (policy_.max_bytes <= 0) return true;
-  int64_t total = ApproxBytes();
+  int64_t total = ApproxBytesLocked();
   while (total + incoming_bytes > policy_.max_bytes) {
     // Cost-aware victim selection: evict the set with the least expected
     // value per byte, score = hits / (age × bytes) — cold, rarely-hit,
@@ -89,11 +108,11 @@ bool StateCache::EnsureRoom(int64_t incoming_bytes, const GroupSet* pinned) {
     double victim_score = 0.0;
     int64_t victim_bytes = 0;
     for (auto it = sets_.begin(); it != sets_.end(); ++it) {
-      if (&it->second == pinned) continue;
-      int64_t bytes = SetBytes(it->second);
+      if (it->second.get() == pinned) continue;
+      int64_t bytes = SetBytesStriped(it->first, *it->second);
       double age =
-          static_cast<double>(tick_ - it->second.last_used_tick) + 1.0;
-      double score = (static_cast<double>(it->second.hits) + 1.0) /
+          static_cast<double>(tick_ - it->second->last_used_tick) + 1.0;
+      double score = (static_cast<double>(it->second->hits) + 1.0) /
                      (age * static_cast<double>(std::max<int64_t>(bytes, 1)));
       if (victim == sets_.end() || score < victim_score) {
         victim = it;
@@ -104,107 +123,181 @@ bool StateCache::EnsureRoom(int64_t incoming_bytes, const GroupSet* pinned) {
     if (victim == sets_.end()) return false;
     total -= victim_bytes;
     bytes_evicted_->Add(victim_bytes);
-    if (trace_ != nullptr) trace_->AddEvent("cache.evict", -1, victim_bytes);
-    EraseSet(victim, evictions_);
+    MirrorCount(ops, "sudaf.cache.bytes_evicted", victim_bytes);
+    if (ops.trace != nullptr) {
+      ops.trace->AddEvent("cache.evict", -1, victim_bytes);
+    }
+    EraseSetLocked(victim, evictions_, "sudaf.cache.evictions", ops);
   }
   return true;
 }
 
-StateCache::GroupSet* StateCache::Find(const std::string& data_sig,
-                                       uint64_t epoch) {
+StateCache::GroupSetPtr StateCache::Find(const std::string& data_sig,
+                                         uint64_t epoch, const CacheOps& ops) {
+  std::lock_guard<std::mutex> lock(mu_);
   ++tick_;
   auto it = sets_.find(data_sig);
   if (it == sets_.end()) return nullptr;
-  if (it->second.epoch != epoch) {
+  if (it->second->epoch != epoch) {
     // A covered table mutated since this set was built: every entry in it
     // describes data that no longer exists. Invalidate-on-probe.
-    if (trace_ != nullptr) trace_->AddEvent("cache.epoch_invalidate", -1);
-    EraseSet(it, epoch_invalidations_);
+    if (ops.trace != nullptr) {
+      ops.trace->AddEvent("cache.epoch_invalidate", -1);
+    }
+    EraseSetLocked(it, epoch_invalidations_,
+                   "sudaf.cache.epoch_invalidations", ops);
     return nullptr;
   }
-  ++it->second.hits;
-  it->second.last_used_tick = tick_;
-  return &it->second;
+  ++it->second->hits;
+  it->second->last_used_tick = tick_;
+  return it->second;
 }
 
-StateCache::GroupSet* StateCache::GetOrCreate(const std::string& data_sig,
-                                              const Table& group_keys,
-                                              int32_t num_groups,
-                                              uint64_t epoch) {
+StateCache::GroupSetPtr StateCache::GetOrCreate(const std::string& data_sig,
+                                                const Table& group_keys,
+                                                int32_t num_groups,
+                                                uint64_t epoch,
+                                                const CacheOps& ops) {
+  std::lock_guard<std::mutex> lock(mu_);
   ++tick_;
   auto it = sets_.find(data_sig);
   if (it != sets_.end()) {
-    if (it->second.epoch != epoch) {
-      if (trace_ != nullptr) trace_->AddEvent("cache.epoch_invalidate", -1);
-      EraseSet(it, epoch_invalidations_);
-    } else if (it->second.num_groups != num_groups) {
+    if (it->second->epoch != epoch) {
+      if (ops.trace != nullptr) {
+        ops.trace->AddEvent("cache.epoch_invalidate", -1);
+      }
+      EraseSetLocked(it, epoch_invalidations_,
+                     "sudaf.cache.epoch_invalidations", ops);
+    } else if (it->second->num_groups != num_groups) {
       // Group-count heuristic: kept as a backstop behind epoch
       // invalidation; a discard here means data changed without an epoch
       // bump (an in-place mutation missing TouchTable).
-      if (trace_ != nullptr) trace_->AddEvent("cache.stale_discard", -1);
-      EraseSet(it, stale_discards_);
+      if (ops.trace != nullptr) {
+        ops.trace->AddEvent("cache.stale_discard", -1);
+      }
+      EraseSetLocked(it, stale_discards_, "sudaf.cache.stale_discards", ops);
     } else {
-      it->second.last_used_tick = tick_;
-      return &it->second;
+      it->second->last_used_tick = tick_;
+      return it->second;
     }
   }
-  GroupSet set;
-  set.data_sig = data_sig;
-  set.group_keys = CopyTable(group_keys);
-  set.num_groups = num_groups;
-  set.epoch = epoch;
-  set.last_used_tick = tick_;
-  if (policy_.max_bytes > 0 && !EnsureRoom(SetBytes(set), nullptr)) {
+  auto set = std::make_shared<GroupSet>();
+  set->data_sig = data_sig;
+  set->group_keys = CopyTable(group_keys);
+  set->num_groups = num_groups;
+  set->epoch = epoch;
+  set->last_used_tick = tick_;
+  if (policy_.max_bytes > 0 && !EnsureRoomLocked(SetBytes(*set), nullptr, ops)) {
     // The bare set (its group-keys table) is bigger than the whole budget:
-    // park it uncached so the current query can still run to completion.
-    overflow_ = std::make_unique<GroupSet>(std::move(set));
-    return overflow_.get();
+    // hand it out uncached so the current query can still run to
+    // completion; it dies when the query drops it.
+    set->uncached = true;
+    return set;
   }
   auto [inserted, _] = sets_.emplace(data_sig, std::move(set));
-  if (journal_ != nullptr) journal_->OnCreateSet(inserted->second);
-  return &inserted->second;
+  if (journal_ != nullptr) journal_->OnCreateSet(*inserted->second);
+  return inserted->second;
 }
 
-const StateCache::Entry* StateCache::InsertEntry(GroupSet* set,
-                                                 const std::string& key,
-                                                 Entry* entry) {
-  if (overflow_ != nullptr && set == overflow_.get()) {
-    // Overflow sets are query-local: no budget, no journal.
-    auto [it, _] = set->entries.insert_or_assign(key, std::move(*entry));
-    return &it->second;
+StateCache::Probe StateCache::ProbeEntry(GroupSet* set, const std::string& key,
+                                         Entry* out, const CacheOps& ops) {
+  std::lock_guard<std::mutex> stripe(StripeFor(set->data_sig));
+  auto it = set->entries.find(key);
+  if (it == set->entries.end()) return Probe::kMiss;
+  if (EntryIsPoisoned(it->second)) {
+    // A poisoned entry reaching the map means it was planted from outside
+    // the session's insert guards (tests, adversarial recovery input) —
+    // quarantine it here so it is never served.
+    set->entries.erase(it);
+    poison_evictions_->Add();
+    MirrorCount(ops, "sudaf.cache.poison_evictions");
+    if (ops.trace != nullptr) ops.trace->AddEvent("cache.poison_evict", -1);
+    return Probe::kPoisoned;
   }
-  int64_t add = EntryBytes(key, *entry);
-  auto existing = set->entries.find(key);
-  if (existing != set->entries.end()) {
-    add -= EntryBytes(key, existing->second);
+  if (out != nullptr) *out = it->second;
+  return Probe::kHit;
+}
+
+bool StateCache::InsertEntry(GroupSet* set, const std::string& key,
+                             const Entry& entry, const CacheOps& ops) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto mapped = sets_.find(set->data_sig);
+  if (set->uncached || mapped == sets_.end() || mapped->second.get() != set) {
+    // Uncached overflow set, or a set evicted/invalidated while the query
+    // held it: the insert stays query-local — no budget, no journal.
+    std::lock_guard<std::mutex> stripe(StripeFor(set->data_sig));
+    set->entries.insert_or_assign(key, entry);
+    return true;
   }
-  if (add > 0 && !EnsureRoom(add, set)) return nullptr;
-  auto [it, _] = set->entries.insert_or_assign(key, std::move(*entry));
+  int64_t add = EntryBytes(key, entry);
+  {
+    std::lock_guard<std::mutex> stripe(StripeFor(set->data_sig));
+    auto existing = set->entries.find(key);
+    if (existing != set->entries.end()) {
+      // Replacing re-charges the delta; concurrent writers of the same key
+      // computed bit-identical channels, so the value is unchanged.
+      add -= EntryBytes(key, existing->second);
+    }
+  }
+  if (add > 0 && !EnsureRoomLocked(add, set, ops)) return false;
+  std::lock_guard<std::mutex> stripe(StripeFor(set->data_sig));
+  auto [it, _] = set->entries.insert_or_assign(key, entry);
   if (journal_ != nullptr) {
     journal_->OnInsertEntry(set->data_sig, key, it->second);
   }
-  return &it->second;
+  return true;
 }
 
-StateCache::GroupSet* StateCache::AdoptSet(GroupSet set) {
+StateCache::GroupSetPtr StateCache::AdoptSet(GroupSet set) {
+  std::lock_guard<std::mutex> lock(mu_);
   ++tick_;
   set.last_used_tick = tick_;
   std::string sig = set.data_sig;
-  auto [it, _] = sets_.insert_or_assign(sig, std::move(set));
-  return &it->second;
+  auto ptr = std::make_shared<GroupSet>(std::move(set));
+  auto [it, _] = sets_.insert_or_assign(std::move(sig), std::move(ptr));
+  return it->second;
 }
 
-void StateCache::EnforceBudget() {
+void StateCache::EnforceBudget(const CacheOps& ops) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (policy_.max_bytes <= 0) return;
-  EnsureRoom(0, nullptr);
+  EnsureRoomLocked(0, nullptr, ops);
 }
 
 void StateCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
   if (journal_ != nullptr) {
     for (const auto& [sig, _] : sets_) journal_->OnEraseSet(sig);
   }
   sets_.clear();
-  overflow_.reset();
+}
+
+void StateCache::set_policy(const CachePolicy& policy) {
+  std::lock_guard<std::mutex> lock(mu_);
+  policy_ = policy;
+}
+
+CachePolicy StateCache::policy() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return policy_;
+}
+
+void StateCache::set_journal(CacheJournal* journal) {
+  std::lock_guard<std::mutex> lock(mu_);
+  journal_ = journal;
+}
+
+StateCache::Freeze::Freeze(const StateCache& cache) : cache_(cache) {
+  cache_.mu_.lock();
+  for (auto& stripe : cache_.stripes_) stripe.lock();
+}
+
+StateCache::Freeze::~Freeze() {
+  for (auto it = cache_.stripes_.rbegin(); it != cache_.stripes_.rend();
+       ++it) {
+    it->unlock();
+  }
+  cache_.mu_.unlock();
 }
 
 bool EntryIsPoisoned(const StateCache::Entry& entry) {
@@ -217,20 +310,32 @@ bool EntryIsPoisoned(const StateCache::Entry& entry) {
   return false;
 }
 
+int64_t StateCache::num_group_sets() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(sets_.size());
+}
+
 int64_t StateCache::num_entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
   int64_t n = 0;
-  for (const auto& [_, set] : sets_) {
-    n += static_cast<int64_t>(set.entries.size());
+  for (const auto& [sig, set] : sets_) {
+    std::lock_guard<std::mutex> stripe(StripeFor(sig));
+    n += static_cast<int64_t>(set->entries.size());
   }
   return n;
 }
 
-int64_t StateCache::ApproxBytes() const {
+int64_t StateCache::ApproxBytesLocked() const {
   int64_t bytes = 0;
-  for (const auto& [_, set] : sets_) {
-    bytes += SetBytes(set);
+  for (const auto& [sig, set] : sets_) {
+    bytes += SetBytesStriped(sig, *set);
   }
   return bytes;
+}
+
+int64_t StateCache::ApproxBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ApproxBytesLocked();
 }
 
 std::string DataSignature(const SelectStatement& stmt) {

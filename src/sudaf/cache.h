@@ -24,24 +24,47 @@
 // Poison safety: entries whose channels contain NaN/±Inf must never be
 // shared across queries. Use EntryIsPoisoned() before inserting; the
 // SUDAF session both refuses to insert poisoned entries and evicts any it
-// finds at probe time.
+// finds at probe time (ProbeEntry does the eviction internally).
 //
 // Memory budget (docs/robustness.md, "Durability & memory budget"): under
 // a CachePolicy with max_bytes > 0, InsertEntry() evicts whole group sets
 // in cost order — score = hits / (age × bytes), lowest first — *before*
 // the insert, so `ApproxBytes() <= max_bytes` holds after every insert. A
-// group set that cannot fit on its own is parked in an uncached overflow
-// slot: the current query still uses it, but it is never counted, never
-// journaled, and dies on the next overflow.
+// group set that cannot fit on its own is returned *uncached*: the current
+// query still uses it, but it is never counted, never journaled, and is
+// not reachable through Find — it dies when the query drops its reference.
+//
+// Concurrency (docs/service.md): the cache is safe for concurrent callers.
+//   - Structural state (the signature → set map, eviction scoring, the
+//     logical tick, policy, journal) is guarded by one cache-wide mutex.
+//   - Each set's entries map is guarded by one of kNumStripes striped
+//     mutexes selected by signature hash, so probes of different sets
+//     proceed in parallel and never take the cache-wide lock.
+//   - Lock order is always cache mutex → stripe; entry reads copy out
+//     under the stripe so callers never hold pointers into the map.
+//   - Find/GetOrCreate hand out shared_ptr<GroupSet>: a set evicted or
+//     invalidated while a query is using it simply detaches — the query
+//     keeps it alive and finishes on its own consistent snapshot, later
+//     inserts into it become query-local (uncached), and memory is
+//     reclaimed when the last reference drops. Eviction scoring itself
+//     stays deterministic per operation (everything under the cache
+//     mutex, logical tick ordering).
+//   - Freeze locks everything, giving persistence a consistent view that
+//     spans snapshot encode + WAL reset.
+// Journal callbacks are invoked with the cache mutex held, so WAL record
+// order equals mutation order; callbacks must not call back into the
+// cache (the persistence layer defers WAL compaction for this reason).
 //
 // Durability: a CacheJournal attached via set_journal() observes every
 // structural mutation (set creation, entry insert, set erasure) so the
 // persistence layer (sudaf/cache_persist.h) can mirror the cache into an
 // append-only WAL.
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -55,6 +78,16 @@ namespace sudaf {
 class CacheJournal;
 class QueryTrace;
 
+// Per-call observer handles: the query's own metrics registry and trace.
+// Cache events (evictions, invalidations, poison evictions) are always
+// counted in the cache's internal registry — counters() stays cumulative —
+// and additionally mirrored into `metrics`/`trace` when set, so concurrent
+// queries each see only the cache work their own call caused.
+struct CacheOps {
+  MetricsRegistry* metrics = nullptr;
+  QueryTrace* trace = nullptr;
+};
+
 class StateCache {
  public:
   struct Entry {
@@ -64,6 +97,13 @@ class StateCache {
 
   // All cached state instances for one data signature. Entries are aligned
   // with `group_keys` (same group order, the pipeline is deterministic).
+  //
+  // Lock discipline: `entries` is written only under the set's stripe
+  // mutex (via InsertEntry/ProbeEntry); everything else is written only
+  // under the cache mutex. `group_keys`, `num_groups`, `epoch` and
+  // `data_sig` are immutable after creation and safe to read lock-free.
+  // Direct access to `entries` is for single-threaded callers only
+  // (tests, recovery).
   struct GroupSet {
     std::string data_sig;  // owning key, duplicated for journal/eviction
     std::unique_ptr<Table> group_keys;
@@ -75,18 +115,24 @@ class StateCache {
     // Eviction-cost inputs (maintained by Find/GetOrCreate).
     int64_t hits = 0;             // probes that found this set valid
     uint64_t last_used_tick = 0;  // logical clock of the last probe/create
+
+    // True for sets handed out without being mapped (budget overflow):
+    // query-local, never journaled, never budget-charged.
+    bool uncached = false;
   };
+  using GroupSetPtr = std::shared_ptr<GroupSet>;
 
   // Snapshot of the cache's cumulative invalidation metrics (see
   // counters()). The live values are registry-backed Counters — metric
   // names sudaf.cache.{epoch_invalidations, stale_discards, evictions,
-  // bytes_evicted} — so ExecStats derives per-query deltas straight from
-  // registry snapshots.
+  // bytes_evicted, poison_evictions} — mirrored per call into
+  // CacheOps::metrics so ExecStats stays a pure registry derivation.
   struct Counters {
     int64_t epoch_invalidations = 0;  // sets dropped: table epoch advanced
     int64_t stale_discards = 0;       // sets dropped: group-count mismatch
     int64_t evictions = 0;            // sets dropped: byte-budget pressure
     int64_t bytes_evicted = 0;        // ApproxBytes of budget-evicted sets
+    int64_t poison_evictions = 0;     // entries dropped at probe: non-finite
   };
 
   // Byte-accounting constants (docs/robustness.md): fixed per-node
@@ -98,76 +144,106 @@ class StateCache {
   static constexpr int64_t kPerSetOverhead = 192;
   static constexpr int64_t kPerEntryOverhead = 112;
 
-  // Starts with an internally-owned MetricsRegistry; sessions rebind to
-  // their own registry via BindMetrics.
+  // Striping width for the per-set entry mutexes.
+  static constexpr int kNumStripes = 16;
+
   StateCache();
 
   // Footprint of one entry as charged against the budget.
   static int64_t EntryBytes(const std::string& key, const Entry& entry);
   // Footprint of one group set (signature, group-keys table, overheads,
-  // and all entries).
+  // and all entries). Caller must hold the set's stripe (or be the only
+  // thread touching the set).
   static int64_t SetBytes(const GroupSet& set);
 
-  // Returns the group set for `data_sig`, or nullptr when nothing (valid)
+  // Returns the group set for `data_sig`, or null when nothing (valid)
   // is cached. A set created under an older `epoch` is discarded on probe
-  // and counted in counters().epoch_invalidations.
-  GroupSet* Find(const std::string& data_sig, uint64_t epoch = 0);
+  // and counted in counters().epoch_invalidations. The returned reference
+  // keeps the set alive even if it is evicted or invalidated while the
+  // caller is still using it.
+  GroupSetPtr Find(const std::string& data_sig, uint64_t epoch = 0,
+                   const CacheOps& ops = {});
 
   // Returns the group set for `data_sig`, creating it (with a copy of
   // `group_keys`) on first use. An existing set is discarded and recreated
   // when its epoch is older (epoch invalidation) or its group count
   // mismatches (stale-set heuristic); both paths are counted. Under a byte
   // budget, other sets are evicted to make room; a set that cannot fit at
-  // all is returned from the uncached overflow slot (valid until the next
-  // GetOrCreate overflow, never served by Find).
-  GroupSet* GetOrCreate(const std::string& data_sig, const Table& group_keys,
-                        int32_t num_groups, uint64_t epoch = 0);
+  // all is returned uncached (see GroupSet::uncached) so the current query
+  // still runs to completion.
+  GroupSetPtr GetOrCreate(const std::string& data_sig, const Table& group_keys,
+                          int32_t num_groups, uint64_t epoch = 0,
+                          const CacheOps& ops = {});
 
-  // Inserts `*entry` (moved from on success) under `key` into `set`, which
-  // must be a pointer previously returned by GetOrCreate. Evicts other
-  // group sets as needed so ApproxBytes() stays within policy().max_bytes;
-  // returns the stored entry, or nullptr — with `*entry` left untouched —
-  // when the entry cannot fit even after evicting everything else (the
-  // caller keeps it query-local). Notifies the journal on success.
-  const Entry* InsertEntry(GroupSet* set, const std::string& key,
-                           Entry* entry);
+  // Outcome of an entry probe.
+  enum class Probe {
+    kMiss,      // no entry under that key
+    kHit,       // entry found (copied into *out when out != null)
+    kPoisoned,  // entry found non-finite: evicted, counted, reported miss
+  };
+
+  // Looks up `key` in `set` under the stripe lock. On a hit the channels
+  // are copied into `*out` (when non-null), so the caller never holds a
+  // pointer into the concurrently-mutated map. A poisoned entry is evicted
+  // on the spot (counters().poison_evictions, "cache.poison_evict" trace
+  // event) and reported as kPoisoned — callers treat it as a miss.
+  Probe ProbeEntry(GroupSet* set, const std::string& key, Entry* out,
+                   const CacheOps& ops = {});
+
+  // Inserts a copy of `entry` under `key` into `set` (replacing any
+  // existing entry — concurrent writers compute bit-identical channels, so
+  // replacement is value-neutral). Evicts other group sets as needed so
+  // ApproxBytes() stays within policy().max_bytes; returns false — with
+  // the set untouched — when the entry cannot fit even after evicting
+  // everything else (the caller keeps it query-local). Inserts into
+  // uncached or detached (evicted-while-held) sets succeed query-locally:
+  // no budget charge, no journal. Notifies the journal on mapped inserts.
+  bool InsertEntry(GroupSet* set, const std::string& key, const Entry& entry,
+                   const CacheOps& ops = {});
 
   // Installs a recovered set (persistence layer only): no journal
   // notification, no budget enforcement — callers run EnforceBudget()
   // after recovery completes. Replaces any existing set for the signature.
-  GroupSet* AdoptSet(GroupSet set);
+  GroupSetPtr AdoptSet(GroupSet set);
 
   // Evicts lowest-score sets until ApproxBytes() <= policy().max_bytes
   // (no-op when unbounded). Used after recovery and policy changes.
-  void EnforceBudget();
+  void EnforceBudget(const CacheOps& ops = {});
 
   void Clear();
 
-  void set_policy(const CachePolicy& policy) { policy_ = policy; }
-  const CachePolicy& policy() const { return policy_; }
+  void set_policy(const CachePolicy& policy);
+  CachePolicy policy() const;
 
   // Attaches `journal` (borrowed, may be null to detach); it must outlive
-  // every subsequent mutation of this cache.
-  void set_journal(CacheJournal* journal) { journal_ = journal; }
+  // every subsequent mutation of this cache. Takes the cache mutex, so a
+  // detach blocks until in-flight mutations have finished notifying the
+  // previous journal — after set_journal(nullptr) returns, the old
+  // journal receives no further callbacks.
+  void set_journal(CacheJournal* journal);
 
-  // Points the cache's counters at `registry` (borrowed, must outlive the
-  // cache; null rebinds to an internally-owned registry). Counts accrued
-  // under the previous binding stay with the old registry — bind before
-  // first use. The session binds its registry at construction, which is
-  // what makes every ExecStats cache field a registry-derived delta.
-  void BindMetrics(MetricsRegistry* registry);
-
-  // Borrowed per-query trace sink (null detaches): evictions and
-  // invalidations emit root-level events ("cache.evict" with evicted
-  // bytes, "cache.epoch_invalidate", "cache.stale_discard") while bound.
-  void BindTrace(QueryTrace* trace) { trace_ = trace; }
-
-  // Point-in-time copy of the registry-backed counters.
+  // Point-in-time copy of the internal cumulative counters.
   Counters counters() const;
 
-  const std::map<std::string, GroupSet>& sets() const { return sets_; }
+  // RAII total lock: blocks every probe and mutation while alive, giving
+  // the persistence layer a consistent view spanning snapshot encode
+  // through WAL reset. Do not call any cache method while holding one.
+  class Freeze {
+   public:
+    explicit Freeze(const StateCache& cache);
+    ~Freeze();
+    Freeze(const Freeze&) = delete;
+    Freeze& operator=(const Freeze&) = delete;
 
-  int64_t num_group_sets() const { return static_cast<int64_t>(sets_.size()); }
+   private:
+    const StateCache& cache_;
+  };
+
+  // The live signature → set map. Callers must hold a Freeze (or be the
+  // only thread touching the cache, e.g. unit tests and recovery).
+  const std::map<std::string, GroupSetPtr>& sets() const { return sets_; }
+
+  int64_t num_group_sets() const;
   // Total number of cached state instances across all group sets.
   int64_t num_entries() const;
   // Approximate footprint of all cached group sets: channel vectors,
@@ -176,33 +252,47 @@ class StateCache {
   int64_t ApproxBytes() const;
 
  private:
-  // Erases `it`, notifying the journal. `counter` is bumped by 1.
-  void EraseSet(std::map<std::string, GroupSet>::iterator it,
-                Counter* counter);
-  // Evicts unpinned sets (lowest score first) until the cached total plus
-  // `incoming_bytes` fits the budget. Returns false when impossible.
-  bool EnsureRoom(int64_t incoming_bytes, const GroupSet* pinned);
+  std::mutex& StripeFor(const std::string& data_sig) const;
+  // Mirrors an internal counter bump into the caller's registry.
+  static void MirrorCount(const CacheOps& ops, const char* name,
+                          int64_t delta = 1);
 
-  std::map<std::string, GroupSet> sets_;
-  // Budget-overflow slot: a set too large to cache at all, kept alive for
-  // the query that is using it (see GetOrCreate).
-  std::unique_ptr<GroupSet> overflow_;
+  // The following require mu_ to be held.
+  void EraseSetLocked(std::map<std::string, GroupSetPtr>::iterator it,
+                      Counter* counter, const char* mirror_name,
+                      const CacheOps& ops);
+  // Evicts sets (lowest score first) until the cached total plus
+  // `incoming_bytes` fits the budget. `pinned` (the insertion target) is
+  // never chosen as a victim. Returns false when impossible.
+  bool EnsureRoomLocked(int64_t incoming_bytes, const GroupSet* pinned,
+                        const CacheOps& ops);
+  int64_t SetBytesStriped(const std::string& sig, const GroupSet& set) const;
+  int64_t ApproxBytesLocked() const;
+
+  // Guards sets_, tick_, policy_, journal_, and every GroupSet field
+  // except `entries` (see GroupSet). Mutable so const accessors lock.
+  mutable std::mutex mu_;
+  // Guard each set's `entries` map, selected by signature hash.
+  mutable std::array<std::mutex, kNumStripes> stripes_;
+
+  std::map<std::string, GroupSetPtr> sets_;
   CachePolicy policy_;
   CacheJournal* journal_ = nullptr;
-  QueryTrace* trace_ = nullptr;
-  // Fallback registry for caches used standalone (unit tests, benches);
-  // unused once BindMetrics rebinds to a session registry.
+  // Internal cumulative registry backing counters(); per-query attribution
+  // happens through CacheOps mirroring instead of rebinding.
   std::unique_ptr<MetricsRegistry> owned_metrics_;
   Counter* epoch_invalidations_ = nullptr;
   Counter* stale_discards_ = nullptr;
   Counter* evictions_ = nullptr;
   Counter* bytes_evicted_ = nullptr;
+  Counter* poison_evictions_ = nullptr;
   uint64_t tick_ = 0;
 };
 
 // Observer of StateCache structural mutations; implemented by the
-// persistence layer to mirror the cache into a WAL. Callbacks must not
-// mutate the cache.
+// persistence layer to mirror the cache into a WAL. Callbacks run with the
+// cache mutex held (WAL order == mutation order) and must not call back
+// into the cache.
 class CacheJournal {
  public:
   virtual ~CacheJournal() = default;

@@ -445,14 +445,16 @@ bool ApplyWalRecord(std::string_view payload, const Catalog& catalog,
 }
 
 // Snapshot writer shared by SaveCacheSnapshot and CachePersistence::Save.
-// The two failpoints model the two crash windows of atomic publish: during
-// the tmp-file write (half the bytes land) and between write and rename
+// The caller must hold a StateCache::Freeze (or be the cache's only
+// thread) so the iterated sets cannot mutate mid-encode. The two
+// failpoints model the two crash windows of atomic publish: during the
+// tmp-file write (half the bytes land) and between write and rename
 // (complete tmp, stale published file).
 Status WriteSnapshotFile(const StateCache& cache, const std::string& path) {
   std::string buf = FileHeader(kSnapshotMagic);
   for (const auto& [sig, set] : cache.sets()) {
     (void)sig;
-    buf += FrameRecord(EncodeSnapshotSet(set));
+    buf += FrameRecord(EncodeSnapshotSet(*set));
   }
   Status fault = FailPoint::Check("cache:snapshot_write");
   if (!fault.ok()) {
@@ -473,6 +475,7 @@ Status WriteSnapshotFile(const StateCache& cache, const std::string& path) {
 }  // namespace
 
 Status SaveCacheSnapshot(const StateCache& cache, const std::string& path) {
+  StateCache::Freeze freeze(cache);
   return WriteSnapshotFile(cache, path);
 }
 
@@ -519,8 +522,22 @@ Result<std::unique_ptr<CachePersistence>> CachePersistence::Open(
   SUDAF_RETURN_IF_ERROR(EnsureDirectory(dir));
   std::unique_ptr<CachePersistence> p(
       new CachePersistence(dir, catalog, cache));
+  p->set_wal_limit(cache->policy().wal_max_bytes);
   p->Recover();
   cache->EnforceBudget();
+  cache->set_journal(p.get());
+  return p;
+}
+
+Result<std::unique_ptr<CachePersistence>> CachePersistence::Attach(
+    const std::string& dir, const Catalog* catalog, StateCache* cache) {
+  SUDAF_RETURN_IF_ERROR(EnsureDirectory(dir));
+  std::unique_ptr<CachePersistence> p(
+      new CachePersistence(dir, catalog, cache));
+  p->set_wal_limit(cache->policy().wal_max_bytes);
+  // Memory is the truth: publish it over whatever the store holds before
+  // accepting journal traffic, so disk and memory agree from append one.
+  SUDAF_RETURN_IF_ERROR(p->Save());
   cache->set_journal(p.get());
   return p;
 }
@@ -563,32 +580,50 @@ void CachePersistence::Recover() {
   // immediately so new WAL appends extend a clean, fully-valid prefix.
   if (recovery_.total_dropped() > 0 || !FileExists(snapshot_path()) ||
       !FileExists(wal_path())) {
-    if (!Save().ok()) ++wal_errors_;
+    if (!Save().ok()) wal_errors_.fetch_add(1, std::memory_order_relaxed);
   } else {
-    wal_bytes_ = FileSizeOf(wal_path());
+    wal_bytes_.store(FileSizeOf(wal_path()), std::memory_order_relaxed);
   }
 }
 
 Status CachePersistence::Save() {
+  // Freeze spans snapshot encode through WAL reset: no mutation can slip
+  // between the two, so the snapshot + empty WAL are one consistent cut.
+  // Lock order (cache locks, then io_mu_) matches AppendRecord, which runs
+  // under the cache mutex via the journal callbacks.
+  StateCache::Freeze freeze(*cache_);
+  std::lock_guard<std::mutex> io(io_mu_);
+  return SaveLocked();
+}
+
+Status CachePersistence::SaveLocked() {
   SUDAF_RETURN_IF_ERROR(WriteSnapshotFile(*cache_, snapshot_path()));
-  ++snapshots_written_;
+  snapshots_written_.fetch_add(1, std::memory_order_relaxed);
   // Reset the WAL only after the snapshot is durably published; a crash
   // in between leaves an overlap the replay handles idempotently.
   std::string header = FileHeader(kWalMagic);
   SUDAF_RETURN_IF_ERROR(WriteFileAtomic(wal_path(), header));
-  wal_bytes_ = static_cast<int64_t>(header.size());
+  wal_bytes_.store(static_cast<int64_t>(header.size()),
+                   std::memory_order_relaxed);
   return Status::OK();
 }
 
+void CachePersistence::MaybeCompact() {
+  if (!compaction_needed_.exchange(false, std::memory_order_relaxed)) return;
+  if (!Save().ok()) wal_errors_.fetch_add(1, std::memory_order_relaxed);
+}
+
 void CachePersistence::AppendRecord(const std::string& payload) {
+  std::lock_guard<std::mutex> io(io_mu_);
   if (FileSizeOf(wal_path()) < static_cast<int64_t>(kHeaderLen)) {
     // Missing or stub WAL (e.g. Save() failed under an injected fault):
     // re-seed the header so the stream stays parseable.
     if (!WriteFileAtomic(wal_path(), FileHeader(kWalMagic)).ok()) {
-      ++wal_errors_;
+      wal_errors_.fetch_add(1, std::memory_order_relaxed);
       return;
     }
-    wal_bytes_ = static_cast<int64_t>(kHeaderLen);
+    wal_bytes_.store(static_cast<int64_t>(kHeaderLen),
+                     std::memory_order_relaxed);
   }
   std::string rec = FrameRecord(payload);
   Status fault = FailPoint::Check("cache:wal_append");
@@ -598,18 +633,22 @@ void CachePersistence::AppendRecord(const std::string& payload) {
     (void)AppendToFile(
         wal_path(), std::string_view(rec).substr(
                         0, kRecordHeaderLen + payload.size() / 2));
-    ++wal_errors_;
+    wal_errors_.fetch_add(1, std::memory_order_relaxed);
     return;
   }
   if (!AppendToFile(wal_path(), rec).ok()) {
-    ++wal_errors_;
+    wal_errors_.fetch_add(1, std::memory_order_relaxed);
     return;
   }
-  ++wal_appends_;
-  wal_bytes_ += static_cast<int64_t>(rec.size());
-  int64_t limit = cache_->policy().wal_max_bytes;
-  if (limit > 0 && wal_bytes_ > limit) {
-    if (!Save().ok()) ++wal_errors_;
+  wal_appends_.fetch_add(1, std::memory_order_relaxed);
+  int64_t bytes = wal_bytes_.fetch_add(static_cast<int64_t>(rec.size()),
+                                       std::memory_order_relaxed) +
+                  static_cast<int64_t>(rec.size());
+  int64_t limit = wal_limit_.load(std::memory_order_relaxed);
+  if (limit > 0 && bytes > limit) {
+    // This callback runs inside a cache mutation; compacting here would
+    // deadlock against the Freeze Save() takes. Defer to MaybeCompact().
+    compaction_needed_.store(true, std::memory_order_relaxed);
   }
 }
 

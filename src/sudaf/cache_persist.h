@@ -41,8 +41,10 @@
 // cache:snapshot_rename (tmp written, never published), and
 // cache:recover_record (per-record drop during recovery).
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "common/status.h"
@@ -82,15 +84,34 @@ Status LoadCacheSnapshot(const std::string& path, const Catalog& catalog,
 // Managed durability for one session's StateCache: a directory holding
 // `cache.snapshot` + `cache.wal`. Open() recovers both into the cache and
 // then attaches itself as the cache's journal, so every later mutation is
-// WAL-appended; a WAL growing past CachePolicy::wal_max_bytes triggers
-// snapshot compaction. WAL append failures never fail queries — they are
-// counted (wal_errors) and repaired by the next compaction.
+// WAL-appended; a WAL growing past the configured limit marks compaction
+// as needed, and the owner runs it via MaybeCompact() once no cache locks
+// are held (journal callbacks fire inside cache mutations, so compacting
+// inline would deadlock against Freeze). WAL append failures never fail
+// queries — they are counted (wal_errors) and repaired by the next
+// compaction.
+//
+// Thread safety: journal callbacks are serialized by the cache's own
+// mutex; Save()/MaybeCompact() take a cache Freeze plus an internal I/O
+// mutex (lock order: cache locks → io mutex), and the counters are
+// atomics, so concurrent queries, a breaker probing persistence health,
+// and the shell's `\cache` command can all touch this object safely.
 class CachePersistence final : public CacheJournal {
  public:
   // Opens (creating if absent) the store at `dir` and recovers its
   // contents into `cache`. `catalog` and `cache` must outlive the
   // returned object. Recovery is never fatal; inspect recovery_stats().
   static Result<std::unique_ptr<CachePersistence>> Open(
+      const std::string& dir, const Catalog* catalog, StateCache* cache);
+
+  // Reattaches to `dir` WITHOUT recovering from it: the current in-memory
+  // cache is snapshotted over the store and the WAL is reset, then the
+  // journal attaches. This is the resume path after a persistence
+  // suspension (breaker half-open → closed): while detached, memory moved
+  // ahead of disk, so replaying the stale disk state would resurrect dead
+  // entries. Fails — attaching nothing — when the snapshot cannot be
+  // written, leaving the caller suspended.
+  static Result<std::unique_ptr<CachePersistence>> Attach(
       const std::string& dir, const Catalog* catalog, StateCache* cache);
 
   // Detaches from the cache. Pending state is already in the WAL, so no
@@ -101,14 +122,37 @@ class CachePersistence final : public CacheJournal {
   CachePersistence& operator=(const CachePersistence&) = delete;
 
   // Snapshot-compacts: writes the full cache to `cache.snapshot`
-  // (atomically) and resets the WAL to an empty header.
+  // (atomically) and resets the WAL to an empty header. Freezes the cache
+  // for the duration so the snapshot and the WAL reset are one consistent
+  // cut. Must not be called while holding cache locks (i.e. never from a
+  // journal callback).
   Status Save();
 
+  // Runs the compaction that AppendRecord deferred (WAL past its limit),
+  // if any. Call sites: the session after each query, the service when the
+  // persistence breaker closes. No-op when nothing is pending.
+  void MaybeCompact();
+
+  // Updates the WAL size past which compaction is requested. Mirrors
+  // CachePolicy::wal_max_bytes — kept here as its own copy because journal
+  // callbacks run under the cache mutex and cannot read cache policy.
+  void set_wal_limit(int64_t bytes) {
+    wal_limit_.store(bytes, std::memory_order_relaxed);
+  }
+
   const CacheRecoveryStats& recovery_stats() const { return recovery_; }
-  int64_t wal_appends() const { return wal_appends_; }
-  int64_t wal_errors() const { return wal_errors_; }
-  int64_t wal_bytes() const { return wal_bytes_; }
-  int64_t snapshots_written() const { return snapshots_written_; }
+  int64_t wal_appends() const {
+    return wal_appends_.load(std::memory_order_relaxed);
+  }
+  int64_t wal_errors() const {
+    return wal_errors_.load(std::memory_order_relaxed);
+  }
+  int64_t wal_bytes() const {
+    return wal_bytes_.load(std::memory_order_relaxed);
+  }
+  int64_t snapshots_written() const {
+    return snapshots_written_.load(std::memory_order_relaxed);
+  }
 
   std::string snapshot_path() const;
   std::string wal_path() const;
@@ -129,17 +173,27 @@ class CachePersistence final : public CacheJournal {
   void Recover();
 
   // Frames `payload` into a record and appends it to the WAL. Swallows
-  // errors into wal_errors_; triggers compaction past wal_max_bytes.
+  // errors into wal_errors_; requests (never runs) compaction past the
+  // WAL limit. Called from journal callbacks, i.e. under cache locks.
   void AppendRecord(const std::string& payload);
+
+  // Snapshot + WAL reset with io_mu_ (and the cache Freeze, for Save)
+  // already held by the caller.
+  Status SaveLocked();
 
   std::string dir_;
   const Catalog* catalog_;
   StateCache* cache_;
-  CacheRecoveryStats recovery_;
-  int64_t wal_appends_ = 0;
-  int64_t wal_errors_ = 0;
-  int64_t wal_bytes_ = 0;
-  int64_t snapshots_written_ = 0;
+  CacheRecoveryStats recovery_;  // written once during Open
+  // Serializes file I/O between journal appends and compaction. Lock
+  // order: cache locks first, io_mu_ second.
+  std::mutex io_mu_;
+  std::atomic<int64_t> wal_limit_{0};
+  std::atomic<bool> compaction_needed_{false};
+  std::atomic<int64_t> wal_appends_{0};
+  std::atomic<int64_t> wal_errors_{0};
+  std::atomic<int64_t> wal_bytes_{0};
+  std::atomic<int64_t> snapshots_written_{0};
 };
 
 }  // namespace sudaf

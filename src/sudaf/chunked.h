@@ -55,6 +55,11 @@ class ChunkedSharingSession {
   // inferred from the table's min/max on first use).
   Result<std::unique_ptr<Table>> Execute(const std::string& sql);
 
+  // Stats of this object's most recent Execute. Unlike SudafSession (which
+  // is concurrent and carries stats on each QueryResult), a
+  // ChunkedSharingSession is a single-caller helper: one thread drives one
+  // instance. Concurrent clients each construct their own over the shared
+  // session.
   const ChunkedExecStats& last_stats() const { return stats_; }
 
   int64_t num_cached_chunk_entries() const;

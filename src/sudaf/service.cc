@@ -1,0 +1,357 @@
+#include "sudaf/service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "common/rng.h"
+#include "common/timer.h"
+
+namespace sudaf {
+
+// --- RetryPolicy ------------------------------------------------------------
+
+bool RetryPolicy::ShouldRetry(const Status& s, bool idempotent,
+                              bool work_started) const {
+  switch (s.code()) {
+    case StatusCode::kResourceExhausted:
+      // Shedding happens before any work; a mid-execution memory trip is
+      // also safe to retry after the service shrinks the cache — the
+      // executed work is all idempotent cache-side effects — but only for
+      // requests that declared themselves idempotent.
+      return !work_started || idempotent;
+    case StatusCode::kInternal:
+      // Transient I/O faults (and the injected failpoints that model
+      // them). The attempt may have had partial side effects.
+      return idempotent;
+    default:
+      // Definite outcomes: cancellation, deadline, parse/type errors,
+      // missing tables... retrying cannot change them.
+      return false;
+  }
+}
+
+double RetryPolicy::BackoffMs(uint64_t request_id, int attempt) const {
+  double cap = base_backoff_ms;
+  for (int i = 1; i < attempt && cap < max_backoff_ms; ++i) cap *= 2.0;
+  cap = std::min(cap, max_backoff_ms);
+  Rng rng(jitter_seed ^ (request_id * 0x9e3779b97f4a7c15ULL) ^
+          static_cast<uint64_t>(attempt));
+  return cap * (0.5 + 0.5 * rng.NextDouble());
+}
+
+// --- AdmissionController ----------------------------------------------------
+
+AdmissionController::AdmissionController(int max_concurrency, int max_queue,
+                                         MetricsRegistry* metrics)
+    : max_concurrency_(std::max(1, max_concurrency)),
+      max_queue_(std::max(0, max_queue)),
+      metrics_(metrics) {}
+
+void AdmissionController::Count(const char* name) const {
+  if (metrics_ != nullptr) metrics_->counter(name)->Add();
+}
+
+Status AdmissionController::Admit(const QueryGuard* guard, double poll_ms) {
+  const double wait_start = NowMs();
+  std::unique_lock<std::mutex> lock(mu_);
+  // Fast path: a free slot and nobody queued ahead of us.
+  if (inflight_ < max_concurrency_ && fifo_.empty()) {
+    ++inflight_;
+    Count("sudaf.service.admitted");
+    if (metrics_ != nullptr) {
+      metrics_->gauge("sudaf.service.inflight")->Set(inflight_);
+    }
+    return Status::OK();
+  }
+  if (static_cast<int>(fifo_.size()) >= max_queue_) {
+    Count("sudaf.service.shed");
+    return Status::ResourceExhausted(
+        "admission queue full (" + std::to_string(fifo_.size()) + " waiting, " +
+        std::to_string(inflight_) + " in flight)");
+  }
+  const uint64_t ticket = next_ticket_++;
+  fifo_.push_back(ticket);
+  if (metrics_ != nullptr) {
+    metrics_->gauge("sudaf.service.queue_depth")
+        ->Set(static_cast<int64_t>(fifo_.size()));
+  }
+  while (true) {
+    if (!fifo_.empty() && fifo_.front() == ticket &&
+        inflight_ < max_concurrency_) {
+      fifo_.pop_front();
+      ++inflight_;
+      Count("sudaf.service.admitted");
+      if (metrics_ != nullptr) {
+        metrics_->gauge("sudaf.service.inflight")->Set(inflight_);
+        metrics_->gauge("sudaf.service.queue_depth")
+            ->Set(static_cast<int64_t>(fifo_.size()));
+        metrics_->histogram("sudaf.service.queue_wait_ms")
+            ->Observe(NowMs() - wait_start);
+      }
+      // Wake the next waiter behind us (a slot may still be free).
+      cv_.notify_all();
+      return Status::OK();
+    }
+    if (guard != nullptr) {
+      Status g = guard->Check();
+      if (!g.ok()) {
+        // Abandon our ticket so later arrivals aren't blocked behind it.
+        auto it = std::find(fifo_.begin(), fifo_.end(), ticket);
+        if (it != fifo_.end()) fifo_.erase(it);
+        if (metrics_ != nullptr) {
+          metrics_->gauge("sudaf.service.queue_depth")
+              ->Set(static_cast<int64_t>(fifo_.size()));
+        }
+        Count(g.code() == StatusCode::kCancelled
+                  ? "sudaf.service.queue_cancelled"
+                  : "sudaf.service.queue_timeouts");
+        cv_.notify_all();
+        return g;
+      }
+    }
+    // Sleep until notified or until the next guard poll is due. The poll
+    // interval is clamped by the guard's remaining deadline budget so a
+    // deadline fires promptly even if no slot ever frees.
+    double sleep_ms = poll_ms > 0 ? poll_ms : 2.0;
+    if (guard != nullptr && guard->has_deadline()) {
+      sleep_ms = std::min(sleep_ms, std::max(0.1, guard->remaining_ms()));
+    }
+    cv_.wait_for(lock, std::chrono::duration<double, std::milli>(sleep_ms));
+  }
+}
+
+void AdmissionController::Release() {
+  std::lock_guard<std::mutex> lock(mu_);
+  --inflight_;
+  if (metrics_ != nullptr) {
+    metrics_->gauge("sudaf.service.inflight")->Set(inflight_);
+  }
+  cv_.notify_all();
+}
+
+int AdmissionController::inflight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return inflight_;
+}
+
+int AdmissionController::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(fifo_.size());
+}
+
+// --- QueryService -----------------------------------------------------------
+
+QueryService::QueryService(SudafSession* session, ServiceOptions options)
+    : session_(session),
+      options_(options),
+      admission_(options.max_concurrency, options.max_queue, &metrics_) {
+  // Baseline the breaker on the current persistence error count so
+  // pre-service history doesn't trip it.
+  CachePersistence* p = session_->cache_persistence();
+  wal_errors_seen_ = p != nullptr ? p->wal_errors() : 0;
+}
+
+Result<QueryResult> QueryService::Execute(const std::string& sql,
+                                          ExecMode mode) {
+  ServiceRequest req;
+  req.sql = sql;
+  req.mode = mode;
+  return Execute(req);
+}
+
+Result<QueryResult> QueryService::Execute(const ServiceRequest& request) {
+  const uint64_t request_id = request_seq_.fetch_add(1) + 1;
+  metrics_.counter("sudaf.service.requests")->Add();
+
+  int attempts = 0;
+  bool any_fallback = false;
+  bool any_memory_only = false;
+  while (true) {
+    ++attempts;
+    Status admitted = admission_.Admit(request.guard, options_.queue_poll_ms);
+    if (!admitted.ok()) {
+      // Shedding is retryable (nothing ran); guard outcomes are final.
+      if (attempts < options_.retry.max_attempts &&
+          options_.retry.ShouldRetry(admitted, request.idempotent,
+                                     /*work_started=*/false)) {
+        metrics_.counter("sudaf.service.retries")->Add();
+        std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+            options_.retry.BackoffMs(request_id, attempts)));
+        continue;
+      }
+      metrics_.counter("sudaf.service.failed")->Add();
+      return admitted;
+    }
+
+    bool used_fallback = false;
+    bool memory_only = false;
+    Result<QueryResult> result =
+        RunOnce(request, &used_fallback, &memory_only);
+    admission_.Release();
+    any_fallback |= used_fallback;
+    any_memory_only |= memory_only;
+
+    UpdateBreaker();
+
+    if (result.ok()) {
+      metrics_.counter("sudaf.service.ok")->Add();
+      result->stats.service_attempts = attempts;
+      result->stats.degraded_fused_fallback = any_fallback;
+      result->stats.degraded_cache_memory_only = any_memory_only;
+      return result;
+    }
+
+    if (result.status().code() == StatusCode::kResourceExhausted) {
+      // Mid-execution memory pressure: shrink the cache so the retry (and
+      // every later request) fits the tighter budget.
+      SignalMemoryPressure();
+    }
+    if (attempts < options_.retry.max_attempts &&
+        options_.retry.ShouldRetry(result.status(), request.idempotent,
+                                   /*work_started=*/true)) {
+      metrics_.counter("sudaf.service.retries")->Add();
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+          options_.retry.BackoffMs(request_id, attempts)));
+      continue;
+    }
+    metrics_.counter("sudaf.service.failed")->Add();
+    return result.status();
+  }
+}
+
+Result<QueryResult> QueryService::RunOnce(const ServiceRequest& request,
+                                          bool* used_fused_fallback,
+                                          bool* memory_only) {
+  ExecOptions exec =
+      request.exec.has_value() ? *request.exec : session_->exec_options();
+  if (request.guard != nullptr) exec.guard = request.guard;
+
+  // Fused-path degradation: while degraded, run legacy except for the
+  // periodic re-probe that checks whether fused recovered.
+  bool reprobe = false;
+  {
+    std::lock_guard<std::mutex> lock(degrade_mu_);
+    if (fused_degraded_ && exec.use_fused) {
+      ++degraded_requests_;
+      reprobe = options_.fused_reprobe_every > 0 &&
+                degraded_requests_ % options_.fused_reprobe_every == 0;
+      if (!reprobe) {
+        exec.use_fused = false;
+        *used_fused_fallback = true;
+        metrics_.counter("sudaf.service.fused_fallback_runs")->Add();
+      } else {
+        metrics_.counter("sudaf.service.fused_reprobes")->Add();
+      }
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(breaker_mu_);
+    *memory_only = breaker_ != BreakerState::kClosed;
+  }
+
+  Result<QueryResult> result =
+      session_->Execute(request.sql, request.mode, exec);
+  UpdateFusedTracker(exec.use_fused, result.ok());
+  return result;
+}
+
+void QueryService::UpdateBreaker() {
+  std::lock_guard<std::mutex> lock(breaker_mu_);
+  switch (breaker_) {
+    case BreakerState::kClosed: {
+      CachePersistence* p = session_->cache_persistence();
+      if (p == nullptr) return;  // persistence off: nothing to break
+      int64_t errors = p->wal_errors();
+      if (errors > wal_errors_seen_) {
+        ++consecutive_wal_error_requests_;
+      } else {
+        consecutive_wal_error_requests_ = 0;
+      }
+      wal_errors_seen_ = errors;
+      if (consecutive_wal_error_requests_ >=
+          options_.breaker.open_after_errors) {
+        session_->SuspendCachePersistence();
+        breaker_ = BreakerState::kOpen;
+        requests_while_open_ = 0;
+        consecutive_wal_error_requests_ = 0;
+        metrics_.counter("sudaf.service.breaker_opened")->Add();
+        metrics_.gauge("sudaf.service.breaker_state")->Set(1);
+      }
+      return;
+    }
+    case BreakerState::kOpen:
+      if (++requests_while_open_ >= options_.breaker.half_open_after) {
+        breaker_ = BreakerState::kHalfOpen;
+        metrics_.gauge("sudaf.service.breaker_state")->Set(2);
+      }
+      return;
+    case BreakerState::kHalfOpen: {
+      // Probe: try to re-publish a snapshot and reattach the journal.
+      metrics_.counter("sudaf.service.breaker_probes")->Add();
+      Status resumed = session_->ResumeCachePersistence();
+      if (resumed.ok()) {
+        breaker_ = BreakerState::kClosed;
+        CachePersistence* p = session_->cache_persistence();
+        wal_errors_seen_ = p != nullptr ? p->wal_errors() : 0;
+        consecutive_wal_error_requests_ = 0;
+        metrics_.counter("sudaf.service.breaker_closed")->Add();
+        metrics_.gauge("sudaf.service.breaker_state")->Set(0);
+      } else {
+        // Still unhealthy: back to open, wait another window.
+        breaker_ = BreakerState::kOpen;
+        requests_while_open_ = 0;
+        metrics_.gauge("sudaf.service.breaker_state")->Set(1);
+      }
+      return;
+    }
+  }
+}
+
+void QueryService::UpdateFusedTracker(bool ran_fused, bool ok) {
+  std::lock_guard<std::mutex> lock(degrade_mu_);
+  if (!ran_fused) return;  // legacy runs say nothing about the fused path
+  if (ok) {
+    fused_consecutive_failures_ = 0;
+    if (fused_degraded_) {
+      // A successful fused re-probe: recover.
+      fused_degraded_ = false;
+      degraded_requests_ = 0;
+      metrics_.counter("sudaf.service.fused_recoveries")->Add();
+      metrics_.gauge("sudaf.service.fused_degraded")->Set(0);
+    }
+    return;
+  }
+  if (!fused_degraded_ &&
+      ++fused_consecutive_failures_ >= options_.fused_fallback_after) {
+    fused_degraded_ = true;
+    degraded_requests_ = 0;
+    metrics_.counter("sudaf.service.fused_fallbacks")->Add();
+    metrics_.gauge("sudaf.service.fused_degraded")->Set(1);
+  }
+}
+
+void QueryService::SignalMemoryPressure() {
+  metrics_.counter("sudaf.service.cache_shrinks")->Add();
+  CachePolicy policy = session_->options().cache_policy;
+  int64_t current = policy.max_bytes > 0 ? policy.max_bytes
+                                         : session_->cache().ApproxBytes();
+  int64_t target = static_cast<int64_t>(
+      static_cast<double>(current) * options_.cache_shrink_factor);
+  policy.max_bytes = std::max(options_.cache_min_bytes, target);
+  session_->set_cache_policy(policy);
+  metrics_.gauge("sudaf.service.cache_max_bytes")->Set(policy.max_bytes);
+}
+
+QueryService::BreakerState QueryService::breaker_state() const {
+  std::lock_guard<std::mutex> lock(breaker_mu_);
+  return breaker_;
+}
+
+bool QueryService::fused_degraded() const {
+  std::lock_guard<std::mutex> lock(degrade_mu_);
+  return fused_degraded_;
+}
+
+}  // namespace sudaf

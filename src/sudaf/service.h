@@ -1,0 +1,215 @@
+#ifndef SUDAF_SUDAF_SERVICE_H_
+#define SUDAF_SUDAF_SERVICE_H_
+
+// Concurrent query service (docs/service.md): the front door for driving
+// one SudafSession from many client threads under load and faults.
+//
+// A QueryService layers four robustness mechanisms over the (itself
+// thread-safe) session:
+//
+//   * Admission control — at most `max_concurrency` requests execute at
+//     once; up to `max_queue` more wait in FIFO order. Excess load is shed
+//     immediately with kResourceExhausted. A queued request keeps honoring
+//     its QueryGuard: an armed deadline or a cancel token fires *while
+//     queued* (kDeadlineExceeded / kCancelled) instead of after the wait.
+//
+//   * Retries — transient failures (admission shedding, injected/transient
+//     I/O faults surfacing as kInternal) are retried with capped
+//     exponential backoff and deterministic, seed-derived jitter.
+//     Non-idempotent requests never retry executed work, and definite
+//     outcomes (kCancelled, kDeadlineExceeded, kInvalidArgument, ...)
+//     never retry at all.
+//
+//   * Persistence circuit breaker — consecutive requests that grow the
+//     WAL error counter trip the breaker: the store is suspended (cache
+//     runs memory-only, queries keep their answers) until a half-open
+//     probe successfully re-publishes a snapshot, which closes it again.
+//
+//   * Graceful degradation — repeated failures on the fused path fall the
+//     service back to the legacy per-state engine (periodically re-probing
+//     fused); memory-pressure signals shrink the cache budget online.
+//
+// Degradation is surfaced, not hidden: ExecStats::service_attempts,
+// degraded_fused_fallback and degraded_cache_memory_only are filled in on
+// every result, and every decision is counted under sudaf.service.* in the
+// service's own metrics registry.
+//
+// Thread safety: every public method of QueryService and
+// AdmissionController is safe for concurrent callers.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "common/metrics.h"
+#include "common/query_guard.h"
+#include "common/status.h"
+#include "sudaf/session.h"
+
+namespace sudaf {
+
+// Retry schedule: attempt n (1-based) failing transiently sleeps
+//  min(base_backoff_ms * 2^(n-1), max_backoff_ms) * U where U ∈ [0.5, 1)
+// with U drawn from a SplitMix64 stream seeded by
+// (jitter_seed ^ request_id ^ attempt) — deterministic per (seed, request,
+// attempt), uncorrelated across requests, so a load spike that sheds many
+// requests at once does not retry them in lockstep.
+struct RetryPolicy {
+  int max_attempts = 3;          // total tries, including the first
+  double base_backoff_ms = 1.0;  // first retry's backoff cap
+  double max_backoff_ms = 64.0;  // exponential growth cap
+  uint64_t jitter_seed = 0x5eedcafeULL;
+
+  // True when `s` may be retried. Admission shedding (kResourceExhausted)
+  // is always retryable — nothing executed. kInternal (the code transient
+  // I/O faults and injected failpoints surface as) is retryable only for
+  // idempotent requests: the failed attempt may have had side effects
+  // (cache inserts, WAL appends) that a re-run would repeat.
+  bool ShouldRetry(const Status& s, bool idempotent, bool work_started) const;
+
+  // Deterministic backoff for the given attempt (1-based: the sleep taken
+  // after attempt `attempt` failed).
+  double BackoffMs(uint64_t request_id, int attempt) const;
+};
+
+// Persistence circuit breaker thresholds (state machine in docs/service.md).
+struct BreakerPolicy {
+  // Consecutive requests observing new WAL errors before opening.
+  int open_after_errors = 3;
+  // Requests served while open before moving to half-open and probing.
+  int half_open_after = 8;
+};
+
+struct ServiceOptions {
+  int max_concurrency = 4;
+  int max_queue = 16;
+  // Cadence at which queued requests poll their guard (bounded further by
+  // the guard's own remaining_ms).
+  double queue_poll_ms = 2.0;
+  RetryPolicy retry;
+  BreakerPolicy breaker;
+  // Memory-pressure degradation: each SignalMemoryPressure (or execution
+  // failing with kResourceExhausted) multiplies the cache budget by
+  // `cache_shrink_factor`, never below `cache_min_bytes`.
+  double cache_shrink_factor = 0.5;
+  int64_t cache_min_bytes = 64 * 1024;
+  // Fused-path fallback: after `fused_fallback_after` consecutive fused
+  // failures requests run on the legacy engine path, re-probing fused
+  // every `fused_reprobe_every`-th degraded request.
+  int fused_fallback_after = 2;
+  int fused_reprobe_every = 16;
+};
+
+// One request to QueryService::Execute.
+struct ServiceRequest {
+  std::string sql;
+  ExecMode mode = ExecMode::kSudafShare;
+  // Borrowed; may be null. Honored while queued AND during execution (the
+  // service injects it into ExecOptions::guard).
+  QueryGuard* guard = nullptr;
+  // Set false for requests whose re-execution is not safe (e.g. the SQL's
+  // side channel matters); such requests never retry executed work.
+  bool idempotent = true;
+  // Per-request execution options override (guard is injected on top).
+  std::optional<ExecOptions> exec;
+};
+
+// Bounded-concurrency FIFO admission gate. Standalone so tests can drive
+// queue/deadline/cancel interleavings directly.
+class AdmissionController {
+ public:
+  // `metrics` is borrowed (may be null) and receives the sudaf.service.*
+  // admission counters; it must outlive the controller.
+  AdmissionController(int max_concurrency, int max_queue,
+                      MetricsRegistry* metrics);
+
+  // Blocks until a slot is granted (OK — caller must later Release()), the
+  // queue is full at arrival (kResourceExhausted, immediate), or the
+  // guard fires while queued (its kDeadlineExceeded/kCancelled verbatim).
+  // FIFO: slots are granted strictly in arrival order.
+  Status Admit(const QueryGuard* guard, double poll_ms);
+  void Release();
+
+  int inflight() const;
+  int queue_depth() const;
+
+ private:
+  const int max_concurrency_;
+  const int max_queue_;
+  MetricsRegistry* metrics_;  // null-safe via Count()
+  void Count(const char* name) const;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  int inflight_ = 0;
+  uint64_t next_ticket_ = 0;
+  std::deque<uint64_t> fifo_;  // waiting tickets, arrival order
+};
+
+class QueryService {
+ public:
+  // `session` is borrowed and must outlive the service. The session should
+  // not be reconfigured behind the service's back while requests are in
+  // flight (the breaker owns persistence suspension).
+  explicit QueryService(SudafSession* session, ServiceOptions options = {});
+
+  Result<QueryResult> Execute(const ServiceRequest& request);
+  Result<QueryResult> Execute(const std::string& sql, ExecMode mode);
+
+  // Shrinks the cache byte budget by cache_shrink_factor (floored at
+  // cache_min_bytes), evicting immediately. Also invoked internally when
+  // an execution fails with kResourceExhausted.
+  void SignalMemoryPressure();
+
+  enum class BreakerState { kClosed, kOpen, kHalfOpen };
+  BreakerState breaker_state() const;
+  bool fused_degraded() const;
+
+  // Service-lifetime registry: sudaf.service.* counters/gauges plus the
+  // queue-wait histogram. Distinct from the session's registry.
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+
+  const ServiceOptions& options() const { return options_; }
+  SudafSession* session() { return session_; }
+
+ private:
+  // One admitted execution, with degradation knobs applied. Returns the
+  // session result; fills the degradation flags for this attempt.
+  Result<QueryResult> RunOnce(const ServiceRequest& request,
+                              bool* used_fused_fallback,
+                              bool* memory_only);
+
+  // Post-execution bookkeeping, called once per admitted attempt.
+  void UpdateBreaker();
+  void UpdateFusedTracker(bool ran_fused, bool ok);
+
+  SudafSession* session_;
+  ServiceOptions options_;
+  MetricsRegistry metrics_;
+  AdmissionController admission_;
+
+  std::atomic<uint64_t> request_seq_{0};
+
+  // Breaker state (guarded by breaker_mu_; lock order: breaker_mu_ before
+  // any session persistence call).
+  mutable std::mutex breaker_mu_;
+  BreakerState breaker_ = BreakerState::kClosed;
+  int64_t wal_errors_seen_ = 0;
+  int consecutive_wal_error_requests_ = 0;
+  int requests_while_open_ = 0;
+
+  // Fused-fallback state (guarded by degrade_mu_).
+  mutable std::mutex degrade_mu_;
+  int fused_consecutive_failures_ = 0;
+  bool fused_degraded_ = false;
+  int64_t degraded_requests_ = 0;
+};
+
+}  // namespace sudaf
+
+#endif  // SUDAF_SUDAF_SERVICE_H_

@@ -170,7 +170,6 @@ SudafSession::SudafSession(const Catalog* catalog, SessionOptions options)
   // Scala-UDAF shape). Compiled IUME versions live in hardcoded_udafs.cc
   // for the ablation benchmarks.
   RegisterInterpretedUdafs(&hardcoded_);
-  cache_.BindMetrics(&metrics_);
   cache_.set_policy(options_.cache_policy);
 }
 
@@ -178,16 +177,61 @@ SudafSession::SudafSession(const Catalog* catalog, ExecOptions exec)
     : SudafSession(catalog, SessionOptions{}.set_exec(exec)) {}
 
 void SudafSession::set_cache_policy(const CachePolicy& policy) {
-  options_.cache_policy = policy;
+  {
+    std::lock_guard<std::mutex> lock(options_mu_);
+    options_.cache_policy = policy;
+  }
   cache_.set_policy(policy);
   cache_.EnforceBudget();
+  std::lock_guard<std::mutex> lock(persist_mu_);
+  if (persistence_ != nullptr) {
+    persistence_->set_wal_limit(policy.wal_max_bytes);
+  }
 }
 
 Status SudafSession::EnableCachePersistence(const std::string& dir) {
+  std::lock_guard<std::mutex> lock(persist_mu_);
   persistence_.reset();  // detach any previous store first
   SUDAF_ASSIGN_OR_RETURN(persistence_,
                          CachePersistence::Open(dir, catalog_, &cache_));
+  persist_dir_ = dir;
   return Status::OK();
+}
+
+void SudafSession::DisableCachePersistence() {
+  std::lock_guard<std::mutex> lock(persist_mu_);
+  persistence_.reset();
+  persist_dir_.clear();
+}
+
+void SudafSession::SuspendCachePersistence() {
+  std::lock_guard<std::mutex> lock(persist_mu_);
+  // Resetting detaches the journal; set_journal blocks until in-flight
+  // callbacks drain, so no append can land after this returns. persist_dir_
+  // stays set — that is what distinguishes suspended from disabled.
+  persistence_.reset();
+}
+
+Status SudafSession::ResumeCachePersistence() {
+  std::lock_guard<std::mutex> lock(persist_mu_);
+  if (persistence_ != nullptr) return Status::OK();
+  if (persist_dir_.empty()) {
+    return Status::InvalidArgument("cache persistence was never enabled");
+  }
+  SUDAF_ASSIGN_OR_RETURN(persistence_,
+                         CachePersistence::Attach(persist_dir_, catalog_,
+                                                  &cache_));
+  return Status::OK();
+}
+
+bool SudafSession::cache_persistence_suspended() const {
+  std::lock_guard<std::mutex> lock(persist_mu_);
+  return persistence_ == nullptr && !persist_dir_.empty();
+}
+
+void SudafSession::MaybeCompactCache() {
+  std::lock_guard<std::mutex> lock(persist_mu_);
+  if (persistence_ != nullptr) persistence_->MaybeCompact();
 }
 
 Status SudafSession::SaveCache(const std::string& path) const {
@@ -201,15 +245,12 @@ Status SudafSession::LoadCache(const std::string& path,
 
 Result<QueryResult> SudafSession::Execute(const std::string& sql,
                                           ExecMode mode) {
-  return Execute(sql, mode, options_.exec);
+  return Execute(sql, mode, exec_options());
 }
 
 Result<QueryResult> SudafSession::Execute(const std::string& sql,
                                           ExecMode mode,
                                           const ExecOptions& exec) {
-  // A failed parse must not leave the previous query's statistics behind
-  // as if they were this query's.
-  stats_ = ExecStats{};
   SUDAF_ASSIGN_OR_RETURN(ParsedSql parsed, ParseSql(sql));
   if (parsed.explain && !parsed.analyze) {
     SUDAF_ASSIGN_OR_RETURN(RewrittenQuery rewritten,
@@ -228,70 +269,86 @@ Result<QueryResult> SudafSession::Execute(const std::string& sql,
 
 Result<QueryResult> SudafSession::ExecuteStatement(const SelectStatement& stmt,
                                                    ExecMode mode) {
-  return ExecuteStatement(stmt, mode, options_.exec);
+  return ExecuteStatement(stmt, mode, exec_options());
 }
 
 Result<QueryResult> SudafSession::ExecuteStatement(const SelectStatement& stmt,
                                                    ExecMode mode,
                                                    const ExecOptions& exec) {
-  stats_ = ExecStats{};
   std::shared_ptr<QueryTrace> trace;
-  if (options_.collect_traces) {
-    trace = std::make_shared<QueryTrace>(options_.trace_capacity);
+  {
+    std::lock_guard<std::mutex> lock(options_mu_);
+    if (options_.collect_traces) {
+      trace = std::make_shared<QueryTrace>(options_.trace_capacity);
+    }
   }
 
-  // Per-query run options: caller knobs plus this session's observability
+  // Every metric this query produces goes to a registry private to it —
+  // that is what makes concurrent queries' stats independent (no delta
+  // arithmetic against a shared registry, no cross-query attribution). The
+  // final snapshot becomes ExecStats and is then folded into the
+  // session-lifetime registry.
+  MetricsRegistry qmetrics;
+
+  // Per-query run options: caller knobs plus this query's observability
   // sinks. Engine layers only ever see these borrowed pointers.
   ExecOptions run = exec;
-  run.metrics = &metrics_;
+  run.metrics = &qmetrics;
   run.trace = trace.get();
-  cache_.BindTrace(trace.get());
 
   // The pool and guard keep their own cumulative counters; mirror the
   // per-query movement into the registry so it shows up in snapshots.
+  // (The pool mirror over-attributes under concurrency — other queries'
+  // tasks land in the window — but stays exact for serial callers.)
   const ThreadPool::Counters pool_before = ThreadPool::Global().counters();
   const int64_t guard_checks_before =
       run.guard != nullptr ? run.guard->checks() : 0;
   const int64_t guard_trips_before =
       run.guard != nullptr ? run.guard->trips() : 0;
 
-  const MetricsSnapshot before = metrics_.Snapshot();
-  metrics_.counter("sudaf.query.count")->Add();
+  qmetrics.counter("sudaf.query.count")->Add();
 
   Result<std::unique_ptr<Table>> table = std::unique_ptr<Table>();
   {
     // Root span; its accumulator IS the total_ms metric, so the trace tree
     // and the derived stats agree by construction.
     TraceSpan root(trace.get(), "execute", -1,
-                   metrics_.dcounter("sudaf.query.total_ms"));
+                   qmetrics.dcounter("sudaf.query.total_ms"));
     run.trace_span = root.id();
     table = mode == ExecMode::kEngine
                 ? executor_.Execute(stmt, run)
                 : ExecuteSudaf(stmt, mode == ExecMode::kSudafShare, run);
   }
-  cache_.BindTrace(nullptr);
 
   const ThreadPool::Counters pool_after = ThreadPool::Global().counters();
-  metrics_.counter("sudaf.pool.jobs")->Add(pool_after.jobs - pool_before.jobs);
-  metrics_.counter("sudaf.pool.tasks")
+  qmetrics.counter("sudaf.pool.jobs")->Add(pool_after.jobs - pool_before.jobs);
+  qmetrics.counter("sudaf.pool.tasks")
       ->Add(pool_after.tasks - pool_before.tasks);
   if (run.guard != nullptr) {
-    metrics_.counter("sudaf.guard.checks")
+    qmetrics.counter("sudaf.guard.checks")
         ->Add(run.guard->checks() - guard_checks_before);
-    metrics_.counter("sudaf.guard.trips")
+    qmetrics.counter("sudaf.guard.trips")
         ->Add(run.guard->trips() - guard_trips_before);
   }
-  if (!table.ok()) metrics_.counter("sudaf.query.errors")->Add();
+  if (!table.ok()) qmetrics.counter("sudaf.query.errors")->Add();
 
-  // Derive the stats struct from the per-query registry delta. This also
-  // attributes work that happened on error paths (invalidations, guard
-  // trips) before the error surfaces.
-  stats_ = DeriveExecStats(metrics_.Snapshot().Delta(before));
+  // Derive the stats struct straight from the per-query registry — it
+  // started empty, so the snapshot IS the delta. This also attributes work
+  // that happened on error paths (invalidations, guard trips) before the
+  // error surfaces. Then fold the query's metrics into the cumulative
+  // session registry.
+  ExecStats stats = DeriveExecStats(qmetrics.Snapshot());
+  metrics_.Merge(qmetrics.Snapshot());
+
+  // Run any WAL compaction this query's cache traffic deferred, now that
+  // no cache locks are held.
+  MaybeCompactCache();
+
   SUDAF_RETURN_IF_ERROR(table.status());
 
   QueryResult result;
   result.table = std::move(*table);
-  result.stats = stats_;
+  result.stats = stats;
   result.trace = std::move(trace);
   return result;
 }
@@ -327,20 +384,24 @@ Result<std::unique_ptr<Table>> SudafSession::ExecuteSudaf(
     const SelectStatement& stmt, bool share, const ExecOptions& exec) {
   if (exec.guard != nullptr) SUDAF_RETURN_IF_ERROR(exec.guard->Check());
   QueryTrace* trace = exec.trace;
+  // The query-private registry (set up by ExecuteStatement) and the cache
+  // observer handles carrying it into every cache call.
+  MetricsRegistry& qm = *exec.metrics;
+  const CacheOps cops{exec.metrics, trace};
 
   // 1. Rewrite: expand UDAFs, factor out states, build terminating plans.
   TraceSpan rewrite_span(trace, "rewrite", exec.trace_span,
-                         metrics_.dcounter("sudaf.phase.rewrite_ms"));
+                         qm.dcounter("sudaf.phase.rewrite_ms"));
   SUDAF_ASSIGN_OR_RETURN(RewrittenQuery rewritten,
                          RewriteQuery(stmt, library_));
   rewrite_span.Close();
   const std::vector<AggStateDef>& states = rewritten.form.states;
-  metrics_.counter("sudaf.states.requested")
+  qm.counter("sudaf.states.requested")
       ->Add(static_cast<int64_t>(states.size()));
 
   // 2. Classify states and probe the cache.
   TraceSpan probe_span(trace, "probe", exec.trace_span,
-                       metrics_.dcounter("sudaf.phase.probe_ms"));
+                       qm.dcounter("sudaf.phase.probe_ms"));
   std::vector<StateExec> execs(states.size());
   for (size_t i = 0; i < states.size(); ++i) {
     StateExec& ex = execs[i];
@@ -361,34 +422,29 @@ Result<std::unique_ptr<Table>> SudafSession::ExecuteSudaf(
   // and insert: a set cached under an older epoch is discarded rather than
   // served (docs/robustness.md).
   uint64_t epoch = share ? catalog_->TablesEpoch(stmt.tables) : 0;
-  StateCache::GroupSet* group_set = nullptr;
+  StateCache::GroupSetPtr group_set;
   if (share) {
     SUDAF_FAILPOINT("cache:probe");
-    group_set = cache_.Find(rewritten.data_signature, epoch);
+    group_set = cache_.Find(rewritten.data_signature, epoch, cops);
   }
   bool any_miss = false;
   for (size_t i = 0; i < states.size(); ++i) {
     if (share && group_set != nullptr) {
-      auto eit = group_set->entries.find(execs[i].cls.key);
-      if (eit != group_set->entries.end()) {
-        if (EntryIsPoisoned(eit->second)) {
-          // Defense in depth: poison can't enter the cache through this
-          // session, but an entry may have been poisoned by other means
-          // (direct mutation in tests, future persistence). Evict, treat
-          // as a miss.
-          group_set->entries.erase(eit);
-          metrics_.counter("sudaf.cache.poison_evictions")->Add();
-          probe_span.Event("cache.poison_evict");
-        } else {
-          execs[i].from_cache = true;
-          metrics_.counter("sudaf.cache.probe_hits")->Add();
-          probe_span.Event("cache.hit");
-          continue;
-        }
+      // ProbeEntry evicts poisoned entries internally (defense in depth:
+      // poison can't enter the cache through this session, but an entry
+      // may have been poisoned by other means) and counts the eviction;
+      // kPoisoned is a miss from this query's point of view.
+      StateCache::Probe probe =
+          cache_.ProbeEntry(group_set.get(), execs[i].cls.key, nullptr, cops);
+      if (probe == StateCache::Probe::kHit) {
+        execs[i].from_cache = true;
+        qm.counter("sudaf.cache.probe_hits")->Add();
+        probe_span.Event("cache.hit");
+        continue;
       }
     }
     if (share) {
-      metrics_.counter("sudaf.cache.probe_misses")->Add();
+      qm.counter("sudaf.cache.probe_misses")->Add();
       probe_span.Event("cache.miss");
     }
     any_miss = true;
@@ -403,7 +459,7 @@ Result<std::unique_ptr<Table>> SudafSession::ExecuteSudaf(
 
   if (any_miss || states.empty()) {
     TraceSpan input_span(trace, "input", exec.trace_span,
-                         metrics_.dcounter("sudaf.phase.input_ms"));
+                         qm.dcounter("sudaf.phase.input_ms"));
     std::vector<std::string> extra_columns;
     for (size_t i = 0; i < states.size(); ++i) {
       if (execs[i].from_cache) continue;
@@ -422,7 +478,7 @@ Result<std::unique_ptr<Table>> SudafSession::ExecuteSudaf(
     input_opts.trace_span = input_span.id();
     SUDAF_ASSIGN_OR_RETURN(input,
                            executor_.Prepare(stmt, extra_columns, input_opts));
-    metrics_.counter("sudaf.input.scans")->Add();
+    qm.counter("sudaf.input.scans")->Add();
     input_span.Event("rows", input.num_input_rows);
     group_keys = input.group_keys.get();
     num_groups = input.num_groups;
@@ -434,10 +490,13 @@ Result<std::unique_ptr<Table>> SudafSession::ExecuteSudaf(
 
     if (share) {
       group_set = cache_.GetOrCreate(rewritten.data_signature,
-                                     *input.group_keys, num_groups, epoch);
+                                     *input.group_keys, num_groups, epoch,
+                                     cops);
       // A recreated (stale) set lost its entries; demote affected states.
       for (StateExec& ex : execs) {
-        if (ex.from_cache && group_set->entries.count(ex.cls.key) == 0) {
+        if (ex.from_cache &&
+            cache_.ProbeEntry(group_set.get(), ex.cls.key, nullptr, cops) !=
+                StateCache::Probe::kHit) {
           ex.from_cache = false;
         }
       }
@@ -449,7 +508,7 @@ Result<std::unique_ptr<Table>> SudafSession::ExecuteSudaf(
 
   // 4. Compute missing states.
   TraceSpan states_span(trace, "states", exec.trace_span,
-                        metrics_.dcounter("sudaf.phase.states_ms"));
+                        qm.dcounter("sudaf.phase.states_ms"));
   const Table* frame = input.frame.get();
   ColumnResolver resolver = [frame](const std::string& name)
       -> Result<const Column*> {
@@ -485,7 +544,9 @@ Result<std::unique_ptr<Table>> SudafSession::ExecuteSudaf(
       StateExec& ex = execs[i];
       PendingEntry pe;
       if (share) {
-        if (ex.from_cache || group_set->entries.count(ex.cls.key) > 0 ||
+        if (ex.from_cache ||
+            cache_.ProbeEntry(group_set.get(), ex.cls.key, nullptr, cops) ==
+                StateCache::Probe::kHit ||
             !scheduled.insert(ex.cls.key).second) {
           continue;
         }
@@ -544,24 +605,19 @@ Result<std::unique_ptr<Table>> SudafSession::ExecuteSudaf(
       for (size_t p = 0; p < pending.size(); ++p) {
         PendingEntry& pe = pending[p];
         bool poisoned = EntryIsPoisoned(built[p]);
-        if (poisoned) metrics_.counter("sudaf.states.poisoned")->Add();
-        bool cached = false;
+        if (poisoned) qm.counter("sudaf.states.poisoned")->Add();
         if (pe.shared && !poisoned) {
           // Budget-aware insert: the cache evicts colder group sets first
-          // and declines (nullptr) when the entry cannot fit at all.
-          cached =
-              cache_.InsertEntry(group_set, pe.key, &built[p]) != nullptr;
-          if (!cached) {
-            metrics_.counter("sudaf.cache.budget_rejects")->Add();
+          // and declines (false) when the entry cannot fit at all.
+          if (!cache_.InsertEntry(group_set.get(), pe.key, built[p], cops)) {
+            qm.counter("sudaf.cache.budget_rejects")->Add();
           }
         }
-        if (!cached) {
-          // No-share mode, a poisoned state, or a budget reject: keep it
-          // query-local. The distribution loop below checks local_entries
-          // first, so the current query still gets its honest answer.
-          local_entries.emplace(pe.key, std::move(built[p]));
-        }
-        metrics_.counter("sudaf.states.computed")->Add();
+        // Every computed entry is also kept query-local: the distribution
+        // loop serves from this map, so this query's answers cannot be
+        // perturbed by a concurrent eviction of what it just inserted.
+        local_entries.emplace(pe.key, std::move(built[p]));
+        qm.counter("sudaf.states.computed")->Add();
       }
     }
   }
@@ -596,37 +652,54 @@ Result<std::unique_ptr<Table>> SudafSession::ExecuteSudaf(
     StateExec& ex = execs[i];
 
     if (share) {
+      // Serving order: cache copy-out for probe hits, then this query's
+      // local entries, then a late cache re-probe, then compute. The copy
+      // lives on this frame's stack, so a concurrent eviction of the set
+      // cannot invalidate what we serve from.
       const StateCache::Entry* entry = nullptr;
-      auto local_it = local_entries.find(ex.cls.key);
-      if (ex.from_cache) {
-        entry = &group_set->entries.at(ex.cls.key);
-        metrics_.counter("sudaf.states.from_cache")->Add();
-      } else if (local_it != local_entries.end()) {
-        // Computed this query but poisoned — served locally, never cached.
-        entry = &local_it->second;
-      } else {
-        auto it = group_set->entries.find(ex.cls.key);
-        if (it == group_set->entries.end()) {
-          SUDAF_ASSIGN_OR_RETURN(StateCache::Entry computed,
-                                 compute_class_entry(ex.cls));
-          SUDAF_FAILPOINT("cache:insert");
-          metrics_.counter("sudaf.states.computed")->Add();
-          if (EntryIsPoisoned(computed)) {
-            metrics_.counter("sudaf.states.poisoned")->Add();
-            entry = &local_entries.emplace(ex.cls.key, std::move(computed))
-                         .first->second;
-          } else {
-            entry = cache_.InsertEntry(group_set, ex.cls.key, &computed);
-            if (entry == nullptr) {
-              // Declined under the byte budget: serve it query-local.
-              metrics_.counter("sudaf.cache.budget_rejects")->Add();
-              entry = &local_entries.emplace(ex.cls.key, std::move(computed))
-                           .first->second;
-            }
-          }
-        } else {
-          entry = &it->second;
+      StateCache::Entry copied;
+      if (ex.from_cache &&
+          cache_.ProbeEntry(group_set.get(), ex.cls.key, &copied, cops) ==
+              StateCache::Probe::kHit) {
+        entry = &copied;
+        qm.counter("sudaf.states.from_cache")->Add();
+      }
+      if (entry == nullptr) {
+        auto local_it = local_entries.find(ex.cls.key);
+        if (local_it != local_entries.end()) {
+          // Computed by this query (fused pass, or poisoned/budget-rejected
+          // earlier) — served locally.
+          entry = &local_it->second;
         }
+      }
+      if (entry == nullptr &&
+          cache_.ProbeEntry(group_set.get(), ex.cls.key, &copied, cops) ==
+              StateCache::Probe::kHit) {
+        // Present in the cache without a probe hit: inserted by a
+        // concurrent query after our probe.
+        entry = &copied;
+      }
+      if (entry == nullptr) {
+        if (frame == nullptr) {
+          // All states probed as hits, so no input was materialized — and
+          // then this entry vanished (poisoned externally mid-query). Too
+          // late to scan; fail definitively rather than serve garbage.
+          return Status::Internal("cached state vanished mid-query: " +
+                                  ex.cls.key);
+        }
+        SUDAF_ASSIGN_OR_RETURN(StateCache::Entry computed,
+                               compute_class_entry(ex.cls));
+        SUDAF_FAILPOINT("cache:insert");
+        qm.counter("sudaf.states.computed")->Add();
+        if (EntryIsPoisoned(computed)) {
+          qm.counter("sudaf.states.poisoned")->Add();
+        } else if (!cache_.InsertEntry(group_set.get(), ex.cls.key, computed,
+                                       cops)) {
+          // Declined under the byte budget: serve it query-local.
+          qm.counter("sudaf.cache.budget_rejects")->Add();
+        }
+        entry = &local_entries.emplace(ex.cls.key, std::move(computed))
+                     .first->second;
       }
       state_values[i].resize(num_groups);
       for (int32_t g = 0; g < num_groups; ++g) {
@@ -654,10 +727,10 @@ Result<std::unique_ptr<Table>> SudafSession::ExecuteSudaf(
                                          num_groups, exec);
       }
       if (EntryIsPoisoned(entry)) {
-        metrics_.counter("sudaf.states.poisoned")->Add();
+        qm.counter("sudaf.states.poisoned")->Add();
       }
       it = local_entries.emplace(direct_key, std::move(entry)).first;
-      metrics_.counter("sudaf.states.computed")->Add();
+      qm.counter("sudaf.states.computed")->Add();
     }
     local = &it->second;
     state_values[i] = local->main;
@@ -666,7 +739,7 @@ Result<std::unique_ptr<Table>> SudafSession::ExecuteSudaf(
 
   // 5. Terminating functions per group, output assembly, ORDER BY/LIMIT.
   TraceSpan terminate_span(trace, "terminate", exec.trace_span,
-                           metrics_.dcounter("sudaf.phase.terminate_ms"));
+                           qm.dcounter("sudaf.phase.terminate_ms"));
   Result<std::unique_ptr<Table>> result = AssembleRewrittenResult(
       rewritten, stmt, *group_keys, num_groups, state_values);
   return result;

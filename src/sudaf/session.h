@@ -27,17 +27,30 @@
 //     std::cout << result->ProfileText();   // per-phase trace breakdown
 //   }
 //
-// Observability (docs/observability.md): the session owns a
-// MetricsRegistry that every layer below it (fused executor, cache, thread
-// pool, guard) feeds. ExecStats is *derived* from registry snapshots taken
-// around each query — no field of it is hand-incremented anywhere — and
-// each query additionally records a trace tree of timed spans
+// Observability (docs/observability.md): every query executes against a
+// registry private to that query — engine layers write their metrics
+// there, ExecStats is *derived* from its final snapshot (no field is
+// hand-incremented anywhere), and the per-query registry is then folded
+// into the session-lifetime registry returned by metrics(), which stays
+// cumulative. Each query additionally records a trace tree of timed spans
 // (rewrite → probe → input → states → terminate) published through
 // QueryResult::trace. `EXPLAIN ANALYZE <select>` surfaces the same data
 // through SQL.
+//
+// Thread safety (docs/service.md): Execute/ExecuteStatement/Prefetch are
+// safe for concurrent callers — the state cache, the persistence journal,
+// the catalog epochs and the metrics/trace plumbing all synchronize
+// internally, and per-query state lives on the caller's stack. Session
+// configuration (set_default_exec_options, set_cache_policy, persistence
+// enable/disable/suspend/resume) is also thread-safe and takes effect for
+// queries that start after the call. Catalog *table replacement* while a
+// query that resolved the table is running remains undefined; concurrent
+// workloads mutate data via TouchTable or new names only. Defining UDAFs
+// (library()) while queries run is not synchronized.
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "agg/udaf.h"
@@ -105,6 +118,13 @@ struct ExecStats {
   int64_t cache_evictions = 0;
   int64_t cache_bytes_evicted = 0;
   int cache_budget_rejects = 0;
+
+  // Service-layer fields (docs/service.md). Unlike everything above these
+  // are NOT registry-derived: QueryService fills them in after the session
+  // call returns. They stay zero/false when a session is driven directly.
+  int service_attempts = 0;               // 1 + retries for this request
+  bool degraded_fused_fallback = false;   // served by the legacy engine path
+  bool degraded_cache_memory_only = false;  // persistence breaker was open
 };
 
 // Everything one query execution produced: the result rows, the derived
@@ -192,10 +212,20 @@ class SudafSession {
   StateCache& cache() { return cache_; }
   const Catalog* catalog() const { return catalog_; }
 
-  const SessionOptions& options() const { return options_; }
+  // Options accessors return copies: the session options can be changed by
+  // another thread at any time, so handing out references would hand out
+  // torn reads. Each query snapshots the options it runs under at start.
+  SessionOptions options() const {
+    std::lock_guard<std::mutex> lock(options_mu_);
+    return options_;
+  }
   // Default per-query execution options (SessionOptions::exec).
-  const ExecOptions& exec_options() const { return options_.exec; }
+  ExecOptions exec_options() const {
+    std::lock_guard<std::mutex> lock(options_mu_);
+    return options_.exec;
+  }
   void set_default_exec_options(const ExecOptions& exec) {
+    std::lock_guard<std::mutex> lock(options_mu_);
     options_.exec = exec;
   }
   // Deprecated alias for set_default_exec_options. Unlike the historical
@@ -222,7 +252,25 @@ class SudafSession {
   Status EnableCachePersistence(const std::string& dir);
   // Detaches the store. All mutations up to this point are already in the
   // WAL; no data is lost.
-  void DisableCachePersistence() { persistence_.reset(); }
+  void DisableCachePersistence();
+  // Breaker hooks (docs/service.md): Suspend detaches the journal but
+  // remembers the store directory, putting the cache in memory-only mode.
+  // Resume reattaches by snapshotting the *current* cache contents over the
+  // store (memory is the truth after a suspension — replaying the stale
+  // disk state would resurrect old entries) and resets the WAL. Resume
+  // fails if the snapshot cannot be written; the caller should stay
+  // suspended and retry later. Both are no-ops when already in the target
+  // state.
+  void SuspendCachePersistence();
+  Status ResumeCachePersistence();
+  bool cache_persistence_suspended() const;
+  // Runs any WAL compaction the journal deferred (see
+  // CachePersistence::MaybeCompact). The session calls this itself after
+  // every query; exposed for the shell and the service breaker.
+  void MaybeCompactCache();
+  // Raw store handle for inspection (shell `\cache`, tests). NOT protected
+  // against a concurrent Disable/Suspend — callers that reconfigure
+  // persistence from other threads must use the counters via the service.
   CachePersistence* cache_persistence() { return persistence_.get(); }
 
   // One-shot snapshot of the cache to/from a single file (`\cache save` /
@@ -254,30 +302,34 @@ class SudafSession {
   // moments sketch before a query sequence, as in the AS2 experiments).
   Status Prefetch(const std::string& sql);
 
-  // Statistics of the most recent Execute/Prefetch call — a copy of what
-  // that call's QueryResult::stats carried (zeroed when it failed before
-  // executing). Deprecated shim: prefer QueryResult::stats, which cannot
-  // be clobbered by a later query.
-  const ExecStats& last_stats() const { return stats_; }
-
  private:
+  // `exec.metrics` must point at the query-private registry (set up by
+  // ExecuteStatement); everything below the session writes only there.
   Result<std::unique_ptr<Table>> ExecuteSudaf(const SelectStatement& stmt,
                                               bool share,
                                               const ExecOptions& exec);
 
   const Catalog* catalog_;
+  // Guards options_ (exec defaults, cache policy copy, trace knobs).
+  mutable std::mutex options_mu_;
   SessionOptions options_;
   UdafLibrary library_;
   UdafRegistry hardcoded_;
   Executor executor_;
-  // Declared before cache_ (which binds counters into it) so it outlives
-  // the cache during destruction.
+  // Session-lifetime registry; per-query registries merge into it at query
+  // end. Declared before cache_ so it outlives the cache on destruction.
   MetricsRegistry metrics_;
   StateCache cache_;
+  // Guards the persistence_ pointer itself (enable/disable/suspend/resume
+  // and MaybeCompactCache). Journal callbacks from inside queries go
+  // through the cache's own journal pointer, not this mutex.
+  mutable std::mutex persist_mu_;
   // Declared after cache_: destroyed first, detaching its journal while
   // the cache is still alive.
   std::unique_ptr<CachePersistence> persistence_;
-  ExecStats stats_;
+  // Store directory remembered across SuspendCachePersistence so Resume
+  // can reattach. Guarded by persist_mu_.
+  std::string persist_dir_;
 };
 
 }  // namespace sudaf

@@ -130,14 +130,14 @@ class PersistTest : public ::testing::Test {
   }
 
   // Plants a two-group set carrying bit-pattern-sensitive doubles.
-  StateCache::GroupSet* Plant(StateCache* cache, const std::string& sig) {
+  StateCache::GroupSetPtr Plant(StateCache* cache, const std::string& sig) {
     auto keys = testing_util::MakeXyTable({0, 1}, {0, 0}, {0, 0});
-    StateCache::GroupSet* set =
+    StateCache::GroupSetPtr set =
         cache->GetOrCreate(sig, *keys, 2, catalog_.TablesEpoch({"t"}));
     StateCache::Entry tricky{{-0.0, 4.9e-324}, {}};       // signed zero,
     StateCache::Entry log{{0.1 + 0.2, 1e-308}, {1, -1}};  // denormal, 0.3…
-    cache->InsertEntry(set, "sum_pow|x|1", &tricky);
-    cache->InsertEntry(set, "logclass|x", &log);
+    cache->InsertEntry(set.get(), "sum_pow|x|1", tricky);
+    cache->InsertEntry(set.get(), "logclass|x", log);
     return set;
   }
 
@@ -164,7 +164,7 @@ TEST_F(PersistTest, SnapshotRoundTripIsBitIdentical) {
   EXPECT_EQ(stats.entries_recovered, 2);
   EXPECT_EQ(stats.total_dropped(), 0);
 
-  StateCache::GroupSet* set =
+  StateCache::GroupSetPtr set =
       back.Find("T:t,;W:;G:g,", catalog_.TablesEpoch({"t"}));
   ASSERT_NE(set, nullptr);
   EXPECT_EQ(set->num_groups, 2);
@@ -172,12 +172,12 @@ TEST_F(PersistTest, SnapshotRoundTripIsBitIdentical) {
   // Channel doubles survive as raw bit patterns — -0.0 stays -0.0, the
   // denormal stays denormal, 0.1 + 0.2 keeps its exact rounding error.
   const StateCache::Entry& orig =
-      cache.sets().at("T:t,;W:;G:g,").entries.at("logclass|x");
+      cache.sets().at("T:t,;W:;G:g,")->entries.at("logclass|x");
   const StateCache::Entry& rec = set->entries.at("logclass|x");
   EXPECT_EQ(BitsOf(orig.main), BitsOf(rec.main));
   EXPECT_EQ(BitsOf(orig.sign), BitsOf(rec.sign));
   EXPECT_EQ(
-      BitsOf(cache.sets().at("T:t,;W:;G:g,").entries.at("sum_pow|x|1").main),
+      BitsOf(cache.sets().at("T:t,;W:;G:g,")->entries.at("sum_pow|x|1").main),
       BitsOf(set->entries.at("sum_pow|x|1").main));
   // And the group-keys table came back too.
   ASSERT_NE(set->group_keys, nullptr);
@@ -276,7 +276,7 @@ TEST_F(PersistTest, StaleEpochSetsAreDroppedOnLoad) {
 
 TEST_F(PersistTest, PoisonedEntriesAreQuarantinedOnLoad) {
   StateCache cache;
-  StateCache::GroupSet* set = Plant(&cache, "T:t,;W:;G:g,");
+  StateCache::GroupSetPtr set = Plant(&cache, "T:t,;W:;G:g,");
   // Plant poison directly (bypassing the insert-time guard), as bit rot
   // or a historic bug would.
   set->entries["count|x"] = StateCache::Entry{{std::nan(""), 1.0}, {}};
@@ -288,7 +288,7 @@ TEST_F(PersistTest, PoisonedEntriesAreQuarantinedOnLoad) {
   ASSERT_OK(LoadCacheSnapshot(path, catalog_, &back, &stats));
   EXPECT_EQ(stats.entries_quarantined, 1);
   EXPECT_EQ(stats.entries_recovered, 2);  // the healthy ones survive
-  StateCache::GroupSet* rec =
+  StateCache::GroupSetPtr rec =
       back.Find("T:t,;W:;G:g,", catalog_.TablesEpoch({"t"}));
   ASSERT_NE(rec, nullptr);
   EXPECT_EQ(rec->entries.count("count|x"), 0u);
@@ -317,7 +317,7 @@ TEST_F(PersistTest, WalReplayRebuildsJournaledMutations) {
   EXPECT_EQ(persist->recovery_stats().entries_recovered, 2);
   EXPECT_GT(persist->recovery_stats().wal_records_replayed, 0);
   EXPECT_EQ(persist->recovery_stats().total_dropped(), 0);
-  StateCache::GroupSet* set = cache2.Find("T:t,;W:;G:g,", epoch);
+  StateCache::GroupSetPtr set = cache2.Find("T:t,;W:;G:g,", epoch);
   ASSERT_NE(set, nullptr);
   EXPECT_EQ(set->entries.size(), 2u);
 }
@@ -347,6 +347,9 @@ TEST_F(PersistTest, WalGrowthTriggersSnapshotCompaction) {
   int64_t snapshots_before = persist->snapshots_written();
   for (int i = 0; i < 20; ++i) {
     Plant(&cache, "T:t,;W:;G:g" + std::to_string(i) + ",");
+    // Journal callbacks only flag the need; the owner compacts between
+    // queries once no cache locks are held (as SudafSession does).
+    persist->MaybeCompact();
   }
   EXPECT_GT(persist->snapshots_written(), snapshots_before);
   // After every compaction the WAL restarts from a bare header, so its
@@ -450,9 +453,9 @@ class CrashRecoveryTest : public ::testing::Test {
   // of poison.
   void ExpectConsistent(const StateCache& cache) {
     for (const auto& [sig, set] : cache.sets()) {
-      EXPECT_EQ(set.epoch, catalog_.TablesEpoch(TablesFromDataSignature(sig)))
+      EXPECT_EQ(set->epoch, catalog_.TablesEpoch(TablesFromDataSignature(sig)))
           << sig;
-      for (const auto& [key, entry] : set.entries) {
+      for (const auto& [key, entry] : set->entries) {
         EXPECT_FALSE(EntryIsPoisoned(entry)) << sig << " / " << key;
       }
     }
@@ -557,8 +560,8 @@ TEST_F(CrashRecoveryTest, CleanReopenServesStatesWithoutRescanning) {
   // so the reopened session never touches the base table.
   auto result = b.Execute(Queries()[0], ExecMode::kSudafShare);
   ASSERT_TRUE(result.ok()) << result.status().ToString();
-  EXPECT_GT(b.last_stats().states_from_cache, 0);
-  EXPECT_FALSE(b.last_stats().scanned_base_data);
+  EXPECT_GT(result->stats.states_from_cache, 0);
+  EXPECT_FALSE(result->stats.scanned_base_data);
 }
 
 TEST_F(CrashRecoveryTest, EpochBumpBetweenSessionsDropsJoinSets) {
@@ -623,7 +626,7 @@ TEST_F(CrashRecoveryTest, EpochBumpBetweenSessionsDropsJoinSets) {
   auto result = b.Execute(join_sql, ExecMode::kSudafShare);
   ASSERT_TRUE(result.ok()) << result.status().ToString();
   EXPECT_EQ(Fingerprint(**result), want);
-  EXPECT_TRUE(b.last_stats().scanned_base_data);
+  EXPECT_TRUE(result->stats.scanned_base_data);
 }
 
 // ---------------------------------------------------------------------------
@@ -645,12 +648,12 @@ TEST(CacheBudgetStressTest, ApproxBytesNeverExceedsBudgetAfterAnyInsert) {
   int64_t accepted = 0, rejected = 0;
   for (int i = 0; i < 2000; ++i) {
     std::string sig = "T:t,;W:q" + std::to_string(sig_dist(rng)) + ",;G:g,";
-    StateCache::GroupSet* set = cache.GetOrCreate(sig, *keys, 4);
+    StateCache::GroupSetPtr set = cache.GetOrCreate(sig, *keys, 4);
     ASSERT_NE(set, nullptr);
     ASSERT_LE(cache.ApproxBytes(), policy.max_bytes) << "after GetOrCreate";
     StateCache::Entry entry{std::vector<double>(len_dist(rng), 1.0), {}};
     std::string key = "state" + std::to_string(key_dist(rng));
-    if (cache.InsertEntry(set, key, &entry) != nullptr) {
+    if (cache.InsertEntry(set.get(), key, entry)) {
       ++accepted;
     } else {
       ++rejected;
@@ -693,15 +696,15 @@ TEST_F(SessionBudgetTest, EvictionsSurfaceInExecStats) {
   SessionOptions opts;
   opts.cache_policy.max_bytes = one_set + one_set / 2;
   SudafSession session(&catalog_, opts);
-  ASSERT_TRUE(session.Execute("SELECT g, var(x) FROM t GROUP BY g",
-                              ExecMode::kSudafShare)
-                  .ok());
-  EXPECT_EQ(session.last_stats().cache_evictions, 0);
+  auto first = session.Execute("SELECT g, var(x) FROM t GROUP BY g",
+                               ExecMode::kSudafShare);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_EQ(first->stats.cache_evictions, 0);
   auto second = session.Execute("SELECT g, var(x) FROM t WHERE x > 2 GROUP BY g",
                                 ExecMode::kSudafShare);
   ASSERT_TRUE(second.ok()) << second.status().ToString();
-  EXPECT_GT(session.last_stats().cache_evictions, 0);
-  EXPECT_GT(session.last_stats().cache_bytes_evicted, 0);
+  EXPECT_GT(second->stats.cache_evictions, 0);
+  EXPECT_GT(second->stats.cache_bytes_evicted, 0);
   EXPECT_LE(session.cache().ApproxBytes(), opts.cache_policy.max_bytes);
 }
 
@@ -720,7 +723,7 @@ TEST_F(SessionBudgetTest, BudgetRejectsKeepQueriesCorrect) {
   auto bounded = session.Execute("SELECT g, var(x) FROM t GROUP BY g ORDER BY g",
                                  ExecMode::kSudafShare);
   ASSERT_TRUE(bounded.ok()) << bounded.status().ToString();
-  EXPECT_GT(session.last_stats().cache_budget_rejects, 0);
+  EXPECT_GT(bounded->stats.cache_budget_rejects, 0);
   EXPECT_LE(session.cache().ApproxBytes(), opts.cache_policy.max_bytes);
 
   auto engine = session.Execute("SELECT g, var(x) FROM t GROUP BY g ORDER BY g",

@@ -43,7 +43,7 @@ TEST(StateCacheTest, FindMissesThenHits) {
   StateCache cache;
   EXPECT_EQ(cache.Find("sig"), nullptr);
   auto keys = testing_util::MakeXyTable({1, 2}, {0, 0}, {0, 0});
-  StateCache::GroupSet* set = cache.GetOrCreate("sig", *keys, 2);
+  StateCache::GroupSetPtr set = cache.GetOrCreate("sig", *keys, 2);
   ASSERT_NE(set, nullptr);
   EXPECT_EQ(cache.Find("sig"), set);
   EXPECT_EQ(cache.num_group_sets(), 1);
@@ -52,7 +52,7 @@ TEST(StateCacheTest, FindMissesThenHits) {
 TEST(StateCacheTest, EntriesAndBytes) {
   StateCache cache;
   auto keys = testing_util::MakeXyTable({1}, {0}, {0});
-  StateCache::GroupSet* set = cache.GetOrCreate("sig", *keys, 1);
+  StateCache::GroupSetPtr set = cache.GetOrCreate("sig", *keys, 1);
   set->entries["sum_pow|x|1"] = StateCache::Entry{{1.0}, {}};
   set->entries["logclass|x"] = StateCache::Entry{{0.5}, {1.0}};
   EXPECT_EQ(cache.num_entries(), 2);
@@ -64,16 +64,16 @@ TEST(StateCacheTest, EntriesAndBytes) {
 TEST(StateCacheTest, StaleGroupCountRecreates) {
   StateCache cache;
   auto keys2 = testing_util::MakeXyTable({1, 2}, {0, 0}, {0, 0});
-  StateCache::GroupSet* set = cache.GetOrCreate("sig", *keys2, 2);
+  StateCache::GroupSetPtr set = cache.GetOrCreate("sig", *keys2, 2);
   set->entries["count"] = StateCache::Entry{{2.0, 3.0}, {}};
   auto keys3 = testing_util::MakeXyTable({1, 2, 3}, {0, 0, 0}, {0, 0, 0});
-  StateCache::GroupSet* fresh = cache.GetOrCreate("sig", *keys3, 3);
+  StateCache::GroupSetPtr fresh = cache.GetOrCreate("sig", *keys3, 3);
   EXPECT_TRUE(fresh->entries.empty());
   EXPECT_EQ(fresh->num_groups, 3);
   // The discard is no longer silent: it is counted, and the old set is
   // really gone (a re-probe with the original count recreates again).
   EXPECT_EQ(cache.counters().stale_discards, 1);
-  StateCache::GroupSet* back = cache.GetOrCreate("sig", *keys2, 2);
+  StateCache::GroupSetPtr back = cache.GetOrCreate("sig", *keys2, 2);
   EXPECT_TRUE(back->entries.empty());
   EXPECT_EQ(cache.counters().stale_discards, 2);
   EXPECT_EQ(cache.counters().epoch_invalidations, 0);
@@ -82,7 +82,7 @@ TEST(StateCacheTest, StaleGroupCountRecreates) {
 TEST(StateCacheTest, EpochMismatchInvalidatesOnProbe) {
   StateCache cache;
   auto keys = testing_util::MakeXyTable({1, 2}, {0, 0}, {0, 0});
-  StateCache::GroupSet* set = cache.GetOrCreate("sig", *keys, 2, /*epoch=*/1);
+  StateCache::GroupSetPtr set = cache.GetOrCreate("sig", *keys, 2, /*epoch=*/1);
   set->entries["count"] = StateCache::Entry{{2.0, 3.0}, {}};
   EXPECT_EQ(cache.Find("sig", 1), set);
 
@@ -92,9 +92,9 @@ TEST(StateCacheTest, EpochMismatchInvalidatesOnProbe) {
   EXPECT_EQ(cache.counters().epoch_invalidations, 1);
 
   // GetOrCreate under a newer epoch likewise recreates.
-  StateCache::GroupSet* recreated = cache.GetOrCreate("sig", *keys, 2, 3);
+  StateCache::GroupSetPtr recreated = cache.GetOrCreate("sig", *keys, 2, 3);
   recreated->entries["count"] = StateCache::Entry{{2.0, 3.0}, {}};
-  StateCache::GroupSet* again = cache.GetOrCreate("sig", *keys, 2, 4);
+  StateCache::GroupSetPtr again = cache.GetOrCreate("sig", *keys, 2, 4);
   EXPECT_TRUE(again->entries.empty());
   EXPECT_EQ(cache.counters().epoch_invalidations, 2);
 }
@@ -111,7 +111,7 @@ TEST(StateCacheTest, EntryPoisonDetection) {
 TEST(StateCacheTest, GroupKeysAreCopied) {
   StateCache cache;
   auto keys = testing_util::MakeXyTable({7}, {0}, {0});
-  StateCache::GroupSet* set = cache.GetOrCreate("sig", *keys, 1);
+  StateCache::GroupSetPtr set = cache.GetOrCreate("sig", *keys, 1);
   keys.reset();  // cache must not dangle
   EXPECT_EQ(set->group_keys->column(0).GetInt64(0), 7);
 }
@@ -143,7 +143,7 @@ TEST(StateCacheBytesTest, ApproxBytesFormulaRegression) {
   StateCache cache;
   auto keys = testing_util::MakeXyTable({1, 2, 3}, {0, 0, 0}, {0, 0, 0});
   const std::string sig = "bytes-regression-sig";
-  StateCache::GroupSet* set = cache.GetOrCreate(sig, *keys, 3);
+  StateCache::GroupSetPtr set = cache.GetOrCreate(sig, *keys, 3);
 
   int64_t expected = StateCache::kPerSetOverhead +
                      static_cast<int64_t>(sig.size()) +
@@ -153,8 +153,8 @@ TEST(StateCacheBytesTest, ApproxBytesFormulaRegression) {
 
   StateCache::Entry e1{{1.0, 2.0, 3.0}, {}};
   StateCache::Entry e2{{1.0, 2.0, 3.0}, {1.0, -1.0, 1.0}};
-  ASSERT_NE(cache.InsertEntry(set, "k1", &e1), nullptr);
-  ASSERT_NE(cache.InsertEntry(set, "key2", &e2), nullptr);
+  ASSERT_TRUE(cache.InsertEntry(set.get(), "k1", e1));
+  ASSERT_TRUE(cache.InsertEntry(set.get(), "key2", e2));
   expected += StateCache::kPerEntryOverhead + 2 + 3 * 8;      // "k1", main
   expected += StateCache::kPerEntryOverhead + 4 + (3 + 3) * 8;  // "key2"
   EXPECT_EQ(cache.ApproxBytes(), expected);
@@ -162,7 +162,7 @@ TEST(StateCacheBytesTest, ApproxBytesFormulaRegression) {
 
   // Replacing an entry re-charges, it does not double-count.
   StateCache::Entry shorter{{1.0}, {}};
-  ASSERT_NE(cache.InsertEntry(set, "k1", &shorter), nullptr);
+  ASSERT_TRUE(cache.InsertEntry(set.get(), "k1", shorter));
   expected -= 2 * 8;
   EXPECT_EQ(cache.ApproxBytes(), expected);
 }
@@ -170,11 +170,11 @@ TEST(StateCacheBytesTest, ApproxBytesFormulaRegression) {
 TEST(StateCacheEvictionTest, ColdUnhitSetsAreEvictedFirst) {
   StateCache cache;
   auto keys = testing_util::MakeXyTable({1}, {0}, {0});
-  StateCache::GroupSet* a = cache.GetOrCreate("sig-a", *keys, 1);
-  StateCache::GroupSet* b = cache.GetOrCreate("sig-b", *keys, 1);
+  StateCache::GroupSetPtr a = cache.GetOrCreate("sig-a", *keys, 1);
+  StateCache::GroupSetPtr b = cache.GetOrCreate("sig-b", *keys, 1);
   StateCache::Entry ea{{1.0}, {}}, eb{{2.0}, {}};
-  cache.InsertEntry(a, "k", &ea);
-  cache.InsertEntry(b, "k", &eb);
+  cache.InsertEntry(a.get(), "k", ea);
+  cache.InsertEntry(b.get(), "k", eb);
   // Make `b` hot: repeated valid probes raise its hits and recency.
   for (int i = 0; i < 5; ++i) ASSERT_NE(cache.Find("sig-b"), nullptr);
 
@@ -194,12 +194,12 @@ TEST(StateCacheEvictionTest, ColdUnhitSetsAreEvictedFirst) {
 TEST(StateCacheEvictionTest, LargerOfEquallyColdSetsGoesFirst) {
   StateCache cache;
   auto keys = testing_util::MakeXyTable({1}, {0}, {0});
-  StateCache::GroupSet* small = cache.GetOrCreate("sig-small", *keys, 1);
-  StateCache::GroupSet* big = cache.GetOrCreate("sig-big", *keys, 1);
+  StateCache::GroupSetPtr small = cache.GetOrCreate("sig-small", *keys, 1);
+  StateCache::GroupSetPtr big = cache.GetOrCreate("sig-big", *keys, 1);
   StateCache::Entry es{{1.0}, {}};
   StateCache::Entry ebig{std::vector<double>(2048, 1.0), {}};
-  cache.InsertEntry(small, "k", &es);
-  cache.InsertEntry(big, "k", &ebig);
+  cache.InsertEntry(small.get(), "k", es);
+  cache.InsertEntry(big.get(), "k", ebig);
 
   CachePolicy policy;
   policy.max_bytes = cache.ApproxBytes() - 1;
@@ -214,13 +214,13 @@ TEST(StateCacheEvictionTest, LargerOfEquallyColdSetsGoesFirst) {
 TEST(StateCacheEvictionTest, InsertDeclineLeavesEntryUntouched) {
   StateCache cache;
   auto keys = testing_util::MakeXyTable({1}, {0}, {0});
-  StateCache::GroupSet* set = cache.GetOrCreate("sig", *keys, 1);
+  StateCache::GroupSetPtr set = cache.GetOrCreate("sig", *keys, 1);
   CachePolicy policy;
   policy.max_bytes = cache.ApproxBytes() + 64;  // set fits, big entries don't
   cache.set_policy(policy);
 
   StateCache::Entry huge{std::vector<double>(1024, 7.0), {}};
-  EXPECT_EQ(cache.InsertEntry(set, "huge", &huge), nullptr);
+  EXPECT_FALSE(cache.InsertEntry(set.get(), "huge", huge));
   // The caller keeps the state query-local, so it must still be intact.
   ASSERT_EQ(huge.main.size(), 1024u);
   EXPECT_EQ(huge.main[17], 7.0);
@@ -228,14 +228,14 @@ TEST(StateCacheEvictionTest, InsertDeclineLeavesEntryUntouched) {
   EXPECT_LE(cache.ApproxBytes(), policy.max_bytes);
 }
 
-TEST(StateCacheEvictionTest, OversizedSetLandsInTheOverflowSlot) {
+TEST(StateCacheEvictionTest, OversizedSetStaysQueryLocal) {
   StateCache cache;
   CachePolicy policy;
   policy.max_bytes = 64;  // smaller than any bare group set
   cache.set_policy(policy);
   auto keys = testing_util::MakeXyTable({1, 2}, {0, 0}, {0, 0});
 
-  StateCache::GroupSet* set = cache.GetOrCreate("sig-over", *keys, 2);
+  StateCache::GroupSetPtr set = cache.GetOrCreate("sig-over", *keys, 2);
   ASSERT_NE(set, nullptr);  // the current query can still proceed
   // ...but the set is uncached: invisible to Find, uncounted, unbudgeted.
   EXPECT_EQ(cache.Find("sig-over"), nullptr);
@@ -243,13 +243,16 @@ TEST(StateCacheEvictionTest, OversizedSetLandsInTheOverflowSlot) {
   EXPECT_EQ(cache.ApproxBytes(), 0);
 
   StateCache::Entry entry{{1.0, 2.0}, {}};
-  EXPECT_NE(cache.InsertEntry(set, "k", &entry), nullptr);
+  EXPECT_TRUE(cache.InsertEntry(set.get(), "k", entry));
   EXPECT_EQ(cache.num_entries(), 0);  // still uncounted
 
-  // The next overflow replaces the slot; the old pointer dies with it.
-  StateCache::GroupSet* next = cache.GetOrCreate("sig-over2", *keys, 2);
+  // Each overflow is independent and query-local; the first set stays
+  // alive for as long as its query holds the reference.
+  StateCache::GroupSetPtr next = cache.GetOrCreate("sig-over2", *keys, 2);
   ASSERT_NE(next, nullptr);
   EXPECT_EQ(cache.num_group_sets(), 0);
+  EXPECT_TRUE(set->uncached);
+  EXPECT_EQ(set->entries.count("k"), 1u);
 }
 
 }  // namespace

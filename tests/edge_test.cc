@@ -139,16 +139,16 @@ TEST_F(EdgeTest, ReplacedTableInvalidatesCacheViaEpoch) {
                                  ExecMode::kSudafShare);
   ASSERT_TRUE(fresh.ok());
   ASSERT_EQ((*fresh)->num_rows(), 3);
-  EXPECT_EQ(session_->last_stats().states_from_cache, 0);
-  EXPECT_EQ(session_->last_stats().cache_epoch_invalidations, 1);
+  EXPECT_EQ(fresh->stats.states_from_cache, 0);
+  EXPECT_EQ(fresh->stats.cache_epoch_invalidations, 1);
   ExpectClose(7.0, (*fresh)->column(1).GetFloat64(2));
 
   // The recreated set serves subsequent queries as usual.
   auto again = session_->Execute("SELECT g, sum(x) FROM t GROUP BY g",
                                  ExecMode::kSudafShare);
   ASSERT_TRUE(again.ok());
-  EXPECT_GT(session_->last_stats().states_from_cache, 0);
-  EXPECT_EQ(session_->last_stats().cache_epoch_invalidations, 0);
+  EXPECT_GT(again->stats.states_from_cache, 0);
+  EXPECT_EQ(again->stats.cache_epoch_invalidations, 0);
 }
 
 TEST_F(EdgeTest, HugeValuesDoNotBreakSharing) {
@@ -169,8 +169,8 @@ TEST_F(EdgeTest, DuplicateStateAcrossItemsComputedOnce) {
       "SELECT g, sum(x) a, sum(x) b, sum(x)+0 c FROM t GROUP BY g",
       ExecMode::kSudafShare);
   ASSERT_TRUE(result.ok()) << result.status().ToString();
-  EXPECT_EQ(session_->last_stats().num_states, 1);
-  EXPECT_EQ(session_->last_stats().states_computed, 1);
+  EXPECT_EQ(result->stats.num_states, 1);
+  EXPECT_EQ(result->stats.states_computed, 1);
 }
 
 }  // namespace

@@ -356,9 +356,9 @@ TEST(FusedSessionTest, FusedAndLegacySessionsAgree) {
       }
       if (mode != ExecMode::kEngine) {
         // The fused pass must actually have run (and been observable).
-        EXPECT_TRUE(fused_session.last_stats().used_fused) << sql;
-        EXPECT_GT(fused_session.last_stats().fused_channels, 0) << sql;
-        EXPECT_FALSE(legacy_session.last_stats().used_fused) << sql;
+        EXPECT_TRUE(a->stats.used_fused) << sql;
+        EXPECT_GT(a->stats.fused_channels, 0) << sql;
+        EXPECT_FALSE(b->stats.used_fused) << sql;
       }
     }
   }
@@ -400,7 +400,7 @@ TEST(FusedSessionTest, ParallelSessionMatchesSerial) {
                     (*rb)->column(c).GetNumeric(r), 1e-9);
       }
     }
-    EXPECT_GE(b.last_stats().fused_threads, 1);
+    EXPECT_GE(rb->stats.fused_threads, 1);
   }
 }
 

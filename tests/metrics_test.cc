@@ -331,18 +331,25 @@ TEST_F(ProfileTest, ExplainAnalyzeExecutesAndReturnsProfile) {
   EXPECT_GT(session_->cache().num_entries(), 0);
 }
 
-TEST_F(ProfileTest, StatsResetWhenParsingFails) {
-  ASSERT_TRUE(session_
-                  ->Execute("SELECT g, var(x) FROM t GROUP BY g",
-                            ExecMode::kSudafShare)
-                  .ok());
-  ASSERT_GT(session_->last_stats().num_states, 0);
-  // Regression: a parse-time failure used to leave the previous query's
-  // stats in place, so error paths reported stale numbers.
+TEST_F(ProfileTest, StatsArePerResultNeverStale) {
+  auto first = session_->Execute("SELECT g, var(x) FROM t GROUP BY g",
+                                 ExecMode::kSudafShare);
+  ASSERT_TRUE(first.ok());
+  ASSERT_GT(first->stats.num_states, 0);
+  // Regression (historical): a parse-time failure used to leave the
+  // previous query's stats readable through a session-level accessor.
+  // Stats now live only on each QueryResult, so a failed query yields no
+  // stats at all and cannot alias an earlier query's numbers.
   ASSERT_FALSE(session_->Execute("not sql at all", ExecMode::kSudafShare).ok());
-  EXPECT_EQ(session_->last_stats().num_states, 0);
-  EXPECT_EQ(session_->last_stats().total_ms, 0.0);
-  EXPECT_EQ(session_->last_stats().states_from_cache, 0);
+  // The earlier result's stats are untouched by the failure.
+  EXPECT_GT(first->stats.num_states, 0);
+  // And a fresh successful query reports its own numbers independently.
+  auto again = session_->Execute("SELECT g, var(x) FROM t GROUP BY g",
+                                 ExecMode::kSudafShare);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->stats.num_states, first->stats.num_states);
+  EXPECT_GT(again->stats.states_from_cache, 0);
+  EXPECT_EQ(first->stats.states_from_cache, 0);
 }
 
 TEST_F(ProfileTest, ExecStatsIsTheRegistryDelta) {

@@ -73,8 +73,8 @@ TEST(HavingCacheTest, HavingDoesNotFragmentTheCache) {
       "SELECT g, avg(x) m FROM t GROUP BY g HAVING m > 4",
       ExecMode::kSudafShare);
   ASSERT_TRUE(second.ok());
-  EXPECT_EQ(session.last_stats().states_from_cache, 2);
-  EXPECT_FALSE(session.last_stats().scanned_base_data);
+  EXPECT_EQ(second->stats.states_from_cache, 2);
+  EXPECT_FALSE(second->stats.scanned_base_data);
   EXPECT_EQ((*second)->num_rows(), 1);
 }
 

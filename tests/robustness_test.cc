@@ -326,7 +326,9 @@ TEST_F(RobustSessionTest, PreCancelledTokenFailsBeforeScanning) {
                                   ExecMode::kSudafShare);
   ASSERT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
-  EXPECT_FALSE(session_->last_stats().scanned_base_data);
+  // Failed queries return no stats; the cancel fired before any scan, so
+  // nothing was cached.
+  EXPECT_EQ(session_->cache().num_entries(), 0u);
 }
 
 TEST_F(RobustSessionTest, ExpiredDeadlineSurfacesThroughExecute) {
@@ -383,8 +385,8 @@ TEST_F(RobustSessionTest, InsertFaultLeavesCacheEmptyAndRecovers) {
   auto third = session_->Execute("SELECT g, var(x) FROM t GROUP BY g",
                                  ExecMode::kSudafShare);
   ASSERT_TRUE(third.ok());
-  EXPECT_GT(session_->last_stats().states_from_cache, 0);
-  EXPECT_FALSE(session_->last_stats().scanned_base_data);
+  EXPECT_GT(third->stats.states_from_cache, 0);
+  EXPECT_FALSE(third->stats.scanned_base_data);
 }
 
 // The insert commit is two-phase: with several pending entries and a fault
@@ -418,7 +420,7 @@ TEST_F(RobustSessionTest, ProbeFaultSurfacesWithoutCorruption) {
   auto retry = session_->Execute("SELECT g, sum(x) FROM t GROUP BY g",
                                  ExecMode::kSudafShare);
   ASSERT_TRUE(retry.ok());
-  EXPECT_GT(session_->last_stats().states_from_cache, 0);
+  EXPECT_GT(retry->stats.states_from_cache, 0);
 }
 
 // Acceptance (c): a sum overflowing to Inf is reported in ExecStats, never
@@ -435,15 +437,15 @@ TEST_F(RobustSessionTest, OverflowedStateIsServedButNeverCached) {
   // The current query still gets the honest arithmetic answer...
   EXPECT_EQ((*first)->column(0).GetFloat64(0), kInf);
   // ...but the poisoned state is reported and not cached.
-  EXPECT_GT(session_->last_stats().states_poisoned, 0);
+  EXPECT_GT(first->stats.states_poisoned, 0);
   EXPECT_EQ(session_->cache().num_entries(), 0);
 
   auto second =
       session_->Execute("SELECT sum(x) FROM t", ExecMode::kSudafShare);
   ASSERT_TRUE(second.ok());
   EXPECT_EQ((*second)->column(0).GetFloat64(0), kInf);
-  EXPECT_EQ(session_->last_stats().states_from_cache, 0);  // recomputed
-  EXPECT_TRUE(session_->last_stats().scanned_base_data);
+  EXPECT_EQ(second->stats.states_from_cache, 0);  // recomputed
+  EXPECT_TRUE(second->stats.scanned_base_data);
 }
 
 TEST_F(RobustSessionTest, PoisonQuarantineIsPerState) {
@@ -457,13 +459,13 @@ TEST_F(RobustSessionTest, PoisonQuarantineIsPerState) {
   auto first = session_->Execute(
       "SELECT g, sum(x), count(x) FROM t GROUP BY g", ExecMode::kSudafShare);
   ASSERT_TRUE(first.ok()) << first.status().ToString();
-  EXPECT_EQ(session_->last_stats().states_poisoned, 1);
+  EXPECT_EQ(first->stats.states_poisoned, 1);
   EXPECT_EQ(session_->cache().num_entries(), 1);  // count only
 
   auto second = session_->Execute(
       "SELECT g, sum(x), count(x) FROM t GROUP BY g", ExecMode::kSudafShare);
   ASSERT_TRUE(second.ok());
-  EXPECT_EQ(session_->last_stats().states_from_cache, 1);  // count reused
+  EXPECT_EQ(second->stats.states_from_cache, 1);  // count reused
   EXPECT_EQ((*second)->column(1).GetFloat64(0), kInf);
   ExpectClose(1.0, (*second)->column(2).GetFloat64(1));
 }
@@ -477,7 +479,7 @@ TEST_F(RobustSessionTest, PoisonedEntryPlantedInCacheIsEvictedOnProbe) {
 
   ASSERT_OK_AND_ASSIGN(std::unique_ptr<SelectStatement> stmt,
                        ParseSelect(sql));
-  StateCache::GroupSet* set = session_->cache().Find(
+  StateCache::GroupSetPtr set = session_->cache().Find(
       DataSignature(*stmt), catalog_.TablesEpoch(stmt->tables));
   ASSERT_NE(set, nullptr);
   ASSERT_EQ(set->entries.size(), 1u);
@@ -487,8 +489,8 @@ TEST_F(RobustSessionTest, PoisonedEntryPlantedInCacheIsEvictedOnProbe) {
 
   auto result = session_->Execute(sql, ExecMode::kSudafShare);
   ASSERT_TRUE(result.ok()) << result.status().ToString();
-  EXPECT_EQ(session_->last_stats().cache_poison_evictions, 1);
-  EXPECT_EQ(session_->last_stats().states_from_cache, 0);
+  EXPECT_EQ(result->stats.cache_poison_evictions, 1);
+  EXPECT_EQ(result->stats.states_from_cache, 0);
   EXPECT_TRUE(std::isfinite((*result)->column(1).GetFloat64(0)));
 }
 
@@ -504,8 +506,8 @@ TEST_F(RobustSessionTest, TableReplacementInvalidatesViaEpoch) {
       "t", testing_util::MakeXyTable({0, 1}, {10.0, 20.0}, {0.0, 0.0}));
   auto fresh = session_->Execute(sql, ExecMode::kSudafShare);
   ASSERT_TRUE(fresh.ok()) << fresh.status().ToString();
-  EXPECT_EQ(session_->last_stats().cache_epoch_invalidations, 1);
-  EXPECT_EQ(session_->last_stats().states_from_cache, 0);
+  EXPECT_EQ(fresh->stats.cache_epoch_invalidations, 1);
+  EXPECT_EQ(fresh->stats.states_from_cache, 0);
   ASSERT_EQ((*fresh)->num_rows(), 2);
   ExpectClose(10.0, (*fresh)->column(1).GetFloat64(0));
   ExpectClose(20.0, (*fresh)->column(1).GetFloat64(1));
@@ -551,22 +553,22 @@ TEST_F(RobustSessionTest, JoinSetInvalidatesWhenEitherTableMutates) {
   catalog_.PutTable("dim", make_dim(2));
   auto after_dim = session_->Execute(sql, ExecMode::kSudafShare);
   ASSERT_TRUE(after_dim.ok()) << after_dim.status().ToString();
-  EXPECT_EQ(session_->last_stats().cache_epoch_invalidations, 1);
-  EXPECT_EQ(session_->last_stats().states_from_cache, 0);
+  EXPECT_EQ(after_dim->stats.cache_epoch_invalidations, 1);
+  EXPECT_EQ(after_dim->stats.states_from_cache, 0);
   ASSERT_EQ((*after_dim)->num_rows(), 2);  // key 2 no longer joins
 
   // Now the FACT side.
   catalog_.PutTable("fact", make_fact());
   auto after_fact = session_->Execute(sql, ExecMode::kSudafShare);
   ASSERT_TRUE(after_fact.ok());
-  EXPECT_EQ(session_->last_stats().cache_epoch_invalidations, 1);
-  EXPECT_EQ(session_->last_stats().states_from_cache, 0);
+  EXPECT_EQ(after_fact->stats.cache_epoch_invalidations, 1);
+  EXPECT_EQ(after_fact->stats.states_from_cache, 0);
 
   // Stable epochs: an immediate re-run shares instead of recomputing.
   auto warm = session_->Execute(sql, ExecMode::kSudafShare);
   ASSERT_TRUE(warm.ok());
-  EXPECT_EQ(session_->last_stats().cache_epoch_invalidations, 0);
-  EXPECT_GT(session_->last_stats().states_from_cache, 0);
+  EXPECT_EQ(warm->stats.cache_epoch_invalidations, 0);
+  EXPECT_GT(warm->stats.states_from_cache, 0);
 }
 
 TEST_F(RobustSessionTest, InPlaceMutationInvalidatesViaTouchTable) {
@@ -581,8 +583,8 @@ TEST_F(RobustSessionTest, InPlaceMutationInvalidatesViaTouchTable) {
   catalog_.TouchTable("t");
   auto result = session_->Execute(sql, ExecMode::kSudafShare);
   ASSERT_TRUE(result.ok());
-  EXPECT_EQ(session_->last_stats().cache_epoch_invalidations, 1);
-  EXPECT_EQ(session_->last_stats().states_from_cache, 0);
+  EXPECT_EQ(result->stats.cache_epoch_invalidations, 1);
+  EXPECT_EQ(result->stats.states_from_cache, 0);
 }
 
 TEST_F(RobustSessionTest, UnrelatedTableMutationDoesNotInvalidate) {
@@ -594,8 +596,8 @@ TEST_F(RobustSessionTest, UnrelatedTableMutationDoesNotInvalidate) {
       "other", testing_util::MakeXyTable({0}, {1.0}, {1.0}));
   auto result = session_->Execute(sql, ExecMode::kSudafShare);
   ASSERT_TRUE(result.ok());
-  EXPECT_EQ(session_->last_stats().cache_epoch_invalidations, 0);
-  EXPECT_GT(session_->last_stats().states_from_cache, 0);
+  EXPECT_EQ(result->stats.cache_epoch_invalidations, 0);
+  EXPECT_GT(result->stats.states_from_cache, 0);
 }
 
 // The legacy (use_fused = false) path honors the same contracts.
@@ -612,7 +614,7 @@ TEST_F(RobustSessionTest, LegacyPathPoisonAndGuard) {
       session_->Execute("SELECT sum(x) FROM t", ExecMode::kSudafShare);
   ASSERT_TRUE(first.ok()) << first.status().ToString();
   EXPECT_EQ((*first)->column(0).GetFloat64(0), kInf);
-  EXPECT_GT(session_->last_stats().states_poisoned, 0);
+  EXPECT_GT(first->stats.states_poisoned, 0);
   EXPECT_EQ(session_->cache().num_entries(), 0);
 
   QueryGuard guard;

@@ -1,19 +1,30 @@
 #!/usr/bin/env bash
 # Build + test under a sanitizer configuration. The new threaded execution
-# paths (thread pool, fused StateBatch) should be validated with
+# paths (thread pool, fused StateBatch, query service) should be validated
+# with
 #
-#   tools/check.sh tsan     # race-check the thread pool / morsel pipeline
-#   tools/check.sh asan     # memory/UB check
-#   tools/check.sh release  # plain optimized build (default)
+#   tools/check.sh tsan              # race-check the threaded paths
+#   tools/check.sh asan              # memory/UB check
+#   tools/check.sh release           # plain optimized build (default)
+#   tools/check.sh tsan --stress     # + the chaos stress shard: repeat the
+#                                    # service chaos harness (concurrent
+#                                    # clients under cycling failpoints)
+#                                    # several times under the sanitizer
 #
 # Requires cmake >= 3.23 (presets). Runs from anywhere inside the repo.
 set -euo pipefail
 
 preset="${1:-release}"
+stress=0
 case "$preset" in
   release|asan|tsan) ;;
-  *) echo "usage: $0 [release|asan|tsan]" >&2; exit 2 ;;
+  *) echo "usage: $0 [release|asan|tsan] [--stress]" >&2; exit 2 ;;
 esac
+if [ "${2:-}" = "--stress" ]; then
+  stress=1
+elif [ -n "${2:-}" ]; then
+  echo "usage: $0 [release|asan|tsan] [--stress]" >&2; exit 2
+fi
 
 cd "$(git -C "$(dirname "$0")" rev-parse --show-toplevel)"
 
@@ -21,12 +32,24 @@ cmake --preset "$preset"
 cmake --build --preset "$preset" -j "$(nproc)"
 ctest --preset "$preset" -j "$(nproc)"
 
+build_dir="build-${preset}"
+[ "$preset" = release ] && build_dir="build"
+
 if [ "$preset" = tsan ]; then
   # Explicit race gate for the parallel pipeline: re-run the thread-count
   # determinism suite with many repetitions so dynamic chunk claiming and
   # the per-worker observability buffers get repeatedly exercised under
   # ThreadSanitizer (ctest above runs each test once).
-  build_dir="build-tsan"
   "${build_dir}/tests/sudaf_tests" \
     --gtest_filter='ParallelPipelineTest.*' --gtest_repeat=3
+fi
+
+if [ "$stress" = 1 ]; then
+  # Chaos stress shard: concurrent service clients with a chaos thread
+  # cycling failpoint configurations, plus the admission/session
+  # concurrency suites, repeated so rare interleavings get a chance to
+  # surface under the sanitizer.
+  "${build_dir}/tests/sudaf_tests" \
+    --gtest_filter='ChaosTest.*:AdmissionTest.*:ServiceTest.*:ThreadPoolReentrancyTest.*' \
+    --gtest_repeat=3 --gtest_shuffle
 fi
