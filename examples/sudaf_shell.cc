@@ -19,6 +19,11 @@
 //                                atomically re-arm from a spec in the
 //                                SUDAF_FAILPOINTS grammar (docs/service.md);
 //                                "off" disarms everything
+//   \scrub                       run one integrity scrub pass (resident
+//                                shadow checksums + on-disk CRC walk) and
+//                                print the report
+//   \scrub start [interval_ms]   launch the background scrubber thread
+//   \scrub stop                  stop the background scrubber thread
 //   \cache                       cache statistics (size, eviction and
 //                                invalidation counters)
 //   \cache save <path>           snapshot the state cache to a checksummed
@@ -31,13 +36,16 @@
 //   \quit                        exit
 
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 
 #include "bench_support/workload.h"
 #include "common/failpoint.h"
 #include "storage/csv.h"
+#include "sudaf/scrubber.h"
 
 using namespace sudaf;  // NOLINT — example brevity
 
@@ -129,6 +137,9 @@ int main() {
       "save/load, \\quit to exit)\n");
 
   ExecMode mode = ExecMode::kSudafShare;
+  // Lazily constructed on first \scrub so sessions that never scrub pay
+  // nothing; owned here so Stop()/join happens before the session dies.
+  std::unique_ptr<IntegrityScrubber> scrubber;
   bool profile_on = false;
   std::string last_profile_json;
   std::string line;
@@ -236,6 +247,62 @@ int main() {
         } else {
           Status wst = WriteCsv(**table, path);
           std::printf("%s\n", wst.ok() ? "written" : wst.ToString().c_str());
+        }
+      } else if (line.rfind("\\scrub", 0) == 0) {
+        std::stringstream args(line.substr(6));
+        std::string sub, arg;
+        args >> sub >> arg;
+        if (sub == "start") {
+          ScrubOptions sopts;
+          if (!arg.empty()) sopts.interval_ms = std::atoi(arg.c_str());
+          if (sopts.interval_ms <= 0) {
+            std::printf("usage: \\scrub start [interval_ms > 0]\n");
+          } else {
+            if (scrubber != nullptr && scrubber->running()) scrubber->Stop();
+            scrubber =
+                std::make_unique<IntegrityScrubber>(&session, sopts);
+            Status sst = scrubber->Start();
+            std::printf("%s\n", sst.ok() ? "scrubber started"
+                                         : sst.ToString().c_str());
+          }
+        } else if (sub == "stop") {
+          if (scrubber == nullptr || !scrubber->running()) {
+            std::printf("scrubber is not running\n");
+          } else {
+            scrubber->Stop();
+            std::printf("scrubber stopped (%lld passes total)\n",
+                        static_cast<long long>(scrubber->passes()));
+          }
+        } else if (sub.empty()) {
+          if (scrubber == nullptr) {
+            scrubber = std::make_unique<IntegrityScrubber>(&session);
+          }
+          ScrubReport rep = scrubber->RunOnce();
+          std::printf(
+              "  resident: %lld entries checked, %lld quarantined\n",
+              static_cast<long long>(rep.resident.entries_checked),
+              static_cast<long long>(rep.resident.entries_quarantined));
+          if (rep.store_attached) {
+            std::printf(
+                "  disk: %lld records checked, %lld corrupt, %lld torn "
+                "tails, %lld unreadable files\n",
+                static_cast<long long>(rep.disk.records_checked),
+                static_cast<long long>(rep.disk.corrupt_records),
+                static_cast<long long>(rep.disk.torn_tails),
+                static_cast<long long>(rep.disk.unreadable_files));
+          } else {
+            std::printf("  disk: no persistent store attached\n");
+          }
+          if (rep.republished) {
+            std::printf("  repaired: clean snapshot republished\n");
+          } else if (!rep.error.ok()) {
+            std::printf("  repair failed: %s\n",
+                        rep.error.ToString().c_str());
+          } else if (!rep.found_damage()) {
+            std::printf("  clean\n");
+          }
+        } else {
+          std::printf("usage: \\scrub [start [interval_ms] | stop]\n");
         }
       } else if (line.rfind("\\cache", 0) == 0) {
         std::stringstream args(line.substr(6));

@@ -1,6 +1,7 @@
 #include "common/failpoint.h"
 
 #include <atomic>
+#include <csignal>
 #include <cstdlib>
 #include <limits>
 #include <map>
@@ -21,6 +22,11 @@ struct Registry {
   std::mutex mu;
   std::map<std::string, Spec> specs;
   std::map<std::string, int64_t> hits;
+  // SUDAF_FAILPOINT_KILL: when armed, the first evaluation of kill_site
+  // after kill_skip passing evaluations raises SIGKILL.
+  bool kill_armed = false;
+  std::string kill_site;
+  int kill_skip = 0;
 };
 
 // Leaked intentionally: failpoints may be evaluated from worker threads
@@ -79,11 +85,49 @@ struct ParsedSpec {
   int count = 1;
 };
 
+// Parses "site[=skip:N]" and arms the SIGKILL hook for that site.
+Status ArmKillSpec(const std::string& item, Registry& r,
+                   std::atomic<int>& num_active) {
+  std::string site;
+  int skip = 0;
+  size_t eq = item.find('=');
+  site = item.substr(0, eq);
+  if (site.empty()) {
+    return Status::InvalidArgument("SUDAF_FAILPOINT_KILL: empty site");
+  }
+  if (eq != std::string::npos) {
+    std::vector<std::string> args = SplitOn(item.substr(eq + 1), ':');
+    if (args.size() != 2 || args[0] != "skip" || !ParseInt(args[1], &skip)) {
+      return Status::InvalidArgument(
+          "SUDAF_FAILPOINT_KILL: expected 'site' or 'site=skip:N', got '" +
+          item + "'");
+    }
+  }
+  std::lock_guard<std::mutex> lock(r.mu);
+  if (!r.kill_armed) num_active.fetch_add(1, std::memory_order_release);
+  r.kill_armed = true;
+  r.kill_site = std::move(site);
+  r.kill_skip = skip;
+  return Status::OK();
+}
+
 }  // namespace
 
 Result<int> FailPoint::ActivateFromEnv(const char* spec) {
-  if (spec == nullptr) spec = std::getenv("SUDAF_FAILPOINTS");
-  if (spec == nullptr || *spec == '\0') return 0;
+  const bool from_env = spec == nullptr;
+  if (from_env) spec = std::getenv("SUDAF_FAILPOINTS");
+  int armed = 0;
+  if (from_env) {
+    // The kill hook is environment-only by design: it is armed for a child
+    // process (tools/torture.cc) via execve environment, never from a
+    // spec string a shell command could pass.
+    const char* kill = std::getenv("SUDAF_FAILPOINT_KILL");
+    if (kill != nullptr && *kill != '\0') {
+      SUDAF_RETURN_IF_ERROR(ArmKillSpec(kill, registry(), num_active));
+      ++armed;
+    }
+  }
+  if (spec == nullptr || *spec == '\0') return armed;
 
   // Parse everything before arming anything: a malformed spec must not
   // leave a half-armed configuration behind.
@@ -125,7 +169,7 @@ Result<int> FailPoint::ActivateFromEnv(const char* spec) {
              Status::Internal("injected by SUDAF_FAILPOINTS at " + p.site),
              p.skip, p.count);
   }
-  return static_cast<int>(parsed.size());
+  return armed + static_cast<int>(parsed.size());
 }
 
 void FailPoint::Reset() { DeactivateAll(); }
@@ -155,10 +199,13 @@ void FailPoint::Deactivate(const std::string& site) {
 void FailPoint::DeactivateAll() {
   Registry& r = registry();
   std::lock_guard<std::mutex> lock(r.mu);
-  num_active.fetch_sub(static_cast<int>(r.specs.size()),
-                       std::memory_order_release);
+  int active = static_cast<int>(r.specs.size()) + (r.kill_armed ? 1 : 0);
+  num_active.fetch_sub(active, std::memory_order_release);
   r.specs.clear();
   r.hits.clear();
+  r.kill_armed = false;
+  r.kill_site.clear();
+  r.kill_skip = 0;
 }
 
 int64_t FailPoint::Hits(const std::string& site) {
@@ -173,6 +220,15 @@ Status FailPoint::Check(const char* site) {
   Registry& r = registry();
   std::lock_guard<std::mutex> lock(r.mu);
   ++r.hits[site];
+  if (r.kill_armed && r.kill_site == site) {
+    if (r.kill_skip > 0) {
+      --r.kill_skip;
+    } else {
+      // Real process death at this exact site — the torture supervisor
+      // (tools/torture.cc) verifies recovery from whatever hit the disk.
+      std::raise(SIGKILL);
+    }
+  }
   auto it = r.specs.find(site);
   if (it == r.specs.end()) return Status::OK();
   Spec& spec = it->second;

@@ -32,6 +32,19 @@
 //   cache:snapshot_rename  between tmp-file write and the atomic rename
 //   cache:recover_record   before each record is applied during recovery;
 //                          an injected fault drops that record as corrupt
+//   vfs:open / vfs:read / vfs:write / vfs:rename
+//                          Vfs syscall sites (common/vfs.h); injected
+//                          faults surface as typed kIoError statuses
+//   vfs:fsync / vfs:dirsync  fsync sites; surface as kFsyncFailed
+//   vfs:nospace            checked before every Vfs write; kNoSpace
+//   vfs:short_write / vfs:fsync_lie / vfs:power_cut
+//                          FaultVfs-only sites (common/vfs_fault.h)
+//
+// Process-kill hook: setting SUDAF_FAILPOINT_KILL="site[=skip:N]" in the
+// environment makes the (N+1)-th evaluation of `site` raise SIGKILL —
+// real process death at a precise persistence site, no simulation. Parsed
+// by ActivateFromEnv(nullptr) alongside SUDAF_FAILPOINTS; used by
+// tools/torture.cc for kill-and-recover rounds.
 
 #include <cstdint>
 #include <string>

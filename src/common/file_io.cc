@@ -1,93 +1,35 @@
 #include "common/file_io.h"
 
-#include <cstdio>
-#include <filesystem>
-#include <system_error>
+#include "common/vfs.h"
 
 namespace sudaf {
 
-namespace fs = std::filesystem;
-
 Result<std::string> ReadFileToString(const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) {
-    return Status::NotFound("cannot open '" + path + "' for reading");
-  }
-  std::string out;
-  char buf[1 << 16];
-  size_t n;
-  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
-    out.append(buf, n);
-  }
-  bool bad = std::ferror(f) != 0;
-  std::fclose(f);
-  if (bad) return Status::Internal("read error on '" + path + "'");
-  return out;
+  return Vfs::Default()->ReadFile(path);
 }
 
 Status WriteFileAtomic(const std::string& path, std::string_view data) {
-  const std::string tmp = path + ".tmp";
-  std::FILE* f = std::fopen(tmp.c_str(), "wb");
-  if (f == nullptr) {
-    return Status::Internal("cannot open '" + tmp + "' for writing");
-  }
-  bool ok = data.empty() || std::fwrite(data.data(), 1, data.size(), f) ==
-                                data.size();
-  ok = (std::fflush(f) == 0) && ok;
-  ok = (std::fclose(f) == 0) && ok;
-  if (!ok) {
-    std::remove(tmp.c_str());
-    return Status::Internal("write error on '" + tmp + "'");
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    return Status::Internal("cannot rename '" + tmp + "' to '" + path + "'");
-  }
-  return Status::OK();
+  return Vfs::Default()->WriteAtomic(path, data);
 }
 
 Status AppendToFile(const std::string& path, std::string_view data) {
-  std::FILE* f = std::fopen(path.c_str(), "ab");
-  if (f == nullptr) {
-    return Status::Internal("cannot open '" + path + "' for append");
-  }
-  bool ok = data.empty() || std::fwrite(data.data(), 1, data.size(), f) ==
-                                data.size();
-  ok = (std::fflush(f) == 0) && ok;
-  ok = (std::fclose(f) == 0) && ok;
-  if (!ok) return Status::Internal("append error on '" + path + "'");
-  return Status::OK();
+  return Vfs::Default()->Append(path, data);
 }
 
 int64_t FileSizeOf(const std::string& path) {
-  std::error_code ec;
-  auto size = fs::file_size(path, ec);
-  if (ec) return -1;
-  return static_cast<int64_t>(size);
+  return Vfs::Default()->FileSize(path);
 }
 
 bool FileExists(const std::string& path) {
-  std::error_code ec;
-  return fs::exists(path, ec);
+  return Vfs::Default()->Exists(path);
 }
 
 Status RemoveFileIfExists(const std::string& path) {
-  std::error_code ec;
-  fs::remove(path, ec);
-  if (ec) {
-    return Status::Internal("cannot remove '" + path + "': " + ec.message());
-  }
-  return Status::OK();
+  return Vfs::Default()->RemoveIfExists(path);
 }
 
 Status EnsureDirectory(const std::string& dir) {
-  std::error_code ec;
-  fs::create_directories(dir, ec);
-  if (ec) {
-    return Status::Internal("cannot create directory '" + dir +
-                            "': " + ec.message());
-  }
-  return Status::OK();
+  return Vfs::Default()->CreateDirs(dir);
 }
 
 }  // namespace sudaf

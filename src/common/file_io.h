@@ -3,13 +3,17 @@
 
 // Small file-I/O helpers for the persistence layer (docs/robustness.md).
 //
-// The one contract that matters is WriteFileAtomic: readers of `path`
-// observe either the previous complete content or the new complete
-// content, never a half-written file. It writes to `path + ".tmp"`,
-// flushes, then publishes with rename(2), which is atomic on POSIX
-// filesystems. Append paths make no such promise — a crash mid-append
-// leaves a torn tail, which is exactly what the WAL recovery code is
-// built to detect and drop.
+// These are thin wrappers over the default Vfs (common/vfs.h); they keep
+// their historical names for callers that do not care which backend runs
+// underneath. The durability contract lives in the Vfs composites:
+// WriteFileAtomic fsyncs the tmp file before the rename and fsyncs the
+// parent directory after it, so after OK the new content survives a power
+// cut; AppendToFile fsyncs the file (and, on create, the directory) but is
+// not atomic — a crash mid-append leaves a torn tail, which is exactly
+// what the WAL recovery code is built to detect and drop.
+//
+// Errors are typed (kNoSpace / kIoError / kFsyncFailed) and carry
+// errno/strerror detail; see common/vfs.h.
 
 #include <cstdint>
 #include <string>
@@ -22,11 +26,12 @@ namespace sudaf {
 // Entire content of `path`; NotFound when it does not exist.
 Result<std::string> ReadFileToString(const std::string& path);
 
-// Replaces `path` with `data` atomically (tmp file + rename). On error the
-// previous content of `path`, if any, is left intact.
+// Replaces `path` with `data` atomically and durably (tmp file + fsync +
+// rename + dirsync). On error the previous content of `path`, if any, is
+// left intact and the tmp file is removed.
 Status WriteFileAtomic(const std::string& path, std::string_view data);
 
-// Appends `data` to `path`, creating it when absent, and flushes before
+// Appends `data` to `path`, creating it when absent, and fsyncs before
 // returning. Not atomic: a crash can leave a prefix of `data`.
 Status AppendToFile(const std::string& path, std::string_view data);
 

@@ -29,6 +29,12 @@ const char* StatusCodeName(StatusCode code) {
       return "DeadlineExceeded";
     case StatusCode::kResourceExhausted:
       return "ResourceExhausted";
+    case StatusCode::kNoSpace:
+      return "NoSpace";
+    case StatusCode::kIoError:
+      return "IoError";
+    case StatusCode::kFsyncFailed:
+      return "FsyncFailed";
   }
   return "Unknown";
 }

@@ -28,6 +28,13 @@ enum class StatusCode {
   kCancelled,
   kDeadlineExceeded,
   kResourceExhausted,
+  // Storage-fault codes (see docs/robustness.md, "Durability contract"):
+  // the disk is full (ENOSPC/EDQUOT), an I/O syscall failed (EIO, short
+  // write, unreadable file), or an fsync failed — data that looked written
+  // may not be durable. Messages carry errno/strerror detail.
+  kNoSpace,
+  kIoError,
+  kFsyncFailed,
 };
 
 // Returns a short human-readable name for `code` ("OK", "ParseError", ...).
@@ -70,6 +77,15 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status NoSpace(std::string msg) {
+    return Status(StatusCode::kNoSpace, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status FsyncFailed(std::string msg) {
+    return Status(StatusCode::kFsyncFailed, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

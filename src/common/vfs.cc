@@ -1,0 +1,264 @@
+#include "common/vfs.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <system_error>
+
+#include "common/failpoint.h"
+
+namespace sudaf {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+// Typed Status from an errno: ENOSPC-family → kNoSpace, fsync sites →
+// kFsyncFailed (unless the disk is full, which dominates), everything
+// else → kIoError. The message carries op, path, strerror and the number
+// so a fault is diagnosable from a single log line.
+Status ErrnoStatus(const char* op, const std::string& path, int err,
+                   bool fsync_site = false) {
+  std::string msg = std::string(op) + " '" + path +
+                    "': " + std::strerror(err) + " (errno " +
+                    std::to_string(err) + ")";
+  if (err == ENOSPC || err == EDQUOT) return Status::NoSpace(std::move(msg));
+  if (fsync_site) return Status::FsyncFailed(std::move(msg));
+  return Status::IoError(std::move(msg));
+}
+
+// Evaluates a vfs failpoint site, re-typing the injected (kInternal)
+// status to the site's natural error code so breaker/retry logic sees
+// exactly what a real fault would produce.
+Status CheckSite(const char* site, StatusCode code) {
+  Status fault = FailPoint::Check(site);
+  if (fault.ok()) return fault;
+  return Status(code, fault.message());
+}
+
+class PosixFile final : public VfsFile {
+ public:
+  PosixFile(int fd, std::string path) : fd_(fd), path_(std::move(path)) {}
+  ~PosixFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status Write(std::string_view data) override {
+    SUDAF_RETURN_IF_ERROR(CheckSite("vfs:nospace", StatusCode::kNoSpace));
+    SUDAF_RETURN_IF_ERROR(CheckSite("vfs:write", StatusCode::kIoError));
+    const char* p = data.data();
+    size_t left = data.size();
+    while (left > 0) {
+      ssize_t n = ::write(fd_, p, left);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return ErrnoStatus("write", path_, errno);
+      }
+      if (n == 0) {
+        return Status::IoError("write '" + path_ +
+                               "': short write (0 of " +
+                               std::to_string(left) + " bytes)");
+      }
+      p += n;
+      left -= static_cast<size_t>(n);
+    }
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    SUDAF_RETURN_IF_ERROR(CheckSite("vfs:fsync", StatusCode::kFsyncFailed));
+    if (::fsync(fd_) != 0) {
+      return ErrnoStatus("fsync", path_, errno, /*fsync_site=*/true);
+    }
+    return Status::OK();
+  }
+
+  Status Close() override {
+    if (fd_ < 0) return Status::OK();
+    int fd = fd_;
+    fd_ = -1;
+    if (::close(fd) != 0) return ErrnoStatus("close", path_, errno);
+    return Status::OK();
+  }
+
+ private:
+  int fd_;
+  std::string path_;
+};
+
+class PosixVfs final : public Vfs {
+ public:
+  Result<std::string> ReadFile(const std::string& path) override {
+    int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) {
+      if (errno == ENOENT) {
+        return Status::NotFound("cannot open '" + path + "' for reading");
+      }
+      return ErrnoStatus("open", path, errno);
+    }
+    Status fault = CheckSite("vfs:read", StatusCode::kIoError);
+    if (!fault.ok()) {
+      ::close(fd);
+      return fault;
+    }
+    std::string out;
+    char buf[1 << 16];
+    while (true) {
+      ssize_t n = ::read(fd, buf, sizeof(buf));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        int err = errno;
+        ::close(fd);
+        return ErrnoStatus("read", path, err);
+      }
+      if (n == 0) break;
+      out.append(buf, static_cast<size_t>(n));
+    }
+    ::close(fd);
+    return out;
+  }
+
+  Result<std::unique_ptr<VfsFile>> OpenTrunc(const std::string& path) override {
+    SUDAF_RETURN_IF_ERROR(CheckSite("vfs:open", StatusCode::kIoError));
+    int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                    0644);
+    if (fd < 0) return ErrnoStatus("open(trunc)", path, errno);
+    return std::unique_ptr<VfsFile>(new PosixFile(fd, path));
+  }
+
+  Result<std::unique_ptr<VfsFile>> OpenAppend(const std::string& path,
+                                              bool* created) override {
+    SUDAF_RETURN_IF_ERROR(CheckSite("vfs:open", StatusCode::kIoError));
+    bool existed = Exists(path);
+    int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC,
+                    0644);
+    if (fd < 0) return ErrnoStatus("open(append)", path, errno);
+    if (created != nullptr) *created = !existed;
+    return std::unique_ptr<VfsFile>(new PosixFile(fd, path));
+  }
+
+  Status Rename(const std::string& from, const std::string& to) override {
+    SUDAF_RETURN_IF_ERROR(CheckSite("vfs:rename", StatusCode::kIoError));
+    if (::rename(from.c_str(), to.c_str()) != 0) {
+      return ErrnoStatus("rename", from + "' -> '" + to, errno);
+    }
+    return Status::OK();
+  }
+
+  Status SyncDir(const std::string& dir) override {
+    SUDAF_RETURN_IF_ERROR(CheckSite("vfs:dirsync", StatusCode::kFsyncFailed));
+    int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+    if (fd < 0) return ErrnoStatus("open(dir)", dir, errno);
+    if (::fsync(fd) != 0) {
+      int err = errno;
+      ::close(fd);
+      // Some filesystems refuse directory fsync (EINVAL); treat that as
+      // "as durable as this fs gets" rather than an error.
+      if (err == EINVAL) return Status::OK();
+      return ErrnoStatus("fsync(dir)", dir, err, /*fsync_site=*/true);
+    }
+    ::close(fd);
+    return Status::OK();
+  }
+
+  Status RemoveIfExists(const std::string& path) override {
+    if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+      return ErrnoStatus("unlink", path, errno);
+    }
+    return Status::OK();
+  }
+
+  Status CreateDirs(const std::string& dir) override {
+    std::error_code ec;
+    fs::create_directories(dir, ec);
+    if (ec) {
+      return Status::IoError("mkdir '" + dir + "': " + ec.message());
+    }
+    return Status::OK();
+  }
+
+  int64_t FileSize(const std::string& path) override {
+    struct stat st;
+    if (::stat(path.c_str(), &st) != 0) return -1;
+    return static_cast<int64_t>(st.st_size);
+  }
+
+  bool Exists(const std::string& path) override {
+    std::error_code ec;
+    return fs::exists(path, ec);
+  }
+
+  std::vector<std::string> ListDir(const std::string& dir) override {
+    std::vector<std::string> out;
+    std::error_code ec;
+    for (const auto& entry : fs::directory_iterator(dir, ec)) {
+      if (entry.is_regular_file(ec)) {
+        out.push_back(entry.path().filename().string());
+      }
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+};
+
+}  // namespace
+
+Status Vfs::WriteAtomic(const std::string& path, std::string_view data) {
+  const std::string tmp = path + ".tmp";
+  // Any failure on this ladder removes the tmp file (no stale "path.tmp"
+  // litter) and leaves the published `path` untouched.
+  auto fail = [&](Status st) {
+    (void)RemoveIfExists(tmp);
+    return st;
+  };
+  Result<std::unique_ptr<VfsFile>> file = OpenTrunc(tmp);
+  if (!file.ok()) return fail(file.status());
+  Status st = (*file)->Write(data);
+  // Durability point 1: the tmp content must be on disk before the rename
+  // can publish it — otherwise a power cut can publish a torn file.
+  if (st.ok()) st = (*file)->Sync();
+  Status closed = (*file)->Close();
+  if (st.ok()) st = closed;
+  if (!st.ok()) return fail(st);
+  st = Rename(tmp, path);
+  if (!st.ok()) return fail(st);
+  // Durability point 2: the rename itself lives in the directory; fsync it
+  // so the publish survives a power cut.
+  return SyncDir(ParentDirOf(path));
+}
+
+Status Vfs::Append(const std::string& path, std::string_view data) {
+  bool created = false;
+  SUDAF_ASSIGN_OR_RETURN(std::unique_ptr<VfsFile> file,
+                         OpenAppend(path, &created));
+  Status st = file->Write(data);
+  if (st.ok()) st = file->Sync();
+  Status closed = file->Close();
+  if (st.ok()) st = closed;
+  SUDAF_RETURN_IF_ERROR(st);
+  // A freshly created file's *name* is directory metadata: without the
+  // dirsync a power cut can forget the file while keeping its blocks.
+  if (created) return SyncDir(ParentDirOf(path));
+  return Status::OK();
+}
+
+Vfs* Vfs::Default() {
+  // Leaked intentionally: persistence objects on worker threads may
+  // outlive static destruction order.
+  static Vfs* vfs = new PosixVfs();
+  return vfs;
+}
+
+std::string ParentDirOf(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+}  // namespace sudaf

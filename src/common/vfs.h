@@ -1,0 +1,111 @@
+#ifndef SUDAF_COMMON_VFS_H_
+#define SUDAF_COMMON_VFS_H_
+
+// Virtual filesystem for the persistence layer (docs/robustness.md,
+// "Durability contract").
+//
+// Everything the durable cache does to disk goes through a Vfs, for two
+// reasons:
+//
+//   1. Real durability. The POSIX implementation is fd-based and enforces
+//      the crash-consistency discipline stdio cannot: WriteAtomic fsyncs
+//      the tmp file BEFORE the rename and fsyncs the parent directory
+//      AFTER it (rename durability is a property of the directory, not the
+//      file); Append fsyncs the file and, when the append created it,
+//      fsyncs the parent directory too. A power cut after WriteAtomic
+//      returns OK cannot roll the file back or tear it.
+//
+//   2. Deterministic fault injection. FaultVfs (common/vfs_fault.h) is a
+//      drop-in Vfs over an in-memory disk that injects short writes, EIO,
+//      ENOSPC, lying fsyncs and byte-granular power cuts through the
+//      FailPoint registry — so recovery is provable at the syscall level,
+//      not assumed.
+//
+// Error taxonomy: every failing operation returns a typed Status —
+// kNoSpace (ENOSPC/EDQUOT), kFsyncFailed (fsync/fdatasync, including
+// directory syncs), kIoError (everything else) — whose message carries
+// the operation, the path, strerror(errno) and the errno number, so disk
+// faults are diagnosable from logs.
+//
+// Failpoint sites (kept in sync with common/failpoint.h): vfs:open,
+// vfs:read, vfs:write, vfs:fsync, vfs:rename, vfs:dirsync, vfs:nospace.
+// An injected fault at a site surfaces as the site's natural typed error.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace sudaf {
+
+// An open, writable file handle. Close() is idempotent; the destructor
+// closes (discarding any error) when the caller did not.
+class VfsFile {
+ public:
+  virtual ~VfsFile() = default;
+  // Writes all of `data` (a short write is an error, never a success).
+  virtual Status Write(std::string_view data) = 0;
+  // Makes everything written so far durable (fsync).
+  virtual Status Sync() = 0;
+  virtual Status Close() = 0;
+};
+
+// Filesystem primitives plus the non-virtual durable composites built on
+// them. Implementations override the primitives only, so every backend —
+// real disk or fault-injected virtual disk — shares one durability
+// discipline (one fsync protocol to audit, one to test).
+class Vfs {
+ public:
+  virtual ~Vfs() = default;
+
+  // --- primitives (overridden per backend) ---------------------------------
+
+  // Entire content of `path`; NotFound when it does not exist.
+  virtual Result<std::string> ReadFile(const std::string& path) = 0;
+  // Opens `path` truncated for writing (creating it when absent).
+  virtual Result<std::unique_ptr<VfsFile>> OpenTrunc(
+      const std::string& path) = 0;
+  // Opens `path` for appending; `*created` (when non-null) reports whether
+  // the open created the file.
+  virtual Result<std::unique_ptr<VfsFile>> OpenAppend(const std::string& path,
+                                                      bool* created) = 0;
+  // rename(2): atomic replacement of `to` by `from`.
+  virtual Status Rename(const std::string& from, const std::string& to) = 0;
+  // fsyncs the directory itself, making renames/creations inside it
+  // durable.
+  virtual Status SyncDir(const std::string& dir) = 0;
+  virtual Status RemoveIfExists(const std::string& path) = 0;
+  virtual Status CreateDirs(const std::string& dir) = 0;
+  // Size in bytes, or -1 when absent.
+  virtual int64_t FileSize(const std::string& path) = 0;
+  virtual bool Exists(const std::string& path) = 0;
+  // Sorted plain-file names directly inside `dir` (empty when absent).
+  virtual std::vector<std::string> ListDir(const std::string& dir) = 0;
+
+  // --- durable composites (same code path on every backend) ----------------
+
+  // Replaces `path` with `data` so that after OK the new content survives
+  // a power cut: write tmp → fsync tmp → rename → fsync parent dir. On
+  // error the tmp file is removed and any previous `path` content is left
+  // intact.
+  Status WriteAtomic(const std::string& path, std::string_view data);
+
+  // Appends `data` to `path` (creating it when absent) and fsyncs; when
+  // the append created the file, the parent directory is fsynced too so
+  // the new name survives a power cut. Not atomic: a crash mid-append
+  // leaves a torn tail, which WAL recovery detects and drops.
+  Status Append(const std::string& path, std::string_view data);
+
+  // The process-wide POSIX Vfs (leaked singleton).
+  static Vfs* Default();
+};
+
+// Directory part of `path` ("." when it has no '/').
+std::string ParentDirOf(const std::string& path);
+
+}  // namespace sudaf
+
+#endif  // SUDAF_COMMON_VFS_H_

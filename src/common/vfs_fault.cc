@@ -1,0 +1,268 @@
+#include "common/vfs_fault.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/failpoint.h"
+
+namespace sudaf {
+
+namespace {
+
+// Same re-typing helper as the POSIX backend: an injected failpoint
+// status becomes the site's natural typed error.
+Status CheckSite(const char* site, StatusCode code) {
+  Status fault = FailPoint::Check(site);
+  if (fault.ok()) return fault;
+  return Status(code, fault.message());
+}
+
+}  // namespace
+
+// A writable handle into one inode. All operations lock the owning vfs so
+// power cuts and faults interleave deterministically with appends.
+class FaultVfs::FaultFile final : public VfsFile {
+ public:
+  FaultFile(FaultVfs* vfs, InodePtr inode, std::string path)
+      : vfs_(vfs), inode_(std::move(inode)), path_(std::move(path)) {}
+
+  Status Write(std::string_view data) override {
+    std::lock_guard<std::mutex> lock(vfs_->mu_);
+    SUDAF_RETURN_IF_ERROR(vfs_->MutationGate());
+    SUDAF_RETURN_IF_ERROR(CheckSite("vfs:nospace", StatusCode::kNoSpace));
+    if (!FailPoint::Check("vfs:short_write").ok()) {
+      // Half the buffer reaches the page cache, then the write errors —
+      // the torn state a real partial write leaves behind.
+      inode_->current.append(data.data(), data.size() / 2);
+      return Status::IoError("write '" + path_ + "': injected short write (" +
+                             std::to_string(data.size() / 2) + " of " +
+                             std::to_string(data.size()) + " bytes)");
+    }
+    SUDAF_RETURN_IF_ERROR(CheckSite("vfs:write", StatusCode::kIoError));
+    inode_->current.append(data.data(), data.size());
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    std::lock_guard<std::mutex> lock(vfs_->mu_);
+    SUDAF_RETURN_IF_ERROR(vfs_->MutationGate());
+    if (!FailPoint::Check("vfs:fsync_lie").ok()) {
+      // The lying fsync: reports success, makes nothing durable. The
+      // recovery property test is what catches code trusting it.
+      return Status::OK();
+    }
+    SUDAF_RETURN_IF_ERROR(CheckSite("vfs:fsync", StatusCode::kFsyncFailed));
+    inode_->durable = inode_->current;
+    return Status::OK();
+  }
+
+  Status Close() override { return Status::OK(); }
+
+ private:
+  FaultVfs* vfs_;
+  InodePtr inode_;
+  std::string path_;
+};
+
+FaultVfs::FaultVfs() : FaultVfs(Options()) {}
+
+FaultVfs::FaultVfs(Options opts) : opts_(opts) {}
+
+Status FaultVfs::MutationGate() {
+  if (powered_off_) {
+    return Status::IoError("virtual disk is powered off (CutPower)");
+  }
+  ++mutation_calls_;
+  if (!FailPoint::Check("vfs:power_cut").ok()) {
+    CutPowerLocked();
+    return Status::IoError("injected power cut at mutation " +
+                           std::to_string(mutation_calls_));
+  }
+  return Status::OK();
+}
+
+Status FaultVfs::PoweredCheck() const {
+  if (powered_off_) {
+    return Status::IoError("virtual disk is powered off (CutPower)");
+  }
+  return Status::OK();
+}
+
+void FaultVfs::CutPowerLocked() {
+  ++power_cuts_;
+  if (opts_.volatile_metadata_survives) {
+    // Lucky filesystem: every live name survives, content still doesn't.
+    synced_ = live_;
+  }
+  // Only names in the synced namespace survive; each surviving inode keeps
+  // its durable bytes plus a tunable fraction of the un-synced tail.
+  std::set<Inode*> seen;
+  for (auto& [path, inode] : synced_) {
+    (void)path;
+    if (!seen.insert(inode.get()).second) continue;
+    const std::string& cur = inode->current;
+    const std::string& dur = inode->durable;
+    if (cur.size() >= dur.size() && cur.compare(0, dur.size(), dur) == 0) {
+      size_t tail = cur.size() - dur.size();
+      size_t keep = static_cast<size_t>(opts_.unsynced_tail_fraction *
+                                        static_cast<double>(tail));
+      inode->durable = cur.substr(0, dur.size() + std::min(keep, tail));
+    } else {
+      // Content diverged from the durable bytes (an un-synced truncate +
+      // rewrite): what reached disk is some prefix of the new content.
+      size_t keep = static_cast<size_t>(opts_.unsynced_tail_fraction *
+                                        static_cast<double>(cur.size()));
+      inode->durable = cur.substr(0, std::min(keep, cur.size()));
+    }
+  }
+  live_.clear();
+  powered_off_ = true;
+}
+
+void FaultVfs::CutPower() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!powered_off_) CutPowerLocked();
+}
+
+void FaultVfs::Reboot() {
+  std::lock_guard<std::mutex> lock(mu_);
+  live_ = synced_;
+  std::set<Inode*> seen;
+  for (auto& [path, inode] : live_) {
+    (void)path;
+    if (seen.insert(inode.get()).second) inode->current = inode->durable;
+  }
+  powered_off_ = false;
+}
+
+bool FaultVfs::powered_off() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return powered_off_;
+}
+
+int64_t FaultVfs::mutation_calls() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return mutation_calls_;
+}
+
+int64_t FaultVfs::power_cuts() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return power_cuts_;
+}
+
+Result<std::string> FaultVfs::ReadFile(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SUDAF_RETURN_IF_ERROR(PoweredCheck());
+  auto it = live_.find(path);
+  if (it == live_.end()) {
+    return Status::NotFound("cannot open '" + path + "' for reading");
+  }
+  SUDAF_RETURN_IF_ERROR(CheckSite("vfs:read", StatusCode::kIoError));
+  return it->second->current;
+}
+
+Result<std::unique_ptr<VfsFile>> FaultVfs::OpenTrunc(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SUDAF_RETURN_IF_ERROR(MutationGate());
+  SUDAF_RETURN_IF_ERROR(CheckSite("vfs:open", StatusCode::kIoError));
+  InodePtr& inode = live_[path];
+  if (inode == nullptr) inode = std::make_shared<Inode>();
+  inode->current.clear();
+  return std::unique_ptr<VfsFile>(new FaultFile(this, inode, path));
+}
+
+Result<std::unique_ptr<VfsFile>> FaultVfs::OpenAppend(const std::string& path,
+                                                      bool* created) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SUDAF_RETURN_IF_ERROR(MutationGate());
+  SUDAF_RETURN_IF_ERROR(CheckSite("vfs:open", StatusCode::kIoError));
+  auto it = live_.find(path);
+  bool fresh = it == live_.end();
+  if (fresh) it = live_.emplace(path, std::make_shared<Inode>()).first;
+  if (created != nullptr) *created = fresh;
+  return std::unique_ptr<VfsFile>(new FaultFile(this, it->second, path));
+}
+
+Status FaultVfs::Rename(const std::string& from, const std::string& to) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SUDAF_RETURN_IF_ERROR(MutationGate());
+  SUDAF_RETURN_IF_ERROR(CheckSite("vfs:rename", StatusCode::kIoError));
+  auto it = live_.find(from);
+  if (it == live_.end()) {
+    return Status::IoError("rename '" + from + "': no such file");
+  }
+  // Live namespace only: without a SyncDir the synced map still holds the
+  // old names, so a power cut rolls this rename back.
+  live_[to] = it->second;
+  live_.erase(it);
+  return Status::OK();
+}
+
+Status FaultVfs::SyncDir(const std::string& dir) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SUDAF_RETURN_IF_ERROR(MutationGate());
+  SUDAF_RETURN_IF_ERROR(CheckSite("vfs:dirsync", StatusCode::kFsyncFailed));
+  // Commit this directory's live names into the synced namespace:
+  // creations and renames become durable, removals become permanent.
+  for (const auto& [path, inode] : live_) {
+    if (ParentDirOf(path) == dir) synced_[path] = inode;
+  }
+  for (auto it = synced_.begin(); it != synced_.end();) {
+    if (ParentDirOf(it->first) == dir && live_.count(it->first) == 0) {
+      it = synced_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return Status::OK();
+}
+
+Status FaultVfs::RemoveIfExists(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SUDAF_RETURN_IF_ERROR(MutationGate());
+  live_.erase(path);
+  return Status::OK();
+}
+
+Status FaultVfs::CreateDirs(const std::string& dir) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SUDAF_RETURN_IF_ERROR(MutationGate());
+  size_t pos = 0;
+  while (pos < dir.size()) {
+    size_t slash = dir.find('/', pos + 1);
+    if (slash == std::string::npos) slash = dir.size();
+    if (slash > 0) dirs_.insert(dir.substr(0, slash));
+    pos = slash;
+  }
+  return Status::OK();
+}
+
+int64_t FaultVfs::FileSize(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (powered_off_) return -1;
+  auto it = live_.find(path);
+  if (it == live_.end()) return -1;
+  return static_cast<int64_t>(it->second->current.size());
+}
+
+bool FaultVfs::Exists(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (powered_off_) return false;
+  return live_.count(path) > 0 || dirs_.count(path) > 0;
+}
+
+std::vector<std::string> FaultVfs::ListDir(const std::string& dir) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  if (powered_off_) return out;
+  for (const auto& [path, inode] : live_) {
+    (void)inode;
+    if (ParentDirOf(path) == dir) {
+      out.push_back(path.substr(dir.size() + (dir == "/" ? 0 : 1)));
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace sudaf

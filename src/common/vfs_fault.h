@@ -1,0 +1,120 @@
+#ifndef SUDAF_COMMON_VFS_FAULT_H_
+#define SUDAF_COMMON_VFS_FAULT_H_
+
+// FaultVfs — a deterministic, fault-injectable Vfs over an in-memory disk
+// (docs/robustness.md, "Durability contract").
+//
+// The disk model mirrors what POSIX actually promises, not what callers
+// wish it promised:
+//
+//   * Each file is an inode with two byte strings: `current` (what reads
+//     see while powered on) and `durable` (what survives a power cut).
+//     Write extends `current`; only Sync copies `current` into `durable`.
+//   * The *namespace* is durable separately from content: a live map
+//     (names visible now) and a synced map (names that survive a power
+//     cut). Rename and file creation mutate the live map only; SyncDir
+//     commits a directory's live names into the synced map. A rename that
+//     was never dirsynced ROLLS BACK on power cut — the old name, with
+//     the old content, reappears. A synced file whose name was never
+//     dirsynced is simply gone.
+//   * CutPower() drops every un-synced byte and name (tunable: see
+//     Options), then fails every operation until Reboot(), which restores
+//     the durable view — exactly what a process sees after plug-pull plus
+//     restart.
+//
+// Fault sites, driven through the FailPoint registry so tests and CI
+// shards arm them without recompiling (SUDAF_FAILPOINTS grammar):
+//
+//   vfs:open / vfs:read / vfs:write / vfs:rename  → kIoError (EIO model)
+//   vfs:fsync / vfs:dirsync                        → kFsyncFailed
+//   vfs:nospace                                    → kNoSpace (ENOSPC)
+//   vfs:short_write   half of the buffer lands, then the write errors
+//   vfs:fsync_lie     Sync returns OK WITHOUT making anything durable
+//   vfs:power_cut     the virtual disk loses power at this mutation
+//
+// Every mutating call (open/write/sync/rename/dirsync/remove/mkdir)
+// increments mutation_calls() and evaluates vfs:power_cut first, so a
+// property test can count the mutations of a clean run and then re-run
+// the workload power-cutting at every k-th mutation boundary.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/vfs.h"
+
+namespace sudaf {
+
+class FaultVfs final : public Vfs {
+ public:
+  struct Options {
+    // Fraction of each file's un-synced tail that survives a power cut
+    // (0 = strict sync-only durability, 1 = every written byte survives,
+    // 0.5 = torn writes). Partial bytes model the kernel writing back
+    // dirty pages it was never asked to.
+    double unsynced_tail_fraction = 0.0;
+    // When true, the power cut keeps the live namespace (renames and
+    // creations survive without dirsync — ext4-ordered-style good luck).
+    // When false, un-dirsynced namespace changes roll back.
+    bool volatile_metadata_survives = false;
+  };
+
+  FaultVfs();
+  explicit FaultVfs(Options opts);
+
+  // Vfs primitives.
+  Result<std::string> ReadFile(const std::string& path) override;
+  Result<std::unique_ptr<VfsFile>> OpenTrunc(const std::string& path) override;
+  Result<std::unique_ptr<VfsFile>> OpenAppend(const std::string& path,
+                                              bool* created) override;
+  Status Rename(const std::string& from, const std::string& to) override;
+  Status SyncDir(const std::string& dir) override;
+  Status RemoveIfExists(const std::string& path) override;
+  Status CreateDirs(const std::string& dir) override;
+  int64_t FileSize(const std::string& path) override;
+  bool Exists(const std::string& path) override;
+  std::vector<std::string> ListDir(const std::string& dir) override;
+
+  // Loses power now: applies Options to decide what survives, then fails
+  // every operation (reads included) until Reboot().
+  void CutPower();
+  // Restores the durable view and powers the disk back on.
+  void Reboot();
+
+  bool powered_off() const;
+  // Mutating Vfs calls since construction (reads don't count). The skip
+  // index space of the vfs:power_cut failpoint.
+  int64_t mutation_calls() const;
+  int64_t power_cuts() const;
+
+ private:
+  struct Inode {
+    std::string current;
+    std::string durable;
+  };
+  using InodePtr = std::shared_ptr<Inode>;
+  class FaultFile;
+
+  // Bumps mutation_calls_, evaluates vfs:power_cut, and fails when the
+  // disk is off. Every mutating entry point passes through here first.
+  Status MutationGate();
+  Status PoweredCheck() const;  // read-side: off → IoError
+  void CutPowerLocked();
+
+  const Options opts_;
+  mutable std::mutex mu_;
+  bool powered_off_ = false;
+  int64_t mutation_calls_ = 0;
+  int64_t power_cuts_ = 0;
+  std::map<std::string, InodePtr> live_;    // names visible while powered
+  std::map<std::string, InodePtr> synced_;  // names that survive power cut
+  std::set<std::string> dirs_;              // directories (always durable)
+};
+
+}  // namespace sudaf
+
+#endif  // SUDAF_COMMON_VFS_FAULT_H_

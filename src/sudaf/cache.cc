@@ -4,6 +4,7 @@
 #include <cmath>
 #include <functional>
 
+#include "common/crc32c.h"
 #include "common/trace.h"
 
 namespace sudaf {
@@ -43,6 +44,7 @@ StateCache::StateCache() {
   evictions_ = r->counter("sudaf.cache.evictions");
   bytes_evicted_ = r->counter("sudaf.cache.bytes_evicted");
   poison_evictions_ = r->counter("sudaf.cache.poison_evictions");
+  scrub_quarantines_ = r->counter("sudaf.cache.scrub_quarantines");
 }
 
 std::mutex& StateCache::StripeFor(const std::string& data_sig) const {
@@ -62,6 +64,7 @@ StateCache::Counters StateCache::counters() const {
   c.evictions = evictions_->value();
   c.bytes_evicted = bytes_evicted_->value();
   c.poison_evictions = poison_evictions_->value();
+  c.scrub_quarantines = scrub_quarantines_->value();
   return c;
 }
 
@@ -226,7 +229,8 @@ bool StateCache::InsertEntry(GroupSet* set, const std::string& key,
     // Uncached overflow set, or a set evicted/invalidated while the query
     // held it: the insert stays query-local — no budget, no journal.
     std::lock_guard<std::mutex> stripe(StripeFor(set->data_sig));
-    set->entries.insert_or_assign(key, entry);
+    auto [it, _] = set->entries.insert_or_assign(key, entry);
+    it->second.shadow_crc = EntryShadowCrc(it->second);
     return true;
   }
   int64_t add = EntryBytes(key, entry);
@@ -242,6 +246,7 @@ bool StateCache::InsertEntry(GroupSet* set, const std::string& key,
   if (add > 0 && !EnsureRoomLocked(add, set, ops)) return false;
   std::lock_guard<std::mutex> stripe(StripeFor(set->data_sig));
   auto [it, _] = set->entries.insert_or_assign(key, entry);
+  it->second.shadow_crc = EntryShadowCrc(it->second);
   if (journal_ != nullptr) {
     journal_->OnInsertEntry(set->data_sig, key, it->second);
   }
@@ -252,6 +257,12 @@ StateCache::GroupSetPtr StateCache::AdoptSet(GroupSet set) {
   std::lock_guard<std::mutex> lock(mu_);
   ++tick_;
   set.last_used_tick = tick_;
+  // Shadow CRCs are not persisted; re-stamp on adopt so recovered entries
+  // are covered by the next scrub pass.
+  for (auto& [key, entry] : set.entries) {
+    (void)key;
+    entry.shadow_crc = EntryShadowCrc(entry);
+  }
   std::string sig = set.data_sig;
   auto ptr = std::make_shared<GroupSet>(std::move(set));
   auto [it, _] = sets_.insert_or_assign(std::move(sig), std::move(ptr));
@@ -262,6 +273,33 @@ void StateCache::EnforceBudget(const CacheOps& ops) {
   std::lock_guard<std::mutex> lock(mu_);
   if (policy_.max_bytes <= 0) return;
   EnsureRoomLocked(0, nullptr, ops);
+}
+
+StateCache::ScrubResult StateCache::ScrubResident(const CacheOps& ops) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ScrubResult result;
+  for (const auto& [sig, set] : sets_) {
+    std::lock_guard<std::mutex> stripe(StripeFor(sig));
+    for (auto it = set->entries.begin(); it != set->entries.end();) {
+      const Entry& entry = it->second;
+      ++result.entries_checked;
+      bool poisoned = EntryIsPoisoned(entry);
+      bool rotted = entry.shadow_crc != 0 &&
+                    EntryShadowCrc(entry) != entry.shadow_crc;
+      if (!poisoned && !rotted) {
+        ++it;
+        continue;
+      }
+      it = set->entries.erase(it);
+      ++result.entries_quarantined;
+      scrub_quarantines_->Add();
+      MirrorCount(ops, "sudaf.cache.scrub_quarantines");
+      if (ops.trace != nullptr) {
+        ops.trace->AddEvent("cache.scrub_quarantine", -1);
+      }
+    }
+  }
+  return result;
 }
 
 void StateCache::Clear() {
@@ -308,6 +346,12 @@ bool EntryIsPoisoned(const StateCache::Entry& entry) {
     if (!std::isfinite(v)) return true;
   }
   return false;
+}
+
+uint32_t EntryShadowCrc(const StateCache::Entry& entry) {
+  uint32_t crc = Crc32c(entry.main.data(), entry.main.size() * sizeof(double));
+  crc = Crc32c(entry.sign.data(), entry.sign.size() * sizeof(double), crc);
+  return crc == 0 ? 1u : crc;
 }
 
 int64_t StateCache::num_group_sets() const {

@@ -93,6 +93,13 @@ class StateCache {
   struct Entry {
     std::vector<double> main;  // per group
     std::vector<double> sign;  // per group; empty unless log-domain
+
+    // Shadow integrity checksum: CRC32C of both channels, stamped when the
+    // entry enters the cache through InsertEntry/AdoptSet and re-verified
+    // by ScrubResident(). 0 means "unstamped" (entries planted directly
+    // into `entries` by tests/recovery helpers) and is skipped by the
+    // scrub. Not persisted — recovery re-stamps on adopt.
+    uint32_t shadow_crc = 0;
   };
 
   // All cached state instances for one data signature. Entries are aligned
@@ -133,6 +140,14 @@ class StateCache {
     int64_t evictions = 0;            // sets dropped: byte-budget pressure
     int64_t bytes_evicted = 0;        // ApproxBytes of budget-evicted sets
     int64_t poison_evictions = 0;     // entries dropped at probe: non-finite
+    int64_t scrub_quarantines = 0;    // entries dropped by ScrubResident:
+                                      // shadow-CRC mismatch or poisoned
+  };
+
+  // Outcome of one ScrubResident() pass.
+  struct ScrubResult {
+    int64_t entries_checked = 0;
+    int64_t entries_quarantined = 0;  // erased: bit rot or poison
   };
 
   // Byte-accounting constants (docs/robustness.md): fixed per-node
@@ -210,6 +225,14 @@ class StateCache {
   // (no-op when unbounded). Used after recovery and policy changes.
   void EnforceBudget(const CacheOps& ops = {});
 
+  // Integrity pass over every resident entry: re-computes each stamped
+  // entry's shadow CRC and quarantines (erases) entries whose channels no
+  // longer match — in-memory bit rot — as well as poisoned ones. Counted
+  // in counters().scrub_quarantines and mirrored into `ops`. Deliberately
+  // does NOT notify the journal: the scrubber repairs disk by republishing
+  // a full snapshot afterwards, which supersedes per-entry WAL traffic.
+  ScrubResult ScrubResident(const CacheOps& ops = {});
+
   void Clear();
 
   void set_policy(const CachePolicy& policy);
@@ -286,6 +309,7 @@ class StateCache {
   Counter* evictions_ = nullptr;
   Counter* bytes_evicted_ = nullptr;
   Counter* poison_evictions_ = nullptr;
+  Counter* scrub_quarantines_ = nullptr;
   uint64_t tick_ = 0;
 };
 
@@ -309,6 +333,11 @@ class CacheJournal {
 // True when any channel value of `entry` is NaN or ±Inf — an overflowed or
 // half-computed state that must not be shared across queries.
 bool EntryIsPoisoned(const StateCache::Entry& entry);
+
+// Shadow checksum of an entry's channels (raw double bit patterns, main
+// then sign). Never returns 0 — 0 is the Entry::shadow_crc "unstamped"
+// sentinel.
+uint32_t EntryShadowCrc(const StateCache::Entry& entry);
 
 // Canonical data signature of a statement: lower-cased sorted table list,
 // sorted WHERE conjunct strings, and the group-by list. Two queries with

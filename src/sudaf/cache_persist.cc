@@ -1,5 +1,6 @@
 #include "sudaf/cache_persist.h"
 
+#include <algorithm>
 #include <cstring>
 #include <map>
 #include <string_view>
@@ -8,7 +9,7 @@
 
 #include "common/crc32c.h"
 #include "common/failpoint.h"
-#include "common/file_io.h"
+#include "common/vfs.h"
 
 namespace sudaf {
 
@@ -308,14 +309,27 @@ std::string FrameRecord(const std::string& payload) {
   return rec;
 }
 
+// Record-size bound for a WAL scan: a record claiming to be larger than
+// the configured WAL limit (with a 1 MiB floor so tiny test limits don't
+// reject legitimate records) cannot be legitimate — either corruption in
+// the length field that still CRCs (length is covered, so in practice a
+// forged record) or a writer bug. `limit <= 0` means unbounded.
+uint32_t WalRecordBound(int64_t limit) {
+  constexpr int64_t kFloorBytes = 1 << 20;
+  if (limit <= 0) return kMaxRecordLen;
+  return static_cast<uint32_t>(std::min<int64_t>(
+      kMaxRecordLen, std::max<int64_t>(limit, kFloorBytes)));
+}
+
 // Walks the record stream after the file header. Structural damage is
 // counted, never propagated: a CRC mismatch (or an injected
 // cache:recover_record fault, or a payload `apply` rejects) skips that one
-// record; a torn tail — record length pointing past EOF — ends the scan,
-// keeping everything before it.
+// record; a record that is fully present but larger than `max_len` is
+// skipped individually (records_dropped_oversize); a torn tail — record
+// length pointing past EOF — ends the scan, keeping everything before it.
 template <typename Fn>
 void ScanRecords(std::string_view records, CacheRecoveryStats* stats,
-                 Fn apply) {
+                 uint32_t max_len, Fn apply) {
   size_t pos = 0;
   while (pos < records.size()) {
     if (records.size() - pos < kRecordHeaderLen) {
@@ -332,10 +346,40 @@ void ScanRecords(std::string_view records, CacheRecoveryStats* stats,
     uint32_t actual_crc = Crc32c(records.data() + pos, 4);
     actual_crc = Crc32c(payload.data(), payload.size(), actual_crc);
     pos += kRecordHeaderLen + len;
+    if (len > max_len) {
+      // The record is intact on disk but violates the configured bound:
+      // drop it alone and keep scanning — never fatal, never the tail.
+      ++stats->records_dropped_oversize;
+      continue;
+    }
     if (actual_crc != stored_crc ||
         !FailPoint::Check("cache:recover_record").ok() || !apply(payload)) {
       ++stats->records_dropped_checksum;
     }
+  }
+}
+
+// CRC-only walk for the integrity scrubber: same framing rules as
+// ScanRecords, but counts damage instead of applying payloads.
+void ScanCrcOnly(std::string_view records, StoreScanReport* report) {
+  size_t pos = 0;
+  while (pos < records.size()) {
+    if (records.size() - pos < kRecordHeaderLen) {
+      ++report->torn_tails;
+      return;
+    }
+    uint32_t len = ReadU32At(records, pos);
+    uint32_t stored_crc = ReadU32At(records, pos + 4);
+    if (len > kMaxRecordLen || len > records.size() - pos - kRecordHeaderLen) {
+      ++report->torn_tails;
+      return;
+    }
+    std::string_view payload = records.substr(pos + kRecordHeaderLen, len);
+    uint32_t actual_crc = Crc32c(records.data() + pos, 4);
+    actual_crc = Crc32c(payload.data(), payload.size(), actual_crc);
+    pos += kRecordHeaderLen + len;
+    ++report->records_checked;
+    if (actual_crc != stored_crc) ++report->corrupt_records;
   }
 }
 
@@ -450,7 +494,8 @@ bool ApplyWalRecord(std::string_view payload, const Catalog& catalog,
 // failpoints model the two crash windows of atomic publish: during the
 // tmp-file write (half the bytes land) and between write and rename
 // (complete tmp, stale published file).
-Status WriteSnapshotFile(const StateCache& cache, const std::string& path) {
+Status WriteSnapshotFile(const StateCache& cache, const std::string& path,
+                         Vfs* vfs) {
   std::string buf = FileHeader(kSnapshotMagic);
   for (const auto& [sig, set] : cache.sets()) {
     (void)sig;
@@ -458,38 +503,56 @@ Status WriteSnapshotFile(const StateCache& cache, const std::string& path) {
   }
   Status fault = FailPoint::Check("cache:snapshot_write");
   if (!fault.ok()) {
-    (void)RemoveFileIfExists(path + ".tmp");
-    (void)AppendToFile(path + ".tmp",
-                       std::string_view(buf).substr(0, buf.size() / 2));
+    (void)vfs->RemoveIfExists(path + ".tmp");
+    (void)vfs->Append(path + ".tmp",
+                      std::string_view(buf).substr(0, buf.size() / 2));
     return fault;
   }
   fault = FailPoint::Check("cache:snapshot_rename");
   if (!fault.ok()) {
-    (void)RemoveFileIfExists(path + ".tmp");
-    (void)AppendToFile(path + ".tmp", buf);
+    (void)vfs->RemoveIfExists(path + ".tmp");
+    (void)vfs->Append(path + ".tmp", buf);
     return fault;
   }
-  return WriteFileAtomic(path, buf);
+  return vfs->WriteAtomic(path, buf);
+}
+
+// Crash litter: a WriteAtomic that died between tmp-write and rename (or a
+// deliberately-torn failpoint tmp) leaves `*.tmp` next to the store files.
+// Swept on every Open/Attach so litter cannot accumulate or be mistaken
+// for data. Returns the number of files removed.
+int64_t SweepOrphanTmps(Vfs* vfs, const std::string& dir) {
+  int64_t removed = 0;
+  for (const std::string& name : vfs->ListDir(dir)) {
+    if (name.size() > 4 && name.compare(name.size() - 4, 4, ".tmp") == 0) {
+      if (vfs->RemoveIfExists(dir + "/" + name).ok()) ++removed;
+    }
+  }
+  return removed;
 }
 
 }  // namespace
 
-Status SaveCacheSnapshot(const StateCache& cache, const std::string& path) {
+Status SaveCacheSnapshot(const StateCache& cache, const std::string& path,
+                         Vfs* vfs) {
+  if (vfs == nullptr) vfs = Vfs::Default();
   StateCache::Freeze freeze(cache);
-  return WriteSnapshotFile(cache, path);
+  return WriteSnapshotFile(cache, path, vfs);
 }
 
 Status LoadCacheSnapshot(const std::string& path, const Catalog& catalog,
-                         StateCache* cache, CacheRecoveryStats* stats) {
+                         StateCache* cache, CacheRecoveryStats* stats,
+                         Vfs* vfs) {
+  if (vfs == nullptr) vfs = Vfs::Default();
   CacheRecoveryStats local;
   if (stats == nullptr) stats = &local;
-  SUDAF_ASSIGN_OR_RETURN(std::string data, ReadFileToString(path));
+  SUDAF_ASSIGN_OR_RETURN(std::string data, vfs->ReadFile(path));
   if (!CheckHeader(data, kSnapshotMagic)) {
     return Status::InvalidArgument("'" + path +
                                    "' is not a SUDAF cache snapshot");
   }
   SetMap sets;
-  ScanRecords(std::string_view(data).substr(kHeaderLen), stats,
+  ScanRecords(std::string_view(data).substr(kHeaderLen), stats, kMaxRecordLen,
               [&](std::string_view payload) {
                 return ApplySnapshotRecord(payload, catalog, &sets, stats);
               });
@@ -506,8 +569,11 @@ Status LoadCacheSnapshot(const std::string& path, const Catalog& catalog,
 // --- CachePersistence -------------------------------------------------------
 
 CachePersistence::CachePersistence(std::string dir, const Catalog* catalog,
-                                   StateCache* cache)
-    : dir_(std::move(dir)), catalog_(catalog), cache_(cache) {}
+                                   StateCache* cache, Vfs* vfs)
+    : dir_(std::move(dir)),
+      catalog_(catalog),
+      cache_(cache),
+      vfs_(vfs != nullptr ? vfs : Vfs::Default()) {}
 
 CachePersistence::~CachePersistence() { cache_->set_journal(nullptr); }
 
@@ -518,10 +584,12 @@ std::string CachePersistence::snapshot_path() const {
 std::string CachePersistence::wal_path() const { return dir_ + "/cache.wal"; }
 
 Result<std::unique_ptr<CachePersistence>> CachePersistence::Open(
-    const std::string& dir, const Catalog* catalog, StateCache* cache) {
-  SUDAF_RETURN_IF_ERROR(EnsureDirectory(dir));
+    const std::string& dir, const Catalog* catalog, StateCache* cache,
+    Vfs* vfs) {
   std::unique_ptr<CachePersistence> p(
-      new CachePersistence(dir, catalog, cache));
+      new CachePersistence(dir, catalog, cache, vfs));
+  SUDAF_RETURN_IF_ERROR(p->vfs_->CreateDirs(dir));
+  p->recovery_.orphan_tmps_removed = SweepOrphanTmps(p->vfs_, dir);
   p->set_wal_limit(cache->policy().wal_max_bytes);
   p->Recover();
   cache->EnforceBudget();
@@ -530,10 +598,12 @@ Result<std::unique_ptr<CachePersistence>> CachePersistence::Open(
 }
 
 Result<std::unique_ptr<CachePersistence>> CachePersistence::Attach(
-    const std::string& dir, const Catalog* catalog, StateCache* cache) {
-  SUDAF_RETURN_IF_ERROR(EnsureDirectory(dir));
+    const std::string& dir, const Catalog* catalog, StateCache* cache,
+    Vfs* vfs) {
   std::unique_ptr<CachePersistence> p(
-      new CachePersistence(dir, catalog, cache));
+      new CachePersistence(dir, catalog, cache, vfs));
+  SUDAF_RETURN_IF_ERROR(p->vfs_->CreateDirs(dir));
+  p->recovery_.orphan_tmps_removed = SweepOrphanTmps(p->vfs_, dir);
   p->set_wal_limit(cache->policy().wal_max_bytes);
   // Memory is the truth: publish it over whatever the store holds before
   // accepting journal traffic, so disk and memory agree from append one.
@@ -544,11 +614,11 @@ Result<std::unique_ptr<CachePersistence>> CachePersistence::Attach(
 
 void CachePersistence::Recover() {
   SetMap sets;
-  if (FileExists(snapshot_path())) {
-    Result<std::string> data = ReadFileToString(snapshot_path());
+  if (vfs_->Exists(snapshot_path())) {
+    Result<std::string> data = vfs_->ReadFile(snapshot_path());
     if (data.ok() && CheckHeader(*data, kSnapshotMagic)) {
       ScanRecords(std::string_view(*data).substr(kHeaderLen), &recovery_,
-                  [&](std::string_view payload) {
+                  kMaxRecordLen, [&](std::string_view payload) {
                     return ApplySnapshotRecord(payload, *catalog_, &sets,
                                                &recovery_);
                   });
@@ -558,10 +628,11 @@ void CachePersistence::Recover() {
       ++recovery_.records_dropped_torn;
     }
   }
-  if (FileExists(wal_path())) {
-    Result<std::string> data = ReadFileToString(wal_path());
+  if (vfs_->Exists(wal_path())) {
+    Result<std::string> data = vfs_->ReadFile(wal_path());
     if (data.ok() && CheckHeader(*data, kWalMagic)) {
       ScanRecords(std::string_view(*data).substr(kHeaderLen), &recovery_,
+                  WalRecordBound(wal_limit_.load(std::memory_order_relaxed)),
                   [&](std::string_view payload) {
                     return ApplyWalRecord(payload, *catalog_, &sets,
                                           &recovery_);
@@ -578,12 +649,35 @@ void CachePersistence::Recover() {
   }
   // Converge disk to memory: after drops (or on a fresh directory) compact
   // immediately so new WAL appends extend a clean, fully-valid prefix.
-  if (recovery_.total_dropped() > 0 || !FileExists(snapshot_path()) ||
-      !FileExists(wal_path())) {
+  if (recovery_.total_dropped() > 0 || !vfs_->Exists(snapshot_path()) ||
+      !vfs_->Exists(wal_path())) {
     if (!Save().ok()) wal_errors_.fetch_add(1, std::memory_order_relaxed);
   } else {
-    wal_bytes_.store(FileSizeOf(wal_path()), std::memory_order_relaxed);
+    wal_bytes_.store(vfs_->FileSize(wal_path()), std::memory_order_relaxed);
   }
+}
+
+StoreScanReport CachePersistence::VerifyStore() {
+  // io_mu_ keeps appends and compaction from moving the files mid-walk;
+  // queries are unaffected (they never touch disk).
+  std::lock_guard<std::mutex> io(io_mu_);
+  StoreScanReport report;
+  struct File {
+    std::string path;
+    const char* magic;
+  };
+  const File files[] = {{snapshot_path(), kSnapshotMagic},
+                        {wal_path(), kWalMagic}};
+  for (const File& f : files) {
+    if (!vfs_->Exists(f.path)) continue;
+    Result<std::string> data = vfs_->ReadFile(f.path);
+    if (!data.ok() || !CheckHeader(*data, f.magic)) {
+      ++report.unreadable_files;
+      continue;
+    }
+    ScanCrcOnly(std::string_view(*data).substr(kHeaderLen), &report);
+  }
+  return report;
 }
 
 Status CachePersistence::Save() {
@@ -597,12 +691,12 @@ Status CachePersistence::Save() {
 }
 
 Status CachePersistence::SaveLocked() {
-  SUDAF_RETURN_IF_ERROR(WriteSnapshotFile(*cache_, snapshot_path()));
+  SUDAF_RETURN_IF_ERROR(WriteSnapshotFile(*cache_, snapshot_path(), vfs_));
   snapshots_written_.fetch_add(1, std::memory_order_relaxed);
   // Reset the WAL only after the snapshot is durably published; a crash
   // in between leaves an overlap the replay handles idempotently.
   std::string header = FileHeader(kWalMagic);
-  SUDAF_RETURN_IF_ERROR(WriteFileAtomic(wal_path(), header));
+  SUDAF_RETURN_IF_ERROR(vfs_->WriteAtomic(wal_path(), header));
   wal_bytes_.store(static_cast<int64_t>(header.size()),
                    std::memory_order_relaxed);
   return Status::OK();
@@ -615,10 +709,10 @@ void CachePersistence::MaybeCompact() {
 
 void CachePersistence::AppendRecord(const std::string& payload) {
   std::lock_guard<std::mutex> io(io_mu_);
-  if (FileSizeOf(wal_path()) < static_cast<int64_t>(kHeaderLen)) {
+  if (vfs_->FileSize(wal_path()) < static_cast<int64_t>(kHeaderLen)) {
     // Missing or stub WAL (e.g. Save() failed under an injected fault):
     // re-seed the header so the stream stays parseable.
-    if (!WriteFileAtomic(wal_path(), FileHeader(kWalMagic)).ok()) {
+    if (!vfs_->WriteAtomic(wal_path(), FileHeader(kWalMagic)).ok()) {
       wal_errors_.fetch_add(1, std::memory_order_relaxed);
       return;
     }
@@ -630,13 +724,13 @@ void CachePersistence::AppendRecord(const std::string& payload) {
   if (!fault.ok()) {
     // Torn-write mode: the record header and half the payload reach disk
     // before the simulated crash. Recovery must drop exactly this tail.
-    (void)AppendToFile(
+    (void)vfs_->Append(
         wal_path(), std::string_view(rec).substr(
                         0, kRecordHeaderLen + payload.size() / 2));
     wal_errors_.fetch_add(1, std::memory_order_relaxed);
     return;
   }
-  if (!AppendToFile(wal_path(), rec).ok()) {
+  if (!vfs_->Append(wal_path(), rec).ok()) {
     wal_errors_.fetch_add(1, std::memory_order_relaxed);
     return;
   }

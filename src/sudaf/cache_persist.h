@@ -39,7 +39,10 @@
 // shard): cache:wal_append (torn-write mode — the header plus half the
 // payload reach disk), cache:snapshot_write (partial tmp file),
 // cache:snapshot_rename (tmp written, never published), and
-// cache:recover_record (per-record drop during recovery).
+// cache:recover_record (per-record drop during recovery). All file I/O
+// goes through a Vfs (common/vfs.h) — real fsync discipline on the POSIX
+// backend, byte-granular power cuts on the fault backend — so the vfs:*
+// sites apply here too.
 
 #include <atomic>
 #include <cstdint>
@@ -53,6 +56,8 @@
 
 namespace sudaf {
 
+class Vfs;
+
 // Counters filled by recovery; surfaced by the shell's `\cache` command.
 struct CacheRecoveryStats {
   int64_t sets_recovered = 0;
@@ -60,26 +65,49 @@ struct CacheRecoveryStats {
   int64_t wal_records_replayed = 0;
   int64_t records_dropped_checksum = 0;  // CRC mismatch / malformed payload
   int64_t records_dropped_torn = 0;      // truncated tail ended the scan
+  int64_t records_dropped_oversize = 0;  // intact but larger than the WAL
+                                         // record bound (wal_max_bytes)
   int64_t sets_dropped_epoch = 0;        // stored epoch != live catalog
   int64_t entries_quarantined = 0;       // poisoned channels on load
   int64_t wal_records_skipped = 0;       // WAL record for a missing set
+  int64_t orphan_tmps_removed = 0;       // stale *.tmp swept before recovery
+                                         // (crash litter; not data loss, so
+                                         // excluded from total_dropped)
 
   int64_t total_dropped() const {
     return records_dropped_checksum + records_dropped_torn +
-           sets_dropped_epoch + entries_quarantined + wal_records_skipped;
+           records_dropped_oversize + sets_dropped_epoch +
+           entries_quarantined + wal_records_skipped;
+  }
+};
+
+// Read-only CRC walk over an on-disk store, produced by
+// CachePersistence::VerifyStore() and consumed by the integrity scrubber
+// (sudaf/scrubber.h). Counts damage without repairing anything.
+struct StoreScanReport {
+  int64_t records_checked = 0;   // complete records examined
+  int64_t corrupt_records = 0;   // CRC mismatch — bit rot on disk
+  int64_t torn_tails = 0;        // truncated final record (crash artifact)
+  int64_t unreadable_files = 0;  // read error or damaged file header
+
+  bool clean() const {
+    return corrupt_records == 0 && unreadable_files == 0;
   }
 };
 
 // One-shot snapshot of the whole cache into a single checksummed file,
-// published with an atomic rename (`\cache save <path>` in the shell).
-Status SaveCacheSnapshot(const StateCache& cache, const std::string& path);
+// published with an atomic durable rename (`\cache save <path>` in the
+// shell). `vfs` null means Vfs::Default().
+Status SaveCacheSnapshot(const StateCache& cache, const std::string& path,
+                         Vfs* vfs = nullptr);
 
 // Loads a snapshot file into `cache`, replacing sets with matching
 // signatures and keeping the rest. Damaged or stale records are dropped
 // individually per the rules above — only a missing/unreadable file or a
 // foreign format is an error. Applies the cache's byte budget afterwards.
 Status LoadCacheSnapshot(const std::string& path, const Catalog& catalog,
-                         StateCache* cache, CacheRecoveryStats* stats);
+                         StateCache* cache, CacheRecoveryStats* stats,
+                         Vfs* vfs = nullptr);
 
 // Managed durability for one session's StateCache: a directory holding
 // `cache.snapshot` + `cache.wal`. Open() recovers both into the cache and
@@ -99,10 +127,13 @@ Status LoadCacheSnapshot(const std::string& path, const Catalog& catalog,
 class CachePersistence final : public CacheJournal {
  public:
   // Opens (creating if absent) the store at `dir` and recovers its
-  // contents into `cache`. `catalog` and `cache` must outlive the
-  // returned object. Recovery is never fatal; inspect recovery_stats().
+  // contents into `cache`. Stale `*.tmp` litter from a crash mid-publish
+  // is swept first (orphan_tmps_removed). `catalog` and `cache` must
+  // outlive the returned object; `vfs` (null = Vfs::Default()) must too.
+  // Recovery is never fatal; inspect recovery_stats().
   static Result<std::unique_ptr<CachePersistence>> Open(
-      const std::string& dir, const Catalog* catalog, StateCache* cache);
+      const std::string& dir, const Catalog* catalog, StateCache* cache,
+      Vfs* vfs = nullptr);
 
   // Reattaches to `dir` WITHOUT recovering from it: the current in-memory
   // cache is snapshotted over the store and the WAL is reset, then the
@@ -112,7 +143,8 @@ class CachePersistence final : public CacheJournal {
   // entries. Fails — attaching nothing — when the snapshot cannot be
   // written, leaving the caller suspended.
   static Result<std::unique_ptr<CachePersistence>> Attach(
-      const std::string& dir, const Catalog* catalog, StateCache* cache);
+      const std::string& dir, const Catalog* catalog, StateCache* cache,
+      Vfs* vfs = nullptr);
 
   // Detaches from the cache. Pending state is already in the WAL, so no
   // I/O happens here.
@@ -132,6 +164,12 @@ class CachePersistence final : public CacheJournal {
   // if any. Call sites: the session after each query, the service when the
   // persistence breaker closes. No-op when nothing is pending.
   void MaybeCompact();
+
+  // CRC-only verification pass over the on-disk snapshot + WAL, without
+  // mutating either. Takes the I/O mutex, so it serializes against
+  // appends and compaction but not against queries. Used by the
+  // integrity scrubber; repair is "republish a snapshot" (Save()).
+  StoreScanReport VerifyStore();
 
   // Updates the WAL size past which compaction is requested. Mirrors
   // CachePolicy::wal_max_bytes — kept here as its own copy because journal
@@ -164,8 +202,8 @@ class CachePersistence final : public CacheJournal {
   void OnEraseSet(const std::string& data_sig) override;
 
  private:
-  CachePersistence(std::string dir, const Catalog* catalog,
-                   StateCache* cache);
+  CachePersistence(std::string dir, const Catalog* catalog, StateCache* cache,
+                   Vfs* vfs);
 
   // Replays snapshot + WAL from dir_ into cache_ (journal not yet
   // attached). Compacts immediately when anything was dropped, so the
@@ -184,6 +222,7 @@ class CachePersistence final : public CacheJournal {
   std::string dir_;
   const Catalog* catalog_;
   StateCache* cache_;
+  Vfs* vfs_;
   CacheRecoveryStats recovery_;  // written once during Open
   // Serializes file I/O between journal appends and compaction. Lock
   // order: cache locks first, io_mu_ second.

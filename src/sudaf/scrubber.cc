@@ -1,0 +1,128 @@
+#include "sudaf/scrubber.h"
+
+#include <chrono>
+#include <utility>
+
+#include "sudaf/session.h"
+
+namespace sudaf {
+
+IntegrityScrubber::IntegrityScrubber(SudafSession* session, ScrubOptions opts)
+    : session_(session), opts_(opts) {
+  MetricsRegistry& r = session_->metrics();
+  passes_ = r.counter("sudaf.scrub.passes");
+  entries_checked_ = r.counter("sudaf.scrub.entries_checked");
+  entries_quarantined_ = r.counter("sudaf.scrub.entries_quarantined");
+  disk_records_checked_ = r.counter("sudaf.scrub.disk_records_checked");
+  disk_corrupt_records_ = r.counter("sudaf.scrub.disk_corrupt_records");
+  disk_torn_tails_ = r.counter("sudaf.scrub.disk_torn_tails");
+  republishes_ = r.counter("sudaf.scrub.republishes");
+  errors_ = r.counter("sudaf.scrub.errors");
+}
+
+IntegrityScrubber::~IntegrityScrubber() { Stop(); }
+
+Status IntegrityScrubber::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (thread_.joinable()) {
+    return Status::AlreadyExists("scrubber thread is already running");
+  }
+  stop_ = false;
+  thread_ = std::thread([this] { ThreadMain(); });
+  return Status::OK();
+}
+
+void IntegrityScrubber::Stop() {
+  std::thread joinable;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!thread_.joinable()) return;
+    stop_ = true;
+    joinable = std::move(thread_);
+  }
+  cv_.notify_all();
+  joinable.join();
+}
+
+bool IntegrityScrubber::running() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return thread_.joinable();
+}
+
+TraceHandle IntegrityScrubber::last_trace() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_trace_;
+}
+
+void IntegrityScrubber::ThreadMain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    lock.unlock();
+    RunOnce();
+    lock.lock();
+    cv_.wait_for(lock, std::chrono::milliseconds(opts_.interval_ms),
+                 [this] { return stop_; });
+  }
+}
+
+ScrubReport IntegrityScrubber::RunOnce() {
+  ScrubReport report;
+  auto trace = std::make_shared<QueryTrace>(/*capacity=*/256);
+  int root = trace->BeginSpan("scrub");
+
+  {
+    TraceSpan span(trace.get(), "scrub.resident", root);
+    CacheOps ops;
+    ops.trace = trace.get();
+    report.resident = session_->cache().ScrubResident(ops);
+  }
+
+  {
+    TraceSpan span(trace.get(), "scrub.disk", root);
+    Result<StoreScanReport> disk = session_->VerifyPersistentStore();
+    if (disk.ok()) {
+      report.store_attached = true;
+      report.disk = *disk;
+      if (report.disk.corrupt_records > 0) {
+        trace->AddEvent("scrub.disk_corrupt", span.id(),
+                        report.disk.corrupt_records);
+      }
+    }
+    // NotFound (persistence disabled/suspended) is a normal state, not an
+    // error: the resident pass alone still protects queries.
+  }
+
+  if (report.found_damage() && report.store_attached) {
+    // Repair: the in-memory cache is clean now (damaged entries were just
+    // quarantined), so a full republish supersedes every damaged byte on
+    // disk — snapshot plus WAL reset, atomic and durable.
+    TraceSpan span(trace.get(), "scrub.republish", root);
+    Status st = session_->RepublishSnapshot();
+    if (st.ok()) {
+      report.republished = true;
+      republishes_->Add();
+    } else if (st.code() != StatusCode::kNotFound) {
+      report.error = st;
+      errors_->Add();
+    }
+  }
+
+  trace->EndSpan(root);
+  passes_->Add();
+  entries_checked_->Add(report.resident.entries_checked);
+  entries_quarantined_->Add(report.resident.entries_quarantined);
+  disk_records_checked_->Add(report.disk.records_checked);
+  disk_corrupt_records_->Add(report.disk.corrupt_records);
+  disk_torn_tails_->Add(report.disk.torn_tails);
+  if (report.disk.unreadable_files > 0) {
+    errors_->Add(report.disk.unreadable_files);
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    last_trace_ = std::move(trace);
+  }
+  return report;
+}
+
+}  // namespace sudaf

@@ -1,0 +1,126 @@
+#ifndef SUDAF_SUDAF_SCRUBBER_H_
+#define SUDAF_SUDAF_SCRUBBER_H_
+
+// Background integrity scrubber (docs/robustness.md, "Durability
+// contract").
+//
+// Durability is only half of crash safety: bytes that were written
+// correctly can still rot — in memory (a flipped bit in a resident cache
+// entry) or on disk (a flipped bit in the snapshot or WAL). Checksums
+// detect rot only when somebody reads them, and a hot cache entry may not
+// be re-read from disk for hours. The scrubber closes that window by
+// periodically re-verifying everything:
+//
+//   1. Resident pass — StateCache::ScrubResident(): every cached entry's
+//      shadow CRC32C is recomputed against its channels; mismatching or
+//      poisoned entries are quarantined (erased) so they can never be
+//      served.
+//   2. Disk pass — SudafSession::VerifyPersistentStore(): a CRC-only walk
+//      of cache.snapshot + cache.wal, counting corrupt records and torn
+//      tails without mutating either file.
+//   3. Repair — when either pass found damage, RepublishSnapshot()
+//      rewrites the store from the (now clean) in-memory cache: snapshot +
+//      WAL reset, atomic and durable, superseding the damaged bytes.
+//
+// Every pass is reported through the session's metrics registry
+// (sudaf.scrub.{passes, entries_checked, entries_quarantined,
+// disk_records_checked, disk_corrupt_records, disk_torn_tails,
+// republishes, errors}) and a per-pass trace (last_trace()) with one span
+// per phase — the same observability surface queries use. The shell's
+// `\scrub` command runs a pass on demand and prints the report.
+//
+// Threading: Start() launches one background thread that calls RunOnce()
+// every interval_ms; Stop() (and the destructor) joins it. RunOnce() is
+// also safe to call directly from any thread — it only uses the
+// session's thread-safe surfaces (cache scrub under the cache locks, disk
+// verify under the persistence I/O mutex), so queries keep running while
+// the scrubber works.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "common/trace.h"
+#include "sudaf/cache.h"
+#include "sudaf/cache_persist.h"
+
+namespace sudaf {
+
+class SudafSession;
+
+struct ScrubOptions {
+  // Period between background passes (Start()). One-shot callers use
+  // RunOnce() and ignore this.
+  int interval_ms = 1000;
+};
+
+// Outcome of one scrub pass.
+struct ScrubReport {
+  StateCache::ScrubResult resident;  // in-memory entry verification
+  StoreScanReport disk;              // on-disk CRC walk (zeros when the
+                                     // store is detached)
+  bool store_attached = false;
+  bool republished = false;  // repair snapshot was written successfully
+  Status error;              // repair failure, when one happened
+
+  bool found_damage() const {
+    return resident.entries_quarantined > 0 || disk.corrupt_records > 0 ||
+           disk.unreadable_files > 0;
+  }
+};
+
+class IntegrityScrubber {
+ public:
+  // `session` must outlive the scrubber.
+  explicit IntegrityScrubber(SudafSession* session, ScrubOptions opts = {});
+  ~IntegrityScrubber();
+
+  IntegrityScrubber(const IntegrityScrubber&) = delete;
+  IntegrityScrubber& operator=(const IntegrityScrubber&) = delete;
+
+  // Launches the background thread. AlreadyExists when running.
+  Status Start();
+  // Stops and joins the background thread; no-op when not running.
+  void Stop();
+  bool running() const;
+
+  // One synchronous scrub pass (resident → disk → repair), callable with
+  // or without the background thread running.
+  ScrubReport RunOnce();
+
+  // Passes completed since construction (background + RunOnce).
+  int64_t passes() const { return passes_->value(); }
+
+  // Trace of the most recent pass (null before the first).
+  TraceHandle last_trace() const;
+
+ private:
+  void ThreadMain();
+
+  SudafSession* session_;
+  const ScrubOptions opts_;
+
+  // Counter handles into the session's metrics registry (registration is
+  // idempotent; updates are lock-free).
+  Counter* passes_;
+  Counter* entries_checked_;
+  Counter* entries_quarantined_;
+  Counter* disk_records_checked_;
+  Counter* disk_corrupt_records_;
+  Counter* disk_torn_tails_;
+  Counter* republishes_;
+  Counter* errors_;
+
+  mutable std::mutex mu_;  // guards thread_/stop_/last_trace_
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+  TraceHandle last_trace_;
+};
+
+}  // namespace sudaf
+
+#endif  // SUDAF_SUDAF_SCRUBBER_H_

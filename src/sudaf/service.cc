@@ -21,8 +21,14 @@ bool RetryPolicy::ShouldRetry(const Status& s, bool idempotent,
       // requests that declared themselves idempotent.
       return !work_started || idempotent;
     case StatusCode::kInternal:
+    case StatusCode::kNoSpace:
+    case StatusCode::kIoError:
+    case StatusCode::kFsyncFailed:
       // Transient I/O faults (and the injected failpoints that model
-      // them). The attempt may have had partial side effects.
+      // them), including the typed storage faults from the Vfs layer —
+      // persistence normally absorbs those into the breaker, but one that
+      // does surface is worth one more attempt. The attempt may have had
+      // partial side effects.
       return idempotent;
     default:
       // Definite outcomes: cancellation, deadline, parse/type errors,

@@ -192,8 +192,9 @@ void SudafSession::set_cache_policy(const CachePolicy& policy) {
 Status SudafSession::EnableCachePersistence(const std::string& dir) {
   std::lock_guard<std::mutex> lock(persist_mu_);
   persistence_.reset();  // detach any previous store first
-  SUDAF_ASSIGN_OR_RETURN(persistence_,
-                         CachePersistence::Open(dir, catalog_, &cache_));
+  SUDAF_ASSIGN_OR_RETURN(
+      persistence_,
+      CachePersistence::Open(dir, catalog_, &cache_, session_vfs()));
   persist_dir_ = dir;
   return Status::OK();
 }
@@ -218,9 +219,10 @@ Status SudafSession::ResumeCachePersistence() {
   if (persist_dir_.empty()) {
     return Status::InvalidArgument("cache persistence was never enabled");
   }
-  SUDAF_ASSIGN_OR_RETURN(persistence_,
-                         CachePersistence::Attach(persist_dir_, catalog_,
-                                                  &cache_));
+  SUDAF_ASSIGN_OR_RETURN(
+      persistence_,
+      CachePersistence::Attach(persist_dir_, catalog_, &cache_,
+                               session_vfs()));
   return Status::OK();
 }
 
@@ -235,12 +237,28 @@ void SudafSession::MaybeCompactCache() {
 }
 
 Status SudafSession::SaveCache(const std::string& path) const {
-  return SaveCacheSnapshot(cache_, path);
+  return SaveCacheSnapshot(cache_, path, session_vfs());
 }
 
 Status SudafSession::LoadCache(const std::string& path,
                                CacheRecoveryStats* stats) {
-  return LoadCacheSnapshot(path, *catalog_, &cache_, stats);
+  return LoadCacheSnapshot(path, *catalog_, &cache_, stats, session_vfs());
+}
+
+Result<StoreScanReport> SudafSession::VerifyPersistentStore() {
+  std::lock_guard<std::mutex> lock(persist_mu_);
+  if (persistence_ == nullptr) {
+    return Status::NotFound("cache persistence is not attached");
+  }
+  return persistence_->VerifyStore();
+}
+
+Status SudafSession::RepublishSnapshot() {
+  std::lock_guard<std::mutex> lock(persist_mu_);
+  if (persistence_ == nullptr) {
+    return Status::NotFound("cache persistence is not attached");
+  }
+  return persistence_->Save();
 }
 
 Result<QueryResult> SudafSession::Execute(const std::string& sql,

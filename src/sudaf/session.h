@@ -171,6 +171,11 @@ struct SessionOptions {
   bool collect_traces = true;
   // Span cap and event ring size of each query's trace.
   int trace_capacity = 4096;
+  // Filesystem backend for cache persistence (null = Vfs::Default(), the
+  // real POSIX disk). Tests pass a FaultVfs here to drive power cuts and
+  // disk faults through the whole persistence stack. Borrowed; must
+  // outlive the session.
+  Vfs* vfs = nullptr;
 
   SessionOptions& set_exec(const ExecOptions& e) {
     exec = e;
@@ -194,6 +199,10 @@ struct SessionOptions {
   }
   SessionOptions& set_trace_capacity(int n) {
     trace_capacity = n;
+    return *this;
+  }
+  SessionOptions& set_vfs(Vfs* v) {
+    vfs = v;
     return *this;
   }
 };
@@ -280,6 +289,15 @@ class SudafSession {
   Status LoadCache(const std::string& path,
                    CacheRecoveryStats* stats = nullptr);
 
+  // --- Integrity scrubbing hooks (sudaf/scrubber.h) ----------------------
+  // CRC-verifies the attached store's snapshot + WAL on disk without
+  // mutating them. NotFound when persistence is disabled or suspended.
+  Result<StoreScanReport> VerifyPersistentStore();
+  // Rewrites the store from the current in-memory cache (snapshot + WAL
+  // reset) — the scrubber's repair action after quarantining corruption.
+  // NotFound when persistence is disabled or suspended.
+  Status RepublishSnapshot();
+
   // Parses and runs `sql` under `mode`. `sql` may carry an
   // `EXPLAIN [ANALYZE]` prefix: plain EXPLAIN returns the rewritten form
   // as a one-column table without executing; EXPLAIN ANALYZE executes and
@@ -308,6 +326,13 @@ class SudafSession {
   Result<std::unique_ptr<Table>> ExecuteSudaf(const SelectStatement& stmt,
                                               bool share,
                                               const ExecOptions& exec);
+
+  // The persistence filesystem backend (SessionOptions::vfs; null means
+  // Vfs::Default(), resolved by the persistence layer).
+  Vfs* session_vfs() const {
+    std::lock_guard<std::mutex> lock(options_mu_);
+    return options_.vfs;
+  }
 
   const Catalog* catalog_;
   // Guards options_ (exec defaults, cache policy copy, trace knobs).

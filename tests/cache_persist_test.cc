@@ -365,6 +365,107 @@ TEST_F(PersistTest, WalGrowthTriggersSnapshotCompaction) {
   EXPECT_EQ(reopened->recovery_stats().total_dropped(), 0);
 }
 
+// Frames `payload` exactly as the persistence layer does: len:u32 crc:u32
+// payload, crc = CRC32C(len || payload). Used to splice hand-crafted edge
+// records into a live WAL.
+std::string FrameTestRecord(const std::string& payload) {
+  std::string rec(8, '\0');
+  uint32_t len = static_cast<uint32_t>(payload.size());
+  std::memcpy(rec.data(), &len, 4);
+  uint32_t crc = Crc32c(rec.data(), 4);
+  crc = Crc32c(payload.data(), payload.size(), crc);
+  std::memcpy(rec.data() + 4, &crc, 4);
+  return rec + payload;
+}
+
+TEST_F(PersistTest, WalLengthPrefixPastEofIsTornNotFatal) {
+  {
+    StateCache cache;
+    ASSERT_OK_AND_ASSIGN(auto persist,
+                         CachePersistence::Open(dir_, &catalog_, &cache));
+    Plant(&cache, "T:t,;W:;G:a,");
+  }
+  // Append a header whose length prefix points far past EOF with only a
+  // stub of payload behind it — the classic crash-mid-append artifact.
+  std::string wal = dir_ + "/cache.wal";
+  ASSERT_TRUE(FileExists(wal));
+  std::string frame(8, '\0');
+  uint32_t len = 1 << 20;
+  std::memcpy(frame.data(), &len, 4);
+  uint32_t crc = Crc32c(frame.data(), 4);
+  std::memcpy(frame.data() + 4, &crc, 4);
+  ASSERT_OK(AppendToFile(wal, frame + "stub"));
+
+  StateCache cache2;
+  ASSERT_OK_AND_ASSIGN(auto persist,
+                       CachePersistence::Open(dir_, &catalog_, &cache2));
+  EXPECT_EQ(persist->recovery_stats().records_dropped_torn, 1);
+  EXPECT_EQ(persist->recovery_stats().sets_recovered, 1);
+  EXPECT_EQ(persist->recovery_stats().entries_recovered, 2);
+}
+
+TEST_F(PersistTest, WalZeroLengthRecordIsDroppedIndividually) {
+  {
+    StateCache cache;
+    ASSERT_OK_AND_ASSIGN(auto persist,
+                         CachePersistence::Open(dir_, &catalog_, &cache));
+    Plant(&cache, "T:t,;W:;G:a,");
+    Plant(&cache, "T:t,;W:;G:b,");
+  }
+  // Splice a zero-length record — CRC-valid but with no payload, not even
+  // a type byte — between the first record and the rest of the stream.
+  std::string wal = dir_ + "/cache.wal";
+  ASSERT_OK_AND_ASSIGN(std::string file, ReadFileToString(wal));
+  auto ranges = RecordRanges(file);
+  ASSERT_GE(ranges.size(), 2u);
+  file.insert(ranges[0].first + ranges[0].second, FrameTestRecord(""));
+  ASSERT_OK(WriteFileAtomic(wal, file));
+
+  StateCache cache2;
+  ASSERT_OK_AND_ASSIGN(auto persist,
+                       CachePersistence::Open(dir_, &catalog_, &cache2));
+  // Dropped alone as malformed; every record after it still applied.
+  EXPECT_EQ(persist->recovery_stats().records_dropped_checksum, 1);
+  EXPECT_EQ(persist->recovery_stats().records_dropped_torn, 0);
+  EXPECT_EQ(persist->recovery_stats().sets_recovered, 2);
+  EXPECT_EQ(cache2.num_group_sets(), 2);
+}
+
+TEST_F(PersistTest, WalOversizeRecordIsDroppedIndividually) {
+  {
+    StateCache cache;
+    CachePolicy policy;
+    policy.wal_max_bytes = 1024;
+    cache.set_policy(policy);
+    ASSERT_OK_AND_ASSIGN(auto persist,
+                         CachePersistence::Open(dir_, &catalog_, &cache));
+    Plant(&cache, "T:t,;W:;G:a,");
+    Plant(&cache, "T:t,;W:;G:b,");
+  }
+  // Splice an intact, CRC-valid record just past the scan bound (the
+  // configured WAL limit, floored at 1 MiB): it cannot be legitimate, so
+  // it must be dropped alone — never fatal, never treated as a torn tail.
+  std::string wal = dir_ + "/cache.wal";
+  ASSERT_OK_AND_ASSIGN(std::string file, ReadFileToString(wal));
+  auto ranges = RecordRanges(file);
+  ASSERT_GE(ranges.size(), 2u);
+  std::string huge((1 << 20) + 1, '\x5a');
+  file.insert(ranges[0].first + ranges[0].second, FrameTestRecord(huge));
+  ASSERT_OK(WriteFileAtomic(wal, file));
+
+  StateCache cache2;
+  CachePolicy policy;
+  policy.wal_max_bytes = 1024;
+  cache2.set_policy(policy);
+  ASSERT_OK_AND_ASSIGN(auto persist,
+                       CachePersistence::Open(dir_, &catalog_, &cache2));
+  EXPECT_EQ(persist->recovery_stats().records_dropped_oversize, 1);
+  EXPECT_EQ(persist->recovery_stats().records_dropped_torn, 0);
+  EXPECT_EQ(persist->recovery_stats().records_dropped_checksum, 0);
+  EXPECT_EQ(persist->recovery_stats().sets_recovered, 2);
+  EXPECT_GT(persist->recovery_stats().total_dropped(), 0);
+}
+
 TEST_F(PersistTest, SaveFaultsLeaveThePublishedSnapshotIntact) {
   StateCache cache;
   ASSERT_OK_AND_ASSIGN(auto persist,

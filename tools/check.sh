@@ -10,20 +10,27 @@
 #                                    # service chaos harness (concurrent
 #                                    # clients under cycling failpoints)
 #                                    # several times under the sanitizer
+#   tools/check.sh release --torture # + kill-and-recover torture: SIGKILL a
+#                                    # worker process at randomized
+#                                    # persistence sites, verify recovery is
+#                                    # bit-identical (TORTURE_ROUNDS, def 20)
 #
 # Requires cmake >= 3.23 (presets). Runs from anywhere inside the repo.
 set -euo pipefail
 
 preset="${1:-release}"
 stress=0
+torture=0
 case "$preset" in
   release|asan|tsan) ;;
-  *) echo "usage: $0 [release|asan|tsan] [--stress]" >&2; exit 2 ;;
+  *) echo "usage: $0 [release|asan|tsan] [--stress|--torture]" >&2; exit 2 ;;
 esac
 if [ "${2:-}" = "--stress" ]; then
   stress=1
+elif [ "${2:-}" = "--torture" ]; then
+  torture=1
 elif [ -n "${2:-}" ]; then
-  echo "usage: $0 [release|asan|tsan] [--stress]" >&2; exit 2
+  echo "usage: $0 [release|asan|tsan] [--stress|--torture]" >&2; exit 2
 fi
 
 cd "$(git -C "$(dirname "$0")" rev-parse --show-toplevel)"
@@ -42,6 +49,14 @@ if [ "$preset" = tsan ]; then
   # ThreadSanitizer (ctest above runs each test once).
   "${build_dir}/tests/sudaf_tests" \
     --gtest_filter='ParallelPipelineTest.*' --gtest_repeat=3
+fi
+
+if [ "$torture" = 1 ]; then
+  # Real process death: the torture supervisor fork/execs a worker, kills
+  # it with SIGKILL at a randomized persistence site (or a randomized
+  # wall-clock moment), then recovers the store in-process and checks every
+  # answer bit-for-bit against a cold run (docs/robustness.md).
+  "${build_dir}/tools/torture" --rounds "${TORTURE_ROUNDS:-20}"
 fi
 
 if [ "$stress" = 1 ]; then

@@ -1,0 +1,379 @@
+// Kill-and-recover torture harness (docs/robustness.md, "Durability
+// contract").
+//
+// The FaultVfs power-cut tests simulate crashes; this tool delivers real
+// ones. A supervisor fork/execs a worker copy of itself that runs a
+// persistence-heavy query loop, SIGKILLs it — either from the inside at a
+// precise persistence site (SUDAF_FAILPOINT_KILL, common/failpoint.h) or
+// from the outside at a randomized wall-clock moment — then recovers the
+// store in-process and checks every query answer bit-for-bit against a
+// cold run. Any divergence, failed recovery, or worker error fails the
+// round.
+//
+//   $ torture [--rounds N] [--seed S] [--dir D] [--timeout-ms T]
+//
+// Exit status 0 iff every round recovered bit-identically. CI runs 20
+// rounds per shard (tools/check.sh --torture).
+
+#include <sys/types.h>
+#include <sys/wait.h>
+
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "common/crc32c.h"
+#include "common/failpoint.h"
+#include "common/rng.h"
+#include "datagen/milan_like.h"
+#include "sudaf/session.h"
+
+namespace sudaf {
+namespace {
+
+// Small, fully deterministic dataset: rounds must be fast and every
+// process (worker, supervisor, cold reference) must see identical rows.
+void SetupCatalog(Catalog* catalog) {
+  MilanOptions milan;
+  milan.num_rows = 4000;
+  catalog->PutTable("milan_data", GenerateMilanData(milan));
+}
+
+Status SetupSession(SudafSession* session) {
+  // A library UDAF so the share-mode rewriter and the state cache are both
+  // on the persistence path (states from `tvar` are cached and journaled).
+  return session->library().Define(
+      "tvar", {"x"}, "sum(x^2)/count(x) - (sum(x)/count(x))^2");
+}
+
+// The fixed verification queries. Share mode: after recovery they are
+// served (partially) from recovered cache states, so a single flipped bit
+// anywhere in the snapshot/WAL/recovery path changes the fingerprint.
+std::vector<std::string> VerifyQueries() {
+  return {
+      "SELECT square_id, tvar(internet_traffic) FROM milan_data "
+      "GROUP BY square_id ORDER BY square_id;",
+      "SELECT square_id, tvar(internet_traffic), avg(internet_traffic) "
+      "FROM milan_data WHERE internet_traffic > 5 GROUP BY square_id "
+      "ORDER BY square_id;",
+      "SELECT square_id, stddev(internet_traffic), sum(internet_traffic) "
+      "FROM milan_data WHERE square_id < 40 GROUP BY square_id "
+      "ORDER BY square_id;",
+  };
+}
+
+// CRC32C over the raw value buffers — doubles hash as their exact bit
+// patterns, so "bit-identical" means exactly that.
+uint32_t FingerprintTable(const Table& table) {
+  uint32_t crc = 0;
+  const int64_t rows = table.num_rows();
+  crc = Crc32c(&rows, sizeof(rows), crc);
+  for (int c = 0; c < table.num_columns(); ++c) {
+    const Column& col = table.column(c);
+    switch (col.type()) {
+      case DataType::kInt64:
+        crc = Crc32c(col.ints().data(), col.ints().size() * sizeof(int64_t),
+                     crc);
+        break;
+      case DataType::kFloat64:
+        crc = Crc32c(col.doubles().data(),
+                     col.doubles().size() * sizeof(double), crc);
+        break;
+      case DataType::kString:
+        for (int64_t r = 0; r < col.size(); ++r) {
+          const std::string& s = col.GetString(r);
+          crc = Crc32c(s.data(), s.size(), crc);
+        }
+        break;
+    }
+  }
+  return crc;
+}
+
+// Runs the verification queries and returns their fingerprints; any query
+// failure is fatal for the calling round.
+Result<std::vector<uint32_t>> RunAndFingerprint(SudafSession* session) {
+  std::vector<uint32_t> prints;
+  for (const std::string& sql : VerifyQueries()) {
+    Result<QueryResult> r = session->Execute(sql, ExecMode::kSudafShare);
+    if (!r.ok()) return r.status();
+    prints.push_back(FingerprintTable(**r));
+  }
+  return prints;
+}
+
+// --- Worker ---------------------------------------------------------------
+//
+// Runs forever (the supervisor kills it): enables persistence on `dir`,
+// then issues an endless stream of *distinct* share-mode queries so fresh
+// states keep entering the cache and the WAL keeps growing — every
+// iteration crosses the vfs:write / vfs:fsync / cache:wal_append sites an
+// armed SUDAF_FAILPOINT_KILL can fire at. A tiny WAL budget keeps the
+// snapshot-rewrite (compaction) sites hot too.
+int RunWorker(const std::string& dir, uint64_t seed) {
+  Catalog catalog;
+  SetupCatalog(&catalog);
+  SessionOptions opts;
+  opts.set_wal_max_bytes(8192);
+  SudafSession session(&catalog, opts);
+  Status st = SetupSession(&session);
+  if (!st.ok()) {
+    std::fprintf(stderr, "worker: define failed: %s\n",
+                 st.ToString().c_str());
+    return 2;
+  }
+  // Arms the SIGKILL site the supervisor put in the environment (and any
+  // SUDAF_FAILPOINTS error specs). A parse error here means the supervisor
+  // built a bad spec — loud failure, not a silent no-fault run.
+  auto armed = FailPoint::ActivateFromEnv();
+  if (!armed.ok()) {
+    std::fprintf(stderr, "worker: %s\n", armed.status().ToString().c_str());
+    return 2;
+  }
+  st = session.EnableCachePersistence(dir);
+  if (!st.ok()) {
+    std::fprintf(stderr, "worker: enable persistence failed: %s\n",
+                 st.ToString().c_str());
+    return 2;
+  }
+  Rng rng(seed);
+  char sql[512];
+  for (;;) {
+    // Distinct thresholds → distinct predicates → new cache inserts.
+    double cut = static_cast<double>(rng.NextBelow(4000)) / 100.0;
+    std::snprintf(sql, sizeof(sql),
+                  "SELECT square_id, tvar(internet_traffic) FROM milan_data "
+                  "WHERE internet_traffic > %.2f GROUP BY square_id "
+                  "ORDER BY square_id;",
+                  cut);
+    Result<QueryResult> r = session.Execute(sql, ExecMode::kSudafShare);
+    if (!r.ok()) {
+      std::fprintf(stderr, "worker: query failed: %s\n",
+                   r.status().ToString().c_str());
+      return 2;
+    }
+  }
+}
+
+// --- Supervisor -----------------------------------------------------------
+
+struct TortureOptions {
+  int rounds = 20;
+  uint64_t seed = 0x50daf;
+  std::string dir;
+  int timeout_ms = 4000;
+};
+
+// Persistence sites a round can SIGKILL at, spanning both layers: the Vfs
+// primitives (fd writes, fsyncs, renames, directory syncs) and the
+// journal operations built on them.
+const char* const kKillSites[] = {
+    "vfs:open",        "vfs:write",          "vfs:fsync",
+    "vfs:rename",      "vfs:dirsync",        "cache:wal_append",
+    "cache:snapshot_write", "cache:snapshot_rename",
+};
+
+int64_t NowMs() {
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return ts.tv_sec * 1000 + ts.tv_nsec / 1000000;
+}
+
+// Forks and execs `self --worker dir seed` with `kill_spec` (may be empty
+// for timed-kill rounds) in the child environment. Returns the child pid.
+pid_t SpawnWorker(const char* self, const std::string& dir, uint64_t seed,
+                  const std::string& kill_spec) {
+  pid_t pid = fork();
+  if (pid != 0) return pid;
+  // Child. Build argv/envp and exec a fresh process image; only
+  // async-signal-safe calls before execve.
+  std::string seed_str = std::to_string(seed);
+  const char* argv[] = {self, "--worker", dir.c_str(), seed_str.c_str(),
+                        nullptr};
+  std::string kill_env = "SUDAF_FAILPOINT_KILL=" + kill_spec;
+  std::vector<const char*> envp;
+  if (!kill_spec.empty()) envp.push_back(kill_env.c_str());
+  envp.push_back(nullptr);
+  execve(self, const_cast<char* const*>(argv),
+         const_cast<char* const*>(envp.data()));
+  _exit(127);  // execve failed
+}
+
+// Waits for `pid` up to `timeout_ms`; if the armed site never fired
+// (or none was armed), delivers the SIGKILL from outside. Returns true if
+// the worker died by SIGKILL or ran into the timeout kill; a clean exit
+// means the worker hit an error before the kill — round fails.
+bool ReapWorker(pid_t pid, int timeout_ms, bool* killed_by_timeout) {
+  const int64_t deadline = NowMs() + timeout_ms;
+  int status = 0;
+  *killed_by_timeout = false;
+  for (;;) {
+    pid_t r = waitpid(pid, &status, WNOHANG);
+    if (r == pid) break;
+    if (r < 0) return false;
+    if (NowMs() >= deadline) {
+      kill(pid, SIGKILL);
+      *killed_by_timeout = true;
+      waitpid(pid, &status, 0);
+      break;
+    }
+    usleep(2000);
+  }
+  return WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL;
+}
+
+int RunSupervisor(const char* self, const TortureOptions& opts) {
+  std::string dir = opts.dir;
+  if (dir.empty()) {
+    char tmpl[] = "/tmp/sudaf_torture_XXXXXX";
+    const char* made = mkdtemp(tmpl);
+    if (made == nullptr) {
+      std::perror("mkdtemp");
+      return 1;
+    }
+    dir = made;
+  }
+  std::string store = dir + "/store";
+
+  // Reference answers from a cold, persistence-free session: the ground
+  // truth every post-crash recovery must reproduce bit-for-bit.
+  Catalog catalog;
+  SetupCatalog(&catalog);
+  std::vector<uint32_t> expected;
+  {
+    SudafSession cold(&catalog);
+    Status st = SetupSession(&cold);
+    if (!st.ok()) {
+      std::fprintf(stderr, "cold setup failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    Result<std::vector<uint32_t>> prints = RunAndFingerprint(&cold);
+    if (!prints.ok()) {
+      std::fprintf(stderr, "cold run failed: %s\n",
+                   prints.status().ToString().c_str());
+      return 1;
+    }
+    expected = *prints;
+  }
+
+  Rng rng(opts.seed);
+  int failures = 0;
+  for (int round = 0; round < opts.rounds; ++round) {
+    // Two kill styles alternate through the randomness: an armed in-process
+    // SIGKILL at a precise persistence site (with a random skip count, so
+    // the Nth crossing dies, not always the first), or a pure timed kill
+    // that can land anywhere — including mid-write.
+    std::string spec;
+    const bool timed_only = rng.NextBelow(4) == 0;
+    if (!timed_only) {
+      const char* site =
+          kKillSites[rng.NextBelow(sizeof(kKillSites) / sizeof(*kKillSites))];
+      int skip = static_cast<int>(rng.NextBelow(24));
+      spec = std::string(site) + "=skip:" + std::to_string(skip);
+    }
+
+    pid_t pid = SpawnWorker(self, store, opts.seed + 1000 + round, spec);
+    if (pid < 0) {
+      std::perror("fork");
+      return 1;
+    }
+    if (timed_only) {
+      // Let the worker get somewhere unpredictable first.
+      usleep(static_cast<useconds_t>(5000 + rng.NextBelow(60) * 1000));
+      kill(pid, SIGKILL);
+    }
+    bool timeout_kill = false;
+    if (!ReapWorker(pid, opts.timeout_ms, &timeout_kill)) {
+      std::fprintf(stderr,
+                   "round %d FAILED: worker exited instead of dying "
+                   "(site %s)\n",
+                   round, spec.empty() ? "<timed>" : spec.c_str());
+      ++failures;
+      continue;
+    }
+
+    // Recovery: attaching the mangled store must succeed, and the fixed
+    // queries must answer bit-identically to the cold reference.
+    SudafSession session(&catalog);
+    Status st = SetupSession(&session);
+    if (st.ok()) st = session.EnableCachePersistence(store);
+    if (!st.ok()) {
+      std::fprintf(stderr, "round %d FAILED: recovery: %s\n", round,
+                   st.ToString().c_str());
+      ++failures;
+      continue;
+    }
+    const CacheRecoveryStats& rec =
+        session.cache_persistence()->recovery_stats();
+    Result<std::vector<uint32_t>> prints = RunAndFingerprint(&session);
+    if (!prints.ok()) {
+      std::fprintf(stderr, "round %d FAILED: post-recovery query: %s\n",
+                   round, prints.status().ToString().c_str());
+      ++failures;
+      continue;
+    }
+    bool match = *prints == expected;
+    std::printf(
+        "round %2d %s  kill=%-28s recovered %lld sets/%lld entries "
+        "(dropped: %lld torn, %lld checksum)%s\n",
+        round, match ? "ok    " : "FAILED",
+        spec.empty() ? (timeout_kill ? "<timed+timeout>" : "<timed>")
+                     : spec.c_str(),
+        static_cast<long long>(rec.sets_recovered),
+        static_cast<long long>(rec.entries_recovered),
+        static_cast<long long>(rec.records_dropped_torn),
+        static_cast<long long>(rec.records_dropped_checksum),
+        match ? "" : "  ANSWER MISMATCH");
+    if (!match) ++failures;
+  }
+
+  if (failures == 0) {
+    std::printf("torture: all %d rounds recovered bit-identically\n",
+                opts.rounds);
+    return 0;
+  }
+  std::fprintf(stderr, "torture: %d/%d rounds FAILED\n", failures,
+               opts.rounds);
+  return 1;
+}
+
+}  // namespace
+}  // namespace sudaf
+
+int main(int argc, char** argv) {
+  using sudaf::TortureOptions;
+  if (argc >= 4 && std::strcmp(argv[1], "--worker") == 0) {
+    return sudaf::RunWorker(argv[2],
+                            std::strtoull(argv[3], nullptr, 10));
+  }
+  TortureOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : "";
+    };
+    if (arg == "--rounds") {
+      opts.rounds = std::atoi(next());
+    } else if (arg == "--seed") {
+      opts.seed = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--dir") {
+      opts.dir = next();
+    } else if (arg == "--timeout-ms") {
+      opts.timeout_ms = std::atoi(next());
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--rounds N] [--seed S] [--dir D] "
+                   "[--timeout-ms T]\n",
+                   argv[0]);
+      return 1;
+    }
+  }
+  return sudaf::RunSupervisor(argv[0], opts);
+}
