@@ -36,7 +36,7 @@
 #include "expr/evaluator.h"
 #include "expr/parser.h"
 #include "storage/column.h"
-#include "sudaf/session.h"
+#include "sudaf/sudaf.h"
 
 using namespace sudaf;  // NOLINT — bench brevity
 

@@ -9,7 +9,7 @@
 #include <cstdio>
 
 #include "datagen/milan_like.h"
-#include "sudaf/session.h"
+#include "sudaf/sudaf.h"
 
 using namespace sudaf;  // NOLINT — bench brevity
 

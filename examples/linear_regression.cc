@@ -11,6 +11,7 @@
 
 #include "common/timer.h"
 #include "datagen/tpcds_like.h"
+#include "sudaf/sudaf.h"
 #include "sudaf/view_rewrite.h"
 
 using namespace sudaf;  // NOLINT — example brevity

@@ -11,6 +11,7 @@
 #include "common/timer.h"
 #include "datagen/milan_like.h"
 #include "sketch/moment_sketch.h"
+#include "sudaf/sudaf.h"
 
 using namespace sudaf;  // NOLINT — example brevity
 
@@ -27,9 +28,12 @@ int main() {
   Status st = bench::RegisterQuantileUdafs(&session, 10);
   SUDAF_CHECK_MSG(st.ok(), st.ToString());
 
-  // 1. Prefetch the sketch (33 states: min, max, count, Σx^k, Σ ln^k|x|).
+  // 1. Prefetch the sketch (33 states: min, max, count, Σx^k, Σ ln^k|x|)
+  //    through the query service, so it shares the admission queue (and the
+  //    sudaf.service.prefetches counter) with real queries.
+  QueryService service(&session);
   double t0 = NowMs();
-  st = session.Prefetch(bench::MomentSketchPrefetchSql(/*model=*/1, 10));
+  st = service.Prefetch(bench::MomentSketchPrefetchSql(/*model=*/1, 10));
   SUDAF_CHECK_MSG(st.ok(), st.ToString());
   std::printf("moments-sketch prefetch: %.1f ms (%lld cached states)\n\n",
               NowMs() - t0,

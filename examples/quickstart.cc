@@ -11,7 +11,7 @@
 #include <cstdio>
 
 #include "common/rng.h"
-#include "sudaf/session.h"
+#include "sudaf/sudaf.h"
 
 using namespace sudaf;  // NOLINT — example brevity
 

@@ -6,6 +6,7 @@
 #include <numeric>
 
 #include "bench_support/workload.h"
+#include "sudaf/sudaf.h"
 
 using namespace sudaf;  // NOLINT — example brevity
 

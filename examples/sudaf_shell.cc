@@ -46,6 +46,7 @@
 #include "common/failpoint.h"
 #include "storage/csv.h"
 #include "sudaf/scrubber.h"
+#include "sudaf/sudaf.h"
 
 using namespace sudaf;  // NOLINT — example brevity
 

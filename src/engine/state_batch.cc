@@ -510,20 +510,29 @@ Result<std::vector<std::vector<double>>> ComputeStateBatch(
   // Fixed accumulation tree (the bit-identity contract): rows fold into
   // `num_chunks` chunk blocks, each covering a contiguous morsel range, and
   // the blocks merge with ⊕ in chunk order. The chunk count is a pure
-  // function of input size and plan shape — NEVER of the worker count — so
-  // any thread count (including 1) produces bitwise-identical states.
-  // A single-chunk pass (input ≤ one morsel, e.g. most tests) degenerates
-  // to the exact serial accumulation order.
+  // function of input size and group count — NEVER of the worker count and
+  // NEVER of the number of channels in the plan — so any thread count
+  // (including 1) produces bitwise-identical states, and a channel computed
+  // inside a wide union plan (a shared-scan batch fusing several queries)
+  // chunks exactly like the same channel computed alone. A single-chunk
+  // pass (input ≤ one morsel, e.g. most tests) degenerates to the exact
+  // serial accumulation order.
   const int64_t kMaxChunks = 64;  // = kMaxGlobalWorkers: enough parallelism
   int64_t num_chunks = std::min(std::max<int64_t>(num_morsels, 1), kMaxChunks);
   const int64_t block_bytes =
       num_channels * static_cast<int64_t>(num_groups) *
       static_cast<int64_t>(sizeof(double));
-  if (block_bytes > 0) {
-    // Bound the chunk accumulator at ~32 MiB for wide plans / many groups.
-    const int64_t budget = int64_t{32} << 20;
-    num_chunks =
-        std::min(num_chunks, std::max<int64_t>(1, budget / block_bytes));
+  if (num_groups > 0) {
+    // Bound each channel's chunk accumulator at ~4 MiB for many-group
+    // inputs. The bound is per channel (total scratch grows linearly with
+    // plan width) precisely so the clamp cannot make chunking depend on
+    // which other channels share the pass.
+    const int64_t per_channel_budget = int64_t{4} << 20;
+    num_chunks = std::min(
+        num_chunks,
+        std::max<int64_t>(1, per_channel_budget /
+                                 (static_cast<int64_t>(num_groups) *
+                                  static_cast<int64_t>(sizeof(double)))));
   }
 
   const int workers =
@@ -683,6 +692,7 @@ Result<std::vector<std::vector<double>>> ComputeStateBatch(
     stats->num_slots = static_cast<int>(plan.slots().size());
     stats->num_shared_slots = plan.num_shared_slots();
     stats->threads_used = workers;
+    stats->request_channel = plan.request_channel();
   }
 
   std::vector<std::vector<double>> out(requests.size());

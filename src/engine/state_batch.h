@@ -58,6 +58,10 @@ struct StateBatchStats {
   int num_slots = 0;           // DAG slots evaluated per morsel
   int num_shared_slots = 0;    // slots referenced by >1 parent (CSE hits)
   int threads_used = 1;        // workers that participated
+  // Which distinct channel served each request (request_channel[r] <
+  // num_channels). Lets callers that fuse several queries into one pass
+  // (shared-scan batching) see exactly which requests were deduplicated.
+  std::vector<int> request_channel;
 };
 
 // Computes every requested channel over rows [0, group_ids.size()) in one

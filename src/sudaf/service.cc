@@ -2,10 +2,14 @@
 
 #include <algorithm>
 #include <chrono>
+#include <map>
 #include <thread>
+#include <utility>
 
 #include "common/rng.h"
 #include "common/timer.h"
+#include "sql/statement.h"
+#include "sudaf/cache.h"
 
 namespace sudaf {
 
@@ -127,6 +131,68 @@ Status AdmissionController::Admit(const QueryGuard* guard, double poll_ms) {
   }
 }
 
+Status AdmissionController::AdmitPoll(const std::function<Status()>& poll,
+                                      double poll_ms) {
+  const double wait_start = NowMs();
+  std::unique_lock<std::mutex> lock(mu_);
+  if (inflight_ < max_concurrency_ && fifo_.empty()) {
+    ++inflight_;
+    Count("sudaf.service.admitted");
+    if (metrics_ != nullptr) {
+      metrics_->gauge("sudaf.service.inflight")->Set(inflight_);
+    }
+    return Status::OK();
+  }
+  if (static_cast<int>(fifo_.size()) >= max_queue_) {
+    Count("sudaf.service.shed");
+    return Status::ResourceExhausted(
+        "admission queue full (" + std::to_string(fifo_.size()) + " waiting, " +
+        std::to_string(inflight_) + " in flight)");
+  }
+  const uint64_t ticket = next_ticket_++;
+  fifo_.push_back(ticket);
+  if (metrics_ != nullptr) {
+    metrics_->gauge("sudaf.service.queue_depth")
+        ->Set(static_cast<int64_t>(fifo_.size()));
+  }
+  while (true) {
+    if (!fifo_.empty() && fifo_.front() == ticket &&
+        inflight_ < max_concurrency_) {
+      fifo_.pop_front();
+      ++inflight_;
+      Count("sudaf.service.admitted");
+      if (metrics_ != nullptr) {
+        metrics_->gauge("sudaf.service.inflight")->Set(inflight_);
+        metrics_->gauge("sudaf.service.queue_depth")
+            ->Set(static_cast<int64_t>(fifo_.size()));
+        metrics_->histogram("sudaf.service.queue_wait_ms")
+            ->Observe(NowMs() - wait_start);
+      }
+      cv_.notify_all();
+      return Status::OK();
+    }
+    // Run the poll without the controller lock: batch leaders prune (and
+    // finish) expired group members inside it, which takes ticket locks.
+    lock.unlock();
+    Status s = poll();
+    lock.lock();
+    if (!s.ok()) {
+      auto it = std::find(fifo_.begin(), fifo_.end(), ticket);
+      if (it != fifo_.end()) fifo_.erase(it);
+      if (metrics_ != nullptr) {
+        metrics_->gauge("sudaf.service.queue_depth")
+            ->Set(static_cast<int64_t>(fifo_.size()));
+      }
+      // No queue_cancelled/queue_timeouts counting here: the caller
+      // accounted each abandoned member itself.
+      cv_.notify_all();
+      return s;
+    }
+    cv_.wait_for(lock, std::chrono::duration<double, std::milli>(
+                           poll_ms > 0 ? poll_ms : 2.0));
+  }
+}
+
 void AdmissionController::Release() {
   std::lock_guard<std::mutex> lock(mu_);
   --inflight_;
@@ -146,7 +212,102 @@ int AdmissionController::queue_depth() const {
   return static_cast<int>(fifo_.size());
 }
 
+// --- TicketState / QueryTicket ----------------------------------------------
+
+// All of one submission's mutable state. Stage transitions:
+//
+//   kPending (in the batching window)
+//       -> kClaimed   (a window leader owns it)
+//       -> kSoloReady (runnable by any waiter: unbatchable from birth,
+//                      singleton after window formation, or demoted for a
+//                      solo retry)
+//       -> kRunning   (one waiter is inside the solo retry loop)
+//       -> kDone      (result present; consumed exactly once)
+//
+// `stage`, `result` and the retry bookkeeping are guarded by `mu`;
+// `in_window` is guarded by the service's batch_mu_ (lock order: batch_mu_
+// before mu). While kClaimed/kRunning the runner owns the bookkeeping
+// fields exclusively — the stage transition under `mu` hands them over.
+struct TicketState {
+  enum class Stage { kPending, kClaimed, kSoloReady, kRunning, kDone };
+
+  QueryService* service = nullptr;
+  uint64_t id = 0;
+  ServiceRequest request;  // owned copy; guard rewired to own_guard below
+  std::unique_ptr<SelectStatement> stmt;  // parsed; set iff batchable
+  bool batchable = false;
+
+  // Cancellation: Cancel() fires the token; own_guard (installed when the
+  // caller supplied no guard) turns that into guard trips everywhere a
+  // guard is honored — the admission queue, morsel checks, phase
+  // boundaries.
+  std::atomic<bool> cancelled{false};
+  CancelToken cancel_token;
+  std::unique_ptr<QueryGuard> own_guard;
+
+  std::mutex mu;
+  std::condition_variable cv;
+  Stage stage = Stage::kSoloReady;
+  bool in_window = false;
+  int attempts = 0;
+  bool any_fallback = false;
+  bool any_memory_only = false;
+  double backoff_until_ms = 0;
+  Result<QueryResult> result{Status::Internal("ticket still pending")};
+  bool consumed = false;
+};
+
+QueryTicket::QueryTicket(std::shared_ptr<TicketState> state)
+    : state_(std::move(state)) {}
+
+uint64_t QueryTicket::id() const {
+  return state_ != nullptr ? state_->id : 0;
+}
+
+Result<QueryResult> QueryTicket::Wait() {
+  if (state_ == nullptr) {
+    return Status::InvalidArgument("Wait() on an invalid QueryTicket");
+  }
+  return state_->service->Drive(state_);
+}
+
+bool QueryTicket::TryGet(Result<QueryResult>* out) {
+  if (state_ == nullptr) return false;
+  std::lock_guard<std::mutex> lock(state_->mu);
+  if (state_->stage != TicketState::Stage::kDone || state_->consumed) {
+    return false;
+  }
+  state_->consumed = true;
+  *out = std::move(state_->result);
+  return true;
+}
+
+void QueryTicket::Cancel() {
+  if (state_ == nullptr) return;
+  state_->cancelled.store(true);
+  state_->cancel_token.Cancel();
+  // Wake window waiters so a pending ticket is pruned promptly, and the
+  // ticket's own waiter so it observes the cancellation.
+  state_->service->batch_cv_.notify_all();
+  std::lock_guard<std::mutex> lock(state_->mu);
+  state_->cv.notify_all();
+}
+
 // --- QueryService -----------------------------------------------------------
+
+namespace {
+
+// A pending/claimed ticket's view of its own liveness: the Cancel() flag
+// first, then the guard (deadline / caller-side cancellation).
+Status TicketLiveness(const TicketState& st) {
+  if (st.cancelled.load()) {
+    return Status::Cancelled("cancelled while batching");
+  }
+  if (st.request.guard != nullptr) return st.request.guard->Check();
+  return Status::OK();
+}
+
+}  // namespace
 
 QueryService::QueryService(SudafSession* session, ServiceOptions options)
     : session_(session),
@@ -158,54 +319,226 @@ QueryService::QueryService(SudafSession* session, ServiceOptions options)
   wal_errors_seen_ = p != nullptr ? p->wal_errors() : 0;
 }
 
-Result<QueryResult> QueryService::Execute(const std::string& sql,
-                                          ExecMode mode) {
+QueryService::~QueryService() {
+  std::vector<std::shared_ptr<TicketState>> orphaned;
+  {
+    std::lock_guard<std::mutex> lock(batch_mu_);
+    shutdown_ = true;
+    orphaned = std::move(window_);
+    window_.clear();
+    for (auto& st : orphaned) st->in_window = false;
+  }
+  batch_cv_.notify_all();
+  for (auto& st : orphaned) {
+    CountWindowDrop(Status::Cancelled(""));
+    FinishError(st, Status::Cancelled(
+                        "query service destroyed before the request ran"));
+  }
+}
+
+QueryTicket QueryService::Submit(const std::string& sql, ExecMode mode) {
   ServiceRequest req;
   req.sql = sql;
   req.mode = mode;
-  return Execute(req);
+  return Submit(req);
+}
+
+QueryTicket QueryService::Submit(const ServiceRequest& request) {
+  auto st = std::make_shared<TicketState>();
+  st->service = this;
+  st->id = request_seq_.fetch_add(1) + 1;
+  st->request = request;
+  if (st->request.guard == nullptr) {
+    st->own_guard = std::make_unique<QueryGuard>();
+    st->own_guard->set_cancel_token(&st->cancel_token);
+    st->request.guard = st->own_guard.get();
+  }
+  metrics_.counter("sudaf.service.requests")->Add();
+  if (st->request.is_prefetch) {
+    metrics_.counter("sudaf.service.prefetches")->Add();
+  }
+
+  const bool batching_on =
+      options_.batch_window_ms > 0 && options_.batch_max_queries > 1;
+  if (batching_on && request.mode != ExecMode::kEngine &&
+      !request.exec.has_value()) {
+    // Only plain SELECTs batch: EXPLAIN [ANALYZE] needs the solo path's
+    // result wrapping, and unparsable SQL surfaces its error through the
+    // solo path unchanged.
+    Result<ParsedSql> parsed = ParseSql(request.sql);
+    if (parsed.ok() && !parsed->explain && !parsed->analyze) {
+      st->stmt = std::move(parsed->select);
+      st->batchable = true;
+    }
+  }
+  if (!st->batchable) return QueryTicket(std::move(st));  // kSoloReady
+
+  bool joined = false;
+  {
+    std::lock_guard<std::mutex> lock(batch_mu_);
+    if (!shutdown_) {
+      if (window_.empty()) window_opened_ms_ = NowMs();
+      st->stage = TicketState::Stage::kPending;
+      st->in_window = true;
+      window_.push_back(st);
+      joined = true;
+    }
+  }
+  // Wake waiters: the window may just have hit batch_max_queries.
+  if (joined) batch_cv_.notify_all();
+  return QueryTicket(std::move(st));
+}
+
+Result<QueryResult> QueryService::Execute(const std::string& sql,
+                                          ExecMode mode) {
+  return Submit(sql, mode).Wait();
 }
 
 Result<QueryResult> QueryService::Execute(const ServiceRequest& request) {
-  const uint64_t request_id = request_seq_.fetch_add(1) + 1;
-  metrics_.counter("sudaf.service.requests")->Add();
+  return Submit(request).Wait();
+}
 
-  int attempts = 0;
-  bool any_fallback = false;
-  bool any_memory_only = false;
+QueryTicket QueryService::SubmitPrefetch(const std::string& sql) {
+  ServiceRequest req;
+  req.sql = sql;
+  req.mode = ExecMode::kSudafShare;
+  req.is_prefetch = true;
+  return Submit(req);
+}
+
+Status QueryService::Prefetch(const std::string& sql) {
+  Result<QueryResult> result = SubmitPrefetch(sql).Wait();
+  return result.ok() ? Status::OK() : result.status();
+}
+
+Result<QueryResult> QueryService::Drive(
+    const std::shared_ptr<TicketState>& st) {
   while (true) {
-    ++attempts;
-    Status admitted = admission_.Admit(request.guard, options_.queue_poll_ms);
+    // Terminal check — and consume-once delivery.
+    {
+      std::lock_guard<std::mutex> lock(st->mu);
+      if (st->stage == TicketState::Stage::kDone) {
+        if (st->consumed) {
+          return Status::InvalidArgument(
+              "QueryTicket result already consumed");
+        }
+        st->consumed = true;
+        return std::move(st->result);
+      }
+    }
+
+    // Window phase: wait out the batching window; whichever waiter's watch
+    // the deadline (or the size trigger) fires on claims the whole window
+    // and leads its formation.
+    {
+      std::unique_lock<std::mutex> lock(batch_mu_);
+      if (st->in_window) {
+        const double deadline = window_opened_ms_ + options_.batch_window_ms;
+        const bool full =
+            static_cast<int>(window_.size()) >= options_.batch_max_queries;
+        if (full || shutdown_ || NowMs() >= deadline) {
+          std::vector<std::shared_ptr<TicketState>> claimed =
+              std::move(window_);
+          window_.clear();
+          for (auto& t : claimed) {
+            t->in_window = false;
+            std::lock_guard<std::mutex> tl(t->mu);
+            t->stage = TicketState::Stage::kClaimed;
+          }
+          lock.unlock();
+          batch_cv_.notify_all();
+          FormAndRun(std::move(claimed));
+          continue;
+        }
+        // While pending, honor our own cancellation/deadline: drop out of
+        // the window before any group forms.
+        Status live = TicketLiveness(*st);
+        if (!live.ok()) {
+          auto it = std::find(window_.begin(), window_.end(), st);
+          if (it != window_.end()) window_.erase(it);
+          st->in_window = false;
+          lock.unlock();
+          CountWindowDrop(live);
+          FinishError(st, live);
+          continue;
+        }
+        batch_cv_.wait_for(lock, std::chrono::duration<double, std::milli>(
+                                     std::max(0.1, deadline - NowMs())));
+        continue;
+      }
+    }
+
+    // Out of the window: run it ourselves or wait for whoever owns it.
+    double backoff_ms = 0;
+    {
+      std::unique_lock<std::mutex> lock(st->mu);
+      switch (st->stage) {
+        case TicketState::Stage::kClaimed:
+        case TicketState::Stage::kRunning:
+          // A window leader or another waiter is on it; the timeout only
+          // defends against a missed notify.
+          st->cv.wait_for(lock, std::chrono::milliseconds(50));
+          continue;
+        case TicketState::Stage::kSoloReady:
+          st->stage = TicketState::Stage::kRunning;
+          backoff_ms = st->backoff_until_ms - NowMs();
+          break;
+        default:
+          continue;  // kDone (delivered at the top) / kPending (re-check)
+      }
+    }
+    if (backoff_ms > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(backoff_ms));
+    }
+    RunSolo(st);
+  }
+}
+
+void QueryService::RunSolo(const std::shared_ptr<TicketState>& st) {
+  while (true) {
+    // Pre-admission cancellation consumes this attempt's admission unit as
+    // queue_cancelled, keeping the reconciliation identities exact.
+    if (st->cancelled.load()) {
+      Status s = Status::Cancelled("cancelled before execution");
+      CountWindowDrop(s);
+      FinishError(st, s);
+      return;
+    }
+    ++st->attempts;
+    Status admitted =
+        admission_.Admit(st->request.guard, options_.queue_poll_ms);
     if (!admitted.ok()) {
       // Shedding is retryable (nothing ran); guard outcomes are final.
-      if (attempts < options_.retry.max_attempts &&
-          options_.retry.ShouldRetry(admitted, request.idempotent,
+      if (st->attempts < options_.retry.max_attempts &&
+          options_.retry.ShouldRetry(admitted, st->request.idempotent,
                                      /*work_started=*/false)) {
         metrics_.counter("sudaf.service.retries")->Add();
         std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
-            options_.retry.BackoffMs(request_id, attempts)));
+            options_.retry.BackoffMs(st->id, st->attempts)));
         continue;
       }
-      metrics_.counter("sudaf.service.failed")->Add();
-      return admitted;
+      FinishError(st, admitted);
+      return;
     }
+    metrics_.counter("sudaf.batch.solo")->Add();
 
     bool used_fallback = false;
     bool memory_only = false;
     Result<QueryResult> result =
-        RunOnce(request, &used_fallback, &memory_only);
+        RunOnce(st->request, &used_fallback, &memory_only);
     admission_.Release();
-    any_fallback |= used_fallback;
-    any_memory_only |= memory_only;
+    st->any_fallback |= used_fallback;
+    st->any_memory_only |= memory_only;
 
     UpdateBreaker();
 
     if (result.ok()) {
-      metrics_.counter("sudaf.service.ok")->Add();
-      result->stats.service_attempts = attempts;
-      result->stats.degraded_fused_fallback = any_fallback;
-      result->stats.degraded_cache_memory_only = any_memory_only;
-      return result;
+      result->stats.service_attempts = st->attempts;
+      result->stats.degraded_fused_fallback = st->any_fallback;
+      result->stats.degraded_cache_memory_only = st->any_memory_only;
+      FinishOk(st, std::move(*result));
+      return;
     }
 
     if (result.status().code() == StatusCode::kResourceExhausted) {
@@ -213,17 +546,219 @@ Result<QueryResult> QueryService::Execute(const ServiceRequest& request) {
       // every later request) fits the tighter budget.
       SignalMemoryPressure();
     }
-    if (attempts < options_.retry.max_attempts &&
-        options_.retry.ShouldRetry(result.status(), request.idempotent,
+    if (st->attempts < options_.retry.max_attempts &&
+        options_.retry.ShouldRetry(result.status(), st->request.idempotent,
                                    /*work_started=*/true)) {
       metrics_.counter("sudaf.service.retries")->Add();
       std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
-          options_.retry.BackoffMs(request_id, attempts)));
+          options_.retry.BackoffMs(st->id, st->attempts)));
       continue;
     }
-    metrics_.counter("sudaf.service.failed")->Add();
-    return result.status();
+    FinishError(st, result.status());
+    return;
   }
+}
+
+void QueryService::FormAndRun(
+    std::vector<std::shared_ptr<TicketState>> claimed) {
+  // Prune cancelled/expired tickets BEFORE grouping: a dropped request
+  // never occupies a state slot in anyone's pass.
+  std::vector<std::shared_ptr<TicketState>> live;
+  live.reserve(claimed.size());
+  for (auto& st : claimed) {
+    Status s = TicketLiveness(*st);
+    if (!s.ok()) {
+      CountWindowDrop(s);
+      FinishError(st, s);
+    } else {
+      live.push_back(std::move(st));
+    }
+  }
+
+  // Group by (mode, data signature) in first-appearance order.
+  std::map<std::string, size_t> index;
+  std::vector<std::vector<std::shared_ptr<TicketState>>> groups;
+  for (auto& st : live) {
+    std::string key = std::to_string(static_cast<int>(st->request.mode)) +
+                      "|" + DataSignature(*st->stmt);
+    auto [it, inserted] = index.emplace(std::move(key), groups.size());
+    if (inserted) groups.emplace_back();
+    groups[it->second].push_back(std::move(st));
+  }
+
+  // Singletons go back to their own waiters (solo path, one admission
+  // each); real groups run here, one shared pass per group.
+  bool any_solo = false;
+  for (auto& group : groups) {
+    if (group.size() == 1) {
+      std::lock_guard<std::mutex> lock(group[0]->mu);
+      group[0]->stage = TicketState::Stage::kSoloReady;
+      group[0]->cv.notify_all();
+      any_solo = true;
+    }
+  }
+  if (any_solo) batch_cv_.notify_all();
+  for (auto& group : groups) {
+    if (group.size() >= 2) ExecuteGroup(std::move(group));
+  }
+}
+
+void QueryService::ExecuteGroup(
+    std::vector<std::shared_ptr<TicketState>> group) {
+  // One admission slot covers the whole fused pass. While queued, members
+  // keep honoring their guards: an expired member is dropped from the
+  // group (and accounted) without abandoning the wait while at least one
+  // member lives.
+  auto prune = [&]() -> Status {
+    Status last_drop = Status::OK();
+    for (auto it = group.begin(); it != group.end();) {
+      Status s = TicketLiveness(**it);
+      if (!s.ok()) {
+        CountWindowDrop(s);
+        FinishError(*it, s);
+        last_drop = s;
+        it = group.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    if (group.empty()) return last_drop;
+    return Status::OK();
+  };
+
+  Status admitted = admission_.AdmitPoll(prune, options_.queue_poll_ms);
+  if (!admitted.ok()) {
+    if (group.empty()) return;  // every member expired; accounted in prune
+    // Queue-full shed: the controller counted one; account the other
+    // members, then send everyone through the normal retry path (solo).
+    for (size_t i = 1; i < group.size(); ++i) {
+      metrics_.counter("sudaf.service.shed")->Add();
+    }
+    for (auto& st : group) {
+      ++st->attempts;
+      RetryOrFail(st, admitted, /*work_started=*/false);
+    }
+    return;
+  }
+  // The controller counted one admission for the slot; the other members
+  // were admitted with it.
+  for (size_t i = 1; i < group.size(); ++i) {
+    metrics_.counter("sudaf.service.admitted")->Add();
+  }
+  metrics_.counter("sudaf.batch.coalesced")
+      ->Add(static_cast<int64_t>(group.size()));
+  metrics_.histogram("sudaf.batch.group_size")
+      ->Observe(static_cast<double>(group.size()));
+
+  // Degradation knobs: one decision for the whole pass (mirrors RunOnce).
+  ExecOptions exec = session_->exec_options();
+  bool used_fallback = false;
+  {
+    std::lock_guard<std::mutex> lock(degrade_mu_);
+    if (fused_degraded_ && exec.use_fused) {
+      ++degraded_requests_;
+      const bool reprobe =
+          options_.fused_reprobe_every > 0 &&
+          degraded_requests_ % options_.fused_reprobe_every == 0;
+      if (!reprobe) {
+        exec.use_fused = false;
+        used_fallback = true;
+        metrics_.counter("sudaf.service.fused_fallback_runs")->Add();
+      } else {
+        metrics_.counter("sudaf.service.fused_reprobes")->Add();
+      }
+    }
+  }
+  bool memory_only;
+  {
+    std::lock_guard<std::mutex> lock(breaker_mu_);
+    memory_only = breaker_ != BreakerState::kClosed;
+  }
+
+  std::vector<BatchItem> items;
+  items.reserve(group.size());
+  for (auto& st : group) {
+    ++st->attempts;
+    items.push_back(BatchItem{st->stmt.get(), st->request.guard});
+  }
+  BatchExecStats bstats;
+  std::vector<Result<QueryResult>> results = session_->ExecuteBatch(
+      items, group[0]->request.mode, exec, &bstats);
+  admission_.Release();
+
+  UpdateBreaker();
+  bool any_ok = false;
+  for (const Result<QueryResult>& r : results) any_ok |= r.ok();
+  UpdateFusedTracker(exec.use_fused, any_ok);
+
+  metrics_.counter("sudaf.batch.groups")
+      ->Add(static_cast<int64_t>(bstats.groups_shared));
+  metrics_.counter("sudaf.batch.states_requested")
+      ->Add(bstats.states_requested);
+  metrics_.counter("sudaf.batch.states_deduped")->Add(bstats.states_deduped);
+  metrics_.counter("sudaf.batch.scan_passes")->Add(bstats.scan_passes);
+  metrics_.counter("sudaf.batch.scan_passes_saved")
+      ->Add(bstats.scan_passes_saved);
+
+  for (size_t i = 0; i < group.size(); ++i) {
+    const std::shared_ptr<TicketState>& st = group[i];
+    st->any_fallback |= used_fallback;
+    st->any_memory_only |= memory_only;
+    if (results[i].ok()) {
+      QueryResult qr = std::move(*results[i]);
+      qr.stats.service_attempts = st->attempts;
+      qr.stats.degraded_fused_fallback = st->any_fallback;
+      qr.stats.degraded_cache_memory_only = st->any_memory_only;
+      FinishOk(st, std::move(qr));
+    } else {
+      if (results[i].status().code() == StatusCode::kResourceExhausted) {
+        SignalMemoryPressure();
+      }
+      // A failed member (group-level fault, guard trip, per-member error)
+      // degrades to the solo path through the normal retry policy.
+      RetryOrFail(st, results[i].status(), /*work_started=*/true);
+    }
+  }
+}
+
+void QueryService::RetryOrFail(const std::shared_ptr<TicketState>& st,
+                               const Status& s, bool work_started) {
+  if (st->attempts < options_.retry.max_attempts &&
+      options_.retry.ShouldRetry(s, st->request.idempotent, work_started)) {
+    metrics_.counter("sudaf.service.retries")->Add();
+    const double backoff = options_.retry.BackoffMs(st->id, st->attempts);
+    std::lock_guard<std::mutex> lock(st->mu);
+    st->backoff_until_ms = NowMs() + backoff;
+    st->stage = TicketState::Stage::kSoloReady;
+    st->cv.notify_all();
+    return;
+  }
+  FinishError(st, s);
+}
+
+void QueryService::FinishOk(const std::shared_ptr<TicketState>& st,
+                            QueryResult result) {
+  metrics_.counter("sudaf.service.ok")->Add();
+  std::lock_guard<std::mutex> lock(st->mu);
+  st->result = std::move(result);
+  st->stage = TicketState::Stage::kDone;
+  st->cv.notify_all();
+}
+
+void QueryService::FinishError(const std::shared_ptr<TicketState>& st,
+                               const Status& s) {
+  metrics_.counter("sudaf.service.failed")->Add();
+  std::lock_guard<std::mutex> lock(st->mu);
+  st->result = Result<QueryResult>(s);
+  st->stage = TicketState::Stage::kDone;
+  st->cv.notify_all();
+}
+
+void QueryService::CountWindowDrop(const Status& s) {
+  metrics_.counter(s.code() == StatusCode::kCancelled
+                       ? "sudaf.service.queue_cancelled"
+                       : "sudaf.service.queue_timeouts")
+      ->Add();
 }
 
 Result<QueryResult> QueryService::RunOnce(const ServiceRequest& request,

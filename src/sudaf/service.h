@@ -4,8 +4,27 @@
 // Concurrent query service (docs/service.md): the front door for driving
 // one SudafSession from many client threads under load and faults.
 //
-// A QueryService layers four robustness mechanisms over the (itself
-// thread-safe) session:
+// The entry point is an async submit API: Submit() enqueues a request and
+// returns a QueryTicket immediately; Wait()/TryGet() deliver the
+// Result<QueryResult>; Cancel() abandons it. Execute() is literally
+// Submit().Wait(). Tickets make the service's fifth mechanism possible:
+//
+//   * Shared-scan batching — requests submitted within a small window
+//     (ServiceOptions::batch_window_ms / batch_max_queries) whose
+//     statements read the same data (same tables, filter and grouping —
+//     the cache's DataSignature) are fused into ONE pass over the data:
+//     their rewritten states are deduplicated across queries via their
+//     equivalence-class representatives (a variance query and a kurtosis
+//     query compute count/sum/sum(x^2) once), one input scan feeds one
+//     fused morsel pass over the union state DAG, and per-query results,
+//     stats and traces are fanned back. Answers are bit-identical to solo
+//     execution at any batch size and thread count; a group-level fault
+//     degrades every member to the solo path via the normal retry loop.
+//     Accounted under sudaf.batch.* with the invariant
+//     `coalesced + solo == admitted`.
+//
+// On top of that, the service layers four robustness mechanisms over the
+// (itself thread-safe) session:
 //
 //   * Admission control — at most `max_concurrency` requests execute at
 //     once; up to `max_queue` more wait in FIFO order. Excess load is shed
@@ -41,9 +60,12 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "common/metrics.h"
 #include "common/query_guard.h"
@@ -102,20 +124,75 @@ struct ServiceOptions {
   // every `fused_reprobe_every`-th degraded request.
   int fused_fallback_after = 2;
   int fused_reprobe_every = 16;
+  // Shared-scan batching window: a batchable Submit waits up to
+  // `batch_window_ms` (or until `batch_max_queries` are pending) for
+  // same-signature companions before running. Set batch_window_ms <= 0 or
+  // batch_max_queries <= 1 to disable batching (every request runs solo).
+  double batch_window_ms = 2.0;
+  int batch_max_queries = 8;
 };
 
-// One request to QueryService::Execute.
+// One request to QueryService::Submit / Execute.
 struct ServiceRequest {
   std::string sql;
   ExecMode mode = ExecMode::kSudafShare;
   // Borrowed; may be null. Honored while queued AND during execution (the
-  // service injects it into ExecOptions::guard).
+  // service injects it into ExecOptions::guard). When null the service
+  // installs a ticket-owned guard so QueryTicket::Cancel() can interrupt
+  // the request mid-run.
   QueryGuard* guard = nullptr;
   // Set false for requests whose re-execution is not safe (e.g. the SQL's
   // side channel matters); such requests never retry executed work.
   bool idempotent = true;
+  // Marks a cache-warming request (counted under
+  // sudaf.service.prefetches); admission, shedding, retries and batching
+  // treat it exactly like a query.
+  bool is_prefetch = false;
   // Per-request execution options override (guard is injected on top).
+  // Requests carrying an override never join a shared-scan batch.
   std::optional<ExecOptions> exec;
+};
+
+struct TicketState;  // private to service.cc
+
+// Future-like handle for one submitted request. Copyable; all copies refer
+// to the same submission. The result is delivered exactly once: the first
+// Wait()/TryGet() that observes completion consumes it.
+//
+// Execution is driven by waiters (the service spawns no threads): a
+// batchable ticket rides the batching window and is run either by its own
+// Wait() or by whichever waiter claims the window; a never-awaited ticket
+// may not run until the service is destroyed (which fails it with
+// kCancelled). Tickets must not outlive their QueryService.
+class QueryTicket {
+ public:
+  QueryTicket() = default;
+
+  bool valid() const { return state_ != nullptr; }
+  uint64_t id() const;
+
+  // Blocks until the request finishes (driving it if needed) and returns
+  // its result. A second Wait() after the result was consumed returns
+  // kInvalidArgument.
+  Result<QueryResult> Wait();
+
+  // Non-blocking: returns true and moves the result into *out iff the
+  // request already finished and the result is unconsumed. Never drives
+  // execution.
+  bool TryGet(Result<QueryResult>* out);
+
+  // Best-effort cancellation: a ticket still in the batching window is
+  // dropped before its group forms (kCancelled, counted under
+  // sudaf.service.queue_cancelled); a running request is interrupted at
+  // the next guard check when the service installed its own guard, or at
+  // the next phase boundary otherwise. Completed tickets are unaffected.
+  void Cancel();
+
+ private:
+  friend class QueryService;
+  explicit QueryTicket(std::shared_ptr<TicketState> state);
+
+  std::shared_ptr<TicketState> state_;
 };
 
 // Bounded-concurrency FIFO admission gate. Standalone so tests can drive
@@ -132,6 +209,14 @@ class AdmissionController {
   // guard fires while queued (its kDeadlineExceeded/kCancelled verbatim).
   // FIFO: slots are granted strictly in arrival order.
   Status Admit(const QueryGuard* guard, double poll_ms);
+
+  // Poll-driven variant for batch leaders holding one slot for a whole
+  // group: `poll` runs at every wakeup (without the controller lock) and a
+  // non-OK return abandons the wait with that status verbatim. Unlike
+  // Admit, abandonment is NOT counted under queue_cancelled/queue_timeouts
+  // — the caller accounts its members itself (it may have pruned several).
+  Status AdmitPoll(const std::function<Status()>& poll, double poll_ms);
+
   void Release();
 
   int inflight() const;
@@ -157,8 +242,27 @@ class QueryService {
   // flight (the breaker owns persistence suspension).
   explicit QueryService(SudafSession* session, ServiceOptions options = {});
 
+  // Fails every ticket still waiting in the batching window with
+  // kCancelled. Callers must have joined their own waiters first.
+  ~QueryService();
+
+  // Async submission: counts the request, decides batchability (kEngine
+  // mode, per-request exec overrides, EXPLAIN [ANALYZE], unparsable SQL
+  // and disabled batching all run solo) and returns immediately. Batchable
+  // requests enter the current batching window.
+  QueryTicket Submit(const ServiceRequest& request);
+  QueryTicket Submit(const std::string& sql, ExecMode mode);
+
+  // Synchronous convenience — exactly Submit(request).Wait().
   Result<QueryResult> Execute(const ServiceRequest& request);
   Result<QueryResult> Execute(const std::string& sql, ExecMode mode);
+
+  // Cache warming through the full service path: admission, shedding,
+  // retries and batching all apply, and the request is additionally
+  // counted under sudaf.service.prefetches. Prefetch() blocks and discards
+  // the rows; SubmitPrefetch() returns the ticket (await or abandon it).
+  Status Prefetch(const std::string& sql);
+  QueryTicket SubmitPrefetch(const std::string& sql);
 
   // Shrinks the cache byte budget by cache_shrink_factor (floored at
   // cache_min_bytes), evicting immediately. Also invoked internally when
@@ -178,6 +282,8 @@ class QueryService {
   SudafSession* session() { return session_; }
 
  private:
+  friend class QueryTicket;
+
   // One admitted execution, with degradation knobs applied. Returns the
   // session result; fills the degradation flags for this attempt.
   Result<QueryResult> RunOnce(const ServiceRequest& request,
@@ -188,12 +294,46 @@ class QueryService {
   void UpdateBreaker();
   void UpdateFusedTracker(bool ran_fused, bool ok);
 
+  // Waiter-driven execution: blocks until `st` finishes, claiming and
+  // forming the batching window when its deadline passes on this waiter's
+  // watch, and returns the (consumed-once) result.
+  Result<QueryResult> Drive(const std::shared_ptr<TicketState>& st);
+
+  // The old Execute retry loop, publishing into the ticket: admit → run →
+  // release → breaker, with backoff/retry per RetryPolicy.
+  void RunSolo(const std::shared_ptr<TicketState>& st);
+
+  // Leader path: prune cancelled/expired tickets out of a claimed window
+  // (satellite: dropped members never reach a group), group the remainder
+  // by (mode, data signature), hand singletons back to their waiters and
+  // run every >= 2 group as one shared pass.
+  void FormAndRun(std::vector<std::shared_ptr<TicketState>> claimed);
+
+  // One admission slot, one SudafSession::ExecuteBatch call, per-member
+  // publication or solo-retry demotion for a same-signature group.
+  void ExecuteGroup(std::vector<std::shared_ptr<TicketState>> group);
+
+  // Shared terminal/retry bookkeeping on tickets.
+  void RetryOrFail(const std::shared_ptr<TicketState>& st, const Status& s,
+                   bool work_started);
+  void FinishOk(const std::shared_ptr<TicketState>& st, QueryResult result);
+  void FinishError(const std::shared_ptr<TicketState>& st, const Status& s);
+  void CountWindowDrop(const Status& s);
+
   SudafSession* session_;
   ServiceOptions options_;
   MetricsRegistry metrics_;
   AdmissionController admission_;
 
   std::atomic<uint64_t> request_seq_{0};
+
+  // Batching window (guarded by batch_mu_; lock order: batch_mu_ before
+  // any TicketState::mu).
+  std::mutex batch_mu_;
+  std::condition_variable batch_cv_;
+  std::vector<std::shared_ptr<TicketState>> window_;
+  double window_opened_ms_ = 0;
+  bool shutdown_ = false;
 
   // Breaker state (guarded by breaker_mu_; lock order: breaker_mu_ before
   // any session persistence call).

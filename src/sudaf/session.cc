@@ -13,6 +13,7 @@
 #include "common/timer.h"
 #include "engine/state_batch.h"
 #include "expr/evaluator.h"
+#include "sudaf/shared_scan.h"
 
 namespace sudaf {
 
@@ -62,6 +63,9 @@ ExecStats DeriveExecStats(const MetricsSnapshot& d) {
   s.cache_bytes_evicted = d.counter("sudaf.cache.bytes_evicted");
   s.cache_budget_rejects =
       static_cast<int>(d.counter("sudaf.cache.budget_rejects"));
+  s.batch_size = static_cast<int>(d.counter("sudaf.batch.size"));
+  s.states_from_batch =
+      static_cast<int>(d.counter("sudaf.states.from_batch"));
   return s;
 }
 
@@ -761,6 +765,623 @@ Result<std::unique_ptr<Table>> SudafSession::ExecuteSudaf(
   Result<std::unique_ptr<Table>> result = AssembleRewrittenResult(
       rewritten, stmt, *group_keys, num_groups, state_values);
   return result;
+}
+
+std::vector<Result<QueryResult>> SudafSession::ExecuteBatch(
+    const std::vector<BatchItem>& items, ExecMode mode,
+    const ExecOptions& exec, BatchExecStats* bstats) {
+  BatchExecStats stats;
+  stats.queries = static_cast<int>(items.size());
+  std::vector<Result<QueryResult>> results;
+  results.reserve(items.size());
+  for (size_t i = 0; i < items.size(); ++i) {
+    results.emplace_back(Status::Internal("batch item was not executed"));
+  }
+
+  auto run_solo = [&](size_t i) {
+    ++stats.queries_solo;
+    if (items[i].stmt == nullptr) {
+      results[i] = Status::InvalidArgument("batch item without a statement");
+      return;
+    }
+    ExecOptions solo = exec;
+    if (items[i].guard != nullptr) solo.guard = items[i].guard;
+    results[i] = ExecuteStatement(*items[i].stmt, mode, solo);
+  };
+
+  if (mode == ExecMode::kEngine) {
+    // The engine-native baseline has no rewritten states to share; batching
+    // it would only serialize independent queries behind one another.
+    for (size_t i = 0; i < items.size(); ++i) run_solo(i);
+  } else {
+    // Group items by data signature (tables + filter + grouping — exactly
+    // the cache's notion of "same pass"), preserving first-appearance
+    // order so results stay deterministic.
+    std::map<std::string, std::vector<size_t>> groups;
+    std::vector<const std::string*> order;
+    for (size_t i = 0; i < items.size(); ++i) {
+      if (items[i].stmt == nullptr) {
+        run_solo(i);
+        continue;
+      }
+      auto [it, inserted] =
+          groups.emplace(DataSignature(*items[i].stmt), std::vector<size_t>{});
+      if (inserted) order.push_back(&it->first);
+      it->second.push_back(i);
+    }
+    for (const std::string* sig : order) {
+      const std::vector<size_t>& members = groups[*sig];
+      if (members.size() == 1) {
+        run_solo(members[0]);
+      } else {
+        ExecuteSharedGroup(members, items, mode == ExecMode::kSudafShare, exec,
+                           &stats, &results);
+      }
+    }
+  }
+  if (bstats != nullptr) *bstats = stats;
+  return results;
+}
+
+std::vector<Result<QueryResult>> SudafSession::ExecuteBatch(
+    const std::vector<std::string>& sqls, ExecMode mode,
+    BatchExecStats* bstats) {
+  std::vector<std::unique_ptr<SelectStatement>> owned(sqls.size());
+  std::vector<Status> parse_status(sqls.size());
+  std::vector<BatchItem> items(sqls.size());
+  for (size_t i = 0; i < sqls.size(); ++i) {
+    Result<std::unique_ptr<SelectStatement>> parsed = ParseSelect(sqls[i]);
+    if (parsed.ok()) {
+      owned[i] = std::move(*parsed);
+      items[i].stmt = owned[i].get();
+    } else {
+      parse_status[i] = parsed.status();
+    }
+  }
+  std::vector<Result<QueryResult>> results =
+      ExecuteBatch(items, mode, exec_options(), bstats);
+  for (size_t i = 0; i < sqls.size(); ++i) {
+    if (!parse_status[i].ok()) results[i] = parse_status[i];
+  }
+  return results;
+}
+
+namespace {
+
+// Per-member context of one shared-scan group: the same observability
+// plumbing ExecuteStatement sets up for a solo query (private registry,
+// trace, "execute" root span), plus the member's rewritten form and its
+// slots into the group's union state plan.
+struct GroupMember {
+  size_t item = 0;
+  const SelectStatement* stmt = nullptr;
+  const QueryGuard* guard = nullptr;
+  std::shared_ptr<QueryTrace> trace;
+  std::unique_ptr<MetricsRegistry> qm;
+  ExecOptions run;
+  std::unique_ptr<TraceSpan> root;  // "execute"; closing stamps total_ms
+  int64_t guard_checks0 = 0;
+  int64_t guard_trips0 = 0;
+  RewrittenQuery rewritten;
+  std::vector<SharedStatePlan::Slot> slots;
+  Status failed;  // first definite per-member failure
+  std::unique_ptr<Table> table;
+
+  bool alive() const { return failed.ok(); }
+};
+
+}  // namespace
+
+void SudafSession::ExecuteSharedGroup(
+    const std::vector<size_t>& members, const std::vector<BatchItem>& items,
+    bool share, const ExecOptions& exec, BatchExecStats* bstats,
+    std::vector<Result<QueryResult>>* results) {
+  const int group_size = static_cast<int>(members.size());
+  bstats->groups_shared += 1;
+  bstats->queries_coalesced += group_size;
+
+  bool collect_traces;
+  int trace_capacity;
+  {
+    std::lock_guard<std::mutex> lock(options_mu_);
+    collect_traces = options_.collect_traces;
+    trace_capacity = options_.trace_capacity;
+  }
+
+  std::vector<GroupMember> ctx(members.size());
+  for (size_t k = 0; k < members.size(); ++k) {
+    GroupMember& m = ctx[k];
+    m.item = members[k];
+    m.stmt = items[m.item].stmt;
+    m.guard = items[m.item].guard != nullptr ? items[m.item].guard
+                                             : exec.guard;
+    if (collect_traces) m.trace = std::make_shared<QueryTrace>(trace_capacity);
+    m.qm = std::make_unique<MetricsRegistry>();
+    m.run = exec;
+    m.run.metrics = m.qm.get();
+    m.run.trace = m.trace.get();
+    m.run.guard = m.guard;
+    m.guard_checks0 = m.guard != nullptr ? m.guard->checks() : 0;
+    m.guard_trips0 = m.guard != nullptr ? m.guard->trips() : 0;
+    m.qm->counter("sudaf.query.count")->Add();
+    m.qm->counter("sudaf.batch.size")->Add(group_size);
+    m.root = std::make_unique<TraceSpan>(
+        m.trace.get(), "execute", -1,
+        m.qm->dcounter("sudaf.query.total_ms"));
+    m.run.trace_span = m.root->id();
+    m.root->Event("batch.group_size", group_size);
+    if (m.guard != nullptr) {
+      Status g = m.guard->Check();
+      if (!g.ok()) m.failed = g;
+    }
+  }
+
+  // 1. Rewrite every member under its own span.
+  for (GroupMember& m : ctx) {
+    if (!m.alive()) continue;
+    TraceSpan rewrite_span(m.trace.get(), "rewrite", m.run.trace_span,
+                           m.qm->dcounter("sudaf.phase.rewrite_ms"));
+    Result<RewrittenQuery> rewritten = RewriteQuery(*m.stmt, library_);
+    if (!rewritten.ok()) {
+      m.failed = rewritten.status();
+      continue;
+    }
+    m.rewritten = std::move(*rewritten);
+    m.qm->counter("sudaf.states.requested")
+        ->Add(static_cast<int64_t>(m.rewritten.form.states.size()));
+  }
+
+  // The leader is the first alive member: the group's single cache probe,
+  // input scan and fused pass are attributed to its registry and trace
+  // (the other members genuinely did not do that work — their stats say
+  // so, and states_from_batch says what they got instead).
+  GroupMember* lead = nullptr;
+  for (GroupMember& m : ctx) {
+    if (m.alive()) {
+      lead = &m;
+      break;
+    }
+  }
+
+  // 2. Classify every member's states into the union plan, then probe the
+  // cache once per distinct representative. Per-member probe spans stay
+  // open across the leader's probe so each member logs its own per-state
+  // hit/miss view inside its own span, exactly like a solo run.
+  SharedStatePlan plan;
+  std::vector<std::unique_ptr<TraceSpan>> probe_spans(ctx.size());
+  for (size_t k = 0; k < ctx.size(); ++k) {
+    GroupMember& m = ctx[k];
+    if (!m.alive()) continue;
+    probe_spans[k] = std::make_unique<TraceSpan>(
+        m.trace.get(), "probe", m.run.trace_span,
+        m.qm->dcounter("sudaf.phase.probe_ms"));
+    m.slots = plan.AddQuery(m.rewritten.form.states, share);
+  }
+  const std::vector<SharedStatePlan::Rep>& reps = plan.reps();
+  bstats->states_requested += plan.states_requested();
+  bstats->states_deduped += plan.states_deduped();
+
+  Status group_status;  // a failure here is fatal to every alive member
+  uint64_t epoch = 0;
+  StateCache::GroupSetPtr group_set;
+  std::vector<bool> rep_from_cache(reps.size(), false);
+  if (share && lead != nullptr) {
+    const CacheOps lead_cops{lead->qm.get(), lead->trace.get()};
+    epoch = catalog_->TablesEpoch(lead->stmt->tables);
+    group_status = [&]() -> Status {
+      SUDAF_FAILPOINT("cache:probe");
+      return Status::OK();
+    }();
+    if (group_status.ok()) {
+      group_set = cache_.Find(lead->rewritten.data_signature, epoch,
+                              lead_cops);
+      if (group_set != nullptr) {
+        for (size_t r = 0; r < reps.size(); ++r) {
+          rep_from_cache[r] =
+              cache_.ProbeEntry(group_set.get(), reps[r].key, nullptr,
+                                lead_cops) == StateCache::Probe::kHit;
+        }
+      }
+    }
+  }
+  if (share && group_status.ok()) {
+    for (size_t k = 0; k < ctx.size(); ++k) {
+      GroupMember& m = ctx[k];
+      if (!m.alive()) continue;
+      for (const SharedStatePlan::Slot& slot : m.slots) {
+        if (rep_from_cache[slot.rep]) {
+          m.qm->counter("sudaf.cache.probe_hits")->Add();
+          probe_spans[k]->Event("cache.hit");
+        } else {
+          m.qm->counter("sudaf.cache.probe_misses")->Add();
+          probe_spans[k]->Event("cache.miss");
+        }
+      }
+    }
+  }
+  probe_spans.clear();
+
+  // 3. Obtain the grouped input — one scan for the whole group, and only
+  // when some representative actually needs computing.
+  bool any_missing = false;
+  for (size_t r = 0; r < reps.size(); ++r) {
+    if (!rep_from_cache[r]) any_missing = true;
+  }
+  const bool need_scan = any_missing || group_set == nullptr;
+
+  PreparedInput input;
+  const Table* group_keys = nullptr;
+  int32_t num_groups = 0;
+  if (group_status.ok() && lead != nullptr) {
+    if (need_scan) {
+      TraceSpan input_span(lead->trace.get(), "input", lead->run.trace_span,
+                           lead->qm->dcounter("sudaf.phase.input_ms"));
+      std::vector<std::string> extra_columns;
+      for (size_t r = 0; r < reps.size(); ++r) {
+        if (rep_from_cache[r]) continue;
+        const SharedStatePlan::Rep& rep = reps[r];
+        if (rep.direct) {
+          if (rep.cls.rep.input != nullptr) {
+            rep.cls.rep.input->CollectColumns(&extra_columns);
+          }
+          continue;
+        }
+        ExprPtr main = rep.cls.MainInputExpr();
+        if (main != nullptr) main->CollectColumns(&extra_columns);
+        if (rep.cls.log_domain) {
+          rep.cls.SignInputExpr()->CollectColumns(&extra_columns);
+        }
+      }
+      ExecOptions input_opts = lead->run;
+      input_opts.trace_span = input_span.id();
+      // The scan runs guard-free: a single member's guard must not be able
+      // to veto the whole group's pass. Each member admits the shared
+      // frame under its own guard right below, and a tripped member drops
+      // out while the group continues.
+      input_opts.guard = nullptr;
+      group_status = [&]() -> Status {
+        SUDAF_ASSIGN_OR_RETURN(
+            input, executor_.Prepare(*lead->stmt, extra_columns, input_opts));
+        return Status::OK();
+      }();
+      if (group_status.ok()) {
+        lead->qm->counter("sudaf.input.scans")->Add();
+        input_span.Event("rows", input.num_input_rows);
+        group_keys = input.group_keys.get();
+        num_groups = input.num_groups;
+        bstats->scan_passes += 1;
+        bstats->scan_passes_saved += group_size - 1;
+        for (GroupMember& m : ctx) {
+          if (!m.alive() || m.guard == nullptr) continue;
+          Status g = m.guard->ChargeMemory(input.frame->ApproxBytes());
+          if (g.ok()) g = m.guard->Check();
+          if (!g.ok()) m.failed = g;
+        }
+        if (share) {
+          const CacheOps lead_cops{lead->qm.get(), lead->trace.get()};
+          group_set = cache_.GetOrCreate(lead->rewritten.data_signature,
+                                         *input.group_keys, num_groups,
+                                         epoch, lead_cops);
+          // A recreated (stale) set lost its entries; demote affected reps.
+          for (size_t r = 0; r < reps.size(); ++r) {
+            if (rep_from_cache[r] &&
+                cache_.ProbeEntry(group_set.get(), reps[r].key, nullptr,
+                                  lead_cops) != StateCache::Probe::kHit) {
+              rep_from_cache[r] = false;
+            }
+          }
+        }
+      }
+    } else {
+      group_keys = group_set->group_keys.get();
+      num_groups = group_set->num_groups;
+    }
+  }
+
+  // Representative ownership for stats attribution: the first alive member
+  // that requested a rep "computes" it (solo parity for that member); every
+  // other member consuming it counts states_from_batch instead.
+  std::vector<GroupMember*> rep_owner(reps.size(), nullptr);
+  for (GroupMember& m : ctx) {
+    if (!m.alive()) continue;
+    for (const SharedStatePlan::Slot& slot : m.slots) {
+      if (rep_owner[slot.rep] == nullptr) rep_owner[slot.rep] = &m;
+    }
+  }
+
+  const Table* frame = input.frame.get();
+  ColumnResolver resolver =
+      [frame](const std::string& name) -> Result<const Column*> {
+    if (frame == nullptr) {
+      return Status::Internal("no input frame materialized");
+    }
+    return frame->GetColumn(name);
+  };
+
+  // Entries computed by this group, shared across members (the analogue of
+  // the solo path's query-local map — a concurrent eviction of what the
+  // group just inserted cannot perturb any member's answer).
+  std::map<std::string, StateCache::Entry> local_entries;
+  std::vector<bool> computed_rep(reps.size(), false);
+
+  // One fused pass over the union DAG: every representative still missing,
+  // all queries' channels in a single morsel sweep. Attributed to the pass
+  // owner (the first member still alive when the pass starts).
+  auto compute_missing = [&](GroupMember& m, int states_span_id) -> Status {
+    const CacheOps mc{m.qm.get(), m.trace.get()};
+    std::vector<bool> need(reps.size(), false);
+    bool any_need = false;
+    for (size_t r = 0; r < reps.size(); ++r) {
+      if (share && rep_from_cache[r]) continue;
+      if (share && group_set != nullptr &&
+          cache_.ProbeEntry(group_set.get(), reps[r].key, nullptr, mc) ==
+              StateCache::Probe::kHit) {
+        continue;  // inserted by a concurrent query since our probe
+      }
+      need[r] = true;
+      any_need = true;
+    }
+    if (!any_need) return Status::OK();
+
+    BatchRequestPlan rq = BuildBatchRequests(plan, need);
+    std::vector<std::vector<double>> channels;
+    if (exec.use_fused) {
+      ExecOptions batch_opts = m.run;
+      batch_opts.trace_span = states_span_id;
+      // Same rationale as the scan: per-member guards act at phase
+      // boundaries, not inside the shared pass.
+      batch_opts.guard = nullptr;
+      StateBatchStats bs;
+      SUDAF_ASSIGN_OR_RETURN(
+          channels, ComputeStateBatch(rq.requests, resolver, input.group_ids,
+                                      num_groups, batch_opts, &bs));
+    } else {
+      // Legacy path: one kernel sweep per channel — still one scan and one
+      // evaluation per representative for the whole group.
+      channels.resize(rq.requests.size());
+      for (size_t i = 0; i < rq.requests.size(); ++i) {
+        const StateBatchRequest& r = rq.requests[i];
+        if (r.input == nullptr) {
+          channels[i] = ComputeGroupedState(AggOp::kCount, {},
+                                            input.group_ids, num_groups,
+                                            m.run);
+        } else {
+          SUDAF_ASSIGN_OR_RETURN(
+              std::vector<double> in,
+              EvalNumericVector(*r.input, resolver, frame->num_rows()));
+          channels[i] = ComputeGroupedState(r.op, in, input.group_ids,
+                                            num_groups, m.run);
+        }
+      }
+    }
+
+    struct Built {
+      size_t rep = 0;
+      StateCache::Entry entry;
+    };
+    std::vector<Built> built;
+    for (size_t r = 0; r < reps.size(); ++r) {
+      if (rq.main_idx[r] < 0) continue;
+      Built b;
+      b.rep = r;
+      b.entry.main = std::move(channels[rq.main_idx[r]]);
+      if (rq.sign_idx[r] >= 0) {
+        b.entry.sign = std::move(channels[rq.sign_idx[r]]);
+      }
+      built.push_back(std::move(b));
+    }
+    // Two-phase commit (solo parity): all insert-side failure checks fire
+    // before the first entry lands in the shared cache.
+    if (share) {
+      for (size_t b = 0; b < built.size(); ++b) {
+        SUDAF_FAILPOINT("cache:insert");
+      }
+    }
+    for (Built& b : built) {
+      GroupMember* owner = rep_owner[b.rep] != nullptr ? rep_owner[b.rep] : &m;
+      const CacheOps oc{owner->qm.get(), owner->trace.get()};
+      if (EntryIsPoisoned(b.entry)) {
+        owner->qm->counter("sudaf.states.poisoned")->Add();
+      } else if (share && group_set != nullptr &&
+                 !cache_.InsertEntry(group_set.get(), reps[b.rep].key,
+                                     b.entry, oc)) {
+        owner->qm->counter("sudaf.cache.budget_rejects")->Add();
+      }
+      local_entries.emplace(reps[b.rep].key, std::move(b.entry));
+      computed_rep[b.rep] = true;
+      owner->qm->counter("sudaf.states.computed")->Add();
+    }
+    return Status::OK();
+  };
+
+  // Late fallback, mirroring solo: recompute one representative for one
+  // member over the shared frame (reached only if an entry vanished from
+  // both the cache and the group's local map — i.e. never for entries the
+  // pass just computed).
+  auto compute_rep_entry = [&](const SharedStatePlan::Rep& rep,
+                               GroupMember& m) -> Result<StateCache::Entry> {
+    StateCache::Entry entry;
+    if (rep.direct) {
+      if (rep.cls.rep.op == AggOp::kCount) {
+        entry.main = ComputeGroupedState(AggOp::kCount, {}, input.group_ids,
+                                         num_groups, m.run);
+      } else {
+        SUDAF_ASSIGN_OR_RETURN(
+            std::vector<double> in,
+            EvalNumericVector(*rep.cls.rep.input, resolver,
+                              frame->num_rows()));
+        entry.main = ComputeGroupedState(rep.cls.rep.op, in, input.group_ids,
+                                         num_groups, m.run);
+      }
+      return entry;
+    }
+    ExprPtr main_expr = rep.cls.MainInputExpr();
+    if (main_expr == nullptr) {
+      entry.main = ComputeGroupedState(AggOp::kCount, {}, input.group_ids,
+                                       num_groups, m.run);
+    } else {
+      SUDAF_ASSIGN_OR_RETURN(
+          std::vector<double> in,
+          EvalNumericVector(*main_expr, resolver, frame->num_rows()));
+      entry.main = ComputeGroupedState(rep.cls.MainOp(), in, input.group_ids,
+                                       num_groups, m.run);
+    }
+    if (rep.cls.log_domain) {
+      SUDAF_ASSIGN_OR_RETURN(
+          std::vector<double> sgn,
+          EvalNumericVector(*rep.cls.SignInputExpr(), resolver,
+                            frame->num_rows()));
+      entry.sign = ComputeGroupedState(AggOp::kProd, sgn, input.group_ids,
+                                       num_groups, m.run);
+    }
+    return entry;
+  };
+
+  // Serve one member from the per-rep entries: cache copy-out first, then
+  // the group's local entries, then a late cache re-probe, then per-member
+  // compute fallback — the exact solo serving order.
+  auto serve_member = [&](GroupMember& m,
+                          std::vector<std::vector<double>>* out) -> Status {
+    const std::vector<AggStateDef>& states = m.rewritten.form.states;
+    const CacheOps mc{m.qm.get(), m.trace.get()};
+    out->assign(states.size(), {});
+    std::set<int> consumed_reps;
+    for (size_t i = 0; i < states.size(); ++i) {
+      const SharedStatePlan::Slot& slot = m.slots[i];
+      const SharedStatePlan::Rep& rep = reps[slot.rep];
+      const StateCache::Entry* entry = nullptr;
+      StateCache::Entry copied;
+      if (share && rep_from_cache[slot.rep] && group_set != nullptr &&
+          cache_.ProbeEntry(group_set.get(), rep.key, &copied, mc) ==
+              StateCache::Probe::kHit) {
+        entry = &copied;
+        m.qm->counter("sudaf.states.from_cache")->Add();
+      }
+      if (entry == nullptr) {
+        auto it = local_entries.find(rep.key);
+        if (it != local_entries.end()) {
+          entry = &it->second;
+          if (computed_rep[slot.rep] && consumed_reps.insert(slot.rep).second &&
+              rep_owner[slot.rep] != &m) {
+            // The rep's owner counted states.computed when the pass built
+            // it; everyone else got it for free from the batch.
+            m.qm->counter("sudaf.states.from_batch")->Add();
+          }
+        }
+      }
+      if (entry == nullptr && share && group_set != nullptr &&
+          cache_.ProbeEntry(group_set.get(), rep.key, &copied, mc) ==
+              StateCache::Probe::kHit) {
+        entry = &copied;  // inserted by a concurrent query after our probe
+      }
+      if (entry == nullptr) {
+        if (frame == nullptr) {
+          return Status::Internal("cached state vanished mid-query: " +
+                                  rep.key);
+        }
+        SUDAF_ASSIGN_OR_RETURN(StateCache::Entry computed,
+                               compute_rep_entry(rep, m));
+        SUDAF_FAILPOINT("cache:insert");
+        m.qm->counter("sudaf.states.computed")->Add();
+        if (EntryIsPoisoned(computed)) {
+          m.qm->counter("sudaf.states.poisoned")->Add();
+        } else if (share && group_set != nullptr &&
+                   !cache_.InsertEntry(group_set.get(), rep.key, computed,
+                                       mc)) {
+          m.qm->counter("sudaf.cache.budget_rejects")->Add();
+        }
+        entry = &local_entries.emplace(rep.key, std::move(computed))
+                     .first->second;
+      }
+      if (rep.direct) {
+        (*out)[i] = entry->main;
+      } else {
+        (*out)[i].resize(num_groups);
+        for (int32_t g = 0; g < num_groups; ++g) {
+          double sign = entry->sign.empty() ? 1.0 : entry->sign[g];
+          (*out)[i][g] = ApplyFromClass(states[i], rep.cls, slot.share_fn,
+                                        entry->main[g], sign);
+        }
+      }
+    }
+    return Status::OK();
+  };
+
+  // 4+5. Compute missing representatives (once, at the first alive
+  // member's turn, under its states span) and serve + terminate each
+  // member under its own spans.
+  if (group_status.ok()) {
+    bool pass_done = false;
+    for (GroupMember& m : ctx) {
+      if (!m.alive()) continue;
+      if (m.guard != nullptr) {
+        Status g = m.guard->Check();
+        if (!g.ok()) {
+          m.failed = g;
+          continue;
+        }
+      }
+      std::vector<std::vector<double>> state_values;
+      {
+        TraceSpan states_span(m.trace.get(), "states", m.run.trace_span,
+                              m.qm->dcounter("sudaf.phase.states_ms"));
+        if (!pass_done) {
+          pass_done = true;
+          group_status = compute_missing(m, states_span.id());
+          if (!group_status.ok()) break;
+        }
+        Status served = serve_member(m, &state_values);
+        if (!served.ok()) {
+          m.failed = served;
+          continue;
+        }
+      }
+      TraceSpan terminate_span(m.trace.get(), "terminate", m.run.trace_span,
+                               m.qm->dcounter("sudaf.phase.terminate_ms"));
+      Result<std::unique_ptr<Table>> assembled = AssembleRewrittenResult(
+          m.rewritten, *m.stmt, *group_keys, num_groups, state_values);
+      if (!assembled.ok()) {
+        m.failed = assembled.status();
+      } else {
+        m.table = std::move(*assembled);
+      }
+    }
+  }
+
+  // A group-fatal error (probe/scan/pass) fails every member still alive;
+  // the service layer retries them through the solo path.
+  if (!group_status.ok()) {
+    for (GroupMember& m : ctx) {
+      if (m.alive()) m.failed = group_status;
+    }
+  }
+
+  // Finalize each member exactly like ExecuteStatement: mirror guard
+  // movement (note: members sharing one guard object each see the full
+  // delta), close the root span, derive stats, fold into the session
+  // registry, publish the per-item result.
+  for (GroupMember& m : ctx) {
+    if (m.guard != nullptr) {
+      m.qm->counter("sudaf.guard.checks")
+          ->Add(m.guard->checks() - m.guard_checks0);
+      m.qm->counter("sudaf.guard.trips")
+          ->Add(m.guard->trips() - m.guard_trips0);
+    }
+    if (!m.failed.ok()) m.qm->counter("sudaf.query.errors")->Add();
+    m.root.reset();
+    ExecStats stats = DeriveExecStats(m.qm->Snapshot());
+    metrics_.Merge(m.qm->Snapshot());
+    if (!m.failed.ok()) {
+      (*results)[m.item] = m.failed;
+      continue;
+    }
+    QueryResult qr;
+    qr.table = std::move(m.table);
+    qr.stats = stats;
+    qr.trace = std::move(m.trace);
+    (*results)[m.item] = std::move(qr);
+  }
+  MaybeCompactCache();
 }
 
 }  // namespace sudaf

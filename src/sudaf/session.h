@@ -119,6 +119,15 @@ struct ExecStats {
   int64_t cache_bytes_evicted = 0;
   int cache_budget_rejects = 0;
 
+  // Shared-scan batching (docs/service.md, "Shared-scan batching"). When a
+  // query executed as part of an ExecuteBatch group, batch_size is the
+  // number of queries fused into its pass (0 for solo execution) and
+  // states_from_batch counts the representatives this query consumed that
+  // another query of the same batch computed — work a solo run would have
+  // repeated.
+  int batch_size = 0;
+  int states_from_batch = 0;
+
   // Service-layer fields (docs/service.md). Unlike everything above these
   // are NOT registry-derived: QueryService fills them in after the session
   // call returns. They stay zero/false when a session is driven directly.
@@ -205,6 +214,29 @@ struct SessionOptions {
     vfs = v;
     return *this;
   }
+};
+
+// One member of an ExecuteBatch call. Both pointers are borrowed and must
+// outlive the call.
+struct BatchItem {
+  const SelectStatement* stmt = nullptr;
+  const QueryGuard* guard = nullptr;  // may be null (no guard checks)
+};
+
+// Aggregate outcome of one ExecuteBatch call — the numbers behind the
+// sudaf.batch.* service counters (docs/service.md).
+struct BatchExecStats {
+  int queries = 0;            // items submitted
+  int groups_shared = 0;      // signature groups of >= 2 run as one pass
+  int queries_coalesced = 0;  // queries served by a shared pass
+  int queries_solo = 0;       // singletons (and kEngine items) run alone
+  // Σ over coalesced queries of their distinct state representatives, and
+  // how many of those resolved to a representative another query of the
+  // same group already requested (computed/probed once instead of twice).
+  int64_t states_requested = 0;
+  int64_t states_deduped = 0;
+  int scan_passes = 0;        // base-data scans shared groups performed
+  int scan_passes_saved = 0;  // Σ (group size - 1) over groups that scanned
 };
 
 class SudafSession {
@@ -312,12 +344,41 @@ class SudafSession {
   Result<QueryResult> ExecuteStatement(const SelectStatement& stmt,
                                        ExecMode mode, const ExecOptions& exec);
 
+  // Shared-scan batch execution (docs/service.md, "Shared-scan batching"):
+  // runs every item, fusing items with equal data signatures (same tables,
+  // WHERE conjuncts and grouping) into one union state DAG computed in a
+  // single pass — per-query states deduplicated across queries via their
+  // equivalence-class representatives (sudaf/shared_scan.h), one cache
+  // insert per shared representative, per-query results/stats/traces
+  // fanned back in item order. Items with unique signatures (and every
+  // item in kEngine mode) run through the normal solo path. Results are
+  // bit-identical to executing each item alone. Statuses are per item: one
+  // member failing (parse limits, guard trip) never fails its neighbors,
+  // but a fault in the shared pass itself fails every member of that group
+  // (the service retries them solo). `bstats`, when non-null, receives the
+  // batch-level accounting.
+  std::vector<Result<QueryResult>> ExecuteBatch(
+      const std::vector<BatchItem>& items, ExecMode mode,
+      const ExecOptions& exec, BatchExecStats* bstats = nullptr);
+  // Convenience: parses each SQL string (EXPLAIN prefixes are rejected per
+  // item) and delegates to the BatchItem overload under the session's
+  // default exec options.
+  std::vector<Result<QueryResult>> ExecuteBatch(
+      const std::vector<std::string>& sqls, ExecMode mode,
+      BatchExecStats* bstats = nullptr);
+
   // Returns the RQ-style rewritten form of `sql` (states + terminating
   // select list) without executing it.
   Result<std::string> ExplainRewrite(const std::string& sql) const;
 
   // Runs `sql` in share mode purely to warm the cache (e.g. prefetching a
   // moments sketch before a query sequence, as in the AS2 experiments).
+  //
+  // Prefer QueryService::Prefetch / SubmitPrefetch when a service fronts
+  // this session: those go through admission control, so a prefetch is
+  // shed under load, honors its guard while queued, and is counted
+  // (sudaf.service.prefetches) like any other request. This direct form
+  // bypasses all of that and stays for service-less embeddings.
   Status Prefetch(const std::string& sql);
 
  private:
@@ -326,6 +387,16 @@ class SudafSession {
   Result<std::unique_ptr<Table>> ExecuteSudaf(const SelectStatement& stmt,
                                               bool share,
                                               const ExecOptions& exec);
+
+  // Runs one signature group of ExecuteBatch (>= 2 members, same data
+  // signature) as a single shared pass: one cache probe per distinct
+  // representative, at most one input scan, one fused pass over the union
+  // DAG, one insert per representative; per-member serving, termination,
+  // stats and traces. Fills results[members[i]] for every member.
+  void ExecuteSharedGroup(const std::vector<size_t>& members,
+                          const std::vector<BatchItem>& items, bool share,
+                          const ExecOptions& exec, BatchExecStats* bstats,
+                          std::vector<Result<QueryResult>>* results);
 
   // The persistence filesystem backend (SessionOptions::vfs; null means
   // Vfs::Default(), resolved by the persistence layer).

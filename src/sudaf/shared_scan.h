@@ -1,0 +1,101 @@
+#ifndef SUDAF_SUDAF_SHARED_SCAN_H_
+#define SUDAF_SUDAF_SHARED_SCAN_H_
+
+// Cross-query state deduplication for shared-scan batching.
+//
+// The rewriter factors each query into aggregation states; the sharing
+// module maps every state to its equivalence-class representative
+// (Theorem 4.1). A SharedStatePlan extends that mapping *across queries*:
+// the rewritten states of several queries over the same data signature are
+// folded into one union list of distinct representatives, and each
+// (query, state) pair resolves to a slot in that list plus the
+// SharedComputation that reconstructs the state's value from the
+// representative's channels. A variance query and a kurtosis query added
+// together therefore request count / sum(x) / sum(x^2) exactly once — the
+// union state DAG a shared-scan batch executes in a single fused pass.
+//
+// The plan is a pure bookkeeping structure (no execution): the session's
+// batch executor walks reps() to probe the cache, schedules the missing
+// ones through BuildBatchRequests(), and serves every query from the
+// per-rep results via its slots.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "engine/state_batch.h"
+#include "sudaf/canonical.h"
+#include "sudaf/sharing.h"
+
+namespace sudaf {
+
+class SharedStatePlan {
+ public:
+  // One distinct representative across every query added so far.
+  struct Rep {
+    StateClass cls;        // class representative (what gets computed/cached)
+    std::string key;       // cache key: cls.key, or "direct|..." in no-share
+    int first_query = -1;  // query index that first requested it
+    // No-share mode: compute cls.rep verbatim (op + input), skip the class
+    // channel machinery and serve the main channel unchanged.
+    bool direct = false;
+  };
+
+  // Resolution of one (query, state) pair.
+  struct Slot {
+    int rep = -1;
+    SharedComputation share_fn;  // Share(state, reps[rep].cls.rep)
+  };
+
+  // Registers one rewritten query's states; returns one Slot per state.
+  // Classification is identical to solo execution (including the
+  // self-class fallback when Share() declines the class representative),
+  // so a batch serves every state from exactly the representative a solo
+  // run of the same query would have used.
+  std::vector<Slot> AddQuery(const std::vector<AggStateDef>& states,
+                             bool share);
+
+  const std::vector<Rep>& reps() const { return reps_; }
+  int num_queries() const { return num_queries_; }
+
+  // Σ over queries of their per-query distinct representatives. (Duplicate
+  // states *within* one query don't count — solo execution dedups those
+  // already; this is the work solo runs would have repeated.)
+  int64_t states_requested() const { return states_requested_; }
+  // states_requested() - reps().size(): representatives shared by at least
+  // two queries in the batch, counted once per extra requesting query.
+  int64_t states_deduped() const {
+    return states_requested_ - static_cast<int64_t>(reps_.size());
+  }
+
+ private:
+  std::vector<Rep> reps_;
+  std::map<std::string, int> by_key_;
+  int num_queries_ = 0;
+  int64_t states_requested_ = 0;
+};
+
+// The fused-pass schedule for the subset of representatives with
+// need[r] == true (typically: not served by the cache).
+struct BatchRequestPlan {
+  std::vector<StateBatchRequest> requests;
+  // Owns the input expressions the requests borrow; must stay alive until
+  // ComputeStateBatch returns.
+  std::vector<ExprPtr> keepalive;
+  // Per rep index: positions of its main / sign channels in `requests`
+  // (-1 when the rep was not scheduled, or has no sign channel).
+  std::vector<int> main_idx;
+  std::vector<int> sign_idx;
+};
+
+// Builds the channel requests for every needed representative, mirroring
+// the solo fused path exactly: count reps get a null-input kCount channel,
+// class reps get (MainOp, MainInputExpr) plus a Π sgn side channel for
+// log-domain classes, and direct reps get (op, input) verbatim.
+BatchRequestPlan BuildBatchRequests(const SharedStatePlan& plan,
+                                    const std::vector<bool>& need);
+
+}  // namespace sudaf
+
+#endif  // SUDAF_SUDAF_SHARED_SCAN_H_

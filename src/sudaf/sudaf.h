@@ -1,0 +1,38 @@
+// Umbrella header: the public surface of the SUDAF engine in one include.
+//
+//   #include "sudaf/sudaf.h"
+//
+// Exposes everything an embedding application needs:
+//
+//   * SudafSession / SessionOptions / ExecOptions / ExecMode — the core
+//     engine: declarative UDAF definitions, the sharing-aware rewriter,
+//     the partial-aggregate cache, and Execute()/ExecuteBatch().
+//   * QueryService / ServiceOptions / ServiceRequest — the concurrent
+//     front door: admission control, retries, the circuit breaker, and
+//     the shared-scan batching window.
+//   * QueryService::Submit() -> QueryTicket — the async submission API
+//     (Wait / TryGet / Cancel); Execute() is Submit().Wait().
+//   * QueryResult / ExecStats / Value — results, per-query statistics,
+//     metric snapshots, and trace spans.
+//   * Catalog / Table / Schema — storage for the tables queries scan.
+//
+// Internal layers (rewriter internals, cache persistence, the fused
+// executor) keep their own headers; include those directly only when
+// extending the engine itself.
+
+#ifndef SUDAF_SUDAF_H_
+#define SUDAF_SUDAF_H_
+
+#include "common/metrics.h"
+#include "common/query_guard.h"
+#include "common/status.h"
+#include "common/trace.h"
+#include "common/value.h"
+#include "sql/statement.h"
+#include "storage/catalog.h"
+#include "storage/schema.h"
+#include "storage/table.h"
+#include "sudaf/service.h"
+#include "sudaf/session.h"
+
+#endif  // SUDAF_SUDAF_H_

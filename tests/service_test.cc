@@ -589,5 +589,101 @@ TEST_F(ChaosTest, ClientsUnderCyclingFaultsGetDefiniteBitIdenticalAnswers) {
   EXPECT_EQ(Fingerprint(**after), want[0]);
 }
 
+// Chaos shard for the batch path: a wide window and burst-submitting
+// clients force real shared-scan groups while the failpoint cycle runs
+// through the fused pass, the cache probe, and the cache insert — every
+// fault a group can hit. Group faults degrade members to solo retries;
+// nothing may produce a wrong answer or an untyped failure.
+TEST_F(ChaosTest, BatchedSubmissionUnderCyclingFaultsStaysBitIdentical) {
+  const std::vector<std::string> queries = Queries();
+
+  std::vector<std::string> want(queries.size());
+  {
+    SudafSession ref(&catalog_);
+    for (size_t q = 0; q < queries.size(); ++q) {
+      auto r = ref.Execute(queries[q], ExecMode::kSudafShare);
+      ASSERT_TRUE(r.ok()) << queries[q];
+      want[q] = Fingerprint(**r);
+    }
+  }
+
+  SudafSession session(&catalog_);
+  ServiceOptions opts;
+  opts.batch_window_ms = 4.0;   // wide: bursts land in one window
+  opts.batch_max_queries = 6;
+  opts.retry.max_attempts = 4;
+  QueryService service(&session, opts);
+
+  std::atomic<bool> stop{false};
+  std::thread chaos([&] {
+    const std::vector<const char*> specs = {
+        "state_batch:morsel=skip:2",   // fault inside the fused group pass
+        "",                            // quiet
+        "cache:probe=skip:1:count:2",  // group leader's probe faults
+        "cache:insert",                // one shared-representative insert
+        "",                            // quiet
+    };
+    size_t next = 0;
+    while (!stop.load()) {
+      ASSERT_OK(FailPoint::ReArm(specs[next++ % specs.size()]).status());
+      std::this_thread::sleep_for(std::chrono::milliseconds(3));
+    }
+    FailPoint::Reset();
+  });
+
+  constexpr int kClients = 6;
+  constexpr int kQueriesPerClient = 8;
+  std::atomic<int64_t> ok{0};
+  std::atomic<int64_t> failed{0};
+  std::atomic<int> wrong{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int i = 0; i < kQueriesPerClient; ++i) {
+        size_t q = (c + i) % queries.size();
+        // Submit-then-wait (not Execute): the ticket sits in the window
+        // while sibling clients pile in, so groups actually form.
+        QueryTicket ticket =
+            service.Submit(queries[q], ExecMode::kSudafShare);
+        auto result = ticket.Wait();
+        if (result.ok()) {
+          ok.fetch_add(1);
+          if (Fingerprint(**result) != want[q]) wrong.fetch_add(1);
+        } else {
+          failed.fetch_add(1);
+          StatusCode code = result.status().code();
+          EXPECT_TRUE(code == StatusCode::kInternal ||
+                      code == StatusCode::kResourceExhausted)
+              << result.status().ToString();
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  stop.store(true);
+  chaos.join();
+
+  EXPECT_EQ(wrong.load(), 0) << "chaos changed a batched answer";
+  EXPECT_EQ(ok.load() + failed.load(), kClients * kQueriesPerClient);
+
+  MetricsSnapshot snap = service.metrics().Snapshot();
+  EXPECT_EQ(snap.counter("sudaf.service.requests"),
+            kClients * kQueriesPerClient);
+  EXPECT_EQ(snap.counter("sudaf.service.ok"), ok.load());
+  EXPECT_EQ(snap.counter("sudaf.service.failed"), failed.load());
+  // Admission identity still balances with group admission in the mix.
+  EXPECT_EQ(snap.counter("sudaf.service.admitted") +
+                snap.counter("sudaf.service.shed") +
+                snap.counter("sudaf.service.queue_timeouts") +
+                snap.counter("sudaf.service.queue_cancelled"),
+            snap.counter("sudaf.service.requests") +
+                snap.counter("sudaf.service.retries"));
+  // Batch identity: every admitted execution was coalesced or solo.
+  EXPECT_EQ(snap.counter("sudaf.batch.coalesced") +
+                snap.counter("sudaf.batch.solo"),
+            snap.counter("sudaf.service.admitted"));
+  EXPECT_EQ(snap.gauge("sudaf.service.inflight"), 0);
+}
+
 }  // namespace
 }  // namespace sudaf
