@@ -79,11 +79,13 @@ void BM_CacheProbe(benchmark::State& state) {
   Table keys(std::move(schema));
   for (int i = 0; i < 1000; ++i) keys.column(0).AppendInt64(i);
   keys.FinishBulkAppend();
-  StateCache::GroupSetPtr set = cache.GetOrCreate("sig", keys, 1000);
+  StateCache::GroupSetPtr set = cache.GetOrCreate("sig", keys, 1000, CatalogEpochs{},
+                        /*covered_rows=*/-1);
   set->entries["sum_pow|x|2"] =
       StateCache::Entry{std::vector<double>(1000, 1.0), {}};
   for (auto _ : state) {
-    StateCache::GroupSetPtr found = cache.Find("sig");
+    StateCache::GroupSetPtr found =
+        cache.Find("sig", CatalogEpochs{}, false).set;
     benchmark::DoNotOptimize(found->entries.count("sum_pow|x|2"));
   }
 }

@@ -25,6 +25,12 @@ struct PreparedInput {
   std::vector<int32_t> group_ids;     // size = num_input_rows
   std::unique_ptr<Table> group_keys;  // group-by columns, one row per group
   int32_t num_groups = 0;
+  // Append-segment boundaries mapped into filtered-row space (cumulative
+  // tuple ends, last == num_input_rows). Single-table plans map the base
+  // table's segment log through the sorted selection vector; multi-table
+  // plans always have one segment. Drives the fused executor's per-segment
+  // chunk tree (docs/execution.md, "Incremental maintenance").
+  std::vector<int64_t> segment_ends;
 };
 
 // Gathers `columns` (resolved against `plan`) from the join result into a

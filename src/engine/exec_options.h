@@ -4,12 +4,29 @@
 #include <algorithm>
 #include <cstdint>
 #include <thread>
+#include <vector>
 
 namespace sudaf {
 
 class MetricsRegistry;
 class QueryGuard;
 class QueryTrace;
+
+// Base-table scan specification for incremental maintenance
+// (docs/execution.md, "Incremental maintenance"). Only meaningful for
+// single-table plans; FilterAndJoin rejects it on multi-table plans.
+struct ScanSpec {
+  // Half-open base-table row range to scan; end == -1 means the table
+  // size. A delta-refresh pass sets begin to the cached coverage and end
+  // to the snapshot boundary, so only appended rows are filtered,
+  // gathered and accumulated.
+  int64_t begin = 0;
+  int64_t end = -1;
+  // Base-table segment boundaries (cumulative row ends, ascending) to map
+  // into filtered-row space. When empty, Prepare falls back to the
+  // catalog's segment log for the table.
+  std::vector<int64_t> segment_ends;
+};
 
 // Budget for the shared state cache (docs/robustness.md, "Durability &
 // memory budget"). The cache enforces ApproxBytes() <= max_bytes as an
@@ -75,6 +92,12 @@ struct ExecOptions {
   // Parent span id for engine-created spans (QueryTrace::BeginSpan);
   // -1 attaches them at the trace root.
   int trace_span = -1;
+
+  // --- Incremental maintenance (docs/execution.md) -----------------------
+  // Borrowed scan bounds + segment snapshot for single-table plans; null
+  // (default) scans the whole table and takes segment boundaries from the
+  // catalog's segment log. Must outlive the execution.
+  const ScanSpec* scan = nullptr;
 };
 
 // Worker count a pipeline stage should use under `opts` for a stage with

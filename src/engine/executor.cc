@@ -77,6 +77,32 @@ Result<PreparedInput> Executor::Prepare(
                            GatherColumns(plan, joined, needed, opts));
   }
   prepared.num_input_rows = joined.num_tuples;
+
+  // Map the base table's append-segment boundaries into filtered-row
+  // space: the selection vector of a single-table plan is ascending, so a
+  // base-table boundary `e` lands at the index of the first selected row
+  // >= e. Predicates are row-local, which makes each filtered segment's
+  // content — and therefore the fused executor's per-segment chunk tree —
+  // identical whether the segment is scanned as part of a cold full pass
+  // or alone as a delta (docs/execution.md, "Incremental maintenance").
+  if (plan.tables.size() == 1) {
+    std::vector<int64_t> base_ends;
+    if (opts.scan != nullptr && !opts.scan->segment_ends.empty()) {
+      base_ends = opts.scan->segment_ends;
+    } else {
+      base_ends = catalog_->TableSegments(stmt.tables[0]);
+    }
+    const std::vector<int64_t>& sel = joined.rows[0];
+    const int64_t scan_lo = opts.scan != nullptr ? opts.scan->begin : 0;
+    for (int64_t e : base_ends) {
+      if (e <= scan_lo) continue;
+      const int64_t idx =
+          std::lower_bound(sel.begin(), sel.end(), e) - sel.begin();
+      if (idx < joined.num_tuples) prepared.segment_ends.push_back(idx);
+    }
+  }
+  prepared.segment_ends.push_back(joined.num_tuples);
+
   {
     TraceSpan group_span(opts.trace, "group", opts.trace_span,
                          phase_ms("sudaf.phase.group_ms"));

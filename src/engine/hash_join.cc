@@ -27,14 +27,22 @@ Result<std::vector<int64_t>> FilterTable(const QueryPlan& plan, int t,
   for (const TableFilter& f : plan.filters) {
     if (f.table_index == t) preds.push_back(f.predicate);
   }
-  const int64_t n = table->num_rows();
+  // Scan bounds (delta-refresh passes scan only appended rows). Only ever
+  // set for single-table plans — FilterAndJoin rejects them otherwise —
+  // so applying them unconditionally here is safe.
+  int64_t lo = 0;
+  int64_t n = table->num_rows();
+  if (opts.scan != nullptr) {
+    lo = std::clamp<int64_t>(opts.scan->begin, 0, n);
+    if (opts.scan->end >= 0) n = std::clamp<int64_t>(opts.scan->end, lo, n);
+  }
   std::vector<int64_t> out;
   if (preds.empty()) {
-    out.resize(n);
-    for (int64_t i = 0; i < n; ++i) out[i] = i;
+    out.resize(n - lo);
+    for (int64_t i = lo; i < n; ++i) out[i - lo] = i;
     return out;
   }
-  if (n == 0) return out;
+  if (n - lo == 0) return out;
 
   ColumnResolver resolver =
       [table](const std::string& col) -> Result<const Column*> {
@@ -60,18 +68,21 @@ Result<std::vector<int64_t>> FilterTable(const QueryPlan& plan, int t,
     }
   }
 
+  const int64_t span = n - lo;
   const int64_t morsel = std::max(1, opts.morsel_size);
-  const int64_t num_morsels = (n + morsel - 1) / morsel;
+  const int64_t num_morsels = (span + morsel - 1) / morsel;
   const int workers = std::min(PlannedWorkers(opts, num_morsels),
                                ThreadPool::kMaxGlobalWorkers + 1);
 
   // Phase 1: fill the keep-bitmap (conjunction across predicates), one
   // contiguous morsel-aligned range per worker, morselized so the predicate
-  // scratch stays cache-resident.
-  std::vector<uint8_t> keep(n, 1);
+  // scratch stays cache-resident. Ranges are in scan-span space (absolute
+  // row = lo + index); the decomposition never affects the selection
+  // vector, which is written in ascending row order regardless.
+  std::vector<uint8_t> keep(span, 1);
   std::vector<int64_t> range_lo(workers + 1);
   for (int w = 0; w <= workers; ++w) {
-    range_lo[w] = std::min(n, (num_morsels * w / workers) * morsel);
+    range_lo[w] = std::min(span, (num_morsels * w / workers) * morsel);
   }
   auto run_range = [&](int64_t wi) -> Status {
     EvalScratch scratch;
@@ -84,15 +95,17 @@ Result<std::vector<int64_t>> FilterTable(const QueryPlan& plan, int t,
       const int64_t mhi = std::min(mlo + morsel, range_lo[wi + 1]);
       for (size_t p = 0; p < preds.size(); ++p) {
         if (vectorized[p]) {
-          SUDAF_RETURN_IF_ERROR(EvalNumericRange(*preds[p], resolver, mlo,
-                                                 mhi, buf.data(), &scratch));
+          SUDAF_RETURN_IF_ERROR(EvalNumericRange(*preds[p], resolver,
+                                                 lo + mlo, lo + mhi,
+                                                 buf.data(), &scratch));
           for (int64_t i = mlo; i < mhi; ++i) {
             if (buf[i - mlo] == 0.0) keep[i] = 0;
           }
         } else {
           for (int64_t i = mlo; i < mhi; ++i) {
             if (!keep[i]) continue;
-            SUDAF_ASSIGN_OR_RETURN(Value v, EvalRow(*preds[p], accessor, i));
+            SUDAF_ASSIGN_OR_RETURN(Value v,
+                                   EvalRow(*preds[p], accessor, lo + i));
             if (!v.is_numeric() || v.AsDouble() == 0.0) keep[i] = 0;
           }
         }
@@ -120,7 +133,7 @@ Result<std::vector<int64_t>> FilterTable(const QueryPlan& plan, int t,
   auto write_range = [&](int64_t wi) {
     int64_t at = offsets[wi];
     for (int64_t i = range_lo[wi]; i < range_lo[wi + 1]; ++i) {
-      if (keep[i]) out[at++] = i;
+      if (keep[i]) out[at++] = lo + i;
     }
   };
   if (workers > 1) {
@@ -156,6 +169,10 @@ int64_t KeyAt(const Column& col, int64_t row) {
 Result<JoinedRows> FilterAndJoin(const QueryPlan& plan,
                                  const ExecOptions& opts) {
   const int num_tables = static_cast<int>(plan.tables.size());
+  if (opts.scan != nullptr && num_tables != 1) {
+    return Status::InvalidArgument(
+        "scan bounds are only supported for single-table plans");
+  }
 
   // 1. Filter every table (morsel-parallel under opts.parallel).
   std::vector<std::vector<int64_t>> selected(num_tables);

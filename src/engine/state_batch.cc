@@ -497,46 +497,147 @@ void AccumulateMorsel(const BatchPlan& plan, WorkerEval* w,
 Result<std::vector<std::vector<double>>> ComputeStateBatch(
     const std::vector<StateBatchRequest>& requests,
     const ColumnResolver& resolver, const std::vector<int32_t>& group_ids,
-    int32_t num_groups, const ExecOptions& opts, StateBatchStats* stats) {
+    int32_t num_groups, const ExecOptions& opts, StateBatchStats* stats,
+    const StateBatchIncremental* inc) {
   const int64_t n = static_cast<int64_t>(group_ids.size());
 
   BatchPlan plan;
   SUDAF_RETURN_IF_ERROR(plan.Build(requests, resolver));
 
   const int64_t morsel = std::max(1, opts.morsel_size);
-  const int64_t num_morsels = (n + morsel - 1) / morsel;
   const int64_t num_channels = static_cast<int64_t>(plan.channels().size());
+  const std::vector<Channel>& channels = plan.channels();
 
-  // Fixed accumulation tree (the bit-identity contract): rows fold into
-  // `num_chunks` chunk blocks, each covering a contiguous morsel range, and
-  // the blocks merge with ⊕ in chunk order. The chunk count is a pure
-  // function of input size and group count — NEVER of the worker count and
-  // NEVER of the number of channels in the plan — so any thread count
-  // (including 1) produces bitwise-identical states, and a channel computed
-  // inside a wide union plan (a shared-scan batch fusing several queries)
-  // chunks exactly like the same channel computed alone. A single-chunk
-  // pass (input ≤ one morsel, e.g. most tests) degenerates to the exact
-  // serial accumulation order.
+  // Segment layout of the pass: each segment (an append generation of the
+  // base table, mapped into this pass's filtered-row space by the caller)
+  // is morselized and chunked independently. Empty segments contribute
+  // nothing — they must be skipped rather than folded as identity blocks,
+  // or ⊕-ing the identity would flip signed zeros.
+  std::vector<int64_t> seg_ends;
+  if (inc != nullptr && !inc->segment_ends.empty()) {
+    seg_ends = inc->segment_ends;
+    int64_t prev = 0;
+    for (int64_t e : seg_ends) {
+      if (e < prev || e > n) {
+        return Status::InvalidArgument(
+            "state batch segment ends are not an ascending partition of the "
+            "input rows");
+      }
+      prev = e;
+    }
+    if (seg_ends.back() != n) {
+      return Status::InvalidArgument(
+          "state batch segment ends do not cover the input (last end " +
+          std::to_string(seg_ends.back()) + ", rows " + std::to_string(n) +
+          ")");
+    }
+  } else {
+    seg_ends.assign(1, n);
+  }
+
+  // Per-channel initial accumulators for a refresh pass. Requests that
+  // dedup onto one channel must agree bitwise; a refresh pass must cover
+  // every channel (a channel starting from identity instead of its prefix
+  // state would silently drop the old rows).
+  std::vector<const std::vector<double>*> channel_init(channels.size(),
+                                                       nullptr);
+  bool has_init = false;
+  if (inc != nullptr && !inc->init.empty()) {
+    if (inc->init.size() != requests.size()) {
+      return Status::InvalidArgument(
+          "state batch init accumulators do not match the request count");
+    }
+    for (size_t r = 0; r < requests.size(); ++r) {
+      const std::vector<double>* iv = inc->init[r];
+      if (iv == nullptr) continue;
+      if (static_cast<int64_t>(iv->size()) != num_groups) {
+        return Status::InvalidArgument(
+            "state batch init accumulator has " +
+            std::to_string(iv->size()) + " groups, pass has " +
+            std::to_string(num_groups));
+      }
+      const int ch = plan.request_channel()[r];
+      if (channel_init[ch] == nullptr) {
+        channel_init[ch] = iv;
+        has_init = true;
+      } else if (channel_init[ch] != iv && num_groups > 0 &&
+                 std::memcmp(channel_init[ch]->data(), iv->data(),
+                             static_cast<size_t>(num_groups) *
+                                 sizeof(double)) != 0) {
+        return Status::InvalidArgument(
+            "conflicting init accumulators for one deduplicated channel");
+      }
+    }
+    if (has_init) {
+      for (size_t c = 0; c < channels.size(); ++c) {
+        if (channel_init[c] == nullptr) {
+          return Status::InvalidArgument(
+              "refresh pass is missing an init accumulator for a channel");
+        }
+      }
+    }
+  }
+
+  // Fixed accumulation tree (the bit-identity contract): each segment's
+  // rows fold into a bounded number of contiguous chunk blocks, and blocks
+  // merge with ⊕ in (segment, chunk) order. The *logical* chunk layout is
+  // a pure function of the segment layout and morsel size — NEVER of the
+  // worker count, NEVER of the number of channels in the plan, and NEVER
+  // of the group count — so any thread count (including 1) produces
+  // bitwise-identical states, a channel computed inside a wide union plan
+  // (a shared-scan batch fusing several queries) chunks exactly like the
+  // same channel computed alone, and a delta refresh that folds only the
+  // suffix segments onto the cached prefix state reproduces the cold full
+  // pass bit for bit even though the two passes see different group
+  // counts. A single-chunk pass (input ≤ one morsel, e.g. most tests)
+  // degenerates to the exact serial accumulation order.
   const int64_t kMaxChunks = 64;  // = kMaxGlobalWorkers: enough parallelism
-  int64_t num_chunks = std::min(std::max<int64_t>(num_morsels, 1), kMaxChunks);
+  struct Chunk {
+    int64_t lo = 0;
+    int64_t hi = 0;
+  };
+  std::vector<Chunk> chunks;
+  int64_t num_morsels = 0;
+  int64_t seg_lo = 0;
+  for (int64_t seg_hi : seg_ends) {
+    const int64_t seg_rows = seg_hi - seg_lo;
+    if (seg_rows <= 0) continue;
+    const int64_t seg_morsels = (seg_rows + morsel - 1) / morsel;
+    num_morsels += seg_morsels;
+    const int64_t k = std::min(seg_morsels, kMaxChunks);
+    for (int64_t c = 0; c < k; ++c) {
+      const int64_t m_first = seg_morsels * c / k;
+      const int64_t m_last = seg_morsels * (c + 1) / k;
+      chunks.push_back(Chunk{seg_lo + m_first * morsel,
+                             std::min(seg_lo + m_last * morsel, seg_hi)});
+    }
+    seg_lo = seg_hi;
+  }
+  const int64_t total_chunks = static_cast<int64_t>(chunks.size());
+
+  // The logical chunk count above is unbounded in num_groups, so the
+  // memory bound moves to the *physical* blocks: at most `wave` blocks
+  // (~4 MiB per channel) are resident at once, and logical chunks are
+  // processed in waves of that width, each wave folding into the running
+  // merged state in chunk order — arithmetic identical to materializing
+  // every block. The bound is per channel (total scratch grows linearly
+  // with plan width) precisely so it cannot make chunking depend on which
+  // other channels share the pass.
   const int64_t block_bytes =
       num_channels * static_cast<int64_t>(num_groups) *
       static_cast<int64_t>(sizeof(double));
+  int64_t wave = std::max<int64_t>(total_chunks, 1);
   if (num_groups > 0) {
-    // Bound each channel's chunk accumulator at ~4 MiB for many-group
-    // inputs. The bound is per channel (total scratch grows linearly with
-    // plan width) precisely so the clamp cannot make chunking depend on
-    // which other channels share the pass.
     const int64_t per_channel_budget = int64_t{4} << 20;
-    num_chunks = std::min(
-        num_chunks,
-        std::max<int64_t>(1, per_channel_budget /
-                                 (static_cast<int64_t>(num_groups) *
-                                  static_cast<int64_t>(sizeof(double)))));
+    wave = std::min(wave,
+                    std::max<int64_t>(1, per_channel_budget /
+                                             (static_cast<int64_t>(num_groups) *
+                                              static_cast<int64_t>(
+                                                  sizeof(double)))));
   }
 
   const int workers =
-      std::min(PlannedWorkers(opts, num_chunks),
+      std::min(PlannedWorkers(opts, std::min(total_chunks, wave)),
                ThreadPool::kMaxGlobalWorkers + 1);
 
   // Admit the pass's scratch footprint against the query's memory budget
@@ -550,7 +651,7 @@ Result<std::vector<std::vector<double>>> ComputeStateBatch(
     const int64_t scratch_bytes =
         static_cast<int64_t>(workers) * buffered_slots * morsel *
             static_cast<int64_t>(sizeof(double)) +
-        num_chunks * block_bytes;
+        wave * block_bytes;
     SUDAF_RETURN_IF_ERROR(opts.guard->ChargeMemory(scratch_bytes));
   }
 
@@ -577,7 +678,7 @@ Result<std::vector<std::vector<double>>> ComputeStateBatch(
           : nullptr;
 
   std::vector<double> chunk_acc(
-      static_cast<size_t>(num_chunks * num_channels * num_groups));
+      static_cast<size_t>(wave * num_channels * num_groups));
 
   // Per-worker observability buffers: morsel events carry lock-free
   // timestamps and splice into the trace ring once at pass end; histogram
@@ -586,56 +687,100 @@ Result<std::vector<std::vector<double>>> ComputeStateBatch(
   std::vector<int64_t> worker_full_morsels(workers, 0);
   std::vector<std::vector<int64_t>> worker_partial_morsels(workers);
 
-  // Workers claim whole chunks from an atomic counter (dynamic scheduling:
-  // a straggling worker no longer bounds the pass the way the old static
-  // range split did) and fold each chunk's morsels into that chunk's block.
-  std::atomic<int64_t> next_chunk{0};
-  std::vector<WorkerEval> evals(workers);
-  auto run_worker = [&](int64_t wi) -> Status {
-    WorkerEval& we = evals[wi];
-    we.Init(plan, morsel);
-    for (;;) {
-      const int64_t c = next_chunk.fetch_add(1, std::memory_order_relaxed);
-      if (c >= num_chunks) break;
-      double* acc = chunk_acc.data() + c * num_channels * num_groups;
-      for (int64_t ch = 0; ch < num_channels; ++ch) {
-        std::fill_n(acc + ch * num_groups, num_groups,
-                    AggIdentity(plan.channels()[ch].op));
-      }
-      const int64_t m_first = num_morsels * c / num_chunks;
-      const int64_t m_last = num_morsels * (c + 1) / num_chunks;
-      for (int64_t m = m_first; m < m_last; ++m) {
-        // Morsel boundary: fault-injection site, then the query guard
-        // (cancellation / deadline). A trip here aborts the whole pass with
-        // a typed error before any result is produced.
-        SUDAF_FAILPOINT("state_batch:morsel");
-        if (opts.guard != nullptr) {
-          SUDAF_RETURN_IF_ERROR(opts.guard->Check());
-        }
-        const int64_t lo = m * morsel;
-        const int64_t len = std::min(morsel, n - lo);
-        SUDAF_RETURN_IF_ERROR(EvalMorsel(plan, &we, lo, len));
-        AccumulateMorsel(plan, &we, group_ids.data(), lo, len, num_groups,
-                         acc);
-        if (opts.trace != nullptr) {
-          worker_events[wi].push_back({opts.trace->now_ms(), len});
-        }
-        if (len == morsel) {
-          ++worker_full_morsels[wi];
-        } else {
-          worker_partial_morsels[wi].push_back(len);
-        }
-      }
+  // The merged state: starts as the init accumulators (refresh pass) or as
+  // a bitwise copy of the first chunk block (cold pass — not identity ⊕
+  // chunk 0: with a single chunk the copy reproduces the serial
+  // accumulation bit-for-bit, including signed-zero cases where
+  // 0.0 + (-0.0) would lose the sign).
+  std::vector<std::vector<double>> merged(channels.size());
+  bool merged_seeded = false;
+  if (has_init) {
+    for (size_t c = 0; c < channels.size(); ++c) {
+      merged[c] = *channel_init[c];
     }
-    return Status::OK();
-  };
+    merged_seeded = true;
+  }
 
-  if (workers > 1) {
-    ThreadPool& pool = ThreadPool::Global();
-    pool.EnsureWorkers(workers - 1);
-    SUDAF_RETURN_IF_ERROR(pool.TryParallelFor(workers, run_worker));
-  } else {
-    SUDAF_RETURN_IF_ERROR(run_worker(0));
+  // Workers claim whole chunks of the current wave from an atomic counter
+  // (dynamic scheduling: a straggling worker no longer bounds the pass the
+  // way the old static range split did) and fold each chunk's morsels into
+  // that chunk's block; after each wave the blocks merge with ⊕ into the
+  // running state in chunk order.
+  std::vector<WorkerEval> evals(workers);
+  std::vector<char> eval_ready(workers, 0);
+  for (int64_t wave_lo = 0; wave_lo < total_chunks; wave_lo += wave) {
+    const int64_t wave_cnt = std::min(wave, total_chunks - wave_lo);
+    std::atomic<int64_t> next_block{0};
+    auto run_worker = [&](int64_t wi) -> Status {
+      WorkerEval& we = evals[wi];
+      if (!eval_ready[wi]) {
+        we.Init(plan, morsel);
+        eval_ready[wi] = 1;
+      }
+      for (;;) {
+        const int64_t b = next_block.fetch_add(1, std::memory_order_relaxed);
+        if (b >= wave_cnt) break;
+        const Chunk ck = chunks[wave_lo + b];
+        double* acc = chunk_acc.data() + b * num_channels * num_groups;
+        for (int64_t ch = 0; ch < num_channels; ++ch) {
+          std::fill_n(acc + ch * num_groups, num_groups,
+                      AggIdentity(plan.channels()[ch].op));
+        }
+        for (int64_t lo = ck.lo; lo < ck.hi; lo += morsel) {
+          // Morsel boundary: fault-injection site, then the query guard
+          // (cancellation / deadline). A trip here aborts the whole pass
+          // with a typed error before any result is produced.
+          SUDAF_FAILPOINT("state_batch:morsel");
+          if (opts.guard != nullptr) {
+            SUDAF_RETURN_IF_ERROR(opts.guard->Check());
+          }
+          const int64_t len = std::min(morsel, ck.hi - lo);
+          SUDAF_RETURN_IF_ERROR(EvalMorsel(plan, &we, lo, len));
+          AccumulateMorsel(plan, &we, group_ids.data(), lo, len, num_groups,
+                           acc);
+          if (opts.trace != nullptr) {
+            worker_events[wi].push_back({opts.trace->now_ms(), len});
+          }
+          if (len == morsel) {
+            ++worker_full_morsels[wi];
+          } else {
+            worker_partial_morsels[wi].push_back(len);
+          }
+        }
+      }
+      return Status::OK();
+    };
+
+    if (workers > 1) {
+      ThreadPool& pool = ThreadPool::Global();
+      pool.EnsureWorkers(workers - 1);
+      SUDAF_RETURN_IF_ERROR(pool.TryParallelFor(workers, run_worker));
+    } else {
+      SUDAF_RETURN_IF_ERROR(run_worker(0));
+    }
+
+    for (int64_t b = 0; b < wave_cnt; ++b) {
+      for (size_t c = 0; c < channels.size(); ++c) {
+        const double* part =
+            chunk_acc.data() +
+            (b * num_channels + static_cast<int64_t>(c)) * num_groups;
+        if (!merged_seeded) {
+          merged[c].assign(part, part + num_groups);
+        } else {
+          for (int32_t g = 0; g < num_groups; ++g) {
+            merged[c][g] = AggMerge(channels[c].op, merged[c][g], part[g]);
+          }
+        }
+      }
+      merged_seeded = true;
+    }
+  }
+  if (!merged_seeded) {
+    // No rows at all (and no init): every channel is its identity.
+    for (size_t c = 0; c < channels.size(); ++c) {
+      merged[c].assign(static_cast<size_t>(num_groups),
+                       AggIdentity(channels[c].op));
+    }
   }
 
   // Splice the buffered per-morsel observability: one trace lock for the
@@ -661,25 +806,6 @@ Result<std::vector<std::vector<double>>> ComputeStateBatch(
     for (int w = 0; w < workers; ++w) {
       for (int64_t len : worker_partial_morsels[w]) {
         morsel_rows->Observe(static_cast<double>(len));
-      }
-    }
-  }
-
-  // Merge chunk blocks with ⊕ in chunk order. The merged value starts as a
-  // *copy* of chunk 0 (not identity ⊕ chunk 0): with a single chunk this
-  // reproduces the serial accumulation bit-for-bit, including signed-zero
-  // cases where 0.0 + (-0.0) would lose the sign.
-  const std::vector<Channel>& channels = plan.channels();
-  std::vector<std::vector<double>> merged(channels.size());
-  for (size_t c = 0; c < channels.size(); ++c) {
-    const double* first = chunk_acc.data() + c * num_groups;
-    merged[c].assign(first, first + num_groups);
-    for (int64_t k = 1; k < num_chunks; ++k) {
-      const double* part =
-          chunk_acc.data() + (k * num_channels + static_cast<int64_t>(c)) *
-                                 num_groups;
-      for (int32_t g = 0; g < num_groups; ++g) {
-        merged[c][g] = AggMerge(channels[c].op, merged[c][g], part[g]);
       }
     }
   }

@@ -23,9 +23,13 @@
 //     the morsel's rows;
 //   * accumulation follows a *fixed chunk tree*: rows fold into a bounded
 //     number of contiguous chunk blocks whose count depends only on the
-//     input size and plan shape, and blocks merge with ⊕ in chunk order —
-//     so results are bitwise identical for ANY worker count, including the
-//     single-threaded run (docs/execution.md, "Deterministic parallelism").
+//     segment layout of the input (the catalog's append segment log mapped
+//     into filtered-row space) and the morsel size, and blocks merge with ⊕
+//     in (segment, chunk) order — so results are bitwise identical for ANY
+//     worker count, including the single-threaded run, AND a cold full scan
+//     equals merge(state(prefix), pass(delta segments)) bit for bit
+//     (docs/execution.md, "Deterministic parallelism" and "Incremental
+//     maintenance").
 //
 // Parallel execution (opts.parallel) lets ThreadPool workers claim chunks
 // from an atomic counter (dynamic scheduling, no per-call thread spawning);
@@ -64,17 +68,40 @@ struct StateBatchStats {
   std::vector<int> request_channel;
 };
 
+// Incremental-maintenance inputs for one fused pass (docs/execution.md,
+// "Incremental maintenance"). Both members default to "cold full pass".
+struct StateBatchIncremental {
+  // Cumulative segment ends in the pass's row space (ascending, last entry
+  // == group_ids.size()). Each segment gets its own chunk sub-tree whose
+  // shape is a pure function of that segment's row count and the morsel
+  // size, so re-running any suffix of segments on top of the prefix's
+  // merged state reproduces the full pass bit for bit. Empty = one segment
+  // covering all rows (the historical layout; single-chunk passes still
+  // degenerate to the exact serial accumulation order).
+  std::vector<int64_t> segment_ends;
+  // Optional per-request initial accumulators (each num_groups-sized, or
+  // null for identity): the pass folds its segments *onto* these, in
+  // segment order — exactly the arithmetic a cold pass would have used had
+  // the init's rows been prefix segments of this pass. Requests that dedup
+  // onto one channel must carry bitwise-identical inits (InvalidArgument
+  // otherwise). Empty = cold pass (merged state starts as a copy of the
+  // first chunk block).
+  std::vector<const std::vector<double>*> init;
+};
+
 // Computes every requested channel over rows [0, group_ids.size()) in one
 // fused morsel-driven pass. Returns one num_groups-sized vector per request
 // (duplicates of the same channel share the computation but each get their
 // own copy). `resolver` resolves the column leaves of the input
 // expressions. `stats`, when non-null, is overwritten with this pass's
-// counters.
+// counters. `inc`, when non-null, carries the segment layout and initial
+// accumulators for an incremental (delta-refresh) pass.
 Result<std::vector<std::vector<double>>> ComputeStateBatch(
     const std::vector<StateBatchRequest>& requests,
     const ColumnResolver& resolver, const std::vector<int32_t>& group_ids,
     int32_t num_groups, const ExecOptions& opts,
-    StateBatchStats* stats = nullptr);
+    StateBatchStats* stats = nullptr,
+    const StateBatchIncremental* inc = nullptr);
 
 }  // namespace sudaf
 

@@ -39,6 +39,11 @@ std::unique_ptr<Table> CopyTable(const Table& table) {
 StateCache::StateCache() {
   owned_metrics_ = std::make_unique<MetricsRegistry>();
   MetricsRegistry* r = owned_metrics_.get();
+  probes_ = r->counter("sudaf.cache.probes");
+  set_hits_ = r->counter("sudaf.cache.set_hits");
+  delta_refreshes_ = r->counter("sudaf.cache.delta_refreshes");
+  delta_rows_scanned_ = r->counter("sudaf.cache.delta_rows_scanned");
+  full_invalidations_ = r->counter("sudaf.cache.full_invalidations");
   epoch_invalidations_ = r->counter("sudaf.cache.epoch_invalidations");
   stale_discards_ = r->counter("sudaf.cache.stale_discards");
   evictions_ = r->counter("sudaf.cache.evictions");
@@ -59,6 +64,11 @@ void StateCache::MirrorCount(const CacheOps& ops, const char* name,
 
 StateCache::Counters StateCache::counters() const {
   Counters c;
+  c.probes = probes_->value();
+  c.set_hits = set_hits_->value();
+  c.delta_refreshes = delta_refreshes_->value();
+  c.delta_rows_scanned = delta_rows_scanned_->value();
+  c.full_invalidations = full_invalidations_->value();
   c.epoch_invalidations = epoch_invalidations_->value();
   c.stale_discards = stale_discards_->value();
   c.evictions = evictions_->value();
@@ -135,37 +145,65 @@ bool StateCache::EnsureRoomLocked(int64_t incoming_bytes,
   return true;
 }
 
-StateCache::GroupSetPtr StateCache::Find(const std::string& data_sig,
-                                         uint64_t epoch, const CacheOps& ops) {
+StateCache::FindResult StateCache::Find(const std::string& data_sig,
+                                        const CatalogEpochs& epochs,
+                                        bool can_refresh, const CacheOps& ops) {
   std::lock_guard<std::mutex> lock(mu_);
   ++tick_;
+  FindResult result;
   auto it = sets_.find(data_sig);
-  if (it == sets_.end()) return nullptr;
-  if (it->second->epoch != epoch) {
-    // A covered table mutated since this set was built: every entry in it
-    // describes data that no longer exists. Invalidate-on-probe.
-    if (ops.trace != nullptr) {
-      ops.trace->AddEvent("cache.epoch_invalidate", -1);
-    }
-    EraseSetLocked(it, epoch_invalidations_,
-                   "sudaf.cache.epoch_invalidations", ops);
-    return nullptr;
+  if (it == sets_.end()) return result;
+  if (it->second->epochs == epochs) {
+    ++it->second->hits;
+    it->second->last_used_tick = tick_;
+    probes_->Add();
+    MirrorCount(ops, "sudaf.cache.probes");
+    set_hits_->Add();
+    MirrorCount(ops, "sudaf.cache.set_hits");
+    result.set = it->second;
+    return result;
   }
-  ++it->second->hits;
-  it->second->last_used_tick = tick_;
-  return it->second;
+  if (it->second->epochs.rewrite == epochs.rewrite && can_refresh &&
+      it->second->covered_rows >= 0) {
+    // Only appends happened since this set was built and the caller can
+    // fold a delta pass. Leave the set mapped (it still answers exact
+    // probes from sessions on the older snapshot) and hand it back for
+    // refresh. The probe is not counted yet: it resolves — and counts —
+    // at CommitRefresh, or at the caller's can_refresh=false re-probe,
+    // keeping `set_hits + delta_refreshes + full_invalidations == probes`
+    // a true invariant rather than an eventually-consistent identity.
+    it->second->last_used_tick = tick_;
+    if (ops.trace != nullptr) {
+      ops.trace->AddEvent("cache.refresh_candidate", -1);
+    }
+    result.refreshable = it->second;
+    return result;
+  }
+  // A covered table was rewritten (or the set cannot be refreshed): every
+  // entry in it describes data that no longer exists. Invalidate-on-probe.
+  if (ops.trace != nullptr) {
+    ops.trace->AddEvent("cache.epoch_invalidate", -1);
+  }
+  probes_->Add();
+  MirrorCount(ops, "sudaf.cache.probes");
+  full_invalidations_->Add();
+  MirrorCount(ops, "sudaf.cache.full_invalidations");
+  EraseSetLocked(it, epoch_invalidations_,
+                 "sudaf.cache.epoch_invalidations", ops);
+  return result;
 }
 
 StateCache::GroupSetPtr StateCache::GetOrCreate(const std::string& data_sig,
                                                 const Table& group_keys,
                                                 int32_t num_groups,
-                                                uint64_t epoch,
+                                                const CatalogEpochs& epochs,
+                                                int64_t covered_rows,
                                                 const CacheOps& ops) {
   std::lock_guard<std::mutex> lock(mu_);
   ++tick_;
   auto it = sets_.find(data_sig);
   if (it != sets_.end()) {
-    if (it->second->epoch != epoch) {
+    if (it->second->epochs != epochs) {
       if (ops.trace != nullptr) {
         ops.trace->AddEvent("cache.epoch_invalidate", -1);
       }
@@ -188,7 +226,8 @@ StateCache::GroupSetPtr StateCache::GetOrCreate(const std::string& data_sig,
   set->data_sig = data_sig;
   set->group_keys = CopyTable(group_keys);
   set->num_groups = num_groups;
-  set->epoch = epoch;
+  set->epochs = epochs;
+  set->covered_rows = covered_rows;
   set->last_used_tick = tick_;
   if (policy_.max_bytes > 0 && !EnsureRoomLocked(SetBytes(*set), nullptr, ops)) {
     // The bare set (its group-keys table) is bigger than the whole budget:
@@ -200,6 +239,74 @@ StateCache::GroupSetPtr StateCache::GetOrCreate(const std::string& data_sig,
   auto [inserted, _] = sets_.emplace(data_sig, std::move(set));
   if (journal_ != nullptr) journal_->OnCreateSet(*inserted->second);
   return inserted->second;
+}
+
+StateCache::GroupSetPtr StateCache::CommitRefresh(
+    const GroupSetPtr& old_set, const Table& group_keys, int32_t num_groups,
+    const CatalogEpochs& epochs, int64_t covered_rows,
+    const std::vector<std::pair<std::string, Entry>>& entries,
+    int64_t delta_rows, const CacheOps& ops) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++tick_;
+  auto it = sets_.find(old_set->data_sig);
+  if (it == sets_.end() || it->second != old_set) {
+    // Concurrent invalidation/refresh replaced the set while the delta
+    // pass ran: the winner's resolution already closed this probe's
+    // accounting; the caller falls back to the cold path.
+    return nullptr;
+  }
+
+  auto set = std::make_shared<GroupSet>();
+  set->data_sig = old_set->data_sig;
+  set->group_keys = CopyTable(group_keys);
+  set->num_groups = num_groups;
+  set->epochs = epochs;
+  set->covered_rows = covered_rows;
+  set->hits = old_set->hits + 1;  // the probe is served from the refresh
+  set->last_used_tick = tick_;
+
+  probes_->Add();  // the refreshable probe resolves (and counts) here
+  MirrorCount(ops, "sudaf.cache.probes");
+  delta_refreshes_->Add();
+  MirrorCount(ops, "sudaf.cache.delta_refreshes");
+  delta_rows_scanned_->Add(delta_rows);
+  MirrorCount(ops, "sudaf.cache.delta_rows_scanned", delta_rows);
+  if (ops.trace != nullptr) {
+    ops.trace->AddEvent("cache.delta_refresh", -1, delta_rows);
+  }
+
+  // WAL order: erase(old) → create(new) → insert each refreshed entry. A
+  // crash between the records leaves a torn set that recovery drops — the
+  // next probe misses and recomputes in full; it can never serve the
+  // pre-refresh (stale) accumulators.
+  if (journal_ != nullptr) journal_->OnEraseSet(it->first);
+  sets_.erase(it);
+
+  int64_t bytes = SetBytes(*set);
+  for (const auto& [key, entry] : entries) bytes += EntryBytes(key, entry);
+  const bool fits =
+      policy_.max_bytes <= 0 || EnsureRoomLocked(bytes, nullptr, ops);
+  if (!fits) {
+    // Budget shrank below the refreshed set: hand it out uncached so the
+    // current query still answers from it; it dies with the query.
+    set->uncached = true;
+  } else {
+    sets_.emplace(set->data_sig, set);
+    if (journal_ != nullptr) journal_->OnCreateSet(*set);
+  }
+  {
+    std::lock_guard<std::mutex> stripe(StripeFor(set->data_sig));
+    for (const auto& [key, entry] : entries) {
+      if (EntryIsPoisoned(entry)) continue;  // same contract as InsertEntry
+      auto [e, ignored] = set->entries.insert_or_assign(key, entry);
+      (void)ignored;
+      e->second.shadow_crc = EntryShadowCrc(e->second);
+      if (fits && journal_ != nullptr) {
+        journal_->OnInsertEntry(set->data_sig, key, e->second);
+      }
+    }
+  }
+  return set;
 }
 
 StateCache::Probe StateCache::ProbeEntry(GroupSet* set, const std::string& key,

@@ -14,12 +14,30 @@
 // sign separation).
 //
 // Staleness is handled by *epoch invalidation* (docs/robustness.md): every
-// group set snapshots the combined catalog epoch of the tables it covers,
-// and a probe with a newer epoch discards the set before it can serve
-// stale answers. Catalog mutations bump epochs automatically, so callers
-// no longer need the old "call Clear() after mutating a table" contract
-// (Clear() remains for bulk memory reclamation). The group-count heuristic
-// is kept as a second line of defense and its discards are counted.
+// group set snapshots the combined catalog epochs of the tables it covers,
+// and a probe with newer epochs resolves the set before it can serve stale
+// answers. Since the catalog splits destructive mutations (rewrite epoch)
+// from append-only growth (append epoch), resolution has two outcomes:
+//   - rewrite epoch differs → the data the set describes no longer exists:
+//     hard invalidation (discard on probe), counted in
+//     epoch_invalidations/full_invalidations;
+//   - rewrite matches but append lags → the set is *refreshable*: states
+//     are mergeable (state(old ⧺ delta) = merge(state(old), pass(delta))),
+//     so a refresh-capable caller folds a fused pass over just the delta
+//     segments into the cached accumulators and commits the result through
+//     CommitRefresh (counted in delta_refreshes / delta_rows_scanned). A
+//     caller that cannot refresh passes can_refresh=false and gets the old
+//     hard invalidation.
+// Catalog mutations bump epochs automatically, so callers no longer need
+// the old "call Clear() after mutating a table" contract (Clear() remains
+// for bulk memory reclamation). The group-count heuristic is kept as a
+// second line of defense and its discards are counted.
+//
+// Probe accounting (gated by the perf-smoke CI shard): `probes` counts
+// present-set probe *resolutions* — a refreshable handoff counts only when
+// it resolves through CommitRefresh or a can_refresh=false re-probe — so
+// `set_hits + delta_refreshes + full_invalidations == probes` holds as an
+// invariant at every instant, not just at quiescence.
 //
 // Poison safety: entries whose channels contain NaN/±Inf must never be
 // shared across queries. Use EntryIsPoisoned() before inserting; the
@@ -71,6 +89,7 @@
 #include "common/metrics.h"
 #include "engine/exec_options.h"
 #include "sql/statement.h"
+#include "storage/catalog.h"
 #include "storage/table.h"
 
 namespace sudaf {
@@ -107,16 +126,23 @@ class StateCache {
   //
   // Lock discipline: `entries` is written only under the set's stripe
   // mutex (via InsertEntry/ProbeEntry); everything else is written only
-  // under the cache mutex. `group_keys`, `num_groups`, `epoch` and
-  // `data_sig` are immutable after creation and safe to read lock-free.
-  // Direct access to `entries` is for single-threaded callers only
-  // (tests, recovery).
+  // under the cache mutex. `group_keys`, `num_groups`, `epochs`,
+  // `covered_rows` and `data_sig` are immutable after creation and safe to
+  // read lock-free (CommitRefresh replaces the whole set object rather
+  // than mutating these in place). Direct access to `entries` is for
+  // single-threaded callers only (tests, recovery).
   struct GroupSet {
     std::string data_sig;  // owning key, duplicated for journal/eviction
     std::unique_ptr<Table> group_keys;
     int32_t num_groups = 0;  // may exceed group_keys->num_rows() for the
                              // ungrouped (zero-key-column) case
-    uint64_t epoch = 0;      // combined catalog epoch at creation
+    CatalogEpochs epochs;    // combined catalog epochs at creation/refresh
+    // Base-table row count the cached accumulators cover: the segment-log
+    // boundary the set was computed (or last refreshed) at. A refresh
+    // folds a delta pass over rows [covered_rows, snapshot) into the
+    // entries. -1 = unknown (recovered v1 data, tests) — such a set is
+    // never refreshable, only exactly-matched or discarded.
+    int64_t covered_rows = -1;
     std::map<std::string, Entry> entries;  // class key -> channels
 
     // Eviction-cost inputs (maintained by Find/GetOrCreate).
@@ -131,10 +157,22 @@ class StateCache {
 
   // Snapshot of the cache's cumulative invalidation metrics (see
   // counters()). The live values are registry-backed Counters — metric
-  // names sudaf.cache.{epoch_invalidations, stale_discards, evictions,
-  // bytes_evicted, poison_evictions} — mirrored per call into
-  // CacheOps::metrics so ExecStats stays a pure registry derivation.
+  // names sudaf.cache.{probes, set_hits, delta_refreshes,
+  // delta_rows_scanned, full_invalidations, epoch_invalidations,
+  // stale_discards, evictions, bytes_evicted, poison_evictions} — mirrored
+  // per call into CacheOps::metrics so ExecStats stays a pure registry
+  // derivation.
   struct Counters {
+    // Probe accounting: every counted probe resolves to exactly one of
+    // {set_hits, delta_refreshes, full_invalidations} in the same cache
+    // operation (refreshable handoffs count at their resolution), so the
+    // three always sum to `probes`.
+    int64_t probes = 0;             // present-set probe resolutions
+    int64_t set_hits = 0;           // probes served as-is (epochs matched)
+    int64_t delta_refreshes = 0;    // probes resolved by folding a delta
+    int64_t delta_rows_scanned = 0;  // base rows scanned by delta passes
+    int64_t full_invalidations = 0;  // probes that discarded the set
+
     int64_t epoch_invalidations = 0;  // sets dropped: table epoch advanced
     int64_t stale_discards = 0;       // sets dropped: group-count mismatch
     int64_t evictions = 0;            // sets dropped: byte-budget pressure
@@ -171,24 +209,63 @@ class StateCache {
   // thread touching the set).
   static int64_t SetBytes(const GroupSet& set);
 
-  // Returns the group set for `data_sig`, or null when nothing (valid)
-  // is cached. A set created under an older `epoch` is discarded on probe
-  // and counted in counters().epoch_invalidations. The returned reference
-  // keeps the set alive even if it is evicted or invalidated while the
-  // caller is still using it.
-  GroupSetPtr Find(const std::string& data_sig, uint64_t epoch = 0,
-                   const CacheOps& ops = {});
+  // Outcome of a set probe: at most one of the pointers is non-null.
+  struct FindResult {
+    // Exact-epoch hit: serve cached states directly.
+    GroupSetPtr set;
+    // Rewrite epoch matched but append epoch lagged and the caller passed
+    // can_refresh=true: the set is still mapped (and still serving
+    // exact-epoch probes from sessions that saw the older snapshot). The
+    // caller must resolve it — CommitRefresh on success, or a
+    // can_refresh=false re-probe to hard-invalidate on abandon — so the
+    // probe accounting identity closes.
+    GroupSetPtr refreshable;
+  };
+
+  // Probes the group set for `data_sig` against the live catalog `epochs`.
+  // Epochs are hash-mixed and therefore unordered: only equality of each
+  // component is meaningful. Resolution:
+  //   - both components equal → hit;
+  //   - rewrite differs → discard (epoch_invalidations + full_invalidations);
+  //   - rewrite equal, append differs → refreshable when can_refresh and the
+  //     set knows its coverage (covered_rows >= 0), else discard.
+  // There is deliberately no default for `epochs`/`can_refresh`: the old
+  // `epoch = 0` default let callers silently probe with "no epoch" and
+  // admit stale sets. The returned references keep the set alive even if
+  // it is evicted or invalidated while the caller is still using it.
+  FindResult Find(const std::string& data_sig, const CatalogEpochs& epochs,
+                  bool can_refresh, const CacheOps& ops = {});
 
   // Returns the group set for `data_sig`, creating it (with a copy of
   // `group_keys`) on first use. An existing set is discarded and recreated
-  // when its epoch is older (epoch invalidation) or its group count
-  // mismatches (stale-set heuristic); both paths are counted. Under a byte
-  // budget, other sets are evicted to make room; a set that cannot fit at
-  // all is returned uncached (see GroupSet::uncached) so the current query
-  // still runs to completion.
+  // when its epochs differ (epoch invalidation — GetOrCreate never
+  // refreshes; callers wanting refresh go through Find/CommitRefresh) or
+  // its group count mismatches (stale-set heuristic); both paths are
+  // counted. `covered_rows` is the base-table row count the states to be
+  // inserted will cover (-1 = unknown → never refreshable). No epoch
+  // default, same rationale as Find. Under a byte budget, other sets are
+  // evicted to make room; a set that cannot fit at all is returned
+  // uncached (see GroupSet::uncached) so the current query still runs to
+  // completion.
   GroupSetPtr GetOrCreate(const std::string& data_sig, const Table& group_keys,
-                          int32_t num_groups, uint64_t epoch = 0,
-                          const CacheOps& ops = {});
+                          int32_t num_groups, const CatalogEpochs& epochs,
+                          int64_t covered_rows, const CacheOps& ops = {});
+
+  // Atomically replaces `old_set` (previously returned as
+  // FindResult::refreshable) with a refreshed set carrying the new
+  // `epochs`/`covered_rows` and the given entries: journals the erase, the
+  // create and every entry insert in WAL order, stamps shadow CRCs,
+  // carries over hit statistics, and counts the resolution
+  // (delta_refreshes + delta_rows_scanned += `delta_rows`). Returns the
+  // refreshed set — uncached when it no longer fits the byte budget, null
+  // when `old_set` is no longer the mapped set for its signature
+  // (concurrent invalidation/refresh won the race; the caller falls back
+  // to the cold path).
+  GroupSetPtr CommitRefresh(
+      const GroupSetPtr& old_set, const Table& group_keys, int32_t num_groups,
+      const CatalogEpochs& epochs, int64_t covered_rows,
+      const std::vector<std::pair<std::string, Entry>>& entries,
+      int64_t delta_rows, const CacheOps& ops = {});
 
   // Outcome of an entry probe.
   enum class Probe {
@@ -304,6 +381,11 @@ class StateCache {
   // Internal cumulative registry backing counters(); per-query attribution
   // happens through CacheOps mirroring instead of rebinding.
   std::unique_ptr<MetricsRegistry> owned_metrics_;
+  Counter* probes_ = nullptr;
+  Counter* set_hits_ = nullptr;
+  Counter* delta_refreshes_ = nullptr;
+  Counter* delta_rows_scanned_ = nullptr;
+  Counter* full_invalidations_ = nullptr;
   Counter* epoch_invalidations_ = nullptr;
   Counter* stale_discards_ = nullptr;
   Counter* evictions_ = nullptr;

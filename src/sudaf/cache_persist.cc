@@ -15,10 +15,14 @@ namespace sudaf {
 
 namespace {
 
-constexpr char kSnapshotMagic[] = "SUDFCSH1";
-constexpr char kWalMagic[] = "SUDFWAL1";
+constexpr char kSnapshotMagic[] = "SUDFCSH2";
+constexpr char kWalMagic[] = "SUDFWAL2";
 constexpr size_t kMagicLen = 8;
-constexpr uint32_t kFormatVersion = 1;
+// v2: sets carry the (rewrite, append) epoch pair plus their covered-row
+// boundary instead of a single combined epoch, so recovered sets can be
+// incrementally refreshed. v1 files fail the header check and are dropped
+// whole (recovery treats them as one torn unit and re-compacts).
+constexpr uint32_t kFormatVersion = 2;
 constexpr size_t kHeaderLen = kMagicLen + 4;   // magic + version
 constexpr size_t kRecordHeaderLen = 8;         // len + crc
 constexpr uint32_t kMaxRecordLen = 1u << 30;
@@ -278,7 +282,9 @@ std::string EncodeSnapshotSet(const StateCache::GroupSet& set) {
   std::string p;
   PutU8(&p, kSnapshotSet);
   PutString(&p, set.data_sig);
-  PutU64(&p, set.epoch);
+  PutU64(&p, set.epochs.rewrite);
+  PutU64(&p, set.epochs.append);
+  PutI64(&p, set.covered_rows);
   PutI32(&p, set.num_groups);
   PutI64(&p, set.hits);
   PutTable(&p, set.group_keys.get());
@@ -384,13 +390,17 @@ void ScanCrcOnly(std::string_view records, StoreScanReport* report) {
 }
 
 // The epoch gate of recovery: a persisted set is only admitted when its
-// stored combined epoch matches what the live catalog reports for the same
-// tables — otherwise the data changed (or was never re-registered) since
-// the snapshot, and the set would serve stale answers.
+// stored combined *rewrite* epoch matches what the live catalog reports
+// for the same tables — otherwise rows were rewritten (or the tables were
+// never re-registered) since the snapshot, and the set would serve stale
+// answers. The append epoch is deliberately NOT compared here: a set that
+// only lags in appends is still correct up to its covered-row boundary,
+// and the next probe either folds the missing delta segments in
+// (delta refresh) or hard-invalidates it — never serves it stale.
 bool EpochIsLive(const Catalog& catalog, const std::string& data_sig,
-                 uint64_t stored_epoch) {
-  return catalog.TablesEpoch(TablesFromDataSignature(data_sig)) ==
-         stored_epoch;
+                 const CatalogEpochs& stored) {
+  return catalog.TablesEpochs(TablesFromDataSignature(data_sig)).rewrite ==
+         stored.rewrite;
 }
 
 using SetMap = std::map<std::string, StateCache::GroupSet>;
@@ -405,13 +415,14 @@ bool ApplySnapshotRecord(std::string_view payload, const Catalog& catalog,
   StateCache::GroupSet set;
   int64_t hits;
   uint32_t num_entries;
-  if (!r.ReadString(&set.data_sig) || !r.ReadU64(&set.epoch) ||
+  if (!r.ReadString(&set.data_sig) || !r.ReadU64(&set.epochs.rewrite) ||
+      !r.ReadU64(&set.epochs.append) || !r.ReadI64(&set.covered_rows) ||
       !r.ReadI32(&set.num_groups) || !r.ReadI64(&hits) ||
       !ReadTable(&r, &set.group_keys) || !r.ReadU32(&num_entries)) {
     return false;
   }
   set.hits = hits;
-  bool stale = !EpochIsLive(catalog, set.data_sig, set.epoch);
+  bool stale = !EpochIsLive(catalog, set.data_sig, set.epochs);
   for (uint32_t i = 0; i < num_entries; ++i) {
     std::string key;
     StateCache::Entry entry;
@@ -439,18 +450,19 @@ bool ApplyWalRecord(std::string_view payload, const Catalog& catalog,
   switch (type) {
     case kWalUpsertSet: {
       StateCache::GroupSet set;
-      if (!r.ReadString(&set.data_sig) || !r.ReadU64(&set.epoch) ||
+      if (!r.ReadString(&set.data_sig) || !r.ReadU64(&set.epochs.rewrite) ||
+          !r.ReadU64(&set.epochs.append) || !r.ReadI64(&set.covered_rows) ||
           !r.ReadI32(&set.num_groups) || !ReadTable(&r, &set.group_keys)) {
         return false;
       }
       ++stats->wal_records_replayed;
-      if (!EpochIsLive(catalog, set.data_sig, set.epoch)) {
+      if (!EpochIsLive(catalog, set.data_sig, set.epochs)) {
         ++stats->sets_dropped_epoch;
         sets->erase(set.data_sig);  // whatever preceded it is equally stale
         return true;
       }
       auto it = sets->find(set.data_sig);
-      if (it != sets->end() && it->second.epoch == set.epoch &&
+      if (it != sets->end() && it->second.epochs == set.epochs &&
           it->second.num_groups == set.num_groups) {
         // Snapshot/WAL overlap window (crash between snapshot publish and
         // WAL reset): the staged set already reflects this upsert.
@@ -750,7 +762,9 @@ void CachePersistence::OnCreateSet(const StateCache::GroupSet& set) {
   std::string p;
   PutU8(&p, kWalUpsertSet);
   PutString(&p, set.data_sig);
-  PutU64(&p, set.epoch);
+  PutU64(&p, set.epochs.rewrite);
+  PutU64(&p, set.epochs.append);
+  PutI64(&p, set.covered_rows);
   PutI32(&p, set.num_groups);
   PutTable(&p, set.group_keys.get());
   AppendRecord(p);

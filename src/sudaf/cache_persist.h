@@ -4,18 +4,20 @@
 // Durable StateCache: checksummed snapshot + append-only WAL
 // (docs/robustness.md, "Durability & memory budget").
 //
-// On-disk format (version 1, little-endian fixed layout):
+// On-disk format (version 2, little-endian fixed layout):
 //
 //   file   := magic[8] version:u32 record*
 //   record := len:u32 crc:u32 payload[len]     crc = CRC32C(len || payload)
 //   payload:= type:u8 body
 //
-// Snapshot files ("SUDFCSH1") hold one kSnapshotSet record per group set
-// (signature, epoch, group-keys table, all entries). WAL files
-// ("SUDFWAL1") hold the mutation stream: kWalUpsertSet / kWalInsertEntry /
-// kWalEraseSet, appended by the CacheJournal hooks as the in-memory cache
-// mutates. Channel doubles are stored as raw bit patterns, so recovered
-// states reproduce bit-identical query answers.
+// Snapshot files ("SUDFCSH2") hold one kSnapshotSet record per group set
+// (signature, rewrite/append epoch pair, covered-row boundary, group-keys
+// table, all entries). WAL files ("SUDFWAL2") hold the mutation stream:
+// kWalUpsertSet / kWalInsertEntry / kWalEraseSet, appended by the
+// CacheJournal hooks as the in-memory cache mutates. Channel doubles are
+// stored as raw bit patterns, so recovered states reproduce bit-identical
+// query answers. Version 1 files (single combined epoch) fail the header
+// check and are dropped whole; the store re-compacts from memory.
 //
 // Recovery (`CachePersistence::Open`, `LoadCacheSnapshot`) is never
 // fatal: it replays snapshot-then-WAL and drops damaged or stale records
@@ -25,9 +27,11 @@
 //   * a truncated tail (torn write: the record length points past EOF)
 //     ends the scan and is counted in records_dropped_torn — everything
 //     before it is kept, everything after it is unreachable by design;
-//   * a set whose stored combined epoch differs from the live catalog's
-//     (`Catalog::TablesEpoch` over the signature's tables) is dropped and
-//     counted in sets_dropped_epoch;
+//   * a set whose stored combined *rewrite* epoch differs from the live
+//     catalog's (`Catalog::TablesEpochs` over the signature's tables) is
+//     dropped and counted in sets_dropped_epoch — a set that only lags in
+//     *append* epoch is kept (with its covered-row boundary) so the next
+//     probe can refresh it incrementally;
 //   * entries that are poisoned on load (NaN/±Inf channels) are
 //     quarantined — dropped and counted in entries_quarantined;
 //   * WAL records referencing a set that was dropped or never created are

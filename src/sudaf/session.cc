@@ -5,7 +5,9 @@
 #include <map>
 #include <set>
 #include <sstream>
+#include <unordered_map>
 
+#include "agg/builtin_kernels.h"
 #include "agg/interpreted_udaf.h"
 #include "common/failpoint.h"
 #include "common/query_guard.h"
@@ -59,6 +61,9 @@ ExecStats DeriveExecStats(const MetricsSnapshot& d) {
       static_cast<int>(d.counter("sudaf.cache.poison_evictions"));
   s.cache_epoch_invalidations = d.counter("sudaf.cache.epoch_invalidations");
   s.cache_stale_discards = d.counter("sudaf.cache.stale_discards");
+  s.cache_delta_refreshes = d.counter("sudaf.cache.delta_refreshes");
+  s.cache_delta_rows_scanned = d.counter("sudaf.cache.delta_rows_scanned");
+  s.cache_full_invalidations = d.counter("sudaf.cache.full_invalidations");
   s.cache_evictions = d.counter("sudaf.cache.evictions");
   s.cache_bytes_evicted = d.counter("sudaf.cache.bytes_evicted");
   s.cache_budget_rejects =
@@ -125,6 +130,12 @@ std::string QueryResult::ProfileJson() const {
   out += ", \"epoch_invalidations\": " +
          std::to_string(stats.cache_epoch_invalidations);
   out += ", \"stale_discards\": " + std::to_string(stats.cache_stale_discards);
+  out += ", \"delta_refreshes\": " +
+         std::to_string(stats.cache_delta_refreshes);
+  out += ", \"delta_rows_scanned\": " +
+         std::to_string(stats.cache_delta_rows_scanned);
+  out += ", \"full_invalidations\": " +
+         std::to_string(stats.cache_full_invalidations);
   out += ", \"evictions\": " + std::to_string(stats.cache_evictions);
   out += ", \"bytes_evicted\": " + std::to_string(stats.cache_bytes_evicted);
   out += ", \"budget_rejects\": " +
@@ -400,7 +411,269 @@ struct StateExec {
   bool from_cache = false;
 };
 
+// Consistent (epochs, segment log) view of a statement's tables. The two
+// catalog reads are separate lock acquisitions, so the epochs are re-read
+// until they bracket the segment read unchanged; queries clamp their scan
+// to `rows` and stamp `epochs`, which keeps every cached state consistent
+// with its stamp even when appends land mid-query.
+struct TableSnapshot {
+  CatalogEpochs epochs;
+  std::vector<int64_t> segments;  // single-table statements only
+  int64_t rows = -1;              // segment-log boundary; -1 = no segments
+};
+
+TableSnapshot SnapshotTables(const Catalog& catalog,
+                             const std::vector<std::string>& tables) {
+  TableSnapshot snap;
+  snap.epochs = catalog.TablesEpochs(tables);
+  if (tables.size() != 1) return snap;
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    snap.segments = catalog.TableSegments(tables[0]);
+    CatalogEpochs after = catalog.TablesEpochs(tables);
+    if (after == snap.epochs) break;
+    // An append raced the snapshot; adopt the newer epochs and re-read.
+    snap.epochs = after;
+  }
+  if (!snap.segments.empty()) snap.rows = snap.segments.back();
+  return snap;
+}
+
+// Injective byte encoding of one group-key row — the value identity used
+// to match delta groups onto cached groups (floats by bit pattern, strings
+// length-prefixed).
+std::string EncodeKeyRow(const Table& keys, int64_t row) {
+  std::string out;
+  for (int c = 0; c < keys.num_columns(); ++c) {
+    const Column& col = keys.column(c);
+    switch (col.type()) {
+      case DataType::kInt64: {
+        int64_t v = col.GetInt64(row);
+        out.append(reinterpret_cast<const char*>(&v), sizeof(v));
+        break;
+      }
+      case DataType::kFloat64: {
+        double v = col.GetFloat64(row);
+        out.append(reinterpret_cast<const char*>(&v), sizeof(v));
+        break;
+      }
+      case DataType::kString: {
+        const std::string& s = col.GetString(row);
+        uint64_t n = s.size();
+        out.append(reinterpret_cast<const char*>(&n), sizeof(n));
+        out += s;
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+void AppendTableRow(const Table& src, int64_t row, Table* dst) {
+  std::vector<Value> values;
+  values.reserve(src.num_columns());
+  for (int c = 0; c < src.num_columns(); ++c) {
+    values.push_back(src.column(c).GetValue(row));
+  }
+  dst->AppendRow(values);
+}
+
+// `channel` extended to `n` groups: cached values keep their slots, groups
+// first occurring in the delta start from the ⊕-identity (exactly the
+// initial accumulator a cold pass gives a group none of whose rows have
+// been folded yet).
+std::vector<double> ExtendChannel(const std::vector<double>& channel,
+                                  int32_t n, double identity) {
+  std::vector<double> out(static_cast<size_t>(n), identity);
+  std::copy(channel.begin(), channel.end(), out.begin());
+  return out;
+}
+
 }  // namespace
+
+StateCache::GroupSetPtr SudafSession::RefreshGroupSet(
+    const SelectStatement& stmt, const StateCache::GroupSetPtr& stale,
+    const CatalogEpochs& epochs, const std::vector<int64_t>& segments,
+    const std::vector<RefreshTarget>& targets, const ExecOptions& exec) {
+  MetricsRegistry& qm = *exec.metrics;
+  QueryTrace* trace = exec.trace;
+  const CacheOps cops{exec.metrics, trace};
+  const int64_t snap = segments.empty() ? -1 : segments.back();
+  const int64_t covered = stale->covered_rows;
+  // Epochs are hash-mixed and therefore unordered — they can only be
+  // compared for equality, never for direction. What proves the cached
+  // accumulators are a *prefix* of the live table (rather than from a
+  // divergent history whose append epoch merely collided) is the coverage
+  // being a live segment-log boundary.
+  if (snap < 0 || covered < 0 || covered > snap ||
+      (covered != 0 &&
+       !std::binary_search(segments.begin(), segments.end(), covered))) {
+    return nullptr;
+  }
+
+  // Copy out every target entry still cached (channel sizes must match the
+  // set's group count — a malformed set is not worth trusting). With
+  // nothing to carry forward, a cold recompute is strictly better.
+  struct Carried {
+    const RefreshTarget* target = nullptr;
+    StateCache::Entry old_entry;
+  };
+  std::vector<Carried> carried;
+  std::set<std::string> seen;
+  for (const RefreshTarget& t : targets) {
+    if (t.cls == nullptr || !seen.insert(t.key).second) continue;
+    StateCache::Entry copied;
+    if (cache_.ProbeEntry(stale.get(), t.key, &copied, cops) !=
+        StateCache::Probe::kHit) {
+      continue;
+    }
+    if (static_cast<int32_t>(copied.main.size()) != stale->num_groups ||
+        (!copied.sign.empty() &&
+         static_cast<int32_t>(copied.sign.size()) != stale->num_groups)) {
+      return nullptr;
+    }
+    carried.push_back({&t, std::move(copied)});
+  }
+  if (carried.empty()) return nullptr;
+
+  TraceSpan refresh_span(trace, "refresh", exec.trace_span,
+                         qm.dcounter("sudaf.phase.refresh_ms"));
+
+  // Delta input: filter/gather/group only the appended rows, under the
+  // snapshot's segment boundaries, so the fused pass's chunk tree is
+  // exactly the suffix of the cold full pass's tree.
+  ScanSpec scan;
+  scan.begin = covered;
+  scan.end = snap;
+  scan.segment_ends = segments;
+  ExecOptions dopts = exec;
+  dopts.scan = &scan;
+  dopts.trace_span = refresh_span.id();
+  std::vector<std::string> extra_columns;
+  for (const Carried& c : carried) {
+    ExprPtr main = c.target->cls->MainInputExpr();
+    if (main != nullptr) main->CollectColumns(&extra_columns);
+    if (c.target->cls->log_domain) {
+      c.target->cls->SignInputExpr()->CollectColumns(&extra_columns);
+    }
+  }
+  Result<PreparedInput> delta_or =
+      executor_.Prepare(stmt, extra_columns, dopts);
+  if (!delta_or.ok()) return nullptr;
+  PreparedInput delta = std::move(*delta_or);
+  refresh_span.Event("delta_rows", delta.num_input_rows);
+
+  // Map delta-local group ids onto the cached group order, extending with
+  // groups first occurring in the delta. BuildGroups assigns global ids in
+  // first-occurrence row order and the selection vector is ascending, so
+  // cached groups keep their ids and new groups land after them in exactly
+  // the order a cold full scan over [0, snap) would have assigned.
+  const Table& old_keys = *stale->group_keys;
+  int32_t new_n = stale->num_groups;
+  std::vector<int32_t> remap(
+      static_cast<size_t>(std::max<int32_t>(delta.num_groups, 0)), 0);
+  std::vector<int64_t> appended_key_rows;
+  if (stmt.group_by.empty()) {
+    if (new_n < 1) new_n = 1;  // the single implicit group
+  } else {
+    if (delta.group_keys == nullptr ||
+        old_keys.num_columns() != delta.group_keys->num_columns()) {
+      return nullptr;
+    }
+    std::unordered_map<std::string, int32_t> by_key;
+    by_key.reserve(static_cast<size_t>(old_keys.num_rows()) * 2);
+    for (int64_t r = 0; r < old_keys.num_rows(); ++r) {
+      by_key.emplace(EncodeKeyRow(old_keys, r), static_cast<int32_t>(r));
+    }
+    for (int32_t g = 0; g < delta.num_groups; ++g) {
+      auto it = by_key.find(EncodeKeyRow(*delta.group_keys, g));
+      if (it != by_key.end()) {
+        remap[g] = it->second;
+      } else {
+        remap[g] = new_n++;
+        appended_key_rows.push_back(g);
+      }
+    }
+  }
+  auto ext_keys = std::make_unique<Table>(old_keys.schema());
+  ext_keys->Reserve(old_keys.num_rows() +
+                    static_cast<int64_t>(appended_key_rows.size()));
+  for (int64_t r = 0; r < old_keys.num_rows(); ++r) {
+    AppendTableRow(old_keys, r, ext_keys.get());
+  }
+  for (int64_t g : appended_key_rows) {
+    AppendTableRow(*delta.group_keys, g, ext_keys.get());
+  }
+  ext_keys->FinishBulkAppend();
+
+  std::vector<int32_t> group_ids(delta.group_ids.size());
+  for (size_t i = 0; i < delta.group_ids.size(); ++i) {
+    group_ids[i] = remap[delta.group_ids[i]];
+  }
+
+  // One fused pass over the delta, folding onto the cached accumulators.
+  std::vector<ExprPtr> keepalive;
+  std::vector<StateBatchRequest> requests;
+  std::vector<std::vector<double>> inits;
+  struct ChannelIdx {
+    int main = -1;
+    int sign = -1;
+  };
+  std::vector<ChannelIdx> idx(carried.size());
+  for (size_t i = 0; i < carried.size(); ++i) {
+    const StateClass& cls = *carried[i].target->cls;
+    ExprPtr main = cls.MainInputExpr();
+    const AggOp main_op = main == nullptr ? AggOp::kCount : cls.MainOp();
+    idx[i].main = static_cast<int>(requests.size());
+    if (main == nullptr) {
+      requests.push_back({AggOp::kCount, nullptr});
+    } else {
+      requests.push_back({main_op, main.get()});
+      keepalive.push_back(std::move(main));
+    }
+    inits.push_back(
+        ExtendChannel(carried[i].old_entry.main, new_n, AggIdentity(main_op)));
+    if (cls.log_domain) {
+      ExprPtr sign = cls.SignInputExpr();
+      idx[i].sign = static_cast<int>(requests.size());
+      requests.push_back({AggOp::kProd, sign.get()});
+      keepalive.push_back(std::move(sign));
+      inits.push_back(ExtendChannel(carried[i].old_entry.sign, new_n,
+                                    AggIdentity(AggOp::kProd)));
+    }
+  }
+  StateBatchIncremental inc;
+  inc.segment_ends = delta.segment_ends;
+  inc.init.reserve(inits.size());
+  for (const std::vector<double>& v : inits) inc.init.push_back(&v);
+
+  const Table* frame = delta.frame.get();
+  ColumnResolver resolver =
+      [frame](const std::string& name) -> Result<const Column*> {
+    return frame->GetColumn(name);
+  };
+  ExecOptions bopts = exec;
+  bopts.trace_span = refresh_span.id();
+  StateBatchStats bstats;
+  Result<std::vector<std::vector<double>>> channels_or = ComputeStateBatch(
+      requests, resolver, group_ids, new_n, bopts, &bstats, &inc);
+  if (!channels_or.ok()) return nullptr;
+  std::vector<std::vector<double>>& channels = *channels_or;
+
+  std::vector<std::pair<std::string, StateCache::Entry>> entries;
+  entries.reserve(carried.size());
+  for (size_t i = 0; i < carried.size(); ++i) {
+    StateCache::Entry e;
+    e.main = std::move(channels[idx[i].main]);
+    if (idx[i].sign >= 0) e.sign = std::move(channels[idx[i].sign]);
+    entries.emplace_back(carried[i].target->key, std::move(e));
+  }
+
+  // Commit: erase(old) → create(new) → inserts, journaled in WAL order;
+  // counts the delta refresh and the delta rows scanned. Null on a lost
+  // race — the caller falls back to the cold path.
+  return cache_.CommitRefresh(stale, *ext_keys, new_n, epochs, snap, entries,
+                              snap - covered, cops);
+}
 
 Result<std::unique_ptr<Table>> SudafSession::ExecuteSudaf(
     const SelectStatement& stmt, bool share, const ExecOptions& exec) {
@@ -440,14 +713,38 @@ Result<std::unique_ptr<Table>> SudafSession::ExecuteSudaf(
     ex.share_fn = *fn;
   }
 
-  // The combined catalog epoch of the query's tables versions every probe
-  // and insert: a set cached under an older epoch is discarded rather than
-  // served (docs/robustness.md).
-  uint64_t epoch = share ? catalog_->TablesEpoch(stmt.tables) : 0;
+  // The combined catalog epochs of the query's tables version every probe
+  // and insert: a set cached under a different *rewrite* epoch is discarded
+  // rather than served, while one lagging only in *append* epoch is
+  // refreshed in place — a fused pass over just the appended segments is
+  // folded onto the cached accumulators (docs/robustness.md;
+  // docs/execution.md, "Incremental maintenance").
+  TableSnapshot snap;
+  if (share) snap = SnapshotTables(*catalog_, stmt.tables);
   StateCache::GroupSetPtr group_set;
   if (share) {
     SUDAF_FAILPOINT("cache:probe");
-    group_set = cache_.Find(rewritten.data_signature, epoch, cops);
+    const bool can_refresh = exec.use_fused && snap.rows >= 0;
+    StateCache::FindResult found =
+        cache_.Find(rewritten.data_signature, snap.epochs, can_refresh, cops);
+    group_set = found.set;
+    if (found.refreshable != nullptr) {
+      std::vector<RefreshTarget> targets;
+      targets.reserve(execs.size());
+      for (const StateExec& ex : execs) {
+        targets.push_back(RefreshTarget{ex.cls.key, &ex.cls});
+      }
+      group_set = RefreshGroupSet(stmt, found.refreshable, snap.epochs,
+                                  snap.segments, targets, exec);
+      if (group_set == nullptr) {
+        // Refresh abandoned (or lost a race): resolve the probe the hard
+        // way — a non-refreshing re-probe invalidates the lagging set (or
+        // returns a concurrent winner) and counts the resolution.
+        group_set =
+            cache_.Find(rewritten.data_signature, snap.epochs, false, cops)
+                .set;
+      }
+    }
   }
   bool any_miss = false;
   for (size_t i = 0; i < states.size(); ++i) {
@@ -495,9 +792,18 @@ Result<std::unique_ptr<Table>> SudafSession::ExecuteSudaf(
       }
     }
     // Nest the executor's filter/gather/group spans under the input span
-    // and hand the pipeline stages the parallelism knobs.
+    // and hand the pipeline stages the parallelism knobs. Single-table
+    // share scans are clamped to the epoch snapshot's boundary so the
+    // states this query caches match the epochs they are stamped with even
+    // when an append lands mid-query.
     ExecOptions input_opts = exec;
     input_opts.trace_span = input_span.id();
+    ScanSpec snap_scan;
+    if (share && snap.rows >= 0) {
+      snap_scan.end = snap.rows;
+      snap_scan.segment_ends = snap.segments;
+      input_opts.scan = &snap_scan;
+    }
     SUDAF_ASSIGN_OR_RETURN(input,
                            executor_.Prepare(stmt, extra_columns, input_opts));
     qm.counter("sudaf.input.scans")->Add();
@@ -512,8 +818,8 @@ Result<std::unique_ptr<Table>> SudafSession::ExecuteSudaf(
 
     if (share) {
       group_set = cache_.GetOrCreate(rewritten.data_signature,
-                                     *input.group_keys, num_groups, epoch,
-                                     cops);
+                                     *input.group_keys, num_groups,
+                                     snap.epochs, snap.rows, cops);
       // A recreated (stale) set lost its entries; demote affected states.
       for (StateExec& ex : execs) {
         if (ex.from_cache &&
@@ -607,10 +913,15 @@ Result<std::unique_ptr<Table>> SudafSession::ExecuteSudaf(
       ExecOptions batch_opts = exec;
       batch_opts.trace_span = states_span.id();
       StateBatchStats bstats;
+      // Carry the input's segment layout into the pass: the accumulation
+      // tree must be a pure function of the segment log so a later delta
+      // refresh reproduces this cold result bit for bit.
+      StateBatchIncremental cold_inc;
+      cold_inc.segment_ends = input.segment_ends;
       SUDAF_ASSIGN_OR_RETURN(
           std::vector<std::vector<double>> batch,
           ComputeStateBatch(requests, resolver, input.group_ids, num_groups,
-                            batch_opts, &bstats));
+                            batch_opts, &bstats, &cold_inc));
       std::vector<StateCache::Entry> built(pending.size());
       for (size_t p = 0; p < pending.size(); ++p) {
         built[p].main = std::move(batch[pending[p].main_idx]);
@@ -962,19 +1273,41 @@ void SudafSession::ExecuteSharedGroup(
   bstats->states_deduped += plan.states_deduped();
 
   Status group_status;  // a failure here is fatal to every alive member
-  uint64_t epoch = 0;
+  TableSnapshot snap;
   StateCache::GroupSetPtr group_set;
   std::vector<bool> rep_from_cache(reps.size(), false);
   if (share && lead != nullptr) {
     const CacheOps lead_cops{lead->qm.get(), lead->trace.get()};
-    epoch = catalog_->TablesEpoch(lead->stmt->tables);
+    snap = SnapshotTables(*catalog_, lead->stmt->tables);
     group_status = [&]() -> Status {
       SUDAF_FAILPOINT("cache:probe");
       return Status::OK();
     }();
     if (group_status.ok()) {
-      group_set = cache_.Find(lead->rewritten.data_signature, epoch,
-                              lead_cops);
+      const bool can_refresh = exec.use_fused && snap.rows >= 0;
+      StateCache::FindResult found =
+          cache_.Find(lead->rewritten.data_signature, snap.epochs,
+                      can_refresh, lead_cops);
+      group_set = found.set;
+      if (found.refreshable != nullptr) {
+        // One refresh for the whole group (attributed to the leader),
+        // carrying forward every distinct representative it requests.
+        std::vector<RefreshTarget> targets;
+        targets.reserve(reps.size());
+        for (const SharedStatePlan::Rep& rep : reps) {
+          if (!rep.direct) {
+            targets.push_back(RefreshTarget{rep.key, &rep.cls});
+          }
+        }
+        group_set = RefreshGroupSet(*lead->stmt, found.refreshable,
+                                    snap.epochs, snap.segments, targets,
+                                    lead->run);
+        if (group_set == nullptr) {
+          group_set = cache_.Find(lead->rewritten.data_signature, snap.epochs,
+                                  false, lead_cops)
+                          .set;
+        }
+      }
       if (group_set != nullptr) {
         for (size_t r = 0; r < reps.size(); ++r) {
           rep_from_cache[r] =
@@ -1039,6 +1372,15 @@ void SudafSession::ExecuteSharedGroup(
       // frame under its own guard right below, and a tripped member drops
       // out while the group continues.
       input_opts.guard = nullptr;
+      // Clamp the group's shared scan to the epoch snapshot so the cached
+      // states match the epochs they are stamped with even if an append
+      // lands mid-query.
+      ScanSpec snap_scan;
+      if (share && snap.rows >= 0) {
+        snap_scan.end = snap.rows;
+        snap_scan.segment_ends = snap.segments;
+        input_opts.scan = &snap_scan;
+      }
       group_status = [&]() -> Status {
         SUDAF_ASSIGN_OR_RETURN(
             input, executor_.Prepare(*lead->stmt, extra_columns, input_opts));
@@ -1061,7 +1403,7 @@ void SudafSession::ExecuteSharedGroup(
           const CacheOps lead_cops{lead->qm.get(), lead->trace.get()};
           group_set = cache_.GetOrCreate(lead->rewritten.data_signature,
                                          *input.group_keys, num_groups,
-                                         epoch, lead_cops);
+                                         snap.epochs, snap.rows, lead_cops);
           // A recreated (stale) set lost its entries; demote affected reps.
           for (size_t r = 0; r < reps.size(); ++r) {
             if (rep_from_cache[r] &&
@@ -1132,9 +1474,13 @@ void SudafSession::ExecuteSharedGroup(
       // boundaries, not inside the shared pass.
       batch_opts.guard = nullptr;
       StateBatchStats bs;
+      // Segment-aware like the solo path: the group's cold pass must be
+      // reproducible by a later per-segment delta refresh.
+      StateBatchIncremental cold_inc;
+      cold_inc.segment_ends = input.segment_ends;
       SUDAF_ASSIGN_OR_RETURN(
           channels, ComputeStateBatch(rq.requests, resolver, input.group_ids,
-                                      num_groups, batch_opts, &bs));
+                                      num_groups, batch_opts, &bs, &cold_inc));
     } else {
       // Legacy path: one kernel sweep per channel — still one scan and one
       // evaluation per representative for the whole group.

@@ -111,6 +111,17 @@ struct ExecStats {
   int64_t cache_epoch_invalidations = 0;  // sets dropped: table epoch moved
   int64_t cache_stale_discards = 0;       // sets dropped: group-count mismatch
 
+  // Incremental maintenance (docs/execution.md, "Incremental
+  // maintenance"): a probe whose set lags only in *append* epoch is
+  // refreshed by folding a fused pass over the appended segments into the
+  // cached accumulators instead of being discarded. delta_rows_scanned is
+  // the base-table rows that delta pass read (≪ a full rescan);
+  // full_invalidations are probes that still discarded the set (rewrite,
+  // or refresh not possible).
+  int64_t cache_delta_refreshes = 0;
+  int64_t cache_delta_rows_scanned = 0;
+  int64_t cache_full_invalidations = 0;
+
   // Byte-budget pressure (CachePolicy::max_bytes, docs/robustness.md).
   // Evictions are whole group sets dropped to make room before an insert;
   // budget_rejects are entries that could not fit even after eviction and
@@ -387,6 +398,30 @@ class SudafSession {
   Result<std::unique_ptr<Table>> ExecuteSudaf(const SelectStatement& stmt,
                                               bool share,
                                               const ExecOptions& exec);
+
+  // One cached entry a delta refresh should carry forward: its cache key
+  // and the class describing how to compute its channels.
+  struct RefreshTarget {
+    std::string key;
+    const StateClass* cls = nullptr;  // borrowed from the caller's execs
+  };
+
+  // Attempts a segment-delta refresh of `stale` (a FindResult::refreshable
+  // set): runs the fused pass over only the appended segments of the
+  // single base table of `stmt`, folds the results onto the cached
+  // accumulators of every target present in `stale`, extends the group
+  // keys with first-occurring-in-delta groups (bit-identical to the cold
+  // full-scan group order), and commits through StateCache::CommitRefresh.
+  // Returns the refreshed set, or null when the refresh was abandoned
+  // (coverage not a live segment boundary, nothing cached to refresh,
+  // delta pass failed, or a concurrent writer won) — the caller then
+  // re-probes with can_refresh=false to hard-invalidate and falls through
+  // to the cold path. Never throws errors at the query: a genuine failure
+  // (guard trip, bad plan) re-surfaces on the cold path.
+  StateCache::GroupSetPtr RefreshGroupSet(
+      const SelectStatement& stmt, const StateCache::GroupSetPtr& stale,
+      const CatalogEpochs& epochs, const std::vector<int64_t>& segments,
+      const std::vector<RefreshTarget>& targets, const ExecOptions& exec);
 
   // Runs one signature group of ExecuteBatch (>= 2 members, same data
   // signature) as a single shared pass: one cache probe per distinct

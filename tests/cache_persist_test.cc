@@ -133,7 +133,8 @@ class PersistTest : public ::testing::Test {
   StateCache::GroupSetPtr Plant(StateCache* cache, const std::string& sig) {
     auto keys = testing_util::MakeXyTable({0, 1}, {0, 0}, {0, 0});
     StateCache::GroupSetPtr set =
-        cache->GetOrCreate(sig, *keys, 2, catalog_.TablesEpoch({"t"}));
+        cache->GetOrCreate(sig, *keys, 2, catalog_.TablesEpochs({"t"}),
+                            /*covered_rows=*/2);
     StateCache::Entry tricky{{-0.0, 4.9e-324}, {}};       // signed zero,
     StateCache::Entry log{{0.1 + 0.2, 1e-308}, {1, -1}};  // denormal, 0.3…
     cache->InsertEntry(set.get(), "sum_pow|x|1", tricky);
@@ -165,7 +166,7 @@ TEST_F(PersistTest, SnapshotRoundTripIsBitIdentical) {
   EXPECT_EQ(stats.total_dropped(), 0);
 
   StateCache::GroupSetPtr set =
-      back.Find("T:t,;W:;G:g,", catalog_.TablesEpoch({"t"}));
+      back.Find("T:t,;W:;G:g,", catalog_.TablesEpochs({"t"}), false).set;
   ASSERT_NE(set, nullptr);
   EXPECT_EQ(set->num_groups, 2);
   ASSERT_EQ(set->entries.size(), 2u);
@@ -255,7 +256,7 @@ TEST_F(PersistTest, TruncatedTailEndsTheScanKeepingThePrefix) {
   ASSERT_OK(LoadCacheSnapshot(path, catalog_, &back, &stats));
   EXPECT_EQ(stats.records_dropped_torn, 1);
   EXPECT_EQ(stats.sets_recovered, 1);
-  ASSERT_NE(back.Find("T:t,;W:;G:a,", catalog_.TablesEpoch({"t"})), nullptr);
+  ASSERT_NE(back.Find("T:t,;W:;G:a,", catalog_.TablesEpochs({"t"}), false).set, nullptr);
 }
 
 TEST_F(PersistTest, StaleEpochSetsAreDroppedOnLoad) {
@@ -289,7 +290,7 @@ TEST_F(PersistTest, PoisonedEntriesAreQuarantinedOnLoad) {
   EXPECT_EQ(stats.entries_quarantined, 1);
   EXPECT_EQ(stats.entries_recovered, 2);  // the healthy ones survive
   StateCache::GroupSetPtr rec =
-      back.Find("T:t,;W:;G:g,", catalog_.TablesEpoch({"t"}));
+      back.Find("T:t,;W:;G:g,", catalog_.TablesEpochs({"t"}), false).set;
   ASSERT_NE(rec, nullptr);
   EXPECT_EQ(rec->entries.count("count|x"), 0u);
 }
@@ -299,7 +300,7 @@ TEST_F(PersistTest, PoisonedEntriesAreQuarantinedOnLoad) {
 // ---------------------------------------------------------------------------
 
 TEST_F(PersistTest, WalReplayRebuildsJournaledMutations) {
-  uint64_t epoch = catalog_.TablesEpoch({"t"});
+  CatalogEpochs epochs = catalog_.TablesEpochs({"t"});
   {
     StateCache cache;
     ASSERT_OK_AND_ASSIGN(auto persist,
@@ -317,7 +318,7 @@ TEST_F(PersistTest, WalReplayRebuildsJournaledMutations) {
   EXPECT_EQ(persist->recovery_stats().entries_recovered, 2);
   EXPECT_GT(persist->recovery_stats().wal_records_replayed, 0);
   EXPECT_EQ(persist->recovery_stats().total_dropped(), 0);
-  StateCache::GroupSetPtr set = cache2.Find("T:t,;W:;G:g,", epoch);
+  StateCache::GroupSetPtr set = cache2.Find("T:t,;W:;G:g,", epochs, false).set;
   ASSERT_NE(set, nullptr);
   EXPECT_EQ(set->entries.size(), 2u);
 }
@@ -554,7 +555,8 @@ class CrashRecoveryTest : public ::testing::Test {
   // of poison.
   void ExpectConsistent(const StateCache& cache) {
     for (const auto& [sig, set] : cache.sets()) {
-      EXPECT_EQ(set->epoch, catalog_.TablesEpoch(TablesFromDataSignature(sig)))
+      EXPECT_EQ(set->epochs.rewrite,
+                catalog_.TablesEpochs(TablesFromDataSignature(sig)).rewrite)
           << sig;
       for (const auto& [key, entry] : set->entries) {
         EXPECT_FALSE(EntryIsPoisoned(entry)) << sig << " / " << key;
@@ -749,7 +751,7 @@ TEST(CacheBudgetStressTest, ApproxBytesNeverExceedsBudgetAfterAnyInsert) {
   int64_t accepted = 0, rejected = 0;
   for (int i = 0; i < 2000; ++i) {
     std::string sig = "T:t,;W:q" + std::to_string(sig_dist(rng)) + ",;G:g,";
-    StateCache::GroupSetPtr set = cache.GetOrCreate(sig, *keys, 4);
+    StateCache::GroupSetPtr set = cache.GetOrCreate(sig, *keys, 4, CatalogEpochs{}, /*covered_rows=*/-1);
     ASSERT_NE(set, nullptr);
     ASSERT_LE(cache.ApproxBytes(), policy.max_bytes) << "after GetOrCreate";
     StateCache::Entry entry{std::vector<double>(len_dist(rng), 1.0), {}};

@@ -16,6 +16,21 @@ std::string SignatureOf(const std::string& sql) {
   return DataSignature(**stmt);
 }
 
+// The cache API takes explicit epoch pairs everywhere (the old `epoch = 0`
+// defaults let call sites silently probe with "no epoch"); these helpers
+// keep the epoch-agnostic tests below terse.
+StateCache::GroupSetPtr FindSet(StateCache& cache, const std::string& sig,
+                                CatalogEpochs epochs = {}) {
+  return cache.Find(sig, epochs, /*can_refresh=*/false).set;
+}
+
+StateCache::GroupSetPtr Create(StateCache& cache, const std::string& sig,
+                               const Table& keys, int32_t num_groups,
+                               CatalogEpochs epochs = {}) {
+  return cache.GetOrCreate(sig, keys, num_groups, epochs,
+                           /*covered_rows=*/-1);
+}
+
 TEST(DataSignatureTest, IndependentOfSelectList) {
   EXPECT_EQ(SignatureOf("SELECT qm(x) FROM t WHERE a = 1 GROUP BY g"),
             SignatureOf("SELECT stddev(x) FROM t WHERE a = 1 GROUP BY g"));
@@ -41,18 +56,18 @@ TEST(DataSignatureTest, DistinguishesGrouping) {
 
 TEST(StateCacheTest, FindMissesThenHits) {
   StateCache cache;
-  EXPECT_EQ(cache.Find("sig"), nullptr);
+  EXPECT_EQ(FindSet(cache, "sig"), nullptr);
   auto keys = testing_util::MakeXyTable({1, 2}, {0, 0}, {0, 0});
-  StateCache::GroupSetPtr set = cache.GetOrCreate("sig", *keys, 2);
+  StateCache::GroupSetPtr set = Create(cache, "sig", *keys, 2);
   ASSERT_NE(set, nullptr);
-  EXPECT_EQ(cache.Find("sig"), set);
+  EXPECT_EQ(FindSet(cache, "sig"), set);
   EXPECT_EQ(cache.num_group_sets(), 1);
 }
 
 TEST(StateCacheTest, EntriesAndBytes) {
   StateCache cache;
   auto keys = testing_util::MakeXyTable({1}, {0}, {0});
-  StateCache::GroupSetPtr set = cache.GetOrCreate("sig", *keys, 1);
+  StateCache::GroupSetPtr set = Create(cache, "sig", *keys, 1);
   set->entries["sum_pow|x|1"] = StateCache::Entry{{1.0}, {}};
   set->entries["logclass|x"] = StateCache::Entry{{0.5}, {1.0}};
   EXPECT_EQ(cache.num_entries(), 2);
@@ -64,39 +79,146 @@ TEST(StateCacheTest, EntriesAndBytes) {
 TEST(StateCacheTest, StaleGroupCountRecreates) {
   StateCache cache;
   auto keys2 = testing_util::MakeXyTable({1, 2}, {0, 0}, {0, 0});
-  StateCache::GroupSetPtr set = cache.GetOrCreate("sig", *keys2, 2);
+  StateCache::GroupSetPtr set = Create(cache, "sig", *keys2, 2);
   set->entries["count"] = StateCache::Entry{{2.0, 3.0}, {}};
   auto keys3 = testing_util::MakeXyTable({1, 2, 3}, {0, 0, 0}, {0, 0, 0});
-  StateCache::GroupSetPtr fresh = cache.GetOrCreate("sig", *keys3, 3);
+  StateCache::GroupSetPtr fresh = Create(cache, "sig", *keys3, 3);
   EXPECT_TRUE(fresh->entries.empty());
   EXPECT_EQ(fresh->num_groups, 3);
   // The discard is no longer silent: it is counted, and the old set is
   // really gone (a re-probe with the original count recreates again).
   EXPECT_EQ(cache.counters().stale_discards, 1);
-  StateCache::GroupSetPtr back = cache.GetOrCreate("sig", *keys2, 2);
+  StateCache::GroupSetPtr back = Create(cache, "sig", *keys2, 2);
   EXPECT_TRUE(back->entries.empty());
   EXPECT_EQ(cache.counters().stale_discards, 2);
   EXPECT_EQ(cache.counters().epoch_invalidations, 0);
 }
 
+// Regression for the `epoch = 0` default-argument bug: a probe whose
+// epochs disagree with the cached stamp must ALWAYS discard the set, in
+// every combination of rewrite/append drift and can_refresh. The old
+// defaulted API let call sites probe with "no epoch" and be served stale
+// state silently.
+TEST(StateCacheTest, StaleEpochProbeAlwaysDiscards) {
+  auto keys = testing_util::MakeXyTable({1, 2}, {0, 0}, {0, 0});
+  struct Case {
+    CatalogEpochs stored, probed;
+    bool can_refresh;
+    bool refreshable;  // expected handoff instead of a discard
+  };
+  const Case cases[] = {
+      // Rewrite drift: hard invalidation regardless of can_refresh.
+      {{1, 10}, {2, 10}, false, false},
+      {{1, 10}, {2, 10}, true, false},
+      {{1, 10}, {2, 11}, true, false},
+      // Append-only drift: discarded without can_refresh, handed off with.
+      {{1, 10}, {1, 11}, false, false},
+      {{1, 10}, {1, 11}, true, true},
+  };
+  for (const Case& c : cases) {
+    StateCache cache;
+    StateCache::GroupSetPtr set =
+        cache.GetOrCreate("sig", *keys, 2, c.stored, /*covered_rows=*/2);
+    set->entries["count"] = StateCache::Entry{{2.0, 3.0}, {}};
+    ASSERT_EQ(cache.Find("sig", c.stored, false).set, set);
+
+    StateCache::FindResult r = cache.Find("sig", c.probed, c.can_refresh);
+    EXPECT_EQ(r.set, nullptr);  // a mismatched set is NEVER served as-is
+    if (c.refreshable) {
+      EXPECT_EQ(r.refreshable, set);
+      EXPECT_EQ(cache.num_group_sets(), 1);  // still mapped, awaiting commit
+      EXPECT_EQ(cache.counters().full_invalidations, 0);
+    } else {
+      EXPECT_EQ(r.refreshable, nullptr);
+      EXPECT_EQ(cache.num_group_sets(), 0);
+      EXPECT_EQ(cache.counters().epoch_invalidations, 1);
+      EXPECT_EQ(cache.counters().full_invalidations, 1);
+    }
+  }
+}
+
 TEST(StateCacheTest, EpochMismatchInvalidatesOnProbe) {
   StateCache cache;
   auto keys = testing_util::MakeXyTable({1, 2}, {0, 0}, {0, 0});
-  StateCache::GroupSetPtr set = cache.GetOrCreate("sig", *keys, 2, /*epoch=*/1);
+  StateCache::GroupSetPtr set = Create(cache, "sig", *keys, 2, {1, 1});
   set->entries["count"] = StateCache::Entry{{2.0, 3.0}, {}};
-  EXPECT_EQ(cache.Find("sig", 1), set);
+  EXPECT_EQ(FindSet(cache, "sig", {1, 1}), set);
 
-  // Probe under a newer epoch: the set is discarded, not served.
-  EXPECT_EQ(cache.Find("sig", 2), nullptr);
+  // Probe under a newer rewrite epoch: the set is discarded, not served.
+  EXPECT_EQ(FindSet(cache, "sig", {2, 1}), nullptr);
   EXPECT_EQ(cache.num_group_sets(), 0);
   EXPECT_EQ(cache.counters().epoch_invalidations, 1);
 
   // GetOrCreate under a newer epoch likewise recreates.
-  StateCache::GroupSetPtr recreated = cache.GetOrCreate("sig", *keys, 2, 3);
+  StateCache::GroupSetPtr recreated = Create(cache, "sig", *keys, 2, {3, 1});
   recreated->entries["count"] = StateCache::Entry{{2.0, 3.0}, {}};
-  StateCache::GroupSetPtr again = cache.GetOrCreate("sig", *keys, 2, 4);
+  StateCache::GroupSetPtr again = Create(cache, "sig", *keys, 2, {4, 1});
   EXPECT_TRUE(again->entries.empty());
   EXPECT_EQ(cache.counters().epoch_invalidations, 2);
+}
+
+// A refreshable handoff resolves exactly one probe at CommitRefresh: the
+// accounting identity set_hits + delta_refreshes + full_invalidations ==
+// probes must hold before, during, and after.
+TEST(StateCacheTest, CommitRefreshFoldsDeltaAndKeepsAccounting) {
+  StateCache cache;
+  auto keys = testing_util::MakeXyTable({1, 2}, {0, 0}, {0, 0});
+  StateCache::GroupSetPtr set =
+      cache.GetOrCreate("sig", *keys, 2, {5, 10}, /*covered_rows=*/100);
+  set->entries["count"] = StateCache::Entry{{2.0, 3.0}, {}};
+  ASSERT_NE(cache.Find("sig", {5, 10}, false).set, nullptr);  // 1 hit
+
+  StateCache::FindResult r = cache.Find("sig", {5, 11}, /*can_refresh=*/true);
+  ASSERT_EQ(r.set, nullptr);
+  ASSERT_EQ(r.refreshable, set);
+  // The pending handoff has not been counted yet.
+  EXPECT_EQ(cache.counters().probes, 1);
+
+  auto keys3 = testing_util::MakeXyTable({1, 2, 3}, {0, 0, 0}, {0, 0, 0});
+  std::vector<std::pair<std::string, StateCache::Entry>> entries;
+  entries.emplace_back("count", StateCache::Entry{{2.0, 5.0, 1.0}, {}});
+  StateCache::GroupSetPtr fresh = cache.CommitRefresh(
+      set, *keys3, 3, {5, 11}, /*covered_rows=*/130, entries,
+      /*delta_rows=*/30);
+  ASSERT_NE(fresh, nullptr);
+  EXPECT_NE(fresh, set);
+  EXPECT_EQ(fresh->num_groups, 3);
+  EXPECT_EQ(fresh->covered_rows, 130);
+  ASSERT_EQ(fresh->entries.count("count"), 1u);
+  EXPECT_EQ(fresh->entries["count"].main[1], 5.0);
+
+  const StateCache::Counters c = cache.counters();
+  EXPECT_EQ(c.probes, 2);
+  EXPECT_EQ(c.set_hits, 1);
+  EXPECT_EQ(c.delta_refreshes, 1);
+  EXPECT_EQ(c.delta_rows_scanned, 30);
+  EXPECT_EQ(c.full_invalidations, 0);
+  EXPECT_EQ(c.set_hits + c.delta_refreshes + c.full_invalidations, c.probes);
+
+  // The refreshed set serves the next probe under the new epochs.
+  EXPECT_EQ(cache.Find("sig", {5, 11}, false).set, fresh);
+}
+
+// A CommitRefresh that loses the race (the mapped set changed since the
+// probe) must return null and leave the newer set untouched.
+TEST(StateCacheTest, CommitRefreshDetectsRace) {
+  StateCache cache;
+  auto keys = testing_util::MakeXyTable({1}, {0}, {0});
+  StateCache::GroupSetPtr old_set =
+      cache.GetOrCreate("sig", *keys, 1, {1, 1}, /*covered_rows=*/10);
+  StateCache::FindResult r = cache.Find("sig", {1, 2}, true);
+  ASSERT_EQ(r.refreshable, old_set);
+
+  // Another query recreates the set before our refresh commits.
+  StateCache::GroupSetPtr newer =
+      cache.GetOrCreate("sig", *keys, 1, {1, 3}, /*covered_rows=*/30);
+  ASSERT_NE(newer, old_set);
+
+  std::vector<std::pair<std::string, StateCache::Entry>> entries;
+  entries.emplace_back("count", StateCache::Entry{{1.0}, {}});
+  EXPECT_EQ(cache.CommitRefresh(old_set, *keys, 1, {1, 2}, 20, entries, 10),
+            nullptr);
+  EXPECT_EQ(cache.Find("sig", {1, 3}, false).set, newer);
 }
 
 TEST(StateCacheTest, EntryPoisonDetection) {
@@ -111,7 +233,7 @@ TEST(StateCacheTest, EntryPoisonDetection) {
 TEST(StateCacheTest, GroupKeysAreCopied) {
   StateCache cache;
   auto keys = testing_util::MakeXyTable({7}, {0}, {0});
-  StateCache::GroupSetPtr set = cache.GetOrCreate("sig", *keys, 1);
+  StateCache::GroupSetPtr set = Create(cache, "sig", *keys, 1);
   keys.reset();  // cache must not dangle
   EXPECT_EQ(set->group_keys->column(0).GetInt64(0), 7);
 }
@@ -143,7 +265,7 @@ TEST(StateCacheBytesTest, ApproxBytesFormulaRegression) {
   StateCache cache;
   auto keys = testing_util::MakeXyTable({1, 2, 3}, {0, 0, 0}, {0, 0, 0});
   const std::string sig = "bytes-regression-sig";
-  StateCache::GroupSetPtr set = cache.GetOrCreate(sig, *keys, 3);
+  StateCache::GroupSetPtr set = Create(cache, sig, *keys, 3);
 
   int64_t expected = StateCache::kPerSetOverhead +
                      static_cast<int64_t>(sig.size()) +
@@ -170,13 +292,13 @@ TEST(StateCacheBytesTest, ApproxBytesFormulaRegression) {
 TEST(StateCacheEvictionTest, ColdUnhitSetsAreEvictedFirst) {
   StateCache cache;
   auto keys = testing_util::MakeXyTable({1}, {0}, {0});
-  StateCache::GroupSetPtr a = cache.GetOrCreate("sig-a", *keys, 1);
-  StateCache::GroupSetPtr b = cache.GetOrCreate("sig-b", *keys, 1);
+  StateCache::GroupSetPtr a = Create(cache, "sig-a", *keys, 1);
+  StateCache::GroupSetPtr b = Create(cache, "sig-b", *keys, 1);
   StateCache::Entry ea{{1.0}, {}}, eb{{2.0}, {}};
   cache.InsertEntry(a.get(), "k", ea);
   cache.InsertEntry(b.get(), "k", eb);
   // Make `b` hot: repeated valid probes raise its hits and recency.
-  for (int i = 0; i < 5; ++i) ASSERT_NE(cache.Find("sig-b"), nullptr);
+  for (int i = 0; i < 5; ++i) ASSERT_NE(FindSet(cache, "sig-b"), nullptr);
 
   // Now constrain the budget so only one of the two fits: the cold,
   // never-probed `a` must be the victim.
@@ -184,8 +306,8 @@ TEST(StateCacheEvictionTest, ColdUnhitSetsAreEvictedFirst) {
   policy.max_bytes = cache.ApproxBytes() - 1;
   cache.set_policy(policy);
   cache.EnforceBudget();
-  EXPECT_EQ(cache.Find("sig-a"), nullptr);
-  EXPECT_NE(cache.Find("sig-b"), nullptr);
+  EXPECT_EQ(FindSet(cache, "sig-a"), nullptr);
+  EXPECT_NE(FindSet(cache, "sig-b"), nullptr);
   EXPECT_EQ(cache.counters().evictions, 1);
   EXPECT_GT(cache.counters().bytes_evicted, 0);
   EXPECT_LE(cache.ApproxBytes(), policy.max_bytes);
@@ -194,8 +316,8 @@ TEST(StateCacheEvictionTest, ColdUnhitSetsAreEvictedFirst) {
 TEST(StateCacheEvictionTest, LargerOfEquallyColdSetsGoesFirst) {
   StateCache cache;
   auto keys = testing_util::MakeXyTable({1}, {0}, {0});
-  StateCache::GroupSetPtr small = cache.GetOrCreate("sig-small", *keys, 1);
-  StateCache::GroupSetPtr big = cache.GetOrCreate("sig-big", *keys, 1);
+  StateCache::GroupSetPtr small = Create(cache, "sig-small", *keys, 1);
+  StateCache::GroupSetPtr big = Create(cache, "sig-big", *keys, 1);
   StateCache::Entry es{{1.0}, {}};
   StateCache::Entry ebig{std::vector<double>(2048, 1.0), {}};
   cache.InsertEntry(small.get(), "k", es);
@@ -207,14 +329,14 @@ TEST(StateCacheEvictionTest, LargerOfEquallyColdSetsGoesFirst) {
   cache.EnforceBudget();
   // score = hits / (age × bytes): equal hits and near-equal age, so the
   // big set has the lower score and is evicted.
-  EXPECT_EQ(cache.Find("sig-big"), nullptr);
-  EXPECT_NE(cache.Find("sig-small"), nullptr);
+  EXPECT_EQ(FindSet(cache, "sig-big"), nullptr);
+  EXPECT_NE(FindSet(cache, "sig-small"), nullptr);
 }
 
 TEST(StateCacheEvictionTest, InsertDeclineLeavesEntryUntouched) {
   StateCache cache;
   auto keys = testing_util::MakeXyTable({1}, {0}, {0});
-  StateCache::GroupSetPtr set = cache.GetOrCreate("sig", *keys, 1);
+  StateCache::GroupSetPtr set = Create(cache, "sig", *keys, 1);
   CachePolicy policy;
   policy.max_bytes = cache.ApproxBytes() + 64;  // set fits, big entries don't
   cache.set_policy(policy);
@@ -235,10 +357,10 @@ TEST(StateCacheEvictionTest, OversizedSetStaysQueryLocal) {
   cache.set_policy(policy);
   auto keys = testing_util::MakeXyTable({1, 2}, {0, 0}, {0, 0});
 
-  StateCache::GroupSetPtr set = cache.GetOrCreate("sig-over", *keys, 2);
+  StateCache::GroupSetPtr set = Create(cache, "sig-over", *keys, 2);
   ASSERT_NE(set, nullptr);  // the current query can still proceed
   // ...but the set is uncached: invisible to Find, uncounted, unbudgeted.
-  EXPECT_EQ(cache.Find("sig-over"), nullptr);
+  EXPECT_EQ(FindSet(cache, "sig-over"), nullptr);
   EXPECT_EQ(cache.num_group_sets(), 0);
   EXPECT_EQ(cache.ApproxBytes(), 0);
 
@@ -248,7 +370,7 @@ TEST(StateCacheEvictionTest, OversizedSetStaysQueryLocal) {
 
   // Each overflow is independent and query-local; the first set stays
   // alive for as long as its query holds the reference.
-  StateCache::GroupSetPtr next = cache.GetOrCreate("sig-over2", *keys, 2);
+  StateCache::GroupSetPtr next = Create(cache, "sig-over2", *keys, 2);
   ASSERT_NE(next, nullptr);
   EXPECT_EQ(cache.num_group_sets(), 0);
   EXPECT_TRUE(set->uncached);

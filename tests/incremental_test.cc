@@ -1,0 +1,486 @@
+// Incremental cache maintenance over append-only tables
+// (docs/execution.md, "Incremental maintenance"; docs/robustness.md,
+// "Durability contract").
+//
+// The property under test everywhere: appending rows and re-running a
+// cached query folds a fused pass over ONLY the delta segments into the
+// cached states, and the refreshed answer is bit-identical — not
+// approximately equal — to a cold run over the same table history, at any
+// thread count, under injected faults, and across a kill-and-recover of
+// the persistence layer.
+
+#include <atomic>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/failpoint.h"
+#include "common/rng.h"
+#include "gtest/gtest.h"
+#include "storage/catalog.h"
+#include "sudaf/session.h"
+#include "tests/test_util.h"
+
+namespace sudaf {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Catalog: append vs rewrite epochs and the segment log
+// ---------------------------------------------------------------------------
+
+TEST(CatalogEpochsTest, AppendAdvancesAppendEpochAndSegmentLogOnly) {
+  Catalog cat;
+  cat.PutTable("t", testing_util::MakeXyTable({0, 1}, {1.0, 2.0}, {0, 0}));
+  const CatalogEpochs e0 = cat.TableEpochs("t");
+  EXPECT_EQ(cat.TableSegments("t"), (std::vector<int64_t>{2}));
+
+  ASSERT_OK(cat.AppendRows("t", *testing_util::MakeXyTable({2}, {3.0}, {0})));
+  const CatalogEpochs e1 = cat.TableEpochs("t");
+  EXPECT_EQ(e1.rewrite, e0.rewrite);  // appends never look destructive
+  EXPECT_NE(e1.append, e0.append);
+  EXPECT_EQ(cat.TableSegments("t"), (std::vector<int64_t>{2, 3}));
+  EXPECT_EQ((*cat.GetTable("t"))->num_rows(), 3);
+
+  // A destructive touch advances the rewrite epoch and collapses the
+  // segment log back to one segment covering the whole table.
+  cat.TouchTable("t");
+  const CatalogEpochs e2 = cat.TableEpochs("t");
+  EXPECT_NE(e2.rewrite, e1.rewrite);
+  EXPECT_EQ(cat.TableSegments("t"), (std::vector<int64_t>{3}));
+}
+
+TEST(CatalogEpochsTest, NotifyAppendRecordsGrowthOfExternalTables) {
+  auto owned = testing_util::MakeXyTable({0}, {1.0}, {0});
+  Catalog cat;
+  cat.PutExternalTable("t", owned.get());
+  const CatalogEpochs e0 = cat.TableEpochs("t");
+
+  owned->column(0).AppendInt64(1);
+  owned->column(1).AppendFloat64(2.0);
+  owned->column(2).AppendFloat64(0.0);
+  owned->FinishBulkAppend();
+  ASSERT_OK(cat.NotifyAppend("t"));
+  EXPECT_EQ(cat.TableEpochs("t").rewrite, e0.rewrite);
+  EXPECT_EQ(cat.TableSegments("t"), (std::vector<int64_t>{1, 2}));
+}
+
+TEST(CatalogEpochsTest, NotifyAppendOnShrunkTableDegradesToRewrite) {
+  auto owned = testing_util::MakeXyTable({0, 1, 2}, {1, 2, 3}, {0, 0, 0});
+  Catalog cat;
+  cat.PutExternalTable("t", owned.get());
+  const CatalogEpochs e0 = cat.TableEpochs("t");
+  ASSERT_EQ(cat.TableSegments("t").back(), 3);
+
+  // The owner replaced the table's contents with fewer rows and then
+  // (wrongly) reported it as an append. The catalog must treat that as
+  // destructive: refreshing from a log that no longer describes the data
+  // would serve wrong answers.
+  *owned = std::move(*testing_util::MakeXyTable({9}, {9.0}, {0}));
+  Status s = cat.NotifyAppend("t");
+  EXPECT_FALSE(s.ok());
+  const CatalogEpochs e1 = cat.TableEpochs("t");
+  EXPECT_NE(e1.rewrite, e0.rewrite);  // hard invalidation, never stale
+  EXPECT_EQ(cat.TableSegments("t"), (std::vector<int64_t>{1}));
+}
+
+// Regression for the combined-epoch aliasing bug: the old scheme summed
+// raw per-table epochs, so `{A:2, B:1}` and `{A:1, B:2}` produced the same
+// combination and a persisted set could be silently revived after the
+// "wrong" table moved. Name-hash mixing makes the combination sensitive to
+// WHICH table moved, not just by how much in total.
+TEST(CatalogEpochsTest, CombinedEpochsDoNotAliasAcrossTables) {
+  Catalog a, b;
+  for (Catalog* c : {&a, &b}) {
+    c->PutTable("A", testing_util::MakeXyTable({0}, {1.0}, {0}));
+    c->PutTable("B", testing_util::MakeXyTable({0}, {1.0}, {0}));
+  }
+  ASSERT_EQ(a.TablesEpochs({"A", "B"}), b.TablesEpochs({"A", "B"}));
+
+  // Same total number of mutations, different distribution over tables.
+  a.TouchTable("A");
+  b.TouchTable("B");
+  EXPECT_NE(a.TablesEpochs({"A", "B"}).rewrite,
+            b.TablesEpochs({"A", "B"}).rewrite);
+
+  // The append component is mixed the same way.
+  ASSERT_OK(a.AppendRows("A", *testing_util::MakeXyTable({1}, {2.0}, {0})));
+  ASSERT_OK(b.AppendRows("B", *testing_util::MakeXyTable({1}, {2.0}, {0})));
+  EXPECT_NE(a.TablesEpochs({"A", "B"}).append,
+            b.TablesEpochs({"A", "B"}).append);
+
+  // And unrelated tables do not perturb the combination.
+  a.PutTable("C", testing_util::MakeXyTable({0}, {1.0}, {0}));
+  const CatalogEpochs before = a.TablesEpochs({"A", "B"});
+  a.TouchTable("C");
+  EXPECT_EQ(a.TablesEpochs({"A", "B"}), before);
+}
+
+// Moving a catalog that another thread is concurrently using used to be
+// silent undefined behavior; now it aborts with a diagnostic. The child
+// process hammers reads from one thread while the main thread moves — the
+// in-flight guard must observe the overlap and abort loudly.
+TEST(CatalogMoveSafetyDeathTest, MoveWhileInUseAbortsLoudly) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        Catalog cat;
+        cat.PutTable("t", testing_util::MakeXyTable({0}, {1.0}, {0}));
+        std::atomic<bool> stop{false};
+        std::thread reader([&] {
+          while (!stop.load(std::memory_order_relaxed)) {
+            (void)cat.HasTable("t");
+          }
+        });
+        for (int i = 0; i < 50000000 && !stop.load(); ++i) {
+          Catalog other(std::move(cat));
+          cat = std::move(other);
+        }
+        stop = true;
+        reader.join();
+      },
+      "in flight");
+}
+
+TEST(CatalogMoveSafetyTest, QuiescentMovePreservesEpochState) {
+  Catalog cat;
+  cat.PutTable("t", testing_util::MakeXyTable({0, 1}, {1.0, 2.0}, {0, 0}));
+  ASSERT_OK(cat.AppendRows("t", *testing_util::MakeXyTable({2}, {3.0}, {0})));
+  const CatalogEpochs before = cat.TableEpochs("t");
+
+  Catalog moved(std::move(cat));
+  EXPECT_EQ(moved.TableEpochs("t"), before);
+  EXPECT_EQ(moved.TableSegments("t"), (std::vector<int64_t>{2, 3}));
+  EXPECT_EQ((*moved.GetTable("t"))->num_rows(), 3);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end incremental refresh
+// ---------------------------------------------------------------------------
+
+class IncrementalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    catalog_.PutTable("t", MakeBase());
+    cold_catalog_.PutTable("t", MakeBase());
+    session_ = std::make_unique<SudafSession>(&catalog_);
+  }
+  void TearDown() override { FailPoint::DeactivateAll(); }
+
+  static std::unique_ptr<Table> MakeBase() {
+    Rng rng(7);
+    return MakeDelta(&rng, 96, /*num_groups=*/5);
+  }
+
+  static std::unique_ptr<Table> MakeDelta(Rng* rng, int n, int num_groups) {
+    std::vector<int64_t> g;
+    std::vector<double> x, y;
+    for (int i = 0; i < n; ++i) {
+      g.push_back(static_cast<int64_t>(rng->NextBelow(num_groups)));
+      double xv = rng->NextDoubleIn(-3.0, 9.0);
+      x.push_back(xv);
+      y.push_back(0.5 * xv + rng->NextDoubleIn(-1.0, 1.0));
+    }
+    return testing_util::MakeXyTable(g, x, y);
+  }
+
+  // Bit-exact digest: the refresh property is "the same doubles", not
+  // "approximately equal".
+  static std::string Fingerprint(const Table& t) {
+    std::string fp;
+    for (int c = 0; c < t.num_columns(); ++c) {
+      for (int64_t r = 0; r < t.num_rows(); ++r) {
+        if (t.column(c).type() == DataType::kInt64) {
+          int64_t v = t.column(c).GetInt64(r);
+          fp.append(reinterpret_cast<const char*>(&v), sizeof(v));
+        } else {
+          double v = t.column(c).GetFloat64(r);
+          fp.append(reinterpret_cast<const char*>(&v), sizeof(v));
+        }
+      }
+    }
+    return fp;
+  }
+
+  struct RunOut {
+    std::string fp;
+    ExecStats stats;
+  };
+
+  RunOut Run(SudafSession* s, const std::string& sql,
+             const ExecOptions& exec) {
+    auto result = s->Execute(sql, ExecMode::kSudafShare, exec);
+    SUDAF_CHECK_MSG(result.ok(), result.status().ToString());
+    return {Fingerprint(**result), result->stats};
+  }
+
+  // Cold reference: a fresh (empty-cache) session over a catalog with the
+  // identical table content AND segment history. The determinism rule says
+  // the fused accumulation tree is a pure function of the segment log, so
+  // this is the exact run the refreshed states must match bitwise.
+  std::string ColdFingerprint(const std::string& sql,
+                              const ExecOptions& exec) {
+    SudafSession cold(&cold_catalog_);
+    return Run(&cold, sql, exec).fp;
+  }
+
+  static ExecOptions Threads(int n) {
+    ExecOptions exec;
+    if (n > 1) {
+      exec.parallel = true;
+      exec.num_threads = n;
+    }
+    return exec;
+  }
+
+  Catalog catalog_;
+  Catalog cold_catalog_;  // receives identical appends, never cached
+  std::unique_ptr<SudafSession> session_;
+};
+
+constexpr const char* kSql =
+    "SELECT g, sum(x), avg(y), var(x) FROM t GROUP BY g ORDER BY g";
+
+// Acceptance: appending rows and re-running scans only the delta segments
+// (asserted via delta_rows_scanned), bit-identical to the cold run, at
+// threads {1, 2, 8}.
+TEST_F(IncrementalTest, AppendThenRerunScansOnlyDelta) {
+  for (int threads : {1, 2, 8}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    SetUp();  // fresh catalogs + session per thread count
+    const ExecOptions exec = Threads(threads);
+
+    RunOut cold = Run(session_.get(), kSql, exec);
+    EXPECT_EQ(cold.stats.cache_delta_refreshes, 0);
+    EXPECT_EQ(cold.fp, ColdFingerprint(kSql, exec));
+
+    Rng rng(101);
+    auto delta = MakeDelta(&rng, 32, /*num_groups=*/7);  // two new groups
+    ASSERT_OK(catalog_.AppendRows("t", *delta));
+    ASSERT_OK(cold_catalog_.AppendRows("t", *delta));
+
+    RunOut warm = Run(session_.get(), kSql, exec);
+    EXPECT_EQ(warm.stats.cache_delta_refreshes, 1);
+    EXPECT_EQ(warm.stats.cache_delta_rows_scanned, 32);  // ≪ 128 total
+    EXPECT_EQ(warm.stats.cache_full_invalidations, 0);
+    EXPECT_EQ(warm.fp, ColdFingerprint(kSql, exec))
+        << "refreshed states diverge from a cold run";
+
+    // Third run: the refreshed set is now current and serves as-is.
+    RunOut again = Run(session_.get(), kSql, exec);
+    EXPECT_GT(again.stats.states_from_cache, 0);
+    EXPECT_FALSE(again.stats.scanned_base_data);
+    EXPECT_EQ(again.fp, warm.fp);
+  }
+}
+
+// A destructive rewrite between runs must hard-invalidate, never refresh.
+TEST_F(IncrementalTest, RewriteStillHardInvalidates) {
+  const ExecOptions exec;
+  Run(session_.get(), kSql, exec);
+  auto next = MakeBase();
+  catalog_.PutTable("t", std::move(next));
+  cold_catalog_.PutTable("t", MakeBase());
+
+  RunOut out = Run(session_.get(), kSql, exec);
+  EXPECT_EQ(out.stats.cache_delta_refreshes, 0);
+  EXPECT_EQ(out.stats.cache_full_invalidations, 1);
+  EXPECT_EQ(out.fp, ColdFingerprint(kSql, exec));
+}
+
+// The ungrouped (scalar aggregate) shape refreshes too: group remap is the
+// degenerate single-group case.
+TEST_F(IncrementalTest, UngroupedQueryRefreshes) {
+  const std::string sql = "SELECT sum(x), count(x), avg(y) FROM t";
+  const ExecOptions exec;
+  Run(session_.get(), sql, exec);
+  Rng rng(55);
+  auto delta = MakeDelta(&rng, 16, 5);
+  ASSERT_OK(catalog_.AppendRows("t", *delta));
+  ASSERT_OK(cold_catalog_.AppendRows("t", *delta));
+
+  RunOut warm = Run(session_.get(), sql, exec);
+  EXPECT_EQ(warm.stats.cache_delta_refreshes, 1);
+  EXPECT_EQ(warm.stats.cache_delta_rows_scanned, 16);
+  EXPECT_EQ(warm.fp, ColdFingerprint(sql, exec));
+}
+
+// A fault inside the refresh's delta pass abandons the refresh and falls
+// back to a full rescan — the query still succeeds with bit-identical
+// results, and the abandonment is visible as a full invalidation.
+TEST_F(IncrementalTest, RefreshFaultFallsBackToFullRescan) {
+  const ExecOptions exec;
+  Run(session_.get(), kSql, exec);
+  Rng rng(77);
+  auto delta = MakeDelta(&rng, 24, 5);
+  ASSERT_OK(catalog_.AppendRows("t", *delta));
+  ASSERT_OK(cold_catalog_.AppendRows("t", *delta));
+
+  // The first morsel this query executes is in the refresh's delta pass.
+  FailPoint::Activate("state_batch:morsel", Status::Internal("delta fault"),
+                      /*skip=*/0, /*count=*/1);
+  RunOut out = Run(session_.get(), kSql, exec);
+  FailPoint::DeactivateAll();
+  EXPECT_EQ(out.stats.cache_delta_refreshes, 0);
+  EXPECT_EQ(out.stats.cache_full_invalidations, 1);
+  EXPECT_EQ(out.fp, ColdFingerprint(kSql, exec));
+}
+
+// The accounting identity the CI perf gate enforces, checked at the
+// counter level across a hit / refresh / invalidation mix.
+TEST_F(IncrementalTest, ProbeAccountingIdentityHolds) {
+  const ExecOptions exec;
+  Run(session_.get(), kSql, exec);  // miss (not a probe: no present set)
+  Run(session_.get(), kSql, exec);  // hit
+  Rng rng(13);
+  ASSERT_OK(catalog_.AppendRows("t", *MakeDelta(&rng, 8, 5)));
+  Run(session_.get(), kSql, exec);  // delta refresh
+  catalog_.TouchTable("t");
+  Run(session_.get(), kSql, exec);  // full invalidation
+
+  const StateCache::Counters c = session_->cache().counters();
+  EXPECT_EQ(c.set_hits, 1);
+  EXPECT_EQ(c.delta_refreshes, 1);
+  EXPECT_EQ(c.full_invalidations, 1);
+  EXPECT_EQ(c.set_hits + c.delta_refreshes + c.full_invalidations, c.probes);
+}
+
+// Satellite: the append-loop property. N rounds of (append random rows →
+// run the cached query), each round bit-identical to a cold run over the
+// same table history, at 1 and 8 threads, with probe/morsel faults
+// injected along the way. Faulted queries either fail cleanly (and the
+// deactivated retry matches cold) or degrade to a full rescan that
+// matches cold — stale or torn state is never served.
+TEST_F(IncrementalTest, AppendLoopStaysBitIdenticalToColdRuns) {
+  constexpr int kRounds = 6;
+  for (int threads : {1, 8}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    SetUp();
+    const ExecOptions exec = Threads(threads);
+    Rng rng(2026);
+
+    Run(session_.get(), kSql, exec);  // cold seed
+    for (int round = 0; round < kRounds; ++round) {
+      SCOPED_TRACE("round=" + std::to_string(round));
+      const int n = 1 + static_cast<int>(rng.NextBelow(40));
+      auto delta = MakeDelta(&rng, n, /*num_groups=*/5 + round);
+      ASSERT_OK(catalog_.AppendRows("t", *delta));
+      ASSERT_OK(cold_catalog_.AppendRows("t", *delta));
+
+      if (round == 2) {
+        // Probe fault: the query fails cleanly; nothing is corrupted.
+        FailPoint::Activate("cache:probe", Status::Internal("probe fault"));
+        auto failed = session_->Execute(kSql, ExecMode::kSudafShare, exec);
+        EXPECT_FALSE(failed.ok());
+        FailPoint::DeactivateAll();
+      }
+      if (round == 4) {
+        // Morsel fault in the refresh pass: degrade to full rescan below.
+        FailPoint::Activate("state_batch:morsel",
+                            Status::Internal("morsel fault"), /*skip=*/0,
+                            /*count=*/1);
+      }
+      RunOut out = Run(session_.get(), kSql, exec);
+      FailPoint::DeactivateAll();
+      EXPECT_EQ(out.fp, ColdFingerprint(kSql, exec));
+    }
+    // The loop actually exercised the incremental path, not cold reruns.
+    EXPECT_GE(session_->cache().counters().delta_refreshes, kRounds - 2);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Kill-and-recover: a torn refresh journal yields a full recompute,
+// never a stale answer (docs/robustness.md, "Durability contract").
+// ---------------------------------------------------------------------------
+
+class IncrementalCrashTest : public IncrementalTest {
+ protected:
+  void SetUp() override {
+    IncrementalTest::SetUp();
+    dir_ = ::testing::TempDir() + "/sudaf_incremental_crash";
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override {
+    FailPoint::DeactivateAll();
+    std::filesystem::remove_all(dir_);
+  }
+
+  std::string dir_;
+};
+
+TEST_F(IncrementalCrashTest, TornRefreshJournalRecoversToCorrectAnswers) {
+  // skip=0 tears the refresh's erase record (the old set survives on disk
+  // with its old coverage); skip=1 lands the erase and tears the create
+  // (no set survives). Both must recover to bit-identical answers.
+  for (int skip : {0, 1}) {
+    SCOPED_TRACE("skip=" + std::to_string(skip));
+    IncrementalTest::SetUp();
+    std::string dir = dir_ + "/run" + std::to_string(skip);
+    const ExecOptions exec;
+
+    {  // Session A: populate, append, refresh with a torn WAL, "die".
+      SudafSession a(&catalog_);
+      ASSERT_OK(a.EnableCachePersistence(dir));
+      Run(&a, kSql, exec);
+
+      Rng rng(31);
+      auto delta = MakeDelta(&rng, 20, 6);
+      ASSERT_OK(catalog_.AppendRows("t", *delta));
+      ASSERT_OK(cold_catalog_.AppendRows("t", *delta));
+
+      FailPoint::Activate("cache:wal_append", Status::Internal("torn"),
+                          skip, /*count=*/1000000);
+      RunOut out = Run(&a, kSql, exec);  // WAL faults never fail queries
+      EXPECT_EQ(out.stats.cache_delta_refreshes, 1);
+      FailPoint::DeactivateAll();
+      // The session dies here with a torn refresh journal — the "kill".
+    }
+
+    // Session B: recovery must drop the torn tail and serve answers that
+    // match a cold run — via a second delta refresh (skip=0: the old set
+    // survived with its old coverage) or a full recompute (skip=1).
+    SudafSession b(&catalog_);
+    ASSERT_OK(b.EnableCachePersistence(dir));
+    RunOut out = Run(&b, kSql, exec);
+    EXPECT_EQ(out.fp, ColdFingerprint(kSql, exec));
+    if (skip == 0) {
+      EXPECT_EQ(out.stats.cache_delta_refreshes, 1);
+    } else {
+      EXPECT_EQ(out.stats.cache_delta_refreshes, 0);
+    }
+    // And the recovered + re-resolved states serve the next run as-is.
+    RunOut again = Run(&b, kSql, exec);
+    EXPECT_GT(again.stats.states_from_cache, 0);
+    EXPECT_EQ(again.fp, out.fp);
+  }
+}
+
+// A clean kill-and-reopen after appends: the recovered set lags only in
+// append epoch, so the reopened session refreshes instead of rescanning
+// the whole table.
+TEST_F(IncrementalCrashTest, RecoveredSetsRefreshAcrossRestart) {
+  std::string dir = dir_ + "/restart";
+  const ExecOptions exec;
+  {
+    SudafSession a(&catalog_);
+    ASSERT_OK(a.EnableCachePersistence(dir));
+    Run(&a, kSql, exec);
+  }
+  Rng rng(41);
+  auto delta = MakeDelta(&rng, 12, 5);
+  ASSERT_OK(catalog_.AppendRows("t", *delta));
+  ASSERT_OK(cold_catalog_.AppendRows("t", *delta));
+
+  SudafSession b(&catalog_);
+  ASSERT_OK(b.EnableCachePersistence(dir));
+  EXPECT_GT(b.cache().num_entries(), 0);  // survived the restart
+  RunOut out = Run(&b, kSql, exec);
+  EXPECT_EQ(out.stats.cache_delta_refreshes, 1);
+  EXPECT_EQ(out.stats.cache_delta_rows_scanned, 12);
+  EXPECT_EQ(out.fp, ColdFingerprint(kSql, exec));
+}
+
+}  // namespace
+}  // namespace sudaf

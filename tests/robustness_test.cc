@@ -479,8 +479,11 @@ TEST_F(RobustSessionTest, PoisonedEntryPlantedInCacheIsEvictedOnProbe) {
 
   ASSERT_OK_AND_ASSIGN(std::unique_ptr<SelectStatement> stmt,
                        ParseSelect(sql));
-  StateCache::GroupSetPtr set = session_->cache().Find(
-      DataSignature(*stmt), catalog_.TablesEpoch(stmt->tables));
+  StateCache::GroupSetPtr set =
+      session_->cache()
+          .Find(DataSignature(*stmt), catalog_.TablesEpochs(stmt->tables),
+                /*can_refresh=*/false)
+          .set;
   ASSERT_NE(set, nullptr);
   ASSERT_EQ(set->entries.size(), 1u);
   for (auto& [key, entry] : set->entries) {

@@ -65,7 +65,8 @@ class ScrubTest : public ::testing::Test {
 TEST(ScrubResidentTest, QuarantinesRottedAndPoisonedStampedEntries) {
   StateCache cache;
   auto keys = testing_util::MakeXyTable({0, 1}, {0, 0}, {0, 0});
-  StateCache::GroupSetPtr set = cache.GetOrCreate("T:t,;W:;G:g,", *keys, 2);
+  StateCache::GroupSetPtr set = cache.GetOrCreate("T:t,;W:;G:g,", *keys, 2, CatalogEpochs{},
+                        /*covered_rows=*/-1);
   cache.InsertEntry(set.get(), "healthy", {{1.0, 2.0}, {}});
   cache.InsertEntry(set.get(), "rotted", {{3.0, 4.0}, {1, -1}});
   ASSERT_NE(set->entries.at("rotted").shadow_crc, 0u);  // stamped on insert
@@ -95,7 +96,8 @@ TEST(ScrubResidentTest, QuarantinesRottedAndPoisonedStampedEntries) {
 TEST(ScrubResidentTest, UnstampedEntriesAreSkippedNotQuarantined) {
   StateCache cache;
   auto keys = testing_util::MakeXyTable({0}, {0}, {0});
-  StateCache::GroupSetPtr set = cache.GetOrCreate("T:t,;W:;G:g,", *keys, 1);
+  StateCache::GroupSetPtr set = cache.GetOrCreate("T:t,;W:;G:g,", *keys, 1, CatalogEpochs{},
+                        /*covered_rows=*/-1);
   // Planted directly (shadow_crc == 0), the way tests and historic code
   // paths do: the scrub must not misread "unstamped" as "corrupt".
   set->entries["planted"] = StateCache::Entry{{42.0}, {}};

@@ -10,6 +10,16 @@
 // cold run. Any divergence, failed recovery, or worker error fails the
 // round.
 //
+// The worker also appends deterministic row deltas to the base table and
+// re-runs the fixed queries after each one, so the incremental-refresh
+// path (docs/execution.md, "Incremental maintenance") journals refreshed
+// sets — erase + re-create + entries — right up to the SIGKILL. Both
+// processes build the exact same table history, so a recovered set's
+// covered-row boundary either lands on the supervisor's segment log
+// (epoch hit or delta refresh, depending on how far the worker got) or
+// past it (hard invalidation). All three probe outcomes must converge to
+// bit-identical answers.
+//
 //   $ torture [--rounds N] [--seed S] [--dir D] [--timeout-ms T]
 //
 // Exit status 0 iff every round recovered bit-identically. CI runs 20
@@ -44,6 +54,24 @@ void SetupCatalog(Catalog* catalog) {
   MilanOptions milan;
   milan.num_rows = 4000;
   catalog->PutTable("milan_data", GenerateMilanData(milan));
+}
+
+// Deterministic append deltas. Worker and supervisor must build the exact
+// same table history: a recovered set's covered-row boundary refreshes
+// only if it is a boundary in the live catalog's segment log
+// (sudaf/session.cc, RefreshGroupSet). The supervisor applies
+// kSupervisorAppends of these before computing the cold reference; the
+// worker applies them one by one as it runs, so where the SIGKILL lands
+// decides whether recovered sets hit exactly, refresh from a delta, or
+// get discarded for covering rows past the supervisor's table.
+constexpr int64_t kDeltaRows = 400;
+constexpr int kSupervisorAppends = 2;
+
+std::unique_ptr<Table> MakeDelta(int index) {
+  MilanOptions milan;
+  milan.num_rows = kDeltaRows;
+  milan.seed = 0xde17a + static_cast<uint64_t>(index);
+  return GenerateMilanData(milan);
 }
 
 Status SetupSession(SudafSession* session) {
@@ -145,7 +173,8 @@ int RunWorker(const std::string& dir, uint64_t seed) {
   }
   Rng rng(seed);
   char sql[512];
-  for (;;) {
+  int appends = 0;
+  for (int iter = 0;; ++iter) {
     // Distinct thresholds → distinct predicates → new cache inserts.
     double cut = static_cast<double>(rng.NextBelow(4000)) / 100.0;
     std::snprintf(sql, sizeof(sql),
@@ -158,6 +187,24 @@ int RunWorker(const std::string& dir, uint64_t seed) {
       std::fprintf(stderr, "worker: query failed: %s\n",
                    r.status().ToString().c_str());
       return 2;
+    }
+    if (iter % 3 != 2) continue;
+    // Append the next deterministic delta and re-run the fixed queries:
+    // their cached sets now lag in append epoch and refresh, journaling
+    // erase + re-create + entries — the torn-refresh sites under test.
+    Status ap = catalog.AppendRows("milan_data", *MakeDelta(appends++));
+    if (!ap.ok()) {
+      std::fprintf(stderr, "worker: append failed: %s\n",
+                   ap.ToString().c_str());
+      return 2;
+    }
+    for (const std::string& vsql : VerifyQueries()) {
+      Result<QueryResult> vr = session.Execute(vsql, ExecMode::kSudafShare);
+      if (!vr.ok()) {
+        std::fprintf(stderr, "worker: refresh query failed: %s\n",
+                     vr.status().ToString().c_str());
+        return 2;
+      }
     }
   }
 }
@@ -243,9 +290,21 @@ int RunSupervisor(const char* self, const TortureOptions& opts) {
   std::string store = dir + "/store";
 
   // Reference answers from a cold, persistence-free session: the ground
-  // truth every post-crash recovery must reproduce bit-for-bit.
+  // truth every post-crash recovery must reproduce bit-for-bit. The
+  // supervisor's table carries the first kSupervisorAppends deltas, so
+  // recovered worker sets probe against a segment log of
+  // {4000, 4400, 4800}: covered 4000/4400 refreshes, 4800 hits exactly,
+  // anything larger is discarded.
   Catalog catalog;
   SetupCatalog(&catalog);
+  for (int i = 0; i < kSupervisorAppends; ++i) {
+    Status ap = catalog.AppendRows("milan_data", *MakeDelta(i));
+    if (!ap.ok()) {
+      std::fprintf(stderr, "supervisor append failed: %s\n",
+                   ap.ToString().c_str());
+      return 1;
+    }
+  }
   std::vector<uint32_t> expected;
   {
     SudafSession cold(&catalog);
